@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Table-1 comparators: the prior-work methods PrivHP is measured against.
+//!
+//! | Method | Paper row | Accuracy (paper) | Memory (paper) |
+//! |--------|-----------|------------------|----------------|
+//! | [`pmm::Pmm`] | He et al. '23 | `O(log²(εn)/(εn))` (d=1), `O((εn)^{-1/d})` (d≥2) | `O(εn)` |
+//! | [`srrw::Srrw`] | Boedihardjo et al. | `O(log^{3/2}(εn)·(εn)^{-1/d})` | `O(dn)` |
+//! | [`uniform::UniformBaseline`] | — | data-independent floor | `O(1)` |
+//! | [`nonprivate::NonPrivateHistogram`] | — | skyline (ε = ∞) | `O(εn)` |
+//! | [`smooth`] | Wang et al. | analytic row only (see DESIGN.md) | `O(dn)` |
+//!
+//! PMM is implemented faithfully (full hierarchical decomposition with
+//! Lemma-5 budget allocation and the same consistency step — PrivHP reduces
+//! to PMM when nothing is pruned). SRRW's general construction requires the
+//! private-measure machinery of its paper; we implement the standard
+//! dyadic-tree (binary mechanism) private CDF it is built around, which has
+//! the same `log`-factor-worse error profile — the substitution is recorded
+//! in DESIGN.md.
+
+pub mod nonprivate;
+pub mod pmm;
+pub mod privtree;
+pub mod quantile;
+pub mod smooth;
+pub mod srrw;
+pub mod uniform;
+
+pub use nonprivate::NonPrivateHistogram;
+pub use pmm::Pmm;
+pub use privtree::PrivTree;
+pub use quantile::BoundedQuantiles;
+pub use smooth::smooth_accuracy_bound;
+pub use srrw::Srrw;
+pub use uniform::UniformBaseline;

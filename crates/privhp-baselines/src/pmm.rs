@@ -1,0 +1,182 @@
+//! PMM — the Private Measure Mechanism of He, Vershynin & Zhu (COLT '23),
+//! the state-of-the-art static baseline in the paper's Table 1.
+//!
+//! PMM builds the **complete** hierarchical decomposition to depth
+//! `L = ⌈log₂(εn)⌉` with exact counts, adds per-level Laplace noise with the
+//! Lagrange-optimal budget split (the paper's Lemma 5 is its Theorem 11),
+//! enforces consistency, and samples. Accuracy is optimal up to constants
+//! for `d ≥ 2`, but memory is `O(εn)` — the gap PrivHP closes.
+//!
+//! Implementation note: PrivHP with `k = 2^L` (no pruning) and exact deep
+//! counters degenerates to PMM; we implement PMM directly on the shared
+//! tree/consistency/sampler substrate so the comparison isolates *pruning +
+//! sketching*, not incidental code differences.
+
+use privhp_core::consistency::enforce_consistency_subtree;
+use privhp_core::sampler::TreeSampler;
+use privhp_core::tree::PartitionTree;
+use privhp_domain::{HierarchicalDomain, Path};
+use privhp_dp::budget::BudgetSplit;
+use privhp_dp::laplace::Laplace;
+use rand::RngCore;
+
+/// A built PMM generator.
+#[derive(Debug, Clone)]
+pub struct Pmm<D: HierarchicalDomain> {
+    domain: D,
+    tree: PartitionTree,
+    depth: usize,
+    epsilon: f64,
+}
+
+impl<D: HierarchicalDomain + Clone> Pmm<D> {
+    /// Builds PMM over `data` with privacy `epsilon` and hierarchy depth
+    /// `⌈log₂(εn)⌉` (clamped to the domain and to a dense-tree-safe 20).
+    pub fn build<R: RngCore>(domain: &D, epsilon: f64, data: &[D::Point], rng: &mut R) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        let n = data.len().max(2);
+        let depth = ((epsilon * n as f64).max(2.0).log2().ceil() as usize)
+            .clamp(1, domain.max_level().min(20));
+        Self::build_with_depth(domain, epsilon, depth, data, rng)
+    }
+
+    /// Builds PMM with an explicit hierarchy depth.
+    pub fn build_with_depth<R: RngCore>(
+        domain: &D,
+        epsilon: f64,
+        depth: usize,
+        data: &[D::Point],
+        rng: &mut R,
+    ) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        assert!(depth >= 1 && depth <= domain.max_level().min(20), "bad depth {depth}");
+
+        // Lagrange-optimal split (He et al. Thm 11): σ_l ∝ √Γ_{l−1}.
+        let weights: Vec<f64> = (0..=depth)
+            .map(|l| domain.level_diameter_sum(l.saturating_sub(1)).sqrt())
+            .collect();
+        let split = BudgetSplit::from_weights(epsilon, &weights).expect("valid weights");
+
+        // Exact counts on the complete tree…
+        let mut tree = PartitionTree::complete(depth, |_| 0.0);
+        for p in data {
+            let deep = domain.locate(p, depth);
+            for l in 0..=depth {
+                tree.add_count(&deep.ancestor(l), 1.0);
+            }
+        }
+        // …plus Laplace(1/σ_l) noise per node (sensitivity 1 per level)…
+        for l in 0..=depth {
+            let dist = Laplace::new(1.0 / split.sigma(l));
+            let nodes: Vec<Path> = tree.level_nodes(l).to_vec();
+            for node in nodes {
+                let noise = dist.sample(rng);
+                tree.add_count(&node, noise);
+            }
+        }
+        // …then consistency, exactly as in PrivHP.
+        enforce_consistency_subtree(&mut tree, &Path::root());
+
+        Self { domain: domain.clone(), tree, depth, epsilon }
+    }
+
+    /// Draws one synthetic point.
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> D::Point {
+        TreeSampler::new(&self.tree, &self.domain).sample(rng)
+    }
+
+    /// Draws `m` synthetic points.
+    pub fn sample_many<R: RngCore>(&self, m: usize, rng: &mut R) -> Vec<D::Point> {
+        TreeSampler::new(&self.tree, &self.domain).sample_many(m, rng)
+    }
+
+    /// The consistent partition tree.
+    pub fn tree(&self) -> &PartitionTree {
+        &self.tree
+    }
+
+    /// Hierarchy depth used.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Privacy level of the release.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Memory footprint in words — `O(2^L) = O(εn)`, the Table-1 row.
+    pub fn memory_words(&self) -> usize {
+        self.tree.memory_words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privhp_domain::UnitInterval;
+    use privhp_dp::rng::rng_from_seed;
+
+    fn skewed(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i as f64 * 0.618_033_988) % 1.0).powi(3)).collect()
+    }
+
+    #[test]
+    fn builds_and_samples() {
+        let data = skewed(2_000);
+        let mut rng = rng_from_seed(1);
+        let pmm = Pmm::build(&UnitInterval::new(), 1.0, &data, &mut rng);
+        let s = pmm.sample_many(1_000, &mut rng);
+        assert_eq!(s.len(), 1_000);
+        assert!(s.iter().all(|x| (0.0..1.0).contains(x)));
+    }
+
+    #[test]
+    fn tree_is_complete_and_consistent() {
+        let data = skewed(500);
+        let mut rng = rng_from_seed(2);
+        let pmm = Pmm::build_with_depth(&UnitInterval::new(), 1.0, 6, &data, &mut rng);
+        assert_eq!(pmm.tree().len(), (1 << 7) - 1, "complete tree of depth 6");
+        assert!(privhp_core::consistency::find_consistency_violation(
+            pmm.tree(),
+            &Path::root(),
+            1e-6
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn captures_skew() {
+        // Cubed uniforms concentrate near 0.
+        let data = skewed(5_000);
+        let mut rng = rng_from_seed(3);
+        let pmm = Pmm::build(&UnitInterval::new(), 2.0, &data, &mut rng);
+        let s = pmm.sample_many(5_000, &mut rng);
+        let low = s.iter().filter(|&&x| x < 0.25).count() as f64 / 5_000.0;
+        let true_low = data.iter().filter(|&&x| x < 0.25).count() as f64 / 5_000.0;
+        assert!(
+            (low - true_low).abs() < 0.1,
+            "PMM mass below 0.25: {low} vs true {true_low}"
+        );
+    }
+
+    #[test]
+    fn memory_scales_with_epsilon_n() {
+        let mut rng = rng_from_seed(4);
+        let small = Pmm::build(&UnitInterval::new(), 1.0, &skewed(1 << 8), &mut rng);
+        let large = Pmm::build(&UnitInterval::new(), 1.0, &skewed(1 << 12), &mut rng);
+        assert!(
+            large.memory_words() > 8 * small.memory_words(),
+            "PMM memory must grow ~linearly in n: {} vs {}",
+            small.memory_words(),
+            large.memory_words()
+        );
+    }
+
+    #[test]
+    fn depth_clamped_to_domain() {
+        let mut rng = rng_from_seed(5);
+        let pmm = Pmm::build(&UnitInterval::new(), 1e6, &skewed(1 << 16), &mut rng);
+        assert!(pmm.depth() <= 20);
+    }
+}

@@ -1,0 +1,179 @@
+//! Bounded-space private quantiles (Alabi, Ben-Eliezer & Chaturvedi —
+//! paper §2.2).
+//!
+//! The paper notes a quantile estimator yields a synthetic data generator:
+//! "sampling a value uniformly in [0,1] and returning the quantile.
+//! However, their method only works for finite and ordered input domains
+//! and, thus, does not extend to general metric spaces."
+//!
+//! We implement that recipe for the finite ordered domain obtained by
+//! discretising `[0,1]` into `2^grid_bits` buckets: a bounded-memory dyadic
+//! counter tree over the fixed grid is perturbed per level (the standard
+//! hierarchical quantile release; sensitivity 1 per level), quantile
+//! queries walk the noisy tree, and synthetic points are inverse-quantile
+//! draws. Memory is `O(2^grid_bits)` — fixed in advance, independent of
+//! `n`, but also *unable to refine* beyond the grid: exactly the
+//! "predefined queries / fixed domain" limitation PrivHP removes.
+
+use privhp_core::consistency::enforce_consistency_subtree;
+use privhp_core::tree::PartitionTree;
+use privhp_domain::Path;
+use privhp_dp::budget::BudgetSplit;
+use privhp_dp::laplace::Laplace;
+use rand::Rng;
+use rand::RngCore;
+
+/// A bounded-space private quantile summary over a fixed `[0,1]` grid.
+#[derive(Debug, Clone)]
+pub struct BoundedQuantiles {
+    tree: PartitionTree,
+    grid_bits: usize,
+    epsilon: f64,
+}
+
+impl BoundedQuantiles {
+    /// Builds the summary over `data` at privacy `epsilon` with a
+    /// `2^grid_bits`-bucket grid.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ grid_bits ≤ 16` and `epsilon > 0`.
+    pub fn build<R: RngCore>(
+        epsilon: f64,
+        grid_bits: usize,
+        data: &[f64],
+        rng: &mut R,
+    ) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        assert!((1..=16).contains(&grid_bits), "grid_bits must be in 1..=16");
+
+        let split = BudgetSplit::uniform(epsilon, grid_bits + 1).expect("valid split");
+        let mut tree = PartitionTree::complete(grid_bits, |_| 0.0);
+        for &x in data {
+            assert!((0.0..=1.0).contains(&x), "point {x} outside [0,1]");
+            let cell = ((x.min(1.0 - f64::EPSILON)) * (1u64 << grid_bits) as f64) as u64;
+            let leaf = Path::from_bits(cell, grid_bits);
+            for l in 0..=grid_bits {
+                tree.add_count(&leaf.ancestor(l), 1.0);
+            }
+        }
+        for l in 0..=grid_bits {
+            let dist = Laplace::new(1.0 / split.sigma(l));
+            let nodes: Vec<Path> = tree.level_nodes(l).to_vec();
+            for node in nodes {
+                let noise = dist.sample(rng);
+                tree.add_count(&node, noise);
+            }
+        }
+        enforce_consistency_subtree(&mut tree, &Path::root());
+        Self { tree, grid_bits, epsilon }
+    }
+
+    /// The private `q`-quantile (`q ∈ [0,1]`), as a grid-cell midpoint.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile rank must be in [0,1]");
+        let total = self.tree.root_count().unwrap_or(0.0);
+        let mut target = q * total;
+        let mut node = Path::root();
+        for _ in 0..self.grid_bits {
+            let left = node.left();
+            let c_left = self.tree.count_unchecked(&left);
+            if target <= c_left || self.tree.count_unchecked(&node.right()) <= 0.0 {
+                node = left;
+            } else {
+                target -= c_left;
+                node = node.right();
+            }
+        }
+        let width = 1.0 / (1u64 << self.grid_bits) as f64;
+        (node.bits() as f64 + 0.5) * width
+    }
+
+    /// Draws one synthetic point: a uniform rank pushed through the
+    /// quantile function, jittered uniformly within the grid cell.
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        let q = rng.gen_range(0.0..1.0);
+        let width = 1.0 / (1u64 << self.grid_bits) as f64;
+        let mid = self.quantile(q);
+        (mid + rng.gen_range(-0.5..0.5) * width).clamp(0.0, 1.0 - f64::EPSILON)
+    }
+
+    /// Draws `m` synthetic points.
+    pub fn sample_many<R: RngCore>(&self, m: usize, rng: &mut R) -> Vec<f64> {
+        (0..m).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Privacy of the release.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Memory footprint in words — fixed by the grid, independent of `n`.
+    pub fn memory_words(&self) -> usize {
+        self.tree.memory_words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privhp_dp::rng::rng_from_seed;
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect()
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let data = ramp(8_192);
+        let mut rng = rng_from_seed(1);
+        let q = BoundedQuantiles::build(4.0, 8, &data, &mut rng);
+        for rank in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let est = q.quantile(rank);
+            assert!(
+                (est - rank).abs() < 0.05,
+                "rank {rank}: estimate {est} too far"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_monotone() {
+        let data = ramp(4_096);
+        let mut rng = rng_from_seed(2);
+        let q = BoundedQuantiles::build(2.0, 8, &data, &mut rng);
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let est = q.quantile(i as f64 / 20.0);
+            assert!(est >= prev - 1e-9, "quantile function must be monotone");
+            prev = est;
+        }
+    }
+
+    #[test]
+    fn synthetic_data_tracks_distribution() {
+        // Bimodal data; the inverse-quantile generator must reproduce the
+        // valley.
+        let mut data = vec![0.2; 3_000];
+        data.extend(vec![0.8; 1_000]);
+        let mut rng = rng_from_seed(3);
+        let q = BoundedQuantiles::build(4.0, 9, &data, &mut rng);
+        let s = q.sample_many(8_000, &mut rng);
+        let low = s.iter().filter(|&&x| x < 0.5).count() as f64 / 8_000.0;
+        assert!((low - 0.75).abs() < 0.06, "low-mode mass {low}");
+    }
+
+    #[test]
+    fn memory_independent_of_n() {
+        let mut rng = rng_from_seed(4);
+        let small = BoundedQuantiles::build(1.0, 8, &ramp(512), &mut rng);
+        let large = BoundedQuantiles::build(1.0, 8, &ramp(1 << 15), &mut rng);
+        assert_eq!(small.memory_words(), large.memory_words());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn out_of_domain_rejected() {
+        let mut rng = rng_from_seed(5);
+        let _ = BoundedQuantiles::build(1.0, 4, &[1.5], &mut rng);
+    }
+}

@@ -1,0 +1,58 @@
+//! The `Smooth` row of Table 1 (Wang et al., JMLR '16) — analytic only.
+//!
+//! `Smooth` releases answers to *smooth queries* (bounded partial
+//! derivatives up to order `K`) with accuracy `O(ε^{-1} n^{-K/(2d+K)})` and
+//! memory `O(dn)`. Its guarantee is not stated in Wasserstein distance and
+//! its mechanism (polynomial approximation over smooth query classes) is
+//! not a synthetic-data generator in the paper's sense, so — as recorded in
+//! DESIGN.md — we reproduce its Table-1 *row* as a bound evaluator rather
+//! than an empirical comparator.
+
+/// The Table-1 accuracy bound for `Smooth`:
+/// `ε^{-1} · n^{-K/(2d+K)}` for smoothness order `K` in dimension `d`.
+///
+/// # Panics
+/// Panics on non-positive `epsilon`, `n`, `d` or `smoothness`.
+pub fn smooth_accuracy_bound(epsilon: f64, n: usize, d: usize, smoothness: usize) -> f64 {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    assert!(n > 0 && d > 0 && smoothness > 0, "n, d, K must be positive");
+    let k = smoothness as f64;
+    let exponent = -k / (2.0 * d as f64 + k);
+    (n as f64).powf(exponent) / epsilon
+}
+
+/// The Table-1 memory row for `Smooth`: `O(dn)` words.
+pub fn smooth_memory_words(n: usize, d: usize) -> usize {
+    d * n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_decreases_with_n() {
+        let a = smooth_accuracy_bound(1.0, 1_000, 2, 2);
+        let b = smooth_accuracy_bound(1.0, 100_000, 2, 2);
+        assert!(b < a);
+    }
+
+    #[test]
+    fn bound_scales_inverse_epsilon() {
+        let a = smooth_accuracy_bound(1.0, 10_000, 2, 2);
+        let b = smooth_accuracy_bound(2.0, 10_000, 2, 2);
+        assert!((a / b - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_smoothness_helps() {
+        let rough = smooth_accuracy_bound(1.0, 10_000, 2, 1);
+        let smooth = smooth_accuracy_bound(1.0, 10_000, 2, 8);
+        assert!(smooth < rough);
+    }
+
+    #[test]
+    fn memory_row() {
+        assert_eq!(smooth_memory_words(1_000, 3), 3_000);
+    }
+}

@@ -1,0 +1,76 @@
+//! Criterion bench for the full build (Algorithm 1 end-to-end) and the
+//! release step (Algorithm 2, the `O(M log n)` claim), for PrivHP and PMM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privhp_baselines::Pmm;
+use privhp_core::{PrivHp, PrivHpBuilder, PrivHpConfig};
+use privhp_domain::UnitInterval;
+use privhp_dp::rng::rng_from_seed;
+use privhp_workloads::{GaussianMixture, Workload};
+
+fn data(n: usize) -> Vec<f64> {
+    let mut rng = rng_from_seed(0xB1);
+    GaussianMixture::three_modes(1).generate(n, &mut rng)
+}
+
+fn bench_full_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_build");
+    group.sample_size(10);
+    for exp in [12usize, 14] {
+        let n = 1usize << exp;
+        let stream = data(n);
+        group.bench_with_input(
+            BenchmarkId::new("privhp", format!("n=2^{exp}")),
+            &stream,
+            |b, stream| {
+                b.iter(|| {
+                    let config = PrivHpConfig::for_domain(1.0, stream.len(), 16).with_seed(7);
+                    let mut rng = rng_from_seed(8);
+                    PrivHp::build(&UnitInterval::new(), config, stream.iter().copied(), &mut rng)
+                        .expect("valid")
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pmm", format!("n=2^{exp}")),
+            &stream,
+            |b, stream| {
+                b.iter(|| {
+                    let mut rng = rng_from_seed(8);
+                    Pmm::build(&UnitInterval::new(), 1.0, stream, &mut rng)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_release(c: &mut Criterion) {
+    let mut group = c.benchmark_group("release_grow_partition");
+    group.sample_size(10);
+    for k in [8usize, 64] {
+        let n = 1usize << 14;
+        let stream = data(n);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("k={k}")), &k, |b, &k| {
+            b.iter_batched(
+                || {
+                    let config = PrivHpConfig::for_domain(1.0, n, k).with_seed(9);
+                    let mut rng = rng_from_seed(10);
+                    let mut builder =
+                        PrivHpBuilder::new(UnitInterval::new(), config, &mut rng)
+                            .expect("valid");
+                    for x in &stream {
+                        builder.ingest(x);
+                    }
+                    builder
+                },
+                |builder| builder.finalize(),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_build, bench_release);
+criterion_main!(benches);

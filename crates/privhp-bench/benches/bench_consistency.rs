@@ -1,0 +1,75 @@
+//! Criterion bench for the consistency machinery (Algorithm 3): the
+//! per-parent step and the full depth-first pass, plus top-k selection —
+//! the inner loops of the `O(M log n)` release bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privhp_core::consistency::{enforce_consistency, enforce_consistency_subtree};
+use privhp_core::grow::top_k_paths;
+use privhp_core::tree::PartitionTree;
+use privhp_domain::Path;
+
+fn noisy_tree(depth: usize) -> PartitionTree {
+    PartitionTree::complete(depth, |p| {
+        // Deterministic pseudo-noise, some negative.
+        ((p.bits().wrapping_mul(0x9E37_79B9) % 1000) as f64 / 10.0) - 20.0
+    })
+}
+
+fn bench_single_step(c: &mut Criterion) {
+    c.bench_function("consistency_single_parent", |b| {
+        let template = noisy_tree(1);
+        b.iter_batched(
+            || template.clone(),
+            |mut t| {
+                enforce_consistency(&mut t, &Path::root());
+                t
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_subtree_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consistency_subtree");
+    for depth in [8usize, 12] {
+        let template = noisy_tree(depth);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("depth={depth}")),
+            &template,
+            |b, template| {
+                b.iter_batched(
+                    || template.clone(),
+                    |mut t| {
+                        enforce_consistency_subtree(&mut t, &Path::root());
+                        t
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_top_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("top_k_selection");
+    for (candidates, k) in [(64usize, 16usize), (4096, 64)] {
+        let tree = noisy_tree(12);
+        let paths: Vec<Path> = tree.level_nodes(12)[..candidates].to_vec();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{candidates}choose{k}")),
+            &(tree, paths, k),
+            |b, (tree, paths, k)| {
+                b.iter(|| std::hint::black_box(top_k_paths(tree, paths, *k)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_single_step, bench_subtree_pass, bench_top_k
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench for synthetic-data sampling: the root-to-leaf walk plus
+//! the uniform in-cell draw (§5), across tree depths and domains.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use privhp_core::{PrivHp, PrivHpConfig, PrivHpGenerator};
+use privhp_domain::{Hypercube, UnitInterval};
+use privhp_dp::rng::rng_from_seed;
+use privhp_workloads::{GaussianMixture, Workload};
+
+fn generator_1d(n: usize, k: usize) -> PrivHpGenerator<UnitInterval> {
+    let mut rng = rng_from_seed(0x5A);
+    let data: Vec<f64> = GaussianMixture::three_modes(1).generate(n, &mut rng);
+    let config = PrivHpConfig::for_domain(1.0, n, k).with_seed(0x5B);
+    PrivHp::build(&UnitInterval::new(), config, data, &mut rng).expect("valid")
+}
+
+fn bench_sample_1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample_1d");
+    for k in [8usize, 128] {
+        let g = generator_1d(1 << 14, k);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("k={k}")), &g, |b, g| {
+            let mut rng = rng_from_seed(0x5C);
+            b.iter(|| std::hint::black_box(g.sample(&mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sample_2d(c: &mut Criterion) {
+    let mut rng = rng_from_seed(0x5D);
+    let data: Vec<Vec<f64>> = GaussianMixture::three_modes(2).generate(1 << 13, &mut rng);
+    let config = PrivHpConfig::for_domain(1.0, data.len(), 16).with_seed(0x5E);
+    let g = PrivHp::build(&Hypercube::new(2), config, data, &mut rng).expect("valid");
+    c.bench_function("sample_2d", |b| {
+        let mut rng = rng_from_seed(0x5F);
+        b.iter(|| std::hint::black_box(g.sample(&mut rng)));
+    });
+}
+
+fn bench_sample_batch(c: &mut Criterion) {
+    let g = generator_1d(1 << 14, 16);
+    let mut group = c.benchmark_group("sample_batch");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("10k_points", |b| {
+        let mut rng = rng_from_seed(0x60);
+        b.iter(|| std::hint::black_box(g.sample_many(10_000, &mut rng)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sample_1d, bench_sample_2d, bench_sample_batch);
+criterion_main!(benches);

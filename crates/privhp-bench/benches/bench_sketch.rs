@@ -1,0 +1,91 @@
+//! Criterion bench for the sketching substrate: Count-Min update/query,
+//! private-sketch construction (noise pre-load), and Misra-Gries updates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use privhp_dp::rng::rng_from_seed;
+use privhp_sketch::{CountMinSketch, MisraGries, PrivateCountMinSketch, SketchParams};
+
+fn bench_cms_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cms_update");
+    for depth in [4usize, 16] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("j={depth}")),
+            &depth,
+            |b, &depth| {
+                let mut s = CountMinSketch::new(SketchParams::new(depth, 64), 1);
+                let mut key = 0u64;
+                b.iter(|| {
+                    key = key.wrapping_add(0x9E37_79B9);
+                    s.update(std::hint::black_box(key), 1.0);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cms_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cms_query");
+    for depth in [4usize, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("j={depth}")),
+            &depth,
+            |b, &depth| {
+                let mut s = CountMinSketch::new(SketchParams::new(depth, 64), 2);
+                for i in 0..10_000u64 {
+                    s.update(i, 1.0);
+                }
+                let mut key = 0u64;
+                b.iter(|| {
+                    key = key.wrapping_add(31);
+                    std::hint::black_box(s.query(key % 10_000))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_private_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("private_sketch_init");
+    group.sample_size(20);
+    for (depth, width) in [(8usize, 32usize), (16, 64)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{depth}x{width}")),
+            &(depth, width),
+            |b, &(depth, width)| {
+                b.iter(|| {
+                    let mut rng = rng_from_seed(3);
+                    PrivateCountMinSketch::new(
+                        SketchParams::new(depth, width),
+                        1.0,
+                        4,
+                        &mut rng,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_misra_gries(c: &mut Criterion) {
+    c.bench_function("misra_gries_update", |b| {
+        let mut mg = MisraGries::new(64);
+        let mut key = 0u64;
+        b.iter(|| {
+            key = key.wrapping_add(0x9E37_79B9);
+            mg.update(std::hint::black_box(key % 1_000));
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cms_update,
+    bench_cms_query,
+    bench_private_construction,
+    bench_misra_gries
+);
+criterion_main!(benches);

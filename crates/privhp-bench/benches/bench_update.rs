@@ -1,0 +1,74 @@
+//! Criterion micro-bench for the Corollary-1 update-time claim:
+//! `O(log(εn)·log n)` per stream item (one counter or sketch touch per
+//! level, `O(log n)` sketch rows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use privhp_core::{PrivHpBuilder, PrivHpConfig};
+use privhp_domain::{Hypercube, UnitInterval};
+use privhp_dp::rng::rng_from_seed;
+
+fn bench_ingest_1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest_1d");
+    for exp in [12usize, 16, 20] {
+        let n = 1usize << exp;
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n=2^{exp}")), &n, |b, &n| {
+            let config = PrivHpConfig::for_domain(1.0, n, 16).with_seed(1);
+            let mut rng = rng_from_seed(2);
+            let mut builder =
+                PrivHpBuilder::new(UnitInterval::new(), config, &mut rng).expect("valid");
+            let mut x = 0.123f64;
+            b.iter(|| {
+                x = (x * 1.618_033_988) % 1.0;
+                builder.ingest(std::hint::black_box(&x));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ingest_dims(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest_by_dim");
+    let n = 1usize << 16;
+    for dim in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("d={dim}")), &dim, |b, &dim| {
+            let config = PrivHpConfig::for_domain(1.0, n, 16).with_seed(1);
+            let mut rng = rng_from_seed(3);
+            let mut builder =
+                PrivHpBuilder::new(Hypercube::new(dim), config, &mut rng).expect("valid");
+            let mut t = 0.37f64;
+            b.iter(|| {
+                t = (t * 1.618_033_988) % 1.0;
+                let p: Vec<f64> = (0..dim).map(|i| (t + 0.1 * i as f64) % 1.0).collect();
+                builder.ingest(std::hint::black_box(&p));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ingest_by_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest_by_k");
+    let n = 1usize << 16;
+    for k in [4usize, 32, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("k={k}")), &k, |b, &k| {
+            let config = PrivHpConfig::for_domain(1.0, n, k).with_seed(1);
+            let mut rng = rng_from_seed(4);
+            let mut builder =
+                PrivHpBuilder::new(UnitInterval::new(), config, &mut rng).expect("valid");
+            let mut x = 0.71f64;
+            b.iter(|| {
+                x = (x * 1.618_033_988) % 1.0;
+                builder.ingest(std::hint::black_box(&x));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ingest_1d, bench_ingest_dims, bench_ingest_by_k
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench for the utility-measurement substrate: exact 1-D `W1`,
+//! the segment integral, tree-`W1` and sliced-`W1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privhp_domain::Hypercube;
+use privhp_dp::rng::rng_from_seed;
+use privhp_metrics::sliced::sliced_w1;
+use privhp_metrics::tree_wasserstein::tree_w1_between_samples;
+use privhp_metrics::wasserstein1d::{w1_exact_1d, w1_sample_vs_segments, Segment};
+use privhp_workloads::{GaussianMixture, Workload};
+
+fn bench_w1_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("w1_exact_1d");
+    for n in [1_000usize, 10_000] {
+        let mut rng = rng_from_seed(1);
+        let a: Vec<f64> = GaussianMixture::three_modes(1).generate(n, &mut rng);
+        let b_: Vec<f64> = GaussianMixture::three_modes(1).generate(n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(a, b_), |bch, (a, b_)| {
+            bch.iter(|| std::hint::black_box(w1_exact_1d(a, b_)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_w1_segments(c: &mut Criterion) {
+    let mut rng = rng_from_seed(2);
+    let sample: Vec<f64> = GaussianMixture::three_modes(1).generate(8_192, &mut rng);
+    let segments: Vec<Segment> = (0..256)
+        .map(|i| Segment {
+            lo: i as f64 / 256.0,
+            hi: (i + 1) as f64 / 256.0,
+            mass: 1.0 + (i % 7) as f64,
+        })
+        .collect();
+    c.bench_function("w1_sample_vs_segments_8k_256seg", |b| {
+        b.iter(|| std::hint::black_box(w1_sample_vs_segments(&sample, &segments)));
+    });
+}
+
+fn bench_tree_w1(c: &mut Criterion) {
+    let mut rng = rng_from_seed(3);
+    let cube = Hypercube::new(2);
+    let a: Vec<Vec<f64>> = GaussianMixture::three_modes(2).generate(4_096, &mut rng);
+    let b_: Vec<Vec<f64>> = GaussianMixture::three_modes(2).generate(4_096, &mut rng);
+    c.bench_function("tree_w1_2d_4k_depth10", |bch| {
+        bch.iter(|| std::hint::black_box(tree_w1_between_samples(&cube, &a, &b_, 10)));
+    });
+}
+
+fn bench_sliced_w1(c: &mut Criterion) {
+    let mut rng = rng_from_seed(4);
+    let a: Vec<Vec<f64>> = GaussianMixture::three_modes(2).generate(2_048, &mut rng);
+    let b_: Vec<Vec<f64>> = GaussianMixture::three_modes(2).generate(2_048, &mut rng);
+    let mut group = c.benchmark_group("sliced_w1");
+    group.sample_size(10);
+    group.bench_function("2d_2k_32proj", |bch| {
+        let mut r = rng_from_seed(5);
+        bch.iter(|| std::hint::black_box(sliced_w1(&a, &b_, 32, &mut r)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_w1_exact, bench_w1_segments, bench_tree_w1, bench_sliced_w1);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Utility evaluation for built generators.
+//!
+//! In 1-D a partition tree *is* a piecewise-uniform density over its
+//! leaves, so `W1(μ_X, 𝒯)` is computed exactly (no sampling). For `d ≥ 2`
+//! we use the hierarchical tree-`W1` between the data and a large synthetic
+//! sample — the metric the paper's own proofs bound.
+
+use privhp_core::tree::PartitionTree;
+use privhp_domain::{Hypercube, UnitInterval};
+use privhp_metrics::tree_wasserstein::tree_w1_between_samples;
+use privhp_metrics::wasserstein1d::{w1_sample_vs_segments, Segment};
+use rand::RngCore;
+
+/// Converts a consistent partition tree over `[0,1]` into piecewise-uniform
+/// segments (one per leaf, mass = leaf count; zero-mass leaves dropped).
+pub fn tree_to_segments(tree: &PartitionTree, domain: &UnitInterval) -> Vec<Segment> {
+    let root = tree.root_count().unwrap_or(0.0);
+    let mut segments = Vec::new();
+    for leaf in tree.leaves() {
+        let mass = tree.count_unchecked(&leaf).max(0.0);
+        if mass > 0.0 {
+            let (lo, hi) = domain.cell_bounds(&leaf);
+            segments.push(Segment { lo, hi, mass });
+        }
+    }
+    if segments.is_empty() {
+        // Degenerate (all-zero) release: the sampler falls back to uniform
+        // over leaf cells; represent that as the uniform density.
+        segments.push(Segment { lo: 0.0, hi: 1.0, mass: 1.0 });
+    }
+    let _ = root;
+    segments
+}
+
+/// Exact `W1` between a 1-D dataset and the distribution encoded by a
+/// consistent partition tree.
+pub fn w1_generator_1d(data: &[f64], tree: &PartitionTree, domain: &UnitInterval) -> f64 {
+    w1_sample_vs_segments(data, &tree_to_segments(tree, domain))
+}
+
+/// Exact `W1` between a 1-D dataset and the uniform density on `[0,1]`.
+pub fn w1_uniform_1d(data: &[f64]) -> f64 {
+    w1_sample_vs_segments(data, &[Segment { lo: 0.0, hi: 1.0, mass: 1.0 }])
+}
+
+/// Tree-`W1` between a `d`-dimensional dataset and `synthetic_n` samples
+/// drawn from a generator closure, evaluated to `depth` levels.
+pub fn tree_w1_generator_nd<R, F>(
+    cube: &Hypercube,
+    data: &[Vec<f64>],
+    mut draw: F,
+    synthetic_n: usize,
+    depth: usize,
+    rng: &mut R,
+) -> f64
+where
+    R: RngCore,
+    F: FnMut(&mut R) -> Vec<f64>,
+{
+    let synthetic: Vec<Vec<f64>> = (0..synthetic_n).map(|_| draw(rng)).collect();
+    tree_w1_between_samples(cube, data, &synthetic, depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privhp_domain::Path;
+
+    fn leaf_tree() -> PartitionTree {
+        let mut t = PartitionTree::new();
+        let r = Path::root();
+        t.insert(r, 10.0);
+        t.insert(r.left(), 8.0);
+        t.insert(r.right(), 2.0);
+        t
+    }
+
+    #[test]
+    fn segments_cover_leaves() {
+        let t = leaf_tree();
+        let segs = tree_to_segments(&t, &UnitInterval::new());
+        assert_eq!(segs.len(), 2);
+        assert!((segs[0].mass + segs[1].mass - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn w1_zero_when_data_matches_tree() {
+        // Tree: 80% on [0,0.5), 20% on [0.5,1). Data drawn as the exact
+        // quantiles of that density.
+        let t = leaf_tree();
+        let mut data = Vec::new();
+        for i in 0..800 {
+            data.push(0.5 * (i as f64 + 0.5) / 800.0);
+        }
+        for i in 0..200 {
+            data.push(0.5 + 0.5 * (i as f64 + 0.5) / 200.0);
+        }
+        let d = w1_generator_1d(&data, &t, &UnitInterval::new());
+        assert!(d < 2e-3, "matching data should score ~0, got {d}");
+    }
+
+    #[test]
+    fn w1_detects_mismatch() {
+        let t = leaf_tree();
+        let data = vec![0.9; 100]; // all mass on the light side
+        let d = w1_generator_1d(&data, &t, &UnitInterval::new());
+        assert!(d > 0.3, "gross mismatch must score high, got {d}");
+    }
+
+    #[test]
+    fn empty_tree_degenerates_to_uniform() {
+        let mut t = PartitionTree::new();
+        t.insert(Path::root(), 0.0);
+        let segs = tree_to_segments(&t, &UnitInterval::new());
+        assert_eq!(segs.len(), 1);
+        assert_eq!((segs[0].lo, segs[0].hi), (0.0, 1.0));
+    }
+
+    #[test]
+    fn uniform_reference_value() {
+        // W1(point mass at 0.5, uniform) = 1/4.
+        let d = w1_uniform_1d(&[0.5]);
+        assert!((d - 0.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Experiment harness shared by every `exp_*` binary and criterion bench.
+//!
+//! The harness regenerates the paper's tables and figures (the per-
+//! experiment index lives in DESIGN.md §4; measured-vs-paper records go to
+//! EXPERIMENTS.md). Design principles:
+//!
+//! * **No estimator noise where avoidable** — in 1-D the distance between
+//!   the data and a tree generator is computed *exactly* against the
+//!   piecewise-uniform leaf density ([`eval::w1_generator_1d`]); Monte-Carlo
+//!   sampling is only used where unavoidable (`d ≥ 2`, via tree-`W1`);
+//! * **Deterministic** — every trial derives its RNG from
+//!   `(experiment seed, trial index)`;
+//! * **Parallel** — trials fan out over threads with `crossbeam::scope`
+//!   ([`runner::run_trials`]), since `E[W1]` needs dozens of independent
+//!   runs per configuration;
+//! * **Recorded** — [`report`] prints aligned tables and appends JSON rows
+//!   under `bench_results/`.
+
+pub mod eval;
+pub mod methods;
+pub mod report;
+pub mod runner;
+
+/// Default number of independent trials used when estimating `E[W1]`.
+pub const DEFAULT_TRIALS: usize = 24;
+
+/// Trial count, overridable with `PRIVHP_TRIALS` (floor 2) so constrained
+/// machines can regenerate the tables at reduced statistical resolution.
+pub fn trials_from_env() -> usize {
+    std::env::var("PRIVHP_TRIALS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|t| t.max(2))
+        .unwrap_or(DEFAULT_TRIALS)
+}

@@ -1,0 +1,270 @@
+//! Uniform construction interface over PrivHP and every baseline, so the
+//! experiment binaries can sweep "method × workload × parameters" without
+//! per-method plumbing.
+
+use privhp_baselines::{BoundedQuantiles, NonPrivateHistogram, Pmm, PrivTree, Srrw, UniformBaseline};
+use privhp_core::{PrivHp, PrivHpConfig};
+use privhp_domain::{Hypercube, UnitInterval};
+use privhp_dp::rng::DeterministicRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// The methods compared in the Table-1 experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Method {
+    /// The paper's contribution, with the given pruning parameter `k`.
+    PrivHp {
+        /// Pruning parameter.
+        k: usize,
+    },
+    /// He et al.'s PMM (full hierarchy, optimal split).
+    Pmm,
+    /// SRRW-style dyadic baseline (full hierarchy, uniform split).
+    Srrw,
+    /// Data-independent uniform sampling.
+    Uniform,
+    /// Non-private exact histogram (ε = ∞ skyline).
+    NonPrivate,
+    /// PrivTree (Zhang et al.): static adaptive decomposition, needs full
+    /// data access (1-D runs only).
+    PrivTree,
+    /// Bounded-space private quantiles (Alabi et al.; 1-D, fixed grid).
+    Quantiles,
+}
+
+impl Method {
+    /// Short display name for tables.
+    pub fn name(&self) -> String {
+        match self {
+            Method::PrivHp { k } => format!("PrivHP(k={k})"),
+            Method::Pmm => "PMM".into(),
+            Method::Srrw => "SRRW".into(),
+            Method::Uniform => "Uniform".into(),
+            Method::NonPrivate => "NonPrivate".into(),
+            Method::PrivTree => "PrivTree".into(),
+            Method::Quantiles => "Quantiles".into(),
+        }
+    }
+}
+
+/// Result of building + evaluating a method on one trial.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// Measured `W1` distance to the empirical input distribution.
+    pub w1: f64,
+    /// Memory retained by the summary, in 8-byte words.
+    pub memory_words: usize,
+    /// Wall-clock build time in seconds (stream pass + release).
+    pub build_seconds: f64,
+}
+
+/// Builds `method` over 1-D `data` and returns its exact `W1` and memory.
+pub fn run_method_1d(method: Method, epsilon: f64, data: &[f64], seed: u64) -> TrialOutcome {
+    let domain = UnitInterval::new();
+    let mut rng = DeterministicRng::seed_from_u64(seed);
+    let start = std::time::Instant::now();
+    let (w1, memory_words) = match method {
+        Method::PrivHp { k } => {
+            let config = PrivHpConfig::for_domain(epsilon, data.len(), k).with_seed(seed ^ 0xA5);
+            let g = PrivHp::build(&domain, config, data.iter().copied(), &mut rng)
+                .expect("valid config");
+            (crate::eval::w1_generator_1d(data, g.tree(), &domain), g.memory_words())
+        }
+        Method::Pmm => {
+            let g = Pmm::build(&domain, epsilon, data, &mut rng);
+            (crate::eval::w1_generator_1d(data, g.tree(), &domain), g.memory_words())
+        }
+        Method::Srrw => {
+            let g = Srrw::build(&domain, epsilon, data, &mut rng);
+            (crate::eval::w1_generator_1d(data, g.tree(), &domain), g.memory_words())
+        }
+        Method::Uniform => {
+            let g = UniformBaseline::new(&domain);
+            (crate::eval::w1_uniform_1d(data), g.memory_words())
+        }
+        Method::NonPrivate => {
+            let depth = ((data.len().max(2) as f64).log2().ceil() as usize).clamp(1, 18);
+            let g = NonPrivateHistogram::build(&domain, depth, data);
+            (crate::eval::w1_generator_1d(data, g.tree(), &domain), g.memory_words())
+        }
+        Method::PrivTree => {
+            let depth = (((epsilon * data.len().max(2) as f64).max(2.0).log2().ceil())
+                as usize)
+                .clamp(1, 18);
+            let g = PrivTree::build(&domain, epsilon, depth, data, &mut rng);
+            (crate::eval::w1_generator_1d(data, g.tree(), &domain), g.memory_words())
+        }
+        Method::Quantiles => {
+            let grid_bits = ((data.len().max(2) as f64).log2().ceil() as usize).clamp(2, 12);
+            let g = BoundedQuantiles::build(epsilon, grid_bits, data, &mut rng);
+            let mut sample_rng = DeterministicRng::seed_from_u64(seed ^ 0x51);
+            let synthetic = g.sample_many(4 * data.len(), &mut sample_rng);
+            (
+                privhp_metrics::wasserstein1d::w1_exact_1d(data, &synthetic),
+                g.memory_words(),
+            )
+        }
+    };
+    TrialOutcome { w1, memory_words, build_seconds: start.elapsed().as_secs_f64() }
+}
+
+/// Builds `method` over `d`-dimensional data and returns tree-`W1`
+/// (evaluated at `eval_depth` levels with `4×` synthetic oversampling) and
+/// memory.
+pub fn run_method_nd(
+    method: Method,
+    epsilon: f64,
+    data: &[Vec<f64>],
+    dim: usize,
+    eval_depth: usize,
+    seed: u64,
+) -> TrialOutcome {
+    let cube = Hypercube::new(dim);
+    let mut rng = DeterministicRng::seed_from_u64(seed);
+    let synthetic_n = (4 * data.len()).clamp(1_000, 40_000);
+    let start = std::time::Instant::now();
+    let (w1, memory_words) = match method {
+        Method::PrivHp { k } => {
+            let config = PrivHpConfig::for_domain(epsilon, data.len(), k).with_seed(seed ^ 0xA5);
+            let g = PrivHp::build(&cube, config, data.iter().cloned(), &mut rng)
+                .expect("valid config");
+            let w1 = crate::eval::tree_w1_generator_nd(
+                &cube,
+                data,
+                |r| g.sample(r),
+                synthetic_n,
+                eval_depth,
+                &mut rng,
+            );
+            (w1, g.memory_words())
+        }
+        Method::Pmm => {
+            let g = Pmm::build(&cube, epsilon, data, &mut rng);
+            let w1 = crate::eval::tree_w1_generator_nd(
+                &cube,
+                data,
+                |r| g.sample(r),
+                synthetic_n,
+                eval_depth,
+                &mut rng,
+            );
+            (w1, g.memory_words())
+        }
+        Method::Srrw => {
+            let g = Srrw::build(&cube, epsilon, data, &mut rng);
+            let w1 = crate::eval::tree_w1_generator_nd(
+                &cube,
+                data,
+                |r| g.sample(r),
+                synthetic_n,
+                eval_depth,
+                &mut rng,
+            );
+            (w1, g.memory_words())
+        }
+        Method::Uniform => {
+            let g = UniformBaseline::new(&cube);
+            let w1 = crate::eval::tree_w1_generator_nd(
+                &cube,
+                data,
+                |r| g.sample(r),
+                synthetic_n,
+                eval_depth,
+                &mut rng,
+            );
+            (w1, g.memory_words())
+        }
+        Method::NonPrivate => {
+            let depth = ((data.len().max(2) as f64).log2().ceil() as usize).clamp(1, 16);
+            let g = NonPrivateHistogram::build(&cube, depth, data);
+            let w1 = crate::eval::tree_w1_generator_nd(
+                &cube,
+                data,
+                |r| g.sample(r),
+                synthetic_n,
+                eval_depth,
+                &mut rng,
+            );
+            (w1, g.memory_words())
+        }
+        Method::PrivTree => {
+            let depth = (((epsilon * data.len().max(2) as f64).max(2.0).log2().ceil())
+                as usize)
+                .clamp(1, 16);
+            let g = PrivTree::build(&cube, epsilon, depth, data, &mut rng);
+            let w1 = crate::eval::tree_w1_generator_nd(
+                &cube,
+                data,
+                |r| g.sample(r),
+                synthetic_n,
+                eval_depth,
+                &mut rng,
+            );
+            (w1, g.memory_words())
+        }
+        Method::Quantiles => {
+            panic!("the bounded-quantile baseline is 1-D only (finite ordered domains)")
+        }
+    };
+    TrialOutcome { w1, memory_words, build_seconds: start.elapsed().as_secs_f64() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privhp_workloads::{GaussianMixture, Workload};
+
+    fn data_1d(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = DeterministicRng::seed_from_u64(seed);
+        GaussianMixture::three_modes(1).generate(n, &mut rng)
+    }
+
+    #[test]
+    fn all_methods_run_1d() {
+        let data = data_1d(1_000, 1);
+        for m in [
+            Method::PrivHp { k: 8 },
+            Method::Pmm,
+            Method::Srrw,
+            Method::Uniform,
+            Method::NonPrivate,
+            Method::PrivTree,
+            Method::Quantiles,
+        ] {
+            let out = run_method_1d(m, 1.0, &data, 42);
+            assert!(out.w1.is_finite() && out.w1 >= 0.0, "{}: W1 {}", m.name(), out.w1);
+            assert!(out.memory_words >= 1);
+        }
+    }
+
+    #[test]
+    fn nonprivate_beats_uniform_on_skewed_data() {
+        let data = data_1d(2_000, 2);
+        let np = run_method_1d(Method::NonPrivate, 1.0, &data, 3);
+        let un = run_method_1d(Method::Uniform, 1.0, &data, 3);
+        assert!(np.w1 < un.w1, "skyline {} must beat uniform {}", np.w1, un.w1);
+    }
+
+    #[test]
+    fn privhp_uses_less_memory_than_pmm() {
+        let data = data_1d(1 << 13, 4);
+        let hp = run_method_1d(Method::PrivHp { k: 8 }, 1.0, &data, 5);
+        let pmm = run_method_1d(Method::Pmm, 1.0, &data, 5);
+        assert!(
+            hp.memory_words * 2 < pmm.memory_words,
+            "PrivHP {} words vs PMM {} words",
+            hp.memory_words,
+            pmm.memory_words
+        );
+    }
+
+    #[test]
+    fn methods_run_2d() {
+        let mut rng = DeterministicRng::seed_from_u64(6);
+        let data: Vec<Vec<f64>> = GaussianMixture::three_modes(2).generate(800, &mut rng);
+        for m in [Method::PrivHp { k: 8 }, Method::Pmm, Method::Uniform] {
+            let out = run_method_nd(m, 1.0, &data, 2, 8, 77);
+            assert!(out.w1.is_finite() && out.w1 >= 0.0);
+        }
+    }
+}

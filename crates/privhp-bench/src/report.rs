@@ -1,0 +1,131 @@
+//! Table printing and JSON result recording.
+//!
+//! Every experiment binary prints an aligned text table (the "row/series
+//! the paper reports") and appends machine-readable JSON to
+//! `bench_results/<experiment>.json` so EXPERIMENTS.md can quote exact
+//! numbers.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A simple fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::from("| ");
+            for (c, w) in cells.iter().zip(widths) {
+                s.push_str(&format!("{c:<w$} | ", w = w));
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push_str(&format!(
+            "|{}\n",
+            widths.iter().map(|w| "-".repeat(w + 2) + "|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Directory where JSON results are written (`bench_results/` at the
+/// workspace root, or the current directory as a fallback).
+pub fn results_dir() -> PathBuf {
+    // The binaries run from the workspace root via `cargo run`; fall back
+    // gracefully if the layout differs.
+    let candidates = [PathBuf::from("bench_results"), PathBuf::from("../bench_results")];
+    for c in &candidates {
+        if c.is_dir() {
+            return c.clone();
+        }
+    }
+    std::fs::create_dir_all("bench_results").ok();
+    PathBuf::from("bench_results")
+}
+
+/// Serialises `rows` as pretty JSON to `bench_results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, rows: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            let json = serde_json::to_string_pretty(rows).expect("serialisable rows");
+            if let Err(e) = f.write_all(json.as_bytes()) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("(results written to {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not create {}: {e}", path.display()),
+    }
+}
+
+/// Formats a float with 5 significant decimals for table cells.
+pub fn fmt(x: f64) -> String {
+    format!("{x:.5}")
+}
+
+/// Formats a `mean ± se` cell.
+pub fn fmt_pm(mean: f64, se: f64) -> String {
+    format!("{mean:.5}±{se:.5}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["method", "w1"]);
+        t.row(vec!["PrivHP".into(), "0.01".into()]);
+        t.row(vec!["PMM".into(), "0.009".into()]);
+        let r = t.render();
+        assert!(r.contains("| method |"));
+        assert!(r.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt(0.123456789), "0.12346");
+        assert!(fmt_pm(1.0, 0.1).contains('±'));
+    }
+}

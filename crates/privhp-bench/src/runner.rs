@@ -1,0 +1,80 @@
+//! Parallel trial execution.
+//!
+//! `E[W1]` is an expectation over algorithm randomness, so every
+//! configuration is measured over many independent trials. Trials are
+//! embarrassingly parallel; we fan them out over a fixed thread pool with
+//! `crossbeam::scope` (no work stealing needed — trials within one sweep
+//! have near-identical cost).
+
+use parking_lot::Mutex;
+
+/// Runs `trials` independent evaluations of `f` (given the trial index) in
+/// parallel and returns the results in trial order.
+///
+/// `f` must be deterministic in the trial index for reproducibility.
+pub fn run_trials<T, F>(trials: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(trials > 0, "need at least one trial");
+    let threads = threads.clamp(1, trials);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..trials).map(|_| None).collect());
+    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= trials {
+                    break;
+                }
+                let out = f(i);
+                results.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("trial thread panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every trial filled"))
+        .collect()
+}
+
+/// Default parallelism: available cores capped at 8 (experiment binaries
+/// run many sweeps; beyond 8 threads the memory traffic dominates).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_trial_order() {
+        let out = run_trials(16, 4, |i| i * i);
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let out = run_trials(3, 1, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn more_threads_than_trials() {
+        let out = run_trials(2, 16, |i| i);
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_trials(8, 4, |i| i as f64 * 0.5);
+        let b = run_trials(8, 2, |i| i as f64 * 0.5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,290 @@
+//! Hand-rolled argument parsing (no external CLI dependency).
+//!
+//! Flags are `--name value` pairs; unknown flags and missing values are
+//! reported with the offending token. Each subcommand validates its own
+//! required set so error messages stay actionable.
+
+use std::collections::HashMap;
+
+use crate::release::DomainSpec;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `privhp build` — run Algorithm 1 over a CSV stream.
+    Build {
+        /// Input CSV path (`-` for stdin).
+        input: String,
+        /// Output release-file path.
+        output: String,
+        /// Privacy budget ε.
+        epsilon: f64,
+        /// Pruning parameter k.
+        k: usize,
+        /// Input domain.
+        domain: DomainSpec,
+        /// Master seed for the build's randomness.
+        seed: u64,
+    },
+    /// `privhp sample` — draw synthetic points from a release.
+    Sample {
+        /// Release-file path.
+        release: String,
+        /// Number of points to draw.
+        count: usize,
+        /// Sampling seed.
+        seed: u64,
+    },
+    /// `privhp query` — answer one closed-form query from a release.
+    Query {
+        /// Release-file path.
+        release: String,
+        /// The query to evaluate.
+        query: QueryKind,
+    },
+    /// `privhp info` — print release metadata.
+    Info {
+        /// Release-file path.
+        release: String,
+    },
+    /// `privhp help` / `--help`.
+    Help,
+}
+
+/// Queries supported by `privhp query` (1-D releases).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryKind {
+    /// `P[a <= X < b]`.
+    Range(f64, f64),
+    /// CDF at a point.
+    Cdf(f64),
+    /// Quantile at a rank.
+    Quantile(f64),
+    /// Mean of the release distribution.
+    Mean,
+}
+
+/// Parse failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+/// Splits `--flag value` pairs into a map; rejects dangling flags.
+fn flag_map(tokens: &[String]) -> Result<HashMap<String, String>, ParseError> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        let name = t
+            .strip_prefix("--")
+            .ok_or_else(|| err(format!("expected a --flag, got '{t}'")))?;
+        let value = tokens
+            .get(i + 1)
+            .ok_or_else(|| err(format!("flag --{name} is missing its value")))?;
+        if map.insert(name.to_string(), value.clone()).is_some() {
+            return Err(err(format!("flag --{name} given twice")));
+        }
+        i += 2;
+    }
+    Ok(map)
+}
+
+fn take<'a>(map: &'a HashMap<String, String>, name: &str) -> Result<&'a str, ParseError> {
+    map.get(name)
+        .map(|s| s.as_str())
+        .ok_or_else(|| err(format!("missing required flag --{name}")))
+}
+
+fn take_or<'a>(map: &'a HashMap<String, String>, name: &str, default: &'a str) -> &'a str {
+    map.get(name).map(|s| s.as_str()).unwrap_or(default)
+}
+
+fn parse_f64(name: &str, s: &str) -> Result<f64, ParseError> {
+    s.parse().map_err(|_| err(format!("--{name}: '{s}' is not a number")))
+}
+
+fn parse_usize(name: &str, s: &str) -> Result<usize, ParseError> {
+    s.parse().map_err(|_| err(format!("--{name}: '{s}' is not a non-negative integer")))
+}
+
+fn parse_u64(name: &str, s: &str) -> Result<u64, ParseError> {
+    s.parse().map_err(|_| err(format!("--{name}: '{s}' is not a non-negative integer")))
+}
+
+/// Parses a full argument vector (excluding the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
+    let Some(sub) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "build" => {
+            let map = flag_map(&args[1..])?;
+            let domain = DomainSpec::parse(take_or(&map, "domain", "interval")).map_err(err)?;
+            Ok(Command::Build {
+                input: take(&map, "input")?.to_string(),
+                output: take(&map, "output")?.to_string(),
+                epsilon: parse_f64("epsilon", take(&map, "epsilon")?)?,
+                k: parse_usize("k", take(&map, "k")?)?,
+                domain,
+                seed: parse_u64("seed", take_or(&map, "seed", "42"))?,
+            })
+        }
+        "sample" => {
+            let map = flag_map(&args[1..])?;
+            Ok(Command::Sample {
+                release: take(&map, "release")?.to_string(),
+                count: parse_usize("count", take(&map, "count")?)?,
+                seed: parse_u64("seed", take_or(&map, "seed", "42"))?,
+            })
+        }
+        "query" => {
+            let map = flag_map(&args[1..])?;
+            let release = take(&map, "release")?.to_string();
+            let query = if let Some(r) = map.get("range") {
+                let (a, b) = r
+                    .split_once(',')
+                    .ok_or_else(|| err("--range expects 'a,b'"))?;
+                QueryKind::Range(parse_f64("range", a)?, parse_f64("range", b)?)
+            } else if let Some(x) = map.get("cdf") {
+                QueryKind::Cdf(parse_f64("cdf", x)?)
+            } else if let Some(q) = map.get("quantile") {
+                QueryKind::Quantile(parse_f64("quantile", q)?)
+            } else if map.contains_key("mean") {
+                QueryKind::Mean
+            } else {
+                return Err(err(
+                    "query needs one of --range a,b | --cdf x | --quantile q | --mean true",
+                ));
+            };
+            Ok(Command::Query { release, query })
+        }
+        "info" => {
+            let map = flag_map(&args[1..])?;
+            Ok(Command::Info { release: take(&map, "release")?.to_string() })
+        }
+        other => Err(err(format!(
+            "unknown subcommand '{other}' (expected build | sample | query | info | help)"
+        ))),
+    }
+}
+
+/// The help text printed by `privhp help`.
+pub const HELP: &str = "\
+privhp — private synthetic data generation in bounded memory (PODS 2025)
+
+USAGE:
+  privhp build  --input data.csv --output release.json --epsilon 1.0 --k 16
+                [--domain interval|cube:D|ipv4] [--seed S]
+  privhp sample --release release.json --count N [--seed S]
+  privhp query  --release release.json (--range a,b | --cdf x | --quantile q | --mean true)
+  privhp info   --release release.json
+
+Input CSV: one point per line. interval: a single value in [0,1];
+cube:D: D comma-separated values in [0,1]; ipv4: dotted-quad addresses.
+The release file is eps-differentially private; querying and sampling it
+costs no further privacy budget.";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_build() {
+        let cmd = parse_args(&v(&[
+            "build", "--input", "d.csv", "--output", "r.json", "--epsilon", "0.5", "--k", "8",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Build { input, output, epsilon, k, domain, seed } => {
+                assert_eq!(input, "d.csv");
+                assert_eq!(output, "r.json");
+                assert_eq!(epsilon, 0.5);
+                assert_eq!(k, 8);
+                assert_eq!(domain, DomainSpec::Interval);
+                assert_eq!(seed, 42);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_domains() {
+        for (s, expect) in [
+            ("interval", DomainSpec::Interval),
+            ("cube:3", DomainSpec::Cube { dim: 3 }),
+            ("ipv4", DomainSpec::Ipv4),
+        ] {
+            let cmd = parse_args(&v(&[
+                "build", "--input", "d", "--output", "o", "--epsilon", "1", "--k", "4",
+                "--domain", s,
+            ]))
+            .unwrap();
+            let Command::Build { domain, .. } = cmd else { panic!() };
+            assert_eq!(domain, expect, "spec '{s}'");
+        }
+    }
+
+    #[test]
+    fn parses_queries() {
+        let q = |extra: &[&str]| {
+            let mut base = v(&["query", "--release", "r.json"]);
+            base.extend(extra.iter().map(|s| s.to_string()));
+            parse_args(&base).unwrap()
+        };
+        assert!(matches!(
+            q(&["--range", "0.1,0.4"]),
+            Command::Query { query: QueryKind::Range(a, b), .. } if a == 0.1 && b == 0.4
+        ));
+        assert!(matches!(q(&["--cdf", "0.3"]), Command::Query { query: QueryKind::Cdf(_), .. }));
+        assert!(matches!(
+            q(&["--quantile", "0.5"]),
+            Command::Query { query: QueryKind::Quantile(_), .. }
+        ));
+        assert!(matches!(q(&["--mean", "true"]), Command::Query { query: QueryKind::Mean, .. }));
+    }
+
+    #[test]
+    fn missing_flags_reported() {
+        let e = parse_args(&v(&["build", "--input", "d.csv"])).unwrap_err();
+        assert!(e.0.contains("--output"), "message was: {}", e.0);
+    }
+
+    #[test]
+    fn dangling_flag_rejected() {
+        let e = parse_args(&v(&["sample", "--release"])).unwrap_err();
+        assert!(e.0.contains("missing its value"));
+    }
+
+    #[test]
+    fn duplicate_flag_rejected() {
+        let e = parse_args(&v(&["info", "--release", "a", "--release", "b"])).unwrap_err();
+        assert!(e.0.contains("twice"));
+    }
+
+    #[test]
+    fn unknown_subcommand() {
+        let e = parse_args(&v(&["frobnicate"])).unwrap_err();
+        assert!(e.0.contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn empty_args_is_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+    }
+}

@@ -1,0 +1,220 @@
+//! Subcommand implementations. Each returns its stdout payload as a
+//! `String` so the logic is unit-testable without process spawning.
+
+use privhp_core::{PrivHp, PrivHpConfig, TreeQuery};
+use privhp_domain::{Hypercube, Ipv4Space, UnitInterval};
+use privhp_dp::rng::rng_from_seed;
+
+use crate::args::QueryKind;
+use crate::csvio;
+use crate::release::{DomainSpec, ReleaseFile};
+
+/// Runs `privhp build` on in-memory CSV text; returns the release JSON.
+pub fn run_build(
+    csv: &str,
+    epsilon: f64,
+    k: usize,
+    domain: DomainSpec,
+    seed: u64,
+) -> Result<String, String> {
+    let build_err = |e: privhp_core::ConfigError| format!("configuration error: {e}");
+    let release = match domain {
+        DomainSpec::Interval => {
+            let data = csvio::parse_interval(csv)?;
+            let config = PrivHpConfig::for_domain(epsilon, data.len().max(2), k).with_seed(seed);
+            let mut rng = rng_from_seed(seed ^ 0xC11);
+            let g = PrivHp::build(&UnitInterval::new(), config.clone(), data, &mut rng)
+                .map_err(build_err)?;
+            ReleaseFile::new(domain, config, g.tree().clone())
+        }
+        DomainSpec::Cube { dim } => {
+            let data = csvio::parse_cube(csv, dim)?;
+            let config = PrivHpConfig::for_domain(epsilon, data.len().max(2), k).with_seed(seed);
+            let mut rng = rng_from_seed(seed ^ 0xC11);
+            let g = PrivHp::build(&Hypercube::new(dim), config.clone(), data, &mut rng)
+                .map_err(build_err)?;
+            ReleaseFile::new(domain, config, g.tree().clone())
+        }
+        DomainSpec::Ipv4 => {
+            let data = csvio::parse_ipv4(csv)?;
+            let space = Ipv4Space::new();
+            let base = PrivHpConfig::for_domain(epsilon, data.len().max(2), k).with_seed(seed);
+            use privhp_domain::HierarchicalDomain;
+            let depth = base.depth.min(space.max_level()).max(2);
+            let l_star = base.l_star.min(depth - 1);
+            let config = base.with_levels(l_star, depth);
+            let mut rng = rng_from_seed(seed ^ 0xC11);
+            let g = PrivHp::build(&space, config.clone(), data, &mut rng).map_err(build_err)?;
+            ReleaseFile::new(domain, config, g.tree().clone())
+        }
+    };
+    Ok(release.to_json())
+}
+
+/// Runs `privhp sample`; returns CSV text.
+pub fn run_sample(release_json: &str, count: usize, seed: u64) -> Result<String, String> {
+    let release = ReleaseFile::from_json(release_json)?;
+    let mut rng = rng_from_seed(seed ^ 0x5A11);
+    Ok(match release.domain {
+        DomainSpec::Interval => {
+            let domain = UnitInterval::new();
+            let sampler = privhp_core::TreeSampler::new(&release.tree, &domain);
+            csvio::write_interval(&sampler.sample_many(count, &mut rng))
+        }
+        DomainSpec::Cube { dim } => {
+            let domain = Hypercube::new(dim);
+            let sampler = privhp_core::TreeSampler::new(&release.tree, &domain);
+            csvio::write_cube(&sampler.sample_many(count, &mut rng))
+        }
+        DomainSpec::Ipv4 => {
+            let domain = Ipv4Space::new();
+            let sampler = privhp_core::TreeSampler::new(&release.tree, &domain);
+            csvio::write_ipv4(&sampler.sample_many(count, &mut rng))
+        }
+    })
+}
+
+/// Runs `privhp query`; returns the numeric answer as text.
+pub fn run_query(release_json: &str, query: QueryKind) -> Result<String, String> {
+    let release = ReleaseFile::from_json(release_json)?;
+    if release.domain != DomainSpec::Interval {
+        return Err(format!(
+            "closed-form queries require an interval release (this one is {})",
+            release.domain.describe()
+        ));
+    }
+    let domain = UnitInterval::new();
+    let q = TreeQuery::new(&release.tree, &domain);
+    let answer = match query {
+        QueryKind::Range(a, b) => {
+            if !(0.0..=1.0).contains(&a) || !(0.0..=1.0).contains(&b) || a > b {
+                return Err("range must satisfy 0 <= a <= b <= 1".into());
+            }
+            q.range_probability(a, b)
+        }
+        QueryKind::Cdf(x) => q.cdf(x.clamp(0.0, 1.0)),
+        QueryKind::Quantile(rank) => {
+            if !(0.0..=1.0).contains(&rank) {
+                return Err("quantile rank must be in [0,1]".into());
+            }
+            q.quantile(rank)
+        }
+        QueryKind::Mean => q.mean(),
+    };
+    Ok(format!("{answer:.9}\n"))
+}
+
+/// Runs `privhp info`; returns a metadata summary.
+pub fn run_info(release_json: &str) -> Result<String, String> {
+    let release = ReleaseFile::from_json(release_json)?;
+    let tree = &release.tree;
+    let leaves = tree.leaves().len();
+    Ok(format!(
+        "domain:        {}\n\
+         epsilon:       {}\n\
+         pruning k:     {}\n\
+         levels:        L*={} L={}\n\
+         sketch dims:   {} rows x {} buckets per deep level\n\
+         tree nodes:    {} ({} leaves, depth {})\n\
+         memory:        {} words\n\
+         release mass:  {:.3}\n",
+        release.domain.describe(),
+        release.config.epsilon,
+        release.config.k,
+        release.config.l_star,
+        release.config.depth,
+        release.config.sketch.depth,
+        release.config.sketch.width,
+        tree.len(),
+        leaves,
+        tree.depth(),
+        tree.memory_words(),
+        tree.root_count().unwrap_or(0.0),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_csv(n: usize) -> String {
+        let mut s = String::new();
+        for i in 0..n {
+            // Skewed toward small values.
+            let x = ((i as f64 / n as f64).powi(2) * 0.999).min(0.999);
+            s.push_str(&format!("{x}\n"));
+        }
+        s
+    }
+
+    #[test]
+    fn build_sample_query_info_pipeline() {
+        let csv = sample_csv(2_000);
+        let release = run_build(&csv, 1.0, 8, DomainSpec::Interval, 7).unwrap();
+
+        let info = run_info(&release).unwrap();
+        assert!(info.contains("domain:        interval"));
+        assert!(info.contains("pruning k:     8"));
+
+        let samples = run_sample(&release, 500, 9).unwrap();
+        assert_eq!(samples.lines().count(), 500);
+        let parsed = csvio::parse_interval(&samples).unwrap();
+        assert!(parsed.iter().all(|x| (0.0..1.0).contains(x)));
+
+        // Squared-uniform data: ~70% of mass below x=0.5.
+        let ans: f64 = run_query(&release, QueryKind::Cdf(0.5)).unwrap().trim().parse().unwrap();
+        assert!((ans - 0.707).abs() < 0.15, "CDF(0.5) = {ans}");
+
+        let mean: f64 = run_query(&release, QueryKind::Mean).unwrap().trim().parse().unwrap();
+        assert!((mean - 0.333).abs() < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn cube_build_and_sample() {
+        let mut csv = String::new();
+        for i in 0..500 {
+            let t = i as f64 / 500.0;
+            csv.push_str(&format!("{},{}\n", t * 0.999, (1.0 - t) * 0.999));
+        }
+        let release = run_build(&csv, 1.0, 4, DomainSpec::Cube { dim: 2 }, 3).unwrap();
+        let samples = run_sample(&release, 100, 4).unwrap();
+        let parsed = csvio::parse_cube(&samples, 2).unwrap();
+        assert_eq!(parsed.len(), 100);
+    }
+
+    #[test]
+    fn ipv4_build_and_sample() {
+        let mut csv = String::new();
+        for i in 0..400 {
+            csv.push_str(&format!("10.0.{}.{}\n", i % 256, (i * 7) % 256));
+        }
+        let release = run_build(&csv, 1.0, 4, DomainSpec::Ipv4, 5).unwrap();
+        let samples = run_sample(&release, 200, 6).unwrap();
+        let parsed = csvio::parse_ipv4(&samples).unwrap();
+        assert_eq!(parsed.len(), 200);
+        // Most synthetic addresses should stay in 10/8.
+        let in_ten = parsed.iter().filter(|&&a| (a >> 24) == 10).count();
+        assert!(in_ten > 100, "only {in_ten}/200 samples in 10/8");
+    }
+
+    #[test]
+    fn query_rejects_non_interval_release() {
+        let csv = "0.1,0.2\n0.3,0.4\n".repeat(50);
+        let release = run_build(&csv, 1.0, 2, DomainSpec::Cube { dim: 2 }, 1).unwrap();
+        assert!(run_query(&release, QueryKind::Mean).unwrap_err().contains("interval"));
+    }
+
+    #[test]
+    fn build_propagates_csv_errors() {
+        assert!(run_build("nonsense\n", 1.0, 4, DomainSpec::Interval, 1)
+            .unwrap_err()
+            .contains("line 1"));
+    }
+
+    #[test]
+    fn query_validates_ranges() {
+        let release = run_build(&sample_csv(100), 1.0, 2, DomainSpec::Interval, 1).unwrap();
+        assert!(run_query(&release, QueryKind::Range(0.5, 0.2)).is_err());
+        assert!(run_query(&release, QueryKind::Quantile(1.5)).is_err());
+    }
+}

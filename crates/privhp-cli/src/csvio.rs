@@ -1,0 +1,147 @@
+//! Minimal CSV reading/writing for the three supported point formats.
+//!
+//! One point per line; no quoting or escaping is needed because every
+//! field is numeric or a dotted-quad address. Lines that are empty or
+//! start with `#` are skipped; malformed lines abort with the 1-based line
+//! number so data problems are locatable.
+
+use privhp_domain::Ipv4Space;
+
+/// Parses interval points: one `[0,1]` value per line.
+pub fn parse_interval(input: &str) -> Result<Vec<f64>, String> {
+    payload_lines(input)
+        .map(|(no, line)| {
+            let x: f64 = line
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {no}: '{line}' is not a number"))?;
+            if !(0.0..=1.0).contains(&x) {
+                return Err(format!("line {no}: {x} outside [0,1]"));
+            }
+            Ok(x)
+        })
+        .collect()
+}
+
+/// Parses `dim`-dimensional cube points: `dim` comma-separated values.
+pub fn parse_cube(input: &str, dim: usize) -> Result<Vec<Vec<f64>>, String> {
+    payload_lines(input)
+        .map(|(no, line)| {
+            let coords: Result<Vec<f64>, String> = line
+                .split(',')
+                .map(|f| {
+                    f.trim()
+                        .parse::<f64>()
+                        .map_err(|_| format!("line {no}: '{f}' is not a number"))
+                })
+                .collect();
+            let coords = coords?;
+            if coords.len() != dim {
+                return Err(format!(
+                    "line {no}: expected {dim} coordinates, found {}",
+                    coords.len()
+                ));
+            }
+            if coords.iter().any(|x| !(0.0..=1.0).contains(x)) {
+                return Err(format!("line {no}: coordinate outside [0,1]"));
+            }
+            Ok(coords)
+        })
+        .collect()
+}
+
+/// Parses IPv4 addresses in dotted-quad form.
+pub fn parse_ipv4(input: &str) -> Result<Vec<u32>, String> {
+    payload_lines(input)
+        .map(|(no, line)| {
+            Ipv4Space::parse_addr(line.trim())
+                .ok_or_else(|| format!("line {no}: '{line}' is not an IPv4 address"))
+        })
+        .collect()
+}
+
+/// Formats interval samples as CSV.
+pub fn write_interval(points: &[f64]) -> String {
+    let mut out = String::with_capacity(points.len() * 10);
+    for x in points {
+        out.push_str(&format!("{x:.9}\n"));
+    }
+    out
+}
+
+/// Formats cube samples as CSV.
+pub fn write_cube(points: &[Vec<f64>]) -> String {
+    let mut out = String::new();
+    for p in points {
+        let row: Vec<String> = p.iter().map(|x| format!("{x:.9}")).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats IPv4 samples as dotted quads.
+pub fn write_ipv4(points: &[u32]) -> String {
+    let mut out = String::new();
+    for &a in points {
+        out.push_str(&Ipv4Space::format_addr(a));
+        out.push('\n');
+    }
+    out
+}
+
+fn payload_lines(input: &str) -> impl Iterator<Item = (usize, &str)> {
+    input
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l))
+        .filter(|(_, l)| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_roundtrip() {
+        let pts = vec![0.1, 0.5, 0.999];
+        let csv = write_interval(&pts);
+        let back = parse_interval(&csv).unwrap();
+        for (a, b) in pts.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let back = parse_interval("# header\n0.5\n\n  \n0.25\n").unwrap();
+        assert_eq!(back, vec![0.5, 0.25]);
+    }
+
+    #[test]
+    fn interval_errors_carry_line_numbers() {
+        let e = parse_interval("0.5\nbogus\n").unwrap_err();
+        assert!(e.contains("line 2"), "{e}");
+        let e = parse_interval("1.5\n").unwrap_err();
+        assert!(e.contains("outside [0,1]"));
+    }
+
+    #[test]
+    fn cube_roundtrip_and_validation() {
+        let pts = vec![vec![0.1, 0.2], vec![0.9, 0.8]];
+        let csv = write_cube(&pts);
+        let back = parse_cube(&csv, 2).unwrap();
+        assert_eq!(back.len(), 2);
+        assert!(parse_cube("0.1,0.2,0.3\n", 2).unwrap_err().contains("expected 2"));
+        assert!(parse_cube("0.1,2.0\n", 2).unwrap_err().contains("outside"));
+    }
+
+    #[test]
+    fn ipv4_roundtrip() {
+        let pts = vec![0u32, 0xC0A8_0101, u32::MAX];
+        let csv = write_ipv4(&pts);
+        assert!(csv.contains("192.168.1.1"));
+        assert_eq!(parse_ipv4(&csv).unwrap(), pts);
+        assert!(parse_ipv4("999.1.1.1\n").unwrap_err().contains("line 1"));
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Library backing the `privhp` command-line tool.
+//!
+//! The CLI wraps the workspace's public API in four subcommands:
+//!
+//! ```text
+//! privhp build  --input data.csv --epsilon 1.0 --k 16 --domain interval --output release.json
+//! privhp sample --release release.json --count 10000 [--seed 7]
+//! privhp query  --release release.json --range 0.2,0.4 | --cdf 0.3 | --quantile 0.5 | --mean
+//! privhp info   --release release.json
+//! ```
+//!
+//! A *release file* is the serialised ε-DP output of Algorithm 1 — the
+//! consistent partition tree plus the domain and configuration needed to
+//! sample from it. Because the release is already private, the file can be
+//! stored, shipped and queried indefinitely (post-processing, paper
+//! Lemma 2); the raw input never appears in it.
+
+pub mod args;
+pub mod commands;
+pub mod csvio;
+pub mod release;
+
+pub use args::{parse_args, Command, ParseError};
+pub use release::{DomainSpec, ReleaseFile};

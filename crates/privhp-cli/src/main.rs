@@ -1,0 +1,60 @@
+//! The `privhp` command-line tool. All logic lives in the library
+//! ([`privhp_cli::commands`]); this binary only handles I/O plumbing.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use privhp_cli::args::{parse_args, Command, HELP};
+use privhp_cli::commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let command = parse_args(args).map_err(|e| e.to_string())?;
+    match command {
+        Command::Help => Ok(format!("{HELP}\n")),
+        Command::Build { input, output, epsilon, k, domain, seed } => {
+            let csv = read_input(&input)?;
+            let json = commands::run_build(&csv, epsilon, k, domain, seed)?;
+            std::fs::write(&output, &json)
+                .map_err(|e| format!("cannot write {output}: {e}"))?;
+            Ok(format!("release written to {output}\n"))
+        }
+        Command::Sample { release, count, seed } => {
+            let json = read_input(&release)?;
+            commands::run_sample(&json, count, seed)
+        }
+        Command::Query { release, query } => {
+            let json = read_input(&release)?;
+            commands::run_query(&json, query)
+        }
+        Command::Info { release } => {
+            let json = read_input(&release)?;
+            commands::run_info(&json)
+        }
+    }
+}
+
+fn read_input(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    }
+}

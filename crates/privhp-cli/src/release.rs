@@ -1,0 +1,143 @@
+//! The serialised release file: the ε-DP tree plus the domain and
+//! configuration needed to sample from and query it.
+
+use privhp_core::config::PrivHpConfig;
+use privhp_core::tree::PartitionTree;
+use serde::{Deserialize, Serialize};
+
+/// Which input domain a release was built over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DomainSpec {
+    /// The unit interval `[0,1]`.
+    Interval,
+    /// The hypercube `[0,1]^dim`.
+    Cube {
+        /// Dimension.
+        dim: usize,
+    },
+    /// The IPv4 address space.
+    Ipv4,
+}
+
+impl DomainSpec {
+    /// Parses a CLI domain string: `interval`, `cube:D`, or `ipv4`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "interval" => Ok(DomainSpec::Interval),
+            "ipv4" => Ok(DomainSpec::Ipv4),
+            other => {
+                if let Some(d) = other.strip_prefix("cube:") {
+                    let dim: usize = d
+                        .parse()
+                        .map_err(|_| format!("bad cube dimension '{d}'"))?;
+                    if dim == 0 {
+                        return Err("cube dimension must be >= 1".into());
+                    }
+                    Ok(DomainSpec::Cube { dim })
+                } else {
+                    Err(format!(
+                        "unknown domain '{other}' (expected interval | cube:D | ipv4)"
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Display form (inverse of [`DomainSpec::parse`]).
+    pub fn describe(&self) -> String {
+        match self {
+            DomainSpec::Interval => "interval".into(),
+            DomainSpec::Cube { dim } => format!("cube:{dim}"),
+            DomainSpec::Ipv4 => "ipv4".into(),
+        }
+    }
+}
+
+/// A persisted ε-DP release.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReleaseFile {
+    /// File-format version.
+    pub version: u32,
+    /// Domain the release was built over.
+    pub domain: DomainSpec,
+    /// Build configuration (ε, k, levels, sketch dimensions, seed).
+    pub config: PrivHpConfig,
+    /// The consistent partition tree (the private artifact itself).
+    pub tree: PartitionTree,
+}
+
+/// Current file-format version.
+pub const RELEASE_VERSION: u32 = 1;
+
+impl ReleaseFile {
+    /// Wraps release parts into a versioned file.
+    pub fn new(domain: DomainSpec, config: PrivHpConfig, tree: PartitionTree) -> Self {
+        Self { version: RELEASE_VERSION, domain, config, tree }
+    }
+
+    /// Serialises to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("release serialises")
+    }
+
+    /// Parses from JSON, validating the version.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let r: ReleaseFile =
+            serde_json::from_str(s).map_err(|e| format!("invalid release file: {e}"))?;
+        if r.version != RELEASE_VERSION {
+            return Err(format!(
+                "release file version {} unsupported (expected {RELEASE_VERSION})",
+                r.version
+            ));
+        }
+        Ok(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privhp_domain::Path;
+
+    #[test]
+    fn domain_spec_roundtrip() {
+        for s in ["interval", "cube:2", "cube:7", "ipv4"] {
+            let d = DomainSpec::parse(s).unwrap();
+            assert_eq!(d.describe(), s);
+        }
+        assert!(DomainSpec::parse("cube:0").is_err());
+        assert!(DomainSpec::parse("torus").is_err());
+        assert!(DomainSpec::parse("cube:x").is_err());
+    }
+
+    #[test]
+    fn release_file_roundtrip() {
+        let mut tree = PartitionTree::new();
+        tree.insert(Path::root(), 5.0);
+        tree.insert(Path::root().left(), 2.0);
+        tree.insert(Path::root().right(), 3.0);
+        let config = PrivHpConfig::for_domain(1.0, 100, 4);
+        let file = ReleaseFile::new(DomainSpec::Interval, config, tree);
+        let json = file.to_json();
+        let back = ReleaseFile::from_json(&json).unwrap();
+        assert_eq!(back.domain, DomainSpec::Interval);
+        assert_eq!(back.tree.root_count(), Some(5.0));
+        assert_eq!(back.config.k, 4);
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut tree = PartitionTree::new();
+        tree.insert(Path::root(), 1.0);
+        let config = PrivHpConfig::for_domain(1.0, 10, 2);
+        let mut file = ReleaseFile::new(DomainSpec::Ipv4, config, tree);
+        file.version = 99;
+        let json = file.to_json();
+        assert!(ReleaseFile::from_json(&json).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(ReleaseFile::from_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! The analytic proof pipeline of §7 (Figure 4):
+//! `𝒯_X → 𝒯_exact → 𝒯_approx → 𝒯_PrivHP`.
+//!
+//! These trees are never built by the streaming algorithm — they exist for
+//! analysis. We materialise them so the decomposition experiments (E10 in
+//! DESIGN.md) can *measure* the three gaps that Lemmas 7–9 bound:
+//!
+//! * [`exact_complete_tree`] — `𝒯_X`: exact counts, complete to depth `L`
+//!   (Step 0, Figure 4a);
+//! * [`exact_pruned_tree`] — `𝒯_exact`: exact top-`k` pruning per level
+//!   (Step 1, Figure 4b; gap bounded by Lemma 7 via the tail norm);
+//! * [`with_exact_counts`] — `𝒯_approx`: the *structure* of a PrivHP tree
+//!   re-filled with exact counts (Step 2, Figure 4c; gap bounded by
+//!   Lemma 8);
+//! * the real `𝒯_PrivHP` comes from [`crate::privhp`] (Step 3; Lemma 9).
+//!
+//! Also here: [`level_counts`], the dense per-level frequency vectors `C_l`
+//! from which `‖tail_k^l‖₁` is computed.
+
+use privhp_domain::{HierarchicalDomain, Path};
+use privhp_sketch::tail::tail_norm_l1;
+
+use crate::tree::PartitionTree;
+
+/// Maximum depth for dense per-level materialisation (2^22 cells ≈ 32 MiB
+/// of `f64`s at the deepest level).
+pub const MAX_DENSE_DEPTH: usize = 22;
+
+/// Computes the dense frequency vectors `C_l` for levels `0..=depth`:
+/// `out[l][i]` is the number of stream items falling in the level-`l` cell
+/// with index `i`.
+///
+/// # Panics
+/// Panics if `depth > MAX_DENSE_DEPTH`.
+pub fn level_counts<D: HierarchicalDomain>(
+    domain: &D,
+    data: &[D::Point],
+    depth: usize,
+) -> Vec<Vec<f64>> {
+    assert!(depth <= MAX_DENSE_DEPTH, "depth {depth} too deep for dense analysis");
+    let mut out: Vec<Vec<f64>> = (0..=depth).map(|l| vec![0.0; 1usize << l]).collect();
+    for p in data {
+        let deep = domain.locate(p, depth);
+        for (l, row) in out.iter_mut().enumerate() {
+            row[deep.ancestor(l).bits() as usize] += 1.0;
+        }
+    }
+    out
+}
+
+/// `‖tail_k^l‖₁` for each level `l`, from dense level counts.
+pub fn tail_norms(level_counts: &[Vec<f64>], k: usize) -> Vec<f64> {
+    level_counts.iter().map(|c| tail_norm_l1(c, k)).collect()
+}
+
+/// Builds `𝒯_X`: the complete exact-count tree of the given depth
+/// (Figure 4a).
+pub fn exact_complete_tree(level_counts: &[Vec<f64>]) -> PartitionTree {
+    let mut tree = PartitionTree::new();
+    for (l, row) in level_counts.iter().enumerate() {
+        for (bits, &c) in row.iter().enumerate() {
+            tree.insert(Path::from_bits(bits as u64, l), c);
+        }
+    }
+    tree
+}
+
+/// Builds `𝒯_exact`: exact top-`k` pruning (Figure 4b / proof Step 1).
+///
+/// Per the proof of Theorem 3 ("branching at the nodes with the exact
+/// top-k counts at each level `l ≥ L★`"), the selection applies at `L★`
+/// itself — the hot set starts as the top-`k` level-`L★` nodes, then each
+/// deeper level keeps the children of the top-`k` nodes of the previous
+/// level. (Algorithm 2's *runtime* growth expands every `L★` leaf on its
+/// first step; when `2^{L★} ≤ k` — e.g. Figure 2 — the two readings
+/// coincide.)
+pub fn exact_pruned_tree(
+    level_counts: &[Vec<f64>],
+    l_star: usize,
+    k: usize,
+) -> PartitionTree {
+    let depth = level_counts.len() - 1;
+    assert!(l_star <= depth, "L* beyond available levels");
+    let mut tree = PartitionTree::new();
+    for (l, row) in level_counts.iter().enumerate().take(l_star + 1) {
+        for (bits, &c) in row.iter().enumerate() {
+            tree.insert(Path::from_bits(bits as u64, l), c);
+        }
+    }
+    let mut hot: Vec<Path> = tree.level_nodes(l_star).to_vec();
+    hot.sort_by(|a, b| {
+        let ca = tree.count_unchecked(a);
+        let cb = tree.count_unchecked(b);
+        cb.partial_cmp(&ca).unwrap().then(a.cmp(b))
+    });
+    hot.truncate(k);
+    for (l, row) in level_counts.iter().enumerate().skip(l_star + 1) {
+        let mut new_nodes = Vec::with_capacity(hot.len() * 2);
+        for theta in &hot {
+            for child in [theta.left(), theta.right()] {
+                let c = row[child.bits() as usize];
+                tree.insert(child, c);
+                new_nodes.push(child);
+            }
+        }
+        if l < depth {
+            // Exact top-k (ties toward the smaller path, as in growth).
+            new_nodes.sort_by(|a, b| {
+                let ca = tree.count_unchecked(a);
+                let cb = tree.count_unchecked(b);
+                cb.partial_cmp(&ca).unwrap().then(a.cmp(b))
+            });
+            hot = new_nodes.into_iter().take(k).collect();
+        }
+    }
+    tree
+}
+
+/// Builds `𝒯_approx`: the node *structure* of `shaped` (typically a real
+/// PrivHP tree) re-filled with exact counts from `level_counts`
+/// (Figure 4c / proof Step 2). Nodes deeper than the dense depth are
+/// dropped.
+pub fn with_exact_counts(shaped: &PartitionTree, level_counts: &[Vec<f64>]) -> PartitionTree {
+    let depth = level_counts.len() - 1;
+    let mut tree = PartitionTree::new();
+    for (path, _) in shaped.iter() {
+        if path.level() <= depth {
+            tree.insert(*path, level_counts[path.level()][path.bits() as usize]);
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privhp_domain::UnitInterval;
+
+    fn data() -> Vec<f64> {
+        // 8 points: 5 in [0, .25), 2 in [.5, .75), 1 in [.75, 1).
+        vec![0.01, 0.05, 0.1, 0.15, 0.2, 0.55, 0.6, 0.8]
+    }
+
+    #[test]
+    fn level_counts_partition_the_mass() {
+        let lc = level_counts(&UnitInterval::new(), &data(), 3);
+        for (l, row) in lc.iter().enumerate() {
+            assert_eq!(row.len(), 1 << l);
+            assert_eq!(row.iter().sum::<f64>(), 8.0, "level {l} must hold all mass");
+        }
+        assert_eq!(lc[2], vec![5.0, 0.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn exact_tree_matches_counts() {
+        let lc = level_counts(&UnitInterval::new(), &data(), 3);
+        let t = exact_complete_tree(&lc);
+        assert_eq!(t.len(), 1 + 2 + 4 + 8);
+        assert_eq!(t.root_count(), Some(8.0));
+        assert_eq!(t.count(&Path::from_bits(0b00, 2)), Some(5.0));
+    }
+
+    #[test]
+    fn exact_pruning_keeps_top_k() {
+        let lc = level_counts(&UnitInterval::new(), &data(), 3);
+        // L* = 1, k = 1 (proof-style pruning, top-k at L* included):
+        // level-1 counts are Ω0 = 5, Ω1 = 3 → only Ω0 branches; level-2
+        // counts under it are Ω00 = 5, Ω01 = 0 → only Ω00 branches.
+        let t = exact_pruned_tree(&lc, 1, 1);
+        assert_eq!(t.level_nodes(2).len(), 2);
+        assert_eq!(t.level_nodes(3).len(), 2);
+        assert!(t.contains(&Path::from_bits(0b000, 3)));
+        assert!(t.contains(&Path::from_bits(0b001, 3)));
+        assert!(!t.contains(&Path::from_bits(0b10, 2)), "cold branch pruned at L*");
+    }
+
+    #[test]
+    fn exact_pruning_large_k_keeps_everything() {
+        let lc = level_counts(&UnitInterval::new(), &data(), 3);
+        let t = exact_pruned_tree(&lc, 1, 64);
+        assert_eq!(t.level_nodes(2).len(), 4);
+        assert_eq!(t.level_nodes(3).len(), 8);
+    }
+
+    #[test]
+    fn tail_norms_shrink_with_k_and_grow_with_level() {
+        let lc = level_counts(&UnitInterval::new(), &data(), 3);
+        let t1 = tail_norms(&lc, 1);
+        let t2 = tail_norms(&lc, 2);
+        for l in 0..t1.len() {
+            assert!(t2[l] <= t1[l] + 1e-12);
+        }
+        // ||tail_k^{l-1}|| <= ||tail_k^l|| (paper, proof of Lemma 7).
+        for l in 1..t1.len() {
+            assert!(t1[l - 1] <= t1[l] + 1e-12, "tail norm must grow with level");
+        }
+    }
+
+    #[test]
+    fn with_exact_counts_preserves_structure() {
+        let lc = level_counts(&UnitInterval::new(), &data(), 3);
+        let pruned = exact_pruned_tree(&lc, 1, 1);
+        let mut shaped = pruned.clone();
+        // Corrupt the counts, then restore exactly.
+        for (p, _) in pruned.iter() {
+            shaped.set_count(p, -1.0);
+        }
+        let restored = with_exact_counts(&shaped, &lc);
+        assert_eq!(restored.len(), pruned.len());
+        for (p, c) in pruned.iter() {
+            assert_eq!(restored.count(p), Some(*c));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too deep")]
+    fn dense_depth_guard() {
+        let _ = level_counts(&UnitInterval::new(), &data(), MAX_DENSE_DEPTH + 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Optimal allocation of the privacy budget across levels — paper Lemma 5.
+//!
+//! Minimising the Theorem-3 noise term subject to `Σ σ_l = ε` (Lagrange
+//! multipliers, Eq. 19) gives
+//!
+//! * `σ_l ∝ √Γ_{l−1}`            for `l ≤ L★` (exact-counter levels),
+//! * `σ_l ∝ √(j·k·γ_{l−1})`      for `l > L★` (sketched levels),
+//!
+//! where `Γ_{−1} := Γ_0 = diam(Ω)`. The resulting Δ_noise is
+//! `(Σ √·)² / (εn)` — the bound [`crate::bounds`] evaluates.
+
+use privhp_domain::HierarchicalDomain;
+use privhp_dp::budget::{BudgetError, BudgetSplit};
+
+use crate::config::PrivHpConfig;
+
+/// Computes the Lemma-5 weights (`√Γ_{l−1}` below `L★`, `√(j·k·γ_{l−1})`
+/// above) for levels `0..=L`.
+pub fn optimal_budget_weights<D: HierarchicalDomain>(
+    domain: &D,
+    config: &PrivHpConfig,
+) -> Vec<f64> {
+    let gamma_prev = |l: usize| {
+        // γ_{l-1} and Γ_{l-1} with the paper's convention Γ_{-1} = Γ_0.
+        if l == 0 {
+            (domain.level_diameter(0), domain.level_diameter_sum(0))
+        } else {
+            (domain.level_diameter(l - 1), domain.level_diameter_sum(l - 1))
+        }
+    };
+    let j = config.sketch.depth as f64;
+    let k = config.k as f64;
+    let mut weights: Vec<f64> = (0..=config.depth)
+        .map(|l| {
+            let (gamma, gamma_sum) = gamma_prev(l);
+            if l <= config.l_star {
+                gamma_sum.sqrt()
+            } else {
+                (j * k * gamma).sqrt()
+            }
+        })
+        .collect();
+    // Discrete domains (e.g. `Categorical`) have zero-diameter levels below
+    // their resolution: utility-optimal σ_l → 0 there, but the mechanism
+    // still needs finite noise scales. Floor the weights at a small
+    // fraction of the largest so every level keeps a positive (negligible)
+    // share of ε.
+    let max_w = weights.iter().cloned().fold(0.0, f64::max);
+    assert!(max_w > 0.0, "domain reports zero diameter everywhere");
+    for w in &mut weights {
+        *w = w.max(max_w * 1e-3);
+    }
+    weights
+}
+
+/// The Lemma-5 optimal split of `config.epsilon` across levels `0..=L` for
+/// the given domain.
+pub fn optimal_budget_split<D: HierarchicalDomain>(
+    domain: &D,
+    config: &PrivHpConfig,
+) -> Result<BudgetSplit, BudgetError> {
+    BudgetSplit::from_weights(config.epsilon, &optimal_budget_weights(domain, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privhp_domain::{Hypercube, UnitInterval};
+
+    fn config(epsilon: f64, k: usize, l_star: usize, depth: usize) -> PrivHpConfig {
+        PrivHpConfig::for_domain(epsilon, 1 << 12, k).with_levels(l_star, depth)
+    }
+
+    #[test]
+    fn split_sums_to_epsilon() {
+        let c = config(1.5, 4, 3, 10);
+        let s = optimal_budget_split(&UnitInterval::new(), &c).unwrap();
+        assert_eq!(s.levels(), 11);
+        assert!((s.epsilon() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_weights_flat_then_decaying() {
+        // In 1-D, Γ_l = 1 for all l so shallow weights are constant; deep
+        // weights decay like sqrt(γ_{l-1}) = 2^{-(l-1)/2}.
+        let c = config(1.0, 4, 3, 10);
+        let w = optimal_budget_weights(&UnitInterval::new(), &c);
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!((w[3] - 1.0).abs() < 1e-12);
+        for l in (c.l_star + 2)..=c.depth {
+            let ratio = w[l] / w[l - 1];
+            assert!(
+                (ratio - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9,
+                "deep weights must decay by sqrt(1/2) per level, got {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn hypercube_shallow_weights_grow() {
+        // For d ≥ 2, Γ_l = 2^{(1-1/d)l} grows, so deeper shallow levels get
+        // more budget (they carry more total diameter).
+        let c = config(1.0, 4, 5, 12);
+        let w = optimal_budget_weights(&Hypercube::new(2), &c);
+        for l in 1..=c.l_star {
+            assert!(w[l] >= w[l - 1] - 1e-12, "Γ is non-decreasing in 2-D");
+        }
+    }
+
+    #[test]
+    fn deep_weights_scale_with_sqrt_jk() {
+        let base = config(1.0, 4, 3, 10);
+        let big_k = config(1.0, 16, 3, 10);
+        let w1 = optimal_budget_weights(&UnitInterval::new(), &base);
+        let w2 = optimal_budget_weights(&UnitInterval::new(), &big_k);
+        // Same sketch depth j (same n), k quadrupled → deep weights double.
+        let ratio = w2[5] / w1[5];
+        assert!((ratio - 2.0).abs() < 1e-9, "sqrt(k) scaling violated: {ratio}");
+    }
+}

@@ -1,0 +1,277 @@
+//! PrivHP configuration: `(k, L★, L)` partition dimensions, `(w, j)` sketch
+//! dimensions, privacy budget and its per-level split.
+//!
+//! The defaults follow Corollary 1:
+//!
+//! * hierarchy depth `L = ⌈log₂(εn)⌉`;
+//! * sketch depth `j = ⌈log₂ n⌉` and width `4k` (the paper's `2w` with
+//!   `w = 2k`);
+//! * pruning level `L★ = ⌈log₂ M⌉` with `M = k·⌈log₂ n⌉²`, clamped to
+//!   `[⌈log₂ k⌉, L−1]` (Lemma 10 requires `L★ ≥ log k`; growth needs
+//!   `L★ < L`).
+
+use privhp_dp::budget::BudgetSplit;
+use privhp_sketch::SketchParams;
+use serde::{Deserialize, Serialize};
+
+/// Errors from configuration validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// ε must be positive and finite.
+    InvalidEpsilon(f64),
+    /// k must be at least 1.
+    InvalidPruning(usize),
+    /// The level structure must satisfy `L★ < L`.
+    InvalidLevels {
+        /// Pruning level L★.
+        l_star: usize,
+        /// Hierarchy depth L.
+        depth: usize,
+    },
+    /// A budget split was supplied whose length differs from `L + 1`.
+    SplitLengthMismatch {
+        /// Levels covered by the split.
+        split_levels: usize,
+        /// Levels required (`L + 1`).
+        required: usize,
+    },
+    /// The domain cannot support the requested depth.
+    DepthExceedsDomain {
+        /// Requested hierarchy depth.
+        depth: usize,
+        /// Domain's maximum level.
+        max_level: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::InvalidEpsilon(e) => write!(f, "invalid epsilon {e}"),
+            ConfigError::InvalidPruning(k) => write!(f, "invalid pruning parameter k={k}"),
+            ConfigError::InvalidLevels { l_star, depth } => {
+                write!(f, "invalid levels: L*={l_star} must be < L={depth}")
+            }
+            ConfigError::SplitLengthMismatch { split_levels, required } => write!(
+                f,
+                "budget split covers {split_levels} levels but L+1={required} are required"
+            ),
+            ConfigError::DepthExceedsDomain { depth, max_level } => {
+                write!(f, "depth {depth} exceeds the domain's max level {max_level}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Which hash-based private sketch summarises the deep levels.
+///
+/// The paper's §3.4 presents both: the Count-Min sketch (Lemma 4's
+/// tail-bounded, one-sided estimator — the default used in Theorem 3) and
+/// the Count Sketch (Pagh–Thorup's unbiased median estimator, whose error
+/// tracks the L2 tail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SketchKind {
+    /// Private Count-Min (paper default; Theorem 3's analysis).
+    #[default]
+    CountMin,
+    /// Private Count Sketch (unbiased; L2-tail error).
+    CountSketch,
+}
+
+/// Full PrivHP parameterisation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrivHpConfig {
+    /// Total privacy budget ε.
+    pub epsilon: f64,
+    /// Pruning parameter `k`: branches kept per level below `L★`.
+    pub k: usize,
+    /// Level at which pruning begins (complete tree above, sketches below).
+    pub l_star: usize,
+    /// Hierarchy depth `L` (leaves live at this level).
+    pub depth: usize,
+    /// Sketch dimensions for each deep level.
+    pub sketch: SketchParams,
+    /// Which private sketch primitive to use at deep levels.
+    #[serde(default)]
+    pub sketch_kind: SketchKind,
+    /// Per-level privacy split `{σ_l}` for `l = 0..=L`, or `None` to use
+    /// the Lemma-5 optimal split for the target domain.
+    pub split: Option<BudgetSplit>,
+    /// Master seed for all internal randomness (noise and hashing).
+    pub seed: u64,
+}
+
+impl PrivHpConfig {
+    /// Corollary-1 defaults for budget `epsilon`, stream length `n` and
+    /// pruning parameter `k`. The Lemma-5 optimal budget split is computed
+    /// lazily at build time from the target domain's diameters.
+    pub fn for_domain(epsilon: f64, n: usize, k: usize) -> Self {
+        let n = n.max(2);
+        let en = (epsilon * n as f64).max(2.0);
+        let depth = en.log2().ceil().max(1.0) as usize;
+        let log_n = (n as f64).log2().ceil().max(1.0);
+        // L* = O(log M) per Corollary 1. The free constant matters in
+        // practice: the complete tree holds 2^{L*+1} nodes and growth at
+        // level L*+1 expands *every* L* leaf (Algorithm 2 line 3), so the
+        // structure holds ~2^{L*+2} nodes. Choosing L* = log2(M) - 2 keeps
+        // the realised footprint at ~M words.
+        let memory_target = (k as f64 * log_n * log_n).max(4.0);
+        let l_star_raw = (memory_target.log2().ceil() as usize).saturating_sub(2);
+        let l_star_min = (k.max(1) as f64).log2().ceil() as usize;
+        let l_star = l_star_raw.max(l_star_min).min(depth.saturating_sub(1));
+        Self {
+            epsilon,
+            k,
+            l_star,
+            depth,
+            sketch: SketchParams::for_pruning(k, n),
+            sketch_kind: SketchKind::default(),
+            split: None,
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// Selects the deep-level sketch primitive (builder style).
+    pub fn with_sketch_kind(mut self, kind: SketchKind) -> Self {
+        self.sketch_kind = kind;
+        self
+    }
+
+    /// Overrides the master seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the level structure (builder style).
+    pub fn with_levels(mut self, l_star: usize, depth: usize) -> Self {
+        self.l_star = l_star;
+        self.depth = depth;
+        self
+    }
+
+    /// Overrides the sketch dimensions (builder style).
+    pub fn with_sketch(mut self, sketch: SketchParams) -> Self {
+        self.sketch = sketch;
+        self
+    }
+
+    /// Supplies an explicit per-level budget split (builder style).
+    pub fn with_split(mut self, split: BudgetSplit) -> Self {
+        self.split = Some(split);
+        self
+    }
+
+    /// Number of levels carrying noise (`0..=L`, i.e. `L + 1`).
+    pub fn levels(&self) -> usize {
+        self.depth + 1
+    }
+
+    /// Validates internal coherence (domain-independent checks).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.epsilon.is_finite() && self.epsilon > 0.0) {
+            return Err(ConfigError::InvalidEpsilon(self.epsilon));
+        }
+        if self.k == 0 {
+            return Err(ConfigError::InvalidPruning(self.k));
+        }
+        if self.l_star >= self.depth {
+            return Err(ConfigError::InvalidLevels { l_star: self.l_star, depth: self.depth });
+        }
+        if let Some(split) = &self.split {
+            if split.levels() != self.levels() {
+                return Err(ConfigError::SplitLengthMismatch {
+                    split_levels: split.levels(),
+                    required: self.levels(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The paper's memory budget `M = O(k·log²n)` evaluated for this
+    /// configuration (in words): tree counters plus sketch cells.
+    pub fn nominal_memory_words(&self) -> usize {
+        let tree = 1usize << self.l_star.min(30);
+        let sketches = (self.depth - self.l_star) * self.sketch.cells();
+        tree + sketches
+    }
+}
+
+/// Default master seed used when the caller does not supply one.
+pub const DEFAULT_SEED: u64 = 0x5EED_0F00_0000_9A17;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_corollary1() {
+        let c = PrivHpConfig::for_domain(1.0, 1 << 16, 8);
+        assert_eq!(c.depth, 16, "L = log2(eps*n)");
+        assert_eq!(c.sketch.depth, 16, "j = log2 n");
+        assert_eq!(c.sketch.width, 32, "width = 4k");
+        assert!(c.l_star >= 3, "L* >= log2 k");
+        assert!(c.l_star < c.depth);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn small_epsilon_shrinks_depth() {
+        let c = PrivHpConfig::for_domain(0.1, 1 << 16, 4);
+        assert!(c.depth < 16, "depth should track log2(eps*n), got {}", c.depth);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        let mut c = PrivHpConfig::for_domain(1.0, 1024, 4);
+        c.epsilon = -1.0;
+        assert!(matches!(c.validate(), Err(ConfigError::InvalidEpsilon(_))));
+
+        let mut c = PrivHpConfig::for_domain(1.0, 1024, 4);
+        c.k = 0;
+        assert!(matches!(c.validate(), Err(ConfigError::InvalidPruning(0))));
+
+        let mut c = PrivHpConfig::for_domain(1.0, 1024, 4);
+        c.l_star = c.depth;
+        assert!(matches!(c.validate(), Err(ConfigError::InvalidLevels { .. })));
+    }
+
+    #[test]
+    fn split_length_checked() {
+        let c = PrivHpConfig::for_domain(1.0, 1024, 4);
+        let bad = privhp_dp::budget::BudgetSplit::uniform(1.0, 3).unwrap();
+        let c = c.with_split(bad);
+        assert!(matches!(c.validate(), Err(ConfigError::SplitLengthMismatch { .. })));
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = PrivHpConfig::for_domain(1.0, 1024, 4)
+            .with_seed(99)
+            .with_levels(2, 8)
+            .with_sketch(SketchParams::new(5, 16));
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.l_star, 2);
+        assert_eq!(c.depth, 8);
+        assert_eq!(c.sketch.depth, 5);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn nominal_memory_scales_with_k() {
+        let small = PrivHpConfig::for_domain(1.0, 1 << 14, 2).nominal_memory_words();
+        let large = PrivHpConfig::for_domain(1.0, 1 << 14, 64).nominal_memory_words();
+        assert!(large > small, "memory must grow with k: {small} vs {large}");
+    }
+
+    #[test]
+    fn tiny_streams_still_valid() {
+        let c = PrivHpConfig::for_domain(1.0, 4, 1);
+        c.validate().unwrap();
+        assert!(c.depth >= 1);
+    }
+}

@@ -1,0 +1,272 @@
+//! Consistency enforcement — paper Algorithm 3 and the `ConsErr`
+//! accounting of §6.
+//!
+//! Consistency requires (1) all counts non-negative and (2) sibling counts
+//! summing to their parent's count. After noise injection neither holds;
+//! Algorithm 3 restores both by *evenly* redistributing the discrepancy
+//! `Λ = c(θ0) + c(θ1) − c(θ)` between the siblings, with two corrections:
+//!
+//! * **Correction 1** (line 3): clamp a negative child to 0 before
+//!   computing Λ;
+//! * **Correction 2** (line 6): if the even split would drive a child
+//!   negative, zero the smaller child and give the parent's full count to
+//!   the larger.
+//!
+//! Both corrections only ever *reduce* the error in the child counts
+//! (paper Lemma 6, cases 2–3), so the `ConsErr` bound survives them.
+
+use privhp_domain::Path;
+
+use crate::tree::PartitionTree;
+
+/// Outcome labels for one consistency step, used by tests and the
+/// ablation experiments to observe which branch fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsistencyOutcome {
+    /// The even split (Eq. 2 / line 12) was applied.
+    EvenSplit,
+    /// Correction 2 fired: one child zeroed, the other inherited the parent.
+    Correction2,
+}
+
+/// Enforces consistency between `parent` and its two children
+/// (Algorithm 3).
+///
+/// # Panics
+/// Panics if `parent` or either child is absent from the tree — the growth
+/// phase always materialises both children before calling this.
+pub fn enforce_consistency(tree: &mut PartitionTree, parent: &Path) -> ConsistencyOutcome {
+    let left = parent.left();
+    let right = parent.right();
+    let parent_count = tree.count_unchecked(parent);
+
+    // Correction 1: clamp negative children to zero first.
+    for child in [&left, &right] {
+        if tree.count_unchecked(child) < 0.0 {
+            tree.set_count(child, 0.0);
+        }
+    }
+
+    let c0 = tree.count_unchecked(&left);
+    let c1 = tree.count_unchecked(&right);
+    let lambda = c0 + c1 - parent_count;
+
+    if (c0 - lambda / 2.0).min(c1 - lambda / 2.0) < 0.0 {
+        // Correction 2: zero the smaller child, give the parent's count to
+        // the larger.
+        let (min_path, max_path) = if c0 <= c1 { (left, right) } else { (right, left) };
+        tree.set_count(&min_path, 0.0);
+        tree.set_count(&max_path, parent_count);
+        ConsistencyOutcome::Correction2
+    } else {
+        tree.set_count(&left, c0 - lambda / 2.0);
+        tree.set_count(&right, c1 - lambda / 2.0);
+        ConsistencyOutcome::EvenSplit
+    }
+}
+
+/// Applies consistency to every internal node of the subtree under `root`
+/// in depth-first **pre-order** (parents before children), as required by
+/// Algorithm 2 line 2. If the root's own count is negative it is clamped to
+/// zero first so the invariant "all counts non-negative" holds globally.
+pub fn enforce_consistency_subtree(tree: &mut PartitionTree, root: &Path) {
+    if let Some(c) = tree.count(root) {
+        if c < 0.0 {
+            tree.set_count(root, 0.0);
+        }
+    } else {
+        return;
+    }
+    let mut stack = vec![*root];
+    while let Some(node) = stack.pop() {
+        let left = node.left();
+        let right = node.right();
+        let has_left = tree.contains(&left);
+        let has_right = tree.contains(&right);
+        if has_left && has_right {
+            enforce_consistency(tree, &node);
+            stack.push(left);
+            stack.push(right);
+        } else {
+            // A well-formed PrivHP tree materialises children in pairs;
+            // tolerate half-pairs defensively by leaving them untouched
+            // (they cannot participate in a binary consistency step).
+            debug_assert!(
+                !(has_left ^ has_right),
+                "node {node} has exactly one child; tree is malformed"
+            );
+        }
+    }
+}
+
+/// Checks the consistency invariants on the subtree under `root`:
+/// every count non-negative, and children summing to their parent within
+/// `tolerance`. Returns the first violating path, if any.
+pub fn find_consistency_violation(
+    tree: &PartitionTree,
+    root: &Path,
+    tolerance: f64,
+) -> Option<Path> {
+    let mut stack = vec![*root];
+    while let Some(node) = stack.pop() {
+        let count = tree.count(&node)?;
+        if count < -tolerance {
+            return Some(node);
+        }
+        let left = node.left();
+        let right = node.right();
+        if tree.contains(&left) && tree.contains(&right) {
+            let sum = tree.count_unchecked(&left) + tree.count_unchecked(&right);
+            if (sum - count).abs() > tolerance {
+                return Some(node);
+            }
+            stack.push(left);
+            stack.push(right);
+        }
+    }
+    None
+}
+
+/// The consistency-error magnitude of Eq. 9:
+/// `ConsErr(v_θ) = |(λ_{θ0} − λ_{θ1} + e_{θ0} − e_{θ1}) / 2|`, computed from
+/// the component errors of the two children. Exposed for the §6 accounting
+/// experiments (Example 6.1 / Figure 3).
+pub fn cons_err(lambda0: f64, lambda1: f64, e0: f64, e1: f64) -> f64 {
+    ((lambda0 - lambda1 + e0 - e1) / 2.0).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_with(parent: f64, left: f64, right: f64) -> (PartitionTree, Path) {
+        let mut t = PartitionTree::new();
+        let p = Path::root();
+        t.insert(p, parent);
+        t.insert(p.left(), left);
+        t.insert(p.right(), right);
+        (t, p)
+    }
+
+    #[test]
+    fn even_split_redistributes_surplus() {
+        // Figure 2b: parent 20.2, children 12.2 + 8.6 = 20.8, Λ = 0.6.
+        let (mut t, p) = tree_with(20.2, 12.2, 8.6);
+        let outcome = enforce_consistency(&mut t, &p);
+        assert_eq!(outcome, ConsistencyOutcome::EvenSplit);
+        assert!((t.count_unchecked(&p.left()) - 11.9).abs() < 1e-9);
+        assert!((t.count_unchecked(&p.right()) - 8.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn even_split_redistributes_deficit() {
+        // Children undershoot the parent: both must increase.
+        let (mut t, p) = tree_with(10.0, 4.0, 4.0);
+        enforce_consistency(&mut t, &p);
+        assert!((t.count_unchecked(&p.left()) - 5.0).abs() < 1e-9);
+        assert!((t.count_unchecked(&p.right()) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correction1_clamps_negative_child() {
+        let (mut t, p) = tree_with(10.0, -2.0, 11.0);
+        enforce_consistency(&mut t, &p);
+        // After clamping: c0=0, c1=11, Λ=1, even split gives (-0.5, 10.5) →
+        // violates, so Correction 2 fires: min child 0, max child = parent.
+        assert_eq!(t.count_unchecked(&p.left()), 0.0);
+        assert_eq!(t.count_unchecked(&p.right()), 10.0);
+    }
+
+    #[test]
+    fn correction2_zeroes_smaller_child() {
+        // Λ = 1 + 9 - 12 = -2; even split adds 1 to each → fine. Instead
+        // use a case where the split sends the smaller child negative:
+        // c0 = 0.2, c1 = 9.0, parent = 3.0 → Λ = 6.2, Λ/2 = 3.1 → c0 < 0.
+        let (mut t, p) = tree_with(3.0, 0.2, 9.0);
+        let outcome = enforce_consistency(&mut t, &p);
+        assert_eq!(outcome, ConsistencyOutcome::Correction2);
+        assert_eq!(t.count_unchecked(&p.left()), 0.0);
+        assert_eq!(t.count_unchecked(&p.right()), 3.0);
+    }
+
+    #[test]
+    fn children_always_sum_to_parent() {
+        let cases = [
+            (20.2, 12.2, 8.6),
+            (10.0, 4.0, 4.0),
+            (3.0, 0.2, 9.0),
+            (5.0, -1.0, -1.0),
+            (0.0, 2.0, 3.0),
+            (7.5, 7.5, 0.0),
+        ];
+        for (pc, lc, rc) in cases {
+            let (mut t, p) = tree_with(pc, lc, rc);
+            enforce_consistency(&mut t, &p);
+            let sum = t.count_unchecked(&p.left()) + t.count_unchecked(&p.right());
+            assert!(
+                (sum - pc).abs() < 1e-9,
+                "case ({pc},{lc},{rc}): children sum {sum} != parent {pc}"
+            );
+            assert!(t.count_unchecked(&p.left()) >= 0.0);
+            assert!(t.count_unchecked(&p.right()) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn subtree_consistency_fixes_whole_tree() {
+        // Figure 2a/2b: a depth-1 complete tree.
+        let (mut t, p) = tree_with(20.2, 12.2, 8.6);
+        enforce_consistency_subtree(&mut t, &p);
+        assert!(find_consistency_violation(&t, &p, 1e-9).is_none());
+    }
+
+    #[test]
+    fn subtree_consistency_on_deeper_tree() {
+        let mut t = PartitionTree::complete(4, |p| {
+            // Noisy pseudo-counts, some negative.
+            ((p.bits() as f64 * 7.3) % 11.0) - 2.0
+        });
+        enforce_consistency_subtree(&mut t, &Path::root());
+        assert!(
+            find_consistency_violation(&t, &Path::root(), 1e-9).is_none(),
+            "deep tree must be consistent after the DFS pass"
+        );
+        assert!(t.root_count().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn negative_root_clamped() {
+        let (mut t, p) = tree_with(-5.0, 1.0, 2.0);
+        enforce_consistency_subtree(&mut t, &p);
+        assert_eq!(t.root_count(), Some(0.0));
+        let sum = t.count_unchecked(&p.left()) + t.count_unchecked(&p.right());
+        assert!(sum.abs() < 1e-9);
+    }
+
+    #[test]
+    fn violation_finder_detects_bad_sum() {
+        let (t, p) = tree_with(10.0, 3.0, 3.0);
+        assert_eq!(find_consistency_violation(&t, &p, 1e-9), Some(p));
+    }
+
+    #[test]
+    fn example_6_1_cons_err() {
+        // Paper Example 6.1: λ0=-0.5, e0=1, λ1=-0.3, e1=2 → ConsErr = 0.6.
+        let ce = cons_err(-0.5, -0.3, 1.0, 2.0);
+        assert!((ce - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example_6_1_full_walkthrough() {
+        // Figure 3: parent (already consistent) 4.6; children before
+        // consistency 3.5 and 3.7; after consistency 2.2 and 2.4.
+        let mut t = PartitionTree::new();
+        let p = Path::root();
+        t.insert(p, 4.6);
+        t.insert(p.left(), 3.5);
+        t.insert(p.right(), 3.7);
+        enforce_consistency(&mut t, &p);
+        assert!((t.count_unchecked(&p.left()) - 2.2).abs() < 1e-9);
+        assert!((t.count_unchecked(&p.right()) - 2.4).abs() < 1e-9);
+    }
+}

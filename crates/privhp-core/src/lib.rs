@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! **PrivHP** — Private Hot Partition: the paper's primary contribution.
+//!
+//! PrivHP processes a data stream in one pass and bounded memory, then
+//! releases an ε-differentially-private *synthetic data generator* whose
+//! sampling distribution approximates the stream's empirical distribution in
+//! expected 1-Wasserstein distance (paper Theorem 1 / Corollary 1).
+//!
+//! The pipeline (paper Algorithm 1):
+//!
+//! 1. **Initialise** a complete binary partition tree of depth `L★` whose
+//!    counters are pre-loaded with `Laplace(1/σ_l)` noise, plus one private
+//!    sketch per level `l ∈ (L★, L]` pre-loaded with `Laplace(j/σ_l)` cell
+//!    noise (Theorem 2 / Eq. 3);
+//! 2. **Parse** the stream: each item updates one counter per shallow level
+//!    and one sketch per deep level — `O(L·log n)` work per item;
+//! 3. **Grow** the partition (Algorithm 2): starting from the complete tree,
+//!    repeatedly expand the current *hot* nodes into their children using
+//!    noisy sketch estimates, enforce consistency (Algorithm 3), and keep
+//!    only the top-`k` nodes per level;
+//! 4. **Sample**: a root-to-leaf walk proportional to the consistent counts,
+//!    then a uniform draw inside the leaf subdomain (§5).
+//!
+//! Because all data-dependent state was privatised *before* the growth phase
+//! (noisy counters + private sketches), steps 3–4 are post-processing and
+//! the release is ε-DP for `Σ_l σ_l = ε` (Theorem 2 / Lemma 2).
+//!
+//! Module map:
+//!
+//! * [`config`] — parameters `(k, L★, L, w, j, {σ_l})` with the Corollary-1
+//!   defaults and validation;
+//! * [`tree`] — the partition tree `𝒯` with per-level node registries;
+//! * [`consistency`] — Algorithm 3, including both error corrections and
+//!   the `ConsErr` accounting of §6;
+//! * [`grow`] — Algorithm 2 (GrowPartition);
+//! * [`privhp`] — Algorithm 1 (the streaming builder and one-shot `build`);
+//! * [`sampler`] — the root-to-leaf synthetic sampler;
+//! * [`budget`] — the Lemma-5 optimal allocation of ε across levels;
+//! * [`bounds`] — closed-form evaluators for Theorem 3 and Corollary 1;
+//! * [`analysis`] — the proof-pipeline trees `𝒯_X → 𝒯_exact → 𝒯_approx`
+//!   of §7 (Figure 4), used by the decomposition experiments.
+
+pub mod analysis;
+pub mod bounds;
+pub mod budget;
+pub mod config;
+pub mod consistency;
+pub mod continual;
+pub mod grow;
+pub mod privhp;
+pub mod query;
+pub mod sampler;
+pub mod tree;
+
+pub use bounds::{corollary1_bound, TheoreticalBounds};
+pub use budget::optimal_budget_split;
+pub use config::{ConfigError, PrivHpConfig};
+pub use continual::ContinualPrivHp;
+pub use grow::GrowOptions;
+pub use privhp::{PrivHp, PrivHpBuilder, PrivHpGenerator};
+pub use query::TreeQuery;
+pub use sampler::TreeSampler;
+pub use tree::PartitionTree;

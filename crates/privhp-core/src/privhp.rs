@@ -1,0 +1,448 @@
+//! The 1-pass PrivHP algorithm — paper Algorithm 1.
+//!
+//! [`PrivHpBuilder`] is the streaming interface: construct (which *draws all
+//! privacy noise up front*, per Algorithm 1 lines 2–8), feed points one at a
+//! time with [`PrivHpBuilder::ingest`], then [`PrivHpBuilder::finalize`] to
+//! run GrowPartition and obtain a [`PrivHpGenerator`]. [`PrivHp::build`] is
+//! the one-shot convenience wrapper.
+//!
+//! Privacy: the builder spends its entire ε at construction — counters get
+//! `Laplace(1/σ_l)`, each `sketch_l` gets `Laplace(j/σ_l)` per cell
+//! (Theorem 2 with `Σ σ_l = ε`). Everything after the stream pass is
+//! deterministic post-processing of those privatised structures, and the
+//! sampler's randomness is independent of the data, so the generator and
+//! every dataset drawn from it are ε-DP.
+
+use privhp_domain::HierarchicalDomain;
+use privhp_dp::budget::BudgetSplit;
+use privhp_dp::laplace::Laplace;
+use privhp_dp::rng::SeedSequence;
+use privhp_sketch::{PrivateCountMinSketch, PrivateCountSketch};
+use rand::RngCore;
+
+use crate::config::SketchKind;
+use crate::grow::FrequencyOracle;
+
+/// A deep-level private sketch of either §3.4 flavour.
+#[derive(Debug, Clone)]
+pub enum LevelSketch {
+    /// Private Count-Min (paper default).
+    CountMin(PrivateCountMinSketch),
+    /// Private Count Sketch (unbiased median estimator).
+    CountSketch(PrivateCountSketch),
+}
+
+impl LevelSketch {
+    fn update(&mut self, key: u64, weight: f64) {
+        match self {
+            LevelSketch::CountMin(s) => s.update(key, weight),
+            LevelSketch::CountSketch(s) => s.update(key, weight),
+        }
+    }
+
+    fn memory_words(&self) -> usize {
+        match self {
+            LevelSketch::CountMin(s) => s.memory_words(),
+            LevelSketch::CountSketch(s) => s.memory_words(),
+        }
+    }
+}
+
+impl FrequencyOracle for LevelSketch {
+    fn estimate(&self, key: u64) -> f64 {
+        match self {
+            LevelSketch::CountMin(s) => s.query(key),
+            LevelSketch::CountSketch(s) => s.query(key),
+        }
+    }
+}
+
+use crate::budget::optimal_budget_split;
+use crate::config::{ConfigError, PrivHpConfig};
+use crate::sampler::TreeSampler;
+use crate::tree::PartitionTree;
+
+/// Marker namespace for the one-shot API.
+pub struct PrivHp;
+
+impl PrivHp {
+    /// Builds a generator from a complete stream in one call: initialise,
+    /// parse, grow. `rng` supplies the privacy noise.
+    pub fn build<D, I, R>(
+        domain: &D,
+        config: PrivHpConfig,
+        stream: I,
+        rng: &mut R,
+    ) -> Result<PrivHpGenerator<D>, ConfigError>
+    where
+        D: HierarchicalDomain + Clone,
+        I: IntoIterator<Item = D::Point>,
+        R: RngCore,
+    {
+        let mut builder = PrivHpBuilder::new(domain.clone(), config, rng)?;
+        for point in stream {
+            builder.ingest(&point);
+        }
+        Ok(builder.finalize())
+    }
+}
+
+/// Streaming state of Algorithm 1: the noisy complete tree (levels
+/// `0..=L★`) plus one private sketch per deeper level.
+#[derive(Debug)]
+pub struct PrivHpBuilder<D: HierarchicalDomain> {
+    domain: D,
+    config: PrivHpConfig,
+    split: BudgetSplit,
+    tree: PartitionTree,
+    sketches: Vec<LevelSketch>,
+    items_seen: usize,
+}
+
+impl<D: HierarchicalDomain + Clone> PrivHpBuilder<D> {
+    /// Initialises all data structures and draws all privacy noise
+    /// (Algorithm 1 lines 2–8).
+    ///
+    /// If `config.split` is `None`, the Lemma-5 optimal split for `domain`
+    /// is used.
+    pub fn new<R: RngCore>(
+        domain: D,
+        config: PrivHpConfig,
+        rng: &mut R,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        if config.depth > domain.max_level() {
+            return Err(ConfigError::DepthExceedsDomain {
+                depth: config.depth,
+                max_level: domain.max_level(),
+            });
+        }
+        let split = match &config.split {
+            Some(s) => s.clone(),
+            None => optimal_budget_split(&domain, &config)
+                .map_err(|_| ConfigError::InvalidEpsilon(config.epsilon))?,
+        };
+
+        // Lines 2-6: complete tree of depth L*, counters pre-loaded with
+        // Laplace(1/σ_l) noise.
+        let noise_dists: Vec<Laplace> =
+            (0..=config.l_star).map(|l| Laplace::new(1.0 / split.sigma(l))).collect();
+        let tree = PartitionTree::complete(config.l_star, |p| noise_dists[p.level()].sample(rng));
+
+        // Lines 7-8: a private sketch per level l in (L*, L], noise
+        // Laplace(j/σ_l) per cell.
+        let mut seeds = SeedSequence::new(config.seed);
+        let sketches = ((config.l_star + 1)..=config.depth)
+            .map(|l| match config.sketch_kind {
+                SketchKind::CountMin => LevelSketch::CountMin(PrivateCountMinSketch::new(
+                    config.sketch,
+                    split.sigma(l),
+                    seeds.next_seed(),
+                    rng,
+                )),
+                SketchKind::CountSketch => LevelSketch::CountSketch(PrivateCountSketch::new(
+                    config.sketch,
+                    split.sigma(l),
+                    seeds.next_seed(),
+                    rng,
+                )),
+            })
+            .collect();
+
+        Ok(Self { domain, config, split, tree, sketches, items_seen: 0 })
+    }
+
+    /// Processes one stream item (Algorithm 1 lines 9–15): updates the
+    /// counter at each level `l ≤ L★` and the sketch at each level
+    /// `l > L★`.
+    pub fn ingest(&mut self, point: &D::Point) {
+        // The deepest path determines every ancestor, so locate once.
+        let deep = self.domain.locate(point, self.config.depth);
+        for l in 0..=self.config.l_star {
+            let theta = deep.ancestor(l);
+            self.tree.add_count(&theta, 1.0);
+        }
+        for l in (self.config.l_star + 1)..=self.config.depth {
+            let theta = deep.ancestor(l);
+            self.sketches[l - self.config.l_star - 1].update(theta.sketch_key(), 1.0);
+        }
+        self.items_seen += 1;
+    }
+
+    /// Items ingested so far.
+    pub fn items_seen(&self) -> usize {
+        self.items_seen
+    }
+
+    /// The per-level budget split in force.
+    pub fn split(&self) -> &BudgetSplit {
+        &self.split
+    }
+
+    /// Current memory footprint in 8-byte words (tree + sketches).
+    pub fn memory_words(&self) -> usize {
+        self.tree.memory_words()
+            + self.sketches.iter().map(|s| s.memory_words()).sum::<usize>()
+    }
+
+    /// Runs GrowPartition (Algorithm 2) and returns the finished generator.
+    pub fn finalize(self) -> PrivHpGenerator<D> {
+        self.finalize_with_options(crate::grow::GrowOptions::default())
+    }
+
+    /// [`Self::finalize`] with explicit [`crate::grow::GrowOptions`]
+    /// (ablation hook for the consistency experiment).
+    pub fn finalize_with_options(self, options: crate::grow::GrowOptions) -> PrivHpGenerator<D> {
+        let tree = crate::grow::grow_partition_with_options(
+            self.tree,
+            &self.sketches,
+            self.config.l_star,
+            self.config.depth,
+            self.config.k,
+            options,
+        );
+        PrivHpGenerator {
+            domain: self.domain,
+            config: self.config,
+            split: self.split,
+            tree,
+            items_seen: self.items_seen,
+        }
+    }
+}
+
+/// The released ε-DP synthetic data generator `𝒯_PrivHP`.
+#[derive(Debug, Clone)]
+pub struct PrivHpGenerator<D: HierarchicalDomain> {
+    domain: D,
+    config: PrivHpConfig,
+    split: BudgetSplit,
+    tree: PartitionTree,
+    items_seen: usize,
+}
+
+impl<D: HierarchicalDomain> PrivHpGenerator<D> {
+    /// Assembles a generator from already-private parts. Used by the
+    /// continual-observation adaptation, whose snapshot trees come from
+    /// binary-mechanism counters rather than the 1-pass builder.
+    pub(crate) fn from_parts(
+        domain: D,
+        config: PrivHpConfig,
+        split: BudgetSplit,
+        tree: PartitionTree,
+        items_seen: usize,
+    ) -> Self {
+        Self { domain, config, split, tree, items_seen }
+    }
+
+    /// Draws one synthetic point.
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> D::Point {
+        TreeSampler::new(&self.tree, &self.domain).sample(rng)
+    }
+
+    /// Draws `m` synthetic points.
+    pub fn sample_many<R: RngCore>(&self, m: usize, rng: &mut R) -> Vec<D::Point> {
+        TreeSampler::new(&self.tree, &self.domain).sample_many(m, rng)
+    }
+
+    /// The underlying consistent partition tree (post-processing of an
+    /// ε-DP release, so exposing it costs no extra privacy).
+    pub fn tree(&self) -> &PartitionTree {
+        &self.tree
+    }
+
+    /// A closed-form query view over the release (subdomain masses, heavy
+    /// cells; plus ranges/CDF/quantiles/means on 1-D domains).
+    pub fn query(&self) -> crate::query::TreeQuery<'_, D> {
+        crate::query::TreeQuery::new(&self.tree, &self.domain)
+    }
+
+    /// The domain decomposition the generator samples over.
+    pub fn domain(&self) -> &D {
+        &self.domain
+    }
+
+    /// Configuration used to build this generator.
+    pub fn config(&self) -> &PrivHpConfig {
+        &self.config
+    }
+
+    /// The per-level budget split that was used.
+    pub fn split(&self) -> &BudgetSplit {
+        &self.split
+    }
+
+    /// Number of true stream items processed (not private; used by the
+    /// evaluation harness only).
+    pub fn items_seen(&self) -> usize {
+        self.items_seen
+    }
+
+    /// Memory footprint of the released structure in 8-byte words.
+    pub fn memory_words(&self) -> usize {
+        self.tree.memory_words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privhp_domain::{Hypercube, Path, UnitInterval};
+    use privhp_dp::rng::rng_from_seed;
+
+    fn skewed_stream(n: usize) -> Vec<f64> {
+        // 80% of mass in [0, 0.25), the rest uniform-ish.
+        (0..n)
+            .map(|i| {
+                if i % 5 != 0 {
+                    (i as f64 * 0.618_033_988_749) % 0.25
+                } else {
+                    (i as f64 * 0.414_213_562_373) % 1.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn end_to_end_build_and_sample() {
+        let data = skewed_stream(2_000);
+        let config = PrivHpConfig::for_domain(1.0, data.len(), 8).with_seed(11);
+        let mut rng = rng_from_seed(12);
+        let g = PrivHp::build(&UnitInterval::new(), config, data.iter().copied(), &mut rng)
+            .unwrap();
+        let samples = g.sample_many(5_000, &mut rng);
+        assert_eq!(samples.len(), 5_000);
+        assert!(samples.iter().all(|x| (0.0..1.0).contains(x)));
+        // The skew should be visible: well over a uniform 25% lands in
+        // [0, 0.25).
+        let low = samples.iter().filter(|&&x| x < 0.25).count() as f64 / 5_000.0;
+        assert!(low > 0.5, "generator lost the input skew: {low} in [0,0.25)");
+    }
+
+    #[test]
+    fn generator_tree_is_consistent() {
+        let data = skewed_stream(1_000);
+        let config = PrivHpConfig::for_domain(1.0, data.len(), 4).with_seed(21);
+        let mut rng = rng_from_seed(22);
+        let g = PrivHp::build(&UnitInterval::new(), config, data.iter().copied(), &mut rng)
+            .unwrap();
+        assert!(
+            crate::consistency::find_consistency_violation(g.tree(), &Path::root(), 1e-6)
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn memory_stays_bounded() {
+        // Memory must track k·log²n, not n.
+        let small = {
+            let data = skewed_stream(1 << 10);
+            let config = PrivHpConfig::for_domain(1.0, data.len(), 8).with_seed(1);
+            let mut rng = rng_from_seed(2);
+            let mut b = PrivHpBuilder::new(UnitInterval::new(), config, &mut rng).unwrap();
+            for x in &data {
+                b.ingest(x);
+            }
+            b.memory_words()
+        };
+        let large = {
+            let data = skewed_stream(1 << 14);
+            let config = PrivHpConfig::for_domain(1.0, data.len(), 8).with_seed(1);
+            let mut rng = rng_from_seed(2);
+            let mut b = PrivHpBuilder::new(UnitInterval::new(), config, &mut rng).unwrap();
+            for x in &data {
+                b.ingest(x);
+            }
+            b.memory_words()
+        };
+        // 16x the data should cost only ~(log 2^14 / log 2^10)^2 ≈ 2x the
+        // words; allow generous slack but far below 16x.
+        assert!(
+            (large as f64) < (small as f64) * 6.0,
+            "memory scaled with n: {small} -> {large}"
+        );
+    }
+
+    #[test]
+    fn works_on_hypercube_2d() {
+        let data: Vec<Vec<f64>> = (0..1_500)
+            .map(|i| {
+                let t = i as f64 / 1_500.0;
+                vec![(t * 0.3 + 0.1) % 1.0, (t * t) % 1.0]
+            })
+            .collect();
+        let config = PrivHpConfig::for_domain(1.0, data.len(), 8).with_seed(31);
+        let mut rng = rng_from_seed(32);
+        let g = PrivHp::build(&Hypercube::new(2), config, data.iter().cloned(), &mut rng)
+            .unwrap();
+        let samples = g.sample_many(100, &mut rng);
+        assert!(samples.iter().all(|p| p.len() == 2));
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let data = skewed_stream(800);
+        let build = || {
+            let config = PrivHpConfig::for_domain(1.0, data.len(), 4).with_seed(77);
+            let mut rng = rng_from_seed(78);
+            PrivHp::build(&UnitInterval::new(), config, data.iter().copied(), &mut rng)
+                .unwrap()
+        };
+        let g1 = build();
+        let g2 = build();
+        assert_eq!(g1.tree().len(), g2.tree().len());
+        for (p, c) in g1.tree().iter() {
+            assert_eq!(g2.tree().count(p), Some(*c), "trees diverged at {p}");
+        }
+    }
+
+    #[test]
+    fn empty_stream_still_releases() {
+        let config = PrivHpConfig::for_domain(1.0, 1_024, 4).with_seed(41);
+        let mut rng = rng_from_seed(42);
+        let g =
+            PrivHp::build(&UnitInterval::new(), config, std::iter::empty(), &mut rng).unwrap();
+        // Pure noise, but sampling must not panic.
+        let _ = g.sample_many(50, &mut rng);
+    }
+
+    #[test]
+    fn depth_exceeding_domain_rejected() {
+        let config = PrivHpConfig::for_domain(1.0, 1 << 20, 4).with_levels(2, 40);
+        let mut rng = rng_from_seed(1);
+        let err = PrivHpBuilder::new(privhp_domain::Ipv4Space::new(), config, &mut rng)
+            .expect_err("depth 40 > 32 must be rejected");
+        assert!(matches!(err, ConfigError::DepthExceedsDomain { .. }));
+    }
+
+    #[test]
+    fn count_sketch_variant_builds_and_samples() {
+        let data = skewed_stream(2_000);
+        let config = PrivHpConfig::for_domain(1.0, data.len(), 8)
+            .with_seed(51)
+            .with_sketch_kind(crate::config::SketchKind::CountSketch);
+        let mut rng = rng_from_seed(52);
+        let g = PrivHp::build(&UnitInterval::new(), config, data.iter().copied(), &mut rng)
+            .unwrap();
+        let samples = g.sample_many(4_000, &mut rng);
+        let low = samples.iter().filter(|&&x| x < 0.25).count() as f64 / 4_000.0;
+        assert!(low > 0.5, "Count-Sketch variant lost the skew: {low}");
+        assert!(
+            crate::consistency::find_consistency_violation(g.tree(), &Path::root(), 1e-6)
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn items_seen_counts() {
+        let config = PrivHpConfig::for_domain(1.0, 100, 2).with_seed(5);
+        let mut rng = rng_from_seed(6);
+        let mut b = PrivHpBuilder::new(UnitInterval::new(), config, &mut rng).unwrap();
+        for x in [0.1, 0.2, 0.3] {
+            b.ingest(&x);
+        }
+        assert_eq!(b.items_seen(), 3);
+        let g = b.finalize();
+        assert_eq!(g.items_seen(), 3);
+    }
+}

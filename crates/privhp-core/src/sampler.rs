@@ -1,0 +1,226 @@
+//! Synthetic-data sampling from a decomposition tree — paper §5.
+//!
+//! A sample is drawn by (1) choosing `u` uniformly in `[0, v_∅.count)`,
+//! (2) walking root-to-leaf: at each internal node compare `u` against the
+//! left child's count `c`; branch left if `c ≥ u`, otherwise subtract `c`
+//! from `u` and branch right, and (3) drawing a uniform point from the leaf
+//! subdomain. After consistency the children of every internal node sum
+//! exactly to their parent, so the walk selects each leaf with probability
+//! proportional to its count.
+//!
+//! (The paper's prose says "u ← u − v_θ.count" on a right branch; the
+//! quantity that preserves the invariant `u ∈ [0, subtree mass)` is the
+//! *left child's* count, which is what "branch left if c ≥ u" implies — we
+//! implement that and property-test leaf proportionality.)
+
+use privhp_domain::{HierarchicalDomain, Path};
+use rand::Rng;
+use rand::RngCore;
+
+use crate::tree::PartitionTree;
+
+/// A sampler over a consistent partition tree for a specific domain.
+///
+/// The sampler borrows the tree and domain: it is a cheap, reusable view.
+#[derive(Debug)]
+pub struct TreeSampler<'a, D: HierarchicalDomain> {
+    tree: &'a PartitionTree,
+    domain: &'a D,
+}
+
+impl<'a, D: HierarchicalDomain> TreeSampler<'a, D> {
+    /// Creates a sampler. The tree must contain a root.
+    ///
+    /// # Panics
+    /// Panics on an empty tree.
+    pub fn new(tree: &'a PartitionTree, domain: &'a D) -> Self {
+        assert!(tree.root_count().is_some(), "cannot sample from an empty tree");
+        Self { tree, domain }
+    }
+
+    /// Walks the tree to a leaf path according to the counts.
+    ///
+    /// Degenerate trees (root count ≤ 0, e.g. an empty stream drowned in
+    /// noise) fall back to a uniform branch at every junction, which yields
+    /// a uniform sample over the leaf cells — the only distribution
+    /// expressible without data.
+    pub fn sample_leaf<R: RngCore>(&self, rng: &mut R) -> Path {
+        let root_count = self.tree.root_count().expect("checked at construction");
+        let mut node = Path::root();
+        let mut node_count = root_count;
+        let mut u = if root_count > 0.0 {
+            rng.gen_range(0.0..root_count)
+        } else {
+            0.0
+        };
+        loop {
+            let left = node.left();
+            let right = node.right();
+            let has_left = self.tree.contains(&left);
+            let has_right = self.tree.contains(&right);
+            if !(has_left && has_right) {
+                return node;
+            }
+            let c_left = self.tree.count_unchecked(&left);
+            let c_right = self.tree.count_unchecked(&right);
+            let total = c_left + c_right;
+            if total <= 0.0 {
+                // Zero-mass subtree: branch uniformly.
+                node = if rng.gen_bool(0.5) { left } else { right };
+                node_count = 0.0;
+                u = 0.0;
+                continue;
+            }
+            // On a consistent tree total == node_count and this is the
+            // identity; on an inconsistent tree (ablation runs) it rescales
+            // u into the children's range so the walk stays well-defined.
+            if node_count > 0.0 && (total - node_count).abs() > 1e-9 * node_count.abs() {
+                u *= total / node_count;
+            }
+            if c_left >= u {
+                node = left;
+                node_count = c_left;
+            } else {
+                u -= c_left;
+                node = right;
+                node_count = c_right;
+            }
+        }
+    }
+
+    /// Draws one synthetic point.
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> D::Point {
+        let leaf = self.sample_leaf(rng);
+        self.domain.sample_uniform(&leaf, rng)
+    }
+
+    /// Draws `m` synthetic points.
+    pub fn sample_many<R: RngCore>(&self, m: usize, rng: &mut R) -> Vec<D::Point> {
+        (0..m).map(|_| self.sample(rng)).collect()
+    }
+
+    /// The probability the walk assigns to `leaf` (its count over the root
+    /// count), for diagnostics and tests.
+    pub fn leaf_probability(&self, leaf: &Path) -> f64 {
+        let root = self.tree.root_count().unwrap_or(0.0);
+        if root <= 0.0 {
+            return 0.0;
+        }
+        self.tree.count(leaf).map(|c| (c / root).max(0.0)).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privhp_domain::UnitInterval;
+    use privhp_dp::rng::rng_from_seed;
+
+    /// A consistent depth-2 tree with leaf masses 1, 3, 2, 4.
+    fn fixture_tree() -> PartitionTree {
+        let mut t = PartitionTree::new();
+        let r = Path::root();
+        t.insert(r, 10.0);
+        t.insert(r.left(), 4.0);
+        t.insert(r.right(), 6.0);
+        t.insert(r.left().left(), 1.0);
+        t.insert(r.left().right(), 3.0);
+        t.insert(r.right().left(), 2.0);
+        t.insert(r.right().right(), 4.0);
+        t
+    }
+
+    #[test]
+    fn leaf_frequencies_proportional_to_counts() {
+        let tree = fixture_tree();
+        let domain = UnitInterval::new();
+        let sampler = TreeSampler::new(&tree, &domain);
+        let mut rng = rng_from_seed(42);
+        let n = 100_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            *counts.entry(sampler.sample_leaf(&mut rng)).or_insert(0usize) += 1;
+        }
+        let expect = [
+            (Path::from_bits(0b00, 2), 0.1),
+            (Path::from_bits(0b01, 2), 0.3),
+            (Path::from_bits(0b10, 2), 0.2),
+            (Path::from_bits(0b11, 2), 0.4),
+        ];
+        for (leaf, p) in expect {
+            let freq = *counts.get(&leaf).unwrap_or(&0) as f64 / n as f64;
+            assert!(
+                (freq - p).abs() < 0.01,
+                "leaf {leaf}: frequency {freq} vs expected {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_land_in_selected_cells() {
+        let tree = fixture_tree();
+        let domain = UnitInterval::new();
+        let sampler = TreeSampler::new(&tree, &domain);
+        let mut rng = rng_from_seed(1);
+        for _ in 0..1_000 {
+            let x = sampler.sample(&mut rng);
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uneven_depth_tree_sampling() {
+        // Left child is a leaf at level 1; right subtree goes to level 2.
+        let mut t = PartitionTree::new();
+        let r = Path::root();
+        t.insert(r, 10.0);
+        t.insert(r.left(), 5.0);
+        t.insert(r.right(), 5.0);
+        t.insert(r.right().left(), 5.0);
+        t.insert(r.right().right(), 0.0);
+        let domain = UnitInterval::new();
+        let sampler = TreeSampler::new(&t, &domain);
+        let mut rng = rng_from_seed(2);
+        let n = 40_000;
+        let left_leaf = (0..n)
+            .filter(|_| sampler.sample_leaf(&mut rng) == r.left())
+            .count();
+        let frac = left_leaf as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "left leaf frequency {frac}");
+    }
+
+    #[test]
+    fn zero_mass_tree_falls_back_to_uniform() {
+        let mut t = PartitionTree::new();
+        let r = Path::root();
+        t.insert(r, 0.0);
+        t.insert(r.left(), 0.0);
+        t.insert(r.right(), 0.0);
+        let domain = UnitInterval::new();
+        let sampler = TreeSampler::new(&t, &domain);
+        let mut rng = rng_from_seed(3);
+        let n = 20_000;
+        let lefts = (0..n)
+            .filter(|_| sampler.sample_leaf(&mut rng) == r.left())
+            .count();
+        let frac = lefts as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "uniform fallback broken: {frac}");
+    }
+
+    #[test]
+    fn leaf_probability_reads_counts() {
+        let tree = fixture_tree();
+        let domain = UnitInterval::new();
+        let sampler = TreeSampler::new(&tree, &domain);
+        assert!((sampler.leaf_probability(&Path::from_bits(0b01, 2)) - 0.3).abs() < 1e-12);
+        assert_eq!(sampler.leaf_probability(&Path::from_bits(0b111, 3)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty tree")]
+    fn empty_tree_rejected() {
+        let t = PartitionTree::new();
+        let domain = UnitInterval::new();
+        let _ = TreeSampler::new(&t, &domain);
+    }
+}

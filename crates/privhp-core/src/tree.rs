@@ -1,0 +1,270 @@
+//! The partition tree `𝒯`: the decomposition of `Ω` encoded as a binary
+//! tree of noisy counts (paper §4.1).
+//!
+//! Nodes are addressed by their [`Path`] `θ`; counts are `f64` because
+//! privacy noise makes them real-valued (and possibly negative until the
+//! consistency step). The tree keeps a per-level registry so GrowPartition
+//! and the analysis code can iterate level by level without a traversal.
+
+use privhp_domain::Path;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A sparse binary partition tree with real-valued node counts.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PartitionTree {
+    /// Serialised as a pair list: `Path` is a struct key, which formats
+    /// like JSON cannot express as a map key.
+    #[serde(with = "path_map_serde")]
+    counts: HashMap<Path, f64>,
+    /// Node paths per level, in insertion order.
+    levels: Vec<Vec<Path>>,
+}
+
+/// (De)serialises `HashMap<Path, f64>` as a `Vec<(Path, f64)>`.
+mod path_map_serde {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        map: &HashMap<Path, f64>,
+        ser: S,
+    ) -> Result<S::Ok, S::Error> {
+        let mut pairs: Vec<(Path, f64)> = map.iter().map(|(p, c)| (*p, *c)).collect();
+        pairs.sort_by_key(|pair| pair.0);
+        serde::Serialize::serialize(&pairs, ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        de: D,
+    ) -> Result<HashMap<Path, f64>, D::Error> {
+        let pairs: Vec<(Path, f64)> = serde::Deserialize::deserialize(de)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl PartitionTree {
+    /// Creates an empty tree (no nodes, not even a root).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a complete tree of the given depth with every count
+    /// initialised by `init(path)` — Algorithm 1 lines 2–6 pass a noise
+    /// sampler here.
+    pub fn complete(depth: usize, mut init: impl FnMut(&Path) -> f64) -> Self {
+        let mut tree = Self::new();
+        for level in 0..=depth {
+            for bits in 0..(1u64 << level) {
+                let p = Path::from_bits(bits, level);
+                let c = init(&p);
+                tree.insert(p, c);
+            }
+        }
+        tree
+    }
+
+    /// Inserts (or overwrites) a node.
+    pub fn insert(&mut self, path: Path, count: f64) {
+        if self.counts.insert(path, count).is_none() {
+            while self.levels.len() <= path.level() {
+                self.levels.push(Vec::new());
+            }
+            self.levels[path.level()].push(path);
+        }
+    }
+
+    /// Whether `path` is present.
+    pub fn contains(&self, path: &Path) -> bool {
+        self.counts.contains_key(path)
+    }
+
+    /// Count at `path`, if present.
+    pub fn count(&self, path: &Path) -> Option<f64> {
+        self.counts.get(path).copied()
+    }
+
+    /// Count at `path`.
+    ///
+    /// # Panics
+    /// Panics if the node is absent — callers inside the algorithm know the
+    /// shape they built; a miss is a logic error.
+    pub fn count_unchecked(&self, path: &Path) -> f64 {
+        self.counts[path]
+    }
+
+    /// Sets the count of an existing node.
+    ///
+    /// # Panics
+    /// Panics if the node is absent.
+    pub fn set_count(&mut self, path: &Path, count: f64) {
+        let c = self
+            .counts
+            .get_mut(path)
+            .unwrap_or_else(|| panic!("node {path} not in tree"));
+        *c = count;
+    }
+
+    /// Adds `delta` to an existing node's count.
+    ///
+    /// # Panics
+    /// Panics if the node is absent.
+    pub fn add_count(&mut self, path: &Path, delta: f64) {
+        let c = self
+            .counts
+            .get_mut(path)
+            .unwrap_or_else(|| panic!("node {path} not in tree"));
+        *c += delta;
+    }
+
+    /// Root count (`v_∅.count`), or `None` on an empty tree.
+    pub fn root_count(&self) -> Option<f64> {
+        self.count(&Path::root())
+    }
+
+    /// Whether the node has at least one child in the tree.
+    pub fn is_internal(&self, path: &Path) -> bool {
+        path.level() < Path::MAX_LEVEL
+            && (self.contains(&path.left()) || self.contains(&path.right()))
+    }
+
+    /// Whether the node is present and has no children in the tree.
+    pub fn is_leaf(&self, path: &Path) -> bool {
+        self.contains(path) && !self.is_internal(path)
+    }
+
+    /// Deepest populated level.
+    pub fn depth(&self) -> usize {
+        self.levels.len().saturating_sub(1)
+    }
+
+    /// Paths at `level`, in insertion order (empty slice above the depth).
+    pub fn level_nodes(&self, level: usize) -> &[Path] {
+        self.levels.get(level).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Total number of nodes.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// All leaves (present nodes without children), level order then
+    /// insertion order.
+    pub fn leaves(&self) -> Vec<Path> {
+        let mut out = Vec::new();
+        for level in &self.levels {
+            for p in level {
+                if self.is_leaf(p) {
+                    out.push(*p);
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterates over `(path, count)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Path, &f64)> {
+        self.counts.iter()
+    }
+
+    /// Memory footprint in 8-byte words: one count plus one packed path word
+    /// per node (the per-level registry indexes the same paths).
+    pub fn memory_words(&self) -> usize {
+        2 * self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_tree_shape() {
+        let t = PartitionTree::complete(3, |_| 0.0);
+        assert_eq!(t.len(), 1 + 2 + 4 + 8);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.level_nodes(2).len(), 4);
+        assert_eq!(t.leaves().len(), 8);
+        assert!(t.is_leaf(&Path::from_bits(0b101, 3)));
+        assert!(!t.is_leaf(&Path::from_bits(0b10, 2)));
+    }
+
+    #[test]
+    fn init_receives_each_path() {
+        let t = PartitionTree::complete(2, |p| p.level() as f64);
+        assert_eq!(t.count(&Path::root()), Some(0.0));
+        assert_eq!(t.count(&Path::from_bits(1, 1)), Some(1.0));
+        assert_eq!(t.count(&Path::from_bits(0b11, 2)), Some(2.0));
+    }
+
+    #[test]
+    fn insert_and_mutate() {
+        let mut t = PartitionTree::new();
+        let p = Path::root();
+        t.insert(p, 5.0);
+        t.add_count(&p, 2.5);
+        assert_eq!(t.count(&p), Some(7.5));
+        t.set_count(&p, 1.0);
+        assert_eq!(t.root_count(), Some(1.0));
+    }
+
+    #[test]
+    fn reinsert_overwrites_without_duplicating_registry() {
+        let mut t = PartitionTree::new();
+        let p = Path::root().left();
+        t.insert(Path::root(), 0.0);
+        t.insert(p, 1.0);
+        t.insert(p, 2.0);
+        assert_eq!(t.level_nodes(1).len(), 1);
+        assert_eq!(t.count(&p), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in tree")]
+    fn mutating_missing_node_panics() {
+        let mut t = PartitionTree::new();
+        t.add_count(&Path::root(), 1.0);
+    }
+
+    #[test]
+    fn leaves_of_pruned_tree() {
+        // Root with only a left subtree expanded.
+        let mut t = PartitionTree::new();
+        let root = Path::root();
+        t.insert(root, 10.0);
+        t.insert(root.left(), 6.0);
+        t.insert(root.right(), 4.0);
+        t.insert(root.left().left(), 3.0);
+        t.insert(root.left().right(), 3.0);
+        let leaves = t.leaves();
+        assert_eq!(leaves.len(), 3);
+        assert!(leaves.contains(&root.right()));
+        assert!(leaves.contains(&root.left().left()));
+        assert!(leaves.contains(&root.left().right()));
+    }
+
+    #[test]
+    fn memory_words_tracks_nodes() {
+        let t = PartitionTree::complete(4, |_| 0.0);
+        assert_eq!(t.memory_words(), 2 * 31);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_tree() {
+        // Released trees are serialisable for persistence / transport; the
+        // release is already private, so storing it is post-processing.
+        let t = PartitionTree::complete(3, |p| p.bits() as f64 + 0.5);
+        let json = serde_json::to_string(&t).expect("serialise");
+        let back: PartitionTree = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back.len(), t.len());
+        for (p, c) in t.iter() {
+            assert_eq!(back.count(p), Some(*c));
+        }
+        assert_eq!(back.leaves().len(), t.leaves().len());
+    }
+}

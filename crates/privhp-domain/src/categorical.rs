@@ -1,0 +1,210 @@
+//! A categorical (discrete, unordered) domain — exercising Theorem 3's
+//! "any metric space" generality.
+//!
+//! Categories `0..m` are arranged at the leaves of a balanced binary tree;
+//! the metric is the discrete one (`d(a,b) = 1` for `a ≠ b`), under which
+//! a subdomain's diameter is `1` while it holds more than one category and
+//! `0` once it is a single category. The Theorem-3 machinery applies
+//! verbatim: `γ_l = 1` for `l < ⌈log₂ m⌉` and `0` afterwards, so the
+//! utility bound becomes a bound on total-variation-style error — the
+//! natural notion for categorical data.
+
+use rand::Rng;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::path::Path;
+use crate::HierarchicalDomain;
+
+/// A categorical domain of `m` categories under the discrete metric.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Categorical {
+    categories: u64,
+    depth: usize,
+}
+
+impl Categorical {
+    /// Creates a domain with `categories` categories (padded internally to
+    /// the next power of two for a balanced tree; phantom categories never
+    /// receive or emit mass).
+    ///
+    /// # Panics
+    /// Panics unless `2 ≤ categories ≤ 2^24`.
+    pub fn new(categories: u64) -> Self {
+        assert!(
+            (2..=(1 << 24)).contains(&categories),
+            "categories must be in 2..=2^24"
+        );
+        let depth = (categories as f64).log2().ceil() as usize;
+        Self { categories, depth }
+    }
+
+    /// Number of real categories.
+    pub fn categories(&self) -> u64 {
+        self.categories
+    }
+
+    /// The category range `[lo, hi]` (inclusive, clamped to real
+    /// categories) covered by a node. Paths deeper than the tree depth
+    /// denote single categories (the decomposition descends left below the
+    /// leaves), so they are truncated to their depth-`depth` ancestor.
+    pub fn cell_range(&self, theta: &Path) -> (u64, u64) {
+        let truncated = if theta.level() > self.depth {
+            theta.ancestor(self.depth)
+        } else {
+            *theta
+        };
+        let level = truncated.level();
+        let span = 1u64 << (self.depth - level);
+        let lo = truncated.bits() << (self.depth - level);
+        let hi = (lo + span - 1).min(self.categories - 1);
+        (lo.min(self.categories - 1), hi)
+    }
+}
+
+impl HierarchicalDomain for Categorical {
+    type Point = u64;
+
+    fn locate(&self, p: &u64, level: usize) -> Path {
+        assert!(*p < self.categories, "category {p} out of range");
+        // Below the tree depth every deeper split keeps the same single
+        // category in the left ("0") branch: the decomposition stays
+        // formally binary at every level.
+        if level <= self.depth {
+            Path::from_bits(p >> (self.depth - level), level)
+        } else {
+            let mut theta = Path::from_bits(*p, self.depth);
+            for _ in self.depth..level {
+                theta = theta.left();
+            }
+            theta
+        }
+    }
+
+    fn diameter(&self, theta: &Path) -> f64 {
+        let (lo, hi) = self.cell_range(theta);
+        if lo == hi {
+            0.0
+        } else {
+            1.0
+        }
+    }
+
+    fn level_diameter(&self, level: usize) -> f64 {
+        if level < self.depth {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn level_diameter_sum(&self, level: usize) -> f64 {
+        if level >= self.depth {
+            return 0.0;
+        }
+        // Number of level-`level` nodes spanning > 1 real category.
+        let span = 1u64 << (self.depth - level);
+        let full = self.categories / span;
+        let partial = if self.categories % span > 1 { 1 } else { 0 };
+        (full + partial) as f64
+    }
+
+    fn sample_uniform<R: RngCore>(&self, theta: &Path, rng: &mut R) -> u64 {
+        let (lo, hi) = self.cell_range(theta);
+        rng.gen_range(lo..=hi)
+    }
+
+    fn distance(&self, a: &u64, b: &u64) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            1.0
+        }
+    }
+
+    fn max_level(&self) -> usize {
+        Path::MAX_LEVEL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn locate_is_prefix_of_category_bits() {
+        let d = Categorical::new(8);
+        assert_eq!(d.locate(&5, 3).bits(), 5);
+        assert_eq!(d.locate(&5, 1).bits(), 1); // 5 = 0b101 → top bit 1
+        assert_eq!(d.locate(&5, 0), Path::root());
+    }
+
+    #[test]
+    fn non_power_of_two_padding() {
+        let d = Categorical::new(6); // padded to 8
+        for c in 0..6u64 {
+            let theta = d.locate(&c, 3);
+            let (lo, hi) = d.cell_range(&theta);
+            assert!(lo <= c && c <= hi);
+        }
+        // Phantom categories 6,7 are invalid inputs.
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_category_rejected() {
+        let d = Categorical::new(6);
+        let _ = d.locate(&7, 3);
+    }
+
+    #[test]
+    fn diameters_are_discrete() {
+        let d = Categorical::new(8);
+        assert_eq!(d.level_diameter(0), 1.0);
+        assert_eq!(d.level_diameter(2), 1.0);
+        assert_eq!(d.level_diameter(3), 0.0, "single categories have diameter 0");
+        assert_eq!(d.diameter(&Path::from_bits(0b101, 3)), 0.0);
+        assert_eq!(d.diameter(&Path::from_bits(0b10, 2)), 1.0);
+    }
+
+    #[test]
+    fn gamma_sum_counts_multi_category_nodes() {
+        let d = Categorical::new(8);
+        assert_eq!(d.level_diameter_sum(0), 1.0);
+        assert_eq!(d.level_diameter_sum(1), 2.0);
+        assert_eq!(d.level_diameter_sum(2), 4.0);
+        assert_eq!(d.level_diameter_sum(3), 0.0);
+    }
+
+    #[test]
+    fn locate_below_depth_descends_left() {
+        let d = Categorical::new(4);
+        let deep = d.locate(&3, 5);
+        assert_eq!(deep.level(), 5);
+        assert_eq!(deep.ancestor(2).bits(), 3);
+        assert_eq!(deep.branch_at(3), 0);
+        assert_eq!(deep.branch_at(4), 0);
+    }
+
+    #[test]
+    fn sample_stays_in_cell() {
+        let d = Categorical::new(10);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for c in 0..10u64 {
+            for level in [0usize, 1, 2, 3, 4] {
+                let theta = d.locate(&c, level);
+                let s = d.sample_uniform(&theta, &mut rng);
+                assert!(s < 10, "sampled phantom category {s}");
+                assert_eq!(d.locate(&s, level), theta);
+            }
+        }
+    }
+
+    #[test]
+    fn discrete_metric() {
+        let d = Categorical::new(4);
+        assert_eq!(d.distance(&1, &1), 0.0);
+        assert_eq!(d.distance(&1, &3), 1.0);
+    }
+}

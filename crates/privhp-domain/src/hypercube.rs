@@ -1,0 +1,248 @@
+//! The hypercube `[0,1]^d` under `l∞` — the domain of the paper's
+//! Corollary 1.
+//!
+//! The "natural hierarchical binary decomposition" (paper §8, Lemma 10) cuts
+//! through the middle along one coordinate hyperplane per level, cycling
+//! through coordinates: level `l` splits coordinate `l mod d`. After `l`
+//! splits, coordinate `c` has been halved `q_c(l) = ⌊l/d⌋ + [l mod d > c]`
+//! times, so the box's `l∞` diameter is `2^{-⌊l/d⌋}` and
+//! `Γ_l = 2^l · 2^{-⌊l/d⌋}` (= `2^{(1-1/d)l}` up to rounding), exactly the
+//! quantities driving Corollary 1's bound.
+
+use rand::Rng;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::path::Path;
+use crate::HierarchicalDomain;
+
+/// The unit hypercube `[0,1]^d` with the coordinate-cycling median
+/// decomposition, under the `l∞` metric.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Hypercube {
+    dim: usize,
+}
+
+impl Hypercube {
+    /// Creates the hypercube of dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Self { dim }
+    }
+
+    /// Dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of times coordinate `c` has been split after `level` total
+    /// splits.
+    #[inline]
+    fn splits_of_coord(&self, level: usize, c: usize) -> usize {
+        level / self.dim + usize::from(level % self.dim > c)
+    }
+
+    /// The axis-aligned box `[lo, hi)` denoted by `theta`, as per-coordinate
+    /// bounds.
+    pub fn cell_bounds(&self, theta: &Path) -> Vec<(f64, f64)> {
+        let mut lo = vec![0.0f64; self.dim];
+        let mut hi = vec![1.0f64; self.dim];
+        for i in 0..theta.level() {
+            let c = i % self.dim;
+            let mid = 0.5 * (lo[c] + hi[c]);
+            if theta.branch_at(i) == 0 {
+                hi[c] = mid;
+            } else {
+                lo[c] = mid;
+            }
+        }
+        lo.into_iter().zip(hi).collect()
+    }
+
+    /// Validates that every coordinate of `p` lies in `[0,1]`; points on the
+    /// closed upper boundary are clamped just inside so `locate` stays
+    /// well-defined.
+    fn clamped(&self, p: &[f64]) -> Vec<f64> {
+        assert_eq!(p.len(), self.dim, "point dimension mismatch");
+        p.iter()
+            .map(|&x| {
+                assert!((0.0..=1.0).contains(&x), "coordinate {x} outside [0,1]");
+                x.min(1.0 - f64::EPSILON)
+            })
+            .collect()
+    }
+}
+
+impl HierarchicalDomain for Hypercube {
+    type Point = Vec<f64>;
+
+    fn locate(&self, p: &Self::Point, level: usize) -> Path {
+        assert!(level <= self.max_level(), "level {level} too deep");
+        let p = self.clamped(p);
+        let mut theta = Path::root();
+        // Track per-coordinate dyadic position incrementally: after q splits
+        // of coordinate c, the branch is bit q of x_c's binary expansion.
+        for i in 0..level {
+            let c = i % self.dim;
+            let q = self.splits_of_coord(i, c); // splits of c before this one
+            let scaled = p[c] * 2f64.powi(q as i32 + 1);
+            let bit = (scaled as u64) & 1;
+            theta = theta.child(bit as u8);
+        }
+        theta
+    }
+
+    fn diameter(&self, theta: &Path) -> f64 {
+        self.level_diameter(theta.level())
+    }
+
+    fn level_diameter(&self, level: usize) -> f64 {
+        // l∞ diameter = longest remaining side = 2^{-⌊l/d⌋}.
+        2f64.powi(-((level / self.dim) as i32))
+    }
+
+    fn level_diameter_sum(&self, level: usize) -> f64 {
+        2f64.powi(level as i32) * self.level_diameter(level)
+    }
+
+    fn sample_uniform<R: RngCore>(&self, theta: &Path, rng: &mut R) -> Self::Point {
+        self.cell_bounds(theta)
+            .into_iter()
+            .map(|(lo, hi)| rng.gen_range(lo..hi))
+            .collect()
+    }
+
+    fn distance(&self, a: &Self::Point, b: &Self::Point) -> f64 {
+        assert_eq!(a.len(), self.dim);
+        assert_eq!(b.len(), self.dim);
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    fn max_level(&self) -> usize {
+        // 52 mantissa bits per coordinate bounds the usable depth.
+        Path::MAX_LEVEL.min(50 * self.dim).min(Path::MAX_LEVEL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn one_dim_locate_is_dyadic() {
+        let cube = Hypercube::new(1);
+        assert_eq!(cube.locate(&vec![0.3], 1).to_string(), "0");
+        assert_eq!(cube.locate(&vec![0.7], 1).to_string(), "1");
+        assert_eq!(cube.locate(&vec![0.3], 2).to_string(), "01"); // [0.25,0.5)
+        assert_eq!(cube.locate(&vec![0.1], 3).to_string(), "000");
+        assert_eq!(cube.locate(&vec![0.9], 3).to_string(), "111");
+    }
+
+    #[test]
+    fn two_dim_alternates_coordinates() {
+        let cube = Hypercube::new(2);
+        // First split is on x (coord 0), second on y (coord 1).
+        let p = vec![0.75, 0.25];
+        assert_eq!(cube.locate(&p, 1).to_string(), "1"); // x in upper half
+        assert_eq!(cube.locate(&p, 2).to_string(), "10"); // y in lower half
+    }
+
+    #[test]
+    fn locate_matches_cell_bounds() {
+        let cube = Hypercube::new(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let p: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..1.0)).collect();
+            for level in [0usize, 1, 4, 9, 15] {
+                let theta = cube.locate(&p, level);
+                for ((lo, hi), &x) in cube.cell_bounds(&theta).iter().zip(&p) {
+                    assert!(
+                        *lo <= x && x < *hi,
+                        "point {x} outside cell [{lo},{hi}) at level {level}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn upper_boundary_points_locate() {
+        let cube = Hypercube::new(2);
+        let theta = cube.locate(&vec![1.0, 1.0], 6);
+        assert_eq!(theta.to_string(), "111111");
+    }
+
+    #[test]
+    fn diameters_follow_corollary1() {
+        let cube = Hypercube::new(2);
+        assert_eq!(cube.level_diameter(0), 1.0);
+        assert_eq!(cube.level_diameter(1), 1.0); // only x split: y side = 1
+        assert_eq!(cube.level_diameter(2), 0.5);
+        assert_eq!(cube.level_diameter(4), 0.25);
+        // Γ_l = 2^l * γ_l
+        assert_eq!(cube.level_diameter_sum(2), 2.0);
+        assert_eq!(cube.level_diameter_sum(4), 4.0);
+    }
+
+    #[test]
+    fn one_dim_gamma_sum_is_one() {
+        let cube = Hypercube::new(1);
+        for l in 0..20 {
+            assert!((cube.level_diameter_sum(l) - 1.0).abs() < 1e-12, "Γ_l must be 1 in 1-D");
+        }
+    }
+
+    #[test]
+    fn sample_uniform_stays_in_cell() {
+        let cube = Hypercube::new(2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let theta = Path::from_bits(0b1101, 4);
+        let bounds = cube.cell_bounds(&theta);
+        for _ in 0..500 {
+            let p = cube.sample_uniform(&theta, &mut rng);
+            for ((lo, hi), x) in bounds.iter().zip(&p) {
+                assert!(lo <= x && x < hi);
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_points_relocate_to_cell() {
+        let cube = Hypercube::new(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for bits in 0..16u64 {
+            let theta = Path::from_bits(bits, 4);
+            let p = cube.sample_uniform(&theta, &mut rng);
+            assert_eq!(cube.locate(&p, 4), theta, "round-trip failed for θ={theta}");
+        }
+    }
+
+    #[test]
+    fn linf_distance() {
+        let cube = Hypercube::new(3);
+        let a = vec![0.1, 0.5, 0.9];
+        let b = vec![0.2, 0.1, 0.8];
+        assert!((cube.distance(&a, &b) - 0.4).abs() < 1e-12);
+        assert_eq!(cube.distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn out_of_range_point_rejected() {
+        let cube = Hypercube::new(1);
+        let _ = cube.locate(&vec![1.5], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dim_rejected() {
+        let _ = Hypercube::new(0);
+    }
+}

@@ -1,0 +1,142 @@
+//! The unit interval `[0,1]` with the dyadic decomposition — the paper's
+//! `d = 1` case, provided with scalar points for ergonomic 1-D use.
+//!
+//! Level-`l` subdomains are the dyadic intervals `[i·2^{-l}, (i+1)·2^{-l})`;
+//! `γ_l = 2^{-l}` and `Γ_l = 1` for every level, which is what collapses the
+//! Corollary-1 bound to `O(log²(M)/(εn) + ‖tail‖/(Mn))` in one dimension.
+
+use rand::Rng;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::path::Path;
+use crate::HierarchicalDomain;
+
+/// The unit interval `[0,1]` under absolute distance, dyadically decomposed.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct UnitInterval;
+
+impl UnitInterval {
+    /// Creates the interval domain.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// The dyadic interval `[lo, hi)` named by `theta`.
+    pub fn cell_bounds(&self, theta: &Path) -> (f64, f64) {
+        let width = 2f64.powi(-(theta.level() as i32));
+        let lo = theta.bits() as f64 * width;
+        (lo, lo + width)
+    }
+}
+
+impl HierarchicalDomain for UnitInterval {
+    type Point = f64;
+
+    fn locate(&self, p: &f64, level: usize) -> Path {
+        assert!((0.0..=1.0).contains(p), "point {p} outside [0,1]");
+        assert!(level <= self.max_level(), "level {level} too deep");
+        let x = p.min(1.0 - f64::EPSILON);
+        // The level-l cell index is simply the top l bits of x.
+        let idx = (x * 2f64.powi(level as i32)) as u64;
+        Path::from_bits(idx, level)
+    }
+
+    fn diameter(&self, theta: &Path) -> f64 {
+        self.level_diameter(theta.level())
+    }
+
+    fn level_diameter(&self, level: usize) -> f64 {
+        2f64.powi(-(level as i32))
+    }
+
+    fn level_diameter_sum(&self, _level: usize) -> f64 {
+        1.0
+    }
+
+    fn sample_uniform<R: RngCore>(&self, theta: &Path, rng: &mut R) -> f64 {
+        let (lo, hi) = self.cell_bounds(theta);
+        rng.gen_range(lo..hi)
+    }
+
+    fn distance(&self, a: &f64, b: &f64) -> f64 {
+        (a - b).abs()
+    }
+
+    fn max_level(&self) -> usize {
+        50
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn locate_is_binary_expansion() {
+        let iv = UnitInterval::new();
+        assert_eq!(iv.locate(&0.0, 3).to_string(), "000");
+        assert_eq!(iv.locate(&0.49, 1).to_string(), "0");
+        assert_eq!(iv.locate(&0.51, 1).to_string(), "1");
+        assert_eq!(iv.locate(&0.625, 3).to_string(), "101");
+        assert_eq!(iv.locate(&1.0, 3).to_string(), "111");
+    }
+
+    #[test]
+    fn cell_bounds_partition() {
+        let iv = UnitInterval::new();
+        let level = 4;
+        let mut edge = 0.0;
+        for i in 0..(1u64 << level) {
+            let (lo, hi) = iv.cell_bounds(&Path::from_bits(i, level));
+            assert!((lo - edge).abs() < 1e-12, "cells must tile the interval");
+            edge = hi;
+        }
+        assert!((edge - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn locate_agrees_with_hypercube_d1() {
+        let iv = UnitInterval::new();
+        let cube = crate::Hypercube::new(1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let x: f64 = rng.gen_range(0.0..1.0);
+            for level in [1usize, 3, 7, 12] {
+                assert_eq!(
+                    iv.locate(&x, level),
+                    cube.locate(&vec![x], level),
+                    "interval and 1-D hypercube must agree at x={x}, level={level}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_and_gamma_sum() {
+        let iv = UnitInterval::new();
+        assert_eq!(iv.level_diameter(3), 0.125);
+        assert_eq!(iv.level_diameter_sum(3), 1.0);
+        assert_eq!(iv.total_diameter(), 1.0);
+    }
+
+    #[test]
+    fn sample_roundtrip() {
+        let iv = UnitInterval::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        for bits in 0..8u64 {
+            let theta = Path::from_bits(bits, 3);
+            for _ in 0..50 {
+                let x = iv.sample_uniform(&theta, &mut rng);
+                assert_eq!(iv.locate(&x, 3), theta);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn negative_point_rejected() {
+        let _ = UnitInterval::new().locate(&-0.1, 2);
+    }
+}

@@ -1,0 +1,167 @@
+//! The IPv4 address space — one of the paper's motivating general metric
+//! domains (§1.2: "such as geographic coordinates or the IPv4 address
+//! space").
+//!
+//! Addresses are 32-bit integers; the natural hierarchical decomposition is
+//! by address prefix (level `l` = the `/l` CIDR prefix). The metric is the
+//! normalised absolute address distance `|a − b| / 2^32`, under which the
+//! level-`l` subdomain diameter is `2^{-l}` — identical in shape to the
+//! dyadic interval, so every 1-D bound of the paper applies verbatim.
+
+use rand::Rng;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::path::Path;
+use crate::HierarchicalDomain;
+
+/// The IPv4 address space decomposed by CIDR prefix.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Ipv4Space;
+
+impl Ipv4Space {
+    /// Creates the IPv4 domain.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// The CIDR block named by `theta`, as an inclusive address range.
+    pub fn cell_range(&self, theta: &Path) -> (u32, u32) {
+        let level = theta.level();
+        assert!(level <= 32);
+        if level == 0 {
+            return (0, u32::MAX);
+        }
+        let lo = (theta.bits() as u32) << (32 - level);
+        let size = if level == 32 { 1u64 } else { 1u64 << (32 - level) };
+        (lo, lo + (size - 1) as u32)
+    }
+
+    /// Formats an address in dotted-quad notation.
+    pub fn format_addr(addr: u32) -> String {
+        format!(
+            "{}.{}.{}.{}",
+            addr >> 24,
+            (addr >> 16) & 0xff,
+            (addr >> 8) & 0xff,
+            addr & 0xff
+        )
+    }
+
+    /// Parses dotted-quad notation.
+    pub fn parse_addr(s: &str) -> Option<u32> {
+        let mut parts = s.split('.');
+        let mut addr = 0u32;
+        for _ in 0..4 {
+            let octet: u32 = parts.next()?.parse().ok()?;
+            if octet > 255 {
+                return None;
+            }
+            addr = (addr << 8) | octet;
+        }
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(addr)
+    }
+}
+
+impl HierarchicalDomain for Ipv4Space {
+    type Point = u32;
+
+    fn locate(&self, p: &u32, level: usize) -> Path {
+        assert!(level <= 32, "IPv4 prefixes have at most 32 bits");
+        let bits = if level == 0 { 0 } else { (*p as u64) >> (32 - level) };
+        Path::from_bits(bits, level)
+    }
+
+    fn diameter(&self, theta: &Path) -> f64 {
+        self.level_diameter(theta.level())
+    }
+
+    fn level_diameter(&self, level: usize) -> f64 {
+        2f64.powi(-(level as i32))
+    }
+
+    fn level_diameter_sum(&self, _level: usize) -> f64 {
+        1.0
+    }
+
+    fn sample_uniform<R: RngCore>(&self, theta: &Path, rng: &mut R) -> u32 {
+        let (lo, hi) = self.cell_range(theta);
+        rng.gen_range(lo..=hi)
+    }
+
+    fn distance(&self, a: &u32, b: &u32) -> f64 {
+        (*a as f64 - *b as f64).abs() / 2f64.powi(32)
+    }
+
+    fn max_level(&self) -> usize {
+        32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn locate_is_prefix() {
+        let ip = Ipv4Space::new();
+        let addr = Ipv4Space::parse_addr("192.168.1.77").unwrap();
+        // /8 prefix of 192.x.x.x is 192 = 0b11000000.
+        assert_eq!(ip.locate(&addr, 8).bits(), 192);
+        // /16 prefix is 192.168.
+        assert_eq!(ip.locate(&addr, 16).bits(), (192 << 8) | 168);
+        assert_eq!(ip.locate(&addr, 32).bits(), addr as u64);
+    }
+
+    #[test]
+    fn parse_format_roundtrip() {
+        for s in ["0.0.0.0", "255.255.255.255", "10.1.2.3", "172.16.254.1"] {
+            let a = Ipv4Space::parse_addr(s).unwrap();
+            assert_eq!(Ipv4Space::format_addr(a), s);
+        }
+        assert!(Ipv4Space::parse_addr("256.0.0.1").is_none());
+        assert!(Ipv4Space::parse_addr("1.2.3").is_none());
+        assert!(Ipv4Space::parse_addr("1.2.3.4.5").is_none());
+    }
+
+    #[test]
+    fn cell_range_matches_cidr() {
+        let ip = Ipv4Space::new();
+        let ten_slash_8 = ip.locate(&Ipv4Space::parse_addr("10.0.0.0").unwrap(), 8);
+        let (lo, hi) = ip.cell_range(&ten_slash_8);
+        assert_eq!(Ipv4Space::format_addr(lo), "10.0.0.0");
+        assert_eq!(Ipv4Space::format_addr(hi), "10.255.255.255");
+    }
+
+    #[test]
+    fn full_depth_cell_is_single_address() {
+        let ip = Ipv4Space::new();
+        let addr = 0xC0A8_0101u32;
+        let theta = ip.locate(&addr, 32);
+        assert_eq!(ip.cell_range(&theta), (addr, addr));
+    }
+
+    #[test]
+    fn sample_stays_in_block() {
+        let ip = Ipv4Space::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let theta = ip.locate(&Ipv4Space::parse_addr("172.16.0.0").unwrap(), 12);
+        let (lo, hi) = ip.cell_range(&theta);
+        for _ in 0..200 {
+            let a = ip.sample_uniform(&theta, &mut rng);
+            assert!(a >= lo && a <= hi);
+            assert_eq!(ip.locate(&a, 12), theta);
+        }
+    }
+
+    #[test]
+    fn distance_normalised() {
+        let ip = Ipv4Space::new();
+        assert_eq!(ip.distance(&0, &0), 0.0);
+        assert!((ip.distance(&0, &u32::MAX) - 1.0).abs() < 1e-9);
+    }
+}

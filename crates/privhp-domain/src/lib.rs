@@ -1,0 +1,129 @@
+#![warn(missing_docs)]
+
+//! Metric-domain substrate: hierarchical binary decompositions.
+//!
+//! PrivHP's accuracy analysis (paper Theorem 3) applies to **any** metric
+//! space equipped with a binary hierarchical decomposition: a family of
+//! subdomains `Ω_θ` indexed by bit strings `θ ∈ {0,1}^{≤L}` where
+//! `Ω_{θ0} ∪ Ω_{θ1} = Ω_θ` disjointly. The utility bound depends on the
+//! domain only through the level diameters `γ_l = max_θ diam(Ω_θ)` and their
+//! level sums `Γ_l = Σ_θ diam(Ω_θ)`.
+//!
+//! This crate provides:
+//!
+//! * [`path`] — the bit-string index `θ` ([`path::Path`]) with cheap
+//!   parent/child arithmetic and a collision-free `u64` sketch key;
+//! * [`hypercube`] — the canonical domain of the paper's Corollary 1:
+//!   `[0,1]^d` under `l∞` with coordinate-cycling median splits
+//!   (`γ_l ≍ 2^{-⌊l/d⌋}`, `Γ_l = 2^l·2^{-⌊l/d⌋}`);
+//! * [`interval`] — the 1-D dyadic special case with scalar points;
+//! * [`ipv4`] — the IPv4 address space under normalised absolute distance,
+//!   decomposed by address-prefix (one of the paper's motivating domains);
+//! * [`geo`] — geographic lat/lon boxes mapped onto `[0,1]²`.
+//!
+//! All domains implement [`HierarchicalDomain`], the only interface the
+//! PrivHP core needs.
+
+pub mod categorical;
+pub mod geo;
+pub mod hypercube;
+pub mod interval;
+pub mod ipv4;
+pub mod path;
+pub mod product;
+
+pub use categorical::Categorical;
+pub use geo::{GeoBox, GeoPoint};
+pub use hypercube::Hypercube;
+pub use interval::UnitInterval;
+pub use ipv4::Ipv4Space;
+pub use path::Path;
+pub use product::ProductDomain;
+
+use rand::RngCore;
+
+/// A metric space with a fixed binary hierarchical decomposition.
+///
+/// Implementors must guarantee that for every point `p` and level `l`,
+/// `locate(p, l)` is the unique length-`l` path with `p ∈ Ω_θ`, and that
+/// `locate(p, l+1)` is a child of `locate(p, l)` (the decomposition is
+/// nested). The PrivHP core relies on this nesting to update one counter per
+/// level during the single stream pass (Algorithm 1, lines 9–15).
+pub trait HierarchicalDomain {
+    /// Point type of the space.
+    type Point: Clone + std::fmt::Debug;
+
+    /// The unique level-`level` subdomain containing `p`.
+    fn locate(&self, p: &Self::Point, level: usize) -> Path;
+
+    /// Diameter of the subdomain `Ω_θ`.
+    fn diameter(&self, theta: &Path) -> f64;
+
+    /// `γ_l`: the maximum subdomain diameter at level `l`.
+    fn level_diameter(&self, level: usize) -> f64;
+
+    /// `Γ_l = Σ_{θ ∈ {0,1}^l} diam(Ω_θ)`: the summed diameter at level `l`.
+    fn level_diameter_sum(&self, level: usize) -> f64;
+
+    /// Draws a uniform point from `Ω_θ`.
+    fn sample_uniform<R: RngCore>(&self, theta: &Path, rng: &mut R) -> Self::Point;
+
+    /// Metric distance between two points.
+    fn distance(&self, a: &Self::Point, b: &Self::Point) -> f64;
+
+    /// Deepest level the decomposition supports without exhausting the
+    /// precision of the point representation.
+    fn max_level(&self) -> usize;
+
+    /// Diameter of the whole space `Ω` (= `level_diameter(0)`).
+    fn total_diameter(&self) -> f64 {
+        self.level_diameter(0)
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Generic nesting check run against every domain implementation.
+    fn check_nesting<D: HierarchicalDomain>(domain: &D, points: &[D::Point], max_level: usize) {
+        for p in points {
+            let mut prev = Path::root();
+            for l in 0..=max_level.min(domain.max_level()) {
+                let theta = domain.locate(p, l);
+                assert_eq!(theta.level(), l);
+                if l > 0 {
+                    assert_eq!(
+                        theta.parent().expect("non-root has parent"),
+                        prev,
+                        "decomposition must be nested at level {l}"
+                    );
+                }
+                prev = theta;
+            }
+        }
+    }
+
+    #[test]
+    fn all_domains_are_nested() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let cube = Hypercube::new(3);
+        let pts: Vec<Vec<f64>> = (0..20)
+            .map(|_| {
+                (0..3)
+                    .map(|_| rand::Rng::gen_range(&mut rng, 0.0..1.0))
+                    .collect()
+            })
+            .collect();
+        check_nesting(&cube, &pts, 20);
+
+        let iv = UnitInterval::new();
+        let pts: Vec<f64> = (0..20).map(|_| rand::Rng::gen_range(&mut rng, 0.0..1.0)).collect();
+        check_nesting(&iv, &pts, 30);
+
+        let ip = Ipv4Space::new();
+        let pts: Vec<u32> = (0..20).map(|_| rand::Rng::gen(&mut rng)).collect();
+        check_nesting(&ip, &pts, 32);
+    }
+}

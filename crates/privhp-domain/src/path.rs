@@ -1,0 +1,257 @@
+//! The bit-string subdomain index `θ ∈ {0,1}^{≤L}`.
+//!
+//! A [`Path`] names one node of the binary decomposition: the empty path is
+//! the whole space `Ω`, and appending bit `b` descends into `Ω_{θb}`. Paths
+//! are packed into a `u64` (most-significant-first within the used suffix),
+//! supporting decompositions up to [`Path::MAX_LEVEL`] = 60 levels — far
+//! beyond the paper's `L = log₂(εn)` for any realistic stream.
+
+use serde::{Deserialize, Serialize};
+
+/// A node index in the binary hierarchy: a bit string of length `level`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Path {
+    /// The bits of θ, with bit `level-1` the most recent branch (LSB-newest
+    /// packing: `bits & 1` is the *last* branching decision).
+    bits: u64,
+    level: u8,
+}
+
+impl Path {
+    /// Deepest supported level.
+    pub const MAX_LEVEL: usize = 60;
+
+    /// The root path (the whole space, `θ = ∅`).
+    pub const fn root() -> Self {
+        Self { bits: 0, level: 0 }
+    }
+
+    /// Builds a path from raw bits: `bits` holds the branch decisions with
+    /// the **first** decision in the most significant used position.
+    ///
+    /// # Panics
+    /// Panics if `level > MAX_LEVEL` or `bits` has set bits beyond `level`.
+    pub fn from_bits(bits: u64, level: usize) -> Self {
+        assert!(level <= Self::MAX_LEVEL, "level {level} exceeds MAX_LEVEL");
+        assert!(
+            level == 64 || bits < (1u64 << level),
+            "bits 0x{bits:x} out of range for level {level}"
+        );
+        Self { bits, level: level as u8 }
+    }
+
+    /// Length of the bit string (the node's level in the hierarchy).
+    #[inline]
+    pub fn level(&self) -> usize {
+        self.level as usize
+    }
+
+    /// Raw packed bits (first branch most significant).
+    #[inline]
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Whether this is the root.
+    #[inline]
+    pub fn is_root(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Descends into child `bit` (0 = left, 1 = right).
+    ///
+    /// # Panics
+    /// Panics if already at `MAX_LEVEL` or `bit > 1`.
+    #[inline]
+    pub fn child(&self, bit: u8) -> Self {
+        assert!(bit <= 1, "branch bit must be 0 or 1");
+        assert!((self.level as usize) < Self::MAX_LEVEL, "cannot descend below MAX_LEVEL");
+        Self {
+            bits: (self.bits << 1) | bit as u64,
+            level: self.level + 1,
+        }
+    }
+
+    /// Left child `θ0`.
+    #[inline]
+    pub fn left(&self) -> Self {
+        self.child(0)
+    }
+
+    /// Right child `θ1`.
+    #[inline]
+    pub fn right(&self) -> Self {
+        self.child(1)
+    }
+
+    /// Parent path, or `None` at the root.
+    #[inline]
+    pub fn parent(&self) -> Option<Self> {
+        if self.level == 0 {
+            None
+        } else {
+            Some(Self { bits: self.bits >> 1, level: self.level - 1 })
+        }
+    }
+
+    /// The branch taken at step `i` (0-based from the root).
+    ///
+    /// # Panics
+    /// Panics if `i >= level`.
+    #[inline]
+    pub fn branch_at(&self, i: usize) -> u8 {
+        assert!(i < self.level as usize, "branch index {i} out of range");
+        ((self.bits >> (self.level as usize - 1 - i)) & 1) as u8
+    }
+
+    /// Last branch taken (0 if left child of its parent, 1 if right).
+    ///
+    /// # Panics
+    /// Panics at the root.
+    #[inline]
+    pub fn last_branch(&self) -> u8 {
+        assert!(self.level > 0, "root has no last branch");
+        (self.bits & 1) as u8
+    }
+
+    /// The sibling path (same parent, other branch), or `None` at the root.
+    #[inline]
+    pub fn sibling(&self) -> Option<Self> {
+        if self.level == 0 {
+            None
+        } else {
+            Some(Self { bits: self.bits ^ 1, level: self.level })
+        }
+    }
+
+    /// The ancestor at `level ≤ self.level()`.
+    ///
+    /// # Panics
+    /// Panics if `level > self.level()`.
+    #[inline]
+    pub fn ancestor(&self, level: usize) -> Self {
+        assert!(level <= self.level as usize, "ancestor level too deep");
+        Self {
+            bits: self.bits >> (self.level as usize - level),
+            level: level as u8,
+        }
+    }
+
+    /// Whether `self` is an ancestor of (or equal to) `other`.
+    #[inline]
+    pub fn is_ancestor_of(&self, other: &Path) -> bool {
+        other.level >= self.level && other.ancestor(self.level()) == *self
+    }
+
+    /// A `u64` key that is unique across **all** levels (prefix-free
+    /// encoding `1·bits`), suitable as a sketch key. Within PrivHP each
+    /// level has its own sketch, but the offset keeps keys collision-free
+    /// even if levels share a structure.
+    #[inline]
+    pub fn sketch_key(&self) -> u64 {
+        (1u64 << self.level) | self.bits
+    }
+
+    /// Index of this node within its level (`0 ..= 2^level - 1`).
+    #[inline]
+    pub fn index_in_level(&self) -> u64 {
+        self.bits
+    }
+}
+
+impl std::fmt::Display for Path {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.level == 0 {
+            return write!(f, "ε");
+        }
+        for i in 0..self.level() {
+            write!(f, "{}", self.branch_at(i))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_properties() {
+        let r = Path::root();
+        assert_eq!(r.level(), 0);
+        assert!(r.is_root());
+        assert!(r.parent().is_none());
+        assert!(r.sibling().is_none());
+        assert_eq!(r.to_string(), "ε");
+    }
+
+    #[test]
+    fn child_parent_roundtrip() {
+        let p = Path::root().right().left().right(); // θ = 101
+        assert_eq!(p.level(), 3);
+        assert_eq!(p.to_string(), "101");
+        assert_eq!(p.parent().unwrap().to_string(), "10");
+        assert_eq!(p.parent().unwrap().parent().unwrap().to_string(), "1");
+        assert_eq!(p.last_branch(), 1);
+    }
+
+    #[test]
+    fn branch_at_orders_from_root() {
+        let p = Path::from_bits(0b110, 3); // θ = 110
+        assert_eq!(p.branch_at(0), 1);
+        assert_eq!(p.branch_at(1), 1);
+        assert_eq!(p.branch_at(2), 0);
+    }
+
+    #[test]
+    fn sibling_flips_last_bit() {
+        let p = Path::from_bits(0b10, 2);
+        assert_eq!(p.sibling().unwrap(), Path::from_bits(0b11, 2));
+        assert_eq!(p.sibling().unwrap().sibling().unwrap(), p);
+    }
+
+    #[test]
+    fn ancestor_and_is_ancestor() {
+        let p = Path::from_bits(0b1011, 4);
+        assert_eq!(p.ancestor(2), Path::from_bits(0b10, 2));
+        assert!(Path::from_bits(0b10, 2).is_ancestor_of(&p));
+        assert!(!Path::from_bits(0b11, 2).is_ancestor_of(&p));
+        assert!(p.is_ancestor_of(&p));
+        assert!(Path::root().is_ancestor_of(&p));
+    }
+
+    #[test]
+    fn sketch_keys_unique_across_levels() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for level in 0..=10usize {
+            for bits in 0..(1u64 << level) {
+                assert!(
+                    seen.insert(Path::from_bits(bits, level).sketch_key()),
+                    "duplicate key at level {level}, bits {bits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_bits_validates() {
+        let _ = Path::from_bits(0b100, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_LEVEL")]
+    fn cannot_exceed_max_level() {
+        let mut p = Path::root();
+        for _ in 0..=Path::MAX_LEVEL {
+            p = p.left();
+        }
+    }
+
+    #[test]
+    fn display_left_right() {
+        assert_eq!(Path::root().left().to_string(), "0");
+        assert_eq!(Path::root().left().right().to_string(), "01");
+    }
+}

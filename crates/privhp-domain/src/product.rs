@@ -1,0 +1,208 @@
+//! Product domains — mixed-type data under the max (`l∞`-style) metric.
+//!
+//! Real tabular data mixes continuous and categorical attributes. A
+//! [`ProductDomain<A, B>`] decomposes the product space `Ω_A × Ω_B` by
+//! alternating splits (even levels split the `A` component, odd levels the
+//! `B` component), with metric `d((a,b),(a',b')) = max(d_A(a,a'),
+//! d_B(b,b'))` — the same construction Corollary 1 uses to build `[0,1]^d`
+//! out of `d` intervals, generalised to heterogeneous factors. Theorem 3
+//! applies unchanged because the product again has level-uniform diameters
+//! whenever both factors do (every domain in this crate does).
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::path::Path;
+use crate::HierarchicalDomain;
+
+/// The product of two hierarchical domains with alternating splits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProductDomain<A, B> {
+    left: A,
+    right: B,
+}
+
+impl<A: HierarchicalDomain, B: HierarchicalDomain> ProductDomain<A, B> {
+    /// Creates the product `Ω_A × Ω_B`.
+    pub fn new(left: A, right: B) -> Self {
+        Self { left, right }
+    }
+
+    /// The `A` factor.
+    pub fn left(&self) -> &A {
+        &self.left
+    }
+
+    /// The `B` factor.
+    pub fn right(&self) -> &B {
+        &self.right
+    }
+
+    /// How many of the first `level` splits belong to each factor:
+    /// `(⌈level/2⌉, ⌊level/2⌋)`.
+    #[inline]
+    fn factor_levels(level: usize) -> (usize, usize) {
+        (level.div_ceil(2), level / 2)
+    }
+
+    /// Splits a product path into its factor paths.
+    fn split_path(&self, theta: &Path) -> (Path, Path) {
+        let mut a = Path::root();
+        let mut b = Path::root();
+        for i in 0..theta.level() {
+            let bit = theta.branch_at(i);
+            if i % 2 == 0 {
+                a = a.child(bit);
+            } else {
+                b = b.child(bit);
+            }
+        }
+        (a, b)
+    }
+}
+
+impl<A: HierarchicalDomain, B: HierarchicalDomain> HierarchicalDomain for ProductDomain<A, B> {
+    type Point = (A::Point, B::Point);
+
+    fn locate(&self, p: &Self::Point, level: usize) -> Path {
+        let (la, lb) = Self::factor_levels(level);
+        let pa = self.left.locate(&p.0, la);
+        let pb = self.right.locate(&p.1, lb);
+        let mut theta = Path::root();
+        for i in 0..level {
+            let bit = if i % 2 == 0 { pa.branch_at(i / 2) } else { pb.branch_at(i / 2) };
+            theta = theta.child(bit);
+        }
+        theta
+    }
+
+    fn diameter(&self, theta: &Path) -> f64 {
+        let (pa, pb) = self.split_path(theta);
+        self.left.diameter(&pa).max(self.right.diameter(&pb))
+    }
+
+    fn level_diameter(&self, level: usize) -> f64 {
+        let (la, lb) = Self::factor_levels(level);
+        self.left.level_diameter(la).max(self.right.level_diameter(lb))
+    }
+
+    fn level_diameter_sum(&self, level: usize) -> f64 {
+        // Level-uniform factors: every level-`level` product cell has the
+        // same diameter, and there are 2^level of them.
+        2f64.powi(level as i32) * self.level_diameter(level)
+    }
+
+    fn sample_uniform<R: RngCore>(&self, theta: &Path, rng: &mut R) -> Self::Point {
+        let (pa, pb) = self.split_path(theta);
+        (self.left.sample_uniform(&pa, rng), self.right.sample_uniform(&pb, rng))
+    }
+
+    fn distance(&self, a: &Self::Point, b: &Self::Point) -> f64 {
+        self.left.distance(&a.0, &b.0).max(self.right.distance(&a.1, &b.1))
+    }
+
+    fn max_level(&self) -> usize {
+        (2 * self.left.max_level().min(self.right.max_level())).min(Path::MAX_LEVEL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Categorical, UnitInterval};
+    use rand::SeedableRng;
+
+    fn mixed() -> ProductDomain<UnitInterval, Categorical> {
+        ProductDomain::new(UnitInterval::new(), Categorical::new(8))
+    }
+
+    #[test]
+    fn locate_interleaves_factors() {
+        let d = mixed();
+        // x = 0.75 → interval bits 1,1,...; category 5 = 0b101.
+        let theta = d.locate(&(0.75, 5), 6);
+        // Even positions (0,2,4) = interval bits; odd (1,3,5) = category.
+        assert_eq!(theta.branch_at(0), 1); // x: first bit of 0.75
+        assert_eq!(theta.branch_at(1), 1); // cat: first bit of 5
+        assert_eq!(theta.branch_at(2), 1); // x: second bit
+        assert_eq!(theta.branch_at(3), 0); // cat: second bit
+        assert_eq!(theta.branch_at(5), 1); // cat: third bit
+    }
+
+    #[test]
+    fn nesting_holds() {
+        let d = mixed();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let p = (rand::Rng::gen_range(&mut rng, 0.0..1.0), rand::Rng::gen_range(&mut rng, 0u64..8));
+            let mut prev = Path::root();
+            for l in 0..=10 {
+                let theta = d.locate(&p, l);
+                if l > 0 {
+                    assert_eq!(theta.parent().unwrap(), prev);
+                }
+                prev = theta;
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_is_max_of_factors() {
+        let d = mixed();
+        // Level 0: both factors full → max(1, 1) = 1.
+        assert_eq!(d.level_diameter(0), 1.0);
+        // Level 6: interval split 3x (diam 1/8), category split 3x (diam 0)
+        // → max = 1/8.
+        assert!((d.level_diameter(6) - 0.125).abs() < 1e-12);
+        // Level 2: interval 1 split (1/2), category 1 split (1) → 1.
+        assert_eq!(d.level_diameter(2), 1.0);
+    }
+
+    #[test]
+    fn sample_roundtrip() {
+        let d = mixed();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let p = (rand::Rng::gen_range(&mut rng, 0.0..1.0), rand::Rng::gen_range(&mut rng, 0u64..8));
+            let theta = d.locate(&p, 8);
+            let s = d.sample_uniform(&theta, &mut rng);
+            assert_eq!(d.locate(&s, 8), theta, "round-trip failed for {p:?}");
+        }
+    }
+
+    #[test]
+    fn max_metric() {
+        let d = mixed();
+        assert_eq!(d.distance(&(0.1, 3), &(0.1, 3)), 0.0);
+        assert_eq!(d.distance(&(0.1, 3), &(0.1, 4)), 1.0); // category flip
+        assert!((d.distance(&(0.1, 3), &(0.4, 3)) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn privhp_runs_on_product_domain() {
+        // Smoke test: mixed continuous × categorical stream through the
+        // full pipeline. (The domain crate cannot depend on the core crate,
+        // so this lives here as a structural sanity check of the interface;
+        // the full end-to-end run is in the root integration tests.)
+        let d = mixed();
+        let theta = d.locate(&(0.3, 2), 4);
+        assert_eq!(theta.level(), 4);
+        assert!(d.diameter(&theta) <= d.level_diameter(4) + 1e-12);
+    }
+
+    #[test]
+    fn interval_squared_matches_hypercube_diameters() {
+        // interval × interval should reproduce the 2-D hypercube's level
+        // diameters (the Corollary-1 construction).
+        let prod = ProductDomain::new(UnitInterval::new(), UnitInterval::new());
+        let cube = crate::Hypercube::new(2);
+        for l in 0..16 {
+            assert!(
+                (prod.level_diameter(l) - cube.level_diameter(l)).abs() < 1e-12,
+                "level {l}: product {} vs cube {}",
+                prod.level_diameter(l),
+                cube.level_diameter(l)
+            );
+        }
+    }
+}

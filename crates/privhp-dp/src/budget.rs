@@ -1,0 +1,211 @@
+//! ε-budget accounting: basic composition (Lemma 3) and per-level splits.
+//!
+//! Theorem 2 requires the per-level noise parameters `{σ_l}` to sum to the
+//! total budget ε. [`BudgetSplit`] represents such an allocation; the PrivHP
+//! core computes the Lemma-5-optimal split, but callers may supply any split
+//! (e.g. uniform) — privacy holds for every valid split, only utility
+//! changes.
+//!
+//! [`EpsilonBudget`] is a spend-tracking account used by composed pipelines
+//! (e.g. running PrivHP twice on disjoint query families): each `spend` is a
+//! basic-composition debit, and over-spending is an error rather than a
+//! silent privacy violation.
+
+use serde::{Deserialize, Serialize};
+
+/// Errors arising from budget accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BudgetError {
+    /// Requested spend exceeds the remaining budget.
+    Exhausted {
+        /// Amount requested.
+        requested: f64,
+        /// Amount still available.
+        remaining: f64,
+    },
+    /// A non-positive or non-finite ε was supplied.
+    InvalidEpsilon(f64),
+    /// A split contained a non-positive weight or was empty.
+    InvalidSplit,
+}
+
+impl std::fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetError::Exhausted { requested, remaining } => write!(
+                f,
+                "privacy budget exhausted: requested ε={requested}, remaining ε={remaining}"
+            ),
+            BudgetError::InvalidEpsilon(e) => {
+                write!(f, "invalid ε={e}: must be positive and finite")
+            }
+            BudgetError::InvalidSplit => write!(f, "invalid budget split"),
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+/// A mutable ε account with basic-composition semantics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpsilonBudget {
+    total: f64,
+    spent: f64,
+}
+
+impl EpsilonBudget {
+    /// Opens an account with `total` budget.
+    pub fn new(total: f64) -> Result<Self, BudgetError> {
+        if !(total.is_finite() && total > 0.0) {
+            return Err(BudgetError::InvalidEpsilon(total));
+        }
+        Ok(Self { total, spent: 0.0 })
+    }
+
+    /// Total budget.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Budget spent so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Budget still available.
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// Debits `epsilon` from the account (basic composition, Lemma 3).
+    ///
+    /// A small relative tolerance absorbs floating-point drift from splits
+    /// that sum to ε only up to rounding.
+    pub fn spend(&mut self, epsilon: f64) -> Result<(), BudgetError> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(BudgetError::InvalidEpsilon(epsilon));
+        }
+        let tolerance = 1e-9 * self.total;
+        if epsilon > self.remaining() + tolerance {
+            return Err(BudgetError::Exhausted {
+                requested: epsilon,
+                remaining: self.remaining(),
+            });
+        }
+        self.spent = (self.spent + epsilon).min(self.total);
+        Ok(())
+    }
+}
+
+/// An allocation of a total ε across hierarchy levels `0..=L`
+/// (`σ_0, …, σ_L` with `Σ σ_l = ε`, Theorem 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetSplit {
+    sigmas: Vec<f64>,
+}
+
+impl BudgetSplit {
+    /// Builds a split from per-level weights, normalising so the σ sum to
+    /// `epsilon`. Weights express *relative* allocation; Lemma 5's optimum
+    /// passes `√Γ_{l-1}` and `√(j·k·γ_{l-1})` here.
+    pub fn from_weights(epsilon: f64, weights: &[f64]) -> Result<Self, BudgetError> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(BudgetError::InvalidEpsilon(epsilon));
+        }
+        if weights.is_empty() || weights.iter().any(|w| !w.is_finite() || *w <= 0.0) {
+            return Err(BudgetError::InvalidSplit);
+        }
+        let sum: f64 = weights.iter().sum();
+        let sigmas = weights.iter().map(|w| epsilon * w / sum).collect();
+        Ok(Self { sigmas })
+    }
+
+    /// Splits `epsilon` evenly across `levels` levels.
+    pub fn uniform(epsilon: f64, levels: usize) -> Result<Self, BudgetError> {
+        if levels == 0 {
+            return Err(BudgetError::InvalidSplit);
+        }
+        Self::from_weights(epsilon, &vec![1.0; levels])
+    }
+
+    /// σ_l for level `l`.
+    ///
+    /// # Panics
+    /// Panics if `l` is out of range — level bookkeeping bugs must not be
+    /// absorbed silently.
+    pub fn sigma(&self, l: usize) -> f64 {
+        self.sigmas[l]
+    }
+
+    /// All σ values in level order.
+    pub fn sigmas(&self) -> &[f64] {
+        &self.sigmas
+    }
+
+    /// Number of levels covered.
+    pub fn levels(&self) -> usize {
+        self.sigmas.len()
+    }
+
+    /// Total ε of this split.
+    pub fn epsilon(&self) -> f64 {
+        self.sigmas.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_spend_and_exhaust() {
+        let mut b = EpsilonBudget::new(1.0).unwrap();
+        b.spend(0.4).unwrap();
+        b.spend(0.6).unwrap();
+        assert!(b.remaining() < 1e-12);
+        let err = b.spend(0.1).unwrap_err();
+        assert!(matches!(err, BudgetError::Exhausted { .. }));
+    }
+
+    #[test]
+    fn budget_rejects_bad_epsilon() {
+        assert!(EpsilonBudget::new(0.0).is_err());
+        assert!(EpsilonBudget::new(f64::NAN).is_err());
+        assert!(EpsilonBudget::new(-1.0).is_err());
+        let mut b = EpsilonBudget::new(1.0).unwrap();
+        assert!(b.spend(-0.5).is_err());
+    }
+
+    #[test]
+    fn budget_tolerates_float_drift() {
+        let mut b = EpsilonBudget::new(1.0).unwrap();
+        // Ten spends of 0.1 may not sum to exactly 1.0 in floating point.
+        for _ in 0..10 {
+            b.spend(0.1).unwrap();
+        }
+    }
+
+    #[test]
+    fn split_sums_to_epsilon() {
+        let s = BudgetSplit::from_weights(2.0, &[1.0, 2.0, 3.0]).unwrap();
+        assert!((s.epsilon() - 2.0).abs() < 1e-12);
+        assert!((s.sigma(2) - 1.0).abs() < 1e-12);
+        assert_eq!(s.levels(), 3);
+    }
+
+    #[test]
+    fn uniform_split() {
+        let s = BudgetSplit::uniform(1.0, 4).unwrap();
+        for l in 0..4 {
+            assert!((s.sigma(l) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn split_rejects_bad_weights() {
+        assert!(BudgetSplit::from_weights(1.0, &[]).is_err());
+        assert!(BudgetSplit::from_weights(1.0, &[1.0, 0.0]).is_err());
+        assert!(BudgetSplit::from_weights(1.0, &[1.0, -2.0]).is_err());
+        assert!(BudgetSplit::from_weights(0.0, &[1.0]).is_err());
+    }
+}

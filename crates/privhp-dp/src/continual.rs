@@ -1,0 +1,221 @@
+//! Continual-observation counting — the binary (tree) mechanism of
+//! Chan–Shi–Song / Dwork et al., in `O(log T)` memory.
+//!
+//! The paper's Algorithm 1 releases its output once, after the stream
+//! (1-pass model, Definition 1), but notes (§3.1) that "our method can be
+//! adapted to continual observation by replacing the counters and sketches
+//! with their continual observation counterparts". This module provides
+//! that counterpart for a single counter; `privhp-sketch` lifts it to a
+//! continual Count-Min sketch and `privhp-core::continual` assembles the
+//! adapted PrivHP.
+//!
+//! Mechanism: time is decomposed dyadically; the running count at time `t`
+//! is the sum of the `≤ log T` noisy *p-sums* corresponding to the set
+//! bits of `t`. Each stream position contributes to `≤ log T` p-sums, so
+//! adding `Laplace(log T / ε)` to every p-sum makes the **entire release
+//! sequence** ε-DP, with per-release error `O(log^{3/2} T / ε)`. Only one
+//! open partial sum per level is retained — `O(log T)` words.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::laplace::Laplace;
+
+/// A continual-observation counter over a horizon of `2^levels` updates,
+/// using `O(levels)` memory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContinualCounter {
+    /// `alpha[j]`: the exact partial sum of the currently accumulating
+    /// dyadic block at level `j` (Chan–Shi–Song's α).
+    alpha: Vec<f64>,
+    /// `noisy[j]`: the noisy p-sum for the level-`j` block that is part of
+    /// the current prefix decomposition (valid when bit `j` of `t` is set).
+    noisy: Vec<f64>,
+    epsilon: f64,
+    levels: usize,
+    t: usize,
+    noise_scale: f64,
+}
+
+impl ContinualCounter {
+    /// Creates a counter for a horizon of `2^levels` updates at privacy
+    /// `epsilon` (for the full release sequence).
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ levels ≤ 40` and `epsilon > 0`.
+    pub fn new(levels: usize, epsilon: f64) -> Self {
+        assert!((1..=40).contains(&levels), "levels must be in 1..=40");
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        Self {
+            alpha: vec![0.0; levels + 1],
+            noisy: vec![0.0; levels + 1],
+            epsilon,
+            levels,
+            t: 0,
+            noise_scale: levels as f64 / epsilon,
+        }
+    }
+
+    /// Privacy of the full release sequence.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Laplace scale applied to each p-sum (`log T / ε`).
+    pub fn noise_scale(&self) -> f64 {
+        self.noise_scale
+    }
+
+    /// Horizon `T = 2^levels`.
+    pub fn horizon(&self) -> usize {
+        1usize << self.levels
+    }
+
+    /// Updates processed so far.
+    pub fn len(&self) -> usize {
+        self.t
+    }
+
+    /// Whether no updates were processed.
+    pub fn is_empty(&self) -> bool {
+        self.t == 0
+    }
+
+    /// Ingests one increment of `weight`, drawing the fresh p-sum noise
+    /// from `rng`, and returns the current private prefix count.
+    ///
+    /// # Panics
+    /// Panics past the horizon.
+    pub fn update<R: RngCore>(&mut self, weight: f64, rng: &mut R) -> f64 {
+        assert!(self.t < self.horizon(), "continual counter horizon exhausted");
+        let t = self.t + 1;
+        // i = lowest set bit of the new time: the level whose p-sum closes.
+        let i = t.trailing_zeros() as usize;
+        // The closing p-sum aggregates all lower-level partials + this item.
+        let mut sum = weight;
+        for j in 0..i {
+            sum += self.alpha[j];
+            self.alpha[j] = 0.0;
+            self.noisy[j] = 0.0;
+        }
+        self.alpha[i] = sum;
+        let dist = Laplace::new(self.noise_scale);
+        self.noisy[i] = sum + dist.sample(rng);
+        self.t = t;
+        self.query()
+    }
+
+    /// The private count of all updates so far: the sum of the noisy
+    /// p-sums at the set bits of `t`.
+    pub fn query(&self) -> f64 {
+        let mut total = 0.0;
+        for j in 0..=self.levels {
+            if (self.t >> j) & 1 == 1 {
+                total += self.noisy[j];
+            }
+        }
+        total
+    }
+
+    /// Memory footprint in 8-byte words (`O(levels)`).
+    pub fn memory_words(&self) -> usize {
+        self.alpha.len() + self.noisy.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn counts_track_truth() {
+        let mut rng = rng_from_seed(1);
+        let mut c = ContinualCounter::new(10, 50.0); // low noise
+        let mut truth = 0.0;
+        for i in 0..1000 {
+            truth += 1.0;
+            let est = c.update(1.0, &mut rng);
+            // Scale 10/50 = 0.2 per p-sum, ≤ 10 p-sums per query.
+            assert!(
+                (est - truth).abs() < 15.0,
+                "t={i}: estimate {est} too far from {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_updates() {
+        let mut rng = rng_from_seed(2);
+        let mut c = ContinualCounter::new(6, 100.0);
+        let mut truth = 0.0;
+        for i in 0..64 {
+            truth += (i % 3) as f64;
+            let est = c.update((i % 3) as f64, &mut rng);
+            assert!((est - truth).abs() < 3.0, "t={i}: {est} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn noise_scale_is_log_t_over_eps() {
+        let c = ContinualCounter::new(8, 2.0);
+        assert!((c.noise_scale() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_is_logarithmic() {
+        let c = ContinualCounter::new(20, 1.0);
+        assert!(c.memory_words() <= 2 * 21, "binary mechanism must be O(log T)");
+        assert_eq!(c.horizon(), 1 << 20);
+    }
+
+    #[test]
+    fn error_grows_sublinearly_in_horizon() {
+        let mut errs = Vec::new();
+        for levels in [6usize, 10] {
+            let trials = 40;
+            let mut total = 0.0;
+            for s in 0..trials {
+                let mut rng = rng_from_seed(100 + s);
+                let mut c = ContinualCounter::new(levels, 1.0);
+                let t = 1usize << levels;
+                let mut last = 0.0;
+                for _ in 0..t {
+                    last = c.update(1.0, &mut rng);
+                }
+                total += (last - t as f64).abs();
+            }
+            errs.push(total / trials as f64);
+        }
+        // Horizon grew 16x; the error should grow far less than 16x.
+        assert!(errs[1] < errs[0] * 8.0, "error must be sublinear in T: {errs:?}");
+    }
+
+    #[test]
+    fn query_matches_exact_at_dyadic_boundaries_up_to_noise() {
+        // At t = 2^j exactly one p-sum is live: error is one Laplace draw.
+        let trials = 200;
+        let mut total = 0.0;
+        for s in 0..trials {
+            let mut rng = rng_from_seed(500 + s);
+            let mut c = ContinualCounter::new(8, 1.0);
+            for _ in 0..256 {
+                c.update(1.0, &mut rng);
+            }
+            total += (c.query() - 256.0).abs();
+        }
+        let mean = total / trials as f64;
+        // One Laplace(8) draw: mean |noise| = 8.
+        assert!((mean - 8.0).abs() < 2.5, "boundary error {mean} should be ~8");
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon exhausted")]
+    fn horizon_enforced() {
+        let mut rng = rng_from_seed(4);
+        let mut c = ContinualCounter::new(1, 1.0);
+        c.update(1.0, &mut rng);
+        c.update(1.0, &mut rng);
+        c.update(1.0, &mut rng);
+    }
+}

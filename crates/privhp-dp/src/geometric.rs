@@ -1,0 +1,128 @@
+//! Two-sided geometric (discrete Laplace) mechanism.
+//!
+//! The paper's counters are real-valued after Laplace perturbation; the
+//! discrete Laplace is the integer-valued analogue, offered here because
+//! counter-based deployments (e.g. the continual-observation adaptation
+//! sketched in §3.1) often require integral counts. For integer-valued
+//! queries of sensitivity Δ, adding `DiscreteLaplace(exp(-ε/Δ))` noise gives
+//! ε-DP — same proof as Lemma 1 with sums in place of integrals.
+
+use rand::RngCore;
+
+use crate::rng::uniform_open01;
+
+/// Two-sided geometric distribution with parameter `alpha ∈ (0,1)`:
+/// `Pr[X = z] = (1-α)/(1+α) · α^{|z|}` for integer `z`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoSidedGeometric {
+    alpha: f64,
+}
+
+impl TwoSidedGeometric {
+    /// Creates the distribution from its decay parameter `alpha`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < alpha < 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "alpha must be in (0,1), got {alpha}"
+        );
+        Self { alpha }
+    }
+
+    /// Calibrates for an integer query of the given sensitivity at privacy
+    /// level `epsilon`: `alpha = exp(-ε/Δ)`.
+    pub fn for_mechanism(sensitivity: f64, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        assert!(sensitivity > 0.0, "sensitivity must be positive");
+        Self::new((-epsilon / sensitivity).exp())
+    }
+
+    /// The decay parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Variance `2α/(1-α)²`.
+    pub fn variance(&self) -> f64 {
+        2.0 * self.alpha / ((1.0 - self.alpha) * (1.0 - self.alpha))
+    }
+
+    /// Draws one integer sample as the difference of two geometric draws.
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> i64 {
+        let g1 = self.sample_one_sided(rng);
+        let g2 = self.sample_one_sided(rng);
+        g1 - g2
+    }
+
+    /// Geometric(1-α) on {0,1,2,...} via inversion.
+    fn sample_one_sided<R: RngCore>(&self, rng: &mut R) -> i64 {
+        let u = uniform_open01(rng);
+        // floor(ln(u) / ln(alpha)) is Geometric with success prob 1-alpha.
+        (u.ln() / self.alpha.ln()).floor() as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0,1)")]
+    fn alpha_one_rejected() {
+        let _ = TwoSidedGeometric::new(1.0);
+    }
+
+    #[test]
+    fn calibration() {
+        let g = TwoSidedGeometric::for_mechanism(2.0, 1.0);
+        assert!((g.alpha() - (-0.5f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_are_symmetric_and_zero_mean() {
+        let g = TwoSidedGeometric::for_mechanism(1.0, 1.0);
+        let mut rng = rng_from_seed(8);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| g.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean} should be near 0");
+    }
+
+    #[test]
+    fn sample_variance_matches_formula() {
+        let g = TwoSidedGeometric::new(0.5);
+        let mut rng = rng_from_seed(9);
+        let n = 200_000;
+        let var: f64 =
+            (0..n).map(|_| (g.sample(&mut rng) as f64).powi(2)).sum::<f64>() / n as f64;
+        let expected = g.variance();
+        assert!(
+            (var - expected).abs() / expected < 0.05,
+            "variance {var} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn decay_ratio_near_alpha() {
+        // Pr[X = z+1] / Pr[X = z] should be ≈ alpha for z ≥ 0.
+        let g = TwoSidedGeometric::new(0.6);
+        let mut rng = rng_from_seed(10);
+        let n = 400_000;
+        let mut counts = [0u64; 6];
+        for _ in 0..n {
+            let z = g.sample(&mut rng);
+            if (0..6).contains(&z) {
+                counts[z as usize] += 1;
+            }
+        }
+        for z in 0..4 {
+            let ratio = counts[z + 1] as f64 / counts[z] as f64;
+            assert!(
+                (ratio - 0.6).abs() < 0.05,
+                "ratio at z={z} was {ratio}, expected ~0.6"
+            );
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! The Laplace distribution and the Laplace mechanism (paper Lemma 1).
+//!
+//! The mechanism `M(X) = f(X) + Laplace(Δ₁(f)/ε)` is ε-differentially
+//! private when `Δ₁(f)` is the L1 sensitivity of `f`. PrivHP applies it in
+//! two places (paper Eq. 3 / Theorem 2):
+//!
+//! * exact counters at tree levels `l ≤ L★` receive `Laplace(1/σ_l)` noise —
+//!   an item touches one counter per level, so per-level sensitivity is 1;
+//! * every cell of `sketch_l` receives `Laplace(j/σ_l)` noise — a sketch with
+//!   `j` rows has sensitivity `j` (one bucket update per row).
+
+use rand::RngCore;
+
+use crate::rng::uniform_open01;
+
+/// A Laplace distribution with mean 0 and scale `b` (density
+/// `exp(-|x|/b) / 2b`).
+///
+/// ```
+/// use privhp_dp::laplace::Laplace;
+/// use privhp_dp::rng::rng_from_seed;
+///
+/// // Lemma 1: a sensitivity-1 count released at ε = 0.5 needs scale 2.
+/// let mechanism = Laplace::for_mechanism(1.0, 0.5);
+/// assert_eq!(mechanism.scale(), 2.0);
+/// let mut rng = rng_from_seed(7);
+/// let private_count = 1234.0 + mechanism.sample(&mut rng);
+/// assert!((private_count - 1234.0).abs() < 60.0); // a few scales
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Laplace {
+    scale: f64,
+}
+
+impl Laplace {
+    /// Creates a Laplace distribution with the given scale.
+    ///
+    /// # Panics
+    /// Panics if `scale` is not strictly positive and finite — a zero or
+    /// negative scale silently destroys the privacy guarantee, so this is a
+    /// programming error, not a recoverable condition.
+    pub fn new(scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "Laplace scale must be positive and finite, got {scale}"
+        );
+        Self { scale }
+    }
+
+    /// The Laplace scale calibrated for `sensitivity`-sensitive queries at
+    /// privacy level `epsilon` (Lemma 1: scale = Δ₁/ε).
+    pub fn for_mechanism(sensitivity: f64, epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "epsilon must be positive and finite, got {epsilon}"
+        );
+        assert!(
+            sensitivity.is_finite() && sensitivity > 0.0,
+            "sensitivity must be positive and finite, got {sensitivity}"
+        );
+        Self::new(sensitivity / epsilon)
+    }
+
+    /// Scale parameter `b`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Mean absolute deviation `E|X| = b`.
+    pub fn mean_abs(&self) -> f64 {
+        self.scale
+    }
+
+    /// Variance `2b²`.
+    pub fn variance(&self) -> f64 {
+        2.0 * self.scale * self.scale
+    }
+
+    /// Draws one sample via the inverse-CDF transform.
+    ///
+    /// With `U ~ Uniform(-1/2, 1/2)`, `X = -b · sign(U) · ln(1 - 2|U|)` is
+    /// Laplace(b). `uniform_open01` keeps the `ln` argument strictly
+    /// positive.
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        let u = uniform_open01(rng) - 0.5;
+        -self.scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+    }
+
+    /// Density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        (-x.abs() / self.scale).exp() / (2.0 * self.scale)
+    }
+
+    /// Cumulative distribution function at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.5 * (x / self.scale).exp()
+        } else {
+            1.0 - 0.5 * (-x / self.scale).exp()
+        }
+    }
+}
+
+/// Applies the Laplace mechanism (Lemma 1) to a single real-valued query.
+///
+/// Returns `value + Laplace(sensitivity / epsilon)`.
+pub fn laplace_mechanism<R: RngCore>(
+    value: f64,
+    sensitivity: f64,
+    epsilon: f64,
+    rng: &mut R,
+) -> f64 {
+    value + Laplace::for_mechanism(sensitivity, epsilon).sample(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_rejected() {
+        let _ = Laplace::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn zero_epsilon_rejected() {
+        let _ = Laplace::for_mechanism(1.0, 0.0);
+    }
+
+    #[test]
+    fn mechanism_scale_is_sensitivity_over_epsilon() {
+        let l = Laplace::for_mechanism(3.0, 0.5);
+        assert!((l.scale() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_mean_near_zero() {
+        let l = Laplace::new(2.0);
+        let mut rng = rng_from_seed(1);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| l.sample(&mut rng)).sum::<f64>() / n as f64;
+        // std error of the mean = sqrt(2)*b/sqrt(n) ≈ 0.0063; allow 5 sigma.
+        assert!(mean.abs() < 0.035, "mean {mean} too far from 0");
+    }
+
+    #[test]
+    fn sample_mean_abs_matches_scale() {
+        let l = Laplace::new(1.5);
+        let mut rng = rng_from_seed(2);
+        let n = 200_000;
+        let mad: f64 = (0..n).map(|_| l.sample(&mut rng).abs()).sum::<f64>() / n as f64;
+        assert!((mad - 1.5).abs() < 0.03, "mean abs {mad} should be ~1.5");
+    }
+
+    #[test]
+    fn sample_variance_matches() {
+        let l = Laplace::new(1.0);
+        let mut rng = rng_from_seed(3);
+        let n = 200_000;
+        let var: f64 = (0..n).map(|_| l.sample(&mut rng).powi(2)).sum::<f64>() / n as f64;
+        assert!((var - 2.0).abs() < 0.1, "variance {var} should be ~2");
+    }
+
+    #[test]
+    fn cdf_pdf_consistency() {
+        let l = Laplace::new(0.7);
+        assert!((l.cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!(l.cdf(-10.0) < 1e-5);
+        assert!(l.cdf(10.0) > 1.0 - 1e-5);
+        // numeric derivative of the CDF ≈ PDF
+        let h = 1e-6;
+        for &x in &[-2.0, -0.3, 0.4, 1.7] {
+            let d = (l.cdf(x + h) - l.cdf(x - h)) / (2.0 * h);
+            assert!((d - l.pdf(x)).abs() < 1e-5, "x={x}: d={d}, pdf={}", l.pdf(x));
+        }
+    }
+
+    #[test]
+    fn empirical_cdf_matches_analytic() {
+        // Kolmogorov-Smirnov style check with a generous tolerance.
+        let l = Laplace::new(1.0);
+        let mut rng = rng_from_seed(4);
+        let n = 50_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| l.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut max_gap = 0.0f64;
+        for (i, &x) in samples.iter().enumerate() {
+            let emp = (i + 1) as f64 / n as f64;
+            max_gap = max_gap.max((emp - l.cdf(x)).abs());
+        }
+        assert!(max_gap < 0.015, "KS gap {max_gap} too large");
+    }
+
+    #[test]
+    fn mechanism_perturbs_value() {
+        let mut rng = rng_from_seed(5);
+        let out = laplace_mechanism(100.0, 1.0, 1.0, &mut rng);
+        assert!((out - 100.0).abs() < 50.0, "noise implausibly large: {out}");
+        assert_ne!(out, 100.0);
+    }
+}

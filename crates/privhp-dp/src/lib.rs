@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Differential-privacy primitives used throughout the PrivHP workspace.
+//!
+//! This crate is the bottom layer of the stack. It provides:
+//!
+//! * [`laplace`] — the Laplace mechanism of Lemma 1 in the paper, plus raw
+//!   Laplace sampling with a numerically careful inverse-CDF transform;
+//! * [`geometric`] — the two-sided geometric ("discrete Laplace") mechanism,
+//!   useful when counters must stay integral;
+//! * [`budget`] — ε-budget bookkeeping with basic composition (Lemma 3) and
+//!   the per-level budget *splits* PrivHP needs (Theorem 2 requires
+//!   Σ_l σ_l = ε across hierarchy levels);
+//! * [`rng`] — a small deterministic RNG toolkit (splitmix64 seeding,
+//!   stream-splitting) so every experiment in the workspace is reproducible.
+//!
+//! Privacy discipline: all mechanisms in this crate add noise whose scale is
+//! derived from an explicit sensitivity argument. Everything *downstream* of
+//! a privatised value (tree growth, consistency, sampling) is deterministic
+//! post-processing and therefore free (Lemma 2); the types in [`budget`]
+//! make the accounting explicit so call-sites cannot silently over-spend.
+
+pub mod budget;
+pub mod continual;
+pub mod geometric;
+pub mod laplace;
+pub mod rng;
+
+pub use budget::{BudgetError, BudgetSplit, EpsilonBudget};
+pub use geometric::TwoSidedGeometric;
+pub use laplace::{laplace_mechanism, Laplace};
+pub use rng::{DeterministicRng, SeedSequence};
+
+/// The privacy parameter ε. A plain `f64` newtype would be ceremony without
+/// safety here; instead budget types validate positivity at construction.
+pub type Epsilon = f64;

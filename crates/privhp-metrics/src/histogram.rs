@@ -1,0 +1,72 @@
+//! Cell-mass histograms and discrete divergences.
+//!
+//! Helpers shared by the experiment harness: project a sample onto the
+//! level-`l` cells of a decomposition and compare the resulting discrete
+//! distributions.
+
+use privhp_domain::HierarchicalDomain;
+
+/// The normalised mass each level-`level` cell receives from `sample`
+/// (dense vector of length `2^level`).
+pub fn cell_masses<D: HierarchicalDomain>(
+    domain: &D,
+    sample: &[D::Point],
+    level: usize,
+) -> Vec<f64> {
+    assert!(!sample.is_empty(), "sample must be non-empty");
+    assert!(level <= 24, "dense histograms limited to level 24");
+    let mut out = vec![0.0; 1usize << level];
+    let w = 1.0 / sample.len() as f64;
+    for p in sample {
+        out[domain.locate(p, level).bits() as usize] += w;
+    }
+    out
+}
+
+/// Total-variation distance `½ Σ |p_i − q_i|` between two discrete
+/// distributions.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privhp_domain::UnitInterval;
+
+    #[test]
+    fn masses_sum_to_one() {
+        let d = UnitInterval::new();
+        let m = cell_masses(&d, &[0.1, 0.3, 0.6, 0.9], 3);
+        assert_eq!(m.len(), 8);
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masses_land_in_right_cells() {
+        let d = UnitInterval::new();
+        let m = cell_masses(&d, &[0.1, 0.1, 0.9], 2);
+        assert!((m[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m[3] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tv_properties() {
+        let p = [0.5, 0.5, 0.0];
+        let q = [0.0, 0.5, 0.5];
+        assert!((total_variation(&p, &q) - 0.5).abs() < 1e-12);
+        assert_eq!(total_variation(&p, &p), 0.0);
+        // Disjoint supports → TV = 1.
+        assert!((total_variation(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn tv_length_checked() {
+        let _ = total_variation(&[1.0], &[0.5, 0.5]);
+    }
+}

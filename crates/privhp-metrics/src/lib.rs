@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Utility measurement — the expected 1-Wasserstein distance (paper §3.2,
+//! §6).
+//!
+//! The paper measures a generator's quality by `E[W1(μ_X, 𝒯)]`. This crate
+//! provides three complementary estimators:
+//!
+//! * [`wasserstein1d`] — **exact** `W1` in one dimension: between two
+//!   samples (sorted-coupling / quantile formula) and, with zero sampling
+//!   noise, between a sample and a *piecewise-uniform density* (the exact
+//!   distribution a partition tree encodes);
+//! * [`tree_wasserstein`] — the hierarchical upper bound
+//!   `W1 ≤ Σ_l γ_l · Σ_θ |μ(Ω_θ) − ν(Ω_θ)|` used throughout the paper's
+//!   proofs; works in every dimension and is the metric-of-record for the
+//!   `d ≥ 2` experiments;
+//! * [`sliced`] — sliced `W1` via random 1-D projections, an independent
+//!   estimator used to sanity-check the tree bound's shape.
+//!
+//! Plus [`histogram`] (per-level cell masses from samples) and [`stats`]
+//! (means, standard errors) for the experiment harness.
+
+pub mod histogram;
+pub mod sliced;
+pub mod stats;
+pub mod tree_wasserstein;
+pub mod wasserstein1d;
+
+pub use histogram::{cell_masses, total_variation};
+pub use sliced::sliced_w1;
+pub use stats::{mean, std_error, Summary};
+pub use tree_wasserstein::{tree_w1_between_samples, tree_w1_from_masses};
+pub use wasserstein1d::{w1_between_segments, w1_exact_1d, w1_sample_vs_segments, Segment};

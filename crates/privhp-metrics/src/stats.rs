@@ -1,0 +1,80 @@
+//! Small statistics helpers for the experiment harness.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean of a slice.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty slice");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Standard error of the mean (`s/√n`, Bessel-corrected). Returns 0 for a
+/// single observation.
+pub fn std_error(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    (var / xs.len() as f64).sqrt()
+}
+
+/// A summarised batch of trial measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Number of trials.
+    pub trials: usize,
+}
+
+impl Summary {
+    /// Summarises a batch of measurements.
+    pub fn of(xs: &[f64]) -> Self {
+        Self { mean: mean(xs), std_error: std_error(xs), trials: xs.len() }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6} ± {:.6} (n={})", self.mean, self.std_error, self.trials)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_se() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-12);
+        // var = 5/3, se = sqrt(5/12)
+        assert!((std_error(&xs) - (5.0f64 / 12.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_observation_zero_se() {
+        assert_eq!(std_error(&[7.0]), 0.0);
+    }
+
+    #[test]
+    fn summary_display() {
+        let s = Summary::of(&[1.0, 1.0, 1.0]);
+        assert_eq!(s.mean, 1.0);
+        assert_eq!(s.std_error, 0.0);
+        assert_eq!(s.trials, 3);
+        assert!(s.to_string().contains("n=3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slice")]
+    fn empty_mean_panics() {
+        let _ = mean(&[]);
+    }
+}

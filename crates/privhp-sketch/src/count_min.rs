@@ -1,0 +1,221 @@
+//! The Count-Min Sketch (paper Figure 1, Lemma 4).
+//!
+//! A `j × w` matrix of counters with one hash function per row. An update
+//! `(x, c)` adds `c` to bucket `h_i(x)` in every row `i`; a point query
+//! returns the **minimum** across rows, filtering collisions with
+//! high-frequency items. For non-negative updates the estimate never
+//! underestimates; Lemma 4 bounds the expected overestimate by
+//! `‖tail_w(v)‖₁/w + 2^{-j+1}‖v‖₁/w` for a sketch of width `2w` and depth
+//! `j` (exposed as [`CountMinSketch::lemma4_error_bound`]).
+
+use serde::{Deserialize, Serialize};
+
+use crate::hash::HashFamily;
+use crate::SketchParams;
+
+/// A (non-private) Count-Min Sketch over `u64` keys with `f64` counters.
+///
+/// ```
+/// use privhp_sketch::{CountMinSketch, SketchParams};
+///
+/// let mut sketch = CountMinSketch::new(SketchParams::new(8, 64), 42);
+/// for _ in 0..100 { sketch.update(7, 1.0); }
+/// sketch.update(9, 3.0);
+/// assert!(sketch.query(7) >= 100.0);       // never underestimates
+/// assert!(sketch.query(9) >= 3.0);
+/// assert_eq!(sketch.total_weight(), 103.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CountMinSketch {
+    table: Vec<f64>,
+    hashes: HashFamily,
+    params: SketchParams,
+    total_weight: f64,
+}
+
+impl CountMinSketch {
+    /// Creates an empty sketch with the given dimensions; `seed` derives the
+    /// row hash functions.
+    pub fn new(params: SketchParams, seed: u64) -> Self {
+        Self {
+            table: vec![0.0; params.cells()],
+            hashes: HashFamily::new(params.depth, params.width, seed),
+            params,
+            total_weight: 0.0,
+        }
+    }
+
+    /// Dimensions of this sketch.
+    pub fn params(&self) -> SketchParams {
+        self.params
+    }
+
+    /// Sum of all update weights (`‖v‖₁` for non-negative streams).
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    #[inline]
+    fn cell(&self, row: usize, bucket: usize) -> usize {
+        row * self.params.width + bucket
+    }
+
+    /// Adds `weight` to `key`'s bucket in every row (Figure 1).
+    #[inline]
+    pub fn update(&mut self, key: u64, weight: f64) {
+        for row in 0..self.params.depth {
+            let b = self.hashes.bucket(row, key);
+            let cell = self.cell(row, b);
+            self.table[cell] += weight;
+        }
+        self.total_weight += weight;
+    }
+
+    /// Point query: minimum across rows.
+    #[inline]
+    pub fn query(&self, key: u64) -> f64 {
+        let mut est = f64::INFINITY;
+        for row in 0..self.params.depth {
+            let b = self.hashes.bucket(row, key);
+            est = est.min(self.table[self.cell(row, b)]);
+        }
+        est
+    }
+
+    /// Adds `noise[i]` to cell `i`; used by the private wrapper (§3.4).
+    ///
+    /// # Panics
+    /// Panics if `noise.len() != cells()` — a short noise vector would leave
+    /// some cells unprotected.
+    pub fn add_cellwise_noise(&mut self, noise: &[f64]) {
+        assert_eq!(
+            noise.len(),
+            self.table.len(),
+            "noise vector must cover every cell"
+        );
+        for (cell, n) in self.table.iter_mut().zip(noise) {
+            *cell += n;
+        }
+    }
+
+    /// The Lemma-4 expected-error bound for a query against a frequency
+    /// vector with the given tail mass, evaluated for *this* sketch's
+    /// dimensions. `self.params.width` is the paper's `2w`, so `w =
+    /// width/2`.
+    ///
+    /// `E[v̂_x − v_x] ≤ ‖tail_w(v)‖₁/w + 2^{-j+1}‖v‖₁/w`.
+    pub fn lemma4_error_bound(&self, tail_w_norm: f64, total_l1: f64) -> f64 {
+        let w = (self.params.width / 2).max(1) as f64;
+        let j = self.params.depth as f64;
+        tail_w_norm / w + 2f64.powf(-j + 1.0) * total_l1 / w
+    }
+
+    /// Memory footprint in 8-byte words (counters + hash seeds).
+    pub fn memory_words(&self) -> usize {
+        self.table.len() + self.params.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SketchParams {
+        SketchParams::new(8, 64)
+    }
+
+    #[test]
+    fn empty_sketch_queries_zero() {
+        let s = CountMinSketch::new(params(), 1);
+        assert_eq!(s.query(42), 0.0);
+        assert_eq!(s.total_weight(), 0.0);
+    }
+
+    #[test]
+    fn exact_on_single_key() {
+        let mut s = CountMinSketch::new(params(), 2);
+        s.update(7, 5.0);
+        s.update(7, 2.5);
+        assert!((s.query(7) - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_underestimates_nonnegative_stream() {
+        let mut s = CountMinSketch::new(SketchParams::new(4, 16), 3);
+        let mut truth = std::collections::HashMap::new();
+        for i in 0..500u64 {
+            let key = i % 40;
+            s.update(key, 1.0);
+            *truth.entry(key).or_insert(0.0) += 1.0;
+        }
+        for (&key, &t) in &truth {
+            assert!(
+                s.query(key) >= t - 1e-9,
+                "key {key}: estimate {} below truth {t}",
+                s.query(key)
+            );
+        }
+    }
+
+    #[test]
+    fn error_within_lemma4_bound_on_zipf() {
+        // Zipf-ish vector: frequency of key i ∝ 1/(i+1).
+        let p = SketchParams::new(10, 64); // w = 32
+        let mut s = CountMinSketch::new(p, 4);
+        let universe = 2_000u64;
+        let mut v = vec![0.0f64; universe as usize];
+        for i in 0..universe {
+            let f = (1_000.0 / (i + 1) as f64).ceil();
+            v[i as usize] = f;
+            s.update(i, f);
+        }
+        let total: f64 = v.iter().sum();
+        let tail = crate::tail::tail_norm_l1(&v, 32);
+        let bound = s.lemma4_error_bound(tail, total);
+        // Lemma 4 bounds the expectation; check the mean error over keys.
+        let mean_err: f64 = (0..universe)
+            .map(|i| s.query(i) - v[i as usize])
+            .sum::<f64>()
+            / universe as f64;
+        assert!(
+            mean_err <= bound * 1.5,
+            "mean error {mean_err} exceeds Lemma 4 bound {bound}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = CountMinSketch::new(params(), 9);
+        let mut b = CountMinSketch::new(params(), 9);
+        for i in 0..100u64 {
+            a.update(i, 1.0);
+            b.update(i, 1.0);
+        }
+        for i in 0..100u64 {
+            assert_eq!(a.query(i), b.query(i));
+        }
+    }
+
+    #[test]
+    fn cellwise_noise_shifts_estimates() {
+        let p = SketchParams::new(2, 4);
+        let mut s = CountMinSketch::new(p, 5);
+        s.update(1, 3.0);
+        let noise = vec![1.0; p.cells()];
+        s.add_cellwise_noise(&noise);
+        assert!((s.query(1) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise vector must cover every cell")]
+    fn short_noise_vector_rejected() {
+        let mut s = CountMinSketch::new(SketchParams::new(2, 4), 5);
+        s.add_cellwise_noise(&[0.0; 3]);
+    }
+
+    #[test]
+    fn memory_words_counts_cells() {
+        let s = CountMinSketch::new(SketchParams::new(3, 10), 1);
+        assert_eq!(s.memory_words(), 33);
+    }
+}

@@ -1,0 +1,149 @@
+//! The Count Sketch (Charikar–Chen–Farach-Colton), the second hash-based
+//! primitive the paper cites (§3.3–3.4, via Pagh–Thorup's private variant).
+//!
+//! Each row owns a bucket hash `h_i` *and* a sign hash `s_i : keys → {±1}`;
+//! an update adds `s_i(x)·c` to bucket `h_i(x)`, and a query returns the
+//! **median** of `s_i(x)·C[i][h_i(x)]` across rows. Unlike Count-Min the
+//! estimator is unbiased (collisions cancel in expectation), with error
+//! governed by the L2 tail rather than the L1 tail.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hash::HashFamily;
+use crate::SketchParams;
+
+/// A (non-private) Count Sketch over `u64` keys with `f64` counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CountSketch {
+    table: Vec<f64>,
+    hashes: HashFamily,
+    params: SketchParams,
+    total_weight: f64,
+}
+
+impl CountSketch {
+    /// Creates an empty sketch with the given dimensions.
+    pub fn new(params: SketchParams, seed: u64) -> Self {
+        Self {
+            table: vec![0.0; params.cells()],
+            hashes: HashFamily::new(params.depth, params.width, seed),
+            params,
+            total_weight: 0.0,
+        }
+    }
+
+    /// Dimensions of this sketch.
+    pub fn params(&self) -> SketchParams {
+        self.params
+    }
+
+    /// Sum of all update weights.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    #[inline]
+    fn cell(&self, row: usize, bucket: usize) -> usize {
+        row * self.params.width + bucket
+    }
+
+    /// Adds `weight` to `key` (signed per row).
+    #[inline]
+    pub fn update(&mut self, key: u64, weight: f64) {
+        for row in 0..self.params.depth {
+            let b = self.hashes.bucket(row, key);
+            let s = self.hashes.sign(row, key) as f64;
+            let cell = self.cell(row, b);
+            self.table[cell] += s * weight;
+        }
+        self.total_weight += weight;
+    }
+
+    /// Point query: median of signed row estimates.
+    pub fn query(&self, key: u64) -> f64 {
+        let mut ests: Vec<f64> = (0..self.params.depth)
+            .map(|row| {
+                let b = self.hashes.bucket(row, key);
+                self.hashes.sign(row, key) as f64 * self.table[self.cell(row, b)]
+            })
+            .collect();
+        ests.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let m = ests.len();
+        if m % 2 == 1 {
+            ests[m / 2]
+        } else {
+            0.5 * (ests[m / 2 - 1] + ests[m / 2])
+        }
+    }
+
+    /// Adds `noise[i]` to cell `i`; used by the private wrapper (§3.4).
+    ///
+    /// # Panics
+    /// Panics if the noise vector does not cover every cell.
+    pub fn add_cellwise_noise(&mut self, noise: &[f64]) {
+        assert_eq!(
+            noise.len(),
+            self.table.len(),
+            "noise vector must cover every cell"
+        );
+        for (cell, n) in self.table.iter_mut().zip(noise) {
+            *cell += n;
+        }
+    }
+
+    /// Memory footprint in 8-byte words.
+    pub fn memory_words(&self) -> usize {
+        self.table.len() + self.params.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_queries_zero() {
+        let s = CountSketch::new(SketchParams::new(5, 32), 1);
+        assert_eq!(s.query(3), 0.0);
+    }
+
+    #[test]
+    fn exact_on_single_key() {
+        let mut s = CountSketch::new(SketchParams::new(5, 32), 2);
+        s.update(11, 4.0);
+        assert!((s.query(11) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roughly_unbiased_on_uniform_stream() {
+        let mut s = CountSketch::new(SketchParams::new(7, 64), 3);
+        for i in 0..2_000u64 {
+            s.update(i % 200, 1.0);
+        }
+        // truth: every key in 0..200 has count 10
+        let mean_err: f64 =
+            (0..200u64).map(|k| s.query(k) - 10.0).sum::<f64>() / 200.0;
+        assert!(mean_err.abs() < 2.0, "bias {mean_err} too large");
+    }
+
+    #[test]
+    fn median_robust_to_heavy_hitter() {
+        let mut s = CountSketch::new(SketchParams::new(9, 64), 4);
+        s.update(0, 100_000.0); // heavy hitter
+        for i in 1..100u64 {
+            s.update(i, 1.0);
+        }
+        // Most light keys should still be estimated near 1.
+        let good = (1..100u64)
+            .filter(|&k| (s.query(k) - 1.0).abs() < 50.0)
+            .count();
+        assert!(good > 80, "only {good}/99 keys robust to the heavy hitter");
+    }
+
+    #[test]
+    fn even_depth_median_averages() {
+        let mut s = CountSketch::new(SketchParams::new(2, 64), 6);
+        s.update(5, 8.0);
+        assert!((s.query(5) - 8.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,134 @@
+//! Seeded hash families for sketch rows.
+//!
+//! Each sketch row `i` owns an independent hash function `h_i : u64 → [w]`.
+//! Lemma 4's error analysis assumes fully random hashing; in practice a
+//! strong 64-bit mixer applied to `key ⊕ seed_i` behaves indistinguishably
+//! for the stream sizes we target, and — as the paper stresses (§3.3) — the
+//! *privacy* guarantee is independent of the hash quality, because the
+//! oblivious noise in [`crate::private`] does not depend on the data.
+
+use privhp_dp::rng::{mix64, SeedSequence};
+use serde::{Deserialize, Serialize};
+
+/// A family of `depth` independent seeded hash functions into `[0, width)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HashFamily {
+    seeds: Vec<u64>,
+    width: usize,
+}
+
+impl HashFamily {
+    /// Creates a family of `depth` functions into `[0, width)` from a master
+    /// seed.
+    pub fn new(depth: usize, width: usize, master_seed: u64) -> Self {
+        assert!(depth > 0 && width > 0, "hash family dimensions must be positive");
+        let mut seq = SeedSequence::new(master_seed);
+        let seeds = (0..depth).map(|_| seq.next_seed()).collect();
+        Self { seeds, width }
+    }
+
+    /// Number of functions (sketch depth `j`).
+    pub fn depth(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Bucket-range width `w`.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Hashes `key` with row `row`'s function; returns a bucket in
+    /// `[0, width)`.
+    #[inline]
+    pub fn bucket(&self, row: usize, key: u64) -> usize {
+        let h = mix64(key ^ self.seeds[row]);
+        // Lemire's fast range reduction: unbiased enough for power-of-two or
+        // arbitrary widths and avoids the modulo's bias and latency.
+        (((h as u128) * (self.width as u128)) >> 64) as usize
+    }
+
+    /// A ±1 sign for Count Sketch rows, independent of the bucket bits.
+    #[inline]
+    pub fn sign(&self, row: usize, key: u64) -> i64 {
+        let h = mix64(key.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.seeds[row].rotate_left(17));
+        if h & 1 == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_in_range() {
+        let f = HashFamily::new(5, 37, 123);
+        for row in 0..5 {
+            for key in 0..1000u64 {
+                assert!(f.bucket(row, key) < 37);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = HashFamily::new(3, 64, 9);
+        let b = HashFamily::new(3, 64, 9);
+        for row in 0..3 {
+            for key in [0u64, 1, 42, u64::MAX] {
+                assert_eq!(a.bucket(row, key), b.bucket(row, key));
+                assert_eq!(a.sign(row, key), b.sign(row, key));
+            }
+        }
+    }
+
+    #[test]
+    fn rows_are_decorrelated() {
+        let f = HashFamily::new(2, 1024, 7);
+        let collisions = (0..10_000u64)
+            .filter(|&k| f.bucket(0, k) == f.bucket(1, k))
+            .count();
+        // Expected ~10000/1024 ≈ 10; allow a wide band.
+        assert!(collisions < 40, "rows too correlated: {collisions} collisions");
+    }
+
+    #[test]
+    fn buckets_roughly_uniform() {
+        let width = 64;
+        let f = HashFamily::new(1, width, 99);
+        let n = 64_000u64;
+        let mut counts = vec![0usize; width];
+        for k in 0..n {
+            counts[f.bucket(0, k)] += 1;
+        }
+        let expected = n as f64 / width as f64;
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.25,
+                "bucket {b} count {c} deviates from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn signs_balanced() {
+        let f = HashFamily::new(1, 2, 5);
+        let sum: i64 = (0..100_000u64).map(|k| f.sign(0, k)).sum();
+        assert!(sum.abs() < 2_000, "signs unbalanced: sum={sum}");
+    }
+
+    #[test]
+    fn sign_independent_of_bucket() {
+        // Correlation between sign and low bucket bit should be near zero.
+        let f = HashFamily::new(1, 2, 21);
+        let n = 100_000u64;
+        let agree = (0..n)
+            .filter(|&k| (f.bucket(0, k) == 0) == (f.sign(0, k) == 1))
+            .count();
+        let frac = agree as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "sign-bucket correlation {frac}");
+    }
+}

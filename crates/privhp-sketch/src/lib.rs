@@ -1,0 +1,105 @@
+#![warn(missing_docs)]
+
+//! Sketching substrate for the PrivHP workspace.
+//!
+//! PrivHP cannot afford exact per-subdomain counters at deep hierarchy
+//! levels, so it summarises each level `l > L★` with a *private sketch*
+//! (paper §3.3–3.4). This crate provides:
+//!
+//! * [`hash`] — seeded, decorrelated hash families (splitmix64 mixing) used
+//!   by all sketches; the paper's analysis assumes fully random hashing but
+//!   its privacy guarantee does not (§3.3), matching our construction;
+//! * [`count_min`] — the Count-Min Sketch of Cormode–Muthukrishnan
+//!   (paper Figure 1), with the expected-error bound of Lemma 4 exposed as
+//!   [`count_min::CountMinSketch::lemma4_error_bound`];
+//! * [`count_sketch`] — the median-of-signed-counters Count Sketch, provided
+//!   as the alternative hash-based primitive the paper cites (Pagh–Thorup);
+//! * [`private`] — oblivious Laplace perturbation wrappers (paper §3.4):
+//!   a sketch is linear, neighbouring inputs differ by a ±1 update in each of
+//!   `j` rows, so `Laplace(j/ε)` noise per cell gives ε-DP;
+//! * [`misra_gries`] — the deterministic counter-based sketch used by the
+//!   Biswas et al. comparator (paper §2.1), for the E13 ablation;
+//! * [`tail`] — `tail_k` vector utilities (`‖tail_k(v)‖₁`), the skew measure
+//!   at the heart of every utility bound in the paper.
+
+pub mod continual;
+pub mod count_min;
+pub mod count_sketch;
+pub mod hash;
+pub mod misra_gries;
+pub mod private;
+pub mod tail;
+
+pub use continual::ContinualCountMinSketch;
+pub use count_min::CountMinSketch;
+pub use count_sketch::CountSketch;
+pub use hash::HashFamily;
+pub use misra_gries::MisraGries;
+pub use private::{PrivateCountMinSketch, PrivateCountSketch};
+pub use tail::{tail_norm_l1, tail_vector, top_k_indices};
+
+use serde::{Deserialize, Serialize};
+
+/// Dimensions of a sketch: `depth` rows (`j` in the paper) × `width`
+/// buckets per row.
+///
+/// Paper convention: Lemma 4 analyses a sketch of width `2w`; Theorem 3 sets
+/// `w = 2k`. [`SketchParams::for_pruning`] encodes that chain
+/// (`width = 4k`, `depth = ⌈log₂ n⌉` per Corollary 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SketchParams {
+    /// Number of rows `j`.
+    pub depth: usize,
+    /// Number of buckets per row (the paper's `2w`).
+    pub width: usize,
+}
+
+impl SketchParams {
+    /// Creates explicit dimensions.
+    ///
+    /// # Panics
+    /// Panics on zero dimensions.
+    pub fn new(depth: usize, width: usize) -> Self {
+        assert!(depth > 0, "sketch depth must be positive");
+        assert!(width > 0, "sketch width must be positive");
+        Self { depth, width }
+    }
+
+    /// The Corollary-1 defaults for pruning parameter `k` and stream length
+    /// `n`: width `2w` with `w = 2k`, depth `j = ⌈log₂ n⌉`.
+    pub fn for_pruning(k: usize, n: usize) -> Self {
+        assert!(k > 0, "pruning parameter must be positive");
+        let depth = (n.max(2) as f64).log2().ceil() as usize;
+        Self::new(depth.max(1), 4 * k)
+    }
+
+    /// Number of cells (`depth × width`) — the memory footprint in words.
+    pub fn cells(&self) -> usize {
+        self.depth * self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_for_pruning_follow_corollary1() {
+        let p = SketchParams::for_pruning(8, 1 << 16);
+        assert_eq!(p.width, 32, "width = 4k");
+        assert_eq!(p.depth, 16, "depth = log2 n");
+        assert_eq!(p.cells(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_rejected() {
+        let _ = SketchParams::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_rejected() {
+        let _ = SketchParams::new(4, 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Misra–Gries heavy-hitter summary — the counter-based sketch used by the
+//! Biswas et al. comparator (paper §2.1; Lebeda–Tetek's private variant).
+//!
+//! The paper argues that the hash-based private sketch it adopts has a
+//! better error guarantee than counter-based sketches *and* that its error
+//! composes with pruning because both are expressed through the tail norm.
+//! We implement Misra–Gries to make that comparison empirically (ablation
+//! E13 in DESIGN.md): with `m` counters, a query under-estimates by at most
+//! `(n − m̂)/(m+1) ≤ n/(m+1)`, where `m̂` is the retained mass — an additive
+//! error that does **not** shrink with skew.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A Misra–Gries summary with a fixed number of counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MisraGries {
+    counters: HashMap<u64, f64>,
+    capacity: usize,
+    total_weight: f64,
+    decremented: f64,
+}
+
+impl MisraGries {
+    /// Creates a summary holding at most `capacity` counters.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            counters: HashMap::with_capacity(capacity + 1),
+            capacity,
+            total_weight: 0.0,
+            decremented: 0.0,
+        }
+    }
+
+    /// Number of counters retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total stream weight processed.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Processes one unit-weight arrival of `key`.
+    pub fn update(&mut self, key: u64) {
+        self.update_weighted(key, 1.0);
+    }
+
+    /// Processes a weighted arrival. Weighted updates are decomposed into
+    /// the classical increment/decrement dance in one shot.
+    pub fn update_weighted(&mut self, key: u64, weight: f64) {
+        assert!(weight >= 0.0, "Misra-Gries requires non-negative weights");
+        self.total_weight += weight;
+        if let Some(c) = self.counters.get_mut(&key) {
+            *c += weight;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(key, weight);
+            return;
+        }
+        // Full table and a new key: decrement all counters by the smallest
+        // amount that frees a slot (batched form of the classic algorithm).
+        let min = self
+            .counters
+            .values()
+            .fold(f64::INFINITY, |acc, &v| acc.min(v));
+        let dec = min.min(weight);
+        self.decremented += dec;
+        for c in self.counters.values_mut() {
+            *c -= dec;
+        }
+        self.counters.retain(|_, c| *c > 1e-12);
+        let leftover = weight - dec;
+        if leftover > 1e-12 && self.counters.len() < self.capacity {
+            self.counters.insert(key, leftover);
+        }
+    }
+
+    /// Point query (a lower bound on the true count).
+    pub fn query(&self, key: u64) -> f64 {
+        self.counters.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// The classical error bound: every estimate is within
+    /// `total_weight / (capacity + 1)` of the truth from below.
+    pub fn error_bound(&self) -> f64 {
+        self.total_weight / (self.capacity as f64 + 1.0)
+    }
+
+    /// Keys currently retained, largest counter first.
+    pub fn heavy_hitters(&self) -> Vec<(u64, f64)> {
+        let mut v: Vec<(u64, f64)> = self.counters.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Memory footprint in 8-byte words (key + counter per slot).
+    pub fn memory_words(&self) -> usize {
+        2 * self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut mg = MisraGries::new(10);
+        for _ in 0..5 {
+            mg.update(1);
+        }
+        for _ in 0..3 {
+            mg.update(2);
+        }
+        assert_eq!(mg.query(1), 5.0);
+        assert_eq!(mg.query(2), 3.0);
+        assert_eq!(mg.query(3), 0.0);
+    }
+
+    #[test]
+    fn never_overestimates() {
+        let mut mg = MisraGries::new(4);
+        let mut truth = std::collections::HashMap::new();
+        for i in 0..1_000u64 {
+            let key = (i * i) % 23;
+            mg.update(key);
+            *truth.entry(key).or_insert(0.0f64) += 1.0;
+        }
+        for (&k, &t) in &truth {
+            assert!(mg.query(k) <= t + 1e-9, "key {k} overestimated");
+        }
+    }
+
+    #[test]
+    fn error_within_classical_bound() {
+        let mut mg = MisraGries::new(9);
+        let mut truth = std::collections::HashMap::new();
+        for i in 0..10_000u64 {
+            let key = i % 100;
+            mg.update(key);
+            *truth.entry(key).or_insert(0.0f64) += 1.0;
+        }
+        let bound = mg.error_bound();
+        for (&k, &t) in &truth {
+            assert!(
+                t - mg.query(k) <= bound + 1e-9,
+                "key {k}: error {} above bound {bound}",
+                t - mg.query(k)
+            );
+        }
+    }
+
+    #[test]
+    fn finds_heavy_hitter() {
+        let mut mg = MisraGries::new(3);
+        for i in 0..900u64 {
+            mg.update(if i % 3 == 0 { 7 } else { i });
+        }
+        let hh = mg.heavy_hitters();
+        assert_eq!(hh.first().map(|x| x.0), Some(7), "heavy hitter must survive");
+    }
+
+    #[test]
+    fn weighted_updates() {
+        let mut mg = MisraGries::new(2);
+        mg.update_weighted(1, 100.0);
+        mg.update_weighted(2, 50.0);
+        mg.update_weighted(3, 10.0); // evicts by decrementing
+        assert!(mg.query(1) > 80.0);
+        assert_eq!(mg.total_weight(), 160.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = MisraGries::new(0);
+    }
+}

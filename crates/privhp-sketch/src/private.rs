@@ -1,0 +1,204 @@
+//! Private (oblivious-noise) sketch wrappers — paper §3.4.
+//!
+//! Sketches are linear maps, so for neighbouring streams `X ~ X'` the sketch
+//! difference is the sketch of a single ±1 update, which touches one bucket
+//! in each of the `j` rows: the sketch has L1 sensitivity `j`. Releasing
+//! `C(X) + Laplace^{j×w}(j/ε)` is therefore ε-DP by Lemma 1 (the noise is
+//! sampled *independently of the data* — "oblivious" release).
+//!
+//! PrivHP initialises each level's sketch with its noise **up front**
+//! (Algorithm 1, line 8) so the post-stream structure is already private and
+//! everything downstream (GrowPartition) is post-processing.
+
+use privhp_dp::laplace::Laplace;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::count_min::CountMinSketch;
+use crate::count_sketch::CountSketch;
+use crate::SketchParams;
+
+/// An ε-DP Count-Min Sketch: a [`CountMinSketch`] whose cells were
+/// perturbed with i.i.d. `Laplace(j/ε)` noise at construction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrivateCountMinSketch {
+    inner: CountMinSketch,
+    epsilon: f64,
+    noise_scale: f64,
+}
+
+impl PrivateCountMinSketch {
+    /// Creates a private sketch: dimensions `params`, privacy `epsilon`,
+    /// hash seed `seed`, noise drawn from `rng`.
+    pub fn new<R: RngCore>(params: SketchParams, epsilon: f64, seed: u64, rng: &mut R) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        let mut inner = CountMinSketch::new(params, seed);
+        let scale = params.depth as f64 / epsilon;
+        let dist = Laplace::new(scale);
+        let noise: Vec<f64> = (0..params.cells()).map(|_| dist.sample(rng)).collect();
+        inner.add_cellwise_noise(&noise);
+        Self { inner, epsilon, noise_scale: scale }
+    }
+
+    /// Privacy level of the release.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Laplace scale applied per cell (`j/ε`).
+    pub fn noise_scale(&self) -> f64 {
+        self.noise_scale
+    }
+
+    /// Streams an update into the sketch (same as the non-private update;
+    /// privacy comes from the oblivious noise already present).
+    #[inline]
+    pub fn update(&mut self, key: u64, weight: f64) {
+        self.inner.update(key, weight);
+    }
+
+    /// Noisy point query.
+    #[inline]
+    pub fn query(&self, key: u64) -> f64 {
+        self.inner.query(key)
+    }
+
+    /// Dimensions.
+    pub fn params(&self) -> SketchParams {
+        self.inner.params()
+    }
+
+    /// Sum of true update weights (not a private quantity — internal use).
+    pub fn total_weight(&self) -> f64 {
+        self.inner.total_weight()
+    }
+
+    /// Memory footprint in 8-byte words.
+    pub fn memory_words(&self) -> usize {
+        self.inner.memory_words()
+    }
+}
+
+/// An ε-DP Count Sketch (same oblivious-noise construction).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrivateCountSketch {
+    inner: CountSketch,
+    epsilon: f64,
+    noise_scale: f64,
+}
+
+impl PrivateCountSketch {
+    /// Creates a private Count Sketch with `Laplace(j/ε)` cell noise.
+    pub fn new<R: RngCore>(params: SketchParams, epsilon: f64, seed: u64, rng: &mut R) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        let mut inner = CountSketch::new(params, seed);
+        let scale = params.depth as f64 / epsilon;
+        let dist = Laplace::new(scale);
+        let noise: Vec<f64> = (0..params.cells()).map(|_| dist.sample(rng)).collect();
+        inner.add_cellwise_noise(&noise);
+        Self { inner, epsilon, noise_scale: scale }
+    }
+
+    /// Privacy level of the release.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Laplace scale applied per cell.
+    pub fn noise_scale(&self) -> f64 {
+        self.noise_scale
+    }
+
+    /// Streams an update.
+    #[inline]
+    pub fn update(&mut self, key: u64, weight: f64) {
+        self.inner.update(key, weight);
+    }
+
+    /// Noisy point query (median estimator).
+    #[inline]
+    pub fn query(&self, key: u64) -> f64 {
+        self.inner.query(key)
+    }
+
+    /// Dimensions.
+    pub fn params(&self) -> SketchParams {
+        self.inner.params()
+    }
+
+    /// Memory footprint in 8-byte words.
+    pub fn memory_words(&self) -> usize {
+        self.inner.memory_words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privhp_dp::rng::rng_from_seed;
+
+    #[test]
+    fn noise_scale_is_depth_over_epsilon() {
+        let mut rng = rng_from_seed(1);
+        let s = PrivateCountMinSketch::new(SketchParams::new(8, 32), 0.5, 7, &mut rng);
+        assert!((s.noise_scale() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimates_concentrate_around_truth() {
+        let mut rng = rng_from_seed(2);
+        let p = SketchParams::new(10, 128);
+        let mut s = PrivateCountMinSketch::new(p, 4.0, 11, &mut rng);
+        for _ in 0..1_000 {
+            s.update(42, 1.0);
+        }
+        let est = s.query(42);
+        // Noise scale is 2.5 per cell; CMS min over 10 rows biases slightly
+        // but the estimate must land near 1000.
+        assert!(
+            (est - 1_000.0).abs() < 100.0,
+            "estimate {est} too far from 1000"
+        );
+    }
+
+    #[test]
+    fn different_rng_draws_different_noise() {
+        let p = SketchParams::new(4, 16);
+        let mut r1 = rng_from_seed(3);
+        let mut r2 = rng_from_seed(4);
+        let a = PrivateCountMinSketch::new(p, 1.0, 5, &mut r1);
+        let b = PrivateCountMinSketch::new(p, 1.0, 5, &mut r2);
+        assert_ne!(a.query(0), b.query(0), "noise must differ across rng streams");
+    }
+
+    #[test]
+    fn private_count_sketch_tracks_truth() {
+        let mut rng = rng_from_seed(5);
+        let p = SketchParams::new(9, 128);
+        let mut s = PrivateCountSketch::new(p, 4.0, 13, &mut rng);
+        for _ in 0..1_000 {
+            s.update(9, 1.0);
+        }
+        let est = s.query(9);
+        assert!((est - 1_000.0).abs() < 100.0, "estimate {est} too far");
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn zero_epsilon_rejected() {
+        let mut rng = rng_from_seed(6);
+        let _ = PrivateCountMinSketch::new(SketchParams::new(2, 4), 0.0, 1, &mut rng);
+    }
+
+    #[test]
+    fn empty_private_sketch_is_pure_noise_with_zero_mean() {
+        // Average of many empty-sketch queries should be biased negative for
+        // CMS (min of Laplace draws) but bounded by the noise scale.
+        let p = SketchParams::new(4, 64);
+        let mut rng = rng_from_seed(7);
+        let s = PrivateCountMinSketch::new(p, 1.0, 3, &mut rng);
+        let mean: f64 = (0..64u64).map(|k| s.query(k)).sum::<f64>() / 64.0;
+        // scale = 4, min over 4 rows: mean well within a few scales of 0.
+        assert!(mean.abs() < 20.0, "pure-noise mean {mean} implausible");
+    }
+}

@@ -1,0 +1,131 @@
+//! `tail_k` utilities — the paper's skew measure.
+//!
+//! For a frequency vector `v`, `tail_k(v)` is `v` with its `k` largest
+//! coordinates set to zero (paper §1.2, §5.2). `‖tail_k(v)‖₁` appears in
+//! every utility bound: it is small for skewed inputs and zero for inputs
+//! supported on at most `k` cells, which is exactly why top-k pruning is
+//! cheap on realistic streams.
+
+/// Returns the indices of the `k` largest coordinates of `v` (ties broken by
+/// lower index first, matching a stable sort on descending value).
+pub fn top_k_indices(v: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&a, &b| {
+        v[b].partial_cmp(&v[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+/// Returns `tail_k(v)`: a copy of `v` with the `k` largest coordinates set
+/// to zero.
+pub fn tail_vector(v: &[f64], k: usize) -> Vec<f64> {
+    let mut out = v.to_vec();
+    for i in top_k_indices(v, k) {
+        out[i] = 0.0;
+    }
+    out
+}
+
+/// `‖tail_k(v)‖₁` computed without materialising the tail vector.
+///
+/// Uses a partial selection: sum of all coordinates minus the sum of the
+/// top-k, which is `O(n log k)` with a bounded heap.
+pub fn tail_norm_l1(v: &[f64], k: usize) -> f64 {
+    if k == 0 {
+        return v.iter().map(|x| x.abs()).sum();
+    }
+    if k >= v.len() {
+        return 0.0;
+    }
+    // Min-heap of the k largest absolute values seen so far.
+    let mut heap = std::collections::BinaryHeap::with_capacity(k + 1);
+    let mut total = 0.0;
+    for &x in v {
+        let a = x.abs();
+        total += a;
+        heap.push(std::cmp::Reverse(OrderedF64(a)));
+        if heap.len() > k {
+            heap.pop();
+        }
+    }
+    let head: f64 = heap.into_iter().map(|r| r.0 .0).sum();
+    (total - head).max(0.0)
+}
+
+/// Total-order wrapper for non-NaN f64s used in the selection heap.
+#[derive(PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_basic() {
+        let v = [3.0, 1.0, 4.0, 1.0, 5.0];
+        assert_eq!(top_k_indices(&v, 2), vec![4, 2]);
+        assert_eq!(top_k_indices(&v, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn top_k_more_than_len() {
+        let v = [1.0, 2.0];
+        assert_eq!(top_k_indices(&v, 5).len(), 2);
+    }
+
+    #[test]
+    fn tail_vector_zeroes_top() {
+        let v = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let t = tail_vector(&v, 2);
+        assert_eq!(t, vec![3.0, 1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn tail_norm_matches_vector_form() {
+        let v = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        for k in 0..=8 {
+            let direct: f64 = tail_vector(&v, k).iter().sum();
+            assert!(
+                (tail_norm_l1(&v, k) - direct).abs() < 1e-12,
+                "mismatch at k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn tail_norm_zero_for_sparse() {
+        // A vector supported on 3 cells has zero tail_3.
+        let v = [0.0, 7.0, 0.0, 2.0, 0.0, 1.0];
+        assert_eq!(tail_norm_l1(&v, 3), 0.0);
+    }
+
+    #[test]
+    fn tail_norm_monotone_in_k() {
+        let v: Vec<f64> = (0..50).map(|i| ((i * 7919) % 101) as f64).collect();
+        let mut prev = f64::INFINITY;
+        for k in 0..50 {
+            let t = tail_norm_l1(&v, k);
+            assert!(t <= prev + 1e-12, "tail norm must be non-increasing in k");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn tail_norm_k_zero_is_l1() {
+        let v = [1.0, -2.0, 3.0];
+        assert!((tail_norm_l1(&v, 0) - 6.0).abs() < 1e-12);
+    }
+}

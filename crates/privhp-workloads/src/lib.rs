@@ -1,0 +1,505 @@
+#![warn(missing_docs)]
+
+//! Synthetic stream workloads for the PrivHP experiments.
+//!
+//! Every utility bound in the paper is parameterised by the skew measure
+//! `‖tail_k‖₁`, so the workload suite is organised around controlling it:
+//!
+//! * [`UniformWorkload`] — the adversarial case for pruning: mass spread
+//!   evenly, `‖tail_k‖₁` as large as possible;
+//! * [`GaussianMixture`] — realistic multi-modal skew (the motivating
+//!   geographic/heatmap workloads);
+//! * [`ZipfCells`] — *direct* control of the tail: cell frequencies follow
+//!   a Zipf law with exponent `s`; `s = 0` is uniform, large `s` is
+//!   extremely skewed;
+//! * [`SparseClusters`] — the best case: support on at most `c` tiny cells,
+//!   so `‖tail_k‖₁ = 0` whenever `k ≥ c`;
+//! * [`ipv4_sessions`] — a synthetic IPv4 traffic mix (a few hot /16s plus
+//!   scanner noise) for the networking example.
+//!
+//! All generators are deterministic given an RNG and produce points in the
+//! appropriate domain type.
+
+use rand::Rng;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// A workload that can generate a stream of points of type `P`.
+pub trait Workload<P> {
+    /// Generates a stream of `n` points.
+    fn generate<R: RngCore>(&self, n: usize, rng: &mut R) -> Vec<P>;
+}
+
+/// Uniform points over `[0,1]^dim`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct UniformWorkload {
+    /// Dimension of the points.
+    pub dim: usize,
+}
+
+impl UniformWorkload {
+    /// Creates a uniform workload of the given dimension.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Self { dim }
+    }
+}
+
+impl Workload<Vec<f64>> for UniformWorkload {
+    fn generate<R: RngCore>(&self, n: usize, rng: &mut R) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|_| (0..self.dim).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect()
+    }
+}
+
+impl Workload<f64> for UniformWorkload {
+    fn generate<R: RngCore>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        assert_eq!(self.dim, 1, "scalar stream requires dim = 1");
+        (0..n).map(|_| rng.gen_range(0.0..1.0)).collect()
+    }
+}
+
+/// One component of a [`GaussianMixture`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MixtureComponent {
+    /// Component centre (one coordinate per dimension, inside `[0,1]^d`).
+    pub center: Vec<f64>,
+    /// Isotropic standard deviation.
+    pub sigma: f64,
+    /// Relative weight (normalised internally).
+    pub weight: f64,
+}
+
+/// A truncated isotropic Gaussian mixture on `[0,1]^dim`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaussianMixture {
+    components: Vec<MixtureComponent>,
+    dim: usize,
+}
+
+impl GaussianMixture {
+    /// Creates a mixture from explicit components.
+    ///
+    /// # Panics
+    /// Panics on empty input, mismatched dimensions, or non-positive
+    /// weights/sigmas.
+    pub fn new(components: Vec<MixtureComponent>) -> Self {
+        assert!(!components.is_empty(), "mixture needs at least one component");
+        let dim = components[0].center.len();
+        for c in &components {
+            assert_eq!(c.center.len(), dim, "component dimension mismatch");
+            assert!(c.sigma > 0.0, "sigma must be positive");
+            assert!(c.weight > 0.0, "weight must be positive");
+        }
+        Self { components, dim }
+    }
+
+    /// A standard skewed benchmark: three well-separated modes with
+    /// weights 0.6 / 0.3 / 0.1 and tight spread, in the given dimension.
+    pub fn three_modes(dim: usize) -> Self {
+        let centre = |base: f64| (0..dim).map(|i| (base + 0.13 * i as f64) % 1.0).collect();
+        Self::new(vec![
+            MixtureComponent { center: centre(0.15), sigma: 0.03, weight: 0.6 },
+            MixtureComponent { center: centre(0.55), sigma: 0.05, weight: 0.3 },
+            MixtureComponent { center: centre(0.85), sigma: 0.02, weight: 0.1 },
+        ])
+    }
+
+    /// Dimension of generated points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn sample_gaussian<R: RngCore>(rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    fn sample_point<R: RngCore>(&self, rng: &mut R) -> Vec<f64> {
+        let total: f64 = self.components.iter().map(|c| c.weight).sum();
+        let mut pick = rng.gen_range(0.0..total);
+        let mut comp = &self.components[0];
+        for c in &self.components {
+            if pick < c.weight {
+                comp = c;
+                break;
+            }
+            pick -= c.weight;
+        }
+        // Rejection-sample into the cube (tight sigmas make this cheap);
+        // fall back to clamping after a bounded number of attempts so a
+        // pathological component cannot loop forever.
+        for _ in 0..64 {
+            let p: Vec<f64> = comp
+                .center
+                .iter()
+                .map(|&m| m + comp.sigma * Self::sample_gaussian(rng))
+                .collect();
+            if p.iter().all(|&x| (0.0..1.0).contains(&x)) {
+                return p;
+            }
+        }
+        comp.center
+            .iter()
+            .map(|&m| (m + comp.sigma * Self::sample_gaussian(rng)).clamp(0.0, 1.0 - f64::EPSILON))
+            .collect()
+    }
+}
+
+impl Workload<Vec<f64>> for GaussianMixture {
+    fn generate<R: RngCore>(&self, n: usize, rng: &mut R) -> Vec<Vec<f64>> {
+        (0..n).map(|_| self.sample_point(rng)).collect()
+    }
+}
+
+impl Workload<f64> for GaussianMixture {
+    fn generate<R: RngCore>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        assert_eq!(self.dim, 1, "scalar stream requires dim = 1");
+        (0..n).map(|_| self.sample_point(rng)[0]).collect()
+    }
+}
+
+/// Zipf-distributed mass over the level-`level` cells of `[0,1]^dim`:
+/// cell ranked `r` (under a seeded random rank assignment) receives mass
+/// `∝ (r+1)^{-exponent}`; points are uniform within their cell.
+///
+/// This gives *direct* control of `‖tail_k‖₁`: exponent 0 is uniform over
+/// cells, larger exponents concentrate mass in few cells.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ZipfCells {
+    /// Decomposition level defining the cells (`2^level` cells).
+    pub level: usize,
+    /// Zipf exponent `s ≥ 0`.
+    pub exponent: f64,
+    /// Dimension of the hypercube.
+    pub dim: usize,
+    /// Seed for the rank-to-cell shuffle (independent of the stream RNG so
+    /// the *distribution* is fixed while streams vary).
+    pub shuffle_seed: u64,
+}
+
+impl ZipfCells {
+    /// Creates the workload.
+    ///
+    /// # Panics
+    /// Panics if `level > 20` (dense cell table) or `exponent < 0`.
+    pub fn new(level: usize, exponent: f64, dim: usize, shuffle_seed: u64) -> Self {
+        assert!(level <= 20, "cell level too deep");
+        assert!(exponent >= 0.0, "exponent must be non-negative");
+        assert!(dim > 0, "dimension must be positive");
+        Self { level, exponent, dim, shuffle_seed }
+    }
+
+    /// The cell probability vector (length `2^level`), in cell-index order.
+    pub fn cell_probabilities(&self) -> Vec<f64> {
+        let cells = 1usize << self.level;
+        let mut weights: Vec<f64> =
+            (0..cells).map(|r| 1.0 / ((r + 1) as f64).powf(self.exponent)).collect();
+        // Deterministic Fisher-Yates shuffle of rank -> cell.
+        let mut order: Vec<usize> = (0..cells).collect();
+        let mut state = self.shuffle_seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        for i in (1..cells).rev() {
+            state = privhp_dp::rng::mix64(state);
+            let j = (state % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let total: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= total;
+        }
+        let mut out = vec![0.0; cells];
+        for (rank, &cell) in order.iter().enumerate() {
+            out[cell] = weights[rank];
+        }
+        out
+    }
+
+    fn sample_point<R: RngCore>(&self, probs: &[f64], rng: &mut R) -> Vec<f64> {
+        let mut pick = rng.gen_range(0.0..1.0);
+        let mut cell = probs.len() - 1;
+        for (i, &p) in probs.iter().enumerate() {
+            if pick < p {
+                cell = i;
+                break;
+            }
+            pick -= p;
+        }
+        // Uniform point in the level-l cell: invert the coordinate-cycling
+        // decomposition via the hypercube's bounds.
+        let cube = privhp_domain::Hypercube::new(self.dim);
+        let theta = privhp_domain::Path::from_bits(cell as u64, self.level);
+        use privhp_domain::HierarchicalDomain;
+        cube.sample_uniform(&theta, rng)
+    }
+}
+
+impl Workload<Vec<f64>> for ZipfCells {
+    fn generate<R: RngCore>(&self, n: usize, rng: &mut R) -> Vec<Vec<f64>> {
+        let probs = self.cell_probabilities();
+        (0..n).map(|_| self.sample_point(&probs, rng)).collect()
+    }
+}
+
+impl Workload<f64> for ZipfCells {
+    fn generate<R: RngCore>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        assert_eq!(self.dim, 1, "scalar stream requires dim = 1");
+        let probs = self.cell_probabilities();
+        (0..n).map(|_| self.sample_point(&probs, rng)[0]).collect()
+    }
+}
+
+/// Points concentrated in `clusters` tiny intervals of width `width` —
+/// the sparse regime where `‖tail_k‖₁ = 0` for `k ≥ clusters`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SparseClusters {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Width of each cluster.
+    pub width: f64,
+    /// Seed for cluster placement.
+    pub placement_seed: u64,
+}
+
+impl SparseClusters {
+    /// Creates the workload.
+    ///
+    /// # Panics
+    /// Panics unless `0 < width < 1/clusters` and `clusters ≥ 1`.
+    pub fn new(clusters: usize, width: f64, placement_seed: u64) -> Self {
+        assert!(clusters >= 1, "need at least one cluster");
+        assert!(
+            width > 0.0 && width < 1.0 / clusters as f64,
+            "width must be positive and clusters must fit disjointly"
+        );
+        Self { clusters, width, placement_seed }
+    }
+
+    /// The (deterministic) cluster left endpoints.
+    pub fn centers(&self) -> Vec<f64> {
+        // Evenly spaced slots, jittered deterministically by the seed.
+        (0..self.clusters)
+            .map(|i| {
+                let slot = i as f64 / self.clusters as f64;
+                let jitter = (privhp_dp::rng::mix64(self.placement_seed ^ i as u64) % 1000) as f64
+                    / 1000.0
+                    * (1.0 / self.clusters as f64 - self.width);
+                slot + jitter
+            })
+            .collect()
+    }
+}
+
+impl Workload<f64> for SparseClusters {
+    fn generate<R: RngCore>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        let centers = self.centers();
+        (0..n)
+            .map(|_| {
+                let c = centers[rng.gen_range(0..centers.len())];
+                (c + rng.gen_range(0.0..self.width)).min(1.0 - f64::EPSILON)
+            })
+            .collect()
+    }
+}
+
+/// A non-stationary 1-D stream whose mode drifts linearly across `[0,1]`
+/// over the stream's length — the workload for continual-observation
+/// experiments, where each checkpoint sees a different distribution.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DriftStream {
+    /// Mode position at the start of the stream.
+    pub start_mode: f64,
+    /// Mode position at the end of the stream.
+    pub end_mode: f64,
+    /// Gaussian spread around the moving mode.
+    pub sigma: f64,
+}
+
+impl DriftStream {
+    /// Creates a drifting stream.
+    ///
+    /// # Panics
+    /// Panics unless both modes lie in `[0,1]` and `sigma > 0`.
+    pub fn new(start_mode: f64, end_mode: f64, sigma: f64) -> Self {
+        assert!((0.0..=1.0).contains(&start_mode), "start mode outside [0,1]");
+        assert!((0.0..=1.0).contains(&end_mode), "end mode outside [0,1]");
+        assert!(sigma > 0.0, "sigma must be positive");
+        Self { start_mode, end_mode, sigma }
+    }
+
+    /// The mode position after a fraction `t ∈ [0,1]` of the stream.
+    pub fn mode_at(&self, t: f64) -> f64 {
+        self.start_mode + (self.end_mode - self.start_mode) * t.clamp(0.0, 1.0)
+    }
+}
+
+impl Workload<f64> for DriftStream {
+    fn generate<R: RngCore>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let mode = self.mode_at(i as f64 / n.max(1) as f64);
+                let g = GaussianMixture::sample_gaussian(rng);
+                (mode + self.sigma * g).clamp(0.0, 1.0 - f64::EPSILON)
+            })
+            .collect()
+    }
+}
+
+/// A synthetic IPv4 traffic mix: `hot_frac` of packets from a handful of
+/// busy /16 networks, the rest spread uniformly (scanner noise).
+pub fn ipv4_sessions<R: RngCore>(
+    n: usize,
+    hot_networks: &[(u8, u8)],
+    hot_frac: f64,
+    rng: &mut R,
+) -> Vec<u32> {
+    assert!(!hot_networks.is_empty(), "need at least one hot network");
+    assert!((0.0..=1.0).contains(&hot_frac), "hot_frac must be a probability");
+    (0..n)
+        .map(|_| {
+            if rng.gen_range(0.0..1.0) < hot_frac {
+                let (a, b) = hot_networks[rng.gen_range(0..hot_networks.len())];
+                ((a as u32) << 24) | ((b as u32) << 16) | rng.gen_range(0u32..(1 << 16))
+            } else {
+                rng.gen()
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let w = UniformWorkload::new(3);
+        let pts: Vec<Vec<f64>> = w.generate(500, &mut rng(1));
+        assert_eq!(pts.len(), 500);
+        assert!(pts.iter().all(|p| p.len() == 3 && p.iter().all(|&x| (0.0..1.0).contains(&x))));
+    }
+
+    #[test]
+    fn uniform_scalar_covers_interval() {
+        let w = UniformWorkload::new(1);
+        let pts: Vec<f64> = w.generate(4_000, &mut rng(2));
+        let low = pts.iter().filter(|&&x| x < 0.5).count() as f64 / 4_000.0;
+        assert!((low - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn mixture_respects_weights() {
+        let m = GaussianMixture::three_modes(1);
+        let pts: Vec<f64> = m.generate(10_000, &mut rng(3));
+        assert!(pts.iter().all(|&x| (0.0..1.0).contains(&x)));
+        // Mode at 0.15 has weight 0.6; count mass within ±0.1.
+        let near_first = pts.iter().filter(|&&x| (x - 0.15).abs() < 0.1).count() as f64 / 10_000.0;
+        assert!((near_first - 0.6).abs() < 0.05, "first-mode mass {near_first}");
+    }
+
+    #[test]
+    fn mixture_2d_points_in_cube() {
+        let m = GaussianMixture::three_modes(2);
+        let pts: Vec<Vec<f64>> = m.generate(2_000, &mut rng(4));
+        assert!(pts.iter().all(|p| p.iter().all(|&x| (0.0..1.0).contains(&x))));
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform_over_cells() {
+        let z = ZipfCells::new(4, 0.0, 1, 9);
+        let probs = z.cell_probabilities();
+        assert_eq!(probs.len(), 16);
+        for &p in &probs {
+            assert!((p - 1.0 / 16.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_high_exponent_concentrates() {
+        let z = ZipfCells::new(6, 2.0, 1, 9);
+        let probs = z.cell_probabilities();
+        let max = probs.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 0.5, "top cell should dominate, got {max}");
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_stream_matches_cell_probabilities() {
+        let z = ZipfCells::new(3, 1.0, 1, 42);
+        let probs = z.cell_probabilities();
+        let pts: Vec<f64> = z.generate(20_000, &mut rng(5));
+        let mut counts = vec![0.0; 8];
+        for x in &pts {
+            counts[(x * 8.0) as usize] += 1.0 / 20_000.0;
+        }
+        for (i, (&p, &c)) in probs.iter().zip(&counts).enumerate() {
+            assert!((p - c).abs() < 0.02, "cell {i}: prob {p} vs freq {c}");
+        }
+    }
+
+    #[test]
+    fn sparse_clusters_supported_on_few_cells() {
+        let s = SparseClusters::new(4, 0.01, 7);
+        let pts: Vec<f64> = s.generate(5_000, &mut rng(6));
+        let centers = s.centers();
+        for &x in &pts {
+            assert!(
+                centers.iter().any(|&c| x >= c && x < c + s.width + 1e-12),
+                "point {x} outside every cluster"
+            );
+        }
+    }
+
+    #[test]
+    fn ipv4_mix_respects_hot_fraction() {
+        let hot = [(10u8, 1u8), (192u8, 168u8)];
+        let pts = ipv4_sessions(20_000, &hot, 0.8, &mut rng(7));
+        let in_hot = pts
+            .iter()
+            .filter(|&&a| {
+                let (x, y) = ((a >> 24) as u8, (a >> 16) as u8);
+                hot.contains(&(x, y))
+            })
+            .count() as f64
+            / 20_000.0;
+        assert!(in_hot > 0.75 && in_hot < 0.85, "hot fraction {in_hot}");
+    }
+
+    #[test]
+    #[should_panic(expected = "clusters must fit")]
+    fn overlapping_clusters_rejected() {
+        let _ = SparseClusters::new(4, 0.3, 1);
+    }
+
+    #[test]
+    fn drift_stream_moves_its_mode() {
+        let d = DriftStream::new(0.2, 0.8, 0.02);
+        let pts: Vec<f64> = d.generate(10_000, &mut rng(8));
+        let early: f64 = pts[..1_000].iter().sum::<f64>() / 1_000.0;
+        let late: f64 = pts[9_000..].iter().sum::<f64>() / 1_000.0;
+        assert!((early - 0.23).abs() < 0.05, "early mean {early} should be ~0.2");
+        assert!((late - 0.77).abs() < 0.05, "late mean {late} should be ~0.8");
+        assert!(pts.iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn drift_mode_interpolates() {
+        let d = DriftStream::new(0.1, 0.5, 0.01);
+        assert!((d.mode_at(0.0) - 0.1).abs() < 1e-12);
+        assert!((d.mode_at(0.5) - 0.3).abs() < 1e-12);
+        assert!((d.mode_at(1.0) - 0.5).abs() < 1e-12);
+        assert!((d.mode_at(2.0) - 0.5).abs() < 1e-12, "clamped past the end");
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn drift_rejects_bad_sigma() {
+        let _ = DriftStream::new(0.1, 0.9, 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Geographic scenario: a private heat map of ride pick-up locations.
+//!
+//! A city window (Sydney) is decomposed hierarchically; PrivHP summarises a
+//! stream of pick-up coordinates in bounded memory, and the released
+//! generator produces a synthetic pick-up dataset whose spatial density can
+//! be rendered, aggregated, or mined without further privacy cost.
+//!
+//! Run with: `cargo run --release --example geo_heatmap`
+
+use privhp::core::{PrivHp, PrivHpConfig};
+use privhp::domain::{GeoBox, GeoPoint};
+use rand::Rng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let city = GeoBox::new(-34.1, -33.6, 150.9, 151.35); // greater Sydney
+
+    // --- 1. Simulate pick-ups: CBD-heavy with two suburban hot spots. ----
+    let hotspots = [
+        (GeoPoint::new(-33.87, 151.21), 0.010, 0.55), // CBD
+        (GeoPoint::new(-33.89, 151.19), 0.018, 0.25), // inner west
+        (GeoPoint::new(-33.97, 151.10), 0.025, 0.20), // airport-ish
+    ];
+    let n = 30_000;
+    let data: Vec<GeoPoint> = (0..n)
+        .map(|_| loop {
+            let pick: f64 = rng.gen_range(0.0..1.0);
+            let mut acc = 0.0;
+            let (centre, spread, _) = hotspots
+                .iter()
+                .find(|(_, _, w)| {
+                    acc += w;
+                    pick < acc
+                })
+                .copied()
+                .unwrap_or(hotspots[0]);
+            let p = GeoPoint::new(
+                centre.lat + spread * gaussian(&mut rng),
+                centre.lon + spread * gaussian(&mut rng),
+            );
+            if city.contains(&p) {
+                break p;
+            }
+        })
+        .collect();
+
+    // --- 2. Private summary in bounded memory. ----------------------------
+    let epsilon = 1.0;
+    let config = PrivHpConfig::for_domain(epsilon, n, 32);
+    let generator =
+        PrivHp::build(&city, config, data.iter().copied(), &mut rng).expect("valid config");
+    println!(
+        "ingested {n} pick-ups into {} words ({}x fewer than storing the stream)",
+        generator.memory_words(),
+        2 * n / generator.memory_words().max(1)
+    );
+
+    // --- 3. Publishable synthetic pick-ups + an ASCII heat map. -----------
+    let synthetic = generator.sample_many(n, &mut rng);
+    println!("\nprivate heat map (synthetic data, {}x{} grid):", GRID_W, GRID_H);
+    render(&city, &synthetic);
+    println!("\nreference heat map (real data — for the demo only, never published):");
+    render(&city, &data);
+}
+
+const GRID_W: usize = 48;
+const GRID_H: usize = 16;
+
+fn render(city: &GeoBox, points: &[GeoPoint]) {
+    let mut grid = vec![0usize; GRID_W * GRID_H];
+    for p in points {
+        let q = city.normalise(p);
+        let x = ((q[1] * GRID_W as f64) as usize).min(GRID_W - 1);
+        let y = ((q[0] * GRID_H as f64) as usize).min(GRID_H - 1);
+        grid[y * GRID_W + x] += 1;
+    }
+    let max = *grid.iter().max().unwrap_or(&1);
+    let shades = [' ', '.', ':', '+', '*', '#', '@'];
+    for row in grid.chunks(GRID_W).rev() {
+        let line: String = row
+            .iter()
+            .map(|&c| {
+                let idx = (c * (shades.len() - 1)).checked_div(max).unwrap_or(0);
+                shades[idx]
+            })
+            .collect();
+        println!("  |{line}|");
+    }
+}
+
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}

@@ -1,0 +1,80 @@
+//! Mixed-type tabular scenario: a continuous attribute × a categorical
+//! label, privatised jointly.
+//!
+//! Real tabular data rarely lives in `[0,1]^d` alone. The
+//! `ProductDomain` combines any two hierarchical domains under the max
+//! metric with alternating splits — the same construction Corollary 1 uses
+//! to assemble the hypercube from intervals — so PrivHP runs unchanged on
+//! (value, label) records and the released generator preserves the *joint*
+//! structure, not just the marginals.
+//!
+//! Run with: `cargo run --release --example mixed_tabular`
+
+use privhp::core::{PrivHp, PrivHpConfig};
+use privhp::domain::{Categorical, ProductDomain, UnitInterval};
+use rand::Rng;
+use rand::SeedableRng;
+
+const LABELS: [&str; 4] = ["bronze", "silver", "gold", "platinum"];
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2026);
+    let domain = ProductDomain::new(UnitInterval::new(), Categorical::new(4));
+
+    // Spend amounts correlated with loyalty tier: higher tiers spend more.
+    let n = 25_000;
+    let data: Vec<(f64, u64)> = (0..n)
+        .map(|_| {
+            let tier = match rng.gen_range(0.0..1.0) {
+                t if t < 0.5 => 0u64,
+                t if t < 0.8 => 1,
+                t if t < 0.95 => 2,
+                _ => 3,
+            };
+            let base = 0.1 + 0.22 * tier as f64;
+            let spend = (base + 0.04 * gaussian(&mut rng)).clamp(0.0, 0.999);
+            (spend, tier)
+        })
+        .collect();
+
+    let config = PrivHpConfig::for_domain(1.0, n, 32);
+    let generator =
+        PrivHp::build(&domain, config, data.iter().cloned(), &mut rng).expect("valid config");
+    let synthetic = generator.sample_many(n, &mut rng);
+    println!(
+        "{n} (spend, tier) records -> {} words of private state\n",
+        generator.memory_words()
+    );
+
+    println!("tier        share(real)  share(synth)  mean spend(real)  mean spend(synth)");
+    for tier in 0..4u64 {
+        let real: Vec<f64> =
+            data.iter().filter(|(_, t)| *t == tier).map(|(x, _)| *x).collect();
+        let synth: Vec<f64> =
+            synthetic.iter().filter(|(_, t)| *t == tier).map(|(x, _)| *x).collect();
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                f64::NAN
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        println!(
+            "{:<10}  {:>10.3}  {:>12.3}  {:>16.3}  {:>17.3}",
+            LABELS[tier as usize],
+            real.len() as f64 / n as f64,
+            synth.len() as f64 / n as f64,
+            mean(&real),
+            mean(&synth)
+        );
+    }
+
+    println!("\nThe joint (spend | tier) means survive the private release — the product");
+    println!("decomposition keeps correlated attributes in shared subdomains.");
+}
+
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}

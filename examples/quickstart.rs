@@ -1,0 +1,74 @@
+//! Quickstart: build an ε-differentially-private synthetic data generator
+//! from a 1-D stream in bounded memory, then sample from it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use privhp::core::{PrivHp, PrivHpConfig};
+use privhp::domain::UnitInterval;
+use privhp::metrics::wasserstein1d::w1_exact_1d;
+use rand::Rng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2025);
+
+    // --- 1. A sensitive stream: response times, bimodal and skewed. ------
+    let n = 20_000;
+    let data: Vec<f64> = (0..n)
+        .map(|_| {
+            if rng.gen_bool(0.8) {
+                // fast path: tight mode near 0.1
+                (0.1 + 0.02 * gaussian(&mut rng)).clamp(0.0, 0.999)
+            } else {
+                // slow path: wide mode near 0.7
+                (0.7 + 0.08 * gaussian(&mut rng)).clamp(0.0, 0.999)
+            }
+        })
+        .collect();
+
+    // --- 2. Configure PrivHP: ε = 1, pruning parameter k = 16. -----------
+    // Defaults follow the paper's Corollary 1: hierarchy depth log2(εn),
+    // sketch width 4k / depth log2(n), L* = O(log M), Lemma-5 budget split.
+    let epsilon = 1.0;
+    let k = 16;
+    let config = PrivHpConfig::for_domain(epsilon, n, k);
+    println!("PrivHP configuration:");
+    println!("  epsilon = {epsilon}, k = {k}");
+    println!("  hierarchy depth L = {}, pruning level L* = {}", config.depth, config.l_star);
+    println!(
+        "  sketches: {} levels x ({} rows x {} buckets)",
+        config.depth - config.l_star,
+        config.sketch.depth,
+        config.sketch.width
+    );
+
+    // --- 3. One pass over the stream (all noise drawn up front). ---------
+    let generator = PrivHp::build(&UnitInterval::new(), config, data.iter().copied(), &mut rng)
+        .expect("valid configuration");
+    println!(
+        "\nreleased structure: {} tree nodes, {} words of memory (input: {n} points)",
+        generator.tree().len(),
+        generator.memory_words()
+    );
+
+    // --- 4. Sample synthetic data — safe to publish, ε-DP end to end. ----
+    let synthetic = generator.sample_many(n, &mut rng);
+    let w1 = w1_exact_1d(&data, &synthetic);
+    println!("\nexact W1(real, synthetic) = {w1:.5}");
+
+    // A data-independent uniform sample for scale:
+    let uniform: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+    println!("exact W1(real, uniform)   = {:.5}  (the no-learning floor)", w1_exact_1d(&data, &uniform));
+
+    // --- 5. Downstream use costs no extra privacy (post-processing). -----
+    let fast = synthetic.iter().filter(|&&x| x < 0.4).count() as f64 / n as f64;
+    let fast_true = data.iter().filter(|&&x| x < 0.4).count() as f64 / n as f64;
+    println!("\nP(fast path) from synthetic data: {fast:.3} (true: {fast_true:.3})");
+}
+
+/// Standard Gaussian via Box–Muller.
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # PrivHP — Private Synthetic Data Generation in Bounded Memory
+//!
+//! Facade crate re-exporting the whole workspace. This is the crate the
+//! `examples/` and integration `tests/` use; downstream users can depend on
+//! `privhp` alone and reach every subsystem:
+//!
+//! * [`dp`] — differential-privacy primitives (Laplace/geometric mechanisms,
+//!   ε-budget accounting);
+//! * [`sketch`] — Count-Min / Count sketches and their ε-DP variants,
+//!   Misra–Gries, tail-norm utilities;
+//! * [`domain`] — hierarchical binary decompositions of metric spaces
+//!   (`[0,1]^d`, the unit interval, IPv4, geographic boxes);
+//! * [`core`] — the PrivHP algorithm itself (paper Algorithms 1–3), the
+//!   synthetic-data sampler, budget allocation, and theoretical bound
+//!   evaluators;
+//! * [`metrics`] — 1-Wasserstein utility measurement (exact 1-D,
+//!   hierarchical/tree, sliced);
+//! * [`baselines`] — the Table-1 comparators (PMM, SRRW, uniform,
+//!   non-private);
+//! * [`workloads`] — seeded synthetic stream generators.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use privhp::core::{PrivHp, PrivHpConfig};
+//! use privhp::domain::UnitInterval;
+//! use rand::SeedableRng;
+//!
+//! let data: Vec<f64> = (0..1000).map(|i| (i as f64 / 1000.0).powi(2)).collect();
+//! let config = PrivHpConfig::for_domain(1.0, data.len(), 8);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let gen = PrivHp::build(&UnitInterval::new(), config, data.iter().copied(), &mut rng)
+//!     .expect("valid configuration");
+//! let synthetic: Vec<f64> = gen.sample_many(1000, &mut rng);
+//! assert_eq!(synthetic.len(), 1000);
+//! ```
+
+pub use privhp_baselines as baselines;
+pub use privhp_core as core;
+pub use privhp_domain as domain;
+pub use privhp_dp as dp;
+pub use privhp_metrics as metrics;
+pub use privhp_sketch as sketch;
+pub use privhp_workloads as workloads;

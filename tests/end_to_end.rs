@@ -1,0 +1,224 @@
+//! Cross-crate integration tests: PrivHP end-to-end on every domain, with
+//! utility sanity checks against the baselines and the memory-bound
+//! regression guard.
+
+use privhp::baselines::{Pmm, UniformBaseline};
+use privhp::core::{PrivHp, PrivHpBuilder, PrivHpConfig};
+use privhp::domain::{GeoBox, GeoPoint, HierarchicalDomain, Hypercube, Ipv4Space, UnitInterval};
+use privhp::metrics::tree_wasserstein::tree_w1_between_samples;
+use privhp::metrics::wasserstein1d::w1_exact_1d;
+use privhp::workloads::{GaussianMixture, SparseClusters, Workload};
+use rand::SeedableRng;
+
+type Rng = rand::rngs::StdRng;
+
+#[test]
+fn privhp_beats_uniform_on_skewed_1d() {
+    let mut rng = Rng::seed_from_u64(1);
+    let data: Vec<f64> = GaussianMixture::three_modes(1).generate(8_192, &mut rng);
+    let config = PrivHpConfig::for_domain(1.0, data.len(), 16).with_seed(2);
+    let g = PrivHp::build(&UnitInterval::new(), config, data.iter().copied(), &mut rng).unwrap();
+    let synthetic = g.sample_many(8_192, &mut rng);
+    let uniform = UniformBaseline::new(&UnitInterval::new()).sample_many(8_192, &mut rng);
+    let w1_hp = w1_exact_1d(&data, &synthetic);
+    let w1_un = w1_exact_1d(&data, &uniform);
+    assert!(
+        w1_hp < w1_un / 3.0,
+        "PrivHP ({w1_hp}) must decisively beat uniform ({w1_un})"
+    );
+}
+
+#[test]
+fn privhp_close_to_pmm_at_fraction_of_memory() {
+    let mut rng = Rng::seed_from_u64(3);
+    let data: Vec<f64> = GaussianMixture::three_modes(1).generate(1 << 14, &mut rng);
+    let config = PrivHpConfig::for_domain(1.0, data.len(), 32).with_seed(4);
+    let hp = PrivHp::build(&UnitInterval::new(), config, data.iter().copied(), &mut rng).unwrap();
+    let pmm = Pmm::build(&UnitInterval::new(), 1.0, &data, &mut rng);
+
+    let w1_hp = w1_exact_1d(&data, &hp.sample_many(1 << 14, &mut rng));
+    let w1_pmm = w1_exact_1d(&data, &pmm.sample_many(1 << 14, &mut rng));
+
+    assert!(
+        hp.memory_words() * 2 < pmm.memory_words(),
+        "PrivHP must be materially smaller: {} vs {}",
+        hp.memory_words(),
+        pmm.memory_words()
+    );
+    assert!(
+        w1_hp < w1_pmm * 6.0,
+        "PrivHP W1 ({w1_hp}) should be within a small factor of PMM ({w1_pmm})"
+    );
+}
+
+#[test]
+fn sparse_inputs_pay_no_pruning_cost() {
+    // With support on 8 clusters and k = 16 >= 8, tail_k ~ 0: PrivHP should
+    // track the data tightly despite tiny memory.
+    let mut rng = Rng::seed_from_u64(5);
+    let data: Vec<f64> = SparseClusters::new(8, 0.002, 7).generate(1 << 14, &mut rng);
+    let config = PrivHpConfig::for_domain(1.0, data.len(), 16).with_seed(6);
+    let g = PrivHp::build(&UnitInterval::new(), config, data.iter().copied(), &mut rng).unwrap();
+    let w1 = w1_exact_1d(&data, &g.sample_many(1 << 14, &mut rng));
+    assert!(w1 < 0.02, "sparse input should be captured near-perfectly, got {w1}");
+}
+
+#[test]
+fn works_on_2d_hypercube() {
+    let mut rng = Rng::seed_from_u64(7);
+    let cube = Hypercube::new(2);
+    let data: Vec<Vec<f64>> = GaussianMixture::three_modes(2).generate(4_096, &mut rng);
+    let config = PrivHpConfig::for_domain(1.0, data.len(), 16).with_seed(8);
+    let g = PrivHp::build(&cube, config, data.iter().cloned(), &mut rng).unwrap();
+    let synthetic = g.sample_many(8_192, &mut rng);
+    let uniform: Vec<Vec<f64>> =
+        UniformBaseline::new(&cube).sample_many(8_192, &mut rng);
+    let d_hp = tree_w1_between_samples(&cube, &data, &synthetic, 8);
+    let d_un = tree_w1_between_samples(&cube, &data, &uniform, 8);
+    assert!(d_hp < d_un / 2.0, "2-D: PrivHP {d_hp} must beat uniform {d_un}");
+}
+
+#[test]
+fn works_on_ipv4() {
+    let mut rng = Rng::seed_from_u64(9);
+    let hot = [(10u8, 0u8), (192u8, 168u8)];
+    let data = privhp::workloads::ipv4_sessions(8_192, &hot, 0.9, &mut rng);
+    let space = Ipv4Space::new();
+    let base = PrivHpConfig::for_domain(1.0, data.len(), 8).with_seed(10);
+    let depth = base.depth.min(space.max_level());
+    let l_star = base.l_star.min(depth - 1);
+    let config = base.with_levels(l_star, depth);
+    let g = PrivHp::build(&space, config, data.iter().copied(), &mut rng).unwrap();
+    let synthetic = g.sample_many(8_192, &mut rng);
+    // With n = 8192, the hierarchy depth is log2(εn) = 13 < 16, so leaves
+    // are /13 blocks and per-/16 shares are resolution-diluted; measure at
+    // the /8 level (coarser than the leaf level), where the hot mass is
+    // fully captured.
+    let hot_octets = [10u8, 192u8];
+    let in_hot = synthetic
+        .iter()
+        .filter(|&&a| hot_octets.contains(&((a >> 24) as u8)))
+        .count() as f64
+        / synthetic.len() as f64;
+    assert!(in_hot > 0.6, "hot /8s must dominate the release: {in_hot}");
+}
+
+#[test]
+fn works_on_geo() {
+    let mut rng = Rng::seed_from_u64(11);
+    let city = GeoBox::new(0.0, 1.0, 0.0, 1.0);
+    let data: Vec<GeoPoint> = (0..4_096)
+        .map(|i| GeoPoint::new(0.2 + 0.01 * ((i % 13) as f64 / 13.0), 0.7 + 0.01 * ((i % 7) as f64 / 7.0)))
+        .collect();
+    let config = PrivHpConfig::for_domain(1.0, data.len(), 8).with_seed(12);
+    let g = PrivHp::build(&city, config, data.iter().copied(), &mut rng).unwrap();
+    let synthetic = g.sample_many(2_048, &mut rng);
+    let near = synthetic
+        .iter()
+        .filter(|p| (p.lat - 0.205).abs() < 0.05 && (p.lon - 0.705).abs() < 0.05)
+        .count() as f64
+        / synthetic.len() as f64;
+    assert!(near > 0.5, "the single geographic hot spot must dominate: {near}");
+}
+
+#[test]
+fn works_on_pure_categorical_domain() {
+    // Theorem 3's "any metric space": the discrete metric. Zero-diameter
+    // levels below the category resolution must not break the Lemma-5
+    // budget allocation.
+    use privhp::domain::Categorical;
+    let mut rng = Rng::seed_from_u64(31);
+    let domain = Categorical::new(16);
+    // Zipf-ish category frequencies.
+    let data: Vec<u64> = (0..8_192).map(|i| ((i * i + i / 3) % 37) % 16).collect();
+    let config = PrivHpConfig::for_domain(1.0, data.len(), 8).with_seed(32);
+    let g = PrivHp::build(&domain, config, data.iter().copied(), &mut rng).unwrap();
+    let synthetic = g.sample_many(8_192, &mut rng);
+    assert!(synthetic.iter().all(|&c| c < 16), "phantom category emitted");
+    // Compare category marginals by total variation.
+    let hist = |xs: &[u64]| {
+        let mut h = vec![0.0f64; 16];
+        for &x in xs {
+            h[x as usize] += 1.0 / xs.len() as f64;
+        }
+        h
+    };
+    let tv = privhp::metrics::total_variation(&hist(&data), &hist(&synthetic));
+    assert!(tv < 0.1, "categorical marginal TV too high: {tv}");
+}
+
+#[test]
+fn works_on_mixed_product_domain() {
+    // Continuous value × categorical label, the tabular-data shape.
+    use privhp::domain::{Categorical, ProductDomain};
+    let mut rng = Rng::seed_from_u64(21);
+    let domain = ProductDomain::new(UnitInterval::new(), Categorical::new(8));
+    // Two correlated clusters: label 2 near x=0.2, label 6 near x=0.8.
+    let data: Vec<(f64, u64)> = (0..4_096)
+        .map(|i| {
+            if i % 3 == 0 {
+                (0.8 + 0.01 * ((i % 11) as f64 / 11.0), 6u64)
+            } else {
+                (0.2 + 0.01 * ((i % 13) as f64 / 13.0), 2u64)
+            }
+        })
+        .collect();
+    let config = PrivHpConfig::for_domain(1.0, data.len(), 8).with_seed(22);
+    let g = PrivHp::build(&domain, config, data.iter().cloned(), &mut rng).unwrap();
+    let synthetic = g.sample_many(4_096, &mut rng);
+    // The label marginal must be recovered: ~2/3 label 2, ~1/3 label 6.
+    let label2 = synthetic.iter().filter(|(_, c)| *c == 2).count() as f64 / 4_096.0;
+    let label6 = synthetic.iter().filter(|(_, c)| *c == 6).count() as f64 / 4_096.0;
+    assert!((label2 - 2.0 / 3.0).abs() < 0.15, "label-2 share {label2}");
+    assert!((label6 - 1.0 / 3.0).abs() < 0.15, "label-6 share {label6}");
+    // ... and the joint structure: label-2 points should sit near x=0.2.
+    let joint_ok = synthetic
+        .iter()
+        .filter(|(x, c)| *c == 2 && (*x - 0.205).abs() < 0.1)
+        .count() as f64
+        / synthetic.iter().filter(|(_, c)| *c == 2).count().max(1) as f64;
+    assert!(joint_ok > 0.6, "joint (x | label=2) structure lost: {joint_ok}");
+}
+
+#[test]
+fn memory_bound_regression_guard() {
+    // M must track k·log²n within a constant (we allow 8x headroom so the
+    // guard survives constant tweaks but catches O(n) regressions).
+    for exp in [12usize, 16] {
+        let n = 1usize << exp;
+        let mut rng = Rng::seed_from_u64(13);
+        let data: Vec<f64> = GaussianMixture::three_modes(1).generate(n, &mut rng);
+        let config = PrivHpConfig::for_domain(1.0, n, 16).with_seed(14);
+        let mut b = PrivHpBuilder::new(UnitInterval::new(), config, &mut rng).unwrap();
+        for x in &data {
+            b.ingest(x);
+        }
+        let m = b.memory_words() as f64;
+        let bound = 8.0 * 16.0 * (n as f64).log2().powi(2);
+        assert!(m <= bound, "n=2^{exp}: memory {m} exceeds 8*k*log^2(n) = {bound}");
+    }
+}
+
+#[test]
+fn release_is_deterministic_in_seeds() {
+    let mut data_rng = Rng::seed_from_u64(15);
+    let data: Vec<f64> = GaussianMixture::three_modes(1).generate(2_000, &mut data_rng);
+    let run = || {
+        let config = PrivHpConfig::for_domain(1.0, data.len(), 8).with_seed(16);
+        let mut rng = Rng::seed_from_u64(17);
+        PrivHp::build(&UnitInterval::new(), config, data.iter().copied(), &mut rng).unwrap()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.tree().len(), b.tree().len());
+    assert_eq!(a.tree().root_count(), b.tree().root_count());
+}
+
+#[test]
+fn budget_split_spans_all_levels_and_sums_to_epsilon() {
+    let mut rng = Rng::seed_from_u64(18);
+    let config = PrivHpConfig::for_domain(0.7, 4_096, 8).with_seed(19);
+    let levels = config.levels();
+    let b = PrivHpBuilder::new(UnitInterval::new(), config, &mut rng).unwrap();
+    assert_eq!(b.split().levels(), levels);
+    assert!((b.split().epsilon() - 0.7).abs() < 1e-9);
+}

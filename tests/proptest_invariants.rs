@@ -1,0 +1,249 @@
+//! Property-based invariants across the workspace (proptest).
+//!
+//! Each property encodes a structural guarantee the paper's analysis relies
+//! on: consistency (Algorithm 3) always restores the hierarchy constraints,
+//! the sampler is proportional to consistent counts, tail norms behave
+//! monotonically, `W1` is a metric, the budget split is exact, and path
+//! arithmetic round-trips.
+
+use privhp::core::consistency::{enforce_consistency_subtree, find_consistency_violation};
+use privhp::core::tree::PartitionTree;
+use privhp::domain::{HierarchicalDomain, Hypercube, Path, UnitInterval};
+use privhp::dp::budget::BudgetSplit;
+use privhp::metrics::wasserstein1d::w1_exact_1d;
+use privhp::sketch::tail::{tail_norm_l1, tail_vector};
+use privhp::sketch::{CountMinSketch, SketchParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Algorithm 3 restores non-negativity and parent=children-sum on any
+    /// complete tree with arbitrary (possibly negative) counts.
+    #[test]
+    fn consistency_always_restores_invariants(
+        counts in proptest::collection::vec(-50.0f64..50.0, 31)
+    ) {
+        let mut i = 0;
+        let mut tree = PartitionTree::complete(4, |_| {
+            let c = counts[i % counts.len()];
+            i += 1;
+            c
+        });
+        enforce_consistency_subtree(&mut tree, &Path::root());
+        prop_assert!(find_consistency_violation(&tree, &Path::root(), 1e-6).is_none());
+    }
+
+    /// Consistency is idempotent: a second pass changes nothing.
+    #[test]
+    fn consistency_idempotent(
+        counts in proptest::collection::vec(-20.0f64..20.0, 15)
+    ) {
+        let mut i = 0;
+        let mut tree = PartitionTree::complete(3, |_| {
+            let c = counts[i % counts.len()];
+            i += 1;
+            c
+        });
+        enforce_consistency_subtree(&mut tree, &Path::root());
+        let snapshot: Vec<(Path, f64)> = tree.iter().map(|(p, c)| (*p, *c)).collect();
+        enforce_consistency_subtree(&mut tree, &Path::root());
+        for (p, c) in snapshot {
+            prop_assert!((tree.count_unchecked(&p) - c).abs() < 1e-9);
+        }
+    }
+
+    /// tail_k is non-increasing in k and tail_0 is the L1 norm.
+    #[test]
+    fn tail_norm_monotone(v in proptest::collection::vec(0.0f64..100.0, 1..64)) {
+        let l1: f64 = v.iter().sum();
+        prop_assert!((tail_norm_l1(&v, 0) - l1).abs() < 1e-6);
+        let mut prev = f64::INFINITY;
+        for k in 0..v.len() {
+            let t = tail_norm_l1(&v, k);
+            prop_assert!(t <= prev + 1e-9);
+            prop_assert!(t >= -1e-9);
+            prev = t;
+        }
+    }
+
+    /// tail_vector and tail_norm agree.
+    #[test]
+    fn tail_vector_consistent(
+        v in proptest::collection::vec(0.0f64..100.0, 1..48),
+        k in 0usize..48
+    ) {
+        let direct: f64 = tail_vector(&v, k).iter().sum();
+        prop_assert!((tail_norm_l1(&v, k) - direct).abs() < 1e-6);
+    }
+
+    /// Exact 1-D W1 satisfies the metric axioms on random samples.
+    #[test]
+    fn w1_metric_axioms(
+        a in proptest::collection::vec(0.0f64..1.0, 1..40),
+        b in proptest::collection::vec(0.0f64..1.0, 1..40),
+        c in proptest::collection::vec(0.0f64..1.0, 1..40)
+    ) {
+        let ab = w1_exact_1d(&a, &b);
+        let ba = w1_exact_1d(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9, "symmetry");
+        prop_assert!(w1_exact_1d(&a, &a) < 1e-9, "identity");
+        let bc = w1_exact_1d(&b, &c);
+        let ac = w1_exact_1d(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-9, "triangle");
+    }
+
+    /// Count-Min never underestimates on non-negative streams.
+    #[test]
+    fn cms_never_underestimates(
+        updates in proptest::collection::vec((0u64..200, 0.1f64..10.0), 1..300),
+        seed in 0u64..1000
+    ) {
+        let mut sketch = CountMinSketch::new(SketchParams::new(4, 32), seed);
+        let mut truth = std::collections::HashMap::new();
+        for (key, w) in &updates {
+            sketch.update(*key, *w);
+            *truth.entry(*key).or_insert(0.0f64) += *w;
+        }
+        for (key, t) in truth {
+            prop_assert!(sketch.query(key) >= t - 1e-6);
+        }
+    }
+
+    /// Budget splits always sum to ε and stay strictly positive.
+    #[test]
+    fn budget_split_exact(
+        eps in 0.01f64..10.0,
+        weights in proptest::collection::vec(0.01f64..100.0, 1..30)
+    ) {
+        let s = BudgetSplit::from_weights(eps, &weights).unwrap();
+        prop_assert!((s.epsilon() - eps).abs() < 1e-9 * eps.max(1.0));
+        prop_assert!(s.sigmas().iter().all(|&x| x > 0.0));
+    }
+
+    /// Path child/parent/ancestor arithmetic round-trips under random
+    /// branch sequences.
+    #[test]
+    fn path_roundtrip(branches in proptest::collection::vec(0u8..2, 0..40)) {
+        let mut p = Path::root();
+        for &b in &branches {
+            p = p.child(b);
+        }
+        prop_assert_eq!(p.level(), branches.len());
+        for (i, &b) in branches.iter().enumerate() {
+            prop_assert_eq!(p.branch_at(i), b);
+        }
+        // Walk back up.
+        let mut q = p;
+        for _ in 0..branches.len() {
+            q = q.parent().unwrap();
+        }
+        prop_assert_eq!(q, Path::root());
+        // Ancestors are prefixes.
+        for l in 0..=branches.len() {
+            prop_assert!(p.ancestor(l).is_ancestor_of(&p));
+        }
+    }
+
+    /// Hypercube locate/sample round-trip: sampling a located cell then
+    /// relocating recovers the cell.
+    #[test]
+    fn hypercube_locate_sample_roundtrip(
+        coords in proptest::collection::vec(0.0f64..1.0, 1..4),
+        level in 0usize..12,
+        seed in 0u64..1000
+    ) {
+        let cube = Hypercube::new(coords.len());
+        let theta = cube.locate(&coords, level);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let resampled = cube.sample_uniform(&theta, &mut rng);
+        prop_assert_eq!(cube.locate(&resampled, level), theta);
+    }
+
+    /// Interval cells at any level tile [0,1] without gaps.
+    #[test]
+    fn interval_cells_tile(level in 0usize..16, x in 0.0f64..1.0) {
+        let iv = UnitInterval::new();
+        let theta = iv.locate(&x, level);
+        let (lo, hi) = iv.cell_bounds(&theta);
+        prop_assert!(lo <= x && x < hi + 1e-15);
+        prop_assert!((hi - lo - iv.level_diameter(level)).abs() < 1e-12);
+    }
+
+    /// The query layer's CDF is monotone and its quantile function inverts
+    /// it, on any consistent random tree.
+    #[test]
+    fn query_cdf_quantile_duality(
+        counts in proptest::collection::vec(0.0f64..20.0, 15),
+        ranks in proptest::collection::vec(0.001f64..0.999, 1..6)
+    ) {
+        let mut i = 0;
+        let mut tree = PartitionTree::complete(3, |_| {
+            let c = counts[i % counts.len()];
+            i += 1;
+            c
+        });
+        enforce_consistency_subtree(&mut tree, &Path::root());
+        let domain = UnitInterval::new();
+        let q = privhp::core::TreeQuery::new(&tree, &domain);
+        // CDF monotone on a grid.
+        let mut prev = -1e-12;
+        for g in 0..=16 {
+            let c = q.cdf(g as f64 / 16.0);
+            prop_assert!(c >= prev - 1e-9, "CDF must be monotone");
+            prev = c;
+        }
+        if q.total_mass() > 1e-9 {
+            for &r in &ranks {
+                let x = q.quantile(r);
+                prop_assert!((q.cdf(x) - r).abs() < 1e-6,
+                    "quantile({r}) = {x} but cdf back = {}", q.cdf(x));
+            }
+        }
+    }
+
+    /// The continual counter's estimate stays within a noise-scale band of
+    /// the truth for any weight sequence.
+    #[test]
+    fn continual_counter_tracks_truth(
+        weights in proptest::collection::vec(0.0f64..5.0, 1..200),
+        seed in 0u64..500
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut c = privhp::dp::continual::ContinualCounter::new(8, 100.0);
+        let mut truth = 0.0;
+        for &w in &weights {
+            truth += w;
+            let est = c.update(w, &mut rng);
+            // scale 8/100 = 0.08 per p-sum, ≤ 8 p-sums: very tight band.
+            prop_assert!((est - truth).abs() < 5.0,
+                "estimate {est} vs truth {truth}");
+        }
+    }
+
+    /// Subdomain probabilities from the query layer sum to 1 over any
+    /// level of a consistent tree.
+    #[test]
+    fn query_level_masses_sum_to_one(
+        counts in proptest::collection::vec(0.1f64..20.0, 15),
+        level in 0usize..4
+    ) {
+        let mut i = 0;
+        let mut tree = PartitionTree::complete(3, |_| {
+            let c = counts[i % counts.len()];
+            i += 1;
+            c
+        });
+        enforce_consistency_subtree(&mut tree, &Path::root());
+        let domain = UnitInterval::new();
+        let q = privhp::core::TreeQuery::new(&tree, &domain);
+        if q.total_mass() > 1e-9 {
+            let sum: f64 = (0..(1u64 << level))
+                .map(|bits| q.subdomain_probability(&Path::from_bits(bits, level)))
+                .sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6, "level {level} masses sum to {sum}");
+        }
+    }
+}
