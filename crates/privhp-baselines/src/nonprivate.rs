@@ -58,6 +58,28 @@ impl<D: HierarchicalDomain + Clone> NonPrivateHistogram<D> {
     }
 }
 
+impl<D: HierarchicalDomain + Clone> privhp_core::Generator<D> for NonPrivateHistogram<D> {
+    fn name(&self) -> String {
+        "NonPrivate".into()
+    }
+
+    fn sample_point(&self, mut rng: &mut dyn RngCore) -> D::Point {
+        NonPrivateHistogram::sample(self, &mut rng)
+    }
+
+    fn sample_many_points(&self, m: usize, mut rng: &mut dyn RngCore) -> Vec<D::Point> {
+        NonPrivateHistogram::sample_many(self, m, &mut rng)
+    }
+
+    fn memory_words(&self) -> usize {
+        NonPrivateHistogram::memory_words(self)
+    }
+
+    fn tree(&self) -> Option<&PartitionTree> {
+        Some(NonPrivateHistogram::tree(self))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -52,9 +52,8 @@ impl<D: HierarchicalDomain + Clone> Pmm<D> {
         assert!(depth >= 1 && depth <= domain.max_level().min(20), "bad depth {depth}");
 
         // Lagrange-optimal split (He et al. Thm 11): σ_l ∝ √Γ_{l−1}.
-        let weights: Vec<f64> = (0..=depth)
-            .map(|l| domain.level_diameter_sum(l.saturating_sub(1)).sqrt())
-            .collect();
+        let weights: Vec<f64> =
+            (0..=depth).map(|l| domain.level_diameter_sum(l.saturating_sub(1)).sqrt()).collect();
         let split = BudgetSplit::from_weights(epsilon, &weights).expect("valid weights");
 
         // Exact counts on the complete tree…
@@ -111,6 +110,28 @@ impl<D: HierarchicalDomain + Clone> Pmm<D> {
     }
 }
 
+impl<D: HierarchicalDomain + Clone> privhp_core::Generator<D> for Pmm<D> {
+    fn name(&self) -> String {
+        "PMM".into()
+    }
+
+    fn sample_point(&self, mut rng: &mut dyn RngCore) -> D::Point {
+        Pmm::sample(self, &mut rng)
+    }
+
+    fn sample_many_points(&self, m: usize, mut rng: &mut dyn RngCore) -> Vec<D::Point> {
+        Pmm::sample_many(self, m, &mut rng)
+    }
+
+    fn memory_words(&self) -> usize {
+        Pmm::memory_words(self)
+    }
+
+    fn tree(&self) -> Option<&PartitionTree> {
+        Some(Pmm::tree(self))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,10 +175,7 @@ mod tests {
         let s = pmm.sample_many(5_000, &mut rng);
         let low = s.iter().filter(|&&x| x < 0.25).count() as f64 / 5_000.0;
         let true_low = data.iter().filter(|&&x| x < 0.25).count() as f64 / 5_000.0;
-        assert!(
-            (low - true_low).abs() < 0.1,
-            "PMM mass below 0.25: {low} vs true {true_low}"
-        );
+        assert!((low - true_low).abs() < 0.1, "PMM mass below 0.25: {low} vs true {true_low}");
     }
 
     #[test]

@@ -61,8 +61,7 @@ impl<D: HierarchicalDomain + Clone> PrivTree<D> {
         // partitioning index slices (O(n) per level instead of a full
         // rescan per node, without changing the mechanism).
         let mut tree = PartitionTree::new();
-        let mut frontier: Vec<(Path, Vec<usize>)> =
-            vec![(Path::root(), (0..data.len()).collect())];
+        let mut frontier: Vec<(Path, Vec<usize>)> = vec![(Path::root(), (0..data.len()).collect())];
         while let Some((node, members)) = frontier.pop() {
             let exact = members.len() as f64;
             // PrivTree's biased noisy count: b(v) = max(c(v) − depth·δ,
@@ -114,6 +113,28 @@ impl<D: HierarchicalDomain + Clone> PrivTree<D> {
     /// required `O(n)` access to the raw data — that is the point.)
     pub fn memory_words(&self) -> usize {
         self.tree.memory_words()
+    }
+}
+
+impl<D: HierarchicalDomain + Clone> privhp_core::Generator<D> for PrivTree<D> {
+    fn name(&self) -> String {
+        "PrivTree".into()
+    }
+
+    fn sample_point(&self, mut rng: &mut dyn RngCore) -> D::Point {
+        PrivTree::sample(self, &mut rng)
+    }
+
+    fn sample_many_points(&self, m: usize, mut rng: &mut dyn RngCore) -> Vec<D::Point> {
+        PrivTree::sample_many(self, m, &mut rng)
+    }
+
+    fn memory_words(&self) -> usize {
+        PrivTree::memory_words(self)
+    }
+
+    fn tree(&self) -> Option<&PartitionTree> {
+        Some(PrivTree::tree(self))
     }
 }
 

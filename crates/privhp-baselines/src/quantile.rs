@@ -37,12 +37,7 @@ impl BoundedQuantiles {
     ///
     /// # Panics
     /// Panics unless `1 ≤ grid_bits ≤ 16` and `epsilon > 0`.
-    pub fn build<R: RngCore>(
-        epsilon: f64,
-        grid_bits: usize,
-        data: &[f64],
-        rng: &mut R,
-    ) -> Self {
+    pub fn build<R: RngCore>(epsilon: f64, grid_bits: usize, data: &[f64], rng: &mut R) -> Self {
         assert!(epsilon > 0.0, "epsilon must be positive");
         assert!((1..=16).contains(&grid_bits), "grid_bits must be in 1..=16");
 
@@ -113,6 +108,32 @@ impl BoundedQuantiles {
     }
 }
 
+impl privhp_core::Generator<privhp_domain::UnitInterval> for BoundedQuantiles {
+    fn name(&self) -> String {
+        "Quantiles".into()
+    }
+
+    fn sample_point(&self, mut rng: &mut dyn RngCore) -> f64 {
+        BoundedQuantiles::sample(self, &mut rng)
+    }
+
+    fn sample_many_points(&self, m: usize, mut rng: &mut dyn RngCore) -> Vec<f64> {
+        BoundedQuantiles::sample_many(self, m, &mut rng)
+    }
+
+    fn memory_words(&self) -> usize {
+        BoundedQuantiles::memory_words(self)
+    }
+
+    // `tree()` stays `None` deliberately: the release's sampling path goes
+    // through the (clamped, jittered) quantile walk, so evaluators must
+    // score the *samples*, not the internal counter tree.
+
+    fn dims(&self) -> privhp_core::DimSupport {
+        privhp_core::DimSupport::OneDimOnly
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,10 +150,7 @@ mod tests {
         let q = BoundedQuantiles::build(4.0, 8, &data, &mut rng);
         for rank in [0.1, 0.25, 0.5, 0.75, 0.9] {
             let est = q.quantile(rank);
-            assert!(
-                (est - rank).abs() < 0.05,
-                "rank {rank}: estimate {est} too far"
-            );
+            assert!((est - rank).abs() < 0.05, "rank {rank}: estimate {est} too far");
         }
     }
 

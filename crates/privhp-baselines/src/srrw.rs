@@ -111,6 +111,28 @@ impl<D: HierarchicalDomain + Clone> Srrw<D> {
     }
 }
 
+impl<D: HierarchicalDomain + Clone> privhp_core::Generator<D> for Srrw<D> {
+    fn name(&self) -> String {
+        "SRRW".into()
+    }
+
+    fn sample_point(&self, mut rng: &mut dyn RngCore) -> D::Point {
+        Srrw::sample(self, &mut rng)
+    }
+
+    fn sample_many_points(&self, m: usize, mut rng: &mut dyn RngCore) -> Vec<D::Point> {
+        Srrw::sample_many(self, m, &mut rng)
+    }
+
+    fn memory_words(&self) -> usize {
+        Srrw::memory_words(self)
+    }
+
+    fn tree(&self) -> Option<&PartitionTree> {
+        Some(Srrw::tree(self))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,7 +141,13 @@ mod tests {
 
     fn bimodal(n: usize) -> Vec<f64> {
         (0..n)
-            .map(|i| if i % 2 == 0 { 0.2 + 0.01 * ((i % 7) as f64) } else { 0.8 + 0.01 * ((i % 5) as f64) })
+            .map(|i| {
+                if i % 2 == 0 {
+                    0.2 + 0.01 * ((i % 7) as f64)
+                } else {
+                    0.8 + 0.01 * ((i % 5) as f64)
+                }
+            })
             .collect()
     }
 

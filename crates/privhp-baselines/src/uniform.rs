@@ -6,6 +6,7 @@
 //! mean distance from the data to the uniform measure, which the Table-1
 //! experiment reports as the "no learning" reference row.
 
+use privhp_core::tree::PartitionTree;
 use privhp_domain::{HierarchicalDomain, Path};
 use rand::RngCore;
 
@@ -13,12 +14,18 @@ use rand::RngCore;
 #[derive(Debug, Clone)]
 pub struct UniformBaseline<D: HierarchicalDomain> {
     domain: D,
+    /// The root-only partition tree (all mass on `Ω`, uniform within it):
+    /// the exact tree encoding of the uniform density, so tree-based
+    /// evaluators can score this baseline without Monte-Carlo noise.
+    tree: PartitionTree,
 }
 
 impl<D: HierarchicalDomain + Clone> UniformBaseline<D> {
     /// Creates the baseline for a domain.
     pub fn new(domain: &D) -> Self {
-        Self { domain: domain.clone() }
+        let mut tree = PartitionTree::new();
+        tree.insert(Path::root(), 1.0);
+        Self { domain: domain.clone(), tree }
     }
 
     /// Draws one uniform point from `Ω`.
@@ -34,6 +41,24 @@ impl<D: HierarchicalDomain + Clone> UniformBaseline<D> {
     /// Memory footprint in words (the domain descriptor only).
     pub fn memory_words(&self) -> usize {
         1
+    }
+}
+
+impl<D: HierarchicalDomain + Clone> privhp_core::Generator<D> for UniformBaseline<D> {
+    fn name(&self) -> String {
+        "Uniform".into()
+    }
+
+    fn sample_point(&self, mut rng: &mut dyn RngCore) -> D::Point {
+        self.domain.sample_uniform(&Path::root(), &mut rng)
+    }
+
+    fn memory_words(&self) -> usize {
+        1
+    }
+
+    fn tree(&self) -> Option<&PartitionTree> {
+        Some(&self.tree)
     }
 }
 
@@ -58,11 +83,7 @@ mod tests {
         let mut rng = rng_from_seed(2);
         let s = b.sample_many(1_000, &mut rng);
         assert!(s.iter().all(|p| p.len() == 3));
-        let corner = s
-            .iter()
-            .filter(|p| p.iter().all(|&x| x < 0.5))
-            .count() as f64
-            / 1_000.0;
+        let corner = s.iter().filter(|p| p.iter().all(|&x| x < 0.5)).count() as f64 / 1_000.0;
         assert!((corner - 0.125).abs() < 0.05, "octant mass {corner}");
     }
 }

@@ -57,8 +57,7 @@ fn bench_release(c: &mut Criterion) {
                     let config = PrivHpConfig::for_domain(1.0, n, k).with_seed(9);
                     let mut rng = rng_from_seed(10);
                     let mut builder =
-                        PrivHpBuilder::new(UnitInterval::new(), config, &mut rng)
-                            .expect("valid");
+                        PrivHpBuilder::new(UnitInterval::new(), config, &mut rng).expect("valid");
                     for x in &stream {
                         builder.ingest(x);
                     }

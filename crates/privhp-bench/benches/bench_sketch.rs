@@ -57,12 +57,7 @@ fn bench_private_construction(c: &mut Criterion) {
             |b, &(depth, width)| {
                 b.iter(|| {
                     let mut rng = rng_from_seed(3);
-                    PrivateCountMinSketch::new(
-                        SketchParams::new(depth, width),
-                        1.0,
-                        4,
-                        &mut rng,
-                    )
+                    PrivateCountMinSketch::new(SketchParams::new(depth, width), 1.0, 4, &mut rng)
                 });
             },
         );

@@ -39,13 +39,8 @@ fn main() {
 
     println!("== E12: consistency step ablation (n={n}, k={k}, {trials} trials) ==\n");
     let mut rows = Vec::new();
-    let mut table = Table::new(&[
-        "workload",
-        "eps",
-        "W1 with consistency",
-        "W1 without",
-        "improvement",
-    ]);
+    let mut table =
+        Table::new(&["workload", "eps", "W1 with consistency", "W1 without", "improvement"]);
 
     let domain = UnitInterval::new();
     for (wl_name, zipf_s) in [("gaussian-mixture", None), ("zipf(s=1.2)", Some(1.2))] {
@@ -64,9 +59,7 @@ fn main() {
                     for x in &data {
                         b.ingest(x);
                     }
-                    let g = b.finalize_with_options(GrowOptions {
-                        enforce_consistency: enforce,
-                    });
+                    let g = b.finalize_with_options(GrowOptions { enforce_consistency: enforce });
                     w1_generator_1d(&data, g.tree(), &domain)
                 })
             };

@@ -92,19 +92,13 @@ fn main() {
             let mg_query = |c: u64| noisy_mg.get(&c).copied().unwrap_or(0.0);
 
             let mean_abs = |est: &dyn Fn(u64) -> f64| -> f64 {
-                (0..cells as u64)
-                    .map(|c| (est(c) - truth[c as usize]).abs())
-                    .sum::<f64>()
+                (0..cells as u64).map(|c| (est(c) - truth[c as usize]).abs()).sum::<f64>()
                     / cells as f64
             };
             cms_err += mean_abs(&|c| cms.query(c)) / trials as f64;
             mg_err += mean_abs(&mg_query) / trials as f64;
             let top_err = |est: &dyn Fn(u64) -> f64| -> f64 {
-                order[..k]
-                    .iter()
-                    .map(|&c| (est(c as u64) - truth[c]).abs())
-                    .sum::<f64>()
-                    / k as f64
+                order[..k].iter().map(|&c| (est(c as u64) - truth[c]).abs()).sum::<f64>() / k as f64
             };
             cms_top += top_err(&|c| cms.query(c)) / trials as f64;
             mg_top += top_err(&mg_query) / trials as f64;

@@ -45,7 +45,8 @@ fn main() {
     println!("   n={n}, k={k}, {trials} trials\n");
 
     let mut rows = Vec::new();
-    let mut table = Table::new(&["zipf s", "eps", "CMS E[W1]", "CountSketch E[W1]", "ratio CS/CMS"]);
+    let mut table =
+        Table::new(&["zipf s", "eps", "CMS E[W1]", "CountSketch E[W1]", "ratio CS/CMS"]);
     for &exponent in &[0.5, 1.0, 1.5] {
         for &epsilon in &[0.5, 1.0, 2.0] {
             let run_kind = |kind: SketchKind| -> Vec<f64> {

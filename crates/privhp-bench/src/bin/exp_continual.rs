@@ -44,12 +44,8 @@ fn main() {
     println!("   n={n}, horizon 2^{horizon_levels}, k={k}, {trials} trials\n");
 
     let mut rows = Vec::new();
-    let mut table = Table::new(&[
-        "eps",
-        "one-shot E[W1]",
-        "continual(final) E[W1]",
-        "overhead factor",
-    ]);
+    let mut table =
+        Table::new(&["eps", "one-shot E[W1]", "continual(final) E[W1]", "overhead factor"]);
 
     for &epsilon in &[1.0, 2.0, 4.0] {
         let one_shot: Vec<f64> = run_trials(trials, threads, |trial| {

@@ -70,8 +70,7 @@ fn main() {
         let t_exact = exact_pruned_tree(&lc, config.l_star, k);
         let step1 = w1_generator_1d(&data, &t_exact, &domain);
         let tails = tail_norms(&lc, k);
-        let gamma_sum: f64 =
-            ((config.l_star + 1)..depth).map(|l| domain.level_diameter(l)).sum();
+        let gamma_sum: f64 = ((config.l_star + 1)..depth).map(|l| domain.level_diameter(l)).sum();
         let lemma7 = tails[depth] / n as f64 * gamma_sum;
 
         // Steps 2, 3 involve the algorithm's noise: average over trials.
@@ -79,8 +78,8 @@ fn main() {
             let seed = 0xE10_100 + trial as u64 * 211;
             let cfg = config.clone().with_seed(seed);
             let mut rng = DeterministicRng::seed_from_u64(seed ^ 0xBEEF);
-            let g = PrivHp::build(&domain, cfg, data.iter().copied(), &mut rng)
-                .expect("valid config");
+            let g =
+                PrivHp::build(&domain, cfg, data.iter().copied(), &mut rng).expect("valid config");
             // T_approx: PrivHP's structure with exact counts.
             let t_approx = with_exact_counts(g.tree(), &lc);
             let segs_exact = tree_to_segments(&t_exact, &domain);
@@ -126,10 +125,7 @@ fn main() {
 /// Deterministic quantile sample of a piecewise-uniform density: `m` points
 /// at the (i+0.5)/m quantiles, used to compare two segment densities via
 /// the sample-vs-segments integral.
-fn quantile_probe(
-    segments: &[privhp_metrics::wasserstein1d::Segment],
-    m: usize,
-) -> Vec<f64> {
+fn quantile_probe(segments: &[privhp_metrics::wasserstein1d::Segment], m: usize) -> Vec<f64> {
     let total: f64 = segments.iter().map(|s| s.mass.max(0.0)).sum();
     let mut sorted: Vec<_> = segments.iter().filter(|s| s.mass > 0.0).collect();
     sorted.sort_by(|a, b| a.lo.partial_cmp(&b.lo).unwrap());

@@ -81,13 +81,7 @@ fn main() {
         let err = (real - synth).abs();
         worst = worst.max(err);
         let within = err <= w1 + mc_slack;
-        table.row(vec![
-            s.name.into(),
-            fmt(real),
-            fmt(synth),
-            fmt(err),
-            fmt(w1),
-        ]);
+        table.row(vec![s.name.into(), fmt(real), fmt(synth), fmt(err), fmt(w1)]);
         rows.push(Row {
             statistic: s.name.into(),
             real_value: real,

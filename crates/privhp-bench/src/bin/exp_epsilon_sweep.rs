@@ -52,12 +52,7 @@ fn main() {
                 fmt_pm(s.mean, s.std_error),
                 fmt(epsilon * s.mean),
             ]);
-            rows.push(Row {
-                epsilon,
-                method: method.name(),
-                w1_mean: s.mean,
-                w1_se: s.std_error,
-            });
+            rows.push(Row { epsilon, method: method.name(), w1_mean: s.mean, w1_se: s.std_error });
         }
     }
     table.print();

@@ -63,13 +63,8 @@ fn main() {
             tail_norm_l1(&cells, k)
         };
 
-        let mut table = Table::new(&[
-            "k",
-            "E[W1]",
-            "memory (words)",
-            "Cor.1 prediction",
-            "PMM ref",
-        ]);
+        let mut table =
+            Table::new(&["k", "E[W1]", "memory (words)", "Cor.1 prediction", "PMM ref"]);
         for &k in &ks {
             let outcomes = run_trials(trials, threads, |trial| {
                 let seed = 0xE3_0000 + trial as u64 * 101 + k as u64;
@@ -78,8 +73,7 @@ fn main() {
                 run_method_1d(Method::PrivHp { k }, epsilon, &data, seed)
             });
             let w1s: Vec<f64> = outcomes.iter().map(|o| o.w1).collect();
-            let mem =
-                outcomes.iter().map(|o| o.memory_words as f64).sum::<f64>() / trials as f64;
+            let mem = outcomes.iter().map(|o| o.memory_words as f64).sum::<f64>() / trials as f64;
             let s = Summary::of(&w1s);
             let pred = corollary1_bound(1, mem.max(2.0), epsilon, n, tail_for(k));
             table.row(vec![

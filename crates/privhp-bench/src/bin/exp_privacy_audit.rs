@@ -49,23 +49,13 @@ fn main() {
     // Check 1: the split sums to ε.
     let sum: f64 = split.sigmas().iter().sum();
     let pass = (sum - epsilon).abs() < 1e-9;
-    table.row(vec![
-        "sum of sigma_l".into(),
-        fmt(sum),
-        fmt(epsilon),
-        pass.to_string(),
-    ]);
+    table.row(vec!["sum of sigma_l".into(), fmt(sum), fmt(epsilon), pass.to_string()]);
     rows.push(AuditRow { check: "sum_sigma".into(), value: sum, budget: epsilon, pass });
 
     // Check 2: every level gets strictly positive budget.
     let min_sigma = split.sigmas().iter().cloned().fold(f64::INFINITY, f64::min);
     let pass = min_sigma > 0.0;
-    table.row(vec![
-        "min sigma_l".into(),
-        fmt(min_sigma),
-        "> 0".into(),
-        pass.to_string(),
-    ]);
+    table.row(vec!["min sigma_l".into(), fmt(min_sigma), "> 0".into(), pass.to_string()]);
     rows.push(AuditRow { check: "min_sigma".into(), value: min_sigma, budget: 0.0, pass });
 
     // Check 3: neighbouring-stream probe on the released root count.
@@ -113,7 +103,8 @@ fn main() {
     write_json("exp_privacy_audit", &rows);
 
     println!("\nPer-level noise scales in force (Eq. 3):");
-    let mut lvl = Table::new(&["level", "sigma_l", "counter scale 1/sigma", "sketch scale j/sigma"]);
+    let mut lvl =
+        Table::new(&["level", "sigma_l", "counter scale 1/sigma", "sketch scale j/sigma"]);
     let j = config.sketch.depth as f64;
     for (l, &s) in split.sigmas().iter().enumerate() {
         let counter = if l <= config.l_star { fmt(1.0 / s) } else { "-".into() };

@@ -48,8 +48,8 @@ fn main() {
         let config = PrivHpConfig::for_domain(epsilon, n, k).with_seed(exp as u64);
         let depth = config.depth;
         let mut rng = DeterministicRng::seed_from_u64(0xE6_1000 + exp as u64);
-        let mut builder = PrivHpBuilder::new(UnitInterval::new(), config, &mut rng)
-            .expect("valid config");
+        let mut builder =
+            PrivHpBuilder::new(UnitInterval::new(), config, &mut rng).expect("valid config");
 
         let t0 = std::time::Instant::now();
         for x in &data {

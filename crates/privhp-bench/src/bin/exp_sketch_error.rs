@@ -26,8 +26,7 @@ struct Row {
 }
 
 fn zipf_vector(universe: usize, exponent: f64, total: f64) -> Vec<f64> {
-    let weights: Vec<f64> =
-        (0..universe).map(|r| 1.0 / ((r + 1) as f64).powf(exponent)).collect();
+    let weights: Vec<f64> = (0..universe).map(|r| 1.0 / ((r + 1) as f64).powf(exponent)).collect();
     let sum: f64 = weights.iter().sum();
     weights.into_iter().map(|w| (w / sum * total).round()).collect()
 }
@@ -63,10 +62,9 @@ fn main() {
                         sketch.update(i as u64, c);
                     }
                 }
-                let err: f64 = (0..universe as u64)
-                    .map(|i| sketch.query(i) - v[i as usize])
-                    .sum::<f64>()
-                    / universe as f64;
+                let err: f64 =
+                    (0..universe as u64).map(|i| sketch.query(i) - v[i as usize]).sum::<f64>()
+                        / universe as f64;
                 mean_err_acc += err;
             }
             let mean_err = mean_err_acc / seeds as f64;

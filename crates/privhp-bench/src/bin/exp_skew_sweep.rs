@@ -40,51 +40,45 @@ fn main() {
 
     println!("== E5: W1 vs input skew (n={n}, eps={epsilon}, k={k}, {trials} trials) ==\n");
     let mut rows = Vec::new();
-    let mut table = Table::new(&[
-        "workload",
-        "||tail_k||/n",
-        "PrivHP E[W1]",
-        "PMM E[W1]",
-        "PrivHP/PMM",
-    ]);
+    let mut table =
+        Table::new(&["workload", "||tail_k||/n", "PrivHP E[W1]", "PMM E[W1]", "PrivHP/PMM"]);
 
-    let mut run_case = |label: String,
-                        exponent: Option<f64>,
-                        gen: &(dyn Fn(u64) -> Vec<f64> + Sync)| {
-        let hp: Vec<f64> = run_trials(trials, threads, |trial| {
-            let seed = 0xE5_0000 + trial as u64 * 173;
-            run_method_1d(Method::PrivHp { k }, epsilon, &gen(seed), seed).w1
-        });
-        let pm: Vec<f64> = run_trials(trials, threads, |trial| {
-            let seed = 0xE5_0000 + trial as u64 * 173;
-            run_method_1d(Method::Pmm, epsilon, &gen(seed), seed).w1
-        });
-        // Tail norm at the level-10 cell granularity of one representative
-        // draw.
-        let data = gen(0xE5_FFFF);
-        let mut cells = vec![0.0f64; 1 << 10];
-        for x in &data {
-            cells[((x * 1024.0) as usize).min(1023)] += 1.0;
-        }
-        let tail = tail_norm_l1(&cells, k) / n as f64;
-        let s_hp = Summary::of(&hp);
-        let s_pm = Summary::of(&pm);
-        table.row(vec![
-            label.clone(),
-            fmt(tail),
-            fmt_pm(s_hp.mean, s_hp.std_error),
-            fmt(s_pm.mean),
-            fmt(s_hp.mean / s_pm.mean),
-        ]);
-        rows.push(Row {
-            workload: label,
-            zipf_exponent: exponent,
-            tail_k_norm_over_n: tail,
-            privhp_w1_mean: s_hp.mean,
-            privhp_w1_se: s_hp.std_error,
-            pmm_w1_mean: s_pm.mean,
-        });
-    };
+    let mut run_case =
+        |label: String, exponent: Option<f64>, gen: &(dyn Fn(u64) -> Vec<f64> + Sync)| {
+            let hp: Vec<f64> = run_trials(trials, threads, |trial| {
+                let seed = 0xE5_0000 + trial as u64 * 173;
+                run_method_1d(Method::PrivHp { k }, epsilon, &gen(seed), seed).w1
+            });
+            let pm: Vec<f64> = run_trials(trials, threads, |trial| {
+                let seed = 0xE5_0000 + trial as u64 * 173;
+                run_method_1d(Method::Pmm, epsilon, &gen(seed), seed).w1
+            });
+            // Tail norm at the level-10 cell granularity of one representative
+            // draw.
+            let data = gen(0xE5_FFFF);
+            let mut cells = vec![0.0f64; 1 << 10];
+            for x in &data {
+                cells[((x * 1024.0) as usize).min(1023)] += 1.0;
+            }
+            let tail = tail_norm_l1(&cells, k) / n as f64;
+            let s_hp = Summary::of(&hp);
+            let s_pm = Summary::of(&pm);
+            table.row(vec![
+                label.clone(),
+                fmt(tail),
+                fmt_pm(s_hp.mean, s_hp.std_error),
+                fmt(s_pm.mean),
+                fmt(s_hp.mean / s_pm.mean),
+            ]);
+            rows.push(Row {
+                workload: label,
+                zipf_exponent: exponent,
+                tail_k_norm_over_n: tail,
+                privhp_w1_mean: s_hp.mean,
+                privhp_w1_se: s_hp.std_error,
+                pmm_w1_mean: s_pm.mean,
+            });
+        };
 
     for s in [0.0, 0.5, 1.0, 1.5, 2.0] {
         run_case(format!("zipf(s={s})"), Some(s), &move |seed| {

@@ -8,10 +8,11 @@
 //!
 //! Usage: `cargo run -p privhp-bench --release --bin exp_table1 [-- --dim D]`
 
-use privhp_bench::methods::{run_method_1d, run_method_nd, Method};
+use privhp_bench::methods::{run_method_1d, run_method_nd, Method, MethodRegistry};
 use privhp_bench::report::{fmt_pm, write_json, Table};
 use privhp_bench::runner::{default_threads, run_trials};
 use privhp_bench::trials_from_env;
+use privhp_domain::{Hypercube, UnitInterval};
 use privhp_dp::rng::DeterministicRng;
 use privhp_metrics::stats::Summary;
 use privhp_workloads::{GaussianMixture, Workload, ZipfCells};
@@ -39,34 +40,20 @@ fn main() {
     let epsilon = 1.0;
     let trials = trials_from_env();
     let threads = default_threads();
-    let ns: Vec<usize> = if dim == 1 {
-        vec![1 << 12, 1 << 14, 1 << 16]
-    } else {
-        vec![1 << 12, 1 << 14]
-    };
+    let ns: Vec<usize> =
+        if dim == 1 { vec![1 << 12, 1 << 14, 1 << 16] } else { vec![1 << 12, 1 << 14] };
+    // The registry knows which methods run at which dimensionality; the
+    // experiment only chooses the PrivHP pruning parameters to expand.
+    let privhp_ks = [8usize, 32];
     let methods: Vec<Method> = if dim == 1 {
-        vec![
-            Method::PrivHp { k: 8 },
-            Method::PrivHp { k: 32 },
-            Method::Pmm,
-            Method::Srrw,
-            Method::PrivTree,
-            Method::Quantiles,
-            Method::Uniform,
-            Method::NonPrivate,
-        ]
+        MethodRegistry::<UnitInterval>::standard_1d().suite(1, &privhp_ks)
     } else {
-        vec![
-            Method::PrivHp { k: 8 },
-            Method::PrivHp { k: 32 },
-            Method::Pmm,
-            Method::Srrw,
-            Method::Uniform,
-            Method::NonPrivate,
-        ]
+        MethodRegistry::<Hypercube>::standard().suite(dim, &privhp_ks)
     };
 
-    println!("== E1/E2 (Table 1): accuracy vs memory, d={dim}, eps={epsilon}, {trials} trials ==\n");
+    println!(
+        "== E1/E2 (Table 1): accuracy vs memory, d={dim}, eps={epsilon}, {trials} trials ==\n"
+    );
     let mut rows = Vec::new();
     let mut table = Table::new(&["workload", "n", "method", "E[W1]", "memory (words)"]);
 

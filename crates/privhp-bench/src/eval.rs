@@ -38,11 +38,6 @@ pub fn w1_generator_1d(data: &[f64], tree: &PartitionTree, domain: &UnitInterval
     w1_sample_vs_segments(data, &tree_to_segments(tree, domain))
 }
 
-/// Exact `W1` between a 1-D dataset and the uniform density on `[0,1]`.
-pub fn w1_uniform_1d(data: &[f64]) -> f64 {
-    w1_sample_vs_segments(data, &[Segment { lo: 0.0, hi: 1.0, mass: 1.0 }])
-}
-
 /// Tree-`W1` between a `d`-dimensional dataset and `synthetic_n` samples
 /// drawn from a generator closure, evaluated to `depth` levels.
 pub fn tree_w1_generator_nd<R, F>(
@@ -118,8 +113,11 @@ mod tests {
 
     #[test]
     fn uniform_reference_value() {
-        // W1(point mass at 0.5, uniform) = 1/4.
-        let d = w1_uniform_1d(&[0.5]);
+        // W1(point mass at 0.5, uniform) = 1/4, via the same root-only tree
+        // the Uniform baseline exposes to the evaluator.
+        let mut t = PartitionTree::new();
+        t.insert(Path::root(), 1.0);
+        let d = w1_generator_1d(&[0.5], &t, &UnitInterval::new());
         assert!((d - 0.25).abs() < 1e-9);
     }
 }

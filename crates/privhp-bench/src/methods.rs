@@ -1,12 +1,31 @@
-//! Uniform construction interface over PrivHP and every baseline, so the
-//! experiment binaries can sweep "method × workload × parameters" without
-//! per-method plumbing.
+//! The method registry: a uniform "build + evaluate" interface over PrivHP
+//! and every baseline, so experiment binaries sweep
+//! "method × workload × parameters" without per-method plumbing.
+//!
+//! Layering:
+//!
+//! * [`Method`] is the *identifier* an experiment sweeps over (pure data,
+//!   serialisable into result rows);
+//! * [`MethodRegistry`] maps each identifier to a [`MethodEntry`] holding
+//!   its dimensionality support and a build closure that turns
+//!   `(domain, ε, data, seed)` into a boxed
+//!   [`privhp_core::Generator`] — the one place construction knowledge
+//!   lives;
+//! * evaluation is method-agnostic: tree-based generators are scored
+//!   exactly in 1-D ([`crate::eval::w1_generator_1d`]), everything else
+//!   from samples. No `match` over methods anywhere downstream.
+//!
+//! Adding a method is now a one-file change: implement `Generator`, add a
+//! `Method` variant and one `register` call in [`MethodRegistry::standard`]
+//! — every experiment binary, the smoke tests, and the reports pick it up.
 
-use privhp_baselines::{BoundedQuantiles, NonPrivateHistogram, Pmm, PrivTree, Srrw, UniformBaseline};
-use privhp_core::{PrivHp, PrivHpConfig};
-use privhp_domain::{Hypercube, UnitInterval};
+use privhp_baselines::{
+    BoundedQuantiles, NonPrivateHistogram, Pmm, PrivTree, Srrw, UniformBaseline,
+};
+use privhp_core::{DimSupport, Generator, PrivHp, PrivHpConfig};
+use privhp_domain::{HierarchicalDomain, Hypercube, UnitInterval};
 use privhp_dp::rng::DeterministicRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// The methods compared in the Table-1 experiments.
@@ -37,13 +56,236 @@ impl Method {
     pub fn name(&self) -> String {
         match self {
             Method::PrivHp { k } => format!("PrivHP(k={k})"),
-            Method::Pmm => "PMM".into(),
-            Method::Srrw => "SRRW".into(),
-            Method::Uniform => "Uniform".into(),
-            Method::NonPrivate => "NonPrivate".into(),
-            Method::PrivTree => "PrivTree".into(),
-            Method::Quantiles => "Quantiles".into(),
+            _ => self.key().into(),
         }
+    }
+
+    /// Every method family in canonical Table-1 order, with PrivHP expanded
+    /// over the given pruning parameters. Filter through
+    /// [`MethodRegistry::suite`] to respect a domain's dimensionality.
+    pub fn all(privhp_ks: &[usize]) -> Vec<Method> {
+        let mut out: Vec<Method> = privhp_ks.iter().map(|&k| Method::PrivHp { k }).collect();
+        out.extend([
+            Method::Pmm,
+            Method::Srrw,
+            Method::PrivTree,
+            Method::Quantiles,
+            Method::Uniform,
+            Method::NonPrivate,
+        ]);
+        out
+    }
+
+    /// Registry key: the method family, ignoring parameters like `k`.
+    pub fn key(&self) -> &'static str {
+        match self {
+            Method::PrivHp { .. } => "PrivHP",
+            Method::Pmm => "PMM",
+            Method::Srrw => "SRRW",
+            Method::Uniform => "Uniform",
+            Method::NonPrivate => "NonPrivate",
+            Method::PrivTree => "PrivTree",
+            Method::Quantiles => "Quantiles",
+        }
+    }
+}
+
+/// Everything a build closure may depend on besides the domain and data.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildContext {
+    /// The method identifier being built (parameters like `k` live here).
+    pub method: Method,
+    /// Privacy budget ε.
+    pub epsilon: f64,
+    /// Trial seed; closures derive sub-seeds from it.
+    pub seed: u64,
+    /// Dimension of the target domain (drives depth heuristics).
+    pub dim: usize,
+}
+
+impl BuildContext {
+    /// Depth heuristic shared by the full-hierarchy comparators: deep
+    /// enough to resolve `n` (or `εn`) cells, clamped so dense trees stay
+    /// affordable (1-D affords two extra levels over `d ≥ 2`).
+    fn clamp_depth(&self, raw: f64) -> usize {
+        let cap = if self.dim == 1 { 18 } else { 16 };
+        (raw.max(2.0).log2().ceil() as usize).clamp(1, cap)
+    }
+}
+
+/// Builds one method over a stream; the registry stores one per method.
+pub type BuildFn<D> = Box<
+    dyn Fn(
+            &D,
+            &BuildContext,
+            &[<D as HierarchicalDomain>::Point],
+            &mut dyn RngCore,
+        ) -> Box<dyn Generator<D>>
+        + Send
+        + Sync,
+>;
+
+/// One registered method: identity, dimensionality support, build recipe.
+pub struct MethodEntry<D: HierarchicalDomain> {
+    key: &'static str,
+    dims: DimSupport,
+    build: BuildFn<D>,
+}
+
+impl<D: HierarchicalDomain> MethodEntry<D> {
+    /// Registry key of the method family.
+    pub fn key(&self) -> &'static str {
+        self.key
+    }
+
+    /// Dimensionality support of the method.
+    pub fn dims(&self) -> DimSupport {
+        self.dims
+    }
+
+    /// Builds the generator for one trial.
+    pub fn build(
+        &self,
+        domain: &D,
+        ctx: &BuildContext,
+        data: &[D::Point],
+        rng: &mut dyn RngCore,
+    ) -> Box<dyn Generator<D>> {
+        (self.build)(domain, ctx, data, rng)
+    }
+}
+
+/// The registry: every method family buildable over domain `D`.
+pub struct MethodRegistry<D: HierarchicalDomain> {
+    entries: Vec<MethodEntry<D>>,
+}
+
+impl<D> MethodRegistry<D>
+where
+    D: HierarchicalDomain + Clone + 'static,
+    D::Point: Clone + 'static,
+{
+    /// An empty registry (for bespoke experiment setups).
+    pub fn new() -> Self {
+        Self { entries: Vec::new() }
+    }
+
+    /// Registers a method; replaces any existing entry with the same key,
+    /// so callers can override standard recipes.
+    pub fn register(&mut self, key: &'static str, dims: DimSupport, build: BuildFn<D>) {
+        self.entries.retain(|e| e.key != key);
+        self.entries.push(MethodEntry { key, dims, build });
+    }
+
+    /// Looks up the entry for a method.
+    pub fn entry(&self, method: Method) -> Option<&MethodEntry<D>> {
+        self.entries.iter().find(|e| e.key == method.key())
+    }
+
+    /// Iterates over all registered entries, in registration order.
+    pub fn entries(&self) -> impl Iterator<Item = &MethodEntry<D>> {
+        self.entries.iter()
+    }
+
+    /// The comparison suite this registry can build for a `dim`-dimensional
+    /// domain, in canonical order: every registered method whose
+    /// [`DimSupport`] covers `dim`, with PrivHP expanded over `privhp_ks`.
+    pub fn suite(&self, dim: usize, privhp_ks: &[usize]) -> Vec<Method> {
+        Method::all(privhp_ks)
+            .into_iter()
+            .filter(|m| self.entry(*m).is_some_and(|e| e.dims().supports(dim)))
+            .collect()
+    }
+
+    /// The standard six domain-generic methods (everything except the 1-D
+    /// bounded-quantile baseline, which [`MethodRegistry::standard_1d`]
+    /// adds for the unit interval).
+    pub fn standard() -> Self {
+        let mut reg = Self::new();
+        reg.register(
+            "PrivHP",
+            DimSupport::Any,
+            Box::new(|domain, ctx, data, rng| {
+                let Method::PrivHp { k } = ctx.method else {
+                    panic!("PrivHP entry built with mismatched method {:?}", ctx.method)
+                };
+                let config =
+                    PrivHpConfig::for_domain(ctx.epsilon, data.len(), k).with_seed(ctx.seed ^ 0xA5);
+                let mut rng = rng;
+                Box::new(
+                    PrivHp::build(domain, config, data.iter().cloned(), &mut rng)
+                        .expect("valid config"),
+                )
+            }),
+        );
+        reg.register(
+            "PMM",
+            DimSupport::Any,
+            Box::new(|domain, ctx, data, rng| {
+                let mut rng = rng;
+                Box::new(Pmm::build(domain, ctx.epsilon, data, &mut rng))
+            }),
+        );
+        reg.register(
+            "SRRW",
+            DimSupport::Any,
+            Box::new(|domain, ctx, data, rng| {
+                let mut rng = rng;
+                Box::new(Srrw::build(domain, ctx.epsilon, data, &mut rng))
+            }),
+        );
+        reg.register(
+            "Uniform",
+            DimSupport::Any,
+            Box::new(|domain, _ctx, _data, _rng| Box::new(UniformBaseline::new(domain))),
+        );
+        reg.register(
+            "NonPrivate",
+            DimSupport::Any,
+            Box::new(|domain, ctx, data, _rng| {
+                let depth = ctx.clamp_depth(data.len().max(2) as f64);
+                Box::new(NonPrivateHistogram::build(domain, depth, data))
+            }),
+        );
+        // PrivTree builds for any domain, but the experiments follow its
+        // paper and the `Method::PrivTree` docs in running it 1-D only.
+        reg.register(
+            "PrivTree",
+            DimSupport::OneDimOnly,
+            Box::new(|domain, ctx, data, rng| {
+                let depth = ctx.clamp_depth(ctx.epsilon * data.len().max(2) as f64);
+                let mut rng = rng;
+                Box::new(PrivTree::build(domain, ctx.epsilon, depth, data, &mut rng))
+            }),
+        );
+        reg
+    }
+}
+
+impl<D> Default for MethodRegistry<D>
+where
+    D: HierarchicalDomain + Clone + 'static,
+    D::Point: Clone + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MethodRegistry<UnitInterval> {
+    /// The full 1-D suite: the six standard methods plus bounded quantiles.
+    pub fn standard_1d() -> Self {
+        let mut reg = Self::standard();
+        reg.register(
+            "Quantiles",
+            DimSupport::OneDimOnly,
+            Box::new(|_domain, ctx, data, rng| {
+                let grid_bits = ((data.len().max(2) as f64).log2().ceil() as usize).clamp(2, 12);
+                let mut rng = rng;
+                Box::new(BoundedQuantiles::build(ctx.epsilon, grid_bits, data, &mut rng))
+            }),
+        );
+        reg
     }
 }
 
@@ -58,59 +300,47 @@ pub struct TrialOutcome {
     pub build_seconds: f64,
 }
 
-/// Builds `method` over 1-D `data` and returns its exact `W1` and memory.
-pub fn run_method_1d(method: Method, epsilon: f64, data: &[f64], seed: u64) -> TrialOutcome {
-    let domain = UnitInterval::new();
-    let mut rng = DeterministicRng::seed_from_u64(seed);
-    let start = std::time::Instant::now();
-    let (w1, memory_words) = match method {
-        Method::PrivHp { k } => {
-            let config = PrivHpConfig::for_domain(epsilon, data.len(), k).with_seed(seed ^ 0xA5);
-            let g = PrivHp::build(&domain, config, data.iter().copied(), &mut rng)
-                .expect("valid config");
-            (crate::eval::w1_generator_1d(data, g.tree(), &domain), g.memory_words())
-        }
-        Method::Pmm => {
-            let g = Pmm::build(&domain, epsilon, data, &mut rng);
-            (crate::eval::w1_generator_1d(data, g.tree(), &domain), g.memory_words())
-        }
-        Method::Srrw => {
-            let g = Srrw::build(&domain, epsilon, data, &mut rng);
-            (crate::eval::w1_generator_1d(data, g.tree(), &domain), g.memory_words())
-        }
-        Method::Uniform => {
-            let g = UniformBaseline::new(&domain);
-            (crate::eval::w1_uniform_1d(data), g.memory_words())
-        }
-        Method::NonPrivate => {
-            let depth = ((data.len().max(2) as f64).log2().ceil() as usize).clamp(1, 18);
-            let g = NonPrivateHistogram::build(&domain, depth, data);
-            (crate::eval::w1_generator_1d(data, g.tree(), &domain), g.memory_words())
-        }
-        Method::PrivTree => {
-            let depth = (((epsilon * data.len().max(2) as f64).max(2.0).log2().ceil())
-                as usize)
-                .clamp(1, 18);
-            let g = PrivTree::build(&domain, epsilon, depth, data, &mut rng);
-            (crate::eval::w1_generator_1d(data, g.tree(), &domain), g.memory_words())
-        }
-        Method::Quantiles => {
-            let grid_bits = ((data.len().max(2) as f64).log2().ceil() as usize).clamp(2, 12);
-            let g = BoundedQuantiles::build(epsilon, grid_bits, data, &mut rng);
-            let mut sample_rng = DeterministicRng::seed_from_u64(seed ^ 0x51);
-            let synthetic = g.sample_many(4 * data.len(), &mut sample_rng);
-            (
-                privhp_metrics::wasserstein1d::w1_exact_1d(data, &synthetic),
-                g.memory_words(),
-            )
-        }
-    };
-    TrialOutcome { w1, memory_words, build_seconds: start.elapsed().as_secs_f64() }
+fn registry_1d() -> &'static MethodRegistry<UnitInterval> {
+    static REGISTRY: std::sync::OnceLock<MethodRegistry<UnitInterval>> = std::sync::OnceLock::new();
+    REGISTRY.get_or_init(MethodRegistry::standard_1d)
 }
 
-/// Builds `method` over `d`-dimensional data and returns tree-`W1`
-/// (evaluated at `eval_depth` levels with `4×` synthetic oversampling) and
-/// memory.
+fn registry_nd() -> &'static MethodRegistry<Hypercube> {
+    static REGISTRY: std::sync::OnceLock<MethodRegistry<Hypercube>> = std::sync::OnceLock::new();
+    REGISTRY.get_or_init(MethodRegistry::standard)
+}
+
+/// Builds `method` over 1-D `data` through the registry and returns its
+/// `W1` (exact for tree-based generators) and memory.
+pub fn run_method_1d(method: Method, epsilon: f64, data: &[f64], seed: u64) -> TrialOutcome {
+    let domain = UnitInterval::new();
+    let registry = registry_1d();
+    let entry =
+        registry.entry(method).unwrap_or_else(|| panic!("method {} not registered", method.name()));
+    let ctx = BuildContext { method, epsilon, seed, dim: 1 };
+    let mut rng = DeterministicRng::seed_from_u64(seed);
+
+    let start = std::time::Instant::now();
+    let generator = entry.build(&domain, &ctx, data, &mut rng);
+    let build_seconds = start.elapsed().as_secs_f64();
+
+    let w1 = match generator.tree() {
+        Some(tree) => crate::eval::w1_generator_1d(data, tree, &domain),
+        None => {
+            // Sample-based fallback for non-tree generators, with an
+            // independent sampling stream so evaluation noise cannot
+            // correlate with build noise.
+            let mut sample_rng = DeterministicRng::seed_from_u64(seed ^ 0x51);
+            let synthetic = generator.sample_many_points(4 * data.len(), &mut sample_rng);
+            privhp_metrics::wasserstein1d::w1_exact_1d(data, &synthetic)
+        }
+    };
+    TrialOutcome { w1, memory_words: generator.memory_words(), build_seconds }
+}
+
+/// Builds `method` over `d`-dimensional data through the registry and
+/// returns tree-`W1` (evaluated at `eval_depth` levels with `4×` synthetic
+/// oversampling, clamped to `[1k, 40k]` samples) and memory.
 pub fn run_method_nd(
     method: Method,
     epsilon: f64,
@@ -120,93 +350,28 @@ pub fn run_method_nd(
     seed: u64,
 ) -> TrialOutcome {
     let cube = Hypercube::new(dim);
+    let registry = registry_nd();
+    let entry = registry.entry(method).unwrap_or_else(|| {
+        panic!("method {} is not available for d = {dim} (1-D only)", method.name())
+    });
+    assert!(entry.dims().supports(dim), "{} does not support d = {dim} (1-D only)", method.name());
+    let ctx = BuildContext { method, epsilon, seed, dim };
     let mut rng = DeterministicRng::seed_from_u64(seed);
     let synthetic_n = (4 * data.len()).clamp(1_000, 40_000);
+
     let start = std::time::Instant::now();
-    let (w1, memory_words) = match method {
-        Method::PrivHp { k } => {
-            let config = PrivHpConfig::for_domain(epsilon, data.len(), k).with_seed(seed ^ 0xA5);
-            let g = PrivHp::build(&cube, config, data.iter().cloned(), &mut rng)
-                .expect("valid config");
-            let w1 = crate::eval::tree_w1_generator_nd(
-                &cube,
-                data,
-                |r| g.sample(r),
-                synthetic_n,
-                eval_depth,
-                &mut rng,
-            );
-            (w1, g.memory_words())
-        }
-        Method::Pmm => {
-            let g = Pmm::build(&cube, epsilon, data, &mut rng);
-            let w1 = crate::eval::tree_w1_generator_nd(
-                &cube,
-                data,
-                |r| g.sample(r),
-                synthetic_n,
-                eval_depth,
-                &mut rng,
-            );
-            (w1, g.memory_words())
-        }
-        Method::Srrw => {
-            let g = Srrw::build(&cube, epsilon, data, &mut rng);
-            let w1 = crate::eval::tree_w1_generator_nd(
-                &cube,
-                data,
-                |r| g.sample(r),
-                synthetic_n,
-                eval_depth,
-                &mut rng,
-            );
-            (w1, g.memory_words())
-        }
-        Method::Uniform => {
-            let g = UniformBaseline::new(&cube);
-            let w1 = crate::eval::tree_w1_generator_nd(
-                &cube,
-                data,
-                |r| g.sample(r),
-                synthetic_n,
-                eval_depth,
-                &mut rng,
-            );
-            (w1, g.memory_words())
-        }
-        Method::NonPrivate => {
-            let depth = ((data.len().max(2) as f64).log2().ceil() as usize).clamp(1, 16);
-            let g = NonPrivateHistogram::build(&cube, depth, data);
-            let w1 = crate::eval::tree_w1_generator_nd(
-                &cube,
-                data,
-                |r| g.sample(r),
-                synthetic_n,
-                eval_depth,
-                &mut rng,
-            );
-            (w1, g.memory_words())
-        }
-        Method::PrivTree => {
-            let depth = (((epsilon * data.len().max(2) as f64).max(2.0).log2().ceil())
-                as usize)
-                .clamp(1, 16);
-            let g = PrivTree::build(&cube, epsilon, depth, data, &mut rng);
-            let w1 = crate::eval::tree_w1_generator_nd(
-                &cube,
-                data,
-                |r| g.sample(r),
-                synthetic_n,
-                eval_depth,
-                &mut rng,
-            );
-            (w1, g.memory_words())
-        }
-        Method::Quantiles => {
-            panic!("the bounded-quantile baseline is 1-D only (finite ordered domains)")
-        }
-    };
-    TrialOutcome { w1, memory_words, build_seconds: start.elapsed().as_secs_f64() }
+    let generator = entry.build(&cube, &ctx, data, &mut rng);
+    let build_seconds = start.elapsed().as_secs_f64();
+
+    let w1 = crate::eval::tree_w1_generator_nd(
+        &cube,
+        data,
+        |r| generator.sample_point(r),
+        synthetic_n,
+        eval_depth,
+        &mut rng,
+    );
+    TrialOutcome { w1, memory_words: generator.memory_words(), build_seconds }
 }
 
 #[cfg(test)]
@@ -238,6 +403,77 @@ mod tests {
     }
 
     #[test]
+    fn registry_covers_every_method_exactly_once() {
+        let reg = MethodRegistry::standard_1d();
+        let keys: Vec<&str> = reg.entries().map(|e| e.key()).collect();
+        for m in [
+            Method::PrivHp { k: 8 },
+            Method::Pmm,
+            Method::Srrw,
+            Method::Uniform,
+            Method::NonPrivate,
+            Method::PrivTree,
+            Method::Quantiles,
+        ] {
+            assert_eq!(
+                keys.iter().filter(|k| **k == m.key()).count(),
+                1,
+                "{} registered exactly once",
+                m.key()
+            );
+        }
+    }
+
+    #[test]
+    fn register_replaces_existing_entry() {
+        let mut reg = MethodRegistry::<UnitInterval>::standard_1d();
+        let before = reg.entries().count();
+        reg.register(
+            "Uniform",
+            DimSupport::Any,
+            Box::new(|domain, _ctx, _data, _rng| {
+                Box::new(privhp_baselines::UniformBaseline::new(domain))
+            }),
+        );
+        assert_eq!(reg.entries().count(), before, "replacement must not duplicate");
+    }
+
+    #[test]
+    fn generator_names_match_method_names() {
+        let data = data_1d(400, 9);
+        let domain = UnitInterval::new();
+        let reg = MethodRegistry::standard_1d();
+        for m in [Method::Pmm, Method::Uniform, Method::Quantiles, Method::PrivTree] {
+            let ctx = BuildContext { method: m, epsilon: 1.0, seed: 7, dim: 1 };
+            let mut rng = DeterministicRng::seed_from_u64(7);
+            let g = reg.entry(m).unwrap().build(&domain, &ctx, &data, &mut rng);
+            assert_eq!(g.name(), m.name());
+        }
+    }
+
+    #[test]
+    fn suite_respects_dimensionality() {
+        let one_d = MethodRegistry::<UnitInterval>::standard_1d().suite(1, &[8, 32]);
+        assert_eq!(
+            one_d,
+            vec![
+                Method::PrivHp { k: 8 },
+                Method::PrivHp { k: 32 },
+                Method::Pmm,
+                Method::Srrw,
+                Method::PrivTree,
+                Method::Quantiles,
+                Method::Uniform,
+                Method::NonPrivate,
+            ]
+        );
+        let two_d = MethodRegistry::<Hypercube>::standard().suite(2, &[8]);
+        assert!(!two_d.contains(&Method::Quantiles), "quantiles are 1-D only");
+        assert!(!two_d.contains(&Method::PrivTree), "PrivTree runs 1-D only");
+        assert!(two_d.contains(&Method::Pmm));
+    }
+
+    #[test]
     fn nonprivate_beats_uniform_on_skewed_data() {
         let data = data_1d(2_000, 2);
         let np = run_method_1d(Method::NonPrivate, 1.0, &data, 3);
@@ -266,5 +502,12 @@ mod tests {
             let out = run_method_nd(m, 1.0, &data, 2, 8, 77);
             assert!(out.w1.is_finite() && out.w1 >= 0.0);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "1-D only")]
+    fn quantiles_rejected_above_1d() {
+        let data = vec![vec![0.5, 0.5]; 64];
+        let _ = run_method_nd(Method::Quantiles, 1.0, &data, 2, 4, 1);
     }
 }

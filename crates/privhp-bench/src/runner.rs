@@ -2,11 +2,13 @@
 //!
 //! `E[W1]` is an expectation over algorithm randomness, so every
 //! configuration is measured over many independent trials. Trials are
-//! embarrassingly parallel; we fan them out over a fixed thread pool with
-//! `crossbeam::scope` (no work stealing needed — trials within one sweep
-//! have near-identical cost).
+//! embarrassingly parallel; we fan them out over a fixed pool of scoped
+//! threads (`std::thread::scope` — no external thread-pool dependency; no
+//! work stealing needed since trials within one sweep have near-identical
+//! cost).
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Runs `trials` independent evaluations of `f` (given the trial index) in
 /// parallel and returns the results in trial order.
@@ -20,24 +22,24 @@ where
     assert!(trials > 0, "need at least one trial");
     let threads = threads.clamp(1, trials);
     let results: Mutex<Vec<Option<T>>> = Mutex::new((0..trials).map(|_| None).collect());
-    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= trials {
                     break;
                 }
                 let out = f(i);
-                results.lock()[i] = Some(out);
+                results.lock().expect("trial thread panicked")[i] = Some(out);
             });
         }
-    })
-    .expect("trial thread panicked");
+    });
 
     results
         .into_inner()
+        .expect("trial thread panicked")
         .into_iter()
         .map(|r| r.expect("every trial filled"))
         .collect()

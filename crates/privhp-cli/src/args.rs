@@ -86,12 +86,10 @@ fn flag_map(tokens: &[String]) -> Result<HashMap<String, String>, ParseError> {
     let mut i = 0;
     while i < tokens.len() {
         let t = &tokens[i];
-        let name = t
-            .strip_prefix("--")
-            .ok_or_else(|| err(format!("expected a --flag, got '{t}'")))?;
-        let value = tokens
-            .get(i + 1)
-            .ok_or_else(|| err(format!("flag --{name} is missing its value")))?;
+        let name =
+            t.strip_prefix("--").ok_or_else(|| err(format!("expected a --flag, got '{t}'")))?;
+        let value =
+            tokens.get(i + 1).ok_or_else(|| err(format!("flag --{name} is missing its value")))?;
         if map.insert(name.to_string(), value.clone()).is_some() {
             return Err(err(format!("flag --{name} given twice")));
         }
@@ -101,9 +99,7 @@ fn flag_map(tokens: &[String]) -> Result<HashMap<String, String>, ParseError> {
 }
 
 fn take<'a>(map: &'a HashMap<String, String>, name: &str) -> Result<&'a str, ParseError> {
-    map.get(name)
-        .map(|s| s.as_str())
-        .ok_or_else(|| err(format!("missing required flag --{name}")))
+    map.get(name).map(|s| s.as_str()).ok_or_else(|| err(format!("missing required flag --{name}")))
 }
 
 fn take_or<'a>(map: &'a HashMap<String, String>, name: &str, default: &'a str) -> &'a str {
@@ -153,9 +149,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
             let map = flag_map(&args[1..])?;
             let release = take(&map, "release")?.to_string();
             let query = if let Some(r) = map.get("range") {
-                let (a, b) = r
-                    .split_once(',')
-                    .ok_or_else(|| err("--range expects 'a,b'"))?;
+                let (a, b) = r.split_once(',').ok_or_else(|| err("--range expects 'a,b'"))?;
                 QueryKind::Range(parse_f64("range", a)?, parse_f64("range", b)?)
             } else if let Some(x) = map.get("cdf") {
                 QueryKind::Cdf(parse_f64("cdf", x)?)
@@ -207,7 +201,15 @@ mod tests {
     #[test]
     fn parses_build() {
         let cmd = parse_args(&v(&[
-            "build", "--input", "d.csv", "--output", "r.json", "--epsilon", "0.5", "--k", "8",
+            "build",
+            "--input",
+            "d.csv",
+            "--output",
+            "r.json",
+            "--epsilon",
+            "0.5",
+            "--k",
+            "8",
         ]))
         .unwrap();
         match cmd {
@@ -231,8 +233,17 @@ mod tests {
             ("ipv4", DomainSpec::Ipv4),
         ] {
             let cmd = parse_args(&v(&[
-                "build", "--input", "d", "--output", "o", "--epsilon", "1", "--k", "4",
-                "--domain", s,
+                "build",
+                "--input",
+                "d",
+                "--output",
+                "o",
+                "--epsilon",
+                "1",
+                "--k",
+                "4",
+                "--domain",
+                s,
             ]))
             .unwrap();
             let Command::Build { domain, .. } = cmd else { panic!() };

@@ -11,10 +11,8 @@ use privhp_domain::Ipv4Space;
 pub fn parse_interval(input: &str) -> Result<Vec<f64>, String> {
     payload_lines(input)
         .map(|(no, line)| {
-            let x: f64 = line
-                .trim()
-                .parse()
-                .map_err(|_| format!("line {no}: '{line}' is not a number"))?;
+            let x: f64 =
+                line.trim().parse().map_err(|_| format!("line {no}: '{line}' is not a number"))?;
             if !(0.0..=1.0).contains(&x) {
                 return Err(format!("line {no}: {x} outside [0,1]"));
             }
@@ -30,9 +28,7 @@ pub fn parse_cube(input: &str, dim: usize) -> Result<Vec<Vec<f64>>, String> {
             let coords: Result<Vec<f64>, String> = line
                 .split(',')
                 .map(|f| {
-                    f.trim()
-                        .parse::<f64>()
-                        .map_err(|_| format!("line {no}: '{f}' is not a number"))
+                    f.trim().parse::<f64>().map_err(|_| format!("line {no}: '{f}' is not a number"))
                 })
                 .collect();
             let coords = coords?;

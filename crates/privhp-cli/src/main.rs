@@ -28,8 +28,7 @@ fn run(args: &[String]) -> Result<String, String> {
         Command::Build { input, output, epsilon, k, domain, seed } => {
             let csv = read_input(&input)?;
             let json = commands::run_build(&csv, epsilon, k, domain, seed)?;
-            std::fs::write(&output, &json)
-                .map_err(|e| format!("cannot write {output}: {e}"))?;
+            std::fs::write(&output, &json).map_err(|e| format!("cannot write {output}: {e}"))?;
             Ok(format!("release written to {output}\n"))
         }
         Command::Sample { release, count, seed } => {
@@ -50,9 +49,7 @@ fn run(args: &[String]) -> Result<String, String> {
 fn read_input(path: &str) -> Result<String, String> {
     if path == "-" {
         let mut buf = String::new();
-        std::io::stdin()
-            .read_to_string(&mut buf)
-            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        std::io::stdin().read_to_string(&mut buf).map_err(|e| format!("cannot read stdin: {e}"))?;
         Ok(buf)
     } else {
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))

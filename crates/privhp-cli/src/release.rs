@@ -3,6 +3,8 @@
 
 use privhp_core::config::PrivHpConfig;
 use privhp_core::tree::PartitionTree;
+use privhp_core::TreeSampler;
+use privhp_domain::HierarchicalDomain;
 use serde::{Deserialize, Serialize};
 
 /// Which input domain a release was built over.
@@ -27,17 +29,13 @@ impl DomainSpec {
             "ipv4" => Ok(DomainSpec::Ipv4),
             other => {
                 if let Some(d) = other.strip_prefix("cube:") {
-                    let dim: usize = d
-                        .parse()
-                        .map_err(|_| format!("bad cube dimension '{d}'"))?;
+                    let dim: usize = d.parse().map_err(|_| format!("bad cube dimension '{d}'"))?;
                     if dim == 0 {
                         return Err("cube dimension must be >= 1".into());
                     }
                     Ok(DomainSpec::Cube { dim })
                 } else {
-                    Err(format!(
-                        "unknown domain '{other}' (expected interval | cube:D | ipv4)"
-                    ))
+                    Err(format!("unknown domain '{other}' (expected interval | cube:D | ipv4)"))
                 }
             }
         }
@@ -78,6 +76,18 @@ impl ReleaseFile {
     /// Serialises to pretty JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("release serialises")
+    }
+
+    /// Views the release as a synthetic-data generator over `domain`
+    /// (the returned sampler implements [`privhp_core::Generator`], so it
+    /// plugs into any trait-driven consumer).
+    pub fn generator<'a, D: HierarchicalDomain>(&'a self, domain: &'a D) -> TreeSampler<'a, D> {
+        TreeSampler::new(&self.tree, domain)
+    }
+
+    /// Memory retained by the release, in 8-byte words.
+    pub fn memory_words(&self) -> usize {
+        self.tree.memory_words()
     }
 
     /// Parses from JSON, validating the version.

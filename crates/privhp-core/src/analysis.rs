@@ -74,11 +74,7 @@ pub fn exact_complete_tree(level_counts: &[Vec<f64>]) -> PartitionTree {
 /// level. (Algorithm 2's *runtime* growth expands every `L★` leaf on its
 /// first step; when `2^{L★} ≤ k` — e.g. Figure 2 — the two readings
 /// coincide.)
-pub fn exact_pruned_tree(
-    level_counts: &[Vec<f64>],
-    l_star: usize,
-    k: usize,
-) -> PartitionTree {
+pub fn exact_pruned_tree(level_counts: &[Vec<f64>], l_star: usize, k: usize) -> PartitionTree {
     let depth = level_counts.len() - 1;
     assert!(l_star <= depth, "L* beyond available levels");
     let mut tree = PartitionTree::new();

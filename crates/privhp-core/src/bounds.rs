@@ -51,10 +51,8 @@ pub fn theorem3_bounds<D: HierarchicalDomain>(
     let j = config.sketch.depth as f64;
     let k = config.k as f64;
 
-    let gamma_prev =
-        |l: usize| domain.level_diameter(l.saturating_sub(1));
-    let gamma_sum_prev =
-        |l: usize| domain.level_diameter_sum(l.saturating_sub(1));
+    let gamma_prev = |l: usize| domain.level_diameter(l.saturating_sub(1));
+    let gamma_sum_prev = |l: usize| domain.level_diameter_sum(l.saturating_sub(1));
 
     let mut noise = 0.0;
     for l in 0..=config.depth {
@@ -67,8 +65,7 @@ pub fn theorem3_bounds<D: HierarchicalDomain>(
     }
     let delta_noise = noise / nf;
 
-    let gamma_tail_sum: f64 =
-        ((config.l_star + 1)..=config.depth).map(gamma_prev).sum();
+    let gamma_tail_sum: f64 = ((config.l_star + 1)..=config.depth).map(gamma_prev).sum();
     let delta_approx = (tail_norm / nf + 2f64.powf(-j)) * gamma_tail_sum;
 
     TheoreticalBounds { delta_noise, delta_approx }
@@ -78,7 +75,13 @@ pub fn theorem3_bounds<D: HierarchicalDomain>(
 ///
 /// * `d = 1`: `log²(M)/(εn) + ‖tail‖/(M·n)`;
 /// * `d ≥ 2`: `M^{1−1/d}/(εn) + ‖tail‖/(M^{1/d}·n)`.
-pub fn corollary1_bound(d: usize, memory_words: f64, epsilon: f64, n: usize, tail_norm: f64) -> f64 {
+pub fn corollary1_bound(
+    d: usize,
+    memory_words: f64,
+    epsilon: f64,
+    n: usize,
+    tail_norm: f64,
+) -> f64 {
     assert!(d >= 1, "dimension must be at least 1");
     assert!(memory_words > 1.0 && epsilon > 0.0 && n > 0);
     let nf = n as f64;

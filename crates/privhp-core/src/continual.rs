@@ -88,15 +88,7 @@ impl<D: HierarchicalDomain + Clone> ContinualPrivHp<D> {
             })
             .collect();
 
-        Ok(Self {
-            domain,
-            config,
-            split,
-            counters,
-            sketches,
-            horizon_levels,
-            items_seen: 0,
-        })
+        Ok(Self { domain, config, split, counters, sketches, horizon_levels, items_seen: 0 })
     }
 
     /// Ingests one stream item (the continual analogue of Algorithm 1
@@ -105,17 +97,11 @@ impl<D: HierarchicalDomain + Clone> ContinualPrivHp<D> {
     /// # Panics
     /// Panics past the horizon.
     pub fn ingest<R: RngCore>(&mut self, point: &D::Point, rng: &mut R) {
-        assert!(
-            self.items_seen < (1usize << self.horizon_levels),
-            "stream horizon exhausted"
-        );
+        assert!(self.items_seen < (1usize << self.horizon_levels), "stream horizon exhausted");
         let deep = self.domain.locate(point, self.config.depth);
         for l in 0..=self.config.l_star {
             let theta = deep.ancestor(l);
-            self.counters
-                .get_mut(&theta)
-                .expect("complete shallow tree")
-                .update(1.0, rng);
+            self.counters.get_mut(&theta).expect("complete shallow tree").update(1.0, rng);
         }
         for l in (self.config.l_star + 1)..=self.config.depth {
             let theta = deep.ancestor(l);
@@ -211,23 +197,17 @@ mod tests {
             c.ingest(x, &mut rng);
         }
         let g = c.release();
-        assert!(crate::consistency::find_consistency_violation(
-            g.tree(),
-            &Path::root(),
-            1e-6
-        )
-        .is_none());
+        assert!(
+            crate::consistency::find_consistency_violation(g.tree(), &Path::root(), 1e-6).is_none()
+        );
     }
 
     #[test]
     fn memory_polylog_in_horizon() {
         let config = PrivHpConfig::for_domain(1.0, 1 << 12, 8).with_seed(5);
-        let small = ContinualPrivHp::new(UnitInterval::new(), config.clone(), 10)
-            .unwrap()
-            .memory_words();
-        let large = ContinualPrivHp::new(UnitInterval::new(), config, 20)
-            .unwrap()
-            .memory_words();
+        let small =
+            ContinualPrivHp::new(UnitInterval::new(), config.clone(), 10).unwrap().memory_words();
+        let large = ContinualPrivHp::new(UnitInterval::new(), config, 20).unwrap().memory_words();
         // Horizon grew 1024x; memory should grow ~2x (log factor).
         assert!(
             large < small * 4,

@@ -1,0 +1,155 @@
+//! The [`Generator`] abstraction: one interface over every synthetic-data
+//! generator in the workspace — PrivHP itself and all Table-1 baselines.
+//!
+//! Before this trait existed, every consumer (the experiment harness, the
+//! 13 `exp_*` binaries, the CLI) dispatched over methods with hand-written
+//! `match` arms, re-plumbed per dimension. The trait collapses that to one
+//! object-safe surface:
+//!
+//! * construction stays method-specific (each method builds from a stream
+//!   with its own parameters — the bench crate's `MethodRegistry` owns
+//!   per-method build closures);
+//! * everything *after* construction — sampling, memory accounting,
+//!   reporting, (tree-based) exact evaluation — goes through `dyn
+//!   Generator<D>`.
+//!
+//! Object safety is why sampling takes `&mut dyn RngCore` rather than a
+//! generic `R: RngCore`: boxed generators must be storable side by side in
+//! registries and sweeps. `&mut dyn RngCore` itself implements `RngCore`,
+//! so implementations forward to their inherent generic methods at zero
+//! conceptual cost (one vtable hop per draw; batch sampling amortises it).
+
+use crate::tree::PartitionTree;
+use privhp_domain::HierarchicalDomain;
+use rand::RngCore;
+
+/// Which input dimensionalities a generation method supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DimSupport {
+    /// Any hierarchical domain, any dimension.
+    Any,
+    /// One-dimensional (totally ordered) domains only.
+    OneDimOnly,
+}
+
+impl DimSupport {
+    /// Whether a `dim`-dimensional domain is supported.
+    pub fn supports(&self, dim: usize) -> bool {
+        match self {
+            DimSupport::Any => true,
+            DimSupport::OneDimOnly => dim == 1,
+        }
+    }
+}
+
+/// A built synthetic-data generator over domain `D`.
+///
+/// Implementors are *releases*: all privacy spending happened at build
+/// time, so every method here is post-processing (paper Lemma 2) and can be
+/// called arbitrarily often.
+pub trait Generator<D: HierarchicalDomain> {
+    /// Short display name for tables and logs (e.g. `PrivHP(k=16)`).
+    fn name(&self) -> String;
+
+    /// Draws one synthetic point.
+    fn sample_point(&self, rng: &mut dyn RngCore) -> D::Point;
+
+    /// Draws `m` synthetic points.
+    fn sample_many_points(&self, m: usize, rng: &mut dyn RngCore) -> Vec<D::Point> {
+        (0..m).map(|_| self.sample_point(rng)).collect()
+    }
+
+    /// Memory retained by the release, in 8-byte words.
+    fn memory_words(&self) -> usize;
+
+    /// The consistent partition tree encoding the release's distribution,
+    /// if the method is tree-based.
+    ///
+    /// In 1-D a tree is a piecewise-uniform density, so evaluators can
+    /// compute `W1` *exactly* instead of Monte-Carlo sampling; methods
+    /// without a tree (e.g. bounded quantiles) return `None` and are
+    /// evaluated from samples.
+    fn tree(&self) -> Option<&PartitionTree> {
+        None
+    }
+
+    /// Dimensionalities the underlying method supports.
+    fn dims(&self) -> DimSupport {
+        DimSupport::Any
+    }
+}
+
+impl<D: HierarchicalDomain> Generator<D> for crate::privhp::PrivHpGenerator<D> {
+    fn name(&self) -> String {
+        format!("PrivHP(k={})", self.config().k)
+    }
+
+    fn sample_point(&self, mut rng: &mut dyn RngCore) -> D::Point {
+        crate::privhp::PrivHpGenerator::sample(self, &mut rng)
+    }
+
+    fn sample_many_points(&self, m: usize, mut rng: &mut dyn RngCore) -> Vec<D::Point> {
+        crate::privhp::PrivHpGenerator::sample_many(self, m, &mut rng)
+    }
+
+    fn memory_words(&self) -> usize {
+        crate::privhp::PrivHpGenerator::memory_words(self)
+    }
+
+    fn tree(&self) -> Option<&PartitionTree> {
+        Some(crate::privhp::PrivHpGenerator::tree(self))
+    }
+}
+
+impl<'a, D: HierarchicalDomain> Generator<D> for crate::sampler::TreeSampler<'a, D> {
+    fn name(&self) -> String {
+        "TreeSampler".into()
+    }
+
+    fn sample_point(&self, mut rng: &mut dyn RngCore) -> D::Point {
+        crate::sampler::TreeSampler::sample(self, &mut rng)
+    }
+
+    fn sample_many_points(&self, m: usize, mut rng: &mut dyn RngCore) -> Vec<D::Point> {
+        crate::sampler::TreeSampler::sample_many(self, m, &mut rng)
+    }
+
+    fn memory_words(&self) -> usize {
+        self.tree().memory_words()
+    }
+
+    fn tree(&self) -> Option<&PartitionTree> {
+        Some(crate::sampler::TreeSampler::tree(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PrivHp, PrivHpConfig};
+    use privhp_domain::UnitInterval;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dim_support_matrix() {
+        assert!(DimSupport::Any.supports(1));
+        assert!(DimSupport::Any.supports(5));
+        assert!(DimSupport::OneDimOnly.supports(1));
+        assert!(!DimSupport::OneDimOnly.supports(2));
+    }
+
+    #[test]
+    fn privhp_generator_is_object_safe() {
+        let data: Vec<f64> = (0..500).map(|i| i as f64 / 500.0).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let config = PrivHpConfig::for_domain(1.0, data.len(), 4);
+        let g = PrivHp::build(&UnitInterval::new(), config, data, &mut rng).expect("valid config");
+        let boxed: Box<dyn Generator<UnitInterval>> = Box::new(g);
+        assert!(boxed.name().starts_with("PrivHP"));
+        assert!(boxed.memory_words() >= 1);
+        assert!(boxed.tree().is_some());
+        let pts = boxed.sample_many_points(64, &mut rng);
+        assert_eq!(pts.len(), 64);
+        assert!(pts.iter().all(|x| (0.0..1.0).contains(x)));
+    }
+}

@@ -104,11 +104,7 @@ pub fn grow_partition_with_options<S: FrequencyOracle>(
     options: GrowOptions,
 ) -> PartitionTree {
     assert!(l_star < depth, "L* must be below the hierarchy depth");
-    assert_eq!(
-        sketches.len(),
-        depth - l_star,
-        "need one sketch per level in (L*, L]"
-    );
+    assert_eq!(sketches.len(), depth - l_star, "need one sketch per level in (L*, L]");
 
     // Line 2: consistency over the initial complete tree, depth-first.
     if options.enforce_consistency {
@@ -190,7 +186,8 @@ mod tests {
                 }
             }
         });
-        let s2 = sketch_of(&[(path(0b10, 2), 1.0), (path(0b11, 2), 7.0), (path(0b01, 2), 2.0)], 1e6, 1);
+        let s2 =
+            sketch_of(&[(path(0b10, 2), 1.0), (path(0b11, 2), 7.0), (path(0b01, 2), 2.0)], 1e6, 1);
         let s3 = sketch_of(&[(path(0b110, 3), 3.0), (path(0b111, 3), 4.0)], 1e6, 2);
         let grown = grow_partition(tree, &[s2, s3], 1, 3, 1);
 

@@ -39,7 +39,10 @@
 //! * [`budget`] — the Lemma-5 optimal allocation of ε across levels;
 //! * [`bounds`] — closed-form evaluators for Theorem 3 and Corollary 1;
 //! * [`analysis`] — the proof-pipeline trees `𝒯_X → 𝒯_exact → 𝒯_approx`
-//!   of §7 (Figure 4), used by the decomposition experiments.
+//!   of §7 (Figure 4), used by the decomposition experiments;
+//! * [`generator`] — the [`Generator`] trait: the object-safe interface
+//!   every built release (PrivHP and all baselines) exposes to samplers,
+//!   evaluators and registries.
 
 pub mod analysis;
 pub mod bounds;
@@ -47,6 +50,7 @@ pub mod budget;
 pub mod config;
 pub mod consistency;
 pub mod continual;
+pub mod generator;
 pub mod grow;
 pub mod privhp;
 pub mod query;
@@ -57,6 +61,7 @@ pub use bounds::{corollary1_bound, TheoreticalBounds};
 pub use budget::optimal_budget_split;
 pub use config::{ConfigError, PrivHpConfig};
 pub use continual::ContinualPrivHp;
+pub use generator::{DimSupport, Generator};
 pub use grow::GrowOptions;
 pub use privhp::{PrivHp, PrivHpBuilder, PrivHpGenerator};
 pub use query::TreeQuery;

@@ -181,8 +181,7 @@ impl<D: HierarchicalDomain + Clone> PrivHpBuilder<D> {
 
     /// Current memory footprint in 8-byte words (tree + sketches).
     pub fn memory_words(&self) -> usize {
-        self.tree.memory_words()
-            + self.sketches.iter().map(|s| s.memory_words()).sum::<usize>()
+        self.tree.memory_words() + self.sketches.iter().map(|s| s.memory_words()).sum::<usize>()
     }
 
     /// Runs GrowPartition (Algorithm 2) and returns the finished generator.
@@ -308,8 +307,8 @@ mod tests {
         let data = skewed_stream(2_000);
         let config = PrivHpConfig::for_domain(1.0, data.len(), 8).with_seed(11);
         let mut rng = rng_from_seed(12);
-        let g = PrivHp::build(&UnitInterval::new(), config, data.iter().copied(), &mut rng)
-            .unwrap();
+        let g =
+            PrivHp::build(&UnitInterval::new(), config, data.iter().copied(), &mut rng).unwrap();
         let samples = g.sample_many(5_000, &mut rng);
         assert_eq!(samples.len(), 5_000);
         assert!(samples.iter().all(|x| (0.0..1.0).contains(x)));
@@ -324,11 +323,10 @@ mod tests {
         let data = skewed_stream(1_000);
         let config = PrivHpConfig::for_domain(1.0, data.len(), 4).with_seed(21);
         let mut rng = rng_from_seed(22);
-        let g = PrivHp::build(&UnitInterval::new(), config, data.iter().copied(), &mut rng)
-            .unwrap();
+        let g =
+            PrivHp::build(&UnitInterval::new(), config, data.iter().copied(), &mut rng).unwrap();
         assert!(
-            crate::consistency::find_consistency_violation(g.tree(), &Path::root(), 1e-6)
-                .is_none()
+            crate::consistency::find_consistency_violation(g.tree(), &Path::root(), 1e-6).is_none()
         );
     }
 
@@ -357,10 +355,7 @@ mod tests {
         };
         // 16x the data should cost only ~(log 2^14 / log 2^10)^2 ≈ 2x the
         // words; allow generous slack but far below 16x.
-        assert!(
-            (large as f64) < (small as f64) * 6.0,
-            "memory scaled with n: {small} -> {large}"
-        );
+        assert!((large as f64) < (small as f64) * 6.0, "memory scaled with n: {small} -> {large}");
     }
 
     #[test]
@@ -373,8 +368,7 @@ mod tests {
             .collect();
         let config = PrivHpConfig::for_domain(1.0, data.len(), 8).with_seed(31);
         let mut rng = rng_from_seed(32);
-        let g = PrivHp::build(&Hypercube::new(2), config, data.iter().cloned(), &mut rng)
-            .unwrap();
+        let g = PrivHp::build(&Hypercube::new(2), config, data.iter().cloned(), &mut rng).unwrap();
         let samples = g.sample_many(100, &mut rng);
         assert!(samples.iter().all(|p| p.len() == 2));
     }
@@ -385,8 +379,7 @@ mod tests {
         let build = || {
             let config = PrivHpConfig::for_domain(1.0, data.len(), 4).with_seed(77);
             let mut rng = rng_from_seed(78);
-            PrivHp::build(&UnitInterval::new(), config, data.iter().copied(), &mut rng)
-                .unwrap()
+            PrivHp::build(&UnitInterval::new(), config, data.iter().copied(), &mut rng).unwrap()
         };
         let g1 = build();
         let g2 = build();
@@ -400,8 +393,7 @@ mod tests {
     fn empty_stream_still_releases() {
         let config = PrivHpConfig::for_domain(1.0, 1_024, 4).with_seed(41);
         let mut rng = rng_from_seed(42);
-        let g =
-            PrivHp::build(&UnitInterval::new(), config, std::iter::empty(), &mut rng).unwrap();
+        let g = PrivHp::build(&UnitInterval::new(), config, std::iter::empty(), &mut rng).unwrap();
         // Pure noise, but sampling must not panic.
         let _ = g.sample_many(50, &mut rng);
     }
@@ -422,14 +414,13 @@ mod tests {
             .with_seed(51)
             .with_sketch_kind(crate::config::SketchKind::CountSketch);
         let mut rng = rng_from_seed(52);
-        let g = PrivHp::build(&UnitInterval::new(), config, data.iter().copied(), &mut rng)
-            .unwrap();
+        let g =
+            PrivHp::build(&UnitInterval::new(), config, data.iter().copied(), &mut rng).unwrap();
         let samples = g.sample_many(4_000, &mut rng);
         let low = samples.iter().filter(|&&x| x < 0.25).count() as f64 / 4_000.0;
         assert!(low > 0.5, "Count-Sketch variant lost the skew: {low}");
         assert!(
-            crate::consistency::find_consistency_violation(g.tree(), &Path::root(), 1e-6)
-                .is_none()
+            crate::consistency::find_consistency_violation(g.tree(), &Path::root(), 1e-6).is_none()
         );
     }
 

@@ -38,6 +38,11 @@ impl<'a, D: HierarchicalDomain> TreeSampler<'a, D> {
         Self { tree, domain }
     }
 
+    /// The partition tree the sampler draws from.
+    pub fn tree(&self) -> &'a PartitionTree {
+        self.tree
+    }
+
     /// Walks the tree to a leaf path according to the counts.
     ///
     /// Degenerate trees (root count ≤ 0, e.g. an empty stream drowned in
@@ -48,11 +53,7 @@ impl<'a, D: HierarchicalDomain> TreeSampler<'a, D> {
         let root_count = self.tree.root_count().expect("checked at construction");
         let mut node = Path::root();
         let mut node_count = root_count;
-        let mut u = if root_count > 0.0 {
-            rng.gen_range(0.0..root_count)
-        } else {
-            0.0
-        };
+        let mut u = if root_count > 0.0 { rng.gen_range(0.0..root_count) } else { 0.0 };
         loop {
             let left = node.left();
             let right = node.right();
@@ -149,10 +150,7 @@ mod tests {
         ];
         for (leaf, p) in expect {
             let freq = *counts.get(&leaf).unwrap_or(&0) as f64 / n as f64;
-            assert!(
-                (freq - p).abs() < 0.01,
-                "leaf {leaf}: frequency {freq} vs expected {p}"
-            );
+            assert!((freq - p).abs() < 0.01, "leaf {leaf}: frequency {freq} vs expected {p}");
         }
     }
 
@@ -182,9 +180,7 @@ mod tests {
         let sampler = TreeSampler::new(&t, &domain);
         let mut rng = rng_from_seed(2);
         let n = 40_000;
-        let left_leaf = (0..n)
-            .filter(|_| sampler.sample_leaf(&mut rng) == r.left())
-            .count();
+        let left_leaf = (0..n).filter(|_| sampler.sample_leaf(&mut rng) == r.left()).count();
         let frac = left_leaf as f64 / n as f64;
         assert!((frac - 0.5).abs() < 0.02, "left leaf frequency {frac}");
     }
@@ -200,9 +196,7 @@ mod tests {
         let sampler = TreeSampler::new(&t, &domain);
         let mut rng = rng_from_seed(3);
         let n = 20_000;
-        let lefts = (0..n)
-            .filter(|_| sampler.sample_leaf(&mut rng) == r.left())
-            .count();
+        let lefts = (0..n).filter(|_| sampler.sample_leaf(&mut rng) == r.left()).count();
         let frac = lefts as f64 / n as f64;
         assert!((frac - 0.5).abs() < 0.02, "uniform fallback broken: {frac}");
     }

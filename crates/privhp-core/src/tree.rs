@@ -21,24 +21,20 @@ pub struct PartitionTree {
     levels: Vec<Vec<Path>>,
 }
 
-/// (De)serialises `HashMap<Path, f64>` as a `Vec<(Path, f64)>`.
+/// (De)serialises `HashMap<Path, f64>` as a `Vec<(Path, f64)>`, sorted for
+/// deterministic output. Uses the vendored serde's `with`-module convention
+/// (`serialize(&T) -> Value`, `deserialize(&Value) -> Result<T, Error>`).
 mod path_map_serde {
     use super::*;
-    use serde::{Deserializer, Serializer};
 
-    pub fn serialize<S: Serializer>(
-        map: &HashMap<Path, f64>,
-        ser: S,
-    ) -> Result<S::Ok, S::Error> {
+    pub fn serialize(map: &HashMap<Path, f64>) -> serde::Value {
         let mut pairs: Vec<(Path, f64)> = map.iter().map(|(p, c)| (*p, *c)).collect();
         pairs.sort_by_key(|pair| pair.0);
-        serde::Serialize::serialize(&pairs, ser)
+        serde::Serialize::to_value(&pairs)
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        de: D,
-    ) -> Result<HashMap<Path, f64>, D::Error> {
-        let pairs: Vec<(Path, f64)> = serde::Deserialize::deserialize(de)?;
+    pub fn deserialize(v: &serde::Value) -> Result<HashMap<Path, f64>, serde::Error> {
+        let pairs: Vec<(Path, f64)> = serde::Deserialize::from_value(v)?;
         Ok(pairs.into_iter().collect())
     }
 }
@@ -98,10 +94,7 @@ impl PartitionTree {
     /// # Panics
     /// Panics if the node is absent.
     pub fn set_count(&mut self, path: &Path, count: f64) {
-        let c = self
-            .counts
-            .get_mut(path)
-            .unwrap_or_else(|| panic!("node {path} not in tree"));
+        let c = self.counts.get_mut(path).unwrap_or_else(|| panic!("node {path} not in tree"));
         *c = count;
     }
 
@@ -110,10 +103,7 @@ impl PartitionTree {
     /// # Panics
     /// Panics if the node is absent.
     pub fn add_count(&mut self, path: &Path, delta: f64) {
-        let c = self
-            .counts
-            .get_mut(path)
-            .unwrap_or_else(|| panic!("node {path} not in tree"));
+        let c = self.counts.get_mut(path).unwrap_or_else(|| panic!("node {path} not in tree"));
         *c += delta;
     }
 

@@ -31,10 +31,7 @@ impl Categorical {
     /// # Panics
     /// Panics unless `2 ≤ categories ≤ 2^24`.
     pub fn new(categories: u64) -> Self {
-        assert!(
-            (2..=(1 << 24)).contains(&categories),
-            "categories must be in 2..=2^24"
-        );
+        assert!((2..=(1 << 24)).contains(&categories), "categories must be in 2..=2^24");
         let depth = (categories as f64).log2().ceil() as usize;
         Self { categories, depth }
     }
@@ -49,11 +46,8 @@ impl Categorical {
     /// denote single categories (the decomposition descends left below the
     /// leaves), so they are truncated to their depth-`depth` ancestor.
     pub fn cell_range(&self, theta: &Path) -> (u64, u64) {
-        let truncated = if theta.level() > self.depth {
-            theta.ancestor(self.depth)
-        } else {
-            *theta
-        };
+        let truncated =
+            if theta.level() > self.depth { theta.ancestor(self.depth) } else { *theta };
         let level = truncated.level();
         let span = 1u64 << (self.depth - level);
         let lo = truncated.bits() << (self.depth - level);

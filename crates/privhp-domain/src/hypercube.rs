@@ -109,19 +109,13 @@ impl HierarchicalDomain for Hypercube {
     }
 
     fn sample_uniform<R: RngCore>(&self, theta: &Path, rng: &mut R) -> Self::Point {
-        self.cell_bounds(theta)
-            .into_iter()
-            .map(|(lo, hi)| rng.gen_range(lo..hi))
-            .collect()
+        self.cell_bounds(theta).into_iter().map(|(lo, hi)| rng.gen_range(lo..hi)).collect()
     }
 
     fn distance(&self, a: &Self::Point, b: &Self::Point) -> f64 {
         assert_eq!(a.len(), self.dim);
         assert_eq!(b.len(), self.dim);
-        a.iter()
-            .zip(b)
-            .map(|(x, y)| (x - y).abs())
-            .fold(0.0, f64::max)
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
     }
 
     fn max_level(&self) -> usize {

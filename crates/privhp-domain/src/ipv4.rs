@@ -39,13 +39,7 @@ impl Ipv4Space {
 
     /// Formats an address in dotted-quad notation.
     pub fn format_addr(addr: u32) -> String {
-        format!(
-            "{}.{}.{}.{}",
-            addr >> 24,
-            (addr >> 16) & 0xff,
-            (addr >> 8) & 0xff,
-            addr & 0xff
-        )
+        format!("{}.{}.{}.{}", addr >> 24, (addr >> 16) & 0xff, (addr >> 8) & 0xff, addr & 0xff)
     }
 
     /// Parses dotted-quad notation.

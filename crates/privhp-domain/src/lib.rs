@@ -110,11 +110,7 @@ mod trait_tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let cube = Hypercube::new(3);
         let pts: Vec<Vec<f64>> = (0..20)
-            .map(|_| {
-                (0..3)
-                    .map(|_| rand::Rng::gen_range(&mut rng, 0.0..1.0))
-                    .collect()
-            })
+            .map(|_| (0..3).map(|_| rand::Rng::gen_range(&mut rng, 0.0..1.0)).collect())
             .collect();
         check_nesting(&cube, &pts, 20);
 

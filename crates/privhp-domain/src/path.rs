@@ -66,10 +66,7 @@ impl Path {
     pub fn child(&self, bit: u8) -> Self {
         assert!(bit <= 1, "branch bit must be 0 or 1");
         assert!((self.level as usize) < Self::MAX_LEVEL, "cannot descend below MAX_LEVEL");
-        Self {
-            bits: (self.bits << 1) | bit as u64,
-            level: self.level + 1,
-        }
+        Self { bits: (self.bits << 1) | bit as u64, level: self.level + 1 }
     }
 
     /// Left child `θ0`.
@@ -131,10 +128,7 @@ impl Path {
     #[inline]
     pub fn ancestor(&self, level: usize) -> Self {
         assert!(level <= self.level as usize, "ancestor level too deep");
-        Self {
-            bits: self.bits >> (self.level as usize - level),
-            level: level as u8,
-        }
+        Self { bits: self.bits >> (self.level as usize - level), level: level as u8 }
     }
 
     /// Whether `self` is an ancestor of (or equal to) `other`.

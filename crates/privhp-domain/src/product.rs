@@ -134,7 +134,8 @@ mod tests {
         let d = mixed();
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         for _ in 0..50 {
-            let p = (rand::Rng::gen_range(&mut rng, 0.0..1.0), rand::Rng::gen_range(&mut rng, 0u64..8));
+            let p =
+                (rand::Rng::gen_range(&mut rng, 0.0..1.0), rand::Rng::gen_range(&mut rng, 0u64..8));
             let mut prev = Path::root();
             for l in 0..=10 {
                 let theta = d.locate(&p, l);
@@ -163,7 +164,8 @@ mod tests {
         let d = mixed();
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         for _ in 0..100 {
-            let p = (rand::Rng::gen_range(&mut rng, 0.0..1.0), rand::Rng::gen_range(&mut rng, 0u64..8));
+            let p =
+                (rand::Rng::gen_range(&mut rng, 0.0..1.0), rand::Rng::gen_range(&mut rng, 0u64..8));
             let theta = d.locate(&p, 8);
             let s = d.sample_uniform(&theta, &mut rng);
             assert_eq!(d.locate(&s, 8), theta, "round-trip failed for {p:?}");

@@ -87,10 +87,7 @@ impl EpsilonBudget {
         }
         let tolerance = 1e-9 * self.total;
         if epsilon > self.remaining() + tolerance {
-            return Err(BudgetError::Exhausted {
-                requested: epsilon,
-                remaining: self.remaining(),
-            });
+            return Err(BudgetError::Exhausted { requested: epsilon, remaining: self.remaining() });
         }
         self.spent = (self.spent + epsilon).min(self.total);
         Ok(())

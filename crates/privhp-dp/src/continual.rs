@@ -137,10 +137,7 @@ mod tests {
             truth += 1.0;
             let est = c.update(1.0, &mut rng);
             // Scale 10/50 = 0.2 per p-sum, ≤ 10 p-sums per query.
-            assert!(
-                (est - truth).abs() < 15.0,
-                "t={i}: estimate {est} too far from {truth}"
-            );
+            assert!((est - truth).abs() < 15.0, "t={i}: estimate {est} too far from {truth}");
         }
     }
 

@@ -24,10 +24,7 @@ impl TwoSidedGeometric {
     /// # Panics
     /// Panics unless `0 < alpha < 1`.
     pub fn new(alpha: f64) -> Self {
-        assert!(
-            alpha > 0.0 && alpha < 1.0,
-            "alpha must be in (0,1), got {alpha}"
-        );
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1), got {alpha}");
         Self { alpha }
     }
 
@@ -95,13 +92,9 @@ mod tests {
         let g = TwoSidedGeometric::new(0.5);
         let mut rng = rng_from_seed(9);
         let n = 200_000;
-        let var: f64 =
-            (0..n).map(|_| (g.sample(&mut rng) as f64).powi(2)).sum::<f64>() / n as f64;
+        let var: f64 = (0..n).map(|_| (g.sample(&mut rng) as f64).powi(2)).sum::<f64>() / n as f64;
         let expected = g.variance();
-        assert!(
-            (var - expected).abs() / expected < 0.05,
-            "variance {var} vs expected {expected}"
-        );
+        assert!((var - expected).abs() / expected < 0.05, "variance {var} vs expected {expected}");
     }
 
     #[test]
@@ -119,10 +112,7 @@ mod tests {
         }
         for z in 0..4 {
             let ratio = counts[z + 1] as f64 / counts[z] as f64;
-            assert!(
-                (ratio - 0.6).abs() < 0.05,
-                "ratio at z={z} was {ratio}, expected ~0.6"
-            );
+            assert!((ratio - 0.6).abs() < 0.05, "ratio at z={z} was {ratio}, expected ~0.6");
         }
     }
 }

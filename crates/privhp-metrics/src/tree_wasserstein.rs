@@ -25,12 +25,7 @@ pub fn tree_w1_from_masses(mu: &[Vec<f64>], nu: &[Vec<f64>], gammas: &[f64]) -> 
     let mut total = 0.0;
     for l in 1..mu.len() {
         assert_eq!(mu[l].len(), nu[l].len(), "level {l} width mismatch");
-        let tv: f64 = mu[l]
-            .iter()
-            .zip(&nu[l])
-            .map(|(a, b)| (a - b).abs())
-            .sum::<f64>()
-            * 0.5;
+        let tv: f64 = mu[l].iter().zip(&nu[l]).map(|(a, b)| (a - b).abs()).sum::<f64>() * 0.5;
         total += gammas[l - 1] * tv;
     }
     total
@@ -110,10 +105,7 @@ mod tests {
         let b: Vec<f64> = (0..200).map(|i| ((i * 53 + 11) % 200) as f64 / 200.0).collect();
         let tree = tree_w1_between_samples(&d, &a, &b, 12);
         let exact = crate::wasserstein1d::w1_exact_1d(&a, &b);
-        assert!(
-            tree >= exact - 1e-9,
-            "tree W1 {tree} must dominate exact W1 {exact}"
-        );
+        assert!(tree >= exact - 1e-9, "tree W1 {tree} must dominate exact W1 {exact}");
         // ... and not by an absurd factor on dyadically-spread data.
         assert!(tree < exact * 50.0 + 0.1, "tree bound uselessly loose: {tree} vs {exact}");
     }

@@ -166,11 +166,7 @@ pub fn w1_between_segments(a: &[Segment], b: &[Segment]) -> f64 {
         acc / total
     };
 
-    let mut points: Vec<f64> = a
-        .iter()
-        .chain(b.iter())
-        .flat_map(|s| [s.lo, s.hi])
-        .collect();
+    let mut points: Vec<f64> = a.iter().chain(b.iter()).flat_map(|s| [s.lo, s.hi]).collect();
     points.sort_by(|p, q| p.partial_cmp(q).unwrap());
     points.dedup();
 
@@ -270,10 +266,8 @@ mod tests {
     #[test]
     fn segments_agree_with_sampling_estimate() {
         // Piecewise density: 0.7 mass on [0, 0.25), 0.3 on [0.5, 1.0).
-        let segs = [
-            Segment { lo: 0.0, hi: 0.25, mass: 0.7 },
-            Segment { lo: 0.5, hi: 1.0, mass: 0.3 },
-        ];
+        let segs =
+            [Segment { lo: 0.0, hi: 0.25, mass: 0.7 }, Segment { lo: 0.5, hi: 1.0, mass: 0.3 }];
         let sample = [0.1, 0.2, 0.6, 0.9];
         let exact = w1_sample_vs_segments(&sample, &segs);
         // Monte-Carlo reference with a dense deterministic grid draw.
@@ -285,10 +279,7 @@ mod tests {
             draws.push(0.5 + 0.5 * ((i as f64 + 0.5) / 3_000.0));
         }
         let reference = w1_exact_1d(&sample, &draws);
-        assert!(
-            (exact - reference).abs() < 2e-3,
-            "closed form {exact} vs reference {reference}"
-        );
+        assert!((exact - reference).abs() < 2e-3, "closed form {exact} vs reference {reference}");
     }
 
     #[test]
@@ -304,10 +295,7 @@ mod tests {
     #[test]
     fn segments_vs_segments_symmetric_and_triangle() {
         let a = [Segment { lo: 0.0, hi: 0.5, mass: 1.0 }];
-        let b = [
-            Segment { lo: 0.0, hi: 0.25, mass: 0.5 },
-            Segment { lo: 0.5, hi: 1.0, mass: 0.5 },
-        ];
+        let b = [Segment { lo: 0.0, hi: 0.25, mass: 0.5 }, Segment { lo: 0.5, hi: 1.0, mass: 0.5 }];
         let c = [Segment { lo: 0.5, hi: 1.0, mass: 1.0 }];
         let ab = w1_between_segments(&a, &b);
         let ba = w1_between_segments(&b, &a);
@@ -323,10 +311,7 @@ mod tests {
     fn segments_agree_with_sample_form() {
         // Dense quantile sample of density a, measured against density b,
         // must approach the closed segment-vs-segment value.
-        let a = [
-            Segment { lo: 0.0, hi: 0.2, mass: 0.7 },
-            Segment { lo: 0.6, hi: 1.0, mass: 0.3 },
-        ];
+        let a = [Segment { lo: 0.0, hi: 0.2, mass: 0.7 }, Segment { lo: 0.6, hi: 1.0, mass: 0.3 }];
         let b = [Segment { lo: 0.0, hi: 1.0, mass: 1.0 }];
         let closed = w1_between_segments(&a, &b);
         let mut probe = Vec::new();
@@ -337,10 +322,7 @@ mod tests {
             probe.push(0.6 + 0.4 * (i as f64 + 0.5) / 3_000.0);
         }
         let sampled = w1_sample_vs_segments(&probe, &b);
-        assert!(
-            (closed - sampled).abs() < 2e-3,
-            "closed {closed} vs sampled {sampled}"
-        );
+        assert!((closed - sampled).abs() < 2e-3, "closed {closed} vs sampled {sampled}");
     }
 
     #[test]

@@ -113,10 +113,7 @@ mod tests {
                 let est = s.query(42);
                 // Per-cell scale = (12 levels)·(6/24) = 3 per p-sum, ≤12
                 // p-sums; plus collisions with the light keys.
-                assert!(
-                    (est - truth).abs() < 120.0,
-                    "t={i}: estimate {est} vs truth {truth}"
-                );
+                assert!((est - truth).abs() < 120.0, "t={i}: estimate {est} vs truth {truth}");
             }
         }
     }

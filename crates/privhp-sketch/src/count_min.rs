@@ -88,11 +88,7 @@ impl CountMinSketch {
     /// Panics if `noise.len() != cells()` — a short noise vector would leave
     /// some cells unprotected.
     pub fn add_cellwise_noise(&mut self, noise: &[f64]) {
-        assert_eq!(
-            noise.len(),
-            self.table.len(),
-            "noise vector must cover every cell"
-        );
+        assert_eq!(noise.len(), self.table.len(), "noise vector must cover every cell");
         for (cell, n) in self.table.iter_mut().zip(noise) {
             *cell += n;
         }
@@ -173,14 +169,9 @@ mod tests {
         let tail = crate::tail::tail_norm_l1(&v, 32);
         let bound = s.lemma4_error_bound(tail, total);
         // Lemma 4 bounds the expectation; check the mean error over keys.
-        let mean_err: f64 = (0..universe)
-            .map(|i| s.query(i) - v[i as usize])
-            .sum::<f64>()
-            / universe as f64;
-        assert!(
-            mean_err <= bound * 1.5,
-            "mean error {mean_err} exceeds Lemma 4 bound {bound}"
-        );
+        let mean_err: f64 =
+            (0..universe).map(|i| s.query(i) - v[i as usize]).sum::<f64>() / universe as f64;
+        assert!(mean_err <= bound * 1.5, "mean error {mean_err} exceeds Lemma 4 bound {bound}");
     }
 
     #[test]

@@ -81,11 +81,7 @@ impl CountSketch {
     /// # Panics
     /// Panics if the noise vector does not cover every cell.
     pub fn add_cellwise_noise(&mut self, noise: &[f64]) {
-        assert_eq!(
-            noise.len(),
-            self.table.len(),
-            "noise vector must cover every cell"
-        );
+        assert_eq!(noise.len(), self.table.len(), "noise vector must cover every cell");
         for (cell, n) in self.table.iter_mut().zip(noise) {
             *cell += n;
         }
@@ -121,8 +117,7 @@ mod tests {
             s.update(i % 200, 1.0);
         }
         // truth: every key in 0..200 has count 10
-        let mean_err: f64 =
-            (0..200u64).map(|k| s.query(k) - 10.0).sum::<f64>() / 200.0;
+        let mean_err: f64 = (0..200u64).map(|k| s.query(k) - 10.0).sum::<f64>() / 200.0;
         assert!(mean_err.abs() < 2.0, "bias {mean_err} too large");
     }
 
@@ -134,9 +129,7 @@ mod tests {
             s.update(i, 1.0);
         }
         // Most light keys should still be estimated near 1.
-        let good = (1..100u64)
-            .filter(|&k| (s.query(k) - 1.0).abs() < 50.0)
-            .count();
+        let good = (1..100u64).filter(|&k| (s.query(k) - 1.0).abs() < 50.0).count();
         assert!(good > 80, "only {good}/99 keys robust to the heavy hitter");
     }
 

@@ -88,9 +88,7 @@ mod tests {
     #[test]
     fn rows_are_decorrelated() {
         let f = HashFamily::new(2, 1024, 7);
-        let collisions = (0..10_000u64)
-            .filter(|&k| f.bucket(0, k) == f.bucket(1, k))
-            .count();
+        let collisions = (0..10_000u64).filter(|&k| f.bucket(0, k) == f.bucket(1, k)).count();
         // Expected ~10000/1024 ≈ 10; allow a wide band.
         assert!(collisions < 40, "rows too correlated: {collisions} collisions");
     }
@@ -125,9 +123,7 @@ mod tests {
         // Correlation between sign and low bucket bit should be near zero.
         let f = HashFamily::new(1, 2, 21);
         let n = 100_000u64;
-        let agree = (0..n)
-            .filter(|&k| (f.bucket(0, k) == 0) == (f.sign(0, k) == 1))
-            .count();
+        let agree = (0..n).filter(|&k| (f.bucket(0, k) == 0) == (f.sign(0, k) == 1)).count();
         let frac = agree as f64 / n as f64;
         assert!((frac - 0.5).abs() < 0.01, "sign-bucket correlation {frac}");
     }

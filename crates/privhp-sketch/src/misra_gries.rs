@@ -66,10 +66,7 @@ impl MisraGries {
         }
         // Full table and a new key: decrement all counters by the smallest
         // amount that frees a slot (batched form of the classic algorithm).
-        let min = self
-            .counters
-            .values()
-            .fold(f64::INFINITY, |acc, &v| acc.min(v));
+        let min = self.counters.values().fold(f64::INFINITY, |acc, &v| acc.min(v));
         let dec = min.min(weight);
         self.decremented += dec;
         for c in self.counters.values_mut() {

@@ -155,10 +155,7 @@ mod tests {
         let est = s.query(42);
         // Noise scale is 2.5 per cell; CMS min over 10 rows biases slightly
         // but the estimate must land near 1000.
-        assert!(
-            (est - 1_000.0).abs() < 100.0,
-            "estimate {est} too far from 1000"
-        );
+        assert!((est - 1_000.0).abs() < 100.0, "estimate {est} too far from 1000");
     }
 
     #[test]

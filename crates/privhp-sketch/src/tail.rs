@@ -98,10 +98,7 @@ mod tests {
         let v = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
         for k in 0..=8 {
             let direct: f64 = tail_vector(&v, k).iter().sum();
-            assert!(
-                (tail_norm_l1(&v, k) - direct).abs() < 1e-12,
-                "mismatch at k={k}"
-            );
+            assert!((tail_norm_l1(&v, k) - direct).abs() < 1e-12, "mismatch at k={k}");
         }
     }
 

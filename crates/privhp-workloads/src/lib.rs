@@ -47,9 +47,7 @@ impl UniformWorkload {
 
 impl Workload<Vec<f64>> for UniformWorkload {
     fn generate<R: RngCore>(&self, n: usize, rng: &mut R) -> Vec<Vec<f64>> {
-        (0..n)
-            .map(|_| (0..self.dim).map(|_| rng.gen_range(0.0..1.0)).collect())
-            .collect()
+        (0..n).map(|_| (0..self.dim).map(|_| rng.gen_range(0.0..1.0)).collect()).collect()
     }
 }
 
@@ -132,11 +130,8 @@ impl GaussianMixture {
         // fall back to clamping after a bounded number of attempts so a
         // pathological component cannot loop forever.
         for _ in 0..64 {
-            let p: Vec<f64> = comp
-                .center
-                .iter()
-                .map(|&m| m + comp.sigma * Self::sample_gaussian(rng))
-                .collect();
+            let p: Vec<f64> =
+                comp.center.iter().map(|&m| m + comp.sigma * Self::sample_gaussian(rng)).collect();
             if p.iter().all(|&x| (0.0..1.0).contains(&x)) {
                 return p;
             }

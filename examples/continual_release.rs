@@ -24,8 +24,8 @@ fn main() {
     let config = PrivHpConfig::for_domain(epsilon, n, 16);
 
     // Horizon 2^14 items.
-    let mut privhp = ContinualPrivHp::new(UnitInterval::new(), config, 14)
-        .expect("valid configuration");
+    let mut privhp =
+        ContinualPrivHp::new(UnitInterval::new(), config, 14).expect("valid configuration");
     println!(
         "continual PrivHP opened: {} words (binary-mechanism counters + continual sketches)\n",
         privhp.memory_words()
@@ -47,10 +47,7 @@ fn main() {
         let synthetic = generator.sample_many(history.len(), &mut rng);
         let w1 = w1_exact_1d(&history, &synthetic);
         let mode_now = 0.2 + 0.6 * (history.len() as f64 / n as f64);
-        println!(
-            "{step:>10}   {:>6}      {mode_now:.2}        {w1:.5}",
-            history.len()
-        );
+        println!("{step:>10}   {:>6}      {mode_now:.2}        {w1:.5}", history.len());
     }
 
     println!("\nEvery checkpoint's release reflects the stream so far; the sequence of");

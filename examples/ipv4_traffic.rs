@@ -45,7 +45,8 @@ fn main() {
     let shares = |stream: &[u32]| -> HashMap<(u8, u8), f64> {
         let mut m = HashMap::new();
         for &a in stream {
-            *m.entry(((a >> 24) as u8, (a >> 16) as u8)).or_insert(0.0) += 1.0 / stream.len() as f64;
+            *m.entry(((a >> 24) as u8, (a >> 16) as u8)).or_insert(0.0) +=
+                1.0 / stream.len() as f64;
         }
         m
     };

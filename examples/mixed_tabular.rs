@@ -41,15 +41,11 @@ fn main() {
     let generator =
         PrivHp::build(&domain, config, data.iter().cloned(), &mut rng).expect("valid config");
     let synthetic = generator.sample_many(n, &mut rng);
-    println!(
-        "{n} (spend, tier) records -> {} words of private state\n",
-        generator.memory_words()
-    );
+    println!("{n} (spend, tier) records -> {} words of private state\n", generator.memory_words());
 
     println!("tier        share(real)  share(synth)  mean spend(real)  mean spend(synth)");
     for tier in 0..4u64 {
-        let real: Vec<f64> =
-            data.iter().filter(|(_, t)| *t == tier).map(|(x, _)| *x).collect();
+        let real: Vec<f64> = data.iter().filter(|(_, t)| *t == tier).map(|(x, _)| *x).collect();
         let synth: Vec<f64> =
             synthetic.iter().filter(|(_, t)| *t == tier).map(|(x, _)| *x).collect();
         let mean = |v: &[f64]| {

@@ -34,7 +34,8 @@ fn main() {
     let query = TreeQuery::new(generator.tree(), &domain);
 
     // Ground truth helpers (never released — shown for comparison only).
-    let true_frac = |a: f64, b: f64| data.iter().filter(|&&x| a <= x && x < b).count() as f64 / n as f64;
+    let true_frac =
+        |a: f64, b: f64| data.iter().filter(|&&x| a <= x && x < b).count() as f64 / n as f64;
     let mut sorted = data.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let true_quantile = |q: f64| sorted[((q * (n - 1) as f64) as usize).min(n - 1)];

@@ -58,7 +58,10 @@ fn main() {
 
     // A data-independent uniform sample for scale:
     let uniform: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
-    println!("exact W1(real, uniform)   = {:.5}  (the no-learning floor)", w1_exact_1d(&data, &uniform));
+    println!(
+        "exact W1(real, uniform)   = {:.5}  (the no-learning floor)",
+        w1_exact_1d(&data, &uniform)
+    );
 
     // --- 5. Downstream use costs no extra privacy (post-processing). -----
     let fast = synthetic.iter().filter(|&&x| x < 0.4).count() as f64 / n as f64;

@@ -22,10 +22,7 @@ fn privhp_beats_uniform_on_skewed_1d() {
     let uniform = UniformBaseline::new(&UnitInterval::new()).sample_many(8_192, &mut rng);
     let w1_hp = w1_exact_1d(&data, &synthetic);
     let w1_un = w1_exact_1d(&data, &uniform);
-    assert!(
-        w1_hp < w1_un / 3.0,
-        "PrivHP ({w1_hp}) must decisively beat uniform ({w1_un})"
-    );
+    assert!(w1_hp < w1_un / 3.0, "PrivHP ({w1_hp}) must decisively beat uniform ({w1_un})");
 }
 
 #[test]
@@ -71,8 +68,7 @@ fn works_on_2d_hypercube() {
     let config = PrivHpConfig::for_domain(1.0, data.len(), 16).with_seed(8);
     let g = PrivHp::build(&cube, config, data.iter().cloned(), &mut rng).unwrap();
     let synthetic = g.sample_many(8_192, &mut rng);
-    let uniform: Vec<Vec<f64>> =
-        UniformBaseline::new(&cube).sample_many(8_192, &mut rng);
+    let uniform: Vec<Vec<f64>> = UniformBaseline::new(&cube).sample_many(8_192, &mut rng);
     let d_hp = tree_w1_between_samples(&cube, &data, &synthetic, 8);
     let d_un = tree_w1_between_samples(&cube, &data, &uniform, 8);
     assert!(d_hp < d_un / 2.0, "2-D: PrivHP {d_hp} must beat uniform {d_un}");
@@ -95,10 +91,8 @@ fn works_on_ipv4() {
     // the /8 level (coarser than the leaf level), where the hot mass is
     // fully captured.
     let hot_octets = [10u8, 192u8];
-    let in_hot = synthetic
-        .iter()
-        .filter(|&&a| hot_octets.contains(&((a >> 24) as u8)))
-        .count() as f64
+    let in_hot = synthetic.iter().filter(|&&a| hot_octets.contains(&((a >> 24) as u8))).count()
+        as f64
         / synthetic.len() as f64;
     assert!(in_hot > 0.6, "hot /8s must dominate the release: {in_hot}");
 }
@@ -108,7 +102,12 @@ fn works_on_geo() {
     let mut rng = Rng::seed_from_u64(11);
     let city = GeoBox::new(0.0, 1.0, 0.0, 1.0);
     let data: Vec<GeoPoint> = (0..4_096)
-        .map(|i| GeoPoint::new(0.2 + 0.01 * ((i % 13) as f64 / 13.0), 0.7 + 0.01 * ((i % 7) as f64 / 7.0)))
+        .map(|i| {
+            GeoPoint::new(
+                0.2 + 0.01 * ((i % 13) as f64 / 13.0),
+                0.7 + 0.01 * ((i % 7) as f64 / 7.0),
+            )
+        })
         .collect();
     let config = PrivHpConfig::for_domain(1.0, data.len(), 8).with_seed(12);
     let g = PrivHp::build(&city, config, data.iter().copied(), &mut rng).unwrap();
@@ -172,10 +171,8 @@ fn works_on_mixed_product_domain() {
     assert!((label2 - 2.0 / 3.0).abs() < 0.15, "label-2 share {label2}");
     assert!((label6 - 1.0 / 3.0).abs() < 0.15, "label-6 share {label6}");
     // ... and the joint structure: label-2 points should sit near x=0.2.
-    let joint_ok = synthetic
-        .iter()
-        .filter(|(x, c)| *c == 2 && (*x - 0.205).abs() < 0.1)
-        .count() as f64
+    let joint_ok = synthetic.iter().filter(|(x, c)| *c == 2 && (*x - 0.205).abs() < 0.1).count()
+        as f64
         / synthetic.iter().filter(|(_, c)| *c == 2).count().max(1) as f64;
     assert!(joint_ok > 0.6, "joint (x | label=2) structure lost: {joint_ok}");
 }

@@ -58,8 +58,9 @@ fn figure_2c_2d_adding_level_two_from_sketch() {
     assert!(approx(t.count_unchecked(&p(0b10, 2)), 4.2));
     assert!(approx(t.count_unchecked(&p(0b11, 2)), 4.1));
     // Every parent-child sum is exact after the step.
-    assert!(privhp::core::consistency::find_consistency_violation(&t, &Path::root(), 1e-9)
-        .is_none());
+    assert!(
+        privhp::core::consistency::find_consistency_violation(&t, &Path::root(), 1e-9).is_none()
+    );
 }
 
 #[test]

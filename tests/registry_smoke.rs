@@ -1,0 +1,71 @@
+//! Registry smoke test: every registered method must build, sample, and
+//! report memory on a tiny 1-D stream.
+//!
+//! This is the auto-coverage net for method additions — a new method only
+//! has to be registered in `MethodRegistry::standard`/`standard_1d` and it
+//! is exercised here, with no test edits required.
+
+use privhp::domain::UnitInterval;
+use privhp_bench::methods::run_method_1d;
+use privhp_bench::methods::{BuildContext, MethodRegistry};
+use rand::SeedableRng;
+
+fn tiny_stream(n: usize) -> Vec<f64> {
+    // Deterministic, skewed toward 0 so tree-based methods have structure
+    // to find even at small n.
+    (0..n).map(|i| ((i as f64 / n as f64).powi(2) * 0.999).min(0.999)).collect()
+}
+
+#[test]
+fn every_registered_method_builds_and_samples() {
+    let registry = MethodRegistry::<UnitInterval>::standard_1d();
+    let domain = UnitInterval::new();
+    let data = tiny_stream(512);
+    let suite = registry.suite(1, &[4]);
+    assert!(suite.len() >= 7, "expected the full Table-1 suite, got {suite:?}");
+
+    for method in suite {
+        let entry = registry
+            .entry(method)
+            .unwrap_or_else(|| panic!("{} missing from registry", method.name()));
+        let ctx = BuildContext { method, epsilon: 1.0, seed: 0x530, dim: 1 };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x530);
+        let generator = entry.build(&domain, &ctx, &data, &mut rng);
+
+        assert_eq!(generator.name(), method.name(), "trait name must match method name");
+        assert!(generator.memory_words() >= 1, "{}: memory_words must be nonzero", method.name());
+
+        let samples = generator.sample_many_points(256, &mut rng);
+        assert_eq!(samples.len(), 256, "{}: short sample batch", method.name());
+        assert!(
+            samples.iter().all(|x| (0.0..1.0).contains(x)),
+            "{}: samples must stay in [0,1)",
+            method.name()
+        );
+
+        if let Some(tree) = generator.tree() {
+            assert!(
+                tree.root_count().is_some(),
+                "{}: tree-based methods must expose a rooted tree",
+                method.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_registered_method_evaluates_end_to_end() {
+    let registry = MethodRegistry::<UnitInterval>::standard_1d();
+    let data = tiny_stream(512);
+    for method in registry.suite(1, &[4]) {
+        let out = run_method_1d(method, 1.0, &data, 0x5111);
+        assert!(
+            out.w1.is_finite() && out.w1 >= 0.0,
+            "{}: W1 must be a finite non-negative number, got {}",
+            method.name(),
+            out.w1
+        );
+        assert!(out.memory_words >= 1, "{}: zero memory reported", method.name());
+        assert!(out.build_seconds >= 0.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Offline stand-in for the slice of `criterion` the workspace's benches
+//! use. Provides the same macro/builder surface (`criterion_group!`,
+//! `criterion_main!`, `Criterion`, benchmark groups, `iter`/`iter_batched`,
+//! `BenchmarkId`, `Throughput`, `BatchSize`) but a much simpler measurement
+//! loop: warm up once, then time up to `sample_size` iterations capped by a
+//! wall-clock budget, and print mean ns/iter. No statistics, plots, or
+//! baselines — enough to smoke-run `cargo bench` and keep the bench targets
+//! compiling offline.
+//!
+//! When invoked with `--test` (as `cargo test --benches` does), every
+//! benchmark body runs exactly once so the suite stays fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark wall-clock budget for the stand-in measurement loop.
+const TIME_BUDGET: Duration = Duration::from_millis(200);
+
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Re-export of the standard black box (what recent criterion uses too).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost. The stand-in runs one setup per
+/// iteration regardless; the variants exist for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// Explicit iteration count per batch.
+    NumBatches(u64),
+}
+
+/// Throughput annotation (recorded but only echoed by the stand-in).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter display.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Function + parameter form, e.g. `privhp/n=2^14`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self { id: format!("{function}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// The timing context handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` over the measurement loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine()); // warm-up
+        if test_mode() {
+            self.report(1, Duration::ZERO);
+            return;
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            std::hint::black_box(routine());
+            iters += 1;
+            if start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+        self.report(iters, start.elapsed());
+    }
+
+    /// Times `routine` with fresh per-iteration state from `setup`.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup())); // warm-up
+        if test_mode() {
+            self.report(1, Duration::ZERO);
+            return;
+        }
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += t.elapsed();
+            iters += 1;
+            if start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+        self.report(iters, measured);
+    }
+
+    fn report(&self, iters: u64, total: Duration) {
+        if iters > 0 && !test_mode() {
+            let per = total.as_nanos() / iters as u128;
+            println!("    {iters} iters, {per} ns/iter");
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the iteration cap for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Records a throughput annotation (echoed only).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        match t {
+            Throughput::Elements(n) => println!("  [throughput: {n} elements/iter]"),
+            Throughput::Bytes(n) => println!("  [throughput: {n} bytes/iter]"),
+        }
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("bench: {}/{id}", self.name);
+        let mut b = Bencher { sample_size: self.sample_size };
+        f(&mut b);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        println!("bench: {}/{id}", self.name);
+        let mut b = Bencher { sample_size: self.sample_size };
+        f(&mut b, input);
+        self
+    }
+
+    /// Finishes the group (no-op in the stand-in).
+    pub fn finish(self) {
+        let _ = self.criterion;
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default iteration cap.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("bench: {name}");
+        let mut b = Bencher { sample_size: self.sample_size };
+        f(&mut b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { name: name.to_string(), criterion: self, sample_size }
+    }
+
+    /// Prints the closing summary (no-op in the stand-in).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a benchmark group, mirroring criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0;
+        c.bench_function("counting", |b| {
+            b.iter(|| runs += 1);
+        });
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn group_builder_chain_compiles() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("f", 7), &7usize, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+}

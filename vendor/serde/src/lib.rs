@@ -1,0 +1,455 @@
+//! Offline stand-in for the slice of `serde` this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors a
+//! reduced serialisation framework with the same *spelling* as serde at the
+//! call sites that matter (`#[derive(Serialize, Deserialize)]`,
+//! `#[serde(default)]`, `#[serde(with = "module")]`, `serde_json::to_string`
+//! / `from_str`) but a deliberately small data model: every value lowers to
+//! a JSON-shaped [`Value`] tree.
+//!
+//! Design notes, for the PR that eventually swaps the real serde back in:
+//!
+//! * [`Serialize::to_value`] / [`Deserialize::from_value`] replace serde's
+//!   visitor machinery. Custom `#[serde(with = "m")]` modules therefore
+//!   implement `m::serialize(&T) -> Value` and
+//!   `m::deserialize(&Value) -> Result<T, Error>`.
+//! * Enum encoding follows serde's externally-tagged convention: unit
+//!   variants as `"Name"`, data variants as `{"Name": ...}`.
+//! * Maps serialise as arrays of `[key, value]` pairs (JSON objects cannot
+//!   key on structs, and the real codebase already serialised its only
+//!   struct-keyed map that way).
+//!
+//! The derive macros live in the companion `serde_derive` crate and are
+//! re-exported here, matching serde's `features = ["derive"]` layout.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value: the interchange format of the reduced framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer (JSON number without fraction or exponent).
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is an integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            Value::UInt(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integral number in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) if u <= i64::MAX as u64 => Some(u as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, accepting any numeric representation.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialisation failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// A custom error message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    /// A struct field was absent (and not `#[serde(default)]`).
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        Error(format!("missing field `{field}` while deserialising {ty}"))
+    }
+
+    /// A value had the wrong JSON kind.
+    pub fn type_mismatch(expected: &str, got: &Value) -> Self {
+        Error(format!("expected {expected}, found {}", got.kind()))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can lower themselves to a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the interchange representation.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses the interchange representation back into `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- primitive impls ------------------------------------------------------
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i128;
+                if v >= 0 && v > i64::MAX as i128 {
+                    Value::UInt(*self as u64)
+                } else {
+                    Value::Int(*self as i64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                if let Some(u) = v.as_u64() {
+                    if u <= <$t>::MAX as u64 {
+                        return Ok(u as $t);
+                    }
+                }
+                if let Some(i) = v.as_i64() {
+                    if (i as i128) >= <$t>::MIN as i128 && (i as i128) <= <$t>::MAX as i128 {
+                        return Ok(i as $t);
+                    }
+                }
+                Err(Error::type_mismatch(stringify!($t), v))
+            }
+        }
+    )*};
+}
+impl_serde_int!(u8, u16, u32, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        if *self <= i64::MAX as u64 {
+            Value::Int(*self as i64)
+        } else {
+            Value::UInt(*self)
+        }
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_u64().ok_or_else(|| Error::type_mismatch("u64", v))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::type_mismatch("number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().map(|f| f as f32).ok_or_else(|| Error::type_mismatch("number", v))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::type_mismatch("bool", v))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_owned).ok_or_else(|| Error::type_mismatch("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+// ---- container impls ------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::type_mismatch("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| Error::type_mismatch("array", v))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected a {expected}-element array, found {}", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+impl<K, V, S> Serialize for std::collections::HashMap<K, V, S>
+where
+    K: Serialize,
+    V: Serialize,
+{
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter().map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()])).collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for std::collections::HashMap<K, V>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let pairs: Vec<(K, V)> = Deserialize::from_value(v)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl<K, V> Serialize for std::collections::BTreeMap<K, V>
+where
+    K: Serialize,
+    V: Serialize,
+{
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter().map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()])).collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize + Ord,
+    V: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let pairs: Vec<(K, V)> = Deserialize::from_value(v)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_roundtrip_at_full_precision() {
+        let big: u64 = u64::MAX - 3;
+        assert_eq!(u64::from_value(&big.to_value()).unwrap(), big);
+        let neg: i64 = -42;
+        assert_eq!(i64::from_value(&neg.to_value()).unwrap(), neg);
+        let f = 0.1f64 + 0.2;
+        assert_eq!(f64::from_value(&f.to_value()).unwrap(), f);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1u64, 2.5f64), (3, 4.5)];
+        let back: Vec<(u64, f64)> = Deserialize::from_value(&v.to_value()).unwrap();
+        assert_eq!(back, v);
+        let opt: Option<u32> = None;
+        assert_eq!(opt.to_value(), Value::Null);
+        assert_eq!(<Option<u32>>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn hashmap_roundtrips_as_pair_array() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(7u64, 1.5f64);
+        m.insert(9, 2.5);
+        let v = m.to_value();
+        assert!(matches!(v, Value::Array(_)));
+        let back: std::collections::HashMap<u64, f64> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn type_mismatches_are_reported() {
+        assert!(u64::from_value(&Value::String("x".into())).is_err());
+        assert!(String::from_value(&Value::Int(3)).is_err());
+        assert!(<Vec<u8>>::from_value(&Value::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn int_bounds_checked() {
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert!(u8::from_value(&Value::Int(-1)).is_err());
+        assert_eq!(u8::from_value(&Value::Int(255)).unwrap(), 255);
+    }
+}

@@ -1,0 +1,667 @@
+//! Derive macros for the workspace's vendored `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! reduced `Serialize::to_value` / `Deserialize::from_value` traits, without
+//! `syn`/`quote` (the build environment is offline, so this crate parses the
+//! item's token stream directly). Supported shapes — exactly the ones the
+//! workspace uses:
+//!
+//! * structs with named fields, unit structs, tuple structs;
+//! * enums with unit, newtype, tuple and struct variants
+//!   (externally-tagged encoding, as in real serde);
+//! * generic type parameters (each parameter is bounded by the derived
+//!   trait, serde-style);
+//! * field attributes `#[serde(default)]` and `#[serde(with = "module")]`,
+//!   where `module::serialize(&T) -> Value` and
+//!   `module::deserialize(&Value) -> Result<T, Error>`.
+//!
+//! Anything else fails loudly with a `compile_error!` rather than silently
+//! producing wrong encodings.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+/// Derives the reduced `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+/// Derives the reduced `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input).and_then(|item| generate(&item, mode)) {
+        Ok(code) => code
+            .parse()
+            .unwrap_or_else(|e| error(&format!("serde_derive produced invalid code: {e}"))),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// ---- item model -----------------------------------------------------------
+
+struct Field {
+    name: String,
+    default: bool,
+    with: Option<String>,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    UnitStruct,
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Generic parameter declarations, e.g. `A: Clone` (without `<>`).
+    generics: Vec<String>,
+    /// Bare generic parameter names, e.g. `A`.
+    generic_names: Vec<String>,
+    body: Body,
+}
+
+// ---- token-level parsing --------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Skips `#[...]` attribute groups, returning any `#[serde(...)]`
+    /// payloads encountered.
+    fn take_attrs(&mut self) -> Result<Vec<TokenStream>, String> {
+        let mut serde_payloads = Vec::new();
+        while self.at_punct('#') {
+            self.next();
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let mut inner = Cursor::new(g.stream());
+                    if inner.at_ident("serde") {
+                        inner.next();
+                        if let Some(TokenTree::Group(payload)) = inner.next() {
+                            serde_payloads.push(payload.stream());
+                        }
+                    }
+                }
+                other => return Err(format!("malformed attribute near {other:?}")),
+            }
+        }
+        Ok(serde_payloads)
+    }
+
+    fn skip_visibility(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Collects the tokens of one generic parameter / one field type: up to
+    /// a top-level `,` (angle-bracket depth tracked manually, since `<>` are
+    /// plain puncts in a token stream).
+    fn take_until_toplevel_comma(&mut self) -> Vec<TokenTree> {
+        let mut depth = 0i32;
+        let mut out = Vec::new();
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            out.push(self.next().unwrap());
+        }
+        out
+    }
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ")
+}
+
+fn parse_serde_attrs(payloads: &[TokenStream], field: &mut Field) -> Result<(), String> {
+    for payload in payloads {
+        let mut c = Cursor::new(payload.clone());
+        while let Some(t) = c.next() {
+            match t {
+                TokenTree::Ident(i) if i.to_string() == "default" => field.default = true,
+                TokenTree::Ident(i) if i.to_string() == "with" => {
+                    if !c.at_punct('=') {
+                        return Err("expected `with = \"module\"`".into());
+                    }
+                    c.next();
+                    match c.next() {
+                        Some(TokenTree::Literal(lit)) => {
+                            let s = lit.to_string();
+                            field.with = Some(s.trim_matches('"').to_string());
+                        }
+                        other => return Err(format!("expected module string, found {other:?}")),
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' => {}
+                other => {
+                    return Err(format!(
+                        "unsupported #[serde(...)] attribute `{other}` (the vendored \
+                         serde stand-in supports only `default` and `with`)"
+                    ))
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let serde_attrs = c.take_attrs()?;
+        c.skip_visibility();
+        let name = c.expect_ident()?;
+        if !c.at_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        c.next();
+        let _ty = c.take_until_toplevel_comma();
+        if c.at_punct(',') {
+            c.next();
+        }
+        let mut field = Field { name, default: false, with: None };
+        parse_serde_attrs(&serde_attrs, &mut field)?;
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> Result<usize, String> {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    while c.peek().is_some() {
+        let _ = c.take_attrs()?;
+        c.skip_visibility();
+        let ty = c.take_until_toplevel_comma();
+        if !ty.is_empty() {
+            count += 1;
+        }
+        if c.at_punct(',') {
+            c.next();
+        }
+    }
+    Ok(count)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        let _ = c.take_attrs()?; // doc comments, #[default], ...
+        let name = c.expect_ident()?;
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream())?;
+                c.next();
+                VariantKind::Tuple(n)
+            }
+            _ => VariantKind::Unit,
+        };
+        if c.at_punct('=') {
+            return Err(format!(
+                "variant `{name}`: explicit discriminants are not supported by the \
+                 vendored serde stand-in"
+            ));
+        }
+        if c.at_punct(',') {
+            c.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    let _ = c.take_attrs()?;
+    c.skip_visibility();
+
+    let keyword = c.expect_ident()?;
+    let is_enum = match keyword.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => return Err(format!("cannot derive serde traits for `{other}` items")),
+    };
+    let name = c.expect_ident()?;
+
+    let mut generics = Vec::new();
+    let mut generic_names = Vec::new();
+    if c.at_punct('<') {
+        c.next();
+        let mut depth = 1i32;
+        let mut current: Vec<TokenTree> = Vec::new();
+        loop {
+            let Some(t) = c.next() else {
+                return Err("unterminated generic parameter list".into());
+            };
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ',' if depth == 1 => {
+                        push_generic(&current, &mut generics, &mut generic_names)?;
+                        current.clear();
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            current.push(t);
+        }
+        push_generic(&current, &mut generics, &mut generic_names)?;
+    }
+
+    if c.at_ident("where") {
+        return Err("`where` clauses are not supported by the vendored serde stand-in".into());
+    }
+
+    let body = if is_enum {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("expected enum body, found {other:?}")),
+        }
+    } else {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream())?)
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            None => Body::UnitStruct,
+            other => return Err(format!("expected struct body, found {other:?}")),
+        }
+    };
+
+    Ok(Item { name, generics, generic_names, body })
+}
+
+fn push_generic(
+    tokens: &[TokenTree],
+    generics: &mut Vec<String>,
+    names: &mut Vec<String>,
+) -> Result<(), String> {
+    if tokens.is_empty() {
+        return Ok(());
+    }
+    if matches!(&tokens[0], TokenTree::Punct(p) if p.as_char() == '\'') {
+        return Err("lifetime parameters are not supported by the vendored serde stand-in".into());
+    }
+    if matches!(&tokens[0], TokenTree::Ident(i) if i.to_string() == "const") {
+        return Err("const generics are not supported by the vendored serde stand-in".into());
+    }
+    let TokenTree::Ident(first) = &tokens[0] else {
+        return Err(format!("unsupported generic parameter near {:?}", tokens[0]));
+    };
+    names.push(first.to_string());
+    generics.push(tokens_to_string(tokens));
+    Ok(())
+}
+
+// ---- code generation ------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {}", item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| {
+                if g.contains(':') {
+                    format!("{g} + ::serde::{trait_name}")
+                } else {
+                    format!("{g}: ::serde::{trait_name}")
+                }
+            })
+            .collect();
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{}>",
+            bounded.join(", "),
+            item.name,
+            item.generic_names.join(", ")
+        )
+    }
+}
+
+fn ser_field_expr(field: &Field, access: &str) -> String {
+    match &field.with {
+        Some(module) => format!("{module}::serialize(&{access})"),
+        None => format!("::serde::Serialize::to_value(&{access})"),
+    }
+}
+
+fn de_field_expr(field: &Field, source: &str, ty_name: &str) -> String {
+    let found = match &field.with {
+        Some(module) => format!("{module}::deserialize(__x)?"),
+        None => "::serde::Deserialize::from_value(__x)?".to_string(),
+    };
+    let missing = if field.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::Error::missing_field({:?}, {:?}))",
+            field.name, ty_name
+        )
+    };
+    format!(
+        "match {source}.get({:?}) {{ \
+           ::std::option::Option::Some(__x) => {found}, \
+           ::std::option::Option::None => {missing}, \
+         }}",
+        field.name
+    )
+}
+
+fn generate(item: &Item, mode: Mode) -> Result<String, String> {
+    let name = &item.name;
+    match mode {
+        Mode::Ser => {
+            let body = match &item.body {
+                Body::UnitStruct => "::serde::Value::Null".to_string(),
+                Body::NamedStruct(fields) => {
+                    let pushes: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "__fields.push(({:?}.to_string(), {}));",
+                                f.name,
+                                ser_field_expr(f, &format!("self.{}", f.name))
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{{ let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                         ::serde::Value)> = ::std::vec::Vec::new(); {} \
+                         ::serde::Value::Object(__fields) }}",
+                        pushes.join(" ")
+                    )
+                }
+                Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Body::TupleStruct(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Body::Enum(variants) => {
+                    let arms: Vec<String> = variants
+                        .iter()
+                        .map(|v| {
+                            let vname = &v.name;
+                            match &v.kind {
+                                VariantKind::Unit => format!(
+                                    "{name}::{vname} => ::serde::Value::String({:?}.to_string()),",
+                                    vname
+                                ),
+                                VariantKind::Tuple(n) => {
+                                    let binds: Vec<String> =
+                                        (0..*n).map(|i| format!("__f{i}")).collect();
+                                    let inner = if *n == 1 {
+                                        "::serde::Serialize::to_value(__f0)".to_string()
+                                    } else {
+                                        let items: Vec<String> = binds
+                                            .iter()
+                                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                            .collect();
+                                        format!(
+                                            "::serde::Value::Array(vec![{}])",
+                                            items.join(", ")
+                                        )
+                                    };
+                                    format!(
+                                        "{name}::{vname}({}) => ::serde::Value::Object(vec![({:?}.to_string(), {inner})]),",
+                                        binds.join(", "),
+                                        vname
+                                    )
+                                }
+                                VariantKind::Struct(fields) => {
+                                    let binds: Vec<String> =
+                                        fields.iter().map(|f| f.name.clone()).collect();
+                                    let pushes: Vec<String> = fields
+                                        .iter()
+                                        .map(|f| {
+                                            format!(
+                                                "__fields.push(({:?}.to_string(), {}));",
+                                                f.name,
+                                                ser_field_expr(f, &format!("(*{})", f.name))
+                                            )
+                                        })
+                                        .collect();
+                                    format!(
+                                        "{name}::{vname} {{ {} }} => {{ \
+                                         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new(); \
+                                         {} \
+                                         ::serde::Value::Object(vec![({:?}.to_string(), ::serde::Value::Object(__fields))]) }},",
+                                        binds.join(", "),
+                                        pushes.join(" "),
+                                        vname
+                                    )
+                                }
+                            }
+                        })
+                        .collect();
+                    format!("match self {{ {} }}", arms.join(" "))
+                }
+            };
+            Ok(format!(
+                "{} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+                impl_header(item, "Serialize")
+            ))
+        }
+        Mode::De => {
+            let body = match &item.body {
+                Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+                Body::NamedStruct(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{}: {},", f.name, de_field_expr(f, "__v", name)))
+                        .collect();
+                    format!(
+                        "if !matches!(__v, ::serde::Value::Object(_)) {{ \
+                           return ::std::result::Result::Err(::serde::Error::type_mismatch({:?}, __v)); \
+                         }} \
+                         ::std::result::Result::Ok({name} {{ {} }})",
+                        format!("object ({name})"),
+                        inits.join(" ")
+                    )
+                }
+                Body::TupleStruct(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+                ),
+                Body::TupleStruct(n) => {
+                    let gets: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    format!(
+                        "let __items = __v.as_array().ok_or_else(|| \
+                           ::serde::Error::type_mismatch(\"array\", __v))?; \
+                         if __items.len() != {n} {{ \
+                           return ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"expected {n} elements, found {{}}\", __items.len()))); \
+                         }} \
+                         ::std::result::Result::Ok({name}({}))",
+                        gets.join(", ")
+                    )
+                }
+                Body::Enum(variants) => {
+                    let unit_arms: Vec<String> = variants
+                        .iter()
+                        .filter(|v| matches!(v.kind, VariantKind::Unit))
+                        .map(|v| {
+                            format!(
+                                "{:?} => ::std::result::Result::Ok({name}::{}),",
+                                v.name, v.name
+                            )
+                        })
+                        .collect();
+                    let data_arms: Vec<String> = variants
+                        .iter()
+                        .filter_map(|v| {
+                            let vname = &v.name;
+                            match &v.kind {
+                                VariantKind::Unit => None,
+                                VariantKind::Tuple(1) => Some(format!(
+                                    "{:?} => ::std::result::Result::Ok({name}::{vname}(\
+                                     ::serde::Deserialize::from_value(__inner)?)),",
+                                    vname
+                                )),
+                                VariantKind::Tuple(n) => {
+                                    let gets: Vec<String> = (0..*n)
+                                        .map(|i| {
+                                            format!(
+                                                "::serde::Deserialize::from_value(&__items[{i}])?"
+                                            )
+                                        })
+                                        .collect();
+                                    Some(format!(
+                                        "{:?} => {{ \
+                                         let __items = __inner.as_array().ok_or_else(|| \
+                                           ::serde::Error::type_mismatch(\"array\", __inner))?; \
+                                         if __items.len() != {n} {{ \
+                                           return ::std::result::Result::Err(::serde::Error::custom(\
+                                             format!(\"variant {vname}: expected {n} elements, found {{}}\", __items.len()))); \
+                                         }} \
+                                         ::std::result::Result::Ok({name}::{vname}({})) }},",
+                                        vname,
+                                        gets.join(", ")
+                                    ))
+                                }
+                                VariantKind::Struct(fields) => {
+                                    let inits: Vec<String> = fields
+                                        .iter()
+                                        .map(|f| {
+                                            format!(
+                                                "{}: {},",
+                                                f.name,
+                                                de_field_expr(
+                                                    f,
+                                                    "__inner",
+                                                    &format!("{name}::{vname}")
+                                                )
+                                            )
+                                        })
+                                        .collect();
+                                    Some(format!(
+                                        "{:?} => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                                        vname,
+                                        inits.join(" ")
+                                    ))
+                                }
+                            }
+                        })
+                        .collect();
+                    format!(
+                        "match __v {{ \
+                           ::serde::Value::String(__s) => match __s.as_str() {{ \
+                             {} \
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                               format!(\"unknown {name} variant `{{__other}}`\"))), \
+                           }}, \
+                           ::serde::Value::Object(__tagged) if __tagged.len() == 1 => {{ \
+                             let (__tag, __inner) = &__tagged[0]; \
+                             match __tag.as_str() {{ \
+                               {} \
+                               __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"unknown {name} variant `{{__other}}`\"))), \
+                             }} \
+                           }}, \
+                           __other => ::std::result::Result::Err(::serde::Error::type_mismatch(\
+                             \"enum tag\", __other)), \
+                         }}",
+                        unit_arms.join(" "),
+                        data_arms.join(" ")
+                    )
+                }
+            };
+            Ok(format!(
+                "{} {{ fn from_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}",
+                impl_header(item, "Deserialize")
+            ))
+        }
+    }
+}
