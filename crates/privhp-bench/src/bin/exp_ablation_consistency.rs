@@ -1,93 +1,9 @@
-//! **E12 — consistency ablation**: PrivHP with and without the consistency
-//! step (Algorithm 3).
+//! Thin driver: the grid and report live in
+//! `privhp_bench::experiments::ablation_consistency`; this shim schedules the sweep on
+//! the process-wide pool and prints the paper-facing tables.
 //!
-//! Paper claim (§4.3): "An equivalent consistency step is common in private
-//! histograms, where it is observed it can increase utility at the same
-//! privacy budget." Disabling consistency is pure post-processing, so both
-//! variants are equally private; only utility differs.
-//!
-//! Usage: `cargo run -p privhp-bench --release --bin exp_ablation_consistency`
-
-use privhp_bench::eval::w1_generator_1d;
-use privhp_bench::report::{fmt_pm, write_json, Table};
-use privhp_bench::runner::{default_threads, run_trials};
-use privhp_bench::trials_from_env;
-use privhp_core::{GrowOptions, PrivHpBuilder, PrivHpConfig};
-use privhp_domain::UnitInterval;
-use privhp_dp::rng::DeterministicRng;
-use privhp_metrics::stats::Summary;
-use privhp_workloads::{GaussianMixture, Workload, ZipfCells};
-use rand::SeedableRng;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    workload: String,
-    epsilon: f64,
-    with_consistency_mean: f64,
-    with_consistency_se: f64,
-    without_consistency_mean: f64,
-    without_consistency_se: f64,
-    improvement_pct: f64,
-}
+//! Usage: `cargo run -p privhp-bench --release --bin exp_ablation_consistency [-- --smoke]`
 
 fn main() {
-    let n = 1 << 14;
-    let k = 16usize;
-    let trials = trials_from_env();
-    let threads = default_threads();
-
-    println!("== E12: consistency step ablation (n={n}, k={k}, {trials} trials) ==\n");
-    let mut rows = Vec::new();
-    let mut table =
-        Table::new(&["workload", "eps", "W1 with consistency", "W1 without", "improvement"]);
-
-    let domain = UnitInterval::new();
-    for (wl_name, zipf_s) in [("gaussian-mixture", None), ("zipf(s=1.2)", Some(1.2))] {
-        for &epsilon in &[0.5, 1.0, 2.0] {
-            let run_variant = |enforce: bool| -> Vec<f64> {
-                run_trials(trials, threads, |trial| {
-                    let seed = 0xE12_000 + trial as u64 * 149;
-                    let mut wl = DeterministicRng::seed_from_u64(seed ^ 0xDA7A);
-                    let data: Vec<f64> = match zipf_s {
-                        None => GaussianMixture::three_modes(1).generate(n, &mut wl),
-                        Some(s) => ZipfCells::new(10, s, 1, 7).generate(n, &mut wl),
-                    };
-                    let cfg = PrivHpConfig::for_domain(epsilon, n, k).with_seed(seed);
-                    let mut rng = DeterministicRng::seed_from_u64(seed ^ 0xBEEF);
-                    let mut b = PrivHpBuilder::new(domain, cfg, &mut rng).expect("valid");
-                    for x in &data {
-                        b.ingest(x);
-                    }
-                    let g = b.finalize_with_options(GrowOptions { enforce_consistency: enforce });
-                    w1_generator_1d(&data, g.tree(), &domain)
-                })
-            };
-            let with_c = Summary::of(&run_variant(true));
-            let without_c = Summary::of(&run_variant(false));
-            let improvement = (without_c.mean - with_c.mean) / without_c.mean * 100.0;
-            table.row(vec![
-                wl_name.into(),
-                format!("{epsilon}"),
-                fmt_pm(with_c.mean, with_c.std_error),
-                fmt_pm(without_c.mean, without_c.std_error),
-                format!("{improvement:+.1}%"),
-            ]);
-            rows.push(Row {
-                workload: wl_name.into(),
-                epsilon,
-                with_consistency_mean: with_c.mean,
-                with_consistency_se: with_c.std_error,
-                without_consistency_mean: without_c.mean,
-                without_consistency_se: without_c.std_error,
-                improvement_pct: improvement,
-            });
-        }
-    }
-    table.print();
-    write_json("exp_ablation_consistency", &rows);
-
-    println!("\nExpected shape (§4.3): consistency should improve (or at worst match) W1");
-    println!("at every budget — the improvement is largest at small eps where noise");
-    println!("violates the hierarchy constraints most.");
+    privhp_bench::experiments::run_one(privhp_bench::experiments::ablation_consistency::NAME);
 }

@@ -1,131 +1,9 @@
-//! **E13 — sketch-primitive ablation**: hash-based (Count-Min) vs
-//! counter-based (Misra–Gries) frequency summaries for subdomain counting.
+//! Thin driver: the grid and report live in
+//! `privhp_bench::experiments::ablation_sketch`; this shim schedules the sweep on
+//! the process-wide pool and prints the paper-facing tables.
 //!
-//! Paper claim (§2.1): "The hashing-based private sketch employed by PrivHP
-//! has a better error guarantee than the counter-based sketch used by
-//! Biswas et al. Further, as the error of the hash-based sketch can be
-//! expressed in terms of the tail of the dataset it composes nicely with
-//! hierarchy pruning."
-//!
-//! Setup mirrors PrivHP's deep-level regime: many more subdomains than
-//! memory words, both summaries *privatised* at the same ε. The private
-//! CMS adds `Laplace(j/ε)` per cell (§3.4); the private Misra–Gries adds
-//! `Laplace(2/ε)` to each retained counter (the Lebeda–Tetek counter
-//! perturbation — we release the key set for free, which only *flatters*
-//! MG, since a pure-ε key-set release would need extra thresholding).
-//!
-//! Usage: `cargo run -p privhp-bench --release --bin exp_ablation_sketch`
-
-use privhp_bench::report::{fmt, write_json, Table};
-use privhp_dp::laplace::Laplace;
-use privhp_dp::rng::DeterministicRng;
-use privhp_sketch::{MisraGries, PrivateCountMinSketch, SketchParams};
-use privhp_workloads::{Workload, ZipfCells};
-use rand::SeedableRng;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    zipf_exponent: f64,
-    memory_words: usize,
-    cms_mean_abs_error: f64,
-    mg_mean_abs_error: f64,
-    cms_top_k_error: f64,
-    mg_top_k_error: f64,
-}
+//! Usage: `cargo run -p privhp-bench --release --bin exp_ablation_sketch [-- --smoke]`
 
 fn main() {
-    let n = 1 << 16;
-    let level = 14usize; // 16384 subdomains >> memory: the deep-level regime
-    let k = 16usize;
-    let epsilon = 1.0;
-    println!("== E13: private Count-Min vs private Misra-Gries for subdomain counting ==");
-    println!("   n={n}, 2^{level} subdomains, eps={epsilon}, equal memory budgets\n");
-
-    let mut rows = Vec::new();
-    let mut table = Table::new(&[
-        "zipf s",
-        "memory (words)",
-        "CMS mean |err|",
-        "MG mean |err|",
-        "CMS top-k |err|",
-        "MG top-k |err|",
-    ]);
-    let trials = 8u64;
-
-    for &exponent in &[0.0, 0.5, 1.0, 1.5, 2.0] {
-        let mut wl = DeterministicRng::seed_from_u64(0xE13_000 + (exponent * 10.0) as u64);
-        let data: Vec<f64> = ZipfCells::new(level, exponent, 1, 7).generate(n, &mut wl);
-        // Exact subdomain frequencies.
-        let cells = 1usize << level;
-        let mut truth = vec![0.0f64; cells];
-        for x in &data {
-            truth[((x * cells as f64) as usize).min(cells - 1)] += 1.0;
-        }
-        let mut order: Vec<usize> = (0..cells).collect();
-        order.sort_by(|&a, &b| truth[b].partial_cmp(&truth[a]).unwrap());
-
-        // Equal memory: CMS j x width cells vs MG (key, count) pairs.
-        let params = SketchParams::for_pruning(k, n); // width 4k=64, depth 16
-        let memory = params.cells() + params.depth;
-        let mg_capacity = memory / 2;
-
-        let (mut cms_err, mut mg_err, mut cms_top, mut mg_top) = (0.0, 0.0, 0.0, 0.0);
-        for trial in 0..trials {
-            let mut rng =
-                DeterministicRng::seed_from_u64(0xE13_A00 + trial * 31 + (exponent * 10.0) as u64);
-            let mut cms = PrivateCountMinSketch::new(params, epsilon, 0xFEED + trial, &mut rng);
-            let mut mg = MisraGries::new(mg_capacity);
-            for x in &data {
-                let cell = ((x * cells as f64) as u64).min(cells as u64 - 1);
-                cms.update(cell, 1.0);
-                mg.update(cell);
-            }
-            // Private MG: Laplace(2/eps) per retained counter (the counter
-            // value's sensitivity is ≤ 2 under a one-element swap).
-            let mg_noise = Laplace::new(2.0 / epsilon);
-            let noisy_mg: std::collections::HashMap<u64, f64> = mg
-                .heavy_hitters()
-                .into_iter()
-                .map(|(key, c)| (key, c + mg_noise.sample(&mut rng)))
-                .collect();
-            let mg_query = |c: u64| noisy_mg.get(&c).copied().unwrap_or(0.0);
-
-            let mean_abs = |est: &dyn Fn(u64) -> f64| -> f64 {
-                (0..cells as u64).map(|c| (est(c) - truth[c as usize]).abs()).sum::<f64>()
-                    / cells as f64
-            };
-            cms_err += mean_abs(&|c| cms.query(c)) / trials as f64;
-            mg_err += mean_abs(&mg_query) / trials as f64;
-            let top_err = |est: &dyn Fn(u64) -> f64| -> f64 {
-                order[..k].iter().map(|&c| (est(c as u64) - truth[c]).abs()).sum::<f64>() / k as f64
-            };
-            cms_top += top_err(&|c| cms.query(c)) / trials as f64;
-            mg_top += top_err(&mg_query) / trials as f64;
-        }
-
-        table.row(vec![
-            format!("{exponent}"),
-            memory.to_string(),
-            fmt(cms_err),
-            fmt(mg_err),
-            fmt(cms_top),
-            fmt(mg_top),
-        ]);
-        rows.push(Row {
-            zipf_exponent: exponent,
-            memory_words: memory,
-            cms_mean_abs_error: cms_err,
-            mg_mean_abs_error: mg_err,
-            cms_top_k_error: cms_top,
-            mg_top_k_error: mg_top,
-        });
-    }
-    table.print();
-    write_json("exp_ablation_sketch", &rows);
-
-    println!("\nExpected shape (§2.1): in the deep-level regime (subdomains >> memory),");
-    println!("MG pays its n/(m+1) decrement bias on every non-retained key while the");
-    println!("CMS error tracks the tail norm; CMS should win on flat-to-moderate skew");
-    println!("and stay competitive on the pruning-critical top-k cells everywhere.");
+    privhp_bench::experiments::run_one(privhp_bench::experiments::ablation_sketch::NAME);
 }

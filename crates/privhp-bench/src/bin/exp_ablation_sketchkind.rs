@@ -1,92 +1,9 @@
-//! **E16 — §3.4 sketch-primitive choice inside PrivHP**: end-to-end W1 of
-//! PrivHP with the private Count-Min sketch (the Theorem-3 default) vs the
-//! private Count Sketch (Pagh–Thorup's unbiased estimator).
+//! Thin driver: the grid and report live in
+//! `privhp_bench::experiments::ablation_sketchkind`; this shim schedules the sweep on
+//! the process-wide pool and prints the paper-facing tables.
 //!
-//! The paper presents both as valid instantiations of Algorithm 1's
-//! `sketch_l` (§3.3–3.4); Theorem 3 is proved for Count-Min because its
-//! one-sided, L1-tail-bounded error composes with the top-k pruning
-//! argument. This ablation measures whether that analytical preference
-//! matters in practice: the Count Sketch's unbiasedness helps point
-//! queries, but its two-sided error perturbs top-k *rankings* more.
-//!
-//! Usage: `cargo run -p privhp-bench --release --bin exp_ablation_sketchkind`
-
-use privhp_bench::eval::w1_generator_1d;
-use privhp_bench::report::{fmt, fmt_pm, write_json, Table};
-use privhp_bench::runner::{default_threads, run_trials};
-use privhp_bench::trials_from_env;
-use privhp_core::config::SketchKind;
-use privhp_core::{PrivHp, PrivHpConfig};
-use privhp_domain::UnitInterval;
-use privhp_dp::rng::DeterministicRng;
-use privhp_metrics::stats::Summary;
-use privhp_workloads::{Workload, ZipfCells};
-use rand::SeedableRng;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    zipf_exponent: f64,
-    epsilon: f64,
-    count_min_w1_mean: f64,
-    count_min_w1_se: f64,
-    count_sketch_w1_mean: f64,
-    count_sketch_w1_se: f64,
-}
+//! Usage: `cargo run -p privhp-bench --release --bin exp_ablation_sketchkind [-- --smoke]`
 
 fn main() {
-    let n = 1 << 14;
-    let k = 16usize;
-    let trials = trials_from_env();
-    let threads = default_threads();
-    let domain = UnitInterval::new();
-
-    println!("== E16 (§3.4): Count-Min vs Count Sketch inside PrivHP ==");
-    println!("   n={n}, k={k}, {trials} trials\n");
-
-    let mut rows = Vec::new();
-    let mut table =
-        Table::new(&["zipf s", "eps", "CMS E[W1]", "CountSketch E[W1]", "ratio CS/CMS"]);
-    for &exponent in &[0.5, 1.0, 1.5] {
-        for &epsilon in &[0.5, 1.0, 2.0] {
-            let run_kind = |kind: SketchKind| -> Vec<f64> {
-                run_trials(trials, threads, |trial| {
-                    let seed = 0xE16_000 + trial as u64 * 97;
-                    let mut wl = DeterministicRng::seed_from_u64(seed ^ 0xDA7A);
-                    let data: Vec<f64> = ZipfCells::new(10, exponent, 1, 7).generate(n, &mut wl);
-                    let cfg = PrivHpConfig::for_domain(epsilon, n, k)
-                        .with_seed(seed)
-                        .with_sketch_kind(kind);
-                    let mut rng = DeterministicRng::seed_from_u64(seed ^ 0xBEEF);
-                    let g = PrivHp::build(&domain, cfg, data.iter().copied(), &mut rng)
-                        .expect("valid config");
-                    w1_generator_1d(&data, g.tree(), &domain)
-                })
-            };
-            let cms = Summary::of(&run_kind(SketchKind::CountMin));
-            let cs = Summary::of(&run_kind(SketchKind::CountSketch));
-            table.row(vec![
-                format!("{exponent}"),
-                format!("{epsilon}"),
-                fmt_pm(cms.mean, cms.std_error),
-                fmt_pm(cs.mean, cs.std_error),
-                fmt(cs.mean / cms.mean),
-            ]);
-            rows.push(Row {
-                zipf_exponent: exponent,
-                epsilon,
-                count_min_w1_mean: cms.mean,
-                count_min_w1_se: cms.std_error,
-                count_sketch_w1_mean: cs.mean,
-                count_sketch_w1_se: cs.std_error,
-            });
-        }
-    }
-    table.print();
-    write_json("exp_ablation_sketchkind", &rows);
-
-    println!("\nExpected shape: the two primitives are within a small constant of each");
-    println!("other end-to-end (consistency absorbs most point-estimate differences);");
-    println!("Count-Min's one-sided error is what the Theorem-3 *analysis* needs, not a");
-    println!("large practical win.");
+    privhp_bench::experiments::run_one(privhp_bench::experiments::ablation_sketchkind::NAME);
 }

@@ -1,0 +1,60 @@
+//! **exp_all — the whole experiment suite as one scheduled sweep set.**
+//!
+//! Every registered experiment declares its (method × workload × parameter)
+//! grid through the sweep engine; this driver feeds all of them into a
+//! single process-wide pool, so cells from different experiments interleave
+//! and total wall-clock approaches the longest cell chain instead of the
+//! sum of the sweeps. Reports print in suite order once everything is done,
+//! and one JSON document per sweep lands in `bench_results/`.
+//!
+//! Usage: `cargo run -p privhp-bench --release --bin exp_all [-- --smoke]`
+//!
+//! `--smoke` shrinks streams and trials (`PRIVHP_TRIALS`, default 2 in
+//! smoke mode) so the full suite completes in seconds — the CI smoke step.
+
+use privhp_bench::experiments::{all, scale_from_args, Scale};
+use privhp_bench::report::{fmt, write_sweep_json, Table};
+use privhp_bench::runner::default_threads;
+use privhp_bench::sweep::run_sweeps;
+
+fn main() {
+    let scale = scale_from_args();
+    let threads = default_threads();
+    let experiments = all();
+    eprintln!(
+        "exp_all: scheduling {} experiments on {threads} threads ({})",
+        experiments.len(),
+        if scale == Scale::Smoke { "smoke scale" } else { "full scale" },
+    );
+
+    let sweeps = experiments.iter().map(|e| (e.build)(scale)).collect();
+    let results = run_sweeps(sweeps, threads);
+
+    for (exp, result) in experiments.iter().zip(&results) {
+        println!("\n――― {} ―――\n", exp.name);
+        (exp.report)(result);
+        write_sweep_json(result);
+    }
+
+    let total_cpu: f64 = results.iter().flat_map(|r| r.cells.iter()).map(|c| c.cpu_seconds).sum();
+    let wall = results.first().map(|r| r.wall_seconds).unwrap_or(0.0);
+    println!("\n――― suite timing ―――\n");
+    let mut table = Table::new(&["experiment", "cells", "tasks", "cpu s", "span s"]);
+    for result in &results {
+        let tasks: usize = result.cells.iter().map(|c| c.trials).sum();
+        let cpu: f64 = result.cells.iter().map(|c| c.cpu_seconds).sum();
+        let span = result.cells.iter().map(|c| c.wall_seconds).fold(0.0f64, f64::max);
+        table.row(vec![
+            result.experiment.clone(),
+            result.cells.len().to_string(),
+            tasks.to_string(),
+            fmt(cpu),
+            fmt(span),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nsuite: {} cells, {total_cpu:.1} CPU-seconds packed into {wall:.1}s wall on {threads} threads",
+        results.iter().map(|r| r.cells.len()).sum::<usize>(),
+    );
+}

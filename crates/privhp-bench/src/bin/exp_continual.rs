@@ -1,113 +1,9 @@
-//! **E14 — continual-observation adaptation (§3.1)**: the cost of upgrading
-//! from a single 1-pass release to a release-at-every-checkpoint stream.
+//! Thin driver: the grid and report live in
+//! `privhp_bench::experiments::continual`; this shim schedules the sweep on
+//! the process-wide pool and prints the paper-facing tables.
 //!
-//! Paper remark (§3.1): PrivHP "can be adapted to continual observation by
-//! replacing the counters and sketches with their continual observation
-//! counterparts". The binary mechanism charges an extra `~log T` noise
-//! factor per level; this experiment measures that factor empirically by
-//! comparing, at equal ε, the one-shot release against the continual
-//! variant's *final* release, plus the utility trajectory across
-//! checkpoints.
-//!
-//! Usage: `cargo run -p privhp-bench --release --bin exp_continual`
-
-use privhp_bench::eval::w1_generator_1d;
-use privhp_bench::report::{fmt, fmt_pm, write_json, Table};
-use privhp_bench::runner::{default_threads, run_trials};
-use privhp_core::{ContinualPrivHp, PrivHp, PrivHpConfig};
-use privhp_domain::UnitInterval;
-use privhp_dp::rng::DeterministicRng;
-use privhp_metrics::stats::Summary;
-use privhp_workloads::{GaussianMixture, Workload};
-use rand::SeedableRng;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    epsilon: f64,
-    one_shot_w1_mean: f64,
-    one_shot_w1_se: f64,
-    continual_final_w1_mean: f64,
-    continual_final_w1_se: f64,
-    overhead_factor: f64,
-}
+//! Usage: `cargo run -p privhp-bench --release --bin exp_continual [-- --smoke]`
 
 fn main() {
-    let n = 1 << 13;
-    let horizon_levels = 13usize;
-    let k = 16usize;
-    let trials = 16;
-    let threads = default_threads();
-    let domain = UnitInterval::new();
-
-    println!("== E14 (§3.1): one-shot vs continual-observation PrivHP ==");
-    println!("   n={n}, horizon 2^{horizon_levels}, k={k}, {trials} trials\n");
-
-    let mut rows = Vec::new();
-    let mut table =
-        Table::new(&["eps", "one-shot E[W1]", "continual(final) E[W1]", "overhead factor"]);
-
-    for &epsilon in &[1.0, 2.0, 4.0] {
-        let one_shot: Vec<f64> = run_trials(trials, threads, |trial| {
-            let seed = 0xE14_000 + trial as u64 * 61;
-            let mut wl = DeterministicRng::seed_from_u64(seed ^ 0xDA7A);
-            let data: Vec<f64> = GaussianMixture::three_modes(1).generate(n, &mut wl);
-            let cfg = PrivHpConfig::for_domain(epsilon, n, k).with_seed(seed);
-            let mut rng = DeterministicRng::seed_from_u64(seed ^ 0xBEEF);
-            let g = PrivHp::build(&domain, cfg, data.iter().copied(), &mut rng).unwrap();
-            w1_generator_1d(&data, g.tree(), &domain)
-        });
-        let continual: Vec<f64> = run_trials(trials, threads, |trial| {
-            let seed = 0xE14_000 + trial as u64 * 61;
-            let mut wl = DeterministicRng::seed_from_u64(seed ^ 0xDA7A);
-            let data: Vec<f64> = GaussianMixture::three_modes(1).generate(n, &mut wl);
-            let cfg = PrivHpConfig::for_domain(epsilon, n, k).with_seed(seed);
-            let mut rng = DeterministicRng::seed_from_u64(seed ^ 0xBEEF);
-            let mut c = ContinualPrivHp::new(domain, cfg, horizon_levels).unwrap();
-            for x in &data {
-                c.ingest(x, &mut rng);
-            }
-            w1_generator_1d(&data, c.release().tree(), &domain)
-        });
-        let s1 = Summary::of(&one_shot);
-        let s2 = Summary::of(&continual);
-        table.row(vec![
-            format!("{epsilon}"),
-            fmt_pm(s1.mean, s1.std_error),
-            fmt_pm(s2.mean, s2.std_error),
-            fmt(s2.mean / s1.mean),
-        ]);
-        rows.push(Row {
-            epsilon,
-            one_shot_w1_mean: s1.mean,
-            one_shot_w1_se: s1.std_error,
-            continual_final_w1_mean: s2.mean,
-            continual_final_w1_se: s2.std_error,
-            overhead_factor: s2.mean / s1.mean,
-        });
-    }
-    table.print();
-    write_json("exp_continual", &rows);
-
-    // Trajectory: utility of intermediate releases (single run, eps = 4).
-    println!("\nutility trajectory across checkpoints (eps=4, one run):");
-    let mut wl = DeterministicRng::seed_from_u64(0xE14_FFF);
-    let data: Vec<f64> = GaussianMixture::three_modes(1).generate(n, &mut wl);
-    let cfg = PrivHpConfig::for_domain(4.0, n, k).with_seed(0xE14);
-    let mut rng = DeterministicRng::seed_from_u64(0xE14_AAA);
-    let mut c = ContinualPrivHp::new(domain, cfg, horizon_levels).unwrap();
-    let mut traj = Table::new(&["items", "W1(data so far, release)"]);
-    for (i, x) in data.iter().enumerate() {
-        c.ingest(x, &mut rng);
-        if (i + 1) % (n / 8) == 0 {
-            let w1 = w1_generator_1d(&data[..=i], c.release().tree(), &domain);
-            traj.row(vec![(i + 1).to_string(), fmt(w1)]);
-        }
-    }
-    traj.print();
-
-    println!("\nExpected shape: the continual variant pays a ~log(T)-flavoured constant");
-    println!("factor over the one-shot release at equal eps (the binary mechanism's");
-    println!("price for supporting releases at every checkpoint), shrinking as eps grows;");
-    println!("trajectory W1 improves as data accumulates.");
+    privhp_bench::experiments::run_one(privhp_bench::experiments::continual::NAME);
 }

@@ -1,146 +1,9 @@
-//! **E10 — Figure 4 / Theorem 3 proof pipeline**: measure the three W1 gaps
-//! `μ_X → 𝒯_exact → 𝒯_approx → 𝒯_PrivHP` that Lemmas 7–9 bound.
+//! Thin driver: the grid and report live in
+//! `privhp_bench::experiments::decomposition`; this shim schedules the sweep on
+//! the process-wide pool and prints the paper-facing tables.
 //!
-//! Paper structure (§7): the total error decomposes as
-//!
-//! * Step 1 (Lemma 7): exact pruning costs ≤ `‖tail_k^L‖₁/n · Σγ_l`;
-//! * Step 2 (Lemma 8): noisy/approximate pruning decisions ("jumps");
-//! * Step 3 (Lemma 9): noisy counts in the final sampling probabilities.
-//!
-//! We build all four trees on the same data, measure each adjacent gap in
-//! exact 1-D `W1`, and print the Lemma-7 prediction next to the Step-1 gap.
-//!
-//! Usage: `cargo run -p privhp-bench --release --bin exp_decomposition`
-
-use privhp_bench::eval::{tree_to_segments, w1_generator_1d};
-use privhp_bench::report::{fmt, fmt_pm, write_json, Table};
-use privhp_bench::runner::{default_threads, run_trials};
-use privhp_bench::trials_from_env;
-use privhp_core::analysis::{exact_pruned_tree, level_counts, tail_norms, with_exact_counts};
-use privhp_core::{PrivHp, PrivHpConfig};
-use privhp_domain::{HierarchicalDomain, UnitInterval};
-use privhp_dp::rng::DeterministicRng;
-use privhp_metrics::stats::Summary;
-use privhp_metrics::wasserstein1d::w1_sample_vs_segments;
-use privhp_workloads::{Workload, ZipfCells};
-use rand::SeedableRng;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    zipf_exponent: f64,
-    step1_exact_pruning: f64,
-    step1_lemma7_bound: f64,
-    step2_approx_pruning_mean: f64,
-    step3_noisy_counts_mean: f64,
-    total_mean: f64,
-}
+//! Usage: `cargo run -p privhp-bench --release --bin exp_decomposition [-- --smoke]`
 
 fn main() {
-    let n = 1 << 14;
-    let epsilon = 1.0;
-    let k = 16usize;
-    let trials = trials_from_env();
-    let threads = default_threads();
-    let domain = UnitInterval::new();
-
-    println!("== E10 (Fig. 4 / Thm 3): proof-pipeline decomposition ==");
-    println!("   n={n}, eps={epsilon}, k={k}, {trials} trials\n");
-
-    let mut rows = Vec::new();
-    let mut table = Table::new(&[
-        "zipf s",
-        "Step1 W1(mu, T_exact)",
-        "Lemma 7 bound",
-        "Step2 W1(T_exact, T_approx)",
-        "Step3 W1(T_approx, T_PrivHP)",
-        "total W1(mu, T_PrivHP)",
-    ]);
-
-    for &exponent in &[0.5, 1.0, 1.5] {
-        // Fixed data per skew level (the pipeline studies algorithm
-        // randomness, not data randomness).
-        let mut wl = DeterministicRng::seed_from_u64(0xE10_000 + (exponent * 10.0) as u64);
-        let data: Vec<f64> = ZipfCells::new(10, exponent, 1, 7).generate(n, &mut wl);
-        let config = PrivHpConfig::for_domain(epsilon, n, k);
-        let depth = config.depth.min(privhp_core::analysis::MAX_DENSE_DEPTH);
-        let lc = level_counts(&domain, &data, depth);
-
-        // Step 1 is deterministic: exact top-k pruning.
-        let t_exact = exact_pruned_tree(&lc, config.l_star, k);
-        let step1 = w1_generator_1d(&data, &t_exact, &domain);
-        let tails = tail_norms(&lc, k);
-        let gamma_sum: f64 = ((config.l_star + 1)..depth).map(|l| domain.level_diameter(l)).sum();
-        let lemma7 = tails[depth] / n as f64 * gamma_sum;
-
-        // Steps 2, 3 involve the algorithm's noise: average over trials.
-        let outcomes: Vec<(f64, f64, f64)> = run_trials(trials, threads, |trial| {
-            let seed = 0xE10_100 + trial as u64 * 211;
-            let cfg = config.clone().with_seed(seed);
-            let mut rng = DeterministicRng::seed_from_u64(seed ^ 0xBEEF);
-            let g =
-                PrivHp::build(&domain, cfg, data.iter().copied(), &mut rng).expect("valid config");
-            // T_approx: PrivHP's structure with exact counts.
-            let t_approx = with_exact_counts(g.tree(), &lc);
-            let segs_exact = tree_to_segments(&t_exact, &domain);
-            let segs_approx = tree_to_segments(&t_approx, &domain);
-            // W1 between two piecewise-uniform trees via a dense common
-            // quantile sample of one against the segments of the other.
-            let probe: Vec<f64> = quantile_probe(&segs_exact, 8_192);
-            let step2 = w1_sample_vs_segments(&probe, &segs_approx);
-            let probe_a: Vec<f64> = quantile_probe(&segs_approx, 8_192);
-            let step3 = w1_sample_vs_segments(&probe_a, &tree_to_segments(g.tree(), &domain));
-            let total = w1_generator_1d(&data, g.tree(), &domain);
-            (step2, step3, total)
-        });
-        let s2 = Summary::of(&outcomes.iter().map(|o| o.0).collect::<Vec<_>>());
-        let s3 = Summary::of(&outcomes.iter().map(|o| o.1).collect::<Vec<_>>());
-        let st = Summary::of(&outcomes.iter().map(|o| o.2).collect::<Vec<_>>());
-
-        table.row(vec![
-            format!("{exponent}"),
-            fmt(step1),
-            fmt(lemma7),
-            fmt_pm(s2.mean, s2.std_error),
-            fmt_pm(s3.mean, s3.std_error),
-            fmt_pm(st.mean, st.std_error),
-        ]);
-        rows.push(Row {
-            zipf_exponent: exponent,
-            step1_exact_pruning: step1,
-            step1_lemma7_bound: lemma7,
-            step2_approx_pruning_mean: s2.mean,
-            step3_noisy_counts_mean: s3.mean,
-            total_mean: st.mean,
-        });
-    }
-    table.print();
-    write_json("exp_decomposition", &rows);
-
-    println!("\nExpected shape (Lemmas 7-9): Step1 <= Lemma-7 bound and shrinks with skew;");
-    println!("total <= Step1 + Step2 + Step3 + resolution (triangle inequality, within");
-    println!("probe resolution); all three steps shrink as skew grows.");
-}
-
-/// Deterministic quantile sample of a piecewise-uniform density: `m` points
-/// at the (i+0.5)/m quantiles, used to compare two segment densities via
-/// the sample-vs-segments integral.
-fn quantile_probe(segments: &[privhp_metrics::wasserstein1d::Segment], m: usize) -> Vec<f64> {
-    let total: f64 = segments.iter().map(|s| s.mass.max(0.0)).sum();
-    let mut sorted: Vec<_> = segments.iter().filter(|s| s.mass > 0.0).collect();
-    sorted.sort_by(|a, b| a.lo.partial_cmp(&b.lo).unwrap());
-    let mut out = Vec::with_capacity(m);
-    let mut acc = 0.0;
-    let mut idx = 0usize;
-    for i in 0..m {
-        let q = (i as f64 + 0.5) / m as f64 * total;
-        while idx < sorted.len() && acc + sorted[idx].mass < q {
-            acc += sorted[idx].mass;
-            idx += 1;
-        }
-        let s = sorted[idx.min(sorted.len() - 1)];
-        let frac = ((q - acc) / s.mass).clamp(0.0, 1.0);
-        out.push(s.lo + frac * (s.hi - s.lo));
-    }
-    out
+    privhp_bench::experiments::run_one(privhp_bench::experiments::decomposition::NAME);
 }

@@ -1,104 +1,9 @@
-//! **E15 — §3.2 downstream-task guarantee**: the Wasserstein bound is a
-//! *uniform* accuracy guarantee for Lipschitz statistics.
+//! Thin driver: the grid and report live in
+//! `privhp_bench::experiments::downstream`; this shim schedules the sweep on
+//! the process-wide pool and prints the paper-facing tables.
 //!
-//! Paper motivation (§3.2): "Equation 1 provides a uniform accuracy
-//! guarantee for a wide range of machine learning tasks performed on
-//! synthetic datasets whose empirical measure is close to μ_X in the
-//! 1-Wasserstein distance." By Kantorovich–Rubinstein duality,
-//! `|E_μ[f] − E_ν[f]| ≤ W1(μ, ν)` for every 1-Lipschitz `f` — so the
-//! measured W1 must upper-bound the synthetic-data estimation error of
-//! *every* Lipschitz statistic simultaneously. This experiment evaluates a
-//! battery of 1-Lipschitz functionals on real vs synthetic data and checks
-//! the duality empirically.
-//!
-//! Usage: `cargo run -p privhp-bench --release --bin exp_downstream`
-
-use privhp_bench::eval::w1_generator_1d;
-use privhp_bench::report::{fmt, write_json, Table};
-use privhp_core::{PrivHp, PrivHpConfig};
-use privhp_domain::UnitInterval;
-use privhp_dp::rng::DeterministicRng;
-use privhp_workloads::{GaussianMixture, Workload};
-use rand::SeedableRng;
-use serde::Serialize;
-
-/// A named 1-Lipschitz functional on [0,1].
-struct LipStat {
-    name: &'static str,
-    f: fn(f64) -> f64,
-}
-
-const STATS: &[LipStat] = &[
-    LipStat { name: "mean:            f(x) = x", f: |x| x },
-    LipStat { name: "dist-to-0.5:     f(x) = |x - 0.5|", f: |x| (x - 0.5).abs() },
-    LipStat { name: "clamped ramp:    f(x) = min(x, 0.3)", f: |x| x.min(0.3) },
-    LipStat { name: "hinge:           f(x) = max(0, x - 0.6)", f: |x| (x - 0.6).max(0.0) },
-    LipStat { name: "1-Lip sigmoid:   f(x) = tanh(x - 0.4)", f: |x| (x - 0.4).tanh() },
-    LipStat { name: "sawtooth(1-Lip): f(x) = |x mod 0.4 - 0.2|", f: |x| ((x % 0.4) - 0.2).abs() },
-];
-
-#[derive(Serialize)]
-struct Row {
-    statistic: String,
-    real_value: f64,
-    synthetic_value: f64,
-    abs_error: f64,
-    w1_bound: f64,
-    within_bound: bool,
-}
-
-fn expectation(f: fn(f64) -> f64, xs: &[f64]) -> f64 {
-    xs.iter().map(|&x| f(x)).sum::<f64>() / xs.len() as f64
-}
+//! Usage: `cargo run -p privhp-bench --release --bin exp_downstream [-- --smoke]`
 
 fn main() {
-    let n = 1 << 15;
-    let epsilon = 1.0;
-    let k = 32usize;
-    println!("== E15 (§3.2): Lipschitz downstream statistics vs the W1 guarantee ==");
-    println!("   n={n}, eps={epsilon}, k={k}\n");
-
-    let domain = UnitInterval::new();
-    let mut wl = DeterministicRng::seed_from_u64(0xE15_DA7A);
-    let data: Vec<f64> = GaussianMixture::three_modes(1).generate(n, &mut wl);
-    let cfg = PrivHpConfig::for_domain(epsilon, n, k).with_seed(0xE15);
-    let mut rng = DeterministicRng::seed_from_u64(0xE15_BEEF);
-    let g = PrivHp::build(&domain, cfg, data.iter().copied(), &mut rng).expect("valid");
-
-    // The duality bound: W1 between the data and the generator's *exact*
-    // distribution, plus the synthetic sample's own Monte-Carlo wobble.
-    let w1 = w1_generator_1d(&data, g.tree(), &domain);
-    let m = 1 << 17; // large synthetic sample to keep MC wobble << W1
-    let synthetic = g.sample_many(m, &mut rng);
-    let mc_slack = 3.0 / (m as f64).sqrt();
-
-    let mut rows = Vec::new();
-    let mut table = Table::new(&["statistic", "real", "synthetic", "|error|", "W1 bound"]);
-    let mut worst = 0.0f64;
-    for s in STATS {
-        let real = expectation(s.f, &data);
-        let synth = expectation(s.f, &synthetic);
-        let err = (real - synth).abs();
-        worst = worst.max(err);
-        let within = err <= w1 + mc_slack;
-        table.row(vec![s.name.into(), fmt(real), fmt(synth), fmt(err), fmt(w1)]);
-        rows.push(Row {
-            statistic: s.name.into(),
-            real_value: real,
-            synthetic_value: synth,
-            abs_error: err,
-            w1_bound: w1,
-            within_bound: within,
-        });
-    }
-    table.print();
-    write_json("exp_downstream", &rows);
-
-    println!("\nmeasured W1(data, generator) = {w1:.5} (+ MC slack {mc_slack:.5})");
-    println!("worst statistic error        = {worst:.5}");
-    if worst <= w1 + mc_slack {
-        println!("=> Kantorovich duality holds: every 1-Lipschitz statistic is within W1.");
-    } else {
-        println!("=> VIOLATION — investigate (duality must hold for exact expectations).");
-    }
+    privhp_bench::experiments::run_one(privhp_bench::experiments::downstream::NAME);
 }

@@ -1,64 +1,9 @@
-//! **E4 — ε-dependence of Theorem 1**: `E[W1]` as a function of the privacy
-//! budget.
+//! Thin driver: the grid and report live in
+//! `privhp_bench::experiments::epsilon_sweep`; this shim schedules the sweep on
+//! the process-wide pool and prints the paper-facing tables.
 //!
-//! Paper claim: the noise component of the bound scales as `1/(εn)` (d=1:
-//! `log²(M)/(εn)`), so in the noise-dominated regime halving ε should
-//! roughly double the distance, flattening once the tail/resolution terms
-//! dominate.
-//!
-//! Usage: `cargo run -p privhp-bench --release --bin exp_epsilon_sweep`
-
-use privhp_bench::methods::{run_method_1d, Method};
-use privhp_bench::report::{fmt, fmt_pm, write_json, Table};
-use privhp_bench::runner::{default_threads, run_trials};
-use privhp_bench::trials_from_env;
-use privhp_dp::rng::DeterministicRng;
-use privhp_metrics::stats::Summary;
-use privhp_workloads::{GaussianMixture, Workload};
-use rand::SeedableRng;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    epsilon: f64,
-    method: String,
-    w1_mean: f64,
-    w1_se: f64,
-}
+//! Usage: `cargo run -p privhp-bench --release --bin exp_epsilon_sweep [-- --smoke]`
 
 fn main() {
-    let n = 1 << 14;
-    let trials = trials_from_env();
-    let threads = default_threads();
-    let epsilons = [0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
-    let methods = [Method::PrivHp { k: 16 }, Method::Pmm, Method::NonPrivate];
-
-    println!("== E4: W1 vs privacy budget eps (n={n}, {trials} trials) ==\n");
-    let mut rows = Vec::new();
-    let mut table = Table::new(&["eps", "method", "E[W1]", "eps*E[W1] (should flatten)"]);
-    for &epsilon in &epsilons {
-        for &method in &methods {
-            let outcomes = run_trials(trials, threads, |trial| {
-                let seed = 0xE4_0000 + trial as u64 * 131 + (epsilon * 1000.0) as u64;
-                let mut wl = DeterministicRng::seed_from_u64(seed ^ 0xDA7A);
-                let data: Vec<f64> = GaussianMixture::three_modes(1).generate(n, &mut wl);
-                run_method_1d(method, epsilon, &data, seed)
-            });
-            let w1s: Vec<f64> = outcomes.iter().map(|o| o.w1).collect();
-            let s = Summary::of(&w1s);
-            table.row(vec![
-                format!("{epsilon}"),
-                method.name(),
-                fmt_pm(s.mean, s.std_error),
-                fmt(epsilon * s.mean),
-            ]);
-            rows.push(Row { epsilon, method: method.name(), w1_mean: s.mean, w1_se: s.std_error });
-        }
-    }
-    table.print();
-    write_json("exp_epsilon_sweep", &rows);
-
-    println!("\nExpected shape (Thm 1): for the private methods, W1 ~ C/eps at small eps");
-    println!("(eps*W1 roughly constant), flattening to the resolution floor as eps grows;");
-    println!("NonPrivate is flat in eps (it ignores the budget).");
+    privhp_bench::experiments::run_one(privhp_bench::experiments::epsilon_sweep::NAME);
 }

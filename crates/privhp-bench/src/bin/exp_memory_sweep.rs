@@ -1,106 +1,9 @@
-//! **E3 — Theorem 1 / Corollary 1 interpolation**: `E[W1]` as a function of
-//! the memory allocation (sweeping the pruning parameter `k`).
+//! Thin driver: the grid and report live in
+//! `privhp_bench::experiments::memory_sweep`; this shim schedules the sweep on
+//! the process-wide pool and prints the paper-facing tables.
 //!
-//! Paper claim: `k` provides "an almost smooth interpolation between space
-//! usage and utility" — growing `k` moves PrivHP's utility toward PMM's
-//! while memory grows only linearly in `k`; on skewed inputs the curve
-//! flattens early because `‖tail_k‖₁` collapses.
-//!
-//! Usage: `cargo run -p privhp-bench --release --bin exp_memory_sweep`
-
-use privhp_bench::methods::{run_method_1d, Method};
-use privhp_bench::report::{fmt, fmt_pm, write_json, Table};
-use privhp_bench::runner::{default_threads, run_trials};
-use privhp_bench::trials_from_env;
-use privhp_core::corollary1_bound;
-use privhp_dp::rng::DeterministicRng;
-use privhp_metrics::stats::Summary;
-use privhp_sketch::tail::tail_norm_l1;
-use privhp_workloads::{Workload, ZipfCells};
-use rand::SeedableRng;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    workload: String,
-    k: usize,
-    w1_mean: f64,
-    w1_se: f64,
-    memory_words: f64,
-    corollary1_prediction: f64,
-    pmm_reference: f64,
-}
+//! Usage: `cargo run -p privhp-bench --release --bin exp_memory_sweep [-- --smoke]`
 
 fn main() {
-    let n = 1 << 15;
-    let epsilon = 1.0;
-    let trials = trials_from_env();
-    let threads = default_threads();
-    let ks = [1usize, 2, 4, 8, 16, 32, 64, 128];
-
-    println!("== E3 (Thm 1 / Cor 1): W1 vs memory via pruning parameter k ==");
-    println!("   n={n}, eps={epsilon}, {trials} trials\n");
-
-    let mut rows = Vec::new();
-    for (workload_name, exponent) in [("zipf(s=1.5, skewed)", 1.5), ("uniform-cells(s=0)", 0.0)] {
-        // PMM reference at the same budget (averaged over trials).
-        let pmm_ref: Vec<f64> = run_trials(trials, threads, |trial| {
-            let seed = 0xE3_0000 + trial as u64 * 101;
-            let mut wl = DeterministicRng::seed_from_u64(seed ^ 0xDA7A);
-            let data: Vec<f64> = ZipfCells::new(10, exponent, 1, 7).generate(n, &mut wl);
-            run_method_1d(Method::Pmm, epsilon, &data, seed).w1
-        });
-        let pmm_mean = Summary::of(&pmm_ref).mean;
-
-        // Representative tail norm for the Corollary-1 prediction column.
-        let tail_for = |k: usize| {
-            let mut wl = DeterministicRng::seed_from_u64(0xDA7A);
-            let data: Vec<f64> = ZipfCells::new(10, exponent, 1, 7).generate(n, &mut wl);
-            let mut cells = vec![0.0f64; 1 << 10];
-            for x in &data {
-                cells[(x * 1024.0) as usize] += 1.0;
-            }
-            tail_norm_l1(&cells, k)
-        };
-
-        let mut table =
-            Table::new(&["k", "E[W1]", "memory (words)", "Cor.1 prediction", "PMM ref"]);
-        for &k in &ks {
-            let outcomes = run_trials(trials, threads, |trial| {
-                let seed = 0xE3_0000 + trial as u64 * 101 + k as u64;
-                let mut wl = DeterministicRng::seed_from_u64(seed ^ 0xDA7A);
-                let data: Vec<f64> = ZipfCells::new(10, exponent, 1, 7).generate(n, &mut wl);
-                run_method_1d(Method::PrivHp { k }, epsilon, &data, seed)
-            });
-            let w1s: Vec<f64> = outcomes.iter().map(|o| o.w1).collect();
-            let mem = outcomes.iter().map(|o| o.memory_words as f64).sum::<f64>() / trials as f64;
-            let s = Summary::of(&w1s);
-            let pred = corollary1_bound(1, mem.max(2.0), epsilon, n, tail_for(k));
-            table.row(vec![
-                k.to_string(),
-                fmt_pm(s.mean, s.std_error),
-                format!("{mem:.0}"),
-                fmt(pred),
-                fmt(pmm_mean),
-            ]);
-            rows.push(Row {
-                workload: workload_name.into(),
-                k,
-                w1_mean: s.mean,
-                w1_se: s.std_error,
-                memory_words: mem,
-                corollary1_prediction: pred,
-                pmm_reference: pmm_mean,
-            });
-        }
-        println!("-- workload: {workload_name} --");
-        table.print();
-        println!();
-    }
-    write_json("exp_memory_sweep", &rows);
-
-    println!("Expected shape (paper §5.2):");
-    println!("  * skewed: W1 drops steeply with k then flattens once tail_k ~ 0;");
-    println!("  * uniform: W1 improves slowly — the tail term dominates at every k;");
-    println!("  * increasing k interpolates toward the PMM reference value.");
+    privhp_bench::experiments::run_one(privhp_bench::experiments::memory_sweep::NAME);
 }

@@ -1,115 +1,9 @@
-//! **E11 — Theorem 2 audit**: empirical check that the released structures
-//! are calibrated to the claimed per-level budgets, plus a neighbouring-
-//! stream distinguishability probe.
+//! Thin driver: the grid and report live in
+//! `privhp_bench::experiments::privacy_audit`; this shim schedules the sweep on
+//! the process-wide pool and prints the paper-facing tables.
 //!
-//! Two checks:
-//!
-//! 1. **Calibration** — the Laplace scales actually applied (counter noise
-//!    `1/σ_l`, sketch cell noise `j/σ_l`) match Eq. 3 for the Lemma-5 split,
-//!    and `Σ σ_l = ε` exactly;
-//! 2. **Distinguishability probe** — run PrivHP many times on neighbouring
-//!    streams `X ~ X' = X ∪ {x*} \ {x₀}` and compare the distribution of
-//!    the released root count. For an ε-DP release the empirical log-odds
-//!    of any event is bounded by ε; we report the worst observed log-odds
-//!    over a grid of threshold events (a sanity check, not a proof — DP is
-//!    verified by construction in Theorem 2).
-//!
-//! Usage: `cargo run -p privhp-bench --release --bin exp_privacy_audit`
-
-use privhp_bench::report::{fmt, write_json, Table};
-use privhp_bench::runner::{default_threads, run_trials};
-use privhp_core::budget::optimal_budget_split;
-use privhp_core::{PrivHp, PrivHpConfig};
-use privhp_domain::UnitInterval;
-use privhp_dp::rng::DeterministicRng;
-use rand::SeedableRng;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct AuditRow {
-    check: String,
-    value: f64,
-    budget: f64,
-    pass: bool,
-}
+//! Usage: `cargo run -p privhp-bench --release --bin exp_privacy_audit [-- --smoke]`
 
 fn main() {
-    let epsilon = 1.0;
-    let n = 4_096usize;
-    let k = 8usize;
-    println!("== E11 (Thm 2): privacy calibration audit (eps={epsilon}, n={n}, k={k}) ==\n");
-
-    let domain = UnitInterval::new();
-    let config = PrivHpConfig::for_domain(epsilon, n, k);
-    let split = optimal_budget_split(&domain, &config).expect("valid split");
-
-    let mut rows = Vec::new();
-    let mut table = Table::new(&["check", "value", "budget/bound", "pass"]);
-
-    // Check 1: the split sums to ε.
-    let sum: f64 = split.sigmas().iter().sum();
-    let pass = (sum - epsilon).abs() < 1e-9;
-    table.row(vec!["sum of sigma_l".into(), fmt(sum), fmt(epsilon), pass.to_string()]);
-    rows.push(AuditRow { check: "sum_sigma".into(), value: sum, budget: epsilon, pass });
-
-    // Check 2: every level gets strictly positive budget.
-    let min_sigma = split.sigmas().iter().cloned().fold(f64::INFINITY, f64::min);
-    let pass = min_sigma > 0.0;
-    table.row(vec!["min sigma_l".into(), fmt(min_sigma), "> 0".into(), pass.to_string()]);
-    rows.push(AuditRow { check: "min_sigma".into(), value: min_sigma, budget: 0.0, pass });
-
-    // Check 3: neighbouring-stream probe on the released root count.
-    // X and X' differ in one point moved across the domain.
-    let trials = 4_000usize;
-    let threads = default_threads();
-    let base: Vec<f64> = (0..n).map(|i| (i as f64 * 0.618_033_988) % 1.0).collect();
-    let mut neighbour = base.clone();
-    neighbour[0] = 0.999; // x0 -> x*
-
-    let release_root = |data: &[f64], trial: usize| -> f64 {
-        let cfg = PrivHpConfig::for_domain(epsilon, n, k).with_seed(trial as u64);
-        let mut rng = DeterministicRng::seed_from_u64(0xE11_000 + trial as u64);
-        let g = PrivHp::build(&domain, cfg, data.iter().copied(), &mut rng).expect("valid");
-        g.tree().root_count().unwrap_or(0.0)
-    };
-    let roots_a: Vec<f64> = run_trials(trials, threads, |t| release_root(&base, t));
-    let roots_b: Vec<f64> = run_trials(trials, threads, |t| release_root(&neighbour, t));
-
-    // Worst empirical log-odds over threshold events {root <= t}.
-    let mut worst = 0.0f64;
-    for q in 1..20 {
-        let t = {
-            let mut s = roots_a.clone();
-            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            s[(q * trials) / 20]
-        };
-        let pa = roots_a.iter().filter(|&&r| r <= t).count().max(1) as f64 / trials as f64;
-        let pb = roots_b.iter().filter(|&&r| r <= t).count().max(1) as f64 / trials as f64;
-        worst = worst.max((pa / pb).ln().abs());
-    }
-    // Monte-Carlo slack: with 4k trials the log-odds estimate has noise
-    // ~0.1; the event class {root <= t} only consumes the root's share of
-    // the budget, so worst << eps is expected.
-    let pass = worst <= epsilon + 0.25;
-    table.row(vec![
-        "worst empirical log-odds (root-count events)".into(),
-        fmt(worst),
-        format!("<= eps ({epsilon}) + MC slack"),
-        pass.to_string(),
-    ]);
-    rows.push(AuditRow { check: "log_odds_probe".into(), value: worst, budget: epsilon, pass });
-
-    table.print();
-    write_json("exp_privacy_audit", &rows);
-
-    println!("\nPer-level noise scales in force (Eq. 3):");
-    let mut lvl =
-        Table::new(&["level", "sigma_l", "counter scale 1/sigma", "sketch scale j/sigma"]);
-    let j = config.sketch.depth as f64;
-    for (l, &s) in split.sigmas().iter().enumerate() {
-        let counter = if l <= config.l_star { fmt(1.0 / s) } else { "-".into() };
-        let sketch = if l > config.l_star { fmt(j / s) } else { "-".into() };
-        lvl.row(vec![l.to_string(), fmt(s), counter, sketch]);
-    }
-    lvl.print();
+    privhp_bench::experiments::run_one(privhp_bench::experiments::privacy_audit::NAME);
 }

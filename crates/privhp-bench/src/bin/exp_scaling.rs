@@ -1,90 +1,9 @@
-//! **E6 — Corollary 1 performance claims**: update time, build time and
-//! memory as the stream grows.
+//! Thin driver: the grid and report live in
+//! `privhp_bench::experiments::scaling`; this shim schedules the sweep on
+//! the process-wide pool and prints the paper-facing tables.
 //!
-//! Paper claims: update time `O(log(εn)·log n)` per item (a root-to-leaf
-//! walk touching one counter or sketch per level, each sketch update
-//! costing `O(log n)` rows), release time `O(M log n)`, and memory
-//! `M = O(k·log²n)` — i.e. near-flat in `n` while PMM's memory grows
-//! linearly.
-//!
-//! Usage: `cargo run -p privhp-bench --release --bin exp_scaling`
-
-use privhp_bench::report::{fmt, write_json, Table};
-use privhp_core::{PrivHpBuilder, PrivHpConfig};
-use privhp_domain::UnitInterval;
-use privhp_dp::rng::DeterministicRng;
-use privhp_workloads::{GaussianMixture, Workload};
-use rand::SeedableRng;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    n: usize,
-    update_ns_per_item: f64,
-    finalize_ms: f64,
-    privhp_memory_words: usize,
-    pmm_memory_words: usize,
-    k_log2n_sq: f64,
-}
+//! Usage: `cargo run -p privhp-bench --release --bin exp_scaling [-- --smoke]`
 
 fn main() {
-    let epsilon = 1.0;
-    let k = 16usize;
-    println!("== E6 (Cor. 1): throughput and memory scaling (eps={epsilon}, k={k}) ==\n");
-
-    let mut rows = Vec::new();
-    let mut table = Table::new(&[
-        "n",
-        "update ns/item",
-        "finalize ms",
-        "PrivHP words",
-        "PMM words (2^(L+1))",
-        "k*log2(n)^2",
-    ]);
-    for exp in [10usize, 12, 14, 16, 18, 20] {
-        let n = 1usize << exp;
-        let mut wl = DeterministicRng::seed_from_u64(0xE6_0000 + exp as u64);
-        let data: Vec<f64> = GaussianMixture::three_modes(1).generate(n, &mut wl);
-        let config = PrivHpConfig::for_domain(epsilon, n, k).with_seed(exp as u64);
-        let depth = config.depth;
-        let mut rng = DeterministicRng::seed_from_u64(0xE6_1000 + exp as u64);
-        let mut builder =
-            PrivHpBuilder::new(UnitInterval::new(), config, &mut rng).expect("valid config");
-
-        let t0 = std::time::Instant::now();
-        for x in &data {
-            builder.ingest(x);
-        }
-        let ingest = t0.elapsed();
-        let memory = builder.memory_words();
-
-        let t1 = std::time::Instant::now();
-        let g = builder.finalize();
-        let finalize = t1.elapsed();
-
-        let pmm_words = 2 * ((1usize << (depth + 1)) - 1);
-        let theory = k as f64 * (n as f64).log2().powi(2);
-        table.row(vec![
-            format!("2^{exp}"),
-            fmt(ingest.as_nanos() as f64 / n as f64),
-            fmt(finalize.as_secs_f64() * 1e3),
-            memory.to_string(),
-            pmm_words.to_string(),
-            format!("{theory:.0}"),
-        ]);
-        rows.push(Row {
-            n,
-            update_ns_per_item: ingest.as_nanos() as f64 / n as f64,
-            finalize_ms: finalize.as_secs_f64() * 1e3,
-            privhp_memory_words: memory,
-            pmm_memory_words: pmm_words,
-            k_log2n_sq: theory,
-        });
-        let _ = g;
-    }
-    table.print();
-    write_json("exp_scaling", &rows);
-
-    println!("\nExpected shape (Cor. 1): update cost grows ~log^2(n) (polylog, not linear);");
-    println!("PrivHP memory tracks k*log^2(n) while the PMM column grows ~linearly in n.");
+    privhp_bench::experiments::run_one(privhp_bench::experiments::scaling::NAME);
 }

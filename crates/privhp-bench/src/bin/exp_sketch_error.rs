@@ -1,99 +1,9 @@
-//! **E7 — Figure 1 / Lemma 4**: measured Count-Min error against the
-//! paper's expected-error bound.
+//! Thin driver: the grid and report live in
+//! `privhp_bench::experiments::sketch_error`; this shim schedules the sweep on
+//! the process-wide pool and prints the paper-facing tables.
 //!
-//! Paper claim (Lemma 4): for a CMS of width `2w`, depth `j`,
-//! `E[v̂_x − v_x] ≤ ‖tail_w(v)‖₁/w + 2^{-j+1}·‖v‖₁/w` — the error is
-//! governed by the *tail* of the input, which is why sketching "composes
-//! nicely with pruning" (§7).
-//!
-//! Usage: `cargo run -p privhp-bench --release --bin exp_sketch_error`
-
-use privhp_bench::report::{fmt, write_json, Table};
-use privhp_dp::rng::DeterministicRng;
-use privhp_sketch::tail::tail_norm_l1;
-use privhp_sketch::{CountMinSketch, SketchParams};
-use rand::SeedableRng;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    zipf_exponent: f64,
-    width: usize,
-    depth: usize,
-    mean_error: f64,
-    lemma4_bound: f64,
-    ratio: f64,
-}
-
-fn zipf_vector(universe: usize, exponent: f64, total: f64) -> Vec<f64> {
-    let weights: Vec<f64> = (0..universe).map(|r| 1.0 / ((r + 1) as f64).powf(exponent)).collect();
-    let sum: f64 = weights.iter().sum();
-    weights.into_iter().map(|w| (w / sum * total).round()).collect()
-}
+//! Usage: `cargo run -p privhp-bench --release --bin exp_sketch_error [-- --smoke]`
 
 fn main() {
-    println!("== E7 (Lemma 4 / Fig. 1): Count-Min error vs the tail bound ==\n");
-    let universe = 4_096usize;
-    let total = 100_000.0;
-    let mut rows = Vec::new();
-    let mut table = Table::new(&[
-        "zipf s",
-        "width(2w)",
-        "depth j",
-        "mean error",
-        "Lemma 4 bound",
-        "measured/bound",
-    ]);
-
-    for &exponent in &[0.0, 0.8, 1.3, 2.0] {
-        for &(width, depth) in &[(32usize, 6usize), (64, 8), (128, 12), (256, 16)] {
-            let v = zipf_vector(universe, exponent, total);
-            let mut rng = DeterministicRng::seed_from_u64(
-                0xE7_0000 + (exponent * 100.0) as u64 + width as u64,
-            );
-            // Average measured error over several independent hash seeds.
-            let seeds = 8;
-            let mut mean_err_acc = 0.0;
-            for s in 0..seeds {
-                let p = SketchParams::new(depth, width);
-                let mut sketch = CountMinSketch::new(p, 0xFEED + s);
-                for (i, &c) in v.iter().enumerate() {
-                    if c > 0.0 {
-                        sketch.update(i as u64, c);
-                    }
-                }
-                let err: f64 =
-                    (0..universe as u64).map(|i| sketch.query(i) - v[i as usize]).sum::<f64>()
-                        / universe as f64;
-                mean_err_acc += err;
-            }
-            let mean_err = mean_err_acc / seeds as f64;
-            let w = width / 2;
-            let tail = tail_norm_l1(&v, w);
-            let l1: f64 = v.iter().sum();
-            let bound = tail / w as f64 + 2f64.powi(-(depth as i32) + 1) * l1 / w as f64;
-            table.row(vec![
-                format!("{exponent}"),
-                width.to_string(),
-                depth.to_string(),
-                fmt(mean_err),
-                fmt(bound),
-                if bound > 0.0 { fmt(mean_err / bound) } else { "inf".into() },
-            ]);
-            rows.push(Row {
-                zipf_exponent: exponent,
-                width,
-                depth,
-                mean_error: mean_err,
-                lemma4_bound: bound,
-                ratio: if bound > 0.0 { mean_err / bound } else { f64::INFINITY },
-            });
-            let _ = &mut rng;
-        }
-    }
-    table.print();
-    write_json("exp_sketch_error", &rows);
-
-    println!("\nExpected shape (Lemma 4): measured/bound <= ~1 everywhere; error collapses");
-    println!("as skew grows (the tail norm shrinks) and as width/depth grow.");
+    privhp_bench::experiments::run_one(privhp_bench::experiments::sketch_error::NAME);
 }

@@ -1,99 +1,9 @@
-//! **E5 — tail/skew dependence (Δ_approx)**: `E[W1]` as input skew varies,
-//! with the measured `‖tail_k‖₁` alongside.
+//! Thin driver: the grid and report live in
+//! `privhp_bench::experiments::skew_sweep`; this shim schedules the sweep on
+//! the process-wide pool and prints the paper-facing tables.
 //!
-//! Paper claim: the pruning cost enters only through
-//! `‖tail_k‖₁/(M^{1/d}n)` — skewed inputs (Zipf exponent up, tail down)
-//! lose almost nothing to pruning, sparse inputs lose *nothing*
-//! (`‖tail_k‖₁ = 0`), and flat inputs are the worst case. The paper even
-//! notes pruning may *improve* utility on sparse inputs because fewer nodes
-//! mean less noise (§5.2).
-//!
-//! Usage: `cargo run -p privhp-bench --release --bin exp_skew_sweep`
-
-use privhp_bench::methods::{run_method_1d, Method};
-use privhp_bench::report::{fmt, fmt_pm, write_json, Table};
-use privhp_bench::runner::{default_threads, run_trials};
-use privhp_bench::trials_from_env;
-use privhp_dp::rng::DeterministicRng;
-use privhp_metrics::stats::Summary;
-use privhp_sketch::tail::tail_norm_l1;
-use privhp_workloads::{SparseClusters, Workload, ZipfCells};
-use rand::SeedableRng;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    workload: String,
-    zipf_exponent: Option<f64>,
-    tail_k_norm_over_n: f64,
-    privhp_w1_mean: f64,
-    privhp_w1_se: f64,
-    pmm_w1_mean: f64,
-}
+//! Usage: `cargo run -p privhp-bench --release --bin exp_skew_sweep [-- --smoke]`
 
 fn main() {
-    let n = 1 << 14;
-    let epsilon = 1.0;
-    let k = 16usize;
-    let trials = trials_from_env();
-    let threads = default_threads();
-
-    println!("== E5: W1 vs input skew (n={n}, eps={epsilon}, k={k}, {trials} trials) ==\n");
-    let mut rows = Vec::new();
-    let mut table =
-        Table::new(&["workload", "||tail_k||/n", "PrivHP E[W1]", "PMM E[W1]", "PrivHP/PMM"]);
-
-    let mut run_case =
-        |label: String, exponent: Option<f64>, gen: &(dyn Fn(u64) -> Vec<f64> + Sync)| {
-            let hp: Vec<f64> = run_trials(trials, threads, |trial| {
-                let seed = 0xE5_0000 + trial as u64 * 173;
-                run_method_1d(Method::PrivHp { k }, epsilon, &gen(seed), seed).w1
-            });
-            let pm: Vec<f64> = run_trials(trials, threads, |trial| {
-                let seed = 0xE5_0000 + trial as u64 * 173;
-                run_method_1d(Method::Pmm, epsilon, &gen(seed), seed).w1
-            });
-            // Tail norm at the level-10 cell granularity of one representative
-            // draw.
-            let data = gen(0xE5_FFFF);
-            let mut cells = vec![0.0f64; 1 << 10];
-            for x in &data {
-                cells[((x * 1024.0) as usize).min(1023)] += 1.0;
-            }
-            let tail = tail_norm_l1(&cells, k) / n as f64;
-            let s_hp = Summary::of(&hp);
-            let s_pm = Summary::of(&pm);
-            table.row(vec![
-                label.clone(),
-                fmt(tail),
-                fmt_pm(s_hp.mean, s_hp.std_error),
-                fmt(s_pm.mean),
-                fmt(s_hp.mean / s_pm.mean),
-            ]);
-            rows.push(Row {
-                workload: label,
-                zipf_exponent: exponent,
-                tail_k_norm_over_n: tail,
-                privhp_w1_mean: s_hp.mean,
-                privhp_w1_se: s_hp.std_error,
-                pmm_w1_mean: s_pm.mean,
-            });
-        };
-
-    for s in [0.0, 0.5, 1.0, 1.5, 2.0] {
-        run_case(format!("zipf(s={s})"), Some(s), &move |seed| {
-            let mut rng = DeterministicRng::seed_from_u64(seed ^ 0xDA7A);
-            ZipfCells::new(10, s, 1, 7).generate(n, &mut rng)
-        });
-    }
-    run_case("sparse(8 clusters)".into(), None, &|seed| {
-        let mut rng = DeterministicRng::seed_from_u64(seed ^ 0xDA7A);
-        SparseClusters::new(8, 0.002, 3).generate(n, &mut rng)
-    });
-
-    table.print();
-    write_json("exp_skew_sweep", &rows);
-
-    println!("\nExpected shape (Thm 3 / §5.2): PrivHP/PMM ratio shrinks toward ~1 as the");
-    println!("tail norm collapses; the sparse workload (tail ~ 0) pays no pruning cost.");
+    privhp_bench::experiments::run_one(privhp_bench::experiments::skew_sweep::NAME);
 }

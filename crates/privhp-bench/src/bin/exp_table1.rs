@@ -1,35 +1,13 @@
-//! **E1/E2 — Table 1**: accuracy (expected W1) vs memory for PrivHP and
-//! every comparator, in `d = 1` and `d ≥ 2`.
+//! Thin driver: the grid and report live in
+//! `privhp_bench::experiments::table1`; this shim schedules the sweep on
+//! the process-wide pool and prints the paper-facing tables.
 //!
-//! Paper claim (Table 1): PMM achieves the best accuracy with `O(εn)`
-//! memory; PrivHP matches its *shape* with `M = O(k log²n)` memory at the
-//! cost of an extra `‖tail_k‖/(M^{1/d}n)` term; SRRW pays an extra log
-//! factor; Uniform is the data-independent floor.
-//!
-//! Usage: `cargo run -p privhp-bench --release --bin exp_table1 [-- --dim D]`
+//! Usage: `cargo run -p privhp-bench --release --bin exp_table1 [-- --dim D] [-- --smoke]`
 
-use privhp_bench::methods::{run_method_1d, run_method_nd, Method, MethodRegistry};
-use privhp_bench::report::{fmt_pm, write_json, Table};
-use privhp_bench::runner::{default_threads, run_trials};
-use privhp_bench::trials_from_env;
-use privhp_domain::{Hypercube, UnitInterval};
-use privhp_dp::rng::DeterministicRng;
-use privhp_metrics::stats::Summary;
-use privhp_workloads::{GaussianMixture, Workload, ZipfCells};
-use rand::SeedableRng;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    dim: usize,
-    workload: String,
-    n: usize,
-    method: String,
-    w1_mean: f64,
-    w1_se: f64,
-    memory_words_mean: f64,
-    trials: usize,
-}
+use privhp_bench::experiments::{scale_from_args, table1};
+use privhp_bench::report::write_sweep_json;
+use privhp_bench::runner::default_threads;
+use privhp_bench::sweep::run_sweeps;
 
 fn main() {
     let dim: usize = std::env::args()
@@ -37,79 +15,9 @@ fn main() {
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
-    let epsilon = 1.0;
-    let trials = trials_from_env();
-    let threads = default_threads();
-    let ns: Vec<usize> =
-        if dim == 1 { vec![1 << 12, 1 << 14, 1 << 16] } else { vec![1 << 12, 1 << 14] };
-    // The registry knows which methods run at which dimensionality; the
-    // experiment only chooses the PrivHP pruning parameters to expand.
-    let privhp_ks = [8usize, 32];
-    let methods: Vec<Method> = if dim == 1 {
-        MethodRegistry::<UnitInterval>::standard_1d().suite(1, &privhp_ks)
-    } else {
-        MethodRegistry::<Hypercube>::standard().suite(dim, &privhp_ks)
-    };
-
-    println!(
-        "== E1/E2 (Table 1): accuracy vs memory, d={dim}, eps={epsilon}, {trials} trials ==\n"
-    );
-    let mut rows = Vec::new();
-    let mut table = Table::new(&["workload", "n", "method", "E[W1]", "memory (words)"]);
-
-    for workload_name in ["gaussian-mixture", "zipf(s=1.2)"] {
-        for &n in &ns {
-            for &method in methods.iter() {
-                let outcomes = run_trials(trials, threads, |trial| {
-                    let seed = 0xE1_0000 + (trial as u64) * 7919 + n as u64 + dim as u64 * 13;
-                    let mut wl_rng = DeterministicRng::seed_from_u64(seed ^ 0xDA7A);
-                    if dim == 1 {
-                        let data: Vec<f64> = match workload_name {
-                            "gaussian-mixture" => {
-                                GaussianMixture::three_modes(1).generate(n, &mut wl_rng)
-                            }
-                            _ => ZipfCells::new(10, 1.2, 1, 99).generate(n, &mut wl_rng),
-                        };
-                        run_method_1d(method, epsilon, &data, seed)
-                    } else {
-                        let data: Vec<Vec<f64>> = match workload_name {
-                            "gaussian-mixture" => {
-                                GaussianMixture::three_modes(dim).generate(n, &mut wl_rng)
-                            }
-                            _ => ZipfCells::new(10, 1.2, dim, 99).generate(n, &mut wl_rng),
-                        };
-                        run_method_nd(method, epsilon, &data, dim, 9, seed)
-                    }
-                });
-                let w1s: Vec<f64> = outcomes.iter().map(|o| o.w1).collect();
-                let mems: Vec<f64> = outcomes.iter().map(|o| o.memory_words as f64).collect();
-                let s = Summary::of(&w1s);
-                let mem_mean = mems.iter().sum::<f64>() / mems.len() as f64;
-                table.row(vec![
-                    workload_name.into(),
-                    n.to_string(),
-                    method.name(),
-                    fmt_pm(s.mean, s.std_error),
-                    format!("{mem_mean:.0}"),
-                ]);
-                rows.push(Row {
-                    dim,
-                    workload: workload_name.into(),
-                    n,
-                    method: method.name(),
-                    w1_mean: s.mean,
-                    w1_se: s.std_error,
-                    memory_words_mean: mem_mean,
-                    trials,
-                });
-            }
-        }
-    }
-    table.print();
-    write_json(&format!("exp_table1_d{dim}"), &rows);
-
-    println!("\nExpected shape (paper Table 1):");
-    println!("  * NonPrivate < PMM <= PrivHP(k=32) <= PrivHP(k=8) << Uniform in W1;");
-    println!("  * SRRW >= PMM (uniform budget split costs a log factor);");
-    println!("  * memory: PrivHP O(k log^2 n) << PMM/SRRW O(eps*n); PrivHP memory ~flat in n.");
+    // Any dimension runs (the registry filters the method suite); only
+    // d = 1 and d = 2 are part of the registered exp_all suite.
+    let results = run_sweeps(vec![table1::sweep(dim, scale_from_args())], default_threads());
+    table1::report(&results[0]);
+    write_sweep_json(&results[0]);
 }

@@ -1,0 +1,166 @@
+//! **E13 — sketch-primitive ablation**: hash-based (Count-Min) vs
+//! counter-based (Misra–Gries) frequency summaries for subdomain counting.
+//!
+//! Paper claim (§2.1): "The hashing-based private sketch employed by PrivHP
+//! has a better error guarantee than the counter-based sketch used by
+//! Biswas et al. Further, as the error of the hash-based sketch can be
+//! expressed in terms of the tail of the dataset it composes nicely with
+//! hierarchy pruning."
+//!
+//! Setup mirrors PrivHP's deep-level regime: many more subdomains than
+//! memory words, both summaries *privatised* at the same ε. The private
+//! CMS adds `Laplace(j/ε)` per cell (§3.4); the private Misra–Gries adds
+//! `Laplace(2/ε)` to each retained counter (the Lebeda–Tetek counter
+//! perturbation — we release the key set for free, which only *flatters*
+//! MG, since a pure-ε key-set release would need extra thresholding).
+
+use super::Scale;
+use crate::report::{fmt, Table};
+use crate::sweep::{seed_stream, trial_seed, Cell, Sweep, SweepResult};
+use privhp_dp::laplace::Laplace;
+use privhp_dp::rng::{mix64, DeterministicRng};
+use privhp_sketch::{MisraGries, PrivateCountMinSketch, SketchParams};
+use privhp_workloads::{Workload, ZipfCells};
+use rand::SeedableRng;
+use std::sync::{Arc, OnceLock};
+
+/// Sweep name.
+pub const NAME: &str = "exp_ablation_sketch";
+
+const EPSILON: f64 = 1.0;
+const K: usize = 16;
+const ZIPF_EXPONENTS: [f64; 5] = [0.0, 0.5, 1.0, 1.5, 2.0];
+
+/// Declares one cell per skew level; trials range over sketch/noise seeds
+/// against a fixed per-level dataset (computed lazily on the pool, shared
+/// across the cell's trials).
+pub fn sweep(scale: Scale) -> Sweep {
+    let n = scale.pick(1 << 16, 1 << 12);
+    // Deep-level regime: far more subdomains than memory words.
+    let level = scale.pick(14, 8);
+    let trials = scale.trials(8);
+    let cells_count = 1usize << level;
+
+    let mut sweep = Sweep::new(NAME);
+    for &exponent in &ZIPF_EXPONENTS {
+        let data_stream = seed_stream(NAME, &[exponent.to_bits()]);
+        // Equal memory: CMS j x width cells vs MG (key, count) pairs.
+        let params = SketchParams::for_pruning(K, n);
+        let memory = params.cells() + params.depth;
+        let mg_capacity = memory / 2;
+        // Fixed per-level dataset + exact frequencies + skew order,
+        // computed lazily on the pool by the first trial.
+        type SketchData = (Vec<f64>, Vec<f64>, Vec<usize>);
+        let shared: Arc<OnceLock<SketchData>> = Arc::new(OnceLock::new());
+
+        sweep.cell(
+            Cell::new(
+                format!("zipf(s={exponent})"),
+                trials,
+                &[
+                    "cms_mean_abs_error",
+                    "mg_mean_abs_error",
+                    "cms_top_k_error",
+                    "mg_top_k_error",
+                    "memory_words",
+                ],
+                move |ctx| {
+                    let (data, truth, order) = ctx.shared_setup(&shared, || {
+                        let mut wl = DeterministicRng::seed_from_u64(trial_seed(data_stream, 0));
+                        let data: Vec<f64> =
+                            ZipfCells::new(level, exponent, 1, 7).generate(n, &mut wl);
+                        let mut truth = vec![0.0f64; cells_count];
+                        for x in &data {
+                            truth[((x * cells_count as f64) as usize).min(cells_count - 1)] += 1.0;
+                        }
+                        let mut order: Vec<usize> = (0..cells_count).collect();
+                        order.sort_by(|&a, &b| truth[b].partial_cmp(&truth[a]).unwrap());
+                        (data, truth, order)
+                    });
+                    let mut rng = DeterministicRng::seed_from_u64(mix64(ctx.seed));
+                    let mut cms = PrivateCountMinSketch::new(
+                        params,
+                        EPSILON,
+                        mix64(ctx.seed ^ 0xFEED),
+                        &mut rng,
+                    );
+                    let mut mg = MisraGries::new(mg_capacity);
+                    for x in data {
+                        let cell = ((x * cells_count as f64) as u64).min(cells_count as u64 - 1);
+                        cms.update(cell, 1.0);
+                        mg.update(cell);
+                    }
+                    // Private MG: Laplace(2/eps) per retained counter (the
+                    // counter value's sensitivity is ≤ 2 under a one-element
+                    // swap).
+                    let mg_noise = Laplace::new(2.0 / EPSILON);
+                    let noisy_mg: std::collections::HashMap<u64, f64> = mg
+                        .heavy_hitters()
+                        .into_iter()
+                        .map(|(key, c)| (key, c + mg_noise.sample(&mut rng)))
+                        .collect();
+                    let mg_query = |c: u64| noisy_mg.get(&c).copied().unwrap_or(0.0);
+
+                    let mean_abs = |est: &dyn Fn(u64) -> f64| -> f64 {
+                        (0..cells_count as u64)
+                            .map(|c| (est(c) - truth[c as usize]).abs())
+                            .sum::<f64>()
+                            / cells_count as f64
+                    };
+                    let top_err = |est: &dyn Fn(u64) -> f64| -> f64 {
+                        order[..K].iter().map(|&c| (est(c as u64) - truth[c]).abs()).sum::<f64>()
+                            / K as f64
+                    };
+                    vec![
+                        mean_abs(&|c| cms.query(c)),
+                        mean_abs(&mg_query),
+                        top_err(&|c| cms.query(c)),
+                        top_err(&mg_query),
+                        memory as f64,
+                    ]
+                },
+            )
+            .with_param("zipf_exponent", exponent)
+            .with_param("n", n)
+            .with_param("level", level)
+            .with_param("epsilon", EPSILON),
+        );
+    }
+    sweep
+}
+
+/// Prints the CMS-vs-MG error comparison.
+pub fn report(result: &SweepResult) {
+    let first = &result.cells[0];
+    println!("== E13: private Count-Min vs private Misra-Gries for subdomain counting ==");
+    println!(
+        "   n={}, 2^{} subdomains, eps={EPSILON}, equal memory budgets\n",
+        first.param_display("n"),
+        first.param_display("level")
+    );
+
+    let mut table = Table::new(&[
+        "zipf s",
+        "memory (words)",
+        "CMS mean |err|",
+        "MG mean |err|",
+        "CMS top-k |err|",
+        "MG top-k |err|",
+    ]);
+    for cell in &result.cells {
+        table.row(vec![
+            cell.param_display("zipf_exponent"),
+            format!("{:.0}", cell.summary("memory_words").mean),
+            fmt(cell.summary("cms_mean_abs_error").mean),
+            fmt(cell.summary("mg_mean_abs_error").mean),
+            fmt(cell.summary("cms_top_k_error").mean),
+            fmt(cell.summary("mg_top_k_error").mean),
+        ]);
+    }
+    table.print();
+
+    println!("\nExpected shape (§2.1): in the deep-level regime (subdomains >> memory),");
+    println!("MG pays its n/(m+1) decrement bias on every non-retained key while the");
+    println!("CMS error tracks the tail norm; CMS should win on flat-to-moderate skew");
+    println!("and stay competitive on the pruning-critical top-k cells everywhere.");
+}

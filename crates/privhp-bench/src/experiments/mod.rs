@@ -1,0 +1,168 @@
+//! The declarative experiment suite.
+//!
+//! Each experiment is a pair of functions — `sweep(scale)` *declares* its
+//! (method × workload × parameter) grid as a [`Sweep`], and
+//! `report(&SweepResult)` prints the paper-facing table plus the expected-
+//! shape commentary from the finished results. The `exp_*` binaries are
+//! thin shims over [`run_one`]; `exp_all` feeds every sweep of [`all`] into
+//! one [`crate::sweep::run_sweeps`] pool so cross-experiment cells
+//! interleave and suite wall-clock approaches the longest cell chain
+//! instead of the sum of the sweeps.
+//!
+//! [`Scale::Smoke`] shrinks stream sizes and trial counts so the whole
+//! suite (`exp_all --smoke`, also the CI step and the integration test)
+//! completes in seconds while still exercising every grid.
+
+pub mod ablation_consistency;
+pub mod ablation_sketch;
+pub mod ablation_sketchkind;
+pub mod continual;
+pub mod decomposition;
+pub mod downstream;
+pub mod epsilon_sweep;
+pub mod memory_sweep;
+pub mod privacy_audit;
+pub mod scaling;
+pub mod sketch_error;
+pub mod skew_sweep;
+pub mod table1;
+
+use crate::report::write_sweep_json;
+use crate::runner::default_threads;
+use crate::sweep::{run_sweeps, Sweep, SweepResult};
+
+/// How big to build a sweep: the paper-scale grid or a seconds-long smoke
+/// version of the same grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale streams and trial counts.
+    Full,
+    /// Shrunk streams; trials come from `PRIVHP_TRIALS` (default 2).
+    Smoke,
+}
+
+impl Scale {
+    /// Picks a size by scale.
+    pub fn pick(self, full: usize, smoke: usize) -> usize {
+        match self {
+            Scale::Full => full,
+            Scale::Smoke => smoke,
+        }
+    }
+
+    /// Picks a trial count: `full` at full scale; at smoke scale
+    /// `PRIVHP_TRIALS` (floor 2, default 2).
+    pub fn trials(self, full: usize) -> usize {
+        match self {
+            Scale::Full => full,
+            Scale::Smoke => crate::trials_from_env_or(2),
+        }
+    }
+}
+
+/// One registered experiment: its JSON/file name, grid builder, and report
+/// printer.
+#[derive(Clone, Copy)]
+pub struct Experiment {
+    /// Sweep name (also the `bench_results/<name>.json` stem).
+    pub name: &'static str,
+    /// Declares the grid at the given scale.
+    pub build: fn(Scale) -> Sweep,
+    /// Prints the paper-facing table and expected-shape commentary.
+    pub report: fn(&SweepResult),
+}
+
+/// Every registered experiment, in the paper's E-numbering order. This is
+/// the suite `exp_all` runs and the smoke test exercises.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            name: "exp_table1_d1",
+            build: |s| table1::sweep(1, s),
+            report: table1::report,
+        },
+        Experiment {
+            name: "exp_table1_d2",
+            build: |s| table1::sweep(2, s),
+            report: table1::report,
+        },
+        Experiment {
+            name: memory_sweep::NAME,
+            build: memory_sweep::sweep,
+            report: memory_sweep::report,
+        },
+        Experiment {
+            name: epsilon_sweep::NAME,
+            build: epsilon_sweep::sweep,
+            report: epsilon_sweep::report,
+        },
+        Experiment { name: skew_sweep::NAME, build: skew_sweep::sweep, report: skew_sweep::report },
+        Experiment { name: scaling::NAME, build: scaling::sweep, report: scaling::report },
+        Experiment {
+            name: sketch_error::NAME,
+            build: sketch_error::sweep,
+            report: sketch_error::report,
+        },
+        Experiment {
+            name: decomposition::NAME,
+            build: decomposition::sweep,
+            report: decomposition::report,
+        },
+        Experiment {
+            name: privacy_audit::NAME,
+            build: privacy_audit::sweep,
+            report: privacy_audit::report,
+        },
+        Experiment {
+            name: ablation_consistency::NAME,
+            build: ablation_consistency::sweep,
+            report: ablation_consistency::report,
+        },
+        Experiment {
+            name: ablation_sketch::NAME,
+            build: ablation_sketch::sweep,
+            report: ablation_sketch::report,
+        },
+        Experiment { name: continual::NAME, build: continual::sweep, report: continual::report },
+        Experiment { name: downstream::NAME, build: downstream::sweep, report: downstream::report },
+        Experiment {
+            name: ablation_sketchkind::NAME,
+            build: ablation_sketchkind::sweep,
+            report: ablation_sketchkind::report,
+        },
+    ]
+}
+
+/// Builds every registered sweep at the given scale (declaration only — no
+/// tasks run until the sweeps are handed to the scheduler).
+pub fn build_all(scale: Scale) -> Vec<Sweep> {
+    all().iter().map(|e| (e.build)(scale)).collect()
+}
+
+/// `--smoke` on any experiment binary selects the smoke scale.
+pub fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Full
+    }
+}
+
+/// Runs one experiment end-to-end: build the grid, schedule it on the
+/// default pool, print the report, write the sweep JSON.
+pub fn run_experiment(exp: &Experiment, scale: Scale) {
+    let results = run_sweeps(vec![(exp.build)(scale)], default_threads());
+    let result = &results[0];
+    (exp.report)(result);
+    write_sweep_json(result);
+}
+
+/// Entry point for the thin `exp_*` binaries: look up a registered
+/// experiment by name and run it at the scale given by the CLI args.
+pub fn run_one(name: &str) {
+    let exp = all()
+        .into_iter()
+        .find(|e| e.name == name)
+        .unwrap_or_else(|| panic!("experiment `{name}` is not registered"));
+    run_experiment(&exp, scale_from_args());
+}

@@ -1,0 +1,105 @@
+//! **E6 — Corollary 1 performance claims**: update time, build time and
+//! memory as the stream grows.
+//!
+//! Paper claims: update time `O(log(εn)·log n)` per item (a root-to-leaf
+//! walk touching one counter or sketch per level, each sketch update
+//! costing `O(log n)` rows), release time `O(M log n)`, and memory
+//! `M = O(k·log²n)` — i.e. near-flat in `n` while PMM's memory grows
+//! linearly.
+
+use super::Scale;
+use crate::report::{fmt, Table};
+use crate::sweep::{Cell, Sweep, SweepResult};
+use privhp_core::{PrivHpBuilder, PrivHpConfig};
+use privhp_domain::UnitInterval;
+use privhp_dp::rng::{mix64, DeterministicRng};
+use privhp_workloads::{GaussianMixture, Workload};
+use rand::SeedableRng;
+
+/// Sweep name.
+pub const NAME: &str = "exp_scaling";
+
+const EPSILON: f64 = 1.0;
+const K: usize = 16;
+const METRICS: [&str; 5] =
+    ["update_ns_per_item", "finalize_ms", "privhp_memory_words", "pmm_memory_words", "k_log2n_sq"];
+
+/// Declares one single-trial cell per stream size `n = 2^exp`. The metrics
+/// are wall-clock timings, so every cell is `exclusive()`: the pool runs it
+/// alone, exactly like the old sequential binary, even under `exp_all`.
+pub fn sweep(scale: Scale) -> Sweep {
+    let exps: &[usize] = match scale {
+        Scale::Full => &[10, 12, 14, 16, 18, 20],
+        Scale::Smoke => &[10, 12],
+    };
+    let mut sweep = Sweep::new(NAME);
+    for &exp in exps {
+        let n = 1usize << exp;
+        sweep.cell(
+            Cell::new(format!("n=2^{exp}"), 1, &METRICS, move |ctx| {
+                let mut wl = DeterministicRng::seed_from_u64(mix64(ctx.seed ^ 0xDA7A));
+                let data: Vec<f64> = GaussianMixture::three_modes(1).generate(n, &mut wl);
+                let config = PrivHpConfig::for_domain(EPSILON, n, K).with_seed(ctx.seed);
+                let depth = config.depth;
+                let mut rng = DeterministicRng::seed_from_u64(mix64(ctx.seed ^ 0xBEEF));
+                let mut builder = PrivHpBuilder::new(UnitInterval::new(), config, &mut rng)
+                    .expect("valid config");
+
+                let t0 = std::time::Instant::now();
+                for x in &data {
+                    builder.ingest(x);
+                }
+                let ingest = t0.elapsed();
+                let memory = builder.memory_words();
+
+                let t1 = std::time::Instant::now();
+                let g = builder.finalize();
+                let finalize = t1.elapsed();
+                let _ = g;
+
+                let pmm_words = 2 * ((1usize << (depth + 1)) - 1);
+                let theory = K as f64 * (n as f64).log2().powi(2);
+                vec![
+                    ingest.as_nanos() as f64 / n as f64,
+                    finalize.as_secs_f64() * 1e3,
+                    memory as f64,
+                    pmm_words as f64,
+                    theory,
+                ]
+            })
+            .with_param("n", n)
+            .with_param("epsilon", EPSILON)
+            .with_param("k", K)
+            .exclusive(),
+        );
+    }
+    sweep
+}
+
+/// Prints the throughput/memory scaling table.
+pub fn report(result: &SweepResult) {
+    println!("== E6 (Cor. 1): throughput and memory scaling (eps={EPSILON}, k={K}) ==\n");
+    let mut table = Table::new(&[
+        "n",
+        "update ns/item",
+        "finalize ms",
+        "PrivHP words",
+        "PMM words (2^(L+1))",
+        "k*log2(n)^2",
+    ]);
+    for cell in &result.cells {
+        let n = cell.param("n").and_then(|p| p.as_i64()).expect("n param");
+        table.row(vec![
+            format!("2^{}", (n as f64).log2().round() as usize),
+            fmt(cell.summary("update_ns_per_item").mean),
+            fmt(cell.summary("finalize_ms").mean),
+            format!("{:.0}", cell.summary("privhp_memory_words").mean),
+            format!("{:.0}", cell.summary("pmm_memory_words").mean),
+            format!("{:.0}", cell.summary("k_log2n_sq").mean),
+        ]);
+    }
+    table.print();
+
+    println!("\nExpected shape (Cor. 1): update cost grows ~log^2(n) (polylog, not linear);");
+    println!("PrivHP memory tracks k*log^2(n) while the PMM column grows ~linearly in n.");
+}

@@ -1,0 +1,117 @@
+//! **E1/E2 — Table 1**: accuracy (expected W1) vs memory for PrivHP and
+//! every comparator, in `d = 1` and `d ≥ 2`.
+//!
+//! Paper claim (Table 1): PMM achieves the best accuracy with `O(εn)`
+//! memory; PrivHP matches its *shape* with `M = O(k log²n)` memory at the
+//! cost of an extra `‖tail_k‖/(M^{1/d}n)` term; SRRW pays an extra log
+//! factor; Uniform is the data-independent floor.
+
+use super::Scale;
+use crate::methods::{run_method_1d, run_method_nd, Method, MethodRegistry};
+use crate::report::{fmt_pm, Table};
+use crate::sweep::{seed_stream, trial_seed, Cell, Sweep, SweepResult};
+use crate::trials_from_env;
+use privhp_domain::{Hypercube, UnitInterval};
+use privhp_dp::rng::DeterministicRng;
+use privhp_workloads::{GaussianMixture, Workload, ZipfCells};
+use rand::SeedableRng;
+
+const WORKLOADS: [&str; 2] = ["gaussian-mixture", "zipf(s=1.2)"];
+const EVAL_DEPTH_ND: usize = 9;
+
+/// Sweep name for a given dimensionality.
+pub fn name(dim: usize) -> String {
+    format!("exp_table1_d{dim}")
+}
+
+/// Declares the workload × n × method grid for dimension `dim`. The
+/// registry decides which methods run at this dimensionality; the sweep
+/// only chooses the PrivHP pruning parameters to expand. All methods at one
+/// (workload, n) grid point see the same per-trial data draw.
+pub fn sweep(dim: usize, scale: Scale) -> Sweep {
+    let epsilon = 1.0;
+    let trials = scale.trials(trials_from_env());
+    let ns: Vec<usize> = match (dim, scale) {
+        (1, Scale::Full) => vec![1 << 12, 1 << 14, 1 << 16],
+        (_, Scale::Full) => vec![1 << 12, 1 << 14],
+        _ => vec![1 << 10],
+    };
+    let privhp_ks = [8usize, 32];
+    let methods: Vec<Method> = if dim == 1 {
+        MethodRegistry::<UnitInterval>::standard_1d().suite(1, &privhp_ks)
+    } else {
+        MethodRegistry::<Hypercube>::standard().suite(dim, &privhp_ks)
+    };
+
+    let sweep_name = name(dim);
+    let mut sweep = Sweep::new(sweep_name.clone());
+    for (w, workload_name) in WORKLOADS.into_iter().enumerate() {
+        for &n in &ns {
+            let data_stream = seed_stream(&sweep_name, &[w as u64, n as u64]);
+            for &method in &methods {
+                sweep.cell(
+                    Cell::new(
+                        format!("{workload_name}/n={n}/{}", method.name()),
+                        trials,
+                        &["w1", "memory_words", "build_seconds"],
+                        move |ctx| {
+                            let mut wl_rng = DeterministicRng::seed_from_u64(trial_seed(
+                                data_stream,
+                                ctx.trial as u64,
+                            ));
+                            let out = if dim == 1 {
+                                let data: Vec<f64> = match w {
+                                    0 => GaussianMixture::three_modes(1).generate(n, &mut wl_rng),
+                                    _ => ZipfCells::new(10, 1.2, 1, 99).generate(n, &mut wl_rng),
+                                };
+                                run_method_1d(method, epsilon, &data, ctx.seed)
+                            } else {
+                                let data: Vec<Vec<f64>> = match w {
+                                    0 => GaussianMixture::three_modes(dim).generate(n, &mut wl_rng),
+                                    _ => ZipfCells::new(10, 1.2, dim, 99).generate(n, &mut wl_rng),
+                                };
+                                run_method_nd(method, epsilon, &data, dim, EVAL_DEPTH_ND, ctx.seed)
+                            };
+                            vec![out.w1, out.memory_words as f64, out.build_seconds]
+                        },
+                    )
+                    .with_param("dim", dim)
+                    .with_param("workload", workload_name)
+                    .with_param("n", n)
+                    .with_param("method", method.name())
+                    .with_param("epsilon", epsilon),
+                );
+            }
+        }
+    }
+    sweep
+}
+
+/// Prints the Table-1 comparison and expected shape.
+pub fn report(result: &SweepResult) {
+    let first = &result.cells[0];
+    println!(
+        "== E1/E2 (Table 1): accuracy vs memory, d={}, eps={}, {} trials ==\n",
+        first.param_display("dim"),
+        first.param_display("epsilon"),
+        first.trials
+    );
+    let mut table = Table::new(&["workload", "n", "method", "E[W1]", "memory (words)"]);
+    for cell in &result.cells {
+        let s = cell.summary("w1");
+        let mem = cell.summary("memory_words").mean;
+        table.row(vec![
+            cell.param_display("workload"),
+            cell.param_display("n"),
+            cell.param_display("method"),
+            fmt_pm(s.mean, s.std_error),
+            format!("{mem:.0}"),
+        ]);
+    }
+    table.print();
+
+    println!("\nExpected shape (paper Table 1):");
+    println!("  * NonPrivate < PMM <= PrivHP(k=32) <= PrivHP(k=8) << Uniform in W1;");
+    println!("  * SRRW >= PMM (uniform budget split costs a log factor);");
+    println!("  * memory: PrivHP O(k log^2 n) << PMM/SRRW O(eps*n); PrivHP memory ~flat in n.");
+}

@@ -10,28 +10,42 @@
 //!   the data and a tree generator is computed *exactly* against the
 //!   piecewise-uniform leaf density ([`eval::w1_generator_1d`]); Monte-Carlo
 //!   sampling is only used where unavoidable (`d ≥ 2`, via tree-`W1`);
-//! * **Deterministic** — every trial derives its RNG from
-//!   `(experiment seed, trial index)`;
-//! * **Parallel** — trials fan out over threads with `crossbeam::scope`
-//!   ([`runner::run_trials`]), since `E[W1]` needs dozens of independent
-//!   runs per configuration;
-//! * **Recorded** — [`report`] prints aligned tables and appends JSON rows
-//!   under `bench_results/`.
+//! * **Deterministic** — every (cell, trial) seed comes from one
+//!   splitmix64-style mixer ([`sweep::trial_seed`]), collision-free within a
+//!   sweep and independent of scheduling;
+//! * **Scheduled** — experiments declare their (method × workload ×
+//!   parameter) grids as [`sweep::Sweep`]s; the engine flattens every
+//!   (cell × trial) task into one queue drained by a process-wide pool
+//!   ([`sweep::run_sweeps`]), so whole suites (`exp_all`) interleave their
+//!   cells instead of running sweep-by-sweep;
+//! * **Recorded** — [`report`] prints aligned tables and writes one JSON
+//!   document per sweep (experiment, cell params, summaries, timings) under
+//!   `bench_results/`.
 
 pub mod eval;
+pub mod experiments;
 pub mod methods;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 
 /// Default number of independent trials used when estimating `E[W1]`.
 pub const DEFAULT_TRIALS: usize = 24;
 
 /// Trial count, overridable with `PRIVHP_TRIALS` (floor 2) so constrained
 /// machines can regenerate the tables at reduced statistical resolution.
+/// (`PRIVHP_THREADS` similarly overrides the pool size — see
+/// [`runner::default_threads`].)
 pub fn trials_from_env() -> usize {
+    trials_from_env_or(DEFAULT_TRIALS)
+}
+
+/// `PRIVHP_TRIALS` (floor 2) with a caller-chosen default — the one place
+/// the env-var contract lives (smoke scale uses a default of 2).
+pub fn trials_from_env_or(default: usize) -> usize {
     std::env::var("PRIVHP_TRIALS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .map(|t| t.max(2))
-        .unwrap_or(DEFAULT_TRIALS)
+        .unwrap_or(default)
 }

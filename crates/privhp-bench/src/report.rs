@@ -61,19 +61,29 @@ impl Table {
     }
 }
 
-/// Directory where JSON results are written (`bench_results/` at the
-/// workspace root, or the current directory as a fallback).
+/// Directory where JSON results are written: `PRIVHP_RESULTS_DIR` if set,
+/// else `bench_results/` anchored at the workspace root (found by walking up
+/// from this crate's manifest dir to the first ancestor with a
+/// `Cargo.lock`), so results land in one place no matter which directory a
+/// binary runs from.
 pub fn results_dir() -> PathBuf {
-    // The binaries run from the workspace root via `cargo run`; fall back
-    // gracefully if the layout differs.
-    let candidates = [PathBuf::from("bench_results"), PathBuf::from("../bench_results")];
-    for c in &candidates {
-        if c.is_dir() {
-            return c.clone();
+    let dir = match std::env::var("PRIVHP_RESULTS_DIR") {
+        Ok(d) if !d.is_empty() => PathBuf::from(d),
+        _ => {
+            let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            while !root.join("Cargo.lock").exists() {
+                if !root.pop() {
+                    // Detached from the build tree (e.g. a copied binary):
+                    // fall back to the invocation directory.
+                    root = PathBuf::from(".");
+                    break;
+                }
+            }
+            root.join("bench_results")
         }
-    }
-    std::fs::create_dir_all("bench_results").ok();
-    PathBuf::from("bench_results")
+    };
+    std::fs::create_dir_all(&dir).ok();
+    dir
 }
 
 /// Serialises `rows` as pretty JSON to `bench_results/<name>.json`.
@@ -90,6 +100,14 @@ pub fn write_json<T: Serialize>(name: &str, rows: &T) {
         }
         Err(e) => eprintln!("warning: could not create {}: {e}", path.display()),
     }
+}
+
+/// Writes a [`crate::sweep::SweepResult`] as `bench_results/<experiment>.json`
+/// — the unified per-sweep schema (`experiment`, cell params, per-metric
+/// `Summary`, wall/CPU timing), one document per sweep, so `bench_results/`
+/// is machine-diffable across PRs.
+pub fn write_sweep_json(result: &crate::sweep::SweepResult) {
+    write_json(&result.experiment, result);
 }
 
 /// Formats a float with 5 significant decimals for table cells.

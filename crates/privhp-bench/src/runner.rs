@@ -6,14 +6,23 @@
 //! threads (`std::thread::scope` — no external thread-pool dependency; no
 //! work stealing needed since trials within one sweep have near-identical
 //! cost).
+//!
+//! This is the standalone single-cell primitive, kept as public API for
+//! callers outside the experiment suite (benches, one-off scripts). The
+//! suite itself no longer calls it: whole (method × workload × parameter)
+//! grids go through [`crate::sweep::run_sweeps`], which schedules the
+//! trials of *many* cells over one shared pool — scheduler features
+//! (exclusive cells, setup billing) live only there.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Runs `trials` independent evaluations of `f` (given the trial index) in
 /// parallel and returns the results in trial order.
 ///
-/// `f` must be deterministic in the trial index for reproducibility.
+/// `f` must be deterministic in the trial index for reproducibility. Each
+/// task owns a distinct output slot: workers stream `(index, result)` pairs
+/// over a channel and the caller's thread places them — no shared mutex on
+/// the result path, workers race only on the queue-head counter.
 pub fn run_trials<T, F>(trials: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -21,33 +30,40 @@ where
 {
     assert!(trials > 0, "need at least one trial");
     let threads = threads.clamp(1, trials);
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..trials).map(|_| None).collect());
+    let mut slots: Vec<Option<T>> = (0..trials).map(|_| None).collect();
     let next = AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
+            let tx = tx.clone();
+            let (next, f) = (&next, &f);
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= trials {
                     break;
                 }
-                let out = f(i);
-                results.lock().expect("trial thread panicked")[i] = Some(out);
+                tx.send((i, f(i))).expect("receiver outlives workers");
             });
+        }
+        drop(tx); // the receive loop ends when the last worker finishes
+        for (i, out) in rx {
+            debug_assert!(slots[i].is_none(), "trial slot {i} filled twice");
+            slots[i] = Some(out);
         }
     });
 
-    results
-        .into_inner()
-        .expect("trial thread panicked")
-        .into_iter()
-        .map(|r| r.expect("every trial filled"))
-        .collect()
+    slots.into_iter().map(|s| s.expect("every trial filled")).collect()
 }
 
-/// Default parallelism: available cores capped at 8 (experiment binaries
-/// run many sweeps; beyond 8 threads the memory traffic dominates).
+/// Default parallelism: `PRIVHP_THREADS` if set (≥ 1), else available cores
+/// capped at 8 (experiment binaries run many sweeps; beyond 8 threads the
+/// memory traffic dominates — the env var is the escape hatch for bigger
+/// machines).
 pub fn default_threads() -> usize {
+    if let Some(n) = std::env::var("PRIVHP_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        return n.max(1);
+    }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
 }
 
@@ -78,5 +94,11 @@ mod tests {
         let a = run_trials(8, 4, |i| i as f64 * 0.5);
         let b = run_trials(8, 2, |i| i as f64 * 0.5);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn non_copy_results_supported() {
+        let out = run_trials(4, 2, |i| vec![i; i + 1]);
+        assert_eq!(out[3], vec![3, 3, 3, 3]);
     }
 }

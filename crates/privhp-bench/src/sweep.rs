@@ -1,0 +1,792 @@
+//! The sweep engine: declarative (method × workload × parameter) grids
+//! scheduled across one process-wide thread pool.
+//!
+//! Every `E[W1]` number the paper reports is an average over many trials of
+//! many grid cells. [`crate::runner::run_trials`] parallelises the trials of
+//! *one* cell; this module lifts the whole grid — and, via [`run_sweeps`],
+//! the grids of *several experiments at once* — into a single work queue:
+//!
+//! * a [`Sweep`] is one experiment's grid: a named list of [`Cell`]s, each
+//!   carrying a parameter map (for the JSON report), a trial count, metric
+//!   names, and the task closure;
+//! * seeds are assigned by a splitmix64-style mixer ([`trial_seed`]) over a
+//!   per-sweep stream and the flat (cell, trial) index — bijective in the
+//!   index, so seeds are collision-free within a sweep and independent of
+//!   scheduling (results are identical for any thread count);
+//! * [`run_sweeps`] flattens all (cell × trial) tasks into one queue drained
+//!   by a shared pool of scoped threads. Each task writes its result into a
+//!   distinct pre-allocated slot, so the result path is lock-free. Cells
+//!   from different sweeps interleave freely: total wall-clock approaches
+//!   the longest single chain instead of the sum of the sweeps;
+//! * results come back as [`SweepResult`]s — per-cell metric [`Summary`]s
+//!   plus wall/CPU timings — with one JSON document per sweep (see
+//!   [`crate::report::write_sweep_json`]), so `bench_results/` is
+//!   machine-diffable across PRs.
+
+use privhp_dp::rng::mix64;
+use privhp_metrics::stats::Summary;
+use serde::{Serialize, Value};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+// ---- seeding --------------------------------------------------------------
+
+/// Derives a named seed stream from a label and parameter words.
+///
+/// Experiments use streams for *paired* randomness: two cells that must see
+/// the same data draw per trial (e.g. every method at one grid point) derive
+/// the workload seed from the same stream via [`trial_seed`] instead of the
+/// engine-assigned per-cell seed.
+pub fn seed_stream(label: &str, parts: &[u64]) -> u64 {
+    // FNV-1a over the label, then splitmix64-fold the parameter words.
+    let mut s: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        s ^= b as u64;
+        s = s.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for &p in parts {
+        s = mix64(s ^ p);
+    }
+    mix64(s)
+}
+
+/// The `index`-th seed of a stream: splitmix64 finalisation of
+/// `stream + index·γ` (γ the splitmix64 golden constant).
+///
+/// Every step is a bijection on `u64`, so for a fixed stream distinct
+/// indices always yield distinct seeds — this is what replaces the ad-hoc
+/// `BASE + trial*131 + (eps*1000)` seeding the experiment binaries used to
+/// hand-roll (which could and did collide across grid cells).
+pub fn trial_seed(stream: u64, index: u64) -> u64 {
+    mix64(stream.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+// ---- declarative description ----------------------------------------------
+
+/// What a task closure receives: its trial index and the engine-assigned
+/// collision-free seed.
+#[derive(Debug)]
+pub struct TrialCtx {
+    /// Trial index within the cell, `0..trials`.
+    pub trial: usize,
+    /// Total trials of the cell.
+    pub trials: usize,
+    /// Engine-assigned seed, unique across every (cell, trial) of the sweep
+    /// and independent of scheduling.
+    pub seed: u64,
+    /// Microseconds this task spent blocked (not working) — subtracted from
+    /// the cell's `cpu_seconds` billing. Fed by [`TrialCtx::shared_setup`].
+    excluded_us: AtomicU64,
+}
+
+impl TrialCtx {
+    fn new(trial: usize, trials: usize, seed: u64) -> Self {
+        Self { trial, trials, seed, excluded_us: AtomicU64::new(0) }
+    }
+
+    /// Resolves a cell's shared lazy setup. Tasks racing the same
+    /// `OnceLock` serialise on it; the task that actually runs `init` is
+    /// billed for the work, while tasks that merely block waiting have the
+    /// wait excluded from their cell's `cpu_seconds` (it is not CPU time).
+    /// Wall-clock spans still include the wait.
+    pub fn shared_setup<'a, T>(&self, slot: &'a OnceLock<T>, init: impl FnOnce() -> T) -> &'a T {
+        if let Some(v) = slot.get() {
+            return v;
+        }
+        let t0 = Instant::now();
+        let mut built_here = false;
+        let v = slot.get_or_init(|| {
+            built_here = true;
+            init()
+        });
+        if !built_here {
+            self.excluded_us.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        }
+        v
+    }
+}
+
+/// A scalar cell parameter, recorded in the JSON report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// A floating-point parameter (ε, a Zipf exponent, …).
+    Float(f64),
+    /// An integral parameter (n, k, a depth, …).
+    Int(i64),
+    /// A categorical parameter (method or workload name, …).
+    Str(String),
+    /// A boolean parameter (an ablation toggle, …).
+    Bool(bool),
+}
+
+impl ParamValue {
+    /// Numeric view (integers widen losslessly for typical magnitudes).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            ParamValue::Float(f) => Some(f),
+            ParamValue::Int(i) => Some(i as f64),
+            _ => None,
+        }
+    }
+
+    /// Integral view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            ParamValue::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ParamValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<f64> for ParamValue {
+    fn from(v: f64) -> Self {
+        ParamValue::Float(v)
+    }
+}
+
+impl From<usize> for ParamValue {
+    fn from(v: usize) -> Self {
+        ParamValue::Int(v as i64)
+    }
+}
+
+impl From<i64> for ParamValue {
+    fn from(v: i64) -> Self {
+        ParamValue::Int(v)
+    }
+}
+
+impl From<&str> for ParamValue {
+    fn from(v: &str) -> Self {
+        ParamValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ParamValue {
+    fn from(v: String) -> Self {
+        ParamValue::Str(v)
+    }
+}
+
+impl From<bool> for ParamValue {
+    fn from(v: bool) -> Self {
+        ParamValue::Bool(v)
+    }
+}
+
+impl Serialize for ParamValue {
+    fn to_value(&self) -> Value {
+        match self {
+            ParamValue::Float(f) => Value::Float(*f),
+            ParamValue::Int(i) => Value::Int(*i),
+            ParamValue::Str(s) => Value::String(s.clone()),
+            ParamValue::Bool(b) => Value::Bool(*b),
+        }
+    }
+}
+
+impl std::fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamValue::Float(x) => write!(f, "{x}"),
+            ParamValue::Int(i) => write!(f, "{i}"),
+            ParamValue::Str(s) => write!(f, "{s}"),
+            ParamValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// The task run once per trial of a cell; returns one value per declared
+/// metric. Must be deterministic in the [`TrialCtx`].
+pub type TaskFn = Box<dyn Fn(&TrialCtx) -> Vec<f64> + Send + Sync>;
+
+/// One grid point of a sweep: identity (label + parameter map), trial
+/// count, metric names, and the task closure.
+pub struct Cell {
+    label: String,
+    params: Vec<(&'static str, ParamValue)>,
+    trials: usize,
+    metrics: Vec<&'static str>,
+    exclusive: bool,
+    run: TaskFn,
+}
+
+impl Cell {
+    /// Creates a cell. `metrics` names the slots of the task's return
+    /// vector; the task must return exactly one value per metric.
+    pub fn new(
+        label: impl Into<String>,
+        trials: usize,
+        metrics: &[&'static str],
+        run: impl Fn(&TrialCtx) -> Vec<f64> + Send + Sync + 'static,
+    ) -> Self {
+        assert!(trials > 0, "cell needs at least one trial");
+        assert!(!metrics.is_empty(), "cell needs at least one metric");
+        Self {
+            label: label.into(),
+            params: Vec::new(),
+            trials,
+            metrics: metrics.to_vec(),
+            exclusive: false,
+            run: Box::new(run),
+        }
+    }
+
+    /// Attaches a parameter for the JSON report (builder style).
+    pub fn with_param(mut self, key: &'static str, value: impl Into<ParamValue>) -> Self {
+        self.params.push((key, value.into()));
+        self
+    }
+
+    /// Marks the cell's tasks as *exclusive*: each runs with no other task
+    /// of the pool in flight. For cells whose metrics are wall-clock
+    /// timings — concurrent cells would contend for cache/memory bandwidth
+    /// and inflate the measurement.
+    pub fn exclusive(mut self) -> Self {
+        self.exclusive = true;
+        self
+    }
+
+    /// The cell's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Number of trials.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+}
+
+/// One experiment's grid: an ordered list of cells under one name and one
+/// seed stream.
+pub struct Sweep {
+    experiment: String,
+    stream: u64,
+    cells: Vec<Cell>,
+}
+
+impl Sweep {
+    /// Creates an empty sweep; the seed stream derives from the name.
+    pub fn new(experiment: impl Into<String>) -> Self {
+        let experiment = experiment.into();
+        let stream = seed_stream(&experiment, &[]);
+        Self { experiment, stream, cells: Vec::new() }
+    }
+
+    /// Appends a cell. Labels must be unique within the sweep.
+    pub fn cell(&mut self, cell: Cell) {
+        assert!(
+            self.cells.iter().all(|c| c.label != cell.label),
+            "duplicate cell label `{}` in sweep `{}`",
+            cell.label,
+            self.experiment
+        );
+        self.cells.push(cell);
+    }
+
+    /// The experiment name (also the JSON file stem).
+    pub fn experiment(&self) -> &str {
+        &self.experiment
+    }
+
+    /// The sweep's seed stream.
+    pub fn stream(&self) -> u64 {
+        self.stream
+    }
+
+    /// The cells, in declaration order.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Every engine-assigned (cell, trial) seed, in flat declaration order
+    /// — what each task will observe as [`TrialCtx::seed`].
+    pub fn assigned_seeds(&self) -> Vec<u64> {
+        let total: usize = self.cells.iter().map(|c| c.trials).sum();
+        (0..total as u64).map(|i| trial_seed(self.stream, i)).collect()
+    }
+}
+
+// ---- results ---------------------------------------------------------------
+
+/// Per-cell outcome: raw per-trial metric values plus timing.
+pub struct CellResult {
+    /// The cell's label.
+    pub label: String,
+    /// The cell's parameter map.
+    pub params: Vec<(&'static str, ParamValue)>,
+    /// Number of trials run.
+    pub trials: usize,
+    /// Metric names, in task-return order.
+    pub metrics: Vec<&'static str>,
+    /// Raw values, trial-major: `values[trial][metric]`.
+    pub values: Vec<Vec<f64>>,
+    /// Wall-clock span from the first trial start to the last trial end
+    /// (cells interleave in the pool, so this can exceed `cpu_seconds /
+    /// threads`).
+    pub wall_seconds: f64,
+    /// Summed per-trial execution time.
+    pub cpu_seconds: f64,
+}
+
+impl CellResult {
+    /// The raw values of one metric, in trial order.
+    ///
+    /// # Panics
+    /// Panics if `metric` was not declared on the cell.
+    pub fn metric_values(&self, metric: &str) -> Vec<f64> {
+        let idx =
+            self.metrics.iter().position(|m| *m == metric).unwrap_or_else(|| {
+                panic!("metric `{metric}` not declared on cell `{}`", self.label)
+            });
+        self.values.iter().map(|v| v[idx]).collect()
+    }
+
+    /// Summary (mean ± SE) of one metric over the trials.
+    pub fn summary(&self, metric: &str) -> Summary {
+        Summary::of(&self.metric_values(metric))
+    }
+
+    /// Looks up a parameter by key.
+    pub fn param(&self, key: &str) -> Option<&ParamValue> {
+        self.params.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// The parameter rendered for table cells (empty string if absent).
+    pub fn param_display(&self, key: &str) -> String {
+        self.param(key).map(|p| p.to_string()).unwrap_or_default()
+    }
+}
+
+impl Serialize for CellResult {
+    fn to_value(&self) -> Value {
+        let params =
+            Value::Object(self.params.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect());
+        let metrics = Value::Object(
+            self.metrics.iter().map(|m| (m.to_string(), self.summary(m).to_value())).collect(),
+        );
+        Value::Object(vec![
+            ("label".into(), Value::String(self.label.clone())),
+            ("params".into(), params),
+            ("trials".into(), Value::Int(self.trials as i64)),
+            ("wall_seconds".into(), Value::Float(self.wall_seconds)),
+            ("cpu_seconds".into(), Value::Float(self.cpu_seconds)),
+            ("metrics".into(), metrics),
+        ])
+    }
+}
+
+/// One sweep's outcome: per-cell results plus suite-level timing.
+pub struct SweepResult {
+    /// The experiment name.
+    pub experiment: String,
+    /// Per-cell results, in declaration order.
+    pub cells: Vec<CellResult>,
+    /// Wall-clock of the whole `run_sweeps` call that produced this sweep
+    /// (shared across co-scheduled sweeps).
+    pub wall_seconds: f64,
+    /// Pool size used.
+    pub threads: usize,
+}
+
+impl SweepResult {
+    /// Looks up a cell by label.
+    ///
+    /// # Panics
+    /// Panics if no cell has that label.
+    pub fn cell(&self, label: &str) -> &CellResult {
+        self.cells
+            .iter()
+            .find(|c| c.label == label)
+            .unwrap_or_else(|| panic!("no cell `{label}` in sweep `{}`", self.experiment))
+    }
+}
+
+impl Serialize for SweepResult {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("experiment".into(), Value::String(self.experiment.clone())),
+            ("threads".into(), Value::Int(self.threads as i64)),
+            ("wall_seconds".into(), Value::Float(self.wall_seconds)),
+            ("cells".into(), Value::Array(self.cells.iter().map(Serialize::to_value).collect())),
+        ])
+    }
+}
+
+// ---- scheduler -------------------------------------------------------------
+
+/// Per-cell progress bookkeeping shared by the worker threads.
+struct CellProgress {
+    start_min_us: AtomicU64,
+    end_max_us: AtomicU64,
+    cpu_us: AtomicU64,
+    remaining: AtomicUsize,
+}
+
+impl CellProgress {
+    fn new(trials: usize) -> Self {
+        Self {
+            start_min_us: AtomicU64::new(u64::MAX),
+            end_max_us: AtomicU64::new(0),
+            cpu_us: AtomicU64::new(0),
+            remaining: AtomicUsize::new(trials),
+        }
+    }
+
+    fn wall_seconds(&self) -> f64 {
+        let start = self.start_min_us.load(Ordering::Relaxed);
+        let end = self.end_max_us.load(Ordering::Relaxed);
+        if start == u64::MAX {
+            0.0
+        } else {
+            (end.saturating_sub(start)) as f64 * 1e-6
+        }
+    }
+}
+
+/// Runs one sweep on its own pool — convenience wrapper over [`run_sweeps`].
+pub fn run_sweep(sweep: Sweep, threads: usize) -> SweepResult {
+    run_sweeps(vec![sweep], threads).pop().expect("one sweep in, one result out")
+}
+
+/// Flattens every (cell × trial) task of `sweeps` into a single work queue
+/// and drains it with a shared pool of `threads` scoped threads.
+///
+/// Tasks from different sweeps interleave freely, so the total wall-clock of
+/// a heterogeneous suite approaches the longest single task chain instead of
+/// the sum of per-sweep times. Results are written lock-free into
+/// pre-assigned slots and are bit-identical for any thread count: seeds are
+/// fixed by declaration order, never by scheduling.
+pub fn run_sweeps(sweeps: Vec<Sweep>, threads: usize) -> Vec<SweepResult> {
+    let t0 = Instant::now();
+
+    // Flat task list: (sweep, cell, trial, seed). Seeds use the sweep's
+    // stream and the flat index *within that sweep*, so co-scheduling
+    // sweeps never changes any seed.
+    let mut tasks: Vec<(usize, usize, usize, u64)> = Vec::new();
+    for (s, sweep) in sweeps.iter().enumerate() {
+        let mut flat = 0u64;
+        for (c, cell) in sweep.cells.iter().enumerate() {
+            for t in 0..cell.trials {
+                tasks.push((s, c, t, trial_seed(sweep.stream, flat)));
+                flat += 1;
+            }
+        }
+    }
+
+    // One pre-allocated slot per task: the result path needs no lock.
+    let slots: Vec<Vec<Vec<OnceLock<Vec<f64>>>>> = sweeps
+        .iter()
+        .map(|s| s.cells.iter().map(|c| (0..c.trials).map(|_| OnceLock::new()).collect()).collect())
+        .collect();
+    let progress: Vec<Vec<CellProgress>> = sweeps
+        .iter()
+        .map(|s| s.cells.iter().map(|c| CellProgress::new(c.trials)).collect())
+        .collect();
+
+    let total_cells: usize = sweeps.iter().map(|s| s.cells.len()).sum();
+    let cells_done = AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
+    let threads = threads.clamp(1, tasks.len().max(1));
+    // Exclusivity gate: ordinary tasks hold a read lock while running, an
+    // exclusive task takes the write lock — so it runs with the pool
+    // otherwise idle. `RwLock`'s reader/writer priority is platform-
+    // dependent, so waiting exclusive tasks are counted explicitly and
+    // ordinary tasks back off while any are pending — exclusive tasks
+    // cannot be starved by a continuous reader stream.
+    let gate = std::sync::RwLock::new(());
+    let exclusive_pending = AtomicUsize::new(0);
+
+    if !tasks.is_empty() {
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks.len() {
+                        break;
+                    }
+                    let (s, c, t, seed) = tasks[i];
+                    let cell = &sweeps[s].cells[c];
+                    let ctx = TrialCtx::new(t, cell.trials, seed);
+                    let (_shared, _excl);
+                    if cell.exclusive {
+                        exclusive_pending.fetch_add(1, Ordering::AcqRel);
+                        _excl = gate.write().expect("gate never poisoned");
+                        exclusive_pending.fetch_sub(1, Ordering::AcqRel);
+                    } else {
+                        _shared = loop {
+                            if exclusive_pending.load(Ordering::Acquire) > 0 {
+                                std::thread::yield_now();
+                                continue;
+                            }
+                            let guard = gate.read().expect("gate never poisoned");
+                            // Re-check: a writer may have registered between
+                            // the load and the acquisition; let it through.
+                            if exclusive_pending.load(Ordering::Acquire) == 0 {
+                                break guard;
+                            }
+                            drop(guard);
+                        };
+                    }
+                    let start_us = t0.elapsed().as_micros() as u64;
+                    let out = (cell.run)(&ctx);
+                    let end_us = t0.elapsed().as_micros() as u64;
+                    assert_eq!(
+                        out.len(),
+                        cell.metrics.len(),
+                        "cell `{}` returned {} values for {} metrics",
+                        cell.label,
+                        out.len(),
+                        cell.metrics.len()
+                    );
+                    if slots[s][c][t].set(out).is_err() {
+                        panic!("slot ({s}, {c}, {t}) filled twice");
+                    }
+                    let p = &progress[s][c];
+                    p.start_min_us.fetch_min(start_us, Ordering::Relaxed);
+                    p.end_max_us.fetch_max(end_us, Ordering::Relaxed);
+                    let blocked_us = ctx.excluded_us.load(Ordering::Relaxed);
+                    p.cpu_us.fetch_add(
+                        end_us.saturating_sub(start_us).saturating_sub(blocked_us),
+                        Ordering::Relaxed,
+                    );
+                    if p.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        let done = cells_done.fetch_add(1, Ordering::Relaxed) + 1;
+                        eprintln!(
+                            "[{done}/{total_cells}] {}/{} ({} trials, {:.1}s)",
+                            sweeps[s].experiment,
+                            cell.label,
+                            cell.trials,
+                            p.wall_seconds()
+                        );
+                    }
+                });
+            }
+        });
+    }
+
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    sweeps
+        .into_iter()
+        .zip(slots)
+        .zip(progress)
+        .map(|((sweep, cell_slots), cell_progress)| SweepResult {
+            experiment: sweep.experiment,
+            threads,
+            wall_seconds,
+            cells: sweep
+                .cells
+                .into_iter()
+                .zip(cell_slots)
+                .zip(cell_progress)
+                .map(|((cell, trial_slots), p)| CellResult {
+                    label: cell.label,
+                    params: cell.params,
+                    trials: cell.trials,
+                    metrics: cell.metrics,
+                    values: trial_slots
+                        .into_iter()
+                        .map(|s| s.into_inner().expect("every trial slot filled"))
+                        .collect(),
+                    wall_seconds: p.wall_seconds(),
+                    cpu_seconds: p.cpu_us.load(Ordering::Relaxed) as f64 * 1e-6,
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_sweep(cells: usize, trials: usize) -> Sweep {
+        let mut sweep = Sweep::new("toy");
+        for c in 0..cells {
+            sweep.cell(
+                Cell::new(format!("cell{c}"), trials, &["value", "seed_lo"], move |ctx| {
+                    vec![(c * 1000 + ctx.trial) as f64, (ctx.seed & 0xFFFF) as f64]
+                })
+                .with_param("c", c),
+            );
+        }
+        sweep
+    }
+
+    #[test]
+    fn results_in_declaration_order() {
+        let r = run_sweep(toy_sweep(3, 4), 2);
+        assert_eq!(r.cells.len(), 3);
+        for (c, cell) in r.cells.iter().enumerate() {
+            assert_eq!(cell.label, format!("cell{c}"));
+            let vals = cell.metric_values("value");
+            assert_eq!(vals, (0..4).map(|t| (c * 1000 + t) as f64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let a = run_sweep(toy_sweep(5, 6), 1);
+        let b = run_sweep(toy_sweep(5, 6), 8);
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.values, cb.values);
+        }
+    }
+
+    #[test]
+    fn seeds_are_collision_free_and_match_assignment() {
+        let sweep = toy_sweep(7, 9);
+        let assigned = sweep.assigned_seeds();
+        let mut unique = assigned.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), assigned.len(), "assigned seeds must not collide");
+
+        let r = run_sweep(sweep, 4);
+        let observed: Vec<u64> =
+            r.cells.iter().flat_map(|c| c.metric_values("seed_lo")).map(|x| x as u64).collect();
+        let expected: Vec<u64> = assigned.iter().map(|s| s & 0xFFFF).collect();
+        assert_eq!(observed, expected, "tasks observe the declared seeds");
+    }
+
+    #[test]
+    fn sweeps_share_one_pool_without_seed_interference() {
+        let solo = run_sweep(toy_sweep(2, 3), 2);
+        let mut other = Sweep::new("other");
+        other.cell(Cell::new("x", 5, &["v"], |ctx| vec![ctx.seed as f64]));
+        let both = run_sweeps(vec![toy_sweep(2, 3), other], 3);
+        assert_eq!(both.len(), 2);
+        for (a, b) in solo.cells.iter().zip(&both[0].cells) {
+            assert_eq!(a.values, b.values, "co-scheduling must not change seeds");
+        }
+    }
+
+    #[test]
+    fn summaries_and_params_round_trip() {
+        let r = run_sweep(toy_sweep(1, 4), 2);
+        let cell = r.cell("cell0");
+        let s = cell.summary("value");
+        assert_eq!(s.trials, 4);
+        assert!((s.mean - 1.5).abs() < 1e-12);
+        assert_eq!(cell.param("c").and_then(ParamValue::as_i64), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cell label")]
+    fn duplicate_labels_rejected() {
+        let mut sweep = Sweep::new("dup");
+        sweep.cell(Cell::new("a", 1, &["v"], |_| vec![0.0]));
+        sweep.cell(Cell::new("a", 1, &["v"], |_| vec![0.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "metric `missing`")]
+    fn unknown_metric_panics() {
+        let r = run_sweep(toy_sweep(1, 1), 1);
+        let _ = r.cells[0].summary("missing");
+    }
+
+    #[test]
+    fn exclusive_cells_run_alone() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let active = Arc::new(AtomicUsize::new(0));
+        let overlap_seen = Arc::new(AtomicUsize::new(0));
+        let mut sweep = Sweep::new("exclusive");
+        for c in 0..4 {
+            let active = Arc::clone(&active);
+            sweep.cell(Cell::new(format!("busy{c}"), 8, &["v"], move |ctx| {
+                active.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                active.fetch_sub(1, Ordering::SeqCst);
+                vec![ctx.trial as f64]
+            }));
+        }
+        let overlap = Arc::clone(&overlap_seen);
+        let active_probe = Arc::clone(&active);
+        sweep.cell(
+            Cell::new("timed", 4, &["v"], move |ctx| {
+                overlap.fetch_add(active_probe.load(Ordering::SeqCst), Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                overlap.fetch_add(active_probe.load(Ordering::SeqCst), Ordering::SeqCst);
+                vec![ctx.trial as f64]
+            })
+            .exclusive(),
+        );
+        run_sweep(sweep, 6);
+        assert_eq!(
+            overlap_seen.load(Ordering::SeqCst),
+            0,
+            "an exclusive task observed a concurrent ordinary task"
+        );
+    }
+
+    #[test]
+    fn shared_setup_bills_only_the_initialising_task() {
+        use std::sync::Arc;
+        let slot: Arc<OnceLock<u64>> = Arc::new(OnceLock::new());
+        let mut sweep = Sweep::new("setup-billing");
+        sweep.cell(Cell::new("waiters", 4, &["v"], move |ctx| {
+            let v = ctx.shared_setup(&slot, || {
+                std::thread::sleep(std::time::Duration::from_millis(80));
+                7
+            });
+            vec![*v as f64]
+        }));
+        let r = run_sweep(sweep, 4);
+        let cell = &r.cells[0];
+        assert_eq!(cell.metric_values("v"), vec![7.0; 4]);
+        // One task pays the 80ms setup; the three that blocked on it are
+        // not billed for the wait. Unfixed accounting would be ~4 × 80ms.
+        assert!(
+            cell.cpu_seconds < 0.240,
+            "waiting on shared setup must not be billed as CPU (got {}s)",
+            cell.cpu_seconds
+        );
+        assert!(cell.wall_seconds >= 0.075, "the setup span stays in wall-clock");
+    }
+
+    #[test]
+    fn trial_seed_is_bijective_in_index() {
+        let stream = seed_stream("bijective", &[]);
+        let seeds: std::collections::HashSet<u64> =
+            (0..10_000).map(|i| trial_seed(stream, i)).collect();
+        assert_eq!(seeds.len(), 10_000);
+    }
+
+    #[test]
+    fn streams_decorrelate_by_label_and_parts() {
+        assert_ne!(seed_stream("a", &[]), seed_stream("b", &[]));
+        assert_ne!(seed_stream("a", &[1]), seed_stream("a", &[2]));
+        assert_eq!(seed_stream("a", &[1, 2]), seed_stream("a", &[1, 2]));
+    }
+
+    #[test]
+    fn json_shape_has_schema_fields() {
+        let r = run_sweep(toy_sweep(2, 2), 1);
+        let v = r.to_value();
+        assert_eq!(v.get("experiment").and_then(Value::as_str), Some("toy"));
+        let cells = v.get("cells").and_then(Value::as_array).expect("cells array");
+        assert_eq!(cells.len(), 2);
+        let cell = &cells[0];
+        for key in ["label", "params", "trials", "wall_seconds", "cpu_seconds", "metrics"] {
+            assert!(cell.get(key).is_some(), "cell JSON must carry `{key}`");
+        }
+        let mean = cell
+            .get("metrics")
+            .and_then(|m| m.get("value"))
+            .and_then(|s| s.get("mean"))
+            .and_then(Value::as_f64);
+        assert_eq!(mean, Some(0.5));
+    }
+}

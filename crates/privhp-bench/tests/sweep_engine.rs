@@ -1,0 +1,118 @@
+//! Integration tests for the sweep engine and the declarative experiment
+//! suite: scheduling must never change results (any thread count, any
+//! co-scheduling), per-(cell, trial) seeds must be collision-free across
+//! every registered sweep, and `exp_all` in smoke mode must exercise every
+//! registered experiment end-to-end (grids, reports, JSON).
+
+use privhp_bench::experiments::{all, build_all, Scale};
+use privhp_bench::report::{results_dir, write_sweep_json};
+use privhp_bench::sweep::{run_sweeps, SweepResult};
+
+/// One sequential test owns every environment-dependent phase: libtest runs
+/// `#[test]`s on parallel threads, and `set_var` racing `env::var` readers
+/// is undefined behaviour on glibc — so all env mutation and all env
+/// consumption happen inside this single test body. (The sibling test below
+/// never touches the environment.)
+#[test]
+fn sweep_engine_end_to_end() {
+    std::env::set_var("PRIVHP_TRIALS", "2");
+    let json_dir = std::env::temp_dir().join("privhp_sweep_engine_test");
+    std::env::set_var("PRIVHP_RESULTS_DIR", json_dir.display().to_string());
+
+    // Phase 1 — byte-identical results across thread counts: a real
+    // experiment sweep (cheap CMS cells, fully driven by the
+    // engine-assigned seeds) at 1 vs 6 threads.
+    let build = || privhp_bench::experiments::sketch_error::sweep(Scale::Smoke);
+    let serial = run_sweeps(vec![build()], 1);
+    let parallel = run_sweeps(vec![build()], 6);
+    assert_eq!(serial[0].cells.len(), parallel[0].cells.len());
+    for (a, b) in serial[0].cells.iter().zip(&parallel[0].cells) {
+        assert_eq!(a.label, b.label);
+        for (va, vb) in a.values.iter().zip(&b.values) {
+            let bits_a: Vec<u64> = va.iter().map(|x| x.to_bits()).collect();
+            let bits_b: Vec<u64> = vb.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(bits_a, bits_b, "cell `{}` differs across thread counts", a.label);
+        }
+    }
+
+    // Phase 2 — engine-assigned (cell, trial) seeds are collision-free
+    // across every registered sweep of the suite.
+    for sweep in build_all(Scale::Smoke) {
+        let seeds = sweep.assigned_seeds();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(
+            unique.len(),
+            seeds.len(),
+            "sweep `{}` assigned colliding seeds",
+            sweep.experiment()
+        );
+    }
+
+    // Phase 3 — exp_all in smoke mode (PRIVHP_TRIALS=2): the full suite
+    // runs in one process-wide pool, every registered experiment produces
+    // finite results, every report prints, every sweep writes its JSON.
+    let experiments = all();
+    assert_eq!(experiments.len(), 14, "13 exp_* binaries + exp_table1 at d=1 and d=2");
+
+    let results: Vec<SweepResult> = run_sweeps(build_all(Scale::Smoke), 4);
+    assert_eq!(results.len(), experiments.len());
+
+    for (exp, result) in experiments.iter().zip(&results) {
+        assert_eq!(result.experiment, exp.name);
+        assert!(!result.cells.is_empty(), "{} declared no cells", exp.name);
+        for cell in &result.cells {
+            assert_eq!(cell.values.len(), cell.trials);
+            for row in &cell.values {
+                assert_eq!(row.len(), cell.metrics.len());
+            }
+            for metric in &cell.metrics {
+                let s = cell.summary(metric);
+                assert!(
+                    s.mean.is_finite(),
+                    "{}/{} metric `{metric}` is not finite",
+                    exp.name,
+                    cell.label
+                );
+            }
+            assert!(cell.cpu_seconds >= 0.0 && cell.wall_seconds >= 0.0);
+        }
+        // The paper-facing report must render from the smoke-scale result.
+        (exp.report)(result);
+        write_sweep_json(result);
+        let path = json_dir.join(format!("{}.json", exp.name));
+        let body = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
+        assert!(body.trim_start().starts_with('{'), "{} JSON must be an object", exp.name);
+        assert!(body.contains("\"experiment\""), "unified schema carries the experiment name");
+        assert!(body.contains("\"cells\""), "unified schema carries the cell list");
+    }
+
+    // The override is honoured: nothing leaked into the workspace default.
+    assert_eq!(results_dir(), json_dir);
+}
+
+/// Every exp_* binary shim maps onto a registered experiment: the registry
+/// covers the full `src/bin` surface (exp_all drives the suite; exp_table1
+/// registers per-dimension sweeps). Touches no environment state.
+#[test]
+fn registry_covers_every_experiment_binary() {
+    let names: Vec<&str> = all().iter().map(|e| e.name).collect();
+    let bin_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src/bin");
+    let mut bins = 0usize;
+    for entry in std::fs::read_dir(bin_dir).expect("bin dir readable") {
+        let file = entry.expect("dir entry").file_name().into_string().expect("utf8 name");
+        let Some(stem) = file.strip_suffix(".rs") else { continue };
+        if !stem.starts_with("exp_") || stem == "exp_all" {
+            continue;
+        }
+        bins += 1;
+        if stem == "exp_table1" {
+            assert!(names.contains(&"exp_table1_d1") && names.contains(&"exp_table1_d2"));
+        } else {
+            assert!(names.contains(&stem), "binary `{stem}` has no registered experiment");
+        }
+    }
+    assert_eq!(bins, 13, "the suite is 13 exp_* binaries plus exp_all");
+}
