@@ -1,0 +1,59 @@
+//! Hot-path throughput (ingest items/sec, sample_many points/sec) and the
+//! perf-baseline gate.
+//!
+//! Usage:
+//!   `cargo run -p privhp-bench --release --bin exp_throughput [-- --smoke]
+//!    [--assert-baseline <file>]`
+//!
+//! Every run writes the flat baseline document
+//! `bench_results/BENCH_throughput.json`; with `--assert-baseline <file>`
+//! the run additionally compares itself against the stored baseline and
+//! exits non-zero if any rate metric regressed by more than 25% (the CI
+//! perf gate — the committed reference lives under
+//! `bench_results/baseline/`).
+
+use privhp_bench::experiments::{scale_from_args, throughput};
+use privhp_bench::report::{assert_baseline, write_sweep_json};
+use privhp_bench::runner::default_threads;
+use privhp_bench::sweep::run_sweeps;
+
+/// Regression tolerance of the CI gate: >25% below baseline fails.
+const TOLERANCE: f64 = 0.25;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline = args.iter().position(|a| a == "--assert-baseline").map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("--assert-baseline requires a file argument");
+                std::process::exit(2);
+            })
+            .clone()
+    });
+
+    let scale = scale_from_args();
+    let results = run_sweeps(vec![throughput::sweep(scale)], default_threads());
+    let result = &results[0];
+    throughput::report(result);
+    write_sweep_json(result);
+
+    if let Some(path) = baseline {
+        let path = std::path::Path::new(&path);
+        match assert_baseline(result, path, TOLERANCE) {
+            Ok(regressions) if regressions.is_empty() => {
+                println!("\nbaseline check: PASS (vs {})", path.display());
+            }
+            Ok(regressions) => {
+                eprintln!("\nbaseline check: FAIL (vs {})", path.display());
+                for r in &regressions {
+                    eprintln!("  regression >{:.0}%: {r}", TOLERANCE * 100.0);
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("\nbaseline check: ERROR: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -26,6 +26,7 @@ pub mod scaling;
 pub mod sketch_error;
 pub mod skew_sweep;
 pub mod table1;
+pub mod throughput;
 
 use crate::report::write_sweep_json;
 use crate::runner::default_threads;
@@ -130,6 +131,7 @@ pub fn all() -> Vec<Experiment> {
             build: ablation_sketchkind::sweep,
             report: ablation_sketchkind::report,
         },
+        Experiment { name: throughput::NAME, build: throughput::sweep, report: throughput::report },
     ]
 }
 

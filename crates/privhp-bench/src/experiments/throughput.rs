@@ -1,0 +1,124 @@
+//! **exp_throughput — hot-path throughput + the perf baseline store.**
+//!
+//! The ROADMAP names `PrivHpBuilder::ingest` (Algorithm 1's stream pass)
+//! and the sampler as the paths a serving deployment hammers; this
+//! experiment measures both as end-to-end rates — ingest items/sec over a
+//! full build and `sample_many` points/sec over a finished release —
+//! across domains and stream sizes.
+//!
+//! Unlike the paper-reproduction sweeps, these numbers exist to be
+//! *compared across PRs*: [`crate::report::write_baseline_json`] reduces
+//! the sweep to a flat `{cell: {metric: mean}}` document
+//! (`bench_results/BENCH_throughput.json`), and the `exp_throughput`
+//! binary's `--assert-baseline <file>` mode fails if any overlapping
+//! metric regressed by more than 25% against a committed baseline
+//! (`bench_results/baseline/`). Timed cells are [`Cell::exclusive`] so the
+//! pool is idle around every measurement, exactly as in `exp_scaling`.
+
+use super::Scale;
+use crate::report::{fmt, Table};
+use crate::sweep::{Cell, Sweep, SweepResult};
+use privhp_core::{PrivHpBuilder, PrivHpConfig};
+use privhp_domain::{HierarchicalDomain, Hypercube, UnitInterval};
+use privhp_dp::rng::{mix64, DeterministicRng};
+use privhp_workloads::{GaussianMixture, Workload};
+use rand::SeedableRng;
+
+/// Sweep name.
+pub const NAME: &str = "exp_throughput";
+
+const EPSILON: f64 = 1.0;
+const K: usize = 16;
+const METRICS: [&str; 3] = ["ingest_items_per_sec", "sample_points_per_sec", "finalize_ms"];
+
+/// One timed build + sample pass; shared by the 1-D and d-D cells.
+fn measure<D>(domain: D, data: &[D::Point], m: usize, seed: u64) -> Vec<f64>
+where
+    D: HierarchicalDomain + Clone,
+{
+    let n = data.len();
+    let config = PrivHpConfig::for_domain(EPSILON, n, K).with_seed(seed);
+    let mut rng = DeterministicRng::seed_from_u64(mix64(seed ^ 0xBEEF));
+    let mut builder = PrivHpBuilder::new(domain, config, &mut rng).expect("valid config");
+
+    let t0 = std::time::Instant::now();
+    for x in data {
+        builder.ingest(x);
+    }
+    let ingest = t0.elapsed().as_secs_f64();
+
+    let t1 = std::time::Instant::now();
+    let g = builder.finalize();
+    let finalize = t1.elapsed().as_secs_f64();
+
+    let mut sample_rng = DeterministicRng::seed_from_u64(mix64(seed ^ 0x5A3));
+    let t2 = std::time::Instant::now();
+    let pts = g.sample_many(m, &mut sample_rng);
+    let sample = t2.elapsed().as_secs_f64();
+    assert_eq!(pts.len(), m);
+
+    vec![n as f64 / ingest.max(1e-9), m as f64 / sample.max(1e-9), finalize * 1e3]
+}
+
+/// Declares one exclusive timed cell per (dimension × stream size); the
+/// largest full-scale `n` matches `exp_scaling`'s largest default (2^20) so
+/// the baseline captures the hot path at the scale the ROADMAP cites.
+pub fn sweep(scale: Scale) -> Sweep {
+    let exps: &[usize] = match scale {
+        Scale::Full => &[16, 20],
+        Scale::Smoke => &[10, 12],
+    };
+    let m = scale.pick(1 << 17, 1 << 12);
+    let trials = scale.trials(3);
+    let mut sweep = Sweep::new(NAME);
+    for &dim in &[1usize, 2] {
+        for &exp in exps {
+            let n = 1usize << exp;
+            sweep.cell(
+                Cell::new(format!("d={dim}/n=2^{exp}"), trials, &METRICS, move |ctx| {
+                    let mut wl = DeterministicRng::seed_from_u64(mix64(ctx.seed ^ 0xDA7A));
+                    if dim == 1 {
+                        let data: Vec<f64> = GaussianMixture::three_modes(1).generate(n, &mut wl);
+                        measure(UnitInterval::new(), &data, m, ctx.seed)
+                    } else {
+                        let data: Vec<Vec<f64>> =
+                            GaussianMixture::three_modes(dim).generate(n, &mut wl);
+                        measure(Hypercube::new(dim), &data, m, ctx.seed)
+                    }
+                })
+                .with_param("dim", dim)
+                .with_param("n", n)
+                .with_param("m", m)
+                .with_param("epsilon", EPSILON)
+                .with_param("k", K)
+                .exclusive(),
+            );
+        }
+    }
+    sweep
+}
+
+/// Prints the throughput table and refreshes the baseline-format document
+/// (`bench_results/BENCH_throughput.json`) so every run — including
+/// `exp_all` — leaves a comparable artifact behind.
+pub fn report(result: &SweepResult) {
+    println!(
+        "== Throughput: ingest items/sec and sample_many points/sec (eps={EPSILON}, k={K}) ==\n"
+    );
+    let mut table =
+        Table::new(&["cell", "ingest items/s", "sample points/s", "finalize ms", "trials"]);
+    for cell in &result.cells {
+        table.row(vec![
+            cell.label.clone(),
+            format!("{:.0}", cell.summary("ingest_items_per_sec").mean),
+            format!("{:.0}", cell.summary("sample_points_per_sec").mean),
+            fmt(cell.summary("finalize_ms").mean),
+            cell.trials.to_string(),
+        ]);
+    }
+    table.print();
+    println!("\nRates are end-to-end (hashing + tree/sketch updates; leaf CDF + uniform draw).");
+    println!("Compare across PRs via bench_results/BENCH_throughput.json; the committed");
+    println!("reference lives in bench_results/baseline/ (see README \"Performance\").");
+    crate::report::write_baseline_json(result);
+}

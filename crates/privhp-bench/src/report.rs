@@ -110,6 +110,115 @@ pub fn write_sweep_json(result: &crate::sweep::SweepResult) {
     write_json(&result.experiment, result);
 }
 
+/// Reduces a sweep to the flat perf-baseline schema and writes it to
+/// `bench_results/BENCH_<experiment-stem>.json` (e.g. `exp_throughput` →
+/// `BENCH_throughput.json`): `{"experiment", "cells": {label: {metric:
+/// value}}}`. Rate metrics (`*_per_sec`) record the **best trial** — the
+/// run least perturbed by scheduler/frequency noise, the standard robust
+/// statistic for micro-benchmarks — while other metrics record the mean.
+/// The flat shape is what [`assert_baseline`] diffs across PRs; the
+/// committed reference copy lives under `bench_results/baseline/`.
+pub fn write_baseline_json(result: &crate::sweep::SweepResult) {
+    let stem = result.experiment.strip_prefix("exp_").unwrap_or(&result.experiment);
+    write_json(&format!("BENCH_{stem}"), &RawValue(baseline_value(result)));
+}
+
+/// Adapter: the vendored `serde::Value` does not implement `Serialize`
+/// itself; this wrapper lets already-lowered documents flow through
+/// [`write_json`].
+struct RawValue(serde::Value);
+
+impl Serialize for RawValue {
+    fn to_value(&self) -> serde::Value {
+        self.0.clone()
+    }
+}
+
+/// The baseline document for a sweep, as a serialisable [`serde::Value`].
+fn baseline_value(result: &crate::sweep::SweepResult) -> serde::Value {
+    use serde::Value;
+    let cells = result
+        .cells
+        .iter()
+        .map(|c| {
+            let metrics = c
+                .metrics
+                .iter()
+                .map(|m| (m.to_string(), Value::Float(baseline_statistic(c, m))))
+                .collect();
+            (c.label.clone(), Value::Object(metrics))
+        })
+        .collect();
+    Value::Object(vec![
+        ("experiment".into(), Value::String(result.experiment.clone())),
+        ("cells".into(), Value::Object(cells)),
+    ])
+}
+
+/// The value a metric contributes to the baseline document: best trial
+/// for rates, mean for everything else.
+fn baseline_statistic(cell: &crate::sweep::CellResult, metric: &str) -> f64 {
+    if metric.ends_with("_per_sec") {
+        cell.metric_values(metric).into_iter().fold(f64::NEG_INFINITY, f64::max)
+    } else {
+        cell.summary(metric).mean
+    }
+}
+
+/// Compares a fresh sweep against a stored baseline document (the
+/// [`write_baseline_json`] schema). Rate metrics (named `*_per_sec`,
+/// higher is better) *regress* when the new best trial falls below
+/// `(1 - tolerance)` of the baseline value; other metrics (absolute
+/// timings, memory) are recorded in the baseline but not asserted. Only
+/// (cell, metric) pairs present in both documents are compared, so smoke-
+/// and full-scale grids never cross-compare. Returns the list of
+/// regression descriptions (empty = pass) or an error if the baseline
+/// cannot be read or shares nothing with the sweep.
+pub fn assert_baseline(
+    result: &crate::sweep::SweepResult,
+    baseline_path: &std::path::Path,
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    let body = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", baseline_path.display()))?;
+    let doc: serde::Value = serde_json::parse_value_str(&body)
+        .map_err(|e| format!("baseline {} is not valid JSON: {e}", baseline_path.display()))?;
+    let cells = doc
+        .get("cells")
+        .ok_or_else(|| format!("baseline {} has no `cells` object", baseline_path.display()))?;
+
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    for cell in &result.cells {
+        let Some(base_cell) = cells.get(&cell.label) else { continue };
+        for metric in &cell.metrics {
+            if !metric.ends_with("_per_sec") {
+                continue;
+            }
+            let Some(base) = base_cell.get(metric).and_then(serde::Value::as_f64) else {
+                continue;
+            };
+            compared += 1;
+            let new = baseline_statistic(cell, metric);
+            if base > 0.0 && new < base * (1.0 - tolerance) {
+                regressions.push(format!(
+                    "{}/{metric}: {new:.0} vs baseline {base:.0} ({:+.1}%)",
+                    cell.label,
+                    (new / base - 1.0) * 100.0
+                ));
+            }
+        }
+    }
+    if compared == 0 {
+        return Err(format!(
+            "baseline {} shares no (cell, metric) pairs with sweep `{}` — scales differ?",
+            baseline_path.display(),
+            result.experiment
+        ));
+    }
+    Ok(regressions)
+}
+
 /// Formats a float with 5 significant decimals for table cells.
 pub fn fmt(x: f64) -> String {
     format!("{x:.5}")

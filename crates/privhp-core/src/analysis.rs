@@ -56,13 +56,11 @@ pub fn tail_norms(level_counts: &[Vec<f64>], k: usize) -> Vec<f64> {
 /// Builds `𝒯_X`: the complete exact-count tree of the given depth
 /// (Figure 4a).
 pub fn exact_complete_tree(level_counts: &[Vec<f64>]) -> PartitionTree {
-    let mut tree = PartitionTree::new();
-    for (l, row) in level_counts.iter().enumerate() {
-        for (bits, &c) in row.iter().enumerate() {
-            tree.insert(Path::from_bits(bits as u64, l), c);
-        }
+    if level_counts.is_empty() {
+        return PartitionTree::new();
     }
-    tree
+    let depth = level_counts.len() - 1;
+    PartitionTree::complete(depth, |p| level_counts[p.level()][p.bits() as usize])
 }
 
 /// Builds `𝒯_exact`: exact top-`k` pruning (Figure 4b / proof Step 1).
@@ -77,12 +75,7 @@ pub fn exact_complete_tree(level_counts: &[Vec<f64>]) -> PartitionTree {
 pub fn exact_pruned_tree(level_counts: &[Vec<f64>], l_star: usize, k: usize) -> PartitionTree {
     let depth = level_counts.len() - 1;
     assert!(l_star <= depth, "L* beyond available levels");
-    let mut tree = PartitionTree::new();
-    for (l, row) in level_counts.iter().enumerate().take(l_star + 1) {
-        for (bits, &c) in row.iter().enumerate() {
-            tree.insert(Path::from_bits(bits as u64, l), c);
-        }
-    }
+    let mut tree = PartitionTree::complete(l_star, |p| level_counts[p.level()][p.bits() as usize]);
     let mut hot: Vec<Path> = tree.level_nodes(l_star).to_vec();
     hot.sort_by(|a, b| {
         let ca = tree.count_unchecked(a);

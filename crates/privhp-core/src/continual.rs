@@ -119,10 +119,9 @@ impl<D: HierarchicalDomain + Clone> ContinualPrivHp<D> {
     /// any number of times; every release is post-processing of the same
     /// ε-DP state sequence.
     pub fn release(&self) -> PrivHpGenerator<D> {
-        let mut tree = PartitionTree::new();
-        for (path, counter) in &self.counters {
-            tree.insert(*path, counter.query());
-        }
+        // Snapshot the complete shallow tree densely (and in canonical
+        // node order, so releases are deterministic given the counters).
+        let tree = PartitionTree::complete(self.config.l_star, |p| self.counters[p].query());
         let tree = grow_partition(
             tree,
             &self.sketches,

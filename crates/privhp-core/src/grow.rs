@@ -16,7 +16,7 @@
 //! given its (already private) inputs, so it is post-processing (Lemma 2).
 
 use privhp_domain::Path;
-use privhp_sketch::{ContinualCountMinSketch, PrivateCountMinSketch};
+use privhp_sketch::{ContinualCountMinSketch, PrivateCountMinSketch, PrivateCountSketch};
 
 use crate::consistency::{enforce_consistency, enforce_consistency_subtree};
 use crate::tree::PartitionTree;
@@ -31,6 +31,12 @@ pub trait FrequencyOracle {
 }
 
 impl FrequencyOracle for PrivateCountMinSketch {
+    fn estimate(&self, key: u64) -> f64 {
+        self.query(key)
+    }
+}
+
+impl FrequencyOracle for PrivateCountSketch {
     fn estimate(&self, key: u64) -> f64 {
         self.query(key)
     }

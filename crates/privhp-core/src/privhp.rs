@@ -21,38 +21,23 @@ use privhp_sketch::{PrivateCountMinSketch, PrivateCountSketch};
 use rand::RngCore;
 
 use crate::config::SketchKind;
-use crate::grow::FrequencyOracle;
 
-/// A deep-level private sketch of either §3.4 flavour.
+/// The deep-level private sketches, one per level `l ∈ (L★, L]`, stored as
+/// a homogeneous vector per §3.4 flavour so the stream pass dispatches on
+/// the kind once per item instead of once per level.
 #[derive(Debug, Clone)]
-pub enum LevelSketch {
+pub enum LevelSketches {
     /// Private Count-Min (paper default).
-    CountMin(PrivateCountMinSketch),
+    CountMin(Vec<PrivateCountMinSketch>),
     /// Private Count Sketch (unbiased median estimator).
-    CountSketch(PrivateCountSketch),
+    CountSketch(Vec<PrivateCountSketch>),
 }
 
-impl LevelSketch {
-    fn update(&mut self, key: u64, weight: f64) {
-        match self {
-            LevelSketch::CountMin(s) => s.update(key, weight),
-            LevelSketch::CountSketch(s) => s.update(key, weight),
-        }
-    }
-
+impl LevelSketches {
     fn memory_words(&self) -> usize {
         match self {
-            LevelSketch::CountMin(s) => s.memory_words(),
-            LevelSketch::CountSketch(s) => s.memory_words(),
-        }
-    }
-}
-
-impl FrequencyOracle for LevelSketch {
-    fn estimate(&self, key: u64) -> f64 {
-        match self {
-            LevelSketch::CountMin(s) => s.query(key),
-            LevelSketch::CountSketch(s) => s.query(key),
+            LevelSketches::CountMin(v) => v.iter().map(|s| s.memory_words()).sum(),
+            LevelSketches::CountSketch(v) => v.iter().map(|s| s.memory_words()).sum(),
         }
     }
 }
@@ -95,7 +80,12 @@ pub struct PrivHpBuilder<D: HierarchicalDomain> {
     config: PrivHpConfig,
     split: BudgetSplit,
     tree: PartitionTree,
-    sketches: Vec<LevelSketch>,
+    sketches: LevelSketches,
+    /// Reusable row-bucket buffer for the Count-Sketch variant, shared
+    /// across its level sketches so signed updates reuse one allocation.
+    /// The Count-Min path streams buckets straight from the double hash
+    /// and needs no buffer at all.
+    scratch: Vec<usize>,
     items_seen: usize,
 }
 
@@ -132,39 +122,62 @@ impl<D: HierarchicalDomain + Clone> PrivHpBuilder<D> {
         // Lines 7-8: a private sketch per level l in (L*, L], noise
         // Laplace(j/σ_l) per cell.
         let mut seeds = SeedSequence::new(config.seed);
-        let sketches = ((config.l_star + 1)..=config.depth)
-            .map(|l| match config.sketch_kind {
-                SketchKind::CountMin => LevelSketch::CountMin(PrivateCountMinSketch::new(
-                    config.sketch,
-                    split.sigma(l),
-                    seeds.next_seed(),
-                    rng,
-                )),
-                SketchKind::CountSketch => LevelSketch::CountSketch(PrivateCountSketch::new(
-                    config.sketch,
-                    split.sigma(l),
-                    seeds.next_seed(),
-                    rng,
-                )),
-            })
-            .collect();
+        let deep_levels = (config.l_star + 1)..=config.depth;
+        let sketches = match config.sketch_kind {
+            SketchKind::CountMin => LevelSketches::CountMin(
+                deep_levels
+                    .map(|l| {
+                        PrivateCountMinSketch::new(
+                            config.sketch,
+                            split.sigma(l),
+                            seeds.next_seed(),
+                            rng,
+                        )
+                    })
+                    .collect(),
+            ),
+            SketchKind::CountSketch => LevelSketches::CountSketch(
+                deep_levels
+                    .map(|l| {
+                        PrivateCountSketch::new(
+                            config.sketch,
+                            split.sigma(l),
+                            seeds.next_seed(),
+                            rng,
+                        )
+                    })
+                    .collect(),
+            ),
+        };
 
-        Ok(Self { domain, config, split, tree, sketches, items_seen: 0 })
+        Ok(Self { domain, config, split, tree, sketches, scratch: Vec::new(), items_seen: 0 })
     }
 
     /// Processes one stream item (Algorithm 1 lines 9–15): updates the
-    /// counter at each level `l ≤ L★` and the sketch at each level
-    /// `l > L★`.
+    /// counter at each level `l ≤ L★` — array adds on the tree's dense
+    /// arena — and the sketch at each level `l > L★` through the shared
+    /// row-bucket scratch.
     pub fn ingest(&mut self, point: &D::Point) {
-        // The deepest path determines every ancestor, so locate once.
+        // The deepest path determines every ancestor, so locate once; each
+        // ancestor's sketch key is then shift arithmetic on the same bits.
         let deep = self.domain.locate(point, self.config.depth);
-        for l in 0..=self.config.l_star {
-            let theta = deep.ancestor(l);
-            self.tree.add_count(&theta, 1.0);
-        }
-        for l in (self.config.l_star + 1)..=self.config.depth {
-            let theta = deep.ancestor(l);
-            self.sketches[l - self.config.l_star - 1].update(theta.sketch_key(), 1.0);
+        self.tree.add_count_prefix(&deep, self.config.l_star, 1.0);
+        let bits = deep.bits();
+        let depth = deep.level();
+        let first_deep = self.config.l_star + 1;
+        match &mut self.sketches {
+            LevelSketches::CountMin(v) => {
+                for (i, sketch) in v.iter_mut().enumerate() {
+                    let l = first_deep + i;
+                    sketch.update((1u64 << l) | (bits >> (depth - l)), 1.0);
+                }
+            }
+            LevelSketches::CountSketch(v) => {
+                for (i, sketch) in v.iter_mut().enumerate() {
+                    let l = first_deep + i;
+                    sketch.update_rows((1u64 << l) | (bits >> (depth - l)), 1.0, &mut self.scratch);
+                }
+            }
         }
         self.items_seen += 1;
     }
@@ -181,7 +194,7 @@ impl<D: HierarchicalDomain + Clone> PrivHpBuilder<D> {
 
     /// Current memory footprint in 8-byte words (tree + sketches).
     pub fn memory_words(&self) -> usize {
-        self.tree.memory_words() + self.sketches.iter().map(|s| s.memory_words()).sum::<usize>()
+        self.tree.memory_words() + self.sketches.memory_words()
     }
 
     /// Runs GrowPartition (Algorithm 2) and returns the finished generator.
@@ -192,14 +205,15 @@ impl<D: HierarchicalDomain + Clone> PrivHpBuilder<D> {
     /// [`Self::finalize`] with explicit [`crate::grow::GrowOptions`]
     /// (ablation hook for the consistency experiment).
     pub fn finalize_with_options(self, options: crate::grow::GrowOptions) -> PrivHpGenerator<D> {
-        let tree = crate::grow::grow_partition_with_options(
-            self.tree,
-            &self.sketches,
-            self.config.l_star,
-            self.config.depth,
-            self.config.k,
-            options,
-        );
+        let (l_star, depth, k) = (self.config.l_star, self.config.depth, self.config.k);
+        let tree = match &self.sketches {
+            LevelSketches::CountMin(v) => {
+                crate::grow::grow_partition_with_options(self.tree, v, l_star, depth, k, options)
+            }
+            LevelSketches::CountSketch(v) => {
+                crate::grow::grow_partition_with_options(self.tree, v, l_star, depth, k, options)
+            }
+        };
         PrivHpGenerator {
             domain: self.domain,
             config: self.config,
@@ -375,6 +389,9 @@ mod tests {
 
     #[test]
     fn deterministic_given_seeds() {
+        // Same-seed builds must produce *bit-identical* finalized trees —
+        // counts compared by bit pattern, structure by the serialised
+        // document (which covers node sets and registry order).
         let data = skewed_stream(800);
         let build = || {
             let config = PrivHpConfig::for_domain(1.0, data.len(), 4).with_seed(77);
@@ -385,8 +402,12 @@ mod tests {
         let g2 = build();
         assert_eq!(g1.tree().len(), g2.tree().len());
         for (p, c) in g1.tree().iter() {
-            assert_eq!(g2.tree().count(p), Some(*c), "trees diverged at {p}");
+            let c2 = g2.tree().count(p).unwrap_or_else(|| panic!("node {p} missing in rerun"));
+            assert_eq!(c.to_bits(), c2.to_bits(), "trees diverged at {p}: {c} vs {c2}");
         }
+        let json1 = serde_json::to_string(g1.tree()).expect("serialise");
+        let json2 = serde_json::to_string(g2.tree()).expect("serialise");
+        assert_eq!(json1, json2, "serialised releases must be byte-identical");
     }
 
     #[test]

@@ -54,20 +54,13 @@ impl<'a, D: HierarchicalDomain> TreeSampler<'a, D> {
         let mut node = Path::root();
         let mut node_count = root_count;
         let mut u = if root_count > 0.0 { rng.gen_range(0.0..root_count) } else { 0.0 };
-        loop {
-            let left = node.left();
-            let right = node.right();
-            let has_left = self.tree.contains(&left);
-            let has_right = self.tree.contains(&right);
-            if !(has_left && has_right) {
-                return node;
-            }
-            let c_left = self.tree.count_unchecked(&left);
-            let c_right = self.tree.count_unchecked(&right);
+        // `children_counts` is one arena read per level on the dense
+        // prefix (and one overlay probe per child below it).
+        while let Some((c_left, c_right)) = self.tree.children_counts(&node) {
             let total = c_left + c_right;
             if total <= 0.0 {
                 // Zero-mass subtree: branch uniformly.
-                node = if rng.gen_bool(0.5) { left } else { right };
+                node = if rng.gen_bool(0.5) { node.left() } else { node.right() };
                 node_count = 0.0;
                 u = 0.0;
                 continue;
@@ -79,14 +72,15 @@ impl<'a, D: HierarchicalDomain> TreeSampler<'a, D> {
                 u *= total / node_count;
             }
             if c_left >= u {
-                node = left;
+                node = node.left();
                 node_count = c_left;
             } else {
                 u -= c_left;
-                node = right;
+                node = node.right();
                 node_count = c_right;
             }
         }
+        node
     }
 
     /// Draws one synthetic point.
@@ -96,8 +90,71 @@ impl<'a, D: HierarchicalDomain> TreeSampler<'a, D> {
     }
 
     /// Draws `m` synthetic points.
+    ///
+    /// Bulk draws precompute the leaf CDF once ([`Self::leaf_cdf`]) and
+    /// binary-search it per point — `O(nodes + m·(log leaves + draw))`
+    /// instead of `m` full root-to-leaf walks. The per-leaf probabilities
+    /// are the walk's own branch-product probabilities, so the sampling
+    /// distribution is identical to repeated [`Self::sample`] (including
+    /// on inconsistent ablation trees and zero-mass subtrees); only the
+    /// RNG consumption pattern differs. Degenerate trees (root count ≤ 0)
+    /// keep the per-draw walk, which is uniform over leaf cells.
     pub fn sample_many<R: RngCore>(&self, m: usize, rng: &mut R) -> Vec<D::Point> {
-        (0..m).map(|_| self.sample(rng)).collect()
+        let root_count = self.tree.root_count().expect("checked at construction");
+        if root_count <= 0.0 || m <= 1 {
+            return (0..m).map(|_| self.sample(rng)).collect();
+        }
+        let (leaves, cum) = self.leaf_cdf();
+        let total = *cum.last().expect("tree has a root, hence at least one leaf");
+        if total <= 0.0 {
+            return (0..m).map(|_| self.sample(rng)).collect();
+        }
+        (0..m)
+            .map(|_| {
+                let u = rng.gen_range(0.0..total);
+                let idx = cum.partition_point(|&c| c <= u).min(leaves.len() - 1);
+                self.domain.sample_uniform(&leaves[idx], rng)
+            })
+            .collect()
+    }
+
+    /// The leaf list and cumulative walk probabilities, in a deterministic
+    /// pre-order. Each leaf's weight is the product of the walk's branch
+    /// probabilities along its path (`c_child / (c_left + c_right)`, with
+    /// the uniform `1/2` fallback in zero-mass subtrees), so the CDF
+    /// reproduces [`Self::sample_leaf`]'s distribution exactly.
+    fn leaf_cdf(&self) -> (Vec<Path>, Vec<f64>) {
+        let mut leaves = Vec::new();
+        let mut cum = Vec::new();
+        let mut acc = 0.0;
+        let mut stack = vec![(Path::root(), 1.0f64)];
+        while let Some((node, p)) = stack.pop() {
+            match self.tree.children_counts(&node) {
+                None => {
+                    acc += p;
+                    leaves.push(node);
+                    cum.push(acc);
+                }
+                Some((c_left, c_right)) => {
+                    let total = c_left + c_right;
+                    // The walk branches left with P(u < c_left) for u
+                    // uniform on [0, total) — clamp to [0, 1] so negative
+                    // counts (possible on hand-built or unconsistent
+                    // trees) keep the CDF monotone, exactly matching the
+                    // walk's effective probabilities.
+                    let (p_left, p_right) = if total > 0.0 {
+                        let frac_left = (c_left / total).clamp(0.0, 1.0);
+                        (p * frac_left, p * (1.0 - frac_left))
+                    } else {
+                        (p * 0.5, p * 0.5)
+                    };
+                    // Right pushed first so the left subtree pops first.
+                    stack.push((node.right(), p_right));
+                    stack.push((node.left(), p_left));
+                }
+            }
+        }
+        (leaves, cum)
     }
 
     /// The probability the walk assigns to `leaf` (its count over the root
@@ -216,5 +273,62 @@ mod tests {
         let t = PartitionTree::new();
         let domain = UnitInterval::new();
         let _ = TreeSampler::new(&t, &domain);
+    }
+
+    #[test]
+    fn bulk_cdf_matches_walk_distribution() {
+        // sample_many's leaf-CDF path must land points in each leaf cell
+        // with the same probabilities the per-draw walk realises.
+        let tree = fixture_tree();
+        let domain = UnitInterval::new();
+        let sampler = TreeSampler::new(&tree, &domain);
+        let mut rng = rng_from_seed(7);
+        let n = 100_000;
+        let pts = sampler.sample_many(n, &mut rng);
+        let expect = [(0.0, 0.1), (0.25, 0.3), (0.5, 0.2), (0.75, 0.4)];
+        for (lo, p) in expect {
+            let freq = pts.iter().filter(|&&x| x >= lo && x < lo + 0.25).count() as f64 / n as f64;
+            assert!((freq - p).abs() < 0.01, "cell [{lo},{}): {freq} vs {p}", lo + 0.25);
+        }
+    }
+
+    #[test]
+    fn bulk_cdf_on_inconsistent_tree_matches_walk() {
+        // On an inconsistent tree the walk's leaf probabilities are branch
+        // products, not leaf-count ratios; the CDF path must reproduce
+        // them. Children (4, 2) under a root of 10: walk goes left with
+        // 4/6, then splits 1:3 under the left child.
+        let mut t = PartitionTree::new();
+        let r = Path::root();
+        t.insert(r, 10.0);
+        t.insert(r.left(), 4.0);
+        t.insert(r.right(), 2.0);
+        t.insert(r.left().left(), 1.0);
+        t.insert(r.left().right(), 3.0);
+        let domain = UnitInterval::new();
+        let sampler = TreeSampler::new(&t, &domain);
+        let mut rng = rng_from_seed(9);
+        let n = 60_000;
+        let pts = sampler.sample_many(n, &mut rng);
+        let left = pts.iter().filter(|&&x| x < 0.5).count() as f64 / n as f64;
+        let far_left = pts.iter().filter(|&&x| x < 0.25).count() as f64 / n as f64;
+        assert!((left - 4.0 / 6.0).abs() < 0.01, "left mass {left} vs 4/6");
+        assert!((far_left - (4.0 / 6.0) * 0.25).abs() < 0.01, "far-left mass {far_left}");
+    }
+
+    #[test]
+    fn bulk_sampling_zero_mass_tree_falls_back_to_walk() {
+        let mut t = PartitionTree::new();
+        let r = Path::root();
+        t.insert(r, 0.0);
+        t.insert(r.left(), 0.0);
+        t.insert(r.right(), 0.0);
+        let domain = UnitInterval::new();
+        let sampler = TreeSampler::new(&t, &domain);
+        let mut rng = rng_from_seed(11);
+        let n = 20_000;
+        let pts = sampler.sample_many(n, &mut rng);
+        let lefts = pts.iter().filter(|&&x| x < 0.5).count() as f64 / n as f64;
+        assert!((lefts - 0.5).abs() < 0.02, "degenerate bulk sampling not uniform: {lefts}");
     }
 }

@@ -5,38 +5,42 @@
 //! privacy noise makes them real-valued (and possibly negative until the
 //! consistency step). The tree keeps a per-level registry so GrowPartition
 //! and the analysis code can iterate level by level without a traversal.
+//!
+//! # Storage layout
+//!
+//! Algorithm 1's stream pass touches every level `l ≤ L★` once per item,
+//! and the sampler walks the same shallow levels once per drawn point —
+//! both are hot paths. The tree therefore stores the *complete prefix*
+//! (levels `0..=L★`, materialised by [`PartitionTree::complete`]) as a
+//! dense `Vec<f64>` arena indexed by the heap index `(1 << level) | bits`
+//! (exactly [`Path::sketch_key`]), so count reads and writes there are
+//! plain array indexing. The grown/pruned region below the prefix — at
+//! most `2k` nodes per level — stays in a sparse `HashMap` overlay.
+//! Trees built node-by-node from [`PartitionTree::new`] (fixtures, the
+//! analysis trees) have no dense prefix and live entirely in the overlay;
+//! deserialisation re-detects the maximal complete prefix and re-densifies
+//! it, so a serde round-trip preserves the fast layout.
 
 use privhp_domain::Path;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
-/// A sparse binary partition tree with real-valued node counts.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// A binary partition tree with real-valued node counts: a dense arena for
+/// the complete prefix plus a sparse overlay for the grown region.
+#[derive(Debug, Clone, Default)]
 pub struct PartitionTree {
-    /// Serialised as a pair list: `Path` is a struct key, which formats
-    /// like JSON cannot express as a map key.
-    #[serde(with = "path_map_serde")]
-    counts: HashMap<Path, f64>,
-    /// Node paths per level, in insertion order.
+    /// Dense counts for levels `0..dense_levels`, indexed by
+    /// `(1 << level) | bits`; slot 0 is unused. Empty when no complete
+    /// prefix exists.
+    dense: Vec<f64>,
+    /// Number of dense levels: the arena covers levels `0..dense_levels`
+    /// (every node of those levels is present). 0 = no dense region.
+    dense_levels: usize,
+    /// Sparse counts for nodes at levels `>= dense_levels`.
+    overlay: HashMap<Path, f64>,
+    /// Node paths per level, in insertion order (dense levels are in
+    /// `bits` order by construction).
     levels: Vec<Vec<Path>>,
-}
-
-/// (De)serialises `HashMap<Path, f64>` as a `Vec<(Path, f64)>`, sorted for
-/// deterministic output. Uses the vendored serde's `with`-module convention
-/// (`serialize(&T) -> Value`, `deserialize(&Value) -> Result<T, Error>`).
-mod path_map_serde {
-    use super::*;
-
-    pub fn serialize(map: &HashMap<Path, f64>) -> serde::Value {
-        let mut pairs: Vec<(Path, f64)> = map.iter().map(|(p, c)| (*p, *c)).collect();
-        pairs.sort_by_key(|pair| pair.0);
-        serde::Serialize::to_value(&pairs)
-    }
-
-    pub fn deserialize(v: &serde::Value) -> Result<HashMap<Path, f64>, serde::Error> {
-        let pairs: Vec<(Path, f64)> = serde::Deserialize::from_value(v)?;
-        Ok(pairs.into_iter().collect())
-    }
 }
 
 impl PartitionTree {
@@ -47,22 +51,37 @@ impl PartitionTree {
 
     /// Creates a complete tree of the given depth with every count
     /// initialised by `init(path)` — Algorithm 1 lines 2–6 pass a noise
-    /// sampler here.
+    /// sampler here. The complete levels are stored densely.
     pub fn complete(depth: usize, mut init: impl FnMut(&Path) -> f64) -> Self {
-        let mut tree = Self::new();
-        for level in 0..=depth {
+        let dense_levels = depth + 1;
+        let mut dense = vec![0.0; 1usize << dense_levels];
+        let mut levels = Vec::with_capacity(dense_levels);
+        for level in 0..dense_levels {
+            let mut row = Vec::with_capacity(1 << level);
             for bits in 0..(1u64 << level) {
                 let p = Path::from_bits(bits, level);
-                let c = init(&p);
-                tree.insert(p, c);
+                dense[p.sketch_key() as usize] = init(&p);
+                row.push(p);
             }
+            levels.push(row);
         }
-        tree
+        Self { dense, dense_levels, overlay: HashMap::new(), levels }
+    }
+
+    /// Whether `path` lies in the dense arena.
+    #[inline]
+    fn in_dense(&self, path: &Path) -> bool {
+        path.level() < self.dense_levels
     }
 
     /// Inserts (or overwrites) a node.
     pub fn insert(&mut self, path: Path, count: f64) {
-        if self.counts.insert(path, count).is_none() {
+        if self.in_dense(&path) {
+            // Dense nodes are always present: overwrite in place.
+            self.dense[path.sketch_key() as usize] = count;
+            return;
+        }
+        if self.overlay.insert(path, count).is_none() {
             while self.levels.len() <= path.level() {
                 self.levels.push(Vec::new());
             }
@@ -71,13 +90,19 @@ impl PartitionTree {
     }
 
     /// Whether `path` is present.
+    #[inline]
     pub fn contains(&self, path: &Path) -> bool {
-        self.counts.contains_key(path)
+        self.in_dense(path) || self.overlay.contains_key(path)
     }
 
     /// Count at `path`, if present.
+    #[inline]
     pub fn count(&self, path: &Path) -> Option<f64> {
-        self.counts.get(path).copied()
+        if self.in_dense(path) {
+            Some(self.dense[path.sketch_key() as usize])
+        } else {
+            self.overlay.get(path).copied()
+        }
     }
 
     /// Count at `path`.
@@ -85,26 +110,78 @@ impl PartitionTree {
     /// # Panics
     /// Panics if the node is absent — callers inside the algorithm know the
     /// shape they built; a miss is a logic error.
+    #[inline]
     pub fn count_unchecked(&self, path: &Path) -> f64 {
-        self.counts[path]
+        if self.in_dense(path) {
+            self.dense[path.sketch_key() as usize]
+        } else {
+            self.overlay[path]
+        }
+    }
+
+    /// Borrowed count at `path`, for iteration.
+    ///
+    /// # Panics
+    /// Panics if the node is absent.
+    #[inline]
+    fn count_ref(&self, path: &Path) -> &f64 {
+        if self.in_dense(path) {
+            &self.dense[path.sketch_key() as usize]
+        } else {
+            &self.overlay[path]
+        }
     }
 
     /// Sets the count of an existing node.
     ///
     /// # Panics
     /// Panics if the node is absent.
+    #[inline]
     pub fn set_count(&mut self, path: &Path, count: f64) {
-        let c = self.counts.get_mut(path).unwrap_or_else(|| panic!("node {path} not in tree"));
-        *c = count;
+        if self.in_dense(path) {
+            self.dense[path.sketch_key() as usize] = count;
+        } else {
+            let c = self.overlay.get_mut(path).unwrap_or_else(|| panic!("node {path} not in tree"));
+            *c = count;
+        }
     }
 
     /// Adds `delta` to an existing node's count.
     ///
     /// # Panics
     /// Panics if the node is absent.
+    #[inline]
     pub fn add_count(&mut self, path: &Path, delta: f64) {
-        let c = self.counts.get_mut(path).unwrap_or_else(|| panic!("node {path} not in tree"));
-        *c += delta;
+        if self.in_dense(path) {
+            self.dense[path.sketch_key() as usize] += delta;
+        } else {
+            let c = self.overlay.get_mut(path).unwrap_or_else(|| panic!("node {path} not in tree"));
+            *c += delta;
+        }
+    }
+
+    /// Adds `delta` to every ancestor of `deep` from the root down to
+    /// level `last` inclusive — the stream pass's per-item counter
+    /// update. On a tree whose dense prefix covers `last` this is `last +
+    /// 1` arena adds with no per-level dispatch.
+    ///
+    /// # Panics
+    /// Panics if `last > deep.level()` or any touched node is absent.
+    pub fn add_count_prefix(&mut self, deep: &Path, last: usize, delta: f64) {
+        assert!(last <= deep.level(), "prefix level {last} below the located path");
+        if last < self.dense_levels {
+            let bits = deep.bits();
+            let drop = deep.level() - last;
+            // Ancestor `l`'s arena slot is `(1 << l) | (bits >> (level-l))`.
+            for l in 0..=last {
+                let key = (1u64 << l) | (bits >> (drop + (last - l)));
+                self.dense[key as usize] += delta;
+            }
+        } else {
+            for l in 0..=last {
+                self.add_count(&deep.ancestor(l), delta);
+            }
+        }
     }
 
     /// Root count (`v_∅.count`), or `None` on an empty tree.
@@ -112,15 +189,47 @@ impl PartitionTree {
         self.count(&Path::root())
     }
 
-    /// Whether the node has at least one child in the tree.
-    pub fn is_internal(&self, path: &Path) -> bool {
-        path.level() < Path::MAX_LEVEL
-            && (self.contains(&path.left()) || self.contains(&path.right()))
+    /// The counts of both children of `path`, or `None` unless both are
+    /// present. The sampler's walk and the consistency pass call this once
+    /// per visited node; on the dense prefix the children sit at adjacent
+    /// arena slots `2·key` and `2·key + 1`.
+    #[inline]
+    pub fn children_counts(&self, path: &Path) -> Option<(f64, f64)> {
+        if path.level() >= Path::MAX_LEVEL {
+            return None;
+        }
+        if path.level() + 1 < self.dense_levels {
+            let left = (path.sketch_key() as usize) << 1;
+            return Some((self.dense[left], self.dense[left | 1]));
+        }
+        let left = self.overlay.get(&path.left())?;
+        let right = self.overlay.get(&path.right())?;
+        Some((*left, *right))
     }
 
-    /// Whether the node is present and has no children in the tree.
+    /// Whether the node has at least one child in the tree.
+    #[inline]
+    pub fn is_internal(&self, path: &Path) -> bool {
+        if path.level() + 1 < self.dense_levels {
+            return true;
+        }
+        path.level() < Path::MAX_LEVEL
+            && (self.overlay.contains_key(&path.left()) || self.overlay.contains_key(&path.right()))
+    }
+
+    /// Whether the node is present and has no children in the tree. O(1)
+    /// for nodes strictly inside the dense prefix (they always have
+    /// children) and for dense-frontier nodes of a tree whose overlay is
+    /// empty.
+    #[inline]
     pub fn is_leaf(&self, path: &Path) -> bool {
-        self.contains(path) && !self.is_internal(path)
+        if self.in_dense(path) {
+            if path.level() + 1 < self.dense_levels {
+                return false;
+            }
+            return self.overlay.is_empty() || !self.is_internal(path);
+        }
+        self.overlay.contains_key(path) && !self.is_internal(path)
     }
 
     /// Deepest populated level.
@@ -128,27 +237,42 @@ impl PartitionTree {
         self.levels.len().saturating_sub(1)
     }
 
-    /// Paths at `level`, in insertion order (empty slice above the depth).
+    /// Paths at `level`, in insertion order (empty slice above the depth;
+    /// dense levels are in `bits` order).
     pub fn level_nodes(&self, level: usize) -> &[Path] {
         self.levels.get(level).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// Total number of nodes.
     pub fn len(&self) -> usize {
-        self.counts.len()
+        self.dense_node_count() + self.overlay.len()
+    }
+
+    /// Nodes in the dense arena (`2^dense_levels − 1`, or 0 without one).
+    #[inline]
+    fn dense_node_count(&self) -> usize {
+        (1usize << self.dense_levels) - 1
     }
 
     /// Whether the tree has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.counts.is_empty()
+        self.dense_levels == 0 && self.overlay.is_empty()
     }
 
     /// All leaves (present nodes without children), level order then
-    /// insertion order.
+    /// insertion order. When the overlay is empty the dense frontier *is*
+    /// the leaf set and no hash probes happen at all.
     pub fn leaves(&self) -> Vec<Path> {
+        if self.overlay.is_empty() {
+            return match self.dense_levels {
+                0 => Vec::new(),
+                d => self.levels[d - 1].clone(),
+            };
+        }
         let mut out = Vec::new();
-        for level in &self.levels {
-            for p in level {
+        // Levels strictly inside the dense prefix are always internal.
+        for level in self.dense_levels.saturating_sub(1)..self.levels.len() {
+            for p in &self.levels[level] {
                 if self.is_leaf(p) {
                     out.push(*p);
                 }
@@ -157,15 +281,77 @@ impl PartitionTree {
         out
     }
 
-    /// Iterates over `(path, count)` pairs in unspecified order.
-    pub fn iter(&self) -> impl Iterator<Item = (&Path, &f64)> {
-        self.counts.iter()
+    /// Iterates over `(path, count)` pairs in level order then insertion
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Path, &f64)> + '_ {
+        self.levels.iter().flatten().map(move |p| (p, self.count_ref(p)))
     }
 
     /// Memory footprint in 8-byte words: one count plus one packed path word
-    /// per node (the per-level registry indexes the same paths).
+    /// per node (the per-level registry indexes the same paths). The dense
+    /// arena's one unused slot per power-of-two block is not billed, so the
+    /// accounting matches the sparse layout node-for-node.
     pub fn memory_words(&self) -> usize {
-        2 * self.counts.len()
+        2 * self.len()
+    }
+
+    /// Rebuilds a tree from its serialised parts, re-detecting the maximal
+    /// complete prefix so deserialised trees keep the dense layout.
+    fn from_parts(counts: HashMap<Path, f64>, levels: Vec<Vec<Path>>) -> Self {
+        let mut dense_levels = 0;
+        while dense_levels < levels.len() && levels[dense_levels].len() == (1usize << dense_levels)
+        {
+            dense_levels += 1;
+        }
+        let mut tree = Self {
+            dense: vec![0.0; if dense_levels > 0 { 1usize << dense_levels } else { 0 }],
+            dense_levels,
+            overlay: HashMap::new(),
+            levels,
+        };
+        for (path, count) in counts {
+            if tree.in_dense(&path) {
+                tree.dense[path.sketch_key() as usize] = count;
+            } else {
+                tree.overlay.insert(path, count);
+            }
+        }
+        tree
+    }
+}
+
+/// Serialises as `{counts: [(Path, f64)…] sorted, levels: [[Path…]…]}` —
+/// the same document shape as the pre-arena sparse layout, so release
+/// files round-trip across versions. Deserialisation routes through
+/// [`PartitionTree::from_parts`] to re-densify the complete prefix.
+impl Serialize for PartitionTree {
+    fn to_value(&self) -> serde::Value {
+        let mut pairs: Vec<(Path, f64)> = self.iter().map(|(p, c)| (*p, *c)).collect();
+        pairs.sort_by_key(|pair| pair.0);
+        serde::Value::Object(vec![
+            ("counts".into(), Serialize::to_value(&pairs)),
+            ("levels".into(), Serialize::to_value(&self.levels)),
+        ])
+    }
+}
+
+impl Deserialize for PartitionTree {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let counts_v = v
+            .get("counts")
+            .ok_or_else(|| serde::Error::missing_field("counts", "PartitionTree"))?;
+        let levels_v = v
+            .get("levels")
+            .ok_or_else(|| serde::Error::missing_field("levels", "PartitionTree"))?;
+        let pairs: Vec<(Path, f64)> = Deserialize::from_value(counts_v)?;
+        let levels: Vec<Vec<Path>> = Deserialize::from_value(levels_v)?;
+        let counts: HashMap<Path, f64> = pairs.into_iter().collect();
+        if counts.len() != levels.iter().map(Vec::len).sum::<usize>() {
+            return Err(serde::Error::custom(
+                "PartitionTree counts and level registry disagree on the node set",
+            ));
+        }
+        Ok(Self::from_parts(counts, levels))
     }
 }
 
@@ -256,5 +442,80 @@ mod tests {
             assert_eq!(back.count(p), Some(*c));
         }
         assert_eq!(back.leaves().len(), t.leaves().len());
+    }
+
+    #[test]
+    fn dense_prefix_extends_through_overlay_growth() {
+        // A complete(2) tree grown one pruned level deeper: dense prefix
+        // keeps serving levels 0..=2, overlay holds level 3.
+        let mut t = PartitionTree::complete(2, |p| (p.bits() + 1) as f64);
+        let hot = Path::from_bits(0b01, 2);
+        t.insert(hot.left(), 1.5);
+        t.insert(hot.right(), 0.5);
+        assert_eq!(t.len(), 7 + 2);
+        assert!(t.is_internal(&hot));
+        assert!(!t.is_leaf(&hot));
+        assert!(t.is_leaf(&hot.left()));
+        assert!(t.is_leaf(&Path::from_bits(0b00, 2)));
+        assert_eq!(t.children_counts(&hot), Some((1.5, 0.5)));
+        assert_eq!(t.children_counts(&hot.left()), None);
+        let leaves = t.leaves();
+        assert_eq!(leaves.len(), 3 + 2, "3 unexpanded frontier cells + 2 overlay leaves");
+    }
+
+    #[test]
+    fn children_counts_reads_both_regions() {
+        let t = PartitionTree::complete(2, |p| p.sketch_key() as f64);
+        // Children of the root live in the dense arena at slots 2 and 3.
+        assert_eq!(t.children_counts(&Path::root()), Some((2.0, 3.0)));
+        // Frontier nodes have no children yet.
+        assert_eq!(t.children_counts(&Path::from_bits(0b11, 2)), None);
+    }
+
+    #[test]
+    fn serde_roundtrip_redensifies_complete_prefix() {
+        let mut t = PartitionTree::complete(2, |p| p.bits() as f64);
+        t.insert(Path::from_bits(0b010, 3), 9.0);
+        t.insert(Path::from_bits(0b011, 3), 1.0);
+        let json = serde_json::to_string(&t).expect("serialise");
+        let back: PartitionTree = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back.dense_levels, 3, "complete prefix re-detected");
+        assert_eq!(back.overlay.len(), 2, "grown region stays sparse");
+        assert_eq!(back.count(&Path::from_bits(0b010, 3)), Some(9.0));
+        for (p, c) in t.iter() {
+            assert_eq!(back.count(p), Some(*c), "count mismatch at {p}");
+        }
+    }
+
+    #[test]
+    fn sparse_built_tree_has_no_dense_region_until_roundtrip() {
+        // A fixture built by hand is overlay-only; a serde round-trip
+        // detects that its levels are complete and densifies them.
+        let mut t = PartitionTree::new();
+        let r = Path::root();
+        t.insert(r, 3.0);
+        t.insert(r.left(), 1.0);
+        t.insert(r.right(), 2.0);
+        assert_eq!(t.dense_levels, 0);
+        let back: PartitionTree =
+            serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+        assert_eq!(back.dense_levels, 2);
+        assert_eq!(back.children_counts(&r), Some((1.0, 2.0)));
+    }
+
+    #[test]
+    fn depth16_complete_tree_enumerates_leaves_densely() {
+        // Regression: with an empty overlay the dense frontier is returned
+        // directly — 65536 leaves with zero hash-map probes (`leaves()`
+        // short-circuits on `overlay.is_empty()`).
+        let t = PartitionTree::complete(16, |_| 1.0);
+        let leaves = t.leaves();
+        assert_eq!(leaves.len(), 1 << 16);
+        assert!(leaves.iter().all(|p| p.level() == 16));
+        assert_eq!(leaves, t.level_nodes(16));
+        // is_leaf / is_internal are O(1) array-free checks on the prefix.
+        assert!(t.is_leaf(&Path::from_bits(12345, 16)));
+        assert!(!t.is_leaf(&Path::from_bits(123, 10)));
+        assert!(t.is_internal(&Path::from_bits(123, 10)));
     }
 }

@@ -38,13 +38,6 @@ impl Hypercube {
         self.dim
     }
 
-    /// Number of times coordinate `c` has been split after `level` total
-    /// splits.
-    #[inline]
-    fn splits_of_coord(&self, level: usize, c: usize) -> usize {
-        level / self.dim + usize::from(level % self.dim > c)
-    }
-
     /// The axis-aligned box `[lo, hi)` denoted by `theta`, as per-coordinate
     /// bounds.
     pub fn cell_bounds(&self, theta: &Path) -> Vec<(f64, f64)> {
@@ -62,18 +55,31 @@ impl Hypercube {
         lo.into_iter().zip(hi).collect()
     }
 
-    /// Validates that every coordinate of `p` lies in `[0,1]`; points on the
-    /// closed upper boundary are clamped just inside so `locate` stays
-    /// well-defined.
-    fn clamped(&self, p: &[f64]) -> Vec<f64> {
-        assert_eq!(p.len(), self.dim, "point dimension mismatch");
-        p.iter()
-            .map(|&x| {
-                assert!((0.0..=1.0).contains(&x), "coordinate {x} outside [0,1]");
-                x.min(1.0 - f64::EPSILON)
-            })
-            .collect()
+    /// The first 52 dyadic branch bits of coordinate `x` as a fixed-point
+    /// word: bit `51 − q` (from the MSB of the used range) is the branch
+    /// of `x`'s `q`-th halving — `⌊x·2^{q+1}⌋ mod 2 = (⌊x·2^52⌋ >> (51−q))
+    /// & 1`, exactly the digit the per-level float arithmetic used to
+    /// compute one multiplication at a time.
+    #[inline]
+    fn dyadic_bits(&self, x: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&x), "coordinate {x} outside [0,1]");
+        // Points on the closed upper boundary clamp just inside so every
+        // branch bit is 1.
+        (x.min(1.0 - f64::EPSILON) * (1u64 << 52) as f64) as u64
     }
+}
+
+/// Spreads the low 32 bits of `v` into the even bit positions (Morton
+/// "part1by1"): bit `j` of `v` moves to bit `2j`.
+#[inline]
+fn part1by1(mut v: u64) -> u64 {
+    v &= 0xFFFF_FFFF;
+    v = (v | (v << 16)) & 0x0000_FFFF_0000_FFFF;
+    v = (v | (v << 8)) & 0x00FF_00FF_00FF_00FF;
+    v = (v | (v << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    v = (v | (v << 2)) & 0x3333_3333_3333_3333;
+    v = (v | (v << 1)) & 0x5555_5555_5555_5555;
+    v
 }
 
 impl HierarchicalDomain for Hypercube {
@@ -81,18 +87,52 @@ impl HierarchicalDomain for Hypercube {
 
     fn locate(&self, p: &Self::Point, level: usize) -> Path {
         assert!(level <= self.max_level(), "level {level} too deep");
-        let p = self.clamped(p);
-        let mut theta = Path::root();
-        // Track per-coordinate dyadic position incrementally: after q splits
-        // of coordinate c, the branch is bit q of x_c's binary expansion.
-        for i in 0..level {
-            let c = i % self.dim;
-            let q = self.splits_of_coord(i, c); // splits of c before this one
-            let scaled = p[c] * 2f64.powi(q as i32 + 1);
-            let bit = (scaled as u64) & 1;
-            theta = theta.child(bit as u8);
+        assert_eq!(p.len(), self.dim, "point dimension mismatch");
+        // The hot path of `PrivHpBuilder::ingest`: each coordinate's full
+        // dyadic expansion is one fixed-point conversion, then every level
+        // is a shift-and-mask — no per-level float work, no allocation.
+        let mut bits = 0u64;
+        if self.dim == 1 {
+            let frac = self.dyadic_bits(p[0]);
+            bits = if level == 0 { 0 } else { frac >> (52 - level) };
+        } else if self.dim == 2 {
+            // Morton fast path: the branch sequence is the bit-interleave
+            // of the two dyadic expansions (x first), done with the
+            // classic mask-spread instead of a per-level loop.
+            let qx = level.div_ceil(2);
+            let qy = level / 2;
+            // Convert (and range-validate) both coordinates even when a
+            // shallow level consumes no bits of one of them.
+            let fx = self.dyadic_bits(p[0]);
+            let fy = self.dyadic_bits(p[1]);
+            let xv = if qx == 0 { 0 } else { fx >> (52 - qx) };
+            let yv = if qy == 0 { 0 } else { fy >> (52 - qy) };
+            // With msb-first values, x's last branch lands at result bit 1
+            // for even levels and bit 0 for odd levels (y the other way).
+            bits = if level.is_multiple_of(2) {
+                (part1by1(xv) << 1) | part1by1(yv)
+            } else {
+                part1by1(xv) | (part1by1(yv) << 1)
+            };
+        } else {
+            let mut fracs = [0u64; 8];
+            let spill: Vec<u64>;
+            let fracs: &[u64] = if self.dim <= fracs.len() {
+                for (slot, &x) in fracs.iter_mut().zip(p.iter()) {
+                    *slot = self.dyadic_bits(x);
+                }
+                &fracs[..self.dim]
+            } else {
+                spill = p.iter().map(|&x| self.dyadic_bits(x)).collect();
+                &spill
+            };
+            for i in 0..level {
+                let c = i % self.dim;
+                let q = i / self.dim; // splits of coordinate c before this one
+                bits = (bits << 1) | ((fracs[c] >> (51 - q)) & 1);
+            }
         }
-        theta
+        Path::from_bits(bits, level)
     }
 
     fn diameter(&self, theta: &Path) -> f64 {
@@ -162,6 +202,27 @@ mod tests {
                         "point {x} outside cell [{lo},{hi}) at level {level}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn two_dim_morton_matches_per_level_reference() {
+        // The dim-2 Morton fast path must agree with the generic
+        // cycle-one-coordinate-per-level reference at every level parity.
+        let cube = Hypercube::new(2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let p: Vec<f64> = (0..2).map(|_| rng.gen_range(0.0..1.0)).collect();
+            for level in 0..=20 {
+                let got = cube.locate(&p, level);
+                let mut reference = Path::root();
+                for i in 0..level {
+                    let c = i % 2;
+                    let scaled = p[c] * 2f64.powi((i / 2) as i32 + 1);
+                    reference = reference.child(((scaled as u64) & 1) as u8);
+                }
+                assert_eq!(got, reference, "divergence at level {level} for {p:?}");
             }
         }
     }

@@ -60,13 +60,27 @@ impl CountMinSketch {
         row * self.params.width + bucket
     }
 
-    /// Adds `weight` to `key`'s bucket in every row (Figure 1).
+    /// Adds `weight` to `key`'s bucket in every row (Figure 1). Row
+    /// buckets come from the family's batched double hash — two mixes for
+    /// the whole column.
     #[inline]
     pub fn update(&mut self, key: u64, weight: f64) {
-        for row in 0..self.params.depth {
-            let b = self.hashes.bucket(row, key);
-            let cell = self.cell(row, b);
-            self.table[cell] += weight;
+        let Self { table, hashes, params, .. } = self;
+        for (row, b) in table.chunks_exact_mut(params.width).zip(hashes.buckets(key)) {
+            row[b] += weight;
+        }
+        self.total_weight += weight;
+    }
+
+    /// [`Self::update`] with a caller-provided scratch buffer for the row
+    /// buckets — the streaming entry point `PrivHpBuilder::ingest` drives
+    /// all level sketches through, reusing one buffer across levels.
+    #[inline]
+    pub fn update_rows(&mut self, key: u64, weight: f64, scratch: &mut Vec<usize>) {
+        self.hashes.buckets_into(key, scratch);
+        let Self { table, params, .. } = self;
+        for (row, &b) in scratch.iter().enumerate() {
+            table[row * params.width + b] += weight;
         }
         self.total_weight += weight;
     }
@@ -75,8 +89,18 @@ impl CountMinSketch {
     #[inline]
     pub fn query(&self, key: u64) -> f64 {
         let mut est = f64::INFINITY;
-        for row in 0..self.params.depth {
-            let b = self.hashes.bucket(row, key);
+        for (row, b) in self.hashes.buckets(key).enumerate() {
+            est = est.min(self.table[self.cell(row, b)]);
+        }
+        est
+    }
+
+    /// [`Self::query`] with a caller-provided scratch buffer.
+    #[inline]
+    pub fn query_rows(&self, key: u64, scratch: &mut Vec<usize>) -> f64 {
+        self.hashes.buckets_into(key, scratch);
+        let mut est = f64::INFINITY;
+        for (row, &b) in scratch.iter().enumerate() {
             est = est.min(self.table[self.cell(row, b)]);
         }
         est
@@ -100,10 +124,14 @@ impl CountMinSketch {
     /// width/2`.
     ///
     /// `E[v̂_x − v_x] ≤ ‖tail_w(v)‖₁/w + 2^{-j+1}‖v‖₁/w`.
+    ///
+    /// `2^{-(j-1)}` is computed with integer-exponent arithmetic
+    /// (`powi`, exact for every reachable depth) rather than a
+    /// transcendental `powf` — `exp_sketch_error` evaluates this per cell.
     pub fn lemma4_error_bound(&self, tail_w_norm: f64, total_l1: f64) -> f64 {
         let w = (self.params.width / 2).max(1) as f64;
-        let j = self.params.depth as f64;
-        tail_w_norm / w + 2f64.powf(-j + 1.0) * total_l1 / w
+        let j = self.params.depth as i32;
+        tail_w_norm / w + 2f64.powi(1 - j) * total_l1 / w
     }
 
     /// Memory footprint in 8-byte words (counters + hash seeds).
@@ -208,5 +236,26 @@ mod tests {
     fn memory_words_counts_cells() {
         let s = CountMinSketch::new(SketchParams::new(3, 10), 1);
         assert_eq!(s.memory_words(), 33);
+    }
+
+    #[test]
+    fn scratch_entry_points_match_plain_update_and_query() {
+        // update_rows/query_rows must stay bucket-for-bucket identical to
+        // the bufferless paths — they share the double-hash family, and
+        // this pins them together if the hash scheme ever changes.
+        let p = SketchParams::new(9, 48);
+        let mut plain = CountMinSketch::new(p, 31);
+        let mut rows = CountMinSketch::new(p, 31);
+        let mut scratch = Vec::new();
+        for i in 0..400u64 {
+            let (key, w) = (i % 37, 1.0 + (i % 5) as f64);
+            plain.update(key, w);
+            rows.update_rows(key, w, &mut scratch);
+        }
+        assert_eq!(plain.total_weight(), rows.total_weight());
+        for key in 0..64u64 {
+            assert_eq!(plain.query(key), rows.query(key));
+            assert_eq!(plain.query(key), rows.query_rows(key, &mut scratch));
+        }
     }
 }

@@ -47,26 +47,58 @@ impl CountSketch {
         row * self.params.width + bucket
     }
 
-    /// Adds `weight` to `key` (signed per row).
+    /// Adds `weight` to `key` (signed per row). Buckets and signs come
+    /// from the family's batched double hash — three mixes for the whole
+    /// column.
     #[inline]
     pub fn update(&mut self, key: u64, weight: f64) {
-        for row in 0..self.params.depth {
-            let b = self.hashes.bucket(row, key);
-            let s = self.hashes.sign(row, key) as f64;
-            let cell = self.cell(row, b);
-            self.table[cell] += s * weight;
+        let Self { table, hashes, params, .. } = self;
+        let width = params.width;
+        hashes.for_each_signed_bucket(key, |row, b, sign| {
+            table[row * width + b] += sign * weight;
+        });
+        self.total_weight += weight;
+    }
+
+    /// [`Self::update`] with a caller-provided scratch buffer for the row
+    /// buckets — the streaming entry point `PrivHpBuilder::ingest` drives
+    /// all level sketches through, reusing one buffer across levels.
+    #[inline]
+    pub fn update_rows(&mut self, key: u64, weight: f64, scratch: &mut Vec<usize>) {
+        self.hashes.buckets_into(key, scratch);
+        let Self { table, hashes, params, .. } = self;
+        let width = params.width;
+        for (row, (&b, sign)) in scratch.iter().zip(hashes.signs(key)).enumerate() {
+            table[row * width + b] += sign * weight;
         }
         self.total_weight += weight;
     }
 
     /// Point query: median of signed row estimates.
     pub fn query(&self, key: u64) -> f64 {
-        let mut ests: Vec<f64> = (0..self.params.depth)
-            .map(|row| {
-                let b = self.hashes.bucket(row, key);
-                self.hashes.sign(row, key) as f64 * self.table[self.cell(row, b)]
-            })
+        let mut ests: Vec<f64> = Vec::with_capacity(self.params.depth);
+        let width = self.params.width;
+        self.hashes.for_each_signed_bucket(key, |row, b, sign| {
+            ests.push(sign * self.table[row * width + b]);
+        });
+        Self::median(&mut ests)
+    }
+
+    /// [`Self::query`] with a caller-provided scratch buffer for the row
+    /// buckets.
+    pub fn query_rows(&self, key: u64, scratch: &mut Vec<usize>) -> f64 {
+        self.hashes.buckets_into(key, scratch);
+        let mut ests: Vec<f64> = scratch
+            .iter()
+            .zip(self.hashes.signs(key))
+            .enumerate()
+            .map(|(row, (&b, sign))| sign * self.table[self.cell(row, b)])
             .collect();
+        Self::median(&mut ests)
+    }
+
+    /// Median of the (unsorted) row estimates.
+    fn median(ests: &mut [f64]) -> f64 {
         ests.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let m = ests.len();
         if m % 2 == 1 {
@@ -138,5 +170,25 @@ mod tests {
         let mut s = CountSketch::new(SketchParams::new(2, 64), 6);
         s.update(5, 8.0);
         assert!((s.query(5) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scratch_entry_points_match_plain_update_and_query() {
+        // Signed streaming through the scratch buffer must agree cell-for-
+        // cell (buckets *and* signs) with the bufferless closure path.
+        let p = SketchParams::new(7, 48);
+        let mut plain = CountSketch::new(p, 17);
+        let mut rows = CountSketch::new(p, 17);
+        let mut scratch = Vec::new();
+        for i in 0..400u64 {
+            let (key, w) = (i % 37, 1.0 + (i % 5) as f64);
+            plain.update(key, w);
+            rows.update_rows(key, w, &mut scratch);
+        }
+        assert_eq!(plain.total_weight(), rows.total_weight());
+        for key in 0..64u64 {
+            assert_eq!(plain.query(key), rows.query(key));
+            assert_eq!(plain.query(key), rows.query_rows(key, &mut scratch));
+        }
     }
 }

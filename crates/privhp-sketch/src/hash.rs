@@ -1,19 +1,31 @@
 //! Seeded hash families for sketch rows.
 //!
-//! Each sketch row `i` owns an independent hash function `h_i : u64 → [w]`.
-//! Lemma 4's error analysis assumes fully random hashing; in practice a
-//! strong 64-bit mixer applied to `key ⊕ seed_i` behaves indistinguishably
-//! for the stream sizes we target, and — as the paper stresses (§3.3) — the
-//! *privacy* guarantee is independent of the hash quality, because the
-//! oblivious noise in [`crate::private`] does not depend on the data.
+//! Each sketch row `i` owns a hash function `h_i : u64 → [w]`. The family
+//! uses *double hashing*: two splitmix64 mixes of the key produce a base
+//! `h₁` and an odd stride `h₂`, and row `i`'s 64-bit hash is
+//! `h₁ + i·h₂ (mod 2⁶⁴)`, reduced into `[0, width)` by Lemire's
+//! multiply-shift. A whole column of row buckets therefore costs two mixes
+//! plus one multiply per row — the batched entry points
+//! ([`HashFamily::buckets_into`]) are what lets `PrivHpBuilder::ingest`
+//! stream `L·j` sketch-row updates per item without `L·j` serial
+//! mix-probe chains. Lemma 4's error analysis assumes fully random
+//! hashing; double hashing from a strong mixer behaves indistinguishably
+//! for the stream sizes we target (the classic Kirsch–Mitzenmacher
+//! argument), and — as the paper stresses (§3.3) — the *privacy*
+//! guarantee is independent of the hash quality, because the oblivious
+//! noise in [`crate::private`] does not depend on the data.
 
 use privhp_dp::rng::{mix64, SeedSequence};
 use serde::{Deserialize, Serialize};
 
-/// A family of `depth` independent seeded hash functions into `[0, width)`.
+/// A family of `depth` seeded hash functions into `[0, width)`, all
+/// derived from one double-hash pair per key.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HashFamily {
-    seeds: Vec<u64>,
+    base_seed: u64,
+    stride_seed: u64,
+    sign_seed: u64,
+    depth: usize,
     width: usize,
 }
 
@@ -23,13 +35,15 @@ impl HashFamily {
     pub fn new(depth: usize, width: usize, master_seed: u64) -> Self {
         assert!(depth > 0 && width > 0, "hash family dimensions must be positive");
         let mut seq = SeedSequence::new(master_seed);
-        let seeds = (0..depth).map(|_| seq.next_seed()).collect();
-        Self { seeds, width }
+        let base_seed = seq.next_seed();
+        let stride_seed = seq.next_seed();
+        let sign_seed = seq.next_seed();
+        Self { base_seed, stride_seed, sign_seed, depth, width }
     }
 
     /// Number of functions (sketch depth `j`).
     pub fn depth(&self) -> usize {
-        self.seeds.len()
+        self.depth
     }
 
     /// Bucket-range width `w`.
@@ -37,24 +51,106 @@ impl HashFamily {
         self.width
     }
 
-    /// Hashes `key` with row `row`'s function; returns a bucket in
-    /// `[0, width)`.
+    /// The double-hash pair for `key`: base hash and odd stride. Two mixes
+    /// cover every row of the family.
     #[inline]
-    pub fn bucket(&self, row: usize, key: u64) -> usize {
-        let h = mix64(key ^ self.seeds[row]);
-        // Lemire's fast range reduction: unbiased enough for power-of-two or
-        // arbitrary widths and avoids the modulo's bias and latency.
-        (((h as u128) * (self.width as u128)) >> 64) as usize
+    fn hash_pair(&self, key: u64) -> (u64, u64) {
+        (mix64(key ^ self.base_seed), mix64(key ^ self.stride_seed) | 1)
     }
 
-    /// A ±1 sign for Count Sketch rows, independent of the bucket bits.
+    /// Lemire's fast range reduction of a 64-bit hash into `[0, width)`:
+    /// unbiased enough for arbitrary widths and avoids the modulo's bias
+    /// and latency.
+    #[inline]
+    fn reduce(&self, h: u64) -> usize {
+        // For a power-of-two width Lemire's reduction is exactly the top
+        // `log2(width)` bits, so the multiply collapses to a shift (the
+        // default widths `4k` are powers of two whenever `k` is); the
+        // general multiply-shift covers every other width with the same
+        // top-bits semantics.
+        if self.width > 1 && self.width.is_power_of_two() {
+            (h >> (64 - self.width.trailing_zeros())) as usize
+        } else {
+            // Covers width == 1 too (always bucket 0) — a 64-bit shift
+            // would overflow there.
+            (((h as u128) * (self.width as u128)) >> 64) as usize
+        }
+    }
+
+    /// Hashes `key` with row `row`'s function; returns a bucket in
+    /// `[0, width)`. Single-row entry point — identical to slot `row` of
+    /// [`Self::buckets_into`].
+    #[inline]
+    pub fn bucket(&self, row: usize, key: u64) -> usize {
+        let (h1, h2) = self.hash_pair(key);
+        self.reduce(h1.wrapping_add((row as u64).wrapping_mul(h2)))
+    }
+
+    /// Iterates every row's bucket for `key` in row order — the
+    /// allocation-free batched form (two mixes up front, one
+    /// multiply-shift per row).
+    #[inline]
+    pub fn buckets(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
+        let (h1, h2) = self.hash_pair(key);
+        let mut h = h1;
+        (0..self.depth).map(move |_| {
+            let b = self.reduce(h);
+            h = h.wrapping_add(h2);
+            b
+        })
+    }
+
+    /// Computes every row's bucket for `key` into `out` (cleared and
+    /// refilled; one slot per row): two mixes plus one multiply-shift per
+    /// row, no per-row re-mixing.
+    #[inline]
+    pub fn buckets_into(&self, key: u64, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(self.buckets(key));
+    }
+
+    /// A ±1 sign for Count Sketch rows, independent of the bucket bits:
+    /// bit `row` of a dedicated sign mix (one mix serves 64 rows).
     #[inline]
     pub fn sign(&self, row: usize, key: u64) -> i64 {
-        let h = mix64(key.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.seeds[row].rotate_left(17));
-        if h & 1 == 0 {
+        let word = self.sign_word(key, row / 64);
+        if (word >> (row % 64)) & 1 == 0 {
             1
         } else {
             -1
+        }
+    }
+
+    /// The 64-row sign word `block` for `key` (bit `row % 64` is row
+    /// `block·64 + row`'s sign).
+    #[inline]
+    pub(crate) fn sign_word(&self, key: u64, block: usize) -> u64 {
+        mix64(key ^ self.sign_seed ^ (block as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Iterates every row's ±1.0 sign for `key` in row order (one mix per
+    /// 64 rows) — the single home of the sign-word refresh logic.
+    #[inline]
+    pub fn signs(&self, key: u64) -> impl Iterator<Item = f64> + '_ {
+        let mut word = self.sign_word(key, 0);
+        (0..self.depth).map(move |row| {
+            if row > 0 && row % 64 == 0 {
+                word = self.sign_word(key, row / 64);
+            }
+            if (word >> (row % 64)) & 1 == 0 {
+                1.0
+            } else {
+                -1.0
+            }
+        })
+    }
+
+    /// Folds `f(row, bucket, sign)` over every row — the batched form the
+    /// Count Sketch uses (signs come from one mix per 64 rows).
+    #[inline]
+    pub fn for_each_signed_bucket(&self, key: u64, mut f: impl FnMut(usize, usize, f64)) {
+        for (row, (b, sign)) in self.buckets(key).zip(self.signs(key)).enumerate() {
+            f(row, b, sign);
         }
     }
 }
@@ -126,5 +222,72 @@ mod tests {
         let agree = (0..n).filter(|&k| (f.bucket(0, k) == 0) == (f.sign(0, k) == 1)).count();
         let frac = agree as f64 / n as f64;
         assert!((frac - 0.5).abs() < 0.01, "sign-bucket correlation {frac}");
+    }
+
+    #[test]
+    fn width_one_always_buckets_zero() {
+        // Regression: the power-of-two shift fast path must not fire for
+        // width 1 (a 64-bit shift overflows); every key lands in bucket 0.
+        let f = HashFamily::new(3, 1, 11);
+        for key in [0u64, 1, 0xFFFF, u64::MAX] {
+            for row in 0..3 {
+                assert_eq!(f.bucket(row, key), 0);
+            }
+            assert!(f.buckets(key).all(|b| b == 0));
+        }
+    }
+
+    #[test]
+    fn batched_buckets_match_single_row_entry_point() {
+        let f = HashFamily::new(9, 53, 77);
+        let mut scratch = Vec::new();
+        for key in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX] {
+            f.buckets_into(key, &mut scratch);
+            assert_eq!(scratch.len(), 9);
+            for (row, &b) in scratch.iter().enumerate() {
+                assert_eq!(b, f.bucket(row, key), "row {row} for key {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_fold_matches_single_row_entry_points() {
+        let f = HashFamily::new(7, 32, 5);
+        for key in [3u64, 99, 0xABCD] {
+            let mut rows = Vec::new();
+            f.for_each_signed_bucket(key, |row, b, s| rows.push((row, b, s)));
+            assert_eq!(rows.len(), 7);
+            for (row, b, s) in rows {
+                assert_eq!(b, f.bucket(row, key));
+                assert_eq!(s as i64, f.sign(row, key));
+            }
+        }
+    }
+
+    #[test]
+    fn signs_decorrelated_across_rows() {
+        // Consecutive rows read adjacent bits of the sign word; they must
+        // still agree only ~half the time over many keys.
+        let f = HashFamily::new(2, 2, 31);
+        let n = 100_000u64;
+        let agree = (0..n).filter(|&k| f.sign(0, k) == f.sign(1, k)).count();
+        let frac = agree as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "row-sign correlation {frac}");
+    }
+
+    #[test]
+    fn deep_families_span_multiple_sign_words() {
+        // depth > 64 exercises the per-64-row sign-word refresh in both
+        // the single-row and the folded entry points.
+        let f = HashFamily::new(130, 16, 8);
+        let mut seen = Vec::new();
+        f.for_each_signed_bucket(12345, |row, b, s| seen.push((row, b, s)));
+        assert_eq!(seen.len(), 130);
+        for (row, b, s) in seen {
+            assert_eq!(b, f.bucket(row, 12345));
+            assert_eq!(s as i64, f.sign(row, 12345));
+        }
+        let balance: i64 = (0..100_000u64).map(|k| f.sign(100, k)).sum();
+        assert!(balance.abs() < 2_000, "row-100 signs unbalanced: {balance}");
     }
 }

@@ -57,10 +57,23 @@ impl PrivateCountMinSketch {
         self.inner.update(key, weight);
     }
 
+    /// [`Self::update`] through a caller-provided row-bucket scratch
+    /// buffer (the batched streaming entry point).
+    #[inline]
+    pub fn update_rows(&mut self, key: u64, weight: f64, scratch: &mut Vec<usize>) {
+        self.inner.update_rows(key, weight, scratch);
+    }
+
     /// Noisy point query.
     #[inline]
     pub fn query(&self, key: u64) -> f64 {
         self.inner.query(key)
+    }
+
+    /// [`Self::query`] through a caller-provided scratch buffer.
+    #[inline]
+    pub fn query_rows(&self, key: u64, scratch: &mut Vec<usize>) -> f64 {
+        self.inner.query_rows(key, scratch)
     }
 
     /// Dimensions.
@@ -115,10 +128,23 @@ impl PrivateCountSketch {
         self.inner.update(key, weight);
     }
 
+    /// [`Self::update`] through a caller-provided row-bucket scratch
+    /// buffer (the batched streaming entry point).
+    #[inline]
+    pub fn update_rows(&mut self, key: u64, weight: f64, scratch: &mut Vec<usize>) {
+        self.inner.update_rows(key, weight, scratch);
+    }
+
     /// Noisy point query (median estimator).
     #[inline]
     pub fn query(&self, key: u64) -> f64 {
         self.inner.query(key)
+    }
+
+    /// [`Self::query`] through a caller-provided scratch buffer.
+    #[inline]
+    pub fn query_rows(&self, key: u64, scratch: &mut Vec<usize>) -> f64 {
+        self.inner.query_rows(key, scratch)
     }
 
     /// Dimensions.

@@ -1,0 +1,225 @@
+//! Golden-model property test for the dense-arena `PartitionTree`.
+//!
+//! The tree stores its complete prefix in a dense arena and everything
+//! deeper in a sparse overlay (plus a per-level registry). This test
+//! drives the real tree and a plain `HashMap`-based reference model —
+//! the pre-arena implementation, re-stated in ~40 lines — through the
+//! same random operation sequences, deliberately crossing the dense/
+//! overlay boundary, and checks every observable surface after every
+//! sequence: counts, membership, leaf/internal classification, per-level
+//! registries, length, depth, memory accounting, and a serde round-trip
+//! (which additionally re-densifies the complete prefix).
+
+use privhp::core::tree::PartitionTree;
+use privhp::domain::Path;
+use proptest::prelude::*;
+
+/// The sparse reference implementation the arena replaced.
+#[derive(Default)]
+struct RefModel {
+    counts: std::collections::HashMap<Path, f64>,
+    levels: Vec<Vec<Path>>,
+}
+
+impl RefModel {
+    fn insert(&mut self, path: Path, count: f64) {
+        if self.counts.insert(path, count).is_none() {
+            while self.levels.len() <= path.level() {
+                self.levels.push(Vec::new());
+            }
+            self.levels[path.level()].push(path);
+        }
+    }
+
+    fn is_internal(&self, path: &Path) -> bool {
+        path.level() < Path::MAX_LEVEL
+            && (self.counts.contains_key(&path.left()) || self.counts.contains_key(&path.right()))
+    }
+
+    fn is_leaf(&self, path: &Path) -> bool {
+        self.counts.contains_key(path) && !self.is_internal(path)
+    }
+
+    fn leaves(&self) -> Vec<Path> {
+        let mut out = Vec::new();
+        for level in &self.levels {
+            for p in level {
+                if self.is_leaf(p) {
+                    out.push(*p);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One scripted mutation. Paths are derived from `(level, bits)` raw
+/// material so sequences hit both the dense prefix and the overlay.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert { level: usize, bits: u64, count: f64 },
+    AddCount { level: usize, bits: u64, delta: f64 },
+    SetCount { level: usize, bits: u64, count: f64 },
+}
+
+fn op_from_raw(kind: u8, level_raw: usize, bits_raw: u64, value: f64) -> Op {
+    let level = level_raw % 7;
+    let bits = bits_raw & ((1u64 << level) - 1);
+    match kind % 3 {
+        0 => Op::Insert { level, bits, count: value },
+        1 => Op::AddCount { level, bits, delta: value },
+        _ => Op::SetCount { level, bits, count: value },
+    }
+}
+
+/// Asserts every observable surface agrees between tree and model.
+fn assert_equivalent(tree: &PartitionTree, model: &RefModel, context: &str) {
+    assert_eq!(tree.len(), model.counts.len(), "{context}: len");
+    assert_eq!(tree.is_empty(), model.counts.is_empty(), "{context}: is_empty");
+    assert_eq!(tree.memory_words(), 2 * model.counts.len(), "{context}: memory_words");
+    let model_depth = model.levels.len().saturating_sub(1);
+    assert_eq!(tree.depth(), model_depth, "{context}: depth");
+    assert_eq!(tree.root_count(), model.counts.get(&Path::root()).copied(), "{context}: root");
+
+    for (path, count) in &model.counts {
+        assert_eq!(tree.count(path), Some(*count), "{context}: count at {path}");
+        assert!(tree.contains(path), "{context}: contains {path}");
+        assert_eq!(tree.count_unchecked(path), *count, "{context}: count_unchecked {path}");
+        assert_eq!(tree.is_leaf(path), model.is_leaf(path), "{context}: is_leaf {path}");
+        assert_eq!(
+            tree.is_internal(path),
+            model.is_internal(path),
+            "{context}: is_internal {path}"
+        );
+        let expected_children =
+            match (model.counts.get(&path.left()), model.counts.get(&path.right())) {
+                (Some(l), Some(r)) => Some((*l, *r)),
+                _ => None,
+            };
+        assert_eq!(
+            tree.children_counts(path),
+            expected_children,
+            "{context}: children_counts {path}"
+        );
+    }
+
+    // Probe absent paths around the boundary too.
+    for level in 0..=7usize {
+        for bits in [0u64, 1, (1 << level) - 1] {
+            let bits = bits & ((1u64 << level) - 1);
+            let p = Path::from_bits(bits, level);
+            assert_eq!(tree.contains(&p), model.counts.contains_key(&p), "{context}: contains {p}");
+            assert_eq!(tree.count(&p), model.counts.get(&p).copied(), "{context}: count {p}");
+        }
+    }
+
+    // Registries: same paths per level (dense levels are bits-ordered in
+    // the tree; the model inserted them in the same order).
+    for level in 0..model.levels.len() {
+        let mut a: Vec<Path> = tree.level_nodes(level).to_vec();
+        let mut b = model.levels[level].clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "{context}: level_nodes({level})");
+    }
+
+    // Leaf sets agree (order may differ between registry layouts).
+    let mut tree_leaves = tree.leaves();
+    let mut model_leaves = model.leaves();
+    tree_leaves.sort();
+    model_leaves.sort();
+    assert_eq!(tree_leaves, model_leaves, "{context}: leaves");
+
+    // iter() covers exactly the node set.
+    let mut iterated: Vec<(Path, f64)> = tree.iter().map(|(p, c)| (*p, *c)).collect();
+    iterated.sort_by_key(|(p, _)| *p);
+    let mut expected: Vec<(Path, f64)> = model.counts.iter().map(|(p, c)| (*p, *c)).collect();
+    expected.sort_by_key(|(p, _)| *p);
+    assert_eq!(iterated, expected, "{context}: iter");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arena-backed tree ≡ sparse reference model under random
+    /// insert/add_count/set_count sequences that cross the L★ boundary,
+    /// including after a serde round-trip.
+    #[test]
+    fn arena_tree_matches_hashmap_reference(
+        dense_depth in 0usize..4,
+        start_sel in 0u8..2,
+        raw_ops in proptest::collection::vec(
+            (0u8..6, 0usize..64, 0u64..1024, -50.0f64..50.0),
+            1..60
+        )
+    ) {
+        let (mut tree, mut model) = if start_sel == 1 {
+            // Seed with a complete tree: the dense prefix covers
+            // 0..=dense_depth, later inserts below it land in the overlay.
+            let mut idx = 0u64;
+            let tree = PartitionTree::complete(dense_depth, |_| {
+                idx += 1;
+                idx as f64 * 0.5
+            });
+            let mut model = RefModel::default();
+            let mut idx = 0u64;
+            for level in 0..=dense_depth {
+                for bits in 0..(1u64 << level) {
+                    idx += 1;
+                    model.insert(Path::from_bits(bits, level), idx as f64 * 0.5);
+                }
+            }
+            (tree, model)
+        } else {
+            (PartitionTree::new(), RefModel::default())
+        };
+
+        for &(kind, level_raw, bits_raw, value) in &raw_ops {
+            match op_from_raw(kind, level_raw, bits_raw, value) {
+                Op::Insert { level, bits, count } => {
+                    let p = Path::from_bits(bits, level);
+                    tree.insert(p, count);
+                    model.insert(p, count);
+                }
+                Op::AddCount { level, bits, delta } => {
+                    let p = Path::from_bits(bits, level);
+                    // Mutating an absent node panics; the model decides.
+                    if model.counts.contains_key(&p) {
+                        tree.add_count(&p, delta);
+                        *model.counts.get_mut(&p).unwrap() += delta;
+                    }
+                }
+                Op::SetCount { level, bits, count } => {
+                    let p = Path::from_bits(bits, level);
+                    if model.counts.contains_key(&p) {
+                        tree.set_count(&p, count);
+                        *model.counts.get_mut(&p).unwrap() = count;
+                    }
+                }
+            }
+        }
+
+        assert_equivalent(&tree, &model, "after ops");
+
+        // Serde round-trip preserves every surface (and re-detects the
+        // maximal complete prefix internally).
+        let json = serde_json::to_string(&tree).expect("serialise");
+        let back: PartitionTree = serde_json::from_str(&json).expect("deserialise");
+        assert_equivalent(&back, &model, "after serde round-trip");
+
+        // The prefix bulk-update entry point matches per-level add_count
+        // whenever a root-to-leaf chain exists.
+        if model.counts.contains_key(&Path::root()) {
+            let deepest = model.counts.keys().copied().max_by_key(|p| p.level()).unwrap();
+            let chain_ok = (0..=deepest.level())
+                .all(|l| model.counts.contains_key(&deepest.ancestor(l)));
+            if chain_ok {
+                tree.add_count_prefix(&deepest, deepest.level(), 2.0);
+                for l in 0..=deepest.level() {
+                    *model.counts.get_mut(&deepest.ancestor(l)).unwrap() += 2.0;
+                }
+                assert_equivalent(&tree, &model, "after add_count_prefix");
+            }
+        }
+    }
+}
