@@ -7,28 +7,80 @@
 //! sum of the sweeps. Reports print in suite order once everything is done,
 //! and one JSON document per sweep lands in `bench_results/`.
 //!
-//! Usage: `cargo run -p privhp-bench --release --bin exp_all [-- --smoke]`
+//! Usage: `cargo run -p privhp-bench --release --bin exp_all [-- --smoke]
+//! [--shard I/K | --merge-shards dirA,dirB,…]`
 //!
 //! `--smoke` shrinks streams and trials (`PRIVHP_TRIALS`, default 2 in
 //! smoke mode) so the full suite completes in seconds — the CI smoke step.
+//!
+//! **Multi-machine sharding**: `--shard I/K` runs only the cells whose
+//! flat suite index is `≡ I (mod K)` — seeds derive from the full
+//! declaration, so K shard invocations (on K machines, each pointed at its
+//! own `PRIVHP_RESULTS_DIR`) together compute exactly the unsharded suite.
+//! Shard runs emit JSON only — a shard holds a subset of each sweep's
+//! cells, and the printed tables need raw trial values, so sharded runs
+//! trade the paper-facing reports and the `BENCH_*` baseline reduction
+//! for distribution; run unsharded when you need those. `--merge-shards
+//! dirA,dirB,…` reads each shard's per-sweep documents and writes the
+//! merged documents — cell-list union per experiment — into the usual
+//! results directory.
 
 use privhp_bench::experiments::{all, scale_from_args, Scale};
-use privhp_bench::report::{fmt, write_sweep_json, Table};
+use privhp_bench::report::{
+    fmt, merge_sweep_json, results_dir, write_sweep_json, write_value_json, Table,
+};
 use privhp_bench::runner::default_threads;
-use privhp_bench::sweep::run_sweeps;
+use privhp_bench::sweep::{run_sweeps_sharded, ShardSpec};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |name: &str| {
+        args.iter().position(|a| a == name).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| {
+                    eprintln!("{name} requires an argument");
+                    std::process::exit(2);
+                })
+                .clone()
+        })
+    };
+
+    if let Some(dirs) = flag_value("--merge-shards") {
+        merge_shards(&dirs);
+        return;
+    }
+
+    let shard = flag_value("--shard").map(|s| {
+        ShardSpec::parse(&s).unwrap_or_else(|e| {
+            eprintln!("--shard: {e}");
+            std::process::exit(2);
+        })
+    });
+
     let scale = scale_from_args();
     let threads = default_threads();
     let experiments = all();
     eprintln!(
-        "exp_all: scheduling {} experiments on {threads} threads ({})",
+        "exp_all: scheduling {} experiments on {threads} threads ({}{})",
         experiments.len(),
         if scale == Scale::Smoke { "smoke scale" } else { "full scale" },
+        shard.map(|s| format!(", shard {}/{}", s.index, s.count)).unwrap_or_default(),
     );
 
     let sweeps = experiments.iter().map(|e| (e.build)(scale)).collect();
-    let results = run_sweeps(sweeps, threads);
+    let results = run_sweeps_sharded(sweeps, threads, shard);
+
+    if shard.is_some() {
+        // A shard owns a subset of each sweep's cells, so the reports
+        // (which index cells by label) cannot render; every shard
+        // document still lands in bench_results/ for --merge-shards.
+        for result in &results {
+            write_sweep_json(result);
+        }
+        let cells: usize = results.iter().map(|r| r.cells.len()).sum();
+        println!("shard complete: {cells} cells across {} sweeps written as JSON", results.len());
+        return;
+    }
 
     for (exp, result) in experiments.iter().zip(&results) {
         println!("\n――― {} ―――\n", exp.name);
@@ -56,5 +108,52 @@ fn main() {
     println!(
         "\nsuite: {} cells, {total_cpu:.1} CPU-seconds packed into {wall:.1}s wall on {threads} threads",
         results.iter().map(|r| r.cells.len()).sum::<usize>(),
+    );
+}
+
+/// Merges per-shard `bench_results/` documents: for every registered
+/// experiment, reads `<dir>/<name>.json` from each comma-separated shard
+/// directory (shards that owned none of the sweep's cells may be missing
+/// the file), merges the cell lists, and writes the combined document into
+/// the standard results directory.
+fn merge_shards(dirs: &str) {
+    let dirs: Vec<&str> = dirs.split(',').filter(|d| !d.is_empty()).collect();
+    if dirs.is_empty() {
+        eprintln!("--merge-shards requires a comma-separated list of shard result directories");
+        std::process::exit(2);
+    }
+    let mut merged = 0usize;
+    for exp in all() {
+        let mut docs = Vec::new();
+        for dir in &dirs {
+            let path = std::path::Path::new(dir).join(format!("{}.json", exp.name));
+            let Ok(body) = std::fs::read_to_string(&path) else { continue };
+            match serde_json::parse_value_str(&body) {
+                Ok(doc) => docs.push(doc),
+                Err(e) => {
+                    eprintln!("error: {} is not valid JSON: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        if docs.is_empty() {
+            eprintln!("warning: no shard produced {}.json — skipping", exp.name);
+            continue;
+        }
+        match merge_sweep_json(&docs) {
+            Ok(doc) => {
+                write_value_json(exp.name, &doc);
+                merged += 1;
+            }
+            Err(e) => {
+                eprintln!("error merging {}: {e}", exp.name);
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "merged {merged} experiments from {} shard directories into {}",
+        dirs.len(),
+        results_dir().display()
     );
 }

@@ -30,6 +30,45 @@ pub const NAME: &str = "exp_throughput";
 const EPSILON: f64 = 1.0;
 const K: usize = 16;
 const METRICS: [&str; 3] = ["ingest_items_per_sec", "sample_points_per_sec", "finalize_ms"];
+const INGEST_METRIC: [&str; 1] = ["ingest_items_per_sec"];
+
+/// How a variant cell drives the builder's ingest.
+#[derive(Clone, Copy)]
+enum IngestMode {
+    /// Chunked level-major `ingest_batch`.
+    Batch,
+    /// Sharded `ingest_par` with this many worker threads.
+    Par(usize),
+}
+
+impl IngestMode {
+    fn label(self) -> String {
+        match self {
+            IngestMode::Batch => "batch".into(),
+            IngestMode::Par(t) => format!("par{t}"),
+        }
+    }
+}
+
+/// Times one ingest pass (construction and finalize excluded) in the
+/// given mode; returns items/sec.
+fn measure_ingest<D>(domain: D, data: &[D::Point], seed: u64, mode: IngestMode) -> Vec<f64>
+where
+    D: HierarchicalDomain + Clone + Send + Sync,
+    D::Point: Send + Sync,
+{
+    let config = PrivHpConfig::for_domain(EPSILON, data.len(), K).with_seed(seed);
+    let mut rng = DeterministicRng::seed_from_u64(mix64(seed ^ 0xBEEF));
+    let mut builder = PrivHpBuilder::new(domain, config, &mut rng).expect("valid config");
+    let t0 = std::time::Instant::now();
+    match mode {
+        IngestMode::Batch => builder.ingest_batch(data),
+        IngestMode::Par(threads) => builder.ingest_par(data, threads),
+    }
+    let ingest = t0.elapsed().as_secs_f64();
+    assert_eq!(builder.items_seen(), data.len());
+    vec![data.len() as f64 / ingest.max(1e-9)]
+}
 
 /// One timed build + sample pass; shared by the 1-D and d-D cells.
 fn measure<D>(domain: D, data: &[D::Point], m: usize, seed: u64) -> Vec<f64>
@@ -60,9 +99,13 @@ where
     vec![n as f64 / ingest.max(1e-9), m as f64 / sample.max(1e-9), finalize * 1e3]
 }
 
-/// Declares one exclusive timed cell per (dimension × stream size); the
-/// largest full-scale `n` matches `exp_scaling`'s largest default (2^20) so
-/// the baseline captures the hot path at the scale the ROADMAP cites.
+/// Declares exclusive timed cells per (dimension × stream size): the
+/// single-item baseline cell (ingest + sample + finalize, unchanged across
+/// PRs so the perf gate stays comparable) plus one cell per ingest variant
+/// — chunked `ingest_batch` and sharded `ingest_par` — measuring ingest
+/// only. The largest full-scale `n` matches `exp_scaling`'s largest
+/// default (2^20) so the baseline captures the hot path at the scale the
+/// ROADMAP cites.
 pub fn sweep(scale: Scale) -> Sweep {
     let exps: &[usize] = match scale {
         Scale::Full => &[16, 20],
@@ -93,6 +136,38 @@ pub fn sweep(scale: Scale) -> Sweep {
                 .with_param("k", K)
                 .exclusive(),
             );
+            for mode in [IngestMode::Batch, IngestMode::Par(2)] {
+                let threads = match mode {
+                    IngestMode::Batch => 1usize,
+                    IngestMode::Par(t) => t,
+                };
+                sweep.cell(
+                    Cell::new(
+                        format!("d={dim}/n=2^{exp}/ingest={}", mode.label()),
+                        trials,
+                        &INGEST_METRIC,
+                        move |ctx| {
+                            let mut wl = DeterministicRng::seed_from_u64(mix64(ctx.seed ^ 0xDA7A));
+                            if dim == 1 {
+                                let data: Vec<f64> =
+                                    GaussianMixture::three_modes(1).generate(n, &mut wl);
+                                measure_ingest(UnitInterval::new(), &data, ctx.seed, mode)
+                            } else {
+                                let data: Vec<Vec<f64>> =
+                                    GaussianMixture::three_modes(dim).generate(n, &mut wl);
+                                measure_ingest(Hypercube::new(dim), &data, ctx.seed, mode)
+                            }
+                        },
+                    )
+                    .with_param("dim", dim)
+                    .with_param("n", n)
+                    .with_param("mode", mode.label())
+                    .with_param("threads", threads)
+                    .with_param("epsilon", EPSILON)
+                    .with_param("k", K)
+                    .exclusive(),
+                );
+            }
         }
     }
     sweep
@@ -107,17 +182,30 @@ pub fn report(result: &SweepResult) {
     );
     let mut table =
         Table::new(&["cell", "ingest items/s", "sample points/s", "finalize ms", "trials"]);
+    let opt = |cell: &crate::sweep::CellResult, metric: &str| {
+        if cell.metrics.contains(&metric) {
+            fmt(cell.summary(metric).mean)
+        } else {
+            "-".into()
+        }
+    };
     for cell in &result.cells {
         table.row(vec![
             cell.label.clone(),
             format!("{:.0}", cell.summary("ingest_items_per_sec").mean),
-            format!("{:.0}", cell.summary("sample_points_per_sec").mean),
-            fmt(cell.summary("finalize_ms").mean),
+            if cell.metrics.contains(&"sample_points_per_sec") {
+                format!("{:.0}", cell.summary("sample_points_per_sec").mean)
+            } else {
+                "-".into()
+            },
+            opt(cell, "finalize_ms"),
             cell.trials.to_string(),
         ]);
     }
     table.print();
     println!("\nRates are end-to-end (hashing + tree/sketch updates; leaf CDF + uniform draw).");
+    println!("ingest=batch cells time PrivHpBuilder::ingest_batch (chunked, level-major);");
+    println!("ingest=parN cells time ingest_par (N shard workers, merged — same release bytes).");
     println!("Compare across PRs via bench_results/BENCH_throughput.json; the committed");
     println!("reference lives in bench_results/baseline/ (see README \"Performance\").");
     crate::report::write_baseline_json(result);

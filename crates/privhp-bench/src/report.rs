@@ -110,6 +110,57 @@ pub fn write_sweep_json(result: &crate::sweep::SweepResult) {
     write_json(&result.experiment, result);
 }
 
+/// Merges per-shard sweep documents (the [`write_sweep_json`] schema) of
+/// **one experiment**, produced by `exp_all --shard I/K` invocations on
+/// different machines, into a single document equivalent to the unsharded
+/// run: cell lists concatenate in the order given (each cell ran on
+/// exactly one shard, so labels must be disjoint), `threads` reports the
+/// maximum, and `wall_seconds` the maximum (shards run concurrently on
+/// separate machines).
+pub fn merge_sweep_json(docs: &[serde::Value]) -> Result<serde::Value, String> {
+    use serde::Value;
+    let first = docs.first().ok_or("merge_sweep_json needs at least one document")?;
+    let experiment = first
+        .get("experiment")
+        .and_then(Value::as_str)
+        .ok_or("shard document has no `experiment` field")?
+        .to_string();
+
+    let mut cells: Vec<Value> = Vec::new();
+    let mut labels = std::collections::HashSet::new();
+    let mut threads = 0i64;
+    let mut wall = 0.0f64;
+    for doc in docs {
+        let doc_exp = doc.get("experiment").and_then(Value::as_str).unwrap_or_default();
+        if doc_exp != experiment {
+            return Err(format!(
+                "cannot merge shard documents of different experiments: `{experiment}` vs `{doc_exp}`"
+            ));
+        }
+        threads = threads.max(doc.get("threads").and_then(Value::as_i64).unwrap_or(0));
+        wall = wall.max(doc.get("wall_seconds").and_then(Value::as_f64).unwrap_or(0.0));
+        let shard_cells = doc
+            .get("cells")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("shard document of `{experiment}` has no `cells` array"))?;
+        for cell in shard_cells {
+            let label = cell.get("label").and_then(Value::as_str).unwrap_or_default();
+            if !labels.insert(label.to_string()) {
+                return Err(format!(
+                    "cell `{label}` of `{experiment}` appears in more than one shard"
+                ));
+            }
+            cells.push(cell.clone());
+        }
+    }
+    Ok(Value::Object(vec![
+        ("experiment".into(), Value::String(experiment)),
+        ("threads".into(), Value::Int(threads)),
+        ("wall_seconds".into(), Value::Float(wall)),
+        ("cells".into(), Value::Array(cells)),
+    ]))
+}
+
 /// Reduces a sweep to the flat perf-baseline schema and writes it to
 /// `bench_results/BENCH_<experiment-stem>.json` (e.g. `exp_throughput` →
 /// `BENCH_throughput.json`): `{"experiment", "cells": {label: {metric:
@@ -121,6 +172,12 @@ pub fn write_sweep_json(result: &crate::sweep::SweepResult) {
 pub fn write_baseline_json(result: &crate::sweep::SweepResult) {
     let stem = result.experiment.strip_prefix("exp_").unwrap_or(&result.experiment);
     write_json(&format!("BENCH_{stem}"), &RawValue(baseline_value(result)));
+}
+
+/// Serialises an already-lowered [`serde::Value`] document to
+/// `bench_results/<name>.json` (e.g. a merged multi-shard sweep document).
+pub fn write_value_json(name: &str, value: &serde::Value) {
+    write_json(name, &RawValue(value.clone()));
 }
 
 /// Adapter: the vendored `serde::Value` does not implement `Serialize`

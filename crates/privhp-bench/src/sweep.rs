@@ -423,6 +423,54 @@ impl Serialize for SweepResult {
     }
 }
 
+// ---- multi-machine sharding -------------------------------------------------
+
+/// A multi-machine shard assignment `I/K`: this invocation owns the cells
+/// whose flat index (counting every cell of every sweep in declaration
+/// order) is `≡ I (mod K)`.
+///
+/// Sharding happens at **cell granularity** so each cell's trials — and
+/// therefore its summary — stay on one machine and per-shard JSON
+/// documents merge by cell-list union
+/// ([`crate::report::merge_sweep_json`]). Seeds are derived from each
+/// task's flat index within the *full declared* sweep, never from what
+/// actually runs, so every shard observes exactly the seeds it would see
+/// in an unsharded run and the shards compose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This invocation's shard index, `0 ≤ index < count`.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// Creates a validated shard spec.
+    pub fn new(index: usize, count: usize) -> Result<Self, String> {
+        if count == 0 {
+            return Err("shard count must be at least 1".into());
+        }
+        if index >= count {
+            return Err(format!("shard index {index} out of range for {count} shards"));
+        }
+        Ok(Self { index, count })
+    }
+
+    /// Parses the CLI form `I/K` (e.g. `0/4`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (i, k) = s.split_once('/').ok_or_else(|| format!("--shard expects I/K, got '{s}'"))?;
+        let index: usize = i.trim().parse().map_err(|_| format!("bad shard index '{i}'"))?;
+        let count: usize = k.trim().parse().map_err(|_| format!("bad shard count '{k}'"))?;
+        Self::new(index, count)
+    }
+
+    /// Whether this shard owns flat cell `flat_cell`.
+    #[inline]
+    pub fn owns(&self, flat_cell: usize) -> bool {
+        flat_cell % self.count == self.index
+    }
+}
+
 // ---- scheduler -------------------------------------------------------------
 
 /// Per-cell progress bookkeeping shared by the worker threads.
@@ -468,17 +516,51 @@ pub fn run_sweep(sweep: Sweep, threads: usize) -> SweepResult {
 /// pre-assigned slots and are bit-identical for any thread count: seeds are
 /// fixed by declaration order, never by scheduling.
 pub fn run_sweeps(sweeps: Vec<Sweep>, threads: usize) -> Vec<SweepResult> {
+    run_sweeps_sharded(sweeps, threads, None)
+}
+
+/// [`run_sweeps`] restricted to one [`ShardSpec`] of a multi-machine run:
+/// only the owned cells execute, and each [`SweepResult`] contains only
+/// those cells. Seeds are computed over the **full declaration** (never
+/// over what actually runs), so the per-shard results are bit-identical to
+/// the corresponding cells of an unsharded run and the shards' JSON
+/// documents compose by cell union
+/// ([`crate::report::merge_sweep_json`]).
+pub fn run_sweeps_sharded(
+    sweeps: Vec<Sweep>,
+    threads: usize,
+    shard: Option<ShardSpec>,
+) -> Vec<SweepResult> {
     let t0 = Instant::now();
 
+    // Shard ownership per (sweep, cell), by flat cell index across the
+    // whole suite in declaration order.
+    let mut flat_cell = 0usize;
+    let owned: Vec<Vec<bool>> = sweeps
+        .iter()
+        .map(|s| {
+            s.cells
+                .iter()
+                .map(|_| {
+                    let mine = shard.map(|sp| sp.owns(flat_cell)).unwrap_or(true);
+                    flat_cell += 1;
+                    mine
+                })
+                .collect()
+        })
+        .collect();
+
     // Flat task list: (sweep, cell, trial, seed). Seeds use the sweep's
-    // stream and the flat index *within that sweep*, so co-scheduling
-    // sweeps never changes any seed.
+    // stream and the flat index *within that sweep's full declaration*, so
+    // neither co-scheduling nor sharding ever changes any seed.
     let mut tasks: Vec<(usize, usize, usize, u64)> = Vec::new();
     for (s, sweep) in sweeps.iter().enumerate() {
         let mut flat = 0u64;
         for (c, cell) in sweep.cells.iter().enumerate() {
             for t in 0..cell.trials {
-                tasks.push((s, c, t, trial_seed(sweep.stream, flat)));
+                if owned[s][c] {
+                    tasks.push((s, c, t, trial_seed(sweep.stream, flat)));
+                }
                 flat += 1;
             }
         }
@@ -494,7 +576,7 @@ pub fn run_sweeps(sweeps: Vec<Sweep>, threads: usize) -> Vec<SweepResult> {
         .map(|s| s.cells.iter().map(|c| CellProgress::new(c.trials)).collect())
         .collect();
 
-    let total_cells: usize = sweeps.iter().map(|s| s.cells.len()).sum();
+    let total_cells: usize = owned.iter().map(|s| s.iter().filter(|&&m| m).count()).sum::<usize>();
     let cells_done = AtomicUsize::new(0);
     let next = AtomicUsize::new(0);
     let threads = threads.clamp(1, tasks.len().max(1));
@@ -580,7 +662,8 @@ pub fn run_sweeps(sweeps: Vec<Sweep>, threads: usize) -> Vec<SweepResult> {
         .into_iter()
         .zip(slots)
         .zip(progress)
-        .map(|((sweep, cell_slots), cell_progress)| SweepResult {
+        .zip(owned)
+        .map(|(((sweep, cell_slots), cell_progress), cell_owned)| SweepResult {
             experiment: sweep.experiment,
             threads,
             wall_seconds,
@@ -589,7 +672,9 @@ pub fn run_sweeps(sweeps: Vec<Sweep>, threads: usize) -> Vec<SweepResult> {
                 .into_iter()
                 .zip(cell_slots)
                 .zip(cell_progress)
-                .map(|((cell, trial_slots), p)| CellResult {
+                .zip(cell_owned)
+                .filter(|(_, mine)| *mine)
+                .map(|(((cell, trial_slots), p), _)| CellResult {
                     label: cell.label,
                     params: cell.params,
                     trials: cell.trials,
@@ -754,6 +839,67 @@ mod tests {
             cell.cpu_seconds
         );
         assert!(cell.wall_seconds >= 0.075, "the setup span stays in wall-clock");
+    }
+
+    #[test]
+    fn sharded_runs_compose_to_the_unsharded_run() {
+        // Every cell lands in exactly one shard, with values bit-identical
+        // to the unsharded run — the multi-machine composition invariant.
+        let full = run_sweep(toy_sweep(7, 3), 2);
+        let mut seen: std::collections::HashMap<String, Vec<Vec<f64>>> =
+            std::collections::HashMap::new();
+        for index in 0..3 {
+            let shard = ShardSpec::new(index, 3).unwrap();
+            let results = run_sweeps_sharded(vec![toy_sweep(7, 3)], 2, Some(shard));
+            for cell in &results[0].cells {
+                assert!(
+                    seen.insert(cell.label.clone(), cell.values.clone()).is_none(),
+                    "cell `{}` owned by two shards",
+                    cell.label
+                );
+            }
+        }
+        assert_eq!(seen.len(), full.cells.len(), "shards must cover every cell");
+        for cell in &full.cells {
+            assert_eq!(&cell.values, &seen[&cell.label], "`{}` differs from unsharded", cell.label);
+        }
+    }
+
+    #[test]
+    fn sharding_counts_cells_across_sweeps() {
+        // The flat cell index spans the whole suite, so a two-sweep run
+        // splits between shards even when one sweep has a single cell.
+        let mut single = Sweep::new("single");
+        single.cell(Cell::new("only", 2, &["v"], |ctx| vec![ctx.seed as f64]));
+        let shard0 = run_sweeps_sharded(
+            vec![toy_sweep(3, 2), {
+                let mut s = Sweep::new("single");
+                s.cell(Cell::new("only", 2, &["v"], |ctx| vec![ctx.seed as f64]));
+                s
+            }],
+            2,
+            Some(ShardSpec::new(0, 2).unwrap()),
+        );
+        let shard1 = run_sweeps_sharded(
+            vec![toy_sweep(3, 2), single],
+            2,
+            Some(ShardSpec::new(1, 2).unwrap()),
+        );
+        let cells = |r: &[SweepResult]| r.iter().map(|s| s.cells.len()).sum::<usize>();
+        assert_eq!(cells(&shard0) + cells(&shard1), 4, "3 toy cells + 1 single cell");
+        // Cell 3 (the second sweep's only cell) belongs to shard 1.
+        assert_eq!(shard1[1].cells.len(), 1);
+        assert_eq!(shard0[1].cells.len(), 0);
+    }
+
+    #[test]
+    fn shard_spec_parses_and_validates() {
+        assert_eq!(ShardSpec::parse("0/4").unwrap(), ShardSpec { index: 0, count: 4 });
+        assert_eq!(ShardSpec::parse("3/4").unwrap(), ShardSpec { index: 3, count: 4 });
+        assert!(ShardSpec::parse("4/4").unwrap_err().contains("out of range"));
+        assert!(ShardSpec::parse("1").unwrap_err().contains("I/K"));
+        assert!(ShardSpec::parse("a/b").unwrap_err().contains("bad shard"));
+        assert!(ShardSpec::new(0, 0).unwrap_err().contains("at least 1"));
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! registered experiment end-to-end (grids, reports, JSON).
 
 use privhp_bench::experiments::{all, build_all, Scale};
-use privhp_bench::report::{results_dir, write_sweep_json};
-use privhp_bench::sweep::{run_sweeps, SweepResult};
+use privhp_bench::report::{merge_sweep_json, results_dir, write_sweep_json};
+use privhp_bench::sweep::{run_sweeps, run_sweeps_sharded, ShardSpec, SweepResult};
+use serde::{Serialize, Value};
 
 /// One sequential test owns every environment-dependent phase: libtest runs
 /// `#[test]`s on parallel threads, and `set_var` racing `env::var` readers
@@ -91,6 +92,63 @@ fn sweep_engine_end_to_end() {
 
     // The override is honoured: nothing leaked into the workspace default.
     assert_eq!(results_dir(), json_dir);
+
+    // Phase 4 — multi-machine sharding composes: running a real experiment
+    // sweep as K `--shard I/K` invocations covers every cell exactly once
+    // with values bit-identical to the unsharded run, and
+    // `merge_sweep_json` reassembles the per-shard documents into one
+    // equivalent document. (Lives in this test body because Scale::Smoke
+    // reads PRIVHP_TRIALS.)
+    let full = run_sweeps(vec![build()], 2);
+
+    const K: usize = 3;
+    let shard_results: Vec<SweepResult> = (0..K)
+        .map(|i| {
+            run_sweeps_sharded(vec![build()], 2, Some(ShardSpec::new(i, K).unwrap()))
+                .pop()
+                .expect("one sweep in, one result out")
+        })
+        .collect();
+
+    // Coverage: every cell in exactly one shard, bit-identical values.
+    let mut covered = 0usize;
+    for cell in &full[0].cells {
+        let owners: Vec<&SweepResult> = shard_results
+            .iter()
+            .filter(|r| r.cells.iter().any(|c| c.label == cell.label))
+            .collect();
+        assert_eq!(owners.len(), 1, "cell `{}` must be owned by exactly one shard", cell.label);
+        let shard_cell =
+            owners[0].cells.iter().find(|c| c.label == cell.label).expect("owner has the cell");
+        for (va, vb) in cell.values.iter().zip(&shard_cell.values) {
+            let bits_a: Vec<u64> = va.iter().map(|x| x.to_bits()).collect();
+            let bits_b: Vec<u64> = vb.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(bits_a, bits_b, "cell `{}` differs under sharding", cell.label);
+        }
+        covered += 1;
+    }
+    assert_eq!(covered, full[0].cells.len());
+
+    // Document merge: per-shard JSON documents reassemble the full suite.
+    let docs: Vec<Value> = shard_results.iter().map(Serialize::to_value).collect();
+    let merged = merge_sweep_json(&docs).expect("shard documents merge");
+    assert_eq!(merged.get("experiment").and_then(Value::as_str), Some("exp_sketch_error"));
+    let merged_cells = merged.get("cells").and_then(Value::as_array).expect("cells array");
+    assert_eq!(merged_cells.len(), full[0].cells.len());
+
+    // Duplicated cells (same shard twice) must be rejected.
+    let dup = merge_sweep_json(&[docs[0].clone(), docs[0].clone()]);
+    if !docs[0].get("cells").and_then(Value::as_array).map(|c| c.is_empty()).unwrap_or(true) {
+        assert!(dup.unwrap_err().contains("more than one shard"));
+    }
+
+    // Mixed experiments must be rejected.
+    let other = Value::Object(vec![
+        ("experiment".into(), Value::String("exp_other".into())),
+        ("cells".into(), Value::Array(Vec::new())),
+    ]);
+    let err = merge_sweep_json(&[docs[0].clone(), other]).unwrap_err();
+    assert!(err.contains("different experiments"));
 }
 
 /// Every exp_* binary shim maps onto a registered experiment: the registry

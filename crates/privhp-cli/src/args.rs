@@ -25,6 +25,8 @@ pub enum Command {
         domain: DomainSpec,
         /// Master seed for the build's randomness.
         seed: u64,
+        /// Ingest worker threads (1 = sequential batched ingest).
+        threads: usize,
     },
     /// `privhp sample` — draw synthetic points from a release.
     Sample {
@@ -128,6 +130,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
         "build" => {
             let map = flag_map(&args[1..])?;
             let domain = DomainSpec::parse(take_or(&map, "domain", "interval")).map_err(err)?;
+            let threads = parse_usize("threads", take_or(&map, "threads", "1"))?;
+            if threads == 0 {
+                return Err(err("--threads must be at least 1"));
+            }
             Ok(Command::Build {
                 input: take(&map, "input")?.to_string(),
                 output: take(&map, "output")?.to_string(),
@@ -135,6 +141,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 k: parse_usize("k", take(&map, "k")?)?,
                 domain,
                 seed: parse_u64("seed", take_or(&map, "seed", "42"))?,
+                threads,
             })
         }
         "sample" => {
@@ -180,13 +187,15 @@ privhp — private synthetic data generation in bounded memory (PODS 2025)
 
 USAGE:
   privhp build  --input data.csv --output release.json --epsilon 1.0 --k 16
-                [--domain interval|cube:D|ipv4] [--seed S]
+                [--domain interval|cube:D|ipv4] [--seed S] [--threads N]
   privhp sample --release release.json --count N [--seed S]
   privhp query  --release release.json (--range a,b | --cdf x | --quantile q | --mean true)
   privhp info   --release release.json
 
 Input CSV: one point per line. interval: a single value in [0,1];
 cube:D: D comma-separated values in [0,1]; ipv4: dotted-quad addresses.
+The CSV is ingested in batches; --threads N shards the stream across N
+ingest workers and merges (same release bytes as --threads 1).
 The release file is eps-differentially private; querying and sampling it
 costs no further privacy budget.";
 
@@ -213,16 +222,51 @@ mod tests {
         ]))
         .unwrap();
         match cmd {
-            Command::Build { input, output, epsilon, k, domain, seed } => {
+            Command::Build { input, output, epsilon, k, domain, seed, threads } => {
                 assert_eq!(input, "d.csv");
                 assert_eq!(output, "r.json");
                 assert_eq!(epsilon, 0.5);
                 assert_eq!(k, 8);
                 assert_eq!(domain, DomainSpec::Interval);
                 assert_eq!(seed, 42);
+                assert_eq!(threads, 1, "threads defaults to sequential ingest");
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_threads() {
+        let cmd = parse_args(&v(&[
+            "build",
+            "--input",
+            "d",
+            "--output",
+            "o",
+            "--epsilon",
+            "1",
+            "--k",
+            "4",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        assert!(matches!(cmd, Command::Build { threads: 4, .. }));
+        let e = parse_args(&v(&[
+            "build",
+            "--input",
+            "d",
+            "--output",
+            "o",
+            "--epsilon",
+            "1",
+            "--k",
+            "4",
+            "--threads",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("at least 1"));
     }
 
     #[test]

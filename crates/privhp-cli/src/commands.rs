@@ -6,7 +6,7 @@
 //! the domain value and the CSV codec, then hands off to one shared
 //! trait-driven pipeline.
 
-use privhp_core::{Generator, PrivHp, PrivHpConfig, TreeQuery};
+use privhp_core::{Generator, PrivHpBuilder, PrivHpConfig, TreeQuery, INGEST_CHUNK};
 use privhp_domain::{HierarchicalDomain, Hypercube, Ipv4Space, UnitInterval};
 use privhp_dp::rng::rng_from_seed;
 
@@ -14,22 +14,39 @@ use crate::args::QueryKind;
 use crate::csvio;
 use crate::release::{DomainSpec, ReleaseFile};
 
-/// Shared build pipeline: Algorithm 1 over a parsed stream, wrapped into a
+/// Shared build pipeline: Algorithm 1 over a CSV stream, wrapped into a
 /// versioned release file. Domain-agnostic — callers only choose the
-/// domain value and configuration.
+/// domain value, the per-line codec and the configuration.
+///
+/// With one thread the CSV is parsed and ingested in [`INGEST_CHUNK`]-sized
+/// batches (no full point vector is ever materialised); with `threads > 1`
+/// the parsed stream is sharded across that many ingest workers and merged
+/// — bit-identical to the sequential build, so the release bytes do not
+/// depend on the thread count.
 fn build_release<D>(
     domain: &D,
     spec: DomainSpec,
     config: PrivHpConfig,
-    data: Vec<D::Point>,
+    csv: &str,
+    parse_line: impl Fn(usize, &str) -> Result<D::Point, String>,
     seed: u64,
+    threads: usize,
 ) -> Result<ReleaseFile, String>
 where
-    D: HierarchicalDomain + Clone,
+    D: HierarchicalDomain + Clone + Send + Sync,
+    D::Point: Send + Sync,
 {
     let mut rng = rng_from_seed(seed ^ 0xC11);
-    let g = PrivHp::build(domain, config.clone(), data, &mut rng)
+    let mut builder = PrivHpBuilder::new(domain.clone(), config.clone(), &mut rng)
         .map_err(|e| format!("configuration error: {e}"))?;
+    if threads > 1 {
+        let mut data: Vec<D::Point> = Vec::new();
+        csvio::parse_batches(csv, INGEST_CHUNK, parse_line, |b| data.extend_from_slice(b))?;
+        builder.ingest_par(&data, threads);
+    } else {
+        csvio::parse_batches(csv, INGEST_CHUNK, parse_line, |b| builder.ingest_batch(b))?;
+    }
+    let g = builder.finalize();
     Ok(ReleaseFile::new(spec, config, g.tree().clone()))
 }
 
@@ -40,28 +57,43 @@ pub fn run_build(
     k: usize,
     domain: DomainSpec,
     seed: u64,
+    threads: usize,
 ) -> Result<String, String> {
+    let n = csvio::payload_count(csv).max(2);
     let release = match domain {
         DomainSpec::Interval => {
-            let data = csvio::parse_interval(csv)?;
-            let config = PrivHpConfig::for_domain(epsilon, data.len().max(2), k).with_seed(seed);
-            build_release(&UnitInterval::new(), domain, config, data, seed)?
+            let config = PrivHpConfig::for_domain(epsilon, n, k).with_seed(seed);
+            build_release(
+                &UnitInterval::new(),
+                domain,
+                config,
+                csv,
+                csvio::parse_interval_line,
+                seed,
+                threads,
+            )?
         }
         DomainSpec::Cube { dim } => {
-            let data = csvio::parse_cube(csv, dim)?;
-            let config = PrivHpConfig::for_domain(epsilon, data.len().max(2), k).with_seed(seed);
-            build_release(&Hypercube::new(dim), domain, config, data, seed)?
+            let config = PrivHpConfig::for_domain(epsilon, n, k).with_seed(seed);
+            build_release(
+                &Hypercube::new(dim),
+                domain,
+                config,
+                csv,
+                |no, line| csvio::parse_cube_line(no, line, dim),
+                seed,
+                threads,
+            )?
         }
         DomainSpec::Ipv4 => {
-            let data = csvio::parse_ipv4(csv)?;
             let space = Ipv4Space::new();
-            let base = PrivHpConfig::for_domain(epsilon, data.len().max(2), k).with_seed(seed);
+            let base = PrivHpConfig::for_domain(epsilon, n, k).with_seed(seed);
             // The address hierarchy is at most 32 levels deep; clamp the
             // Corollary-1 defaults to it.
             let depth = base.depth.min(space.max_level()).max(2);
             let l_star = base.l_star.min(depth - 1);
             let config = base.with_levels(l_star, depth);
-            build_release(&space, domain, config, data, seed)?
+            build_release(&space, domain, config, csv, csvio::parse_ipv4_line, seed, threads)?
         }
     };
     Ok(release.to_json())
@@ -170,7 +202,7 @@ mod tests {
     #[test]
     fn build_sample_query_info_pipeline() {
         let csv = sample_csv(2_000);
-        let release = run_build(&csv, 1.0, 8, DomainSpec::Interval, 7).unwrap();
+        let release = run_build(&csv, 1.0, 8, DomainSpec::Interval, 7, 1).unwrap();
 
         let info = run_info(&release).unwrap();
         assert!(info.contains("domain:        interval"));
@@ -196,7 +228,7 @@ mod tests {
             let t = i as f64 / 500.0;
             csv.push_str(&format!("{},{}\n", t * 0.999, (1.0 - t) * 0.999));
         }
-        let release = run_build(&csv, 1.0, 4, DomainSpec::Cube { dim: 2 }, 3).unwrap();
+        let release = run_build(&csv, 1.0, 4, DomainSpec::Cube { dim: 2 }, 3, 1).unwrap();
         let samples = run_sample(&release, 100, 4).unwrap();
         let parsed = csvio::parse_cube(&samples, 2).unwrap();
         assert_eq!(parsed.len(), 100);
@@ -211,7 +243,7 @@ mod tests {
         for i in 0..2_000 {
             csv.push_str(&format!("10.0.{}.{}\n", i % 256, (i * 7) % 256));
         }
-        let release = run_build(&csv, 1.0, 4, DomainSpec::Ipv4, 5).unwrap();
+        let release = run_build(&csv, 1.0, 4, DomainSpec::Ipv4, 5, 1).unwrap();
         let samples = run_sample(&release, 200, 6).unwrap();
         let parsed = csvio::parse_ipv4(&samples).unwrap();
         assert_eq!(parsed.len(), 200);
@@ -221,22 +253,34 @@ mod tests {
     }
 
     #[test]
+    fn threaded_build_releases_identical_bytes() {
+        // --threads N shards the ingest and merges; the release file must
+        // be byte-for-byte the file --threads 1 writes.
+        let csv = sample_csv(3_000);
+        let sequential = run_build(&csv, 1.0, 8, DomainSpec::Interval, 7, 1).unwrap();
+        for threads in [2usize, 3] {
+            let parallel = run_build(&csv, 1.0, 8, DomainSpec::Interval, 7, threads).unwrap();
+            assert_eq!(sequential, parallel, "release bytes changed at --threads {threads}");
+        }
+    }
+
+    #[test]
     fn query_rejects_non_interval_release() {
         let csv = "0.1,0.2\n0.3,0.4\n".repeat(50);
-        let release = run_build(&csv, 1.0, 2, DomainSpec::Cube { dim: 2 }, 1).unwrap();
+        let release = run_build(&csv, 1.0, 2, DomainSpec::Cube { dim: 2 }, 1, 1).unwrap();
         assert!(run_query(&release, QueryKind::Mean).unwrap_err().contains("interval"));
     }
 
     #[test]
     fn build_propagates_csv_errors() {
-        assert!(run_build("nonsense\n", 1.0, 4, DomainSpec::Interval, 1)
+        assert!(run_build("nonsense\n", 1.0, 4, DomainSpec::Interval, 1, 1)
             .unwrap_err()
             .contains("line 1"));
     }
 
     #[test]
     fn query_validates_ranges() {
-        let release = run_build(&sample_csv(100), 1.0, 2, DomainSpec::Interval, 1).unwrap();
+        let release = run_build(&sample_csv(100), 1.0, 2, DomainSpec::Interval, 1, 1).unwrap();
         assert!(run_query(&release, QueryKind::Range(0.5, 0.2)).is_err());
         assert!(run_query(&release, QueryKind::Quantile(1.5)).is_err());
     }

@@ -7,53 +7,84 @@
 
 use privhp_domain::Ipv4Space;
 
+/// Parses one interval line: a `[0,1]` value.
+pub fn parse_interval_line(no: usize, line: &str) -> Result<f64, String> {
+    let x: f64 = line.trim().parse().map_err(|_| format!("line {no}: '{line}' is not a number"))?;
+    if !(0.0..=1.0).contains(&x) {
+        return Err(format!("line {no}: {x} outside [0,1]"));
+    }
+    Ok(x)
+}
+
+/// Parses one cube line: `dim` comma-separated `[0,1]` values.
+pub fn parse_cube_line(no: usize, line: &str, dim: usize) -> Result<Vec<f64>, String> {
+    let coords: Result<Vec<f64>, String> = line
+        .split(',')
+        .map(|f| f.trim().parse::<f64>().map_err(|_| format!("line {no}: '{f}' is not a number")))
+        .collect();
+    let coords = coords?;
+    if coords.len() != dim {
+        return Err(format!("line {no}: expected {dim} coordinates, found {}", coords.len()));
+    }
+    if coords.iter().any(|x| !(0.0..=1.0).contains(x)) {
+        return Err(format!("line {no}: coordinate outside [0,1]"));
+    }
+    Ok(coords)
+}
+
+/// Parses one IPv4 line: a dotted-quad address.
+pub fn parse_ipv4_line(no: usize, line: &str) -> Result<u32, String> {
+    Ipv4Space::parse_addr(line.trim())
+        .ok_or_else(|| format!("line {no}: '{line}' is not an IPv4 address"))
+}
+
 /// Parses interval points: one `[0,1]` value per line.
 pub fn parse_interval(input: &str) -> Result<Vec<f64>, String> {
-    payload_lines(input)
-        .map(|(no, line)| {
-            let x: f64 =
-                line.trim().parse().map_err(|_| format!("line {no}: '{line}' is not a number"))?;
-            if !(0.0..=1.0).contains(&x) {
-                return Err(format!("line {no}: {x} outside [0,1]"));
-            }
-            Ok(x)
-        })
-        .collect()
+    payload_lines(input).map(|(no, line)| parse_interval_line(no, line)).collect()
 }
 
 /// Parses `dim`-dimensional cube points: `dim` comma-separated values.
 pub fn parse_cube(input: &str, dim: usize) -> Result<Vec<Vec<f64>>, String> {
-    payload_lines(input)
-        .map(|(no, line)| {
-            let coords: Result<Vec<f64>, String> = line
-                .split(',')
-                .map(|f| {
-                    f.trim().parse::<f64>().map_err(|_| format!("line {no}: '{f}' is not a number"))
-                })
-                .collect();
-            let coords = coords?;
-            if coords.len() != dim {
-                return Err(format!(
-                    "line {no}: expected {dim} coordinates, found {}",
-                    coords.len()
-                ));
-            }
-            if coords.iter().any(|x| !(0.0..=1.0).contains(x)) {
-                return Err(format!("line {no}: coordinate outside [0,1]"));
-            }
-            Ok(coords)
-        })
-        .collect()
+    payload_lines(input).map(|(no, line)| parse_cube_line(no, line, dim)).collect()
 }
 
 /// Parses IPv4 addresses in dotted-quad form.
 pub fn parse_ipv4(input: &str) -> Result<Vec<u32>, String> {
-    payload_lines(input)
-        .map(|(no, line)| {
-            Ipv4Space::parse_addr(line.trim())
-                .ok_or_else(|| format!("line {no}: '{line}' is not an IPv4 address"))
-        })
-        .collect()
+    payload_lines(input).map(|(no, line)| parse_ipv4_line(no, line)).collect()
+}
+
+/// Number of payload (non-comment, non-blank) lines — the stream length a
+/// build must size its configuration for before reading any points.
+pub fn payload_count(input: &str) -> usize {
+    payload_lines(input).count()
+}
+
+/// Drives `parse_line` over the payload lines in batches of `batch`,
+/// handing each parsed batch to `consume` as soon as it fills — the
+/// CSV-read-in-batches front of the CLI build path, so a single-threaded
+/// build never materialises the whole point vector. Returns the total
+/// number of points consumed; the first malformed line aborts with its
+/// 1-based number.
+pub fn parse_batches<T>(
+    input: &str,
+    batch: usize,
+    parse_line: impl Fn(usize, &str) -> Result<T, String>,
+    mut consume: impl FnMut(&[T]),
+) -> Result<usize, String> {
+    assert!(batch > 0, "batch size must be positive");
+    let mut buf: Vec<T> = Vec::with_capacity(batch);
+    let mut total = 0usize;
+    for (no, line) in payload_lines(input) {
+        buf.push(parse_line(no, line)?);
+        if buf.len() == batch {
+            consume(&buf);
+            total += buf.len();
+            buf.clear();
+        }
+    }
+    total += buf.len();
+    consume(&buf);
+    Ok(total)
 }
 
 /// Formats interval samples as CSV.
@@ -139,5 +170,26 @@ mod tests {
         assert!(csv.contains("192.168.1.1"));
         assert_eq!(parse_ipv4(&csv).unwrap(), pts);
         assert!(parse_ipv4("999.1.1.1\n").unwrap_err().contains("line 1"));
+    }
+
+    #[test]
+    fn batched_parse_matches_whole_parse() {
+        let csv = "# header\n0.1\n0.2\n\n0.3\n0.4\n0.5\n";
+        let whole = parse_interval(csv).unwrap();
+        let mut batched = Vec::new();
+        let n =
+            parse_batches(csv, 2, parse_interval_line, |b| batched.extend_from_slice(b)).unwrap();
+        assert_eq!(n, whole.len());
+        assert_eq!(batched, whole);
+        assert_eq!(payload_count(csv), whole.len());
+    }
+
+    #[test]
+    fn batched_parse_aborts_on_bad_line() {
+        let mut seen = 0usize;
+        let e = parse_batches("0.1\nbogus\n0.3\n", 8, parse_interval_line, |b| seen += b.len())
+            .unwrap_err();
+        assert!(e.contains("line 2"), "{e}");
+        assert_eq!(seen, 0, "nothing consumed before the abort in a single batch");
     }
 }

@@ -25,9 +25,9 @@ fn run(args: &[String]) -> Result<String, String> {
     let command = parse_args(args).map_err(|e| e.to_string())?;
     match command {
         Command::Help => Ok(format!("{HELP}\n")),
-        Command::Build { input, output, epsilon, k, domain, seed } => {
+        Command::Build { input, output, epsilon, k, domain, seed, threads } => {
             let csv = read_input(&input)?;
-            let json = commands::run_build(&csv, epsilon, k, domain, seed)?;
+            let json = commands::run_build(&csv, epsilon, k, domain, seed, threads)?;
             std::fs::write(&output, &json).map_err(|e| format!("cannot write {output}: {e}"))?;
             Ok(format!("release written to {output}\n"))
         }

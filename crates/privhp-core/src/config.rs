@@ -81,7 +81,11 @@ pub enum SketchKind {
 }
 
 /// Full PrivHP parameterisation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Equality compares every field (including the master seed) — two equal
+/// configs produce builders with identically-shaped, mergeable state,
+/// which is what [`crate::PrivHpBuilder::merge`] checks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PrivHpConfig {
     /// Total privacy budget ε.
     pub epsilon: f64,

@@ -27,9 +27,24 @@ use std::collections::HashMap;
 
 use crate::budget::optimal_budget_split;
 use crate::config::{ConfigError, PrivHpConfig};
-use crate::grow::grow_partition;
+use crate::grow::{grow_partition, FrequencyOracle};
 use crate::privhp::PrivHpGenerator;
 use crate::tree::PartitionTree;
+
+/// One deep level of a sharded continual deployment, viewed as a single
+/// frequency oracle: the level's estimate is the **sum of the per-shard
+/// estimates** (each shard's Count-Min min-over-rows never underestimates
+/// its own shard, so the sum keeps the one-sided Count-Min semantics over
+/// the union).
+struct ShardedLevelOracle<'a> {
+    parts: Vec<&'a ContinualCountMinSketch>,
+}
+
+impl FrequencyOracle for ShardedLevelOracle<'_> {
+    fn estimate(&self, key: u64) -> f64 {
+        self.parts.iter().map(|s| s.query(key)).sum()
+    }
+}
 
 /// Streaming state of the continual-observation PrivHP.
 #[derive(Debug)]
@@ -143,6 +158,49 @@ impl<D: HierarchicalDomain + Clone> ContinualPrivHp<D> {
         self.counters.values().map(|c| c.memory_words()).sum::<usize>()
             + self.sketches.iter().map(|s| s.memory_words()).sum::<usize>()
     }
+
+    /// Snapshot of this instance's current private counter tree (complete
+    /// levels `0..=L★`, canonical node order).
+    fn snapshot_tree(&self) -> PartitionTree {
+        PartitionTree::complete(self.config.l_star, |p| self.counters[p].query())
+    }
+
+    /// The **distributed-ingestion** release: each shard runs its own
+    /// `ContinualPrivHp` over a *disjoint* slice of the stream, and a
+    /// release over the union merges the shards' snapshot trees
+    /// ([`PartitionTree::merge`] — one dense-prefix elementwise pass, the
+    /// same merge the 1-pass builder shards use) and sums their deep-level
+    /// sketch estimates.
+    ///
+    /// Privacy: each shard's state sequence is ε-DP on its own shard, the
+    /// shards hold disjoint data, so the joint release is ε-DP by parallel
+    /// composition — checkpoints remain free, exactly as for a single
+    /// instance. The price is K-fold noise variance in every merged count,
+    /// the expected cost of merging independently-noised structures.
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty or the shards were configured
+    /// differently (different shapes cannot merge).
+    pub fn release_merged(shards: &[&ContinualPrivHp<D>]) -> PrivHpGenerator<D> {
+        let first = shards.first().expect("release_merged needs at least one shard");
+        let mut tree = first.snapshot_tree();
+        for s in &shards[1..] {
+            assert_eq!(s.config, first.config, "shard configs must match to merge releases");
+            tree.merge(&s.snapshot_tree());
+        }
+        let oracles: Vec<ShardedLevelOracle<'_>> = (0..first.sketches.len())
+            .map(|i| ShardedLevelOracle { parts: shards.iter().map(|s| &s.sketches[i]).collect() })
+            .collect();
+        let tree =
+            grow_partition(tree, &oracles, first.config.l_star, first.config.depth, first.config.k);
+        PrivHpGenerator::from_parts(
+            first.domain.clone(),
+            first.config.clone(),
+            first.split.clone(),
+            tree,
+            shards.iter().map(|s| s.items_seen).sum(),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +270,65 @@ mod tests {
             large < small * 4,
             "continual memory must be polylog in the horizon: {small} -> {large}"
         );
+    }
+
+    #[test]
+    fn distributed_shards_release_the_union() {
+        // Two continual instances over disjoint halves of a skewed stream:
+        // the merged release must see the whole stream's mass and skew.
+        let data = skewed(4_096);
+        let config = PrivHpConfig::for_domain(8.0, data.len(), 8).with_seed(11);
+        let mut a = ContinualPrivHp::new(UnitInterval::new(), config.clone(), 12).unwrap();
+        let mut b = ContinualPrivHp::new(UnitInterval::new(), config, 12).unwrap();
+        let mut rng = rng_from_seed(12);
+        let (left, right) = data.split_at(data.len() / 2);
+        for x in left {
+            a.ingest(x, &mut rng);
+        }
+        for x in right {
+            b.ingest(x, &mut rng);
+        }
+        let merged = ContinualPrivHp::release_merged(&[&a, &b]);
+        assert_eq!(merged.items_seen(), data.len());
+        assert!(crate::consistency::find_consistency_violation(merged.tree(), &Path::root(), 1e-6)
+            .is_none());
+        let s = merged.sample_many(4_000, &mut rng);
+        let low = s.iter().filter(|&&x| x < 0.25).count() as f64 / 4_000.0;
+        let true_low = data.iter().filter(|&&x| x < 0.25).count() as f64 / data.len() as f64;
+        assert!((low - true_low).abs() < 0.25, "merged release mass {low} vs true {true_low}");
+    }
+
+    #[test]
+    fn single_shard_release_merged_matches_release_shape() {
+        let data = skewed(512);
+        let config = PrivHpConfig::for_domain(4.0, data.len(), 4).with_seed(21);
+        let mut c = ContinualPrivHp::new(UnitInterval::new(), config, 10).unwrap();
+        let mut rng = rng_from_seed(22);
+        for x in &data {
+            c.ingest(x, &mut rng);
+        }
+        let solo = c.release();
+        let merged = ContinualPrivHp::release_merged(&[&c]);
+        // K = 1: snapshot + summed-oracle reduce to the plain release.
+        assert_eq!(solo.items_seen(), merged.items_seen());
+        assert_eq!(solo.tree().len(), merged.tree().len());
+        for (p, cnt) in solo.tree().iter() {
+            assert_eq!(
+                cnt.to_bits(),
+                merged.tree().count_unchecked(p).to_bits(),
+                "single-shard merged release diverged at {p}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard configs must match")]
+    fn mismatched_shard_configs_rejected() {
+        let c1 = PrivHpConfig::for_domain(2.0, 512, 4).with_seed(1);
+        let c2 = PrivHpConfig::for_domain(2.0, 512, 8).with_seed(1);
+        let a = ContinualPrivHp::new(UnitInterval::new(), c1, 10).unwrap();
+        let b = ContinualPrivHp::new(UnitInterval::new(), c2, 10).unwrap();
+        let _ = ContinualPrivHp::release_merged(&[&a, &b]);
     }
 
     #[test]

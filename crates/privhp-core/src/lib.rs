@@ -63,7 +63,7 @@ pub use config::{ConfigError, PrivHpConfig};
 pub use continual::ContinualPrivHp;
 pub use generator::{DimSupport, Generator};
 pub use grow::GrowOptions;
-pub use privhp::{PrivHp, PrivHpBuilder, PrivHpGenerator};
+pub use privhp::{LevelSketches, PrivHp, PrivHpBuilder, PrivHpGenerator, INGEST_CHUNK};
 pub use query::TreeQuery;
 pub use sampler::TreeSampler;
 pub use tree::PartitionTree;

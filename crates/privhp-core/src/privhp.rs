@@ -1,58 +1,277 @@
-//! The 1-pass PrivHP algorithm — paper Algorithm 1.
+//! The 1-pass PrivHP algorithm — paper Algorithm 1 — with **mergeable**
+//! builder state.
 //!
-//! [`PrivHpBuilder`] is the streaming interface: construct (which *draws all
-//! privacy noise up front*, per Algorithm 1 lines 2–8), feed points one at a
-//! time with [`PrivHpBuilder::ingest`], then [`PrivHpBuilder::finalize`] to
-//! run GrowPartition and obtain a [`PrivHpGenerator`]. [`PrivHp::build`] is
-//! the one-shot convenience wrapper.
+//! [`PrivHpBuilder`] is the streaming interface: construct, feed points with
+//! [`PrivHpBuilder::ingest`] / [`PrivHpBuilder::ingest_batch`] /
+//! [`PrivHpBuilder::ingest_par`], then [`PrivHpBuilder::finalize`] to run
+//! GrowPartition and obtain a [`PrivHpGenerator`]. [`PrivHp::build`] is the
+//! one-shot convenience wrapper.
 //!
-//! Privacy: the builder spends its entire ε at construction — counters get
-//! `Laplace(1/σ_l)`, each `sketch_l` gets `Laplace(j/σ_l)` per cell
-//! (Theorem 2 with `Σ σ_l = ε`). Everything after the stream pass is
-//! deterministic post-processing of those privatised structures, and the
-//! sampler's randomness is independent of the data, so the generator and
-//! every dataset drawn from it are ε-DP.
+//! # Mergeable state and exactly-once noise
+//!
+//! The builder's data structures — the shallow counter tree and the
+//! flattened deep-level sketch arena ([`LevelSketches`]) — hold **only the
+//! deterministic stream counts** (exact integers for unit-weight streams).
+//! The privacy noise of Algorithm 1 lines 2–8 is *committed* at
+//! construction ([`PrivHpBuilder::new`] draws a noise seed from the
+//! caller's RNG, before any data is seen, so the noise is oblivious) but
+//! *materialised* exactly once, at [`PrivHpBuilder::finalize`]. Because
+//! counters and sketches are linear and the deterministic tables sum
+//! exactly, builder state is mergeable: [`PrivHpBuilder::new_shard`]
+//! constructs a noiseless shard builder, [`PrivHpBuilder::merge`] adds a
+//! shard's tables into a coordinator, and a K-shard
+//! [`PrivHpBuilder::ingest_par`] build is **bit-identical** to the
+//! sequential build with the same seeds — the substrate for data-parallel
+//! and multi-machine ingest.
+//!
+//! Privacy: the builder spends its entire ε at finalization — counters get
+//! `Laplace(1/σ_l)`, each deep level's sketch region gets `Laplace(j/σ_l)`
+//! per cell (Theorem 2 with `Σ σ_l = ε`) — from a noise stream fixed before
+//! the data. Everything after noise injection is deterministic
+//! post-processing of privatised structures, and the sampler's randomness
+//! is independent of the data, so the generator and every dataset drawn
+//! from it are ε-DP. Shard builders never release anything themselves
+//! ([`PrivHpBuilder::finalize`] refuses noiseless state), so sharding does
+//! not change the privacy analysis.
 
-use privhp_domain::HierarchicalDomain;
+use privhp_domain::{HierarchicalDomain, Path};
 use privhp_dp::budget::BudgetSplit;
 use privhp_dp::laplace::Laplace;
-use privhp_dp::rng::SeedSequence;
-use privhp_sketch::{PrivateCountMinSketch, PrivateCountSketch};
+use privhp_dp::rng::{rng_from_seed, SeedSequence};
+use privhp_sketch::{count_min, count_sketch, HashFamily, SketchParams};
 use rand::RngCore;
 
-use crate::config::SketchKind;
+use crate::budget::optimal_budget_split;
+use crate::config::{ConfigError, PrivHpConfig, SketchKind};
+use crate::grow::FrequencyOracle;
+use crate::sampler::TreeSampler;
+use crate::tree::PartitionTree;
 
-/// The deep-level private sketches, one per level `l ∈ (L★, L]`, stored as
-/// a homogeneous vector per §3.4 flavour so the stream pass dispatches on
-/// the kind once per item instead of once per level.
+/// Items per internal ingest chunk: large enough to amortise the
+/// level-major passes over each level's table region, small enough that
+/// the per-chunk scratch (located paths + hash pairs) stays cache-resident.
+pub const INGEST_CHUNK: usize = 2048;
+
+/// The deep-level sketches, one per level `l ∈ (L★, L]`, flattened into
+/// **one contiguous `f64` arena**.
+///
+/// Layout (level-major, row-major within a level; all levels share the
+/// configured [`SketchParams`], so every region has the same shape):
+///
+/// ```text
+/// table: [ level L★+1: row 0 | row 1 | … | row j−1 ][ level L★+2: … ] …
+///          ^ offsets[0]                               ^ offsets[1]
+/// ```
+///
+/// The stream pass's `L·j` scattered adds are the dominant ingest cost once
+/// the per-level tables outgrow the fast caches; one allocation with
+/// precomputed per-level offsets lets [`PrivHpBuilder::ingest_batch`] apply
+/// a whole chunk's adds *level-major*, keeping each `j·width` region hot
+/// while it is being updated. All updates and queries route through the
+/// sketch crate's single per-kind hashing code path
+/// ([`count_min::update_table`] / [`count_sketch::update_table`] and their
+/// query twins), so the arena is bucket-for-bucket identical to a vector
+/// of standalone sketches with the same per-level seeds.
 #[derive(Debug, Clone)]
-pub enum LevelSketches {
-    /// Private Count-Min (paper default).
-    CountMin(Vec<PrivateCountMinSketch>),
-    /// Private Count Sketch (unbiased median estimator).
-    CountSketch(Vec<PrivateCountSketch>),
+pub struct LevelSketches {
+    kind: SketchKind,
+    params: SketchParams,
+    /// The hierarchy level of region 0 (`L★ + 1`).
+    first_level: usize,
+    /// All level tables, one contiguous allocation.
+    table: Vec<f64>,
+    /// Precomputed start offset of each level's region in `table`.
+    offsets: Vec<usize>,
+    /// Per-level hash families, seeded exactly as the pre-arena per-level
+    /// sketches were (one [`SeedSequence`] seed per level, in level order).
+    hashes: Vec<HashFamily>,
+    /// Per-level sums of true update weights (not private; internal).
+    total_weights: Vec<f64>,
 }
 
 impl LevelSketches {
+    /// Creates a zeroed arena for `levels` deep levels starting at
+    /// `first_level`, hash-seeded from `master_seed`.
+    fn new(
+        kind: SketchKind,
+        params: SketchParams,
+        first_level: usize,
+        levels: usize,
+        master_seed: u64,
+    ) -> Self {
+        let mut seeds = SeedSequence::new(master_seed);
+        let cells = params.cells();
+        Self {
+            kind,
+            params,
+            first_level,
+            table: vec![0.0; cells * levels],
+            offsets: (0..levels).map(|i| i * cells).collect(),
+            hashes: (0..levels)
+                .map(|_| HashFamily::new(params.depth, params.width, seeds.next_seed()))
+                .collect(),
+            total_weights: vec![0.0; levels],
+        }
+    }
+
+    /// Number of deep levels summarised.
+    pub fn levels(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// The raw flattened arena (level-major, row-major within a level) —
+    /// exposed for diagnostics and the merge-equivalence tests.
+    pub fn table(&self) -> &[f64] {
+        &self.table
+    }
+
+    /// The sketch key of `deep`'s ancestor at region `i`'s level.
+    #[inline]
+    fn key_at(first_level: usize, i: usize, deep: &Path) -> u64 {
+        let l = first_level + i;
+        (1u64 << l) | (deep.bits() >> (deep.level() - l))
+    }
+
+    /// Streams one item into every level region (the single-item path).
+    fn update_item(&mut self, deep: &Path) {
+        let cells = self.params.cells();
+        let Self { kind, first_level, table, offsets, hashes, total_weights, .. } = self;
+        for (i, fam) in hashes.iter().enumerate() {
+            let key = Self::key_at(*first_level, i, deep);
+            let region = &mut table[offsets[i]..offsets[i] + cells];
+            match kind {
+                SketchKind::CountMin => count_min::update_table(region, fam, key, 1.0),
+                SketchKind::CountSketch => count_sketch::update_table(region, fam, key, 1.0),
+            }
+            total_weights[i] += 1.0;
+        }
+    }
+
+    /// Applies a whole chunk **level-major**: for each level, hash the
+    /// chunk up front (two mixes per item into `pairs`), then stream the
+    /// `j` scattered adds per item through the sketch crate's batched
+    /// pair path ([`count_min::update_table_pairs`], monomorphised over
+    /// the common widths, two items interleaved) while that level's
+    /// region is hot — this is where the batched ingest rate comes from.
+    fn update_chunk(&mut self, deep_bits: &[u64], deep_level: usize, pairs: &mut Vec<(u64, u64)>) {
+        if deep_bits.is_empty() {
+            return;
+        }
+        let cells = self.params.cells();
+        let Self { kind, first_level, table, offsets, hashes, total_weights, .. } = self;
+        for (i, fam) in hashes.iter().enumerate() {
+            let l = *first_level + i;
+            let (lead, key_shift) = (1u64 << l, deep_level - l);
+            let region = &mut table[offsets[i]..offsets[i] + cells];
+            match kind {
+                SketchKind::CountMin => {
+                    // Phase A: two mixes per item for the whole chunk.
+                    pairs.clear();
+                    pairs.extend(deep_bits.iter().map(|&b| fam.hash_pair(lead | (b >> key_shift))));
+                    // Phase B: the scattered adds, level-major.
+                    count_min::update_table_pairs(region, fam, pairs, 1.0);
+                }
+                SketchKind::CountSketch => {
+                    // The signed path needs the per-item sign word too, so
+                    // it streams items directly through the kind's single
+                    // update path (still level-major across the chunk).
+                    for &b in deep_bits {
+                        count_sketch::update_table(region, fam, lead | (b >> key_shift), 1.0);
+                    }
+                }
+            }
+            total_weights[i] += deep_bits.len() as f64;
+        }
+    }
+
+    /// Adds `Laplace(j/σ_l)` noise to every cell of every level region —
+    /// the §3.4 oblivious release, injected exactly once at finalization.
+    fn add_noise<R: RngCore>(&mut self, split: &BudgetSplit, rng: &mut R) {
+        let cells = self.params.cells();
+        let j = self.params.depth as f64;
+        for i in 0..self.levels() {
+            let dist = Laplace::new(j / split.sigma(self.first_level + i));
+            for cell in &mut self.table[self.offsets[i]..self.offsets[i] + cells] {
+                *cell += dist.sample(rng);
+            }
+        }
+    }
+
+    /// Adds another arena's tables into this one elementwise. Exact for
+    /// the integer data tables, so shard merges compose bit-identically.
+    ///
+    /// # Panics
+    /// Panics unless kind, shape, level span, and hash seeds all match.
+    pub fn merge(&mut self, other: &LevelSketches) {
+        assert_eq!(self.kind, other.kind, "cannot merge arenas of different sketch kinds");
+        assert_eq!(self.params, other.params, "cannot merge arenas of different dimensions");
+        assert_eq!(self.first_level, other.first_level, "cannot merge arenas of different spans");
+        assert_eq!(self.hashes, other.hashes, "cannot merge arenas with different hash seeds");
+        for (cell, o) in self.table.iter_mut().zip(&other.table) {
+            *cell += o;
+        }
+        for (t, o) in self.total_weights.iter_mut().zip(&other.total_weights) {
+            *t += o;
+        }
+    }
+
+    /// Borrowed per-level frequency-oracle views for GrowPartition.
+    fn views(&self) -> Vec<LevelSketchView<'_>> {
+        let cells = self.params.cells();
+        (0..self.levels())
+            .map(|i| LevelSketchView {
+                kind: self.kind,
+                table: &self.table[self.offsets[i]..self.offsets[i] + cells],
+                hashes: &self.hashes[i],
+            })
+            .collect()
+    }
+
+    /// Memory footprint in 8-byte words (cells + hash seeds), identical to
+    /// the pre-arena accounting of one standalone sketch per level.
     fn memory_words(&self) -> usize {
-        match self {
-            LevelSketches::CountMin(v) => v.iter().map(|s| s.memory_words()).sum(),
-            LevelSketches::CountSketch(v) => v.iter().map(|s| s.memory_words()).sum(),
+        self.table.len() + self.levels() * self.params.depth
+    }
+}
+
+/// One level's borrowed region of the [`LevelSketches`] arena, viewed as a
+/// frequency oracle for GrowPartition.
+#[derive(Debug, Clone, Copy)]
+pub struct LevelSketchView<'a> {
+    kind: SketchKind,
+    table: &'a [f64],
+    hashes: &'a HashFamily,
+}
+
+impl FrequencyOracle for LevelSketchView<'_> {
+    fn estimate(&self, key: u64) -> f64 {
+        match self.kind {
+            SketchKind::CountMin => count_min::query_table(self.table, self.hashes, key),
+            SketchKind::CountSketch => count_sketch::query_table(self.table, self.hashes, key),
         }
     }
 }
 
-use crate::budget::optimal_budget_split;
-use crate::config::{ConfigError, PrivHpConfig};
-use crate::sampler::TreeSampler;
-use crate::tree::PartitionTree;
+/// Reusable per-chunk scratch of the batched ingest path.
+#[derive(Debug, Default)]
+struct IngestScratch {
+    /// Located deepest paths of the current chunk.
+    paths: Vec<Path>,
+    /// The located paths' packed bits — what the level-major passes
+    /// actually consume (one 8-byte load per item instead of a 16-byte
+    /// `Path`).
+    bits: Vec<u64>,
+    /// Per-item double-hash pairs of the level currently being applied.
+    pairs: Vec<(u64, u64)>,
+}
 
 /// Marker namespace for the one-shot API.
 pub struct PrivHp;
 
 impl PrivHp {
     /// Builds a generator from a complete stream in one call: initialise,
-    /// parse, grow. `rng` supplies the privacy noise.
+    /// parse (in [`INGEST_CHUNK`]-sized batches), grow. `rng` supplies the
+    /// privacy-noise seed.
     pub fn build<D, I, R>(
         domain: &D,
         config: PrivHpConfig,
@@ -65,15 +284,22 @@ impl PrivHp {
         R: RngCore,
     {
         let mut builder = PrivHpBuilder::new(domain.clone(), config, rng)?;
+        let mut buf: Vec<D::Point> = Vec::with_capacity(INGEST_CHUNK);
         for point in stream {
-            builder.ingest(&point);
+            buf.push(point);
+            if buf.len() == INGEST_CHUNK {
+                builder.ingest_batch(&buf);
+                buf.clear();
+            }
         }
+        builder.ingest_batch(&buf);
         Ok(builder.finalize())
     }
 }
 
-/// Streaming state of Algorithm 1: the noisy complete tree (levels
-/// `0..=L★`) plus one private sketch per deeper level.
+/// Streaming state of Algorithm 1: the deterministic counter tree (levels
+/// `0..=L★`) plus the flattened deep-level sketch arena, and — on
+/// coordinators only — the committed noise seed.
 #[derive(Debug)]
 pub struct PrivHpBuilder<D: HierarchicalDomain> {
     domain: D,
@@ -81,17 +307,19 @@ pub struct PrivHpBuilder<D: HierarchicalDomain> {
     split: BudgetSplit,
     tree: PartitionTree,
     sketches: LevelSketches,
-    /// Reusable row-bucket buffer for the Count-Sketch variant, shared
-    /// across its level sketches so signed updates reuse one allocation.
-    /// The Count-Min path streams buckets straight from the double hash
-    /// and needs no buffer at all.
-    scratch: Vec<usize>,
+    /// `Some` on coordinators ([`PrivHpBuilder::new`]): seed of the noise
+    /// stream injected at finalization. `None` on shard builders, whose
+    /// state is purely deterministic and exists to be merged.
+    noise_seed: Option<u64>,
+    scratch: IngestScratch,
     items_seen: usize,
 }
 
 impl<D: HierarchicalDomain + Clone> PrivHpBuilder<D> {
-    /// Initialises all data structures and draws all privacy noise
-    /// (Algorithm 1 lines 2–8).
+    /// Initialises all data structures and commits the privacy noise
+    /// (Algorithm 1 lines 2–8): the noise seed is drawn from `rng` here,
+    /// before any data is seen, and materialised once at
+    /// [`Self::finalize`].
     ///
     /// If `config.split` is `None`, the Lemma-5 optimal split for `domain`
     /// is used.
@@ -99,6 +327,26 @@ impl<D: HierarchicalDomain + Clone> PrivHpBuilder<D> {
         domain: D,
         config: PrivHpConfig,
         rng: &mut R,
+    ) -> Result<Self, ConfigError> {
+        let noise_seed = Some(rng.next_u64());
+        Self::with_noise(domain, config, noise_seed)
+    }
+
+    /// Initialises a **noiseless shard builder**: identical deterministic
+    /// state (same tree shape, same arena layout, same hash seeds from
+    /// `config.seed`), but no noise — its only legal exit is
+    /// [`PrivHpBuilder::merge`] into a coordinator built with
+    /// [`Self::new`]. This is the unit of data-parallel and multi-machine
+    /// ingest; [`Self::finalize`] refuses shard builders so noiseless
+    /// state can never be released.
+    pub fn new_shard(domain: D, config: PrivHpConfig) -> Result<Self, ConfigError> {
+        Self::with_noise(domain, config, None)
+    }
+
+    fn with_noise(
+        domain: D,
+        config: PrivHpConfig,
+        noise_seed: Option<u64>,
     ) -> Result<Self, ConfigError> {
         config.validate()?;
         if config.depth > domain.max_level() {
@@ -112,74 +360,135 @@ impl<D: HierarchicalDomain + Clone> PrivHpBuilder<D> {
             None => optimal_budget_split(&domain, &config)
                 .map_err(|_| ConfigError::InvalidEpsilon(config.epsilon))?,
         };
+        Ok(Self::from_parts(domain, config, split, noise_seed))
+    }
 
-        // Lines 2-6: complete tree of depth L*, counters pre-loaded with
-        // Laplace(1/σ_l) noise.
-        let noise_dists: Vec<Laplace> =
-            (0..=config.l_star).map(|l| Laplace::new(1.0 / split.sigma(l))).collect();
-        let tree = PartitionTree::complete(config.l_star, |p| noise_dists[p.level()].sample(rng));
-
-        // Lines 7-8: a private sketch per level l in (L*, L], noise
-        // Laplace(j/σ_l) per cell.
-        let mut seeds = SeedSequence::new(config.seed);
-        let deep_levels = (config.l_star + 1)..=config.depth;
-        let sketches = match config.sketch_kind {
-            SketchKind::CountMin => LevelSketches::CountMin(
-                deep_levels
-                    .map(|l| {
-                        PrivateCountMinSketch::new(
-                            config.sketch,
-                            split.sigma(l),
-                            seeds.next_seed(),
-                            rng,
-                        )
-                    })
-                    .collect(),
-            ),
-            SketchKind::CountSketch => LevelSketches::CountSketch(
-                deep_levels
-                    .map(|l| {
-                        PrivateCountSketch::new(
-                            config.sketch,
-                            split.sigma(l),
-                            seeds.next_seed(),
-                            rng,
-                        )
-                    })
-                    .collect(),
-            ),
-        };
-
-        Ok(Self { domain, config, split, tree, sketches, scratch: Vec::new(), items_seen: 0 })
+    /// Assembles a builder from validated parts (shared by the public
+    /// constructors and the in-process shard workers, which reuse the
+    /// coordinator's already-computed split).
+    fn from_parts(
+        domain: D,
+        config: PrivHpConfig,
+        split: BudgetSplit,
+        noise_seed: Option<u64>,
+    ) -> Self {
+        let tree = PartitionTree::complete(config.l_star, |_| 0.0);
+        let sketches = LevelSketches::new(
+            config.sketch_kind,
+            config.sketch,
+            config.l_star + 1,
+            config.depth - config.l_star,
+            config.seed,
+        );
+        Self {
+            domain,
+            config,
+            split,
+            tree,
+            sketches,
+            noise_seed,
+            scratch: Default::default(),
+            items_seen: 0,
+        }
     }
 
     /// Processes one stream item (Algorithm 1 lines 9–15): updates the
     /// counter at each level `l ≤ L★` — array adds on the tree's dense
-    /// arena — and the sketch at each level `l > L★` through the shared
-    /// row-bucket scratch.
+    /// arena — and each deep level's region of the sketch arena.
     pub fn ingest(&mut self, point: &D::Point) {
         // The deepest path determines every ancestor, so locate once; each
         // ancestor's sketch key is then shift arithmetic on the same bits.
         let deep = self.domain.locate(point, self.config.depth);
         self.tree.add_count_prefix(&deep, self.config.l_star, 1.0);
-        let bits = deep.bits();
-        let depth = deep.level();
-        let first_deep = self.config.l_star + 1;
-        match &mut self.sketches {
-            LevelSketches::CountMin(v) => {
-                for (i, sketch) in v.iter_mut().enumerate() {
-                    let l = first_deep + i;
-                    sketch.update((1u64 << l) | (bits >> (depth - l)), 1.0);
-                }
-            }
-            LevelSketches::CountSketch(v) => {
-                for (i, sketch) in v.iter_mut().enumerate() {
-                    let l = first_deep + i;
-                    sketch.update_rows((1u64 << l) | (bits >> (depth - l)), 1.0, &mut self.scratch);
-                }
-            }
-        }
+        self.sketches.update_item(&deep);
         self.items_seen += 1;
+    }
+
+    /// Processes a slice of stream items in fixed-size chunks, applying
+    /// each chunk **level-major**: locate the whole chunk (the fixed-point
+    /// / Morton path runs as one tight loop), apply the tree's prefix adds
+    /// level by level on the dense arena, then hash and add each deep
+    /// level's chunk while that level's arena region is hot. Produces
+    /// tables bit-identical to item-by-item [`Self::ingest`] (unit-weight
+    /// integer adds are exact in any order).
+    pub fn ingest_batch(&mut self, points: &[D::Point]) {
+        for chunk in points.chunks(INGEST_CHUNK) {
+            self.domain.locate_batch(chunk, self.config.depth, &mut self.scratch.paths);
+            self.scratch.bits.clear();
+            self.scratch.bits.extend(self.scratch.paths.iter().map(Path::bits));
+            self.tree.add_count_prefix_batch(
+                &self.scratch.bits,
+                self.config.depth,
+                self.config.l_star,
+                1.0,
+            );
+            self.sketches.update_chunk(
+                &self.scratch.bits,
+                self.config.depth,
+                &mut self.scratch.pairs,
+            );
+            self.items_seen += chunk.len();
+        }
+    }
+
+    /// Shards `points` across `threads` scoped workers — each ingesting
+    /// its contiguous shard into a noiseless shard builder — and merges
+    /// the shards back in order. Because the deterministic tables sum
+    /// exactly and the noise lives only in the coordinator, the result is
+    /// **bit-identical** to [`Self::ingest_batch`] over the same slice,
+    /// for any thread count.
+    pub fn ingest_par(&mut self, points: &[D::Point], threads: usize)
+    where
+        D: Send + Sync,
+        D::Point: Sync,
+    {
+        let threads = threads.max(1).min(points.len().max(1));
+        if threads <= 1 {
+            self.ingest_batch(points);
+            return;
+        }
+        let shard_size = points.len().div_ceil(threads);
+        let shards: Vec<PrivHpBuilder<D>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = points
+                .chunks(shard_size)
+                .map(|chunk| {
+                    let domain = self.domain.clone();
+                    let config = self.config.clone();
+                    let split = self.split.clone();
+                    scope.spawn(move || {
+                        let mut shard = PrivHpBuilder::from_parts(domain, config, split, None);
+                        shard.ingest_batch(chunk);
+                        shard
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("ingest shard worker panicked")).collect()
+        });
+        for shard in shards {
+            self.merge(shard);
+        }
+    }
+
+    /// Merges a noiseless shard builder's state into this builder: tree
+    /// counters add (dense-prefix elementwise + overlay union), sketch
+    /// arenas add elementwise, item counts sum. Exact for the integer data
+    /// tables, so K disjoint shards merged in any grouping equal one
+    /// sequential pass bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics if `shard` holds noise (merging two noise-holding builders
+    /// would inject noise twice) or was configured differently.
+    pub fn merge(&mut self, shard: PrivHpBuilder<D>) {
+        assert!(
+            shard.noise_seed.is_none(),
+            "only noiseless shard builders (PrivHpBuilder::new_shard) can be merged — \
+             merging a coordinator would inject its noise twice"
+        );
+        assert_eq!(self.config, shard.config, "shard config must match the coordinator");
+        assert_eq!(self.split, shard.split, "shard budget split must match the coordinator");
+        self.tree.merge(&shard.tree);
+        self.sketches.merge(&shard.sketches);
+        self.items_seen += shard.items_seen;
     }
 
     /// Items ingested so far.
@@ -192,7 +501,23 @@ impl<D: HierarchicalDomain + Clone> PrivHpBuilder<D> {
         &self.split
     }
 
-    /// Current memory footprint in 8-byte words (tree + sketches).
+    /// Whether this is a noiseless shard builder (see
+    /// [`Self::new_shard`]).
+    pub fn is_shard(&self) -> bool {
+        self.noise_seed.is_none()
+    }
+
+    /// The deterministic counter tree accumulated so far (no noise).
+    pub fn tree(&self) -> &PartitionTree {
+        &self.tree
+    }
+
+    /// The deterministic deep-level sketch arena accumulated so far.
+    pub fn sketches(&self) -> &LevelSketches {
+        &self.sketches
+    }
+
+    /// Current memory footprint in 8-byte words (tree + sketch arena).
     pub fn memory_words(&self) -> usize {
         self.tree.memory_words() + self.sketches.memory_words()
     }
@@ -203,24 +528,39 @@ impl<D: HierarchicalDomain + Clone> PrivHpBuilder<D> {
     }
 
     /// [`Self::finalize`] with explicit [`crate::grow::GrowOptions`]
-    /// (ablation hook for the consistency experiment).
+    /// (ablation hook for the consistency experiment). Materialises the
+    /// committed noise — `Laplace(1/σ_l)` per counter in level order,
+    /// then `Laplace(j/σ_l)` per sketch cell in arena order — exactly
+    /// once, then grows the now-private structures.
+    ///
+    /// # Panics
+    /// Panics on a shard builder: noiseless state must be merged into a
+    /// coordinator, never released.
     pub fn finalize_with_options(self, options: crate::grow::GrowOptions) -> PrivHpGenerator<D> {
-        let (l_star, depth, k) = (self.config.l_star, self.config.depth, self.config.k);
-        let tree = match &self.sketches {
-            LevelSketches::CountMin(v) => {
-                crate::grow::grow_partition_with_options(self.tree, v, l_star, depth, k, options)
+        let Self { domain, config, split, mut tree, mut sketches, noise_seed, items_seen, .. } =
+            self;
+        let seed = noise_seed.expect(
+            "shard builders hold no noise: merge them into a coordinator built with \
+             PrivHpBuilder::new before finalizing",
+        );
+        let mut rng = rng_from_seed(seed);
+        for level in 0..=config.l_star {
+            let dist = Laplace::new(1.0 / split.sigma(level));
+            for bits in 0..(1u64 << level) {
+                tree.add_count(&Path::from_bits(bits, level), dist.sample(&mut rng));
             }
-            LevelSketches::CountSketch(v) => {
-                crate::grow::grow_partition_with_options(self.tree, v, l_star, depth, k, options)
-            }
-        };
-        PrivHpGenerator {
-            domain: self.domain,
-            config: self.config,
-            split: self.split,
-            tree,
-            items_seen: self.items_seen,
         }
+        sketches.add_noise(&split, &mut rng);
+        let views = sketches.views();
+        let tree = crate::grow::grow_partition_with_options(
+            tree,
+            &views,
+            config.l_star,
+            config.depth,
+            config.k,
+            options,
+        );
+        PrivHpGenerator { domain, config, split, tree, items_seen }
     }
 }
 
@@ -456,5 +796,100 @@ mod tests {
         assert_eq!(b.items_seen(), 3);
         let g = b.finalize();
         assert_eq!(g.items_seen(), 3);
+    }
+
+    /// Builds two same-config builders and drives them through different
+    /// ingest paths; asserts the deterministic state is bit-identical.
+    fn assert_same_state<D: HierarchicalDomain + Clone>(
+        a: &PrivHpBuilder<D>,
+        b: &PrivHpBuilder<D>,
+    ) {
+        assert_eq!(a.items_seen(), b.items_seen());
+        for (p, c) in a.tree().iter() {
+            assert_eq!(
+                c.to_bits(),
+                b.tree().count_unchecked(p).to_bits(),
+                "tree counters diverged at {p}"
+            );
+        }
+        let (ta, tb) = (a.sketches().table(), b.sketches().table());
+        assert_eq!(ta.len(), tb.len());
+        for (i, (x, y)) in ta.iter().zip(tb).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "sketch arena diverged at cell {i}");
+        }
+    }
+
+    #[test]
+    fn ingest_batch_bit_identical_to_item_ingest() {
+        for kind in [SketchKind::CountMin, SketchKind::CountSketch] {
+            let data = skewed_stream(3_000); // crosses the chunk boundary
+            let config =
+                PrivHpConfig::for_domain(1.0, data.len(), 4).with_seed(61).with_sketch_kind(kind);
+            let mut rng = rng_from_seed(62);
+            let mut one =
+                PrivHpBuilder::new(UnitInterval::new(), config.clone(), &mut rng).unwrap();
+            let mut rng = rng_from_seed(62);
+            let mut batch = PrivHpBuilder::new(UnitInterval::new(), config, &mut rng).unwrap();
+            for x in &data {
+                one.ingest(x);
+            }
+            batch.ingest_batch(&data);
+            assert_same_state(&one, &batch);
+        }
+    }
+
+    #[test]
+    fn ingest_par_bit_identical_to_sequential_build() {
+        let data = skewed_stream(2_500);
+        let build = |threads: usize| {
+            let config = PrivHpConfig::for_domain(1.0, data.len(), 4).with_seed(71);
+            let mut rng = rng_from_seed(72);
+            let mut b = PrivHpBuilder::new(UnitInterval::new(), config, &mut rng).unwrap();
+            b.ingest_par(&data, threads);
+            b
+        };
+        let sequential = build(1);
+        for threads in [2usize, 3, 7] {
+            let par = build(threads);
+            assert_same_state(&sequential, &par);
+        }
+        // And the finalized releases are byte-identical.
+        let a = serde_json::to_string(build(1).finalize().tree()).unwrap();
+        let b = serde_json::to_string(build(3).finalize().tree()).unwrap();
+        assert_eq!(a, b, "parallel build must release identical bytes");
+    }
+
+    #[test]
+    fn merging_empty_shard_is_identity() {
+        let data = skewed_stream(500);
+        let config = PrivHpConfig::for_domain(1.0, data.len(), 4).with_seed(81);
+        let mut rng = rng_from_seed(82);
+        let mut a = PrivHpBuilder::new(UnitInterval::new(), config.clone(), &mut rng).unwrap();
+        a.ingest_batch(&data);
+        let mut rng = rng_from_seed(82);
+        let mut b = PrivHpBuilder::new(UnitInterval::new(), config.clone(), &mut rng).unwrap();
+        b.ingest_batch(&data);
+        let empty = PrivHpBuilder::new_shard(UnitInterval::new(), config).unwrap();
+        assert!(empty.is_shard());
+        b.merge(empty);
+        assert_same_state(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard builders hold no noise")]
+    fn shard_builder_refuses_to_finalize() {
+        let config = PrivHpConfig::for_domain(1.0, 100, 2);
+        let b = PrivHpBuilder::new_shard(UnitInterval::new(), config).unwrap();
+        let _ = b.finalize();
+    }
+
+    #[test]
+    #[should_panic(expected = "only noiseless shard builders")]
+    fn merging_a_coordinator_rejected() {
+        let config = PrivHpConfig::for_domain(1.0, 100, 2);
+        let mut rng = rng_from_seed(9);
+        let mut a = PrivHpBuilder::new(UnitInterval::new(), config.clone(), &mut rng).unwrap();
+        let b = PrivHpBuilder::new(UnitInterval::new(), config, &mut rng).unwrap();
+        a.merge(b);
     }
 }

@@ -184,6 +184,71 @@ impl PartitionTree {
         }
     }
 
+    /// Adds `delta` to every ancestor of each path in `deep_bits` (the
+    /// packed bits of same-level paths at `deep_level`) from the root
+    /// down to level `last` inclusive — the chunked form of
+    /// [`Self::add_count_prefix`], applied **level-major**: all of level
+    /// 0's adds, then all of level 1's, … so each level's contiguous
+    /// arena region stays hot across the whole chunk. Taking bare bits
+    /// keeps the hot passes to one 8-byte load per item.
+    ///
+    /// # Panics
+    /// Panics if `last > deep_level` or a touched node is absent.
+    pub fn add_count_prefix_batch(
+        &mut self,
+        deep_bits: &[u64],
+        deep_level: usize,
+        last: usize,
+        delta: f64,
+    ) {
+        assert!(last <= deep_level, "prefix level {last} below the located paths");
+        if last < self.dense_levels {
+            // The arena size is a power of two and every level-l key is
+            // `< 2^{l+1} ≤ len`, so the mask is a no-op that lets the
+            // compiler drop the bounds check in the hot loop.
+            let mask = self.dense.len() - 1;
+            for l in 0..=last {
+                let (lead, shift) = (1u64 << l, deep_level - l);
+                for &bits in deep_bits {
+                    self.dense[(lead | (bits >> shift)) as usize & mask] += delta;
+                }
+            }
+        } else {
+            for &bits in deep_bits {
+                self.add_count_prefix(&Path::from_bits(bits, deep_level), last, delta);
+            }
+        }
+    }
+
+    /// Merges another tree into this one: counts of nodes present in both
+    /// add; nodes only in `other` are inserted. Where the dense prefixes
+    /// overlap this is one elementwise pass over the arenas (the sharded-
+    /// ingest fast path — shard builders hold identically-shaped complete
+    /// trees); everything deeper goes through the overlay union.
+    ///
+    /// Addition is exact for integer counts (shard data trees), so merging
+    /// K disjoint shards is bit-identical to one sequential pass.
+    pub fn merge(&mut self, other: &PartitionTree) {
+        let common = self.dense_levels.min(other.dense_levels);
+        if common > 0 {
+            // Slot 0 is unused in both arenas; 1..2^common covers every
+            // node of levels 0..common.
+            for i in 1..(1usize << common) {
+                self.dense[i] += other.dense[i];
+            }
+        }
+        for level in common..other.levels.len() {
+            for p in &other.levels[level] {
+                let c = other.count_unchecked(p);
+                if self.contains(p) {
+                    self.add_count(p, c);
+                } else {
+                    self.insert(*p, c);
+                }
+            }
+        }
+    }
+
     /// Root count (`v_∅.count`), or `None` on an empty tree.
     pub fn root_count(&self) -> Option<f64> {
         self.count(&Path::root())
@@ -501,6 +566,65 @@ mod tests {
             serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
         assert_eq!(back.dense_levels, 2);
         assert_eq!(back.children_counts(&r), Some((1.0, 2.0)));
+    }
+
+    #[test]
+    fn batch_prefix_add_matches_per_item_form() {
+        let deep_bits: Vec<u64> = (0..64u64).map(|i| i * 7 % 256).collect();
+        let mut one_by_one = PartitionTree::complete(4, |_| 0.25);
+        let mut batched = PartitionTree::complete(4, |_| 0.25);
+        for &bits in &deep_bits {
+            one_by_one.add_count_prefix(&Path::from_bits(bits, 8), 4, 1.0);
+        }
+        batched.add_count_prefix_batch(&deep_bits, 8, 4, 1.0);
+        for (p, c) in one_by_one.iter() {
+            assert_eq!(c.to_bits(), batched.count_unchecked(p).to_bits(), "mismatch at {p}");
+        }
+    }
+
+    #[test]
+    fn merge_adds_dense_prefixes_and_unions_overlays() {
+        // a: complete(2) grown one node deeper; b: complete(2) with a
+        // different deep node — merge adds the shared prefix and unions
+        // the grown regions.
+        let mut a = PartitionTree::complete(2, |p| p.bits() as f64);
+        a.insert(Path::from_bits(0b010, 3), 2.0);
+        let mut b = PartitionTree::complete(2, |p| 10.0 + p.bits() as f64);
+        b.insert(Path::from_bits(0b010, 3), 5.0);
+        b.insert(Path::from_bits(0b111, 3), 1.0);
+        a.merge(&b);
+        assert_eq!(a.count(&Path::from_bits(0b01, 2)), Some(1.0 + 11.0));
+        assert_eq!(a.count(&Path::from_bits(0b010, 3)), Some(7.0), "shared overlay node adds");
+        assert_eq!(a.count(&Path::from_bits(0b111, 3)), Some(1.0), "b-only node inserted");
+        assert_eq!(a.len(), 7 + 2);
+    }
+
+    #[test]
+    fn merge_into_empty_tree_copies_other() {
+        let mut empty = PartitionTree::new();
+        let full = PartitionTree::complete(3, |p| p.sketch_key() as f64);
+        empty.merge(&full);
+        assert_eq!(empty.len(), full.len());
+        for (p, c) in full.iter() {
+            assert_eq!(empty.count(p), Some(*c));
+        }
+    }
+
+    #[test]
+    fn k_way_merge_of_unit_counts_is_bit_identical_to_one_pass() {
+        // Integer shard counts merge exactly: the sharded-ingest invariant.
+        let deep_bits: Vec<u64> = (0..90u64).map(|i| i * 13 % 64).collect();
+        let mut whole = PartitionTree::complete(3, |_| 0.0);
+        whole.add_count_prefix_batch(&deep_bits, 6, 3, 1.0);
+        let mut merged = PartitionTree::complete(3, |_| 0.0);
+        for shard in deep_bits.chunks(31) {
+            let mut t = PartitionTree::complete(3, |_| 0.0);
+            t.add_count_prefix_batch(shard, 6, 3, 1.0);
+            merged.merge(&t);
+        }
+        for (p, c) in whole.iter() {
+            assert_eq!(c.to_bits(), merged.count_unchecked(p).to_bits());
+        }
     }
 
     #[test]

@@ -67,6 +67,40 @@ impl Hypercube {
         // branch bit is 1.
         (x.min(1.0 - f64::EPSILON) * (1u64 << 52) as f64) as u64
     }
+
+    /// Path bits of a 1-D point: the leading `level` dyadic digits.
+    #[inline]
+    fn bits_1d(&self, p: &[f64], level: usize) -> u64 {
+        assert_eq!(p.len(), self.dim, "point dimension mismatch");
+        let frac = self.dyadic_bits(p[0]);
+        if level == 0 {
+            0
+        } else {
+            frac >> (52 - level)
+        }
+    }
+
+    /// Path bits of a 2-D point: the Morton mask-spread interleave of the
+    /// two dyadic expansions (x first). `qx`/`qy` are the per-coordinate
+    /// split counts at `level` — hoisted out so [`Hypercube::locate_batch`]
+    /// computes them once per chunk.
+    #[inline]
+    fn bits_2d(&self, p: &[f64], level: usize, qx: usize, qy: usize) -> u64 {
+        assert_eq!(p.len(), self.dim, "point dimension mismatch");
+        // Convert (and range-validate) both coordinates even when a
+        // shallow level consumes no bits of one of them.
+        let fx = self.dyadic_bits(p[0]);
+        let fy = self.dyadic_bits(p[1]);
+        let xv = if qx == 0 { 0 } else { fx >> (52 - qx) };
+        let yv = if qy == 0 { 0 } else { fy >> (52 - qy) };
+        // With msb-first values, x's last branch lands at result bit 1
+        // for even levels and bit 0 for odd levels (y the other way).
+        if level.is_multiple_of(2) {
+            (part1by1(xv) << 1) | part1by1(yv)
+        } else {
+            part1by1(xv) | (part1by1(yv) << 1)
+        }
+    }
 }
 
 /// Spreads the low 32 bits of `v` into the even bit positions (Morton
@@ -93,27 +127,12 @@ impl HierarchicalDomain for Hypercube {
         // is a shift-and-mask — no per-level float work, no allocation.
         let mut bits = 0u64;
         if self.dim == 1 {
-            let frac = self.dyadic_bits(p[0]);
-            bits = if level == 0 { 0 } else { frac >> (52 - level) };
+            bits = self.bits_1d(p, level);
         } else if self.dim == 2 {
             // Morton fast path: the branch sequence is the bit-interleave
             // of the two dyadic expansions (x first), done with the
             // classic mask-spread instead of a per-level loop.
-            let qx = level.div_ceil(2);
-            let qy = level / 2;
-            // Convert (and range-validate) both coordinates even when a
-            // shallow level consumes no bits of one of them.
-            let fx = self.dyadic_bits(p[0]);
-            let fy = self.dyadic_bits(p[1]);
-            let xv = if qx == 0 { 0 } else { fx >> (52 - qx) };
-            let yv = if qy == 0 { 0 } else { fy >> (52 - qy) };
-            // With msb-first values, x's last branch lands at result bit 1
-            // for even levels and bit 0 for odd levels (y the other way).
-            bits = if level.is_multiple_of(2) {
-                (part1by1(xv) << 1) | part1by1(yv)
-            } else {
-                part1by1(xv) | (part1by1(yv) << 1)
-            };
+            bits = self.bits_2d(p, level, level.div_ceil(2), level / 2);
         } else {
             let mut fracs = [0u64; 8];
             let spill: Vec<u64>;
@@ -133,6 +152,25 @@ impl HierarchicalDomain for Hypercube {
             }
         }
         Path::from_bits(bits, level)
+    }
+
+    fn locate_batch(&self, points: &[Self::Point], level: usize, out: &mut Vec<Path>) {
+        assert!(level <= self.max_level(), "level {level} too deep");
+        out.clear();
+        out.reserve(points.len());
+        // One shape dispatch per chunk instead of per point; the 1-D and
+        // 2-D bodies are then pure fixed-point loops the compiler can
+        // vectorise (this is the front half of the batched ingest path).
+        match self.dim {
+            1 => out.extend(points.iter().map(|p| Path::from_bits(self.bits_1d(p, level), level))),
+            2 => {
+                let (qx, qy) = (level.div_ceil(2), level / 2);
+                out.extend(
+                    points.iter().map(|p| Path::from_bits(self.bits_2d(p, level, qx, qy), level)),
+                );
+            }
+            _ => out.extend(points.iter().map(|p| self.locate(p, level))),
+        }
     }
 
     fn diameter(&self, theta: &Path) -> f64 {
@@ -223,6 +261,25 @@ mod tests {
                     reference = reference.child(((scaled as u64) & 1) as u8);
                 }
                 assert_eq!(got, reference, "divergence at level {level} for {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn locate_batch_matches_per_point_locate() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut out = Vec::new();
+        for dim in 1..=3usize {
+            let cube = Hypercube::new(dim);
+            let pts: Vec<Vec<f64>> = (0..64)
+                .map(|_| (0..dim).map(|_| rand::Rng::gen_range(&mut rng, 0.0..1.0)).collect())
+                .collect();
+            for level in [0usize, 1, 2, 5, 11, 20] {
+                cube.locate_batch(&pts, level, &mut out);
+                assert_eq!(out.len(), pts.len());
+                for (p, theta) in pts.iter().zip(&out) {
+                    assert_eq!(*theta, cube.locate(p, level), "dim {dim} level {level}");
+                }
             }
         }
     }

@@ -56,6 +56,16 @@ pub trait HierarchicalDomain {
     /// The unique level-`level` subdomain containing `p`.
     fn locate(&self, p: &Self::Point, level: usize) -> Path;
 
+    /// Locates a whole chunk of points at once into `out` (cleared and
+    /// refilled, one path per point in order). The batched ingest path
+    /// calls this once per chunk; domains whose per-point `locate`
+    /// dispatches on shape (dimension, fast paths) should override it to
+    /// hoist that dispatch out of the loop.
+    fn locate_batch(&self, points: &[Self::Point], level: usize, out: &mut Vec<Path>) {
+        out.clear();
+        out.extend(points.iter().map(|p| self.locate(p, level)));
+    }
+
     /// Diameter of the subdomain `Ω_θ`.
     fn diameter(&self, theta: &Path) -> f64;
 

@@ -13,6 +13,101 @@ use serde::{Deserialize, Serialize};
 use crate::hash::HashFamily;
 use crate::SketchParams;
 
+/// Adds `weight` to `key`'s bucket in every row of a borrowed row-major
+/// Count-Min table (`table[row · width + bucket]`, `width` from `hashes`).
+///
+/// This is **the** Count-Min update path: [`CountMinSketch::update`] and
+/// the builder's flattened level arena both route through it, so there is
+/// exactly one hashing code path for the kind.
+#[inline]
+pub fn update_table(table: &mut [f64], hashes: &HashFamily, key: u64, weight: f64) {
+    let width = hashes.width();
+    for (row, b) in hashes.buckets(key).enumerate() {
+        table[row * width + b] += weight;
+    }
+}
+
+/// Streams a whole chunk of precomputed [`HashFamily::hash_pair`]s into a
+/// borrowed row-major Count-Min table — the level-major batched update.
+///
+/// Monomorphised over the common power-of-two widths (the defaults are
+/// `4k`), so the per-row work compiles to shift/mask/add/store with no
+/// bounds checks and a fully unrolled row loop; buckets are identical to
+/// [`update_table`] pair-for-pair (the pow-2 reduction is the hash's top
+/// bits, and the `& (W−1)` mask — a no-op for in-range values — is what
+/// proves the index bound to the compiler). Items interleave four at a
+/// time, so a cell's adds may land in a different order than key-by-key
+/// updates — identical for the exact unit-weight accumulations the
+/// builder streams (and any dyadic weight), unordered-sum semantics
+/// otherwise.
+pub fn update_table_pairs(
+    table: &mut [f64],
+    hashes: &HashFamily,
+    pairs: &[(u64, u64)],
+    weight: f64,
+) {
+    match hashes.width() {
+        16 => add_pairs_pow2::<16>(table, pairs, weight),
+        32 => add_pairs_pow2::<32>(table, pairs, weight),
+        64 => add_pairs_pow2::<64>(table, pairs, weight),
+        128 => add_pairs_pow2::<128>(table, pairs, weight),
+        256 => add_pairs_pow2::<256>(table, pairs, weight),
+        width => {
+            for &pair in pairs {
+                for (row, b) in hashes.buckets_of_pair(pair).enumerate() {
+                    table[row * width + b] += weight;
+                }
+            }
+        }
+    }
+}
+
+/// [`update_table_pairs`] specialised to a compile-time power-of-two
+/// width. Items are processed four at a time so the four independent
+/// walk/add chains interleave and fill the pipeline bubbles a single
+/// chain's add-to-store latency leaves (measured best on the dev
+/// machine: 2-way ≈ +15% over straight-line, 4-way ≈ +15% again, 8-way
+/// regresses on register pressure).
+#[inline]
+fn add_pairs_pow2<const W: usize>(table: &mut [f64], pairs: &[(u64, u64)], weight: f64) {
+    let shift = 64 - W.trailing_zeros();
+    let mask = W - 1;
+    let mut quads = pairs.chunks_exact(4);
+    for quad in quads.by_ref() {
+        let ((a1, a2), (b1, b2), (c1, c2), (d1, d2)) = (quad[0], quad[1], quad[2], quad[3]);
+        let (mut ha, mut hb, mut hc, mut hd) = (a1, b1, c1, d1);
+        for row in table.chunks_exact_mut(W) {
+            row[(ha >> shift) as usize & mask] += weight;
+            row[(hb >> shift) as usize & mask] += weight;
+            row[(hc >> shift) as usize & mask] += weight;
+            row[(hd >> shift) as usize & mask] += weight;
+            ha = ha.wrapping_add(a2);
+            hb = hb.wrapping_add(b2);
+            hc = hc.wrapping_add(c2);
+            hd = hd.wrapping_add(d2);
+        }
+    }
+    for &(h1, h2) in quads.remainder() {
+        let mut h = h1;
+        for row in table.chunks_exact_mut(W) {
+            row[(h >> shift) as usize & mask] += weight;
+            h = h.wrapping_add(h2);
+        }
+    }
+}
+
+/// Point query (minimum across rows) over a borrowed row-major Count-Min
+/// table — the query twin of [`update_table`].
+#[inline]
+pub fn query_table(table: &[f64], hashes: &HashFamily, key: u64) -> f64 {
+    let width = hashes.width();
+    let mut est = f64::INFINITY;
+    for (row, b) in hashes.buckets(key).enumerate() {
+        est = est.min(table[row * width + b]);
+    }
+    est
+}
+
 /// A (non-private) Count-Min Sketch over `u64` keys with `f64` counters.
 ///
 /// ```
@@ -55,55 +150,36 @@ impl CountMinSketch {
         self.total_weight
     }
 
-    #[inline]
-    fn cell(&self, row: usize, bucket: usize) -> usize {
-        row * self.params.width + bucket
-    }
-
-    /// Adds `weight` to `key`'s bucket in every row (Figure 1). Row
-    /// buckets come from the family's batched double hash — two mixes for
-    /// the whole column.
+    /// Adds `weight` to `key`'s bucket in every row (Figure 1) — routed
+    /// through the module-level [`update_table`], the kind's single
+    /// hashing code path (two mixes for the whole column).
     #[inline]
     pub fn update(&mut self, key: u64, weight: f64) {
-        let Self { table, hashes, params, .. } = self;
-        for (row, b) in table.chunks_exact_mut(params.width).zip(hashes.buckets(key)) {
-            row[b] += weight;
-        }
+        update_table(&mut self.table, &self.hashes, key, weight);
         self.total_weight += weight;
     }
 
-    /// [`Self::update`] with a caller-provided scratch buffer for the row
-    /// buckets — the streaming entry point `PrivHpBuilder::ingest` drives
-    /// all level sketches through, reusing one buffer across levels.
-    #[inline]
-    pub fn update_rows(&mut self, key: u64, weight: f64, scratch: &mut Vec<usize>) {
-        self.hashes.buckets_into(key, scratch);
-        let Self { table, params, .. } = self;
-        for (row, &b) in scratch.iter().enumerate() {
-            table[row * params.width + b] += weight;
-        }
-        self.total_weight += weight;
-    }
-
-    /// Point query: minimum across rows.
+    /// Point query: minimum across rows (via [`query_table`]).
     #[inline]
     pub fn query(&self, key: u64) -> f64 {
-        let mut est = f64::INFINITY;
-        for (row, b) in self.hashes.buckets(key).enumerate() {
-            est = est.min(self.table[self.cell(row, b)]);
-        }
-        est
+        query_table(&self.table, &self.hashes, key)
     }
 
-    /// [`Self::query`] with a caller-provided scratch buffer.
-    #[inline]
-    pub fn query_rows(&self, key: u64, scratch: &mut Vec<usize>) -> f64 {
-        self.hashes.buckets_into(key, scratch);
-        let mut est = f64::INFINITY;
-        for (row, &b) in scratch.iter().enumerate() {
-            est = est.min(self.table[self.cell(row, b)]);
+    /// Merges another sketch into this one by elementwise table addition.
+    /// Sketches are linear maps, so the merge of two sketches over disjoint
+    /// streams equals the sketch of the concatenated stream — the substrate
+    /// of sharded/distributed ingest.
+    ///
+    /// # Panics
+    /// Panics unless both sketches share dimensions *and* hash seeds
+    /// (tables of differently-hashed sketches are not addable).
+    pub fn merge(&mut self, other: &CountMinSketch) {
+        assert_eq!(self.params, other.params, "cannot merge sketches of different dimensions");
+        assert_eq!(self.hashes, other.hashes, "cannot merge sketches with different hash seeds");
+        for (cell, o) in self.table.iter_mut().zip(&other.table) {
+            *cell += o;
         }
-        est
+        self.total_weight += other.total_weight;
     }
 
     /// Adds `noise[i]` to cell `i`; used by the private wrapper (§3.4).
@@ -239,23 +315,75 @@ mod tests {
     }
 
     #[test]
-    fn scratch_entry_points_match_plain_update_and_query() {
-        // update_rows/query_rows must stay bucket-for-bucket identical to
-        // the bufferless paths — they share the double-hash family, and
-        // this pins them together if the hash scheme ever changes.
+    fn borrowed_table_helpers_match_owned_entry_points() {
+        // update_table/query_table over a detached table must stay
+        // bucket-for-bucket identical to the owned sketch — they *are* the
+        // owned paths, and this pins the arena users to them.
         let p = SketchParams::new(9, 48);
-        let mut plain = CountMinSketch::new(p, 31);
-        let mut rows = CountMinSketch::new(p, 31);
-        let mut scratch = Vec::new();
+        let mut owned = CountMinSketch::new(p, 31);
+        let hashes = HashFamily::new(p.depth, p.width, 31);
+        let mut raw = vec![0.0f64; p.cells()];
         for i in 0..400u64 {
             let (key, w) = (i % 37, 1.0 + (i % 5) as f64);
-            plain.update(key, w);
-            rows.update_rows(key, w, &mut scratch);
+            owned.update(key, w);
+            update_table(&mut raw, &hashes, key, w);
         }
-        assert_eq!(plain.total_weight(), rows.total_weight());
         for key in 0..64u64 {
-            assert_eq!(plain.query(key), rows.query(key));
-            assert_eq!(plain.query(key), rows.query_rows(key, &mut scratch));
+            assert_eq!(owned.query(key), query_table(&raw, &hashes, key));
         }
+    }
+
+    #[test]
+    fn batched_pairs_match_key_by_key_updates() {
+        // The monomorphised chunk path must land every add in exactly the
+        // bucket update_table picks — across pow-2 widths (specialised),
+        // a pow-2 width without a specialisation arm, and an odd width
+        // (generic Lemire fallback).
+        for width in [16usize, 64, 512, 48] {
+            let depth = 11;
+            let hashes = HashFamily::new(depth, width, 97);
+            let keys: Vec<u64> = (0..300).map(|i| i * 0x9E37 + 5).collect();
+            let mut one_by_one = vec![0.0f64; depth * width];
+            for &k in &keys {
+                update_table(&mut one_by_one, &hashes, k, 1.5);
+            }
+            let pairs: Vec<(u64, u64)> = keys.iter().map(|&k| hashes.hash_pair(k)).collect();
+            let mut chunked = vec![0.0f64; depth * width];
+            update_table_pairs(&mut chunked, &hashes, &pairs, 1.5);
+            for (i, (a, b)) in one_by_one.iter().zip(&chunked).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "width {width}: cell {i} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_of_split_stream_equals_one_stream() {
+        let p = SketchParams::new(6, 32);
+        let mut whole = CountMinSketch::new(p, 13);
+        let mut left = CountMinSketch::new(p, 13);
+        let mut right = CountMinSketch::new(p, 13);
+        for i in 0..500u64 {
+            let (key, w) = (i % 29, 1.0 + (i % 3) as f64);
+            whole.update(key, w);
+            if i < 200 {
+                left.update(key, w)
+            } else {
+                right.update(key, w)
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.total_weight().to_bits(), whole.total_weight().to_bits());
+        for key in 0..64u64 {
+            assert_eq!(left.query(key).to_bits(), whole.query(key).to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different hash seeds")]
+    fn merge_rejects_different_seeds() {
+        let p = SketchParams::new(4, 16);
+        let mut a = CountMinSketch::new(p, 1);
+        let b = CountMinSketch::new(p, 2);
+        a.merge(&b);
     }
 }

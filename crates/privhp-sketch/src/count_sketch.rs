@@ -12,6 +12,43 @@ use serde::{Deserialize, Serialize};
 use crate::hash::HashFamily;
 use crate::SketchParams;
 
+/// Adds `sign(row, key) · weight` to `key`'s bucket in every row of a
+/// borrowed row-major Count-Sketch table.
+///
+/// This is **the** Count-Sketch update path: [`CountSketch::update`] and
+/// the builder's flattened level arena both route through it, so there is
+/// exactly one hashing code path for the kind (three mixes per column:
+/// base, stride, sign word).
+#[inline]
+pub fn update_table(table: &mut [f64], hashes: &HashFamily, key: u64, weight: f64) {
+    let width = hashes.width();
+    hashes.for_each_signed_bucket(key, |row, b, sign| {
+        table[row * width + b] += sign * weight;
+    });
+}
+
+/// Point query (median of signed row estimates) over a borrowed row-major
+/// Count-Sketch table — the query twin of [`update_table`].
+pub fn query_table(table: &[f64], hashes: &HashFamily, key: u64) -> f64 {
+    let width = hashes.width();
+    let mut ests: Vec<f64> = Vec::with_capacity(hashes.depth());
+    hashes.for_each_signed_bucket(key, |row, b, sign| {
+        ests.push(sign * table[row * width + b]);
+    });
+    median(&mut ests)
+}
+
+/// Median of the (unsorted) row estimates.
+fn median(ests: &mut [f64]) -> f64 {
+    ests.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let m = ests.len();
+    if m % 2 == 1 {
+        ests[m / 2]
+    } else {
+        0.5 * (ests[m / 2 - 1] + ests[m / 2])
+    }
+}
+
 /// A (non-private) Count Sketch over `u64` keys with `f64` counters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CountSketch {
@@ -42,70 +79,32 @@ impl CountSketch {
         self.total_weight
     }
 
-    #[inline]
-    fn cell(&self, row: usize, bucket: usize) -> usize {
-        row * self.params.width + bucket
-    }
-
-    /// Adds `weight` to `key` (signed per row). Buckets and signs come
-    /// from the family's batched double hash — three mixes for the whole
-    /// column.
+    /// Adds `weight` to `key` (signed per row) — routed through the
+    /// module-level [`update_table`], the kind's single hashing code path.
     #[inline]
     pub fn update(&mut self, key: u64, weight: f64) {
-        let Self { table, hashes, params, .. } = self;
-        let width = params.width;
-        hashes.for_each_signed_bucket(key, |row, b, sign| {
-            table[row * width + b] += sign * weight;
-        });
+        update_table(&mut self.table, &self.hashes, key, weight);
         self.total_weight += weight;
     }
 
-    /// [`Self::update`] with a caller-provided scratch buffer for the row
-    /// buckets — the streaming entry point `PrivHpBuilder::ingest` drives
-    /// all level sketches through, reusing one buffer across levels.
-    #[inline]
-    pub fn update_rows(&mut self, key: u64, weight: f64, scratch: &mut Vec<usize>) {
-        self.hashes.buckets_into(key, scratch);
-        let Self { table, hashes, params, .. } = self;
-        let width = params.width;
-        for (row, (&b, sign)) in scratch.iter().zip(hashes.signs(key)).enumerate() {
-            table[row * width + b] += sign * weight;
-        }
-        self.total_weight += weight;
-    }
-
-    /// Point query: median of signed row estimates.
+    /// Point query: median of signed row estimates (via [`query_table`]).
     pub fn query(&self, key: u64) -> f64 {
-        let mut ests: Vec<f64> = Vec::with_capacity(self.params.depth);
-        let width = self.params.width;
-        self.hashes.for_each_signed_bucket(key, |row, b, sign| {
-            ests.push(sign * self.table[row * width + b]);
-        });
-        Self::median(&mut ests)
+        query_table(&self.table, &self.hashes, key)
     }
 
-    /// [`Self::query`] with a caller-provided scratch buffer for the row
-    /// buckets.
-    pub fn query_rows(&self, key: u64, scratch: &mut Vec<usize>) -> f64 {
-        self.hashes.buckets_into(key, scratch);
-        let mut ests: Vec<f64> = scratch
-            .iter()
-            .zip(self.hashes.signs(key))
-            .enumerate()
-            .map(|(row, (&b, sign))| sign * self.table[self.cell(row, b)])
-            .collect();
-        Self::median(&mut ests)
-    }
-
-    /// Median of the (unsorted) row estimates.
-    fn median(ests: &mut [f64]) -> f64 {
-        ests.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let m = ests.len();
-        if m % 2 == 1 {
-            ests[m / 2]
-        } else {
-            0.5 * (ests[m / 2 - 1] + ests[m / 2])
+    /// Merges another sketch into this one by elementwise table addition
+    /// (sketches are linear, so this equals sketching the concatenated
+    /// stream).
+    ///
+    /// # Panics
+    /// Panics unless both sketches share dimensions *and* hash seeds.
+    pub fn merge(&mut self, other: &CountSketch) {
+        assert_eq!(self.params, other.params, "cannot merge sketches of different dimensions");
+        assert_eq!(self.hashes, other.hashes, "cannot merge sketches with different hash seeds");
+        for (cell, o) in self.table.iter_mut().zip(&other.table) {
+            *cell += o;
         }
+        self.total_weight += other.total_weight;
     }
 
     /// Adds `noise[i]` to cell `i`; used by the private wrapper (§3.4).
@@ -173,22 +172,49 @@ mod tests {
     }
 
     #[test]
-    fn scratch_entry_points_match_plain_update_and_query() {
-        // Signed streaming through the scratch buffer must agree cell-for-
-        // cell (buckets *and* signs) with the bufferless closure path.
+    fn borrowed_table_helpers_match_owned_entry_points() {
+        // The detached-table helpers must agree cell-for-cell (buckets
+        // *and* signs) with the owned sketch — arena users ride on them.
         let p = SketchParams::new(7, 48);
-        let mut plain = CountSketch::new(p, 17);
-        let mut rows = CountSketch::new(p, 17);
-        let mut scratch = Vec::new();
+        let mut owned = CountSketch::new(p, 17);
+        let hashes = HashFamily::new(p.depth, p.width, 17);
+        let mut raw = vec![0.0f64; p.cells()];
         for i in 0..400u64 {
             let (key, w) = (i % 37, 1.0 + (i % 5) as f64);
-            plain.update(key, w);
-            rows.update_rows(key, w, &mut scratch);
+            owned.update(key, w);
+            update_table(&mut raw, &hashes, key, w);
         }
-        assert_eq!(plain.total_weight(), rows.total_weight());
         for key in 0..64u64 {
-            assert_eq!(plain.query(key), rows.query(key));
-            assert_eq!(plain.query(key), rows.query_rows(key, &mut scratch));
+            assert_eq!(owned.query(key), query_table(&raw, &hashes, key));
         }
+    }
+
+    #[test]
+    fn merge_of_split_stream_equals_one_stream() {
+        let p = SketchParams::new(5, 32);
+        let mut whole = CountSketch::new(p, 23);
+        let mut left = CountSketch::new(p, 23);
+        let mut right = CountSketch::new(p, 23);
+        for i in 0..500u64 {
+            let key = i % 41;
+            whole.update(key, 1.0);
+            if i % 2 == 0 {
+                left.update(key, 1.0)
+            } else {
+                right.update(key, 1.0)
+            }
+        }
+        left.merge(&right);
+        for key in 0..64u64 {
+            assert_eq!(left.query(key).to_bits(), whole.query(key).to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different dimensions")]
+    fn merge_rejects_different_dimensions() {
+        let mut a = CountSketch::new(SketchParams::new(3, 16), 1);
+        let b = CountSketch::new(SketchParams::new(3, 32), 1);
+        a.merge(&b);
     }
 }

@@ -5,10 +5,12 @@
 //! `h₁` and an odd stride `h₂`, and row `i`'s 64-bit hash is
 //! `h₁ + i·h₂ (mod 2⁶⁴)`, reduced into `[0, width)` by Lemire's
 //! multiply-shift. A whole column of row buckets therefore costs two mixes
-//! plus one multiply per row — the batched entry points
-//! ([`HashFamily::buckets_into`]) are what lets `PrivHpBuilder::ingest`
-//! stream `L·j` sketch-row updates per item without `L·j` serial
-//! mix-probe chains. Lemma 4's error analysis assumes fully random
+//! plus one multiply per row — [`HashFamily::buckets`] streams a column
+//! from one pair, and the split form ([`HashFamily::hash_pair`] +
+//! [`HashFamily::buckets_of_pair`]) lets the builder's chunked ingest
+//! hash a whole chunk up front and replay the pairs level-major, so `L·j`
+//! sketch-row updates per item never become `L·j` serial mix-probe
+//! chains. Lemma 4's error analysis assumes fully random
 //! hashing; double hashing from a strong mixer behaves indistinguishably
 //! for the stream sizes we target (the classic Kirsch–Mitzenmacher
 //! argument), and — as the paper stresses (§3.3) — the *privacy*
@@ -20,7 +22,11 @@ use serde::{Deserialize, Serialize};
 
 /// A family of `depth` seeded hash functions into `[0, width)`, all
 /// derived from one double-hash pair per key.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Equality compares the seeds and dimensions — two equal families hash
+/// every key identically, which is what mergeable sketches check before
+/// adding tables elementwise.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HashFamily {
     base_seed: u64,
     stride_seed: u64,
@@ -52,9 +58,11 @@ impl HashFamily {
     }
 
     /// The double-hash pair for `key`: base hash and odd stride. Two mixes
-    /// cover every row of the family.
+    /// cover every row of the family. Public so batched callers (the
+    /// builder's level-major chunk pass) can hash a whole chunk up front
+    /// and replay the pairs through [`Self::buckets_of_pair`].
     #[inline]
-    fn hash_pair(&self, key: u64) -> (u64, u64) {
+    pub fn hash_pair(&self, key: u64) -> (u64, u64) {
         (mix64(key ^ self.base_seed), mix64(key ^ self.stride_seed) | 1)
     }
 
@@ -78,8 +86,8 @@ impl HashFamily {
     }
 
     /// Hashes `key` with row `row`'s function; returns a bucket in
-    /// `[0, width)`. Single-row entry point — identical to slot `row` of
-    /// [`Self::buckets_into`].
+    /// `[0, width)`. Single-row entry point — identical to element `row`
+    /// of [`Self::buckets`].
     #[inline]
     pub fn bucket(&self, row: usize, key: u64) -> usize {
         let (h1, h2) = self.hash_pair(key);
@@ -91,22 +99,20 @@ impl HashFamily {
     /// multiply-shift per row).
     #[inline]
     pub fn buckets(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
-        let (h1, h2) = self.hash_pair(key);
+        self.buckets_of_pair(self.hash_pair(key))
+    }
+
+    /// Iterates every row's bucket from an already-computed
+    /// [`Self::hash_pair`] — the replay half of the two-phase batched
+    /// update (hash a whole chunk, then stream the scattered adds).
+    #[inline]
+    pub fn buckets_of_pair(&self, (h1, h2): (u64, u64)) -> impl Iterator<Item = usize> + '_ {
         let mut h = h1;
         (0..self.depth).map(move |_| {
             let b = self.reduce(h);
             h = h.wrapping_add(h2);
             b
         })
-    }
-
-    /// Computes every row's bucket for `key` into `out` (cleared and
-    /// refilled; one slot per row): two mixes plus one multiply-shift per
-    /// row, no per-row re-mixing.
-    #[inline]
-    pub fn buckets_into(&self, key: u64, out: &mut Vec<usize>) {
-        out.clear();
-        out.extend(self.buckets(key));
     }
 
     /// A ±1 sign for Count Sketch rows, independent of the bucket bits:
@@ -238,13 +244,32 @@ mod tests {
     }
 
     #[test]
+    fn pair_replay_matches_direct_buckets() {
+        // Hashing a chunk up front and replaying the pairs must visit the
+        // same buckets as hashing inline — the two-phase batch path.
+        let f = HashFamily::new(11, 96, 41);
+        for key in [0u64, 7, 0xBEEF, u64::MAX] {
+            let pair = f.hash_pair(key);
+            let direct: Vec<usize> = f.buckets(key).collect();
+            let replayed: Vec<usize> = f.buckets_of_pair(pair).collect();
+            assert_eq!(direct, replayed);
+        }
+    }
+
+    #[test]
+    fn equality_tracks_seeds_and_dimensions() {
+        assert_eq!(HashFamily::new(3, 64, 9), HashFamily::new(3, 64, 9));
+        assert_ne!(HashFamily::new(3, 64, 9), HashFamily::new(3, 64, 10));
+        assert_ne!(HashFamily::new(3, 64, 9), HashFamily::new(4, 64, 9));
+    }
+
+    #[test]
     fn batched_buckets_match_single_row_entry_point() {
         let f = HashFamily::new(9, 53, 77);
-        let mut scratch = Vec::new();
         for key in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX] {
-            f.buckets_into(key, &mut scratch);
-            assert_eq!(scratch.len(), 9);
-            for (row, &b) in scratch.iter().enumerate() {
+            let column: Vec<usize> = f.buckets(key).collect();
+            assert_eq!(column.len(), 9);
+            for (row, &b) in column.iter().enumerate() {
                 assert_eq!(b, f.bucket(row, key), "row {row} for key {key}");
             }
         }

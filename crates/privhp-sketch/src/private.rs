@@ -51,29 +51,17 @@ impl PrivateCountMinSketch {
     }
 
     /// Streams an update into the sketch (same as the non-private update;
-    /// privacy comes from the oblivious noise already present).
+    /// privacy comes from the oblivious noise already present). Routed
+    /// through the kind's single hashing code path.
     #[inline]
     pub fn update(&mut self, key: u64, weight: f64) {
         self.inner.update(key, weight);
-    }
-
-    /// [`Self::update`] through a caller-provided row-bucket scratch
-    /// buffer (the batched streaming entry point).
-    #[inline]
-    pub fn update_rows(&mut self, key: u64, weight: f64, scratch: &mut Vec<usize>) {
-        self.inner.update_rows(key, weight, scratch);
     }
 
     /// Noisy point query.
     #[inline]
     pub fn query(&self, key: u64) -> f64 {
         self.inner.query(key)
-    }
-
-    /// [`Self::query`] through a caller-provided scratch buffer.
-    #[inline]
-    pub fn query_rows(&self, key: u64, scratch: &mut Vec<usize>) -> f64 {
-        self.inner.query_rows(key, scratch)
     }
 
     /// Dimensions.
@@ -122,29 +110,17 @@ impl PrivateCountSketch {
         self.noise_scale
     }
 
-    /// Streams an update.
+    /// Streams an update (routed through the kind's single hashing code
+    /// path).
     #[inline]
     pub fn update(&mut self, key: u64, weight: f64) {
         self.inner.update(key, weight);
-    }
-
-    /// [`Self::update`] through a caller-provided row-bucket scratch
-    /// buffer (the batched streaming entry point).
-    #[inline]
-    pub fn update_rows(&mut self, key: u64, weight: f64, scratch: &mut Vec<usize>) {
-        self.inner.update_rows(key, weight, scratch);
     }
 
     /// Noisy point query (median estimator).
     #[inline]
     pub fn query(&self, key: u64) -> f64 {
         self.inner.query(key)
-    }
-
-    /// [`Self::query`] through a caller-provided scratch buffer.
-    #[inline]
-    pub fn query_rows(&self, key: u64, scratch: &mut Vec<usize>) -> f64 {
-        self.inner.query_rows(key, scratch)
     }
 
     /// Dimensions.

@@ -1,0 +1,133 @@
+//! Merge semantics of the sharded ingest path (proptest).
+//!
+//! The mergeable-builder design promises that K-shard ingest —
+//! `ingest_par`, or explicit `new_shard` builders merged by hand — is
+//! indistinguishable from one sequential pass: **bit-identical** tree
+//! counters and sketch-arena tables (the deterministic state is a sum of
+//! exact integer updates), and **byte-identical** finalized release
+//! documents for the same noise seed (noise is injected exactly once, at
+//! finalize, from a seed committed at construction). These properties are
+//! what make data-parallel and multi-machine ingest safe to use: the
+//! thread/shard count can never change a release.
+
+use privhp::core::config::SketchKind;
+use privhp::core::{PrivHpBuilder, PrivHpConfig};
+use privhp::domain::{HierarchicalDomain, Hypercube, UnitInterval};
+use privhp::dp::rng::rng_from_seed;
+use proptest::prelude::*;
+
+/// Asserts two builders hold bit-identical deterministic state.
+fn assert_state_eq<D: HierarchicalDomain + Clone>(
+    a: &PrivHpBuilder<D>,
+    b: &PrivHpBuilder<D>,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.items_seen(), b.items_seen());
+    for (p, c) in a.tree().iter() {
+        prop_assert!(
+            c.to_bits() == b.tree().count_unchecked(p).to_bits(),
+            "tree counters diverged at {p}"
+        );
+    }
+    let (ta, tb) = (a.sketches().table(), b.sketches().table());
+    prop_assert_eq!(ta.len(), tb.len());
+    for (i, (x, y)) in ta.iter().zip(tb).enumerate() {
+        prop_assert!(x.to_bits() == y.to_bits(), "sketch arena diverged at cell {i}");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// K-shard `ingest_par` equals sequential ingest bit-for-bit — tree
+    /// counters, sketch tables, and the finalized release bytes — for
+    /// both sketch kinds, any thread count (including K = 1), and streams
+    /// that may be smaller than the shard count.
+    #[test]
+    fn ingest_par_equals_sequential(
+        xs in proptest::collection::vec(0.0f64..1.0, 1..600),
+        threads in 1usize..6,
+        seed in 0u64..1000,
+        use_count_sketch in proptest::collection::vec(0u8..2, 1)
+    ) {
+        let kind = if use_count_sketch[0] == 1 { SketchKind::CountSketch } else { SketchKind::CountMin };
+        let config = PrivHpConfig::for_domain(1.0, xs.len().max(2), 4)
+            .with_seed(seed)
+            .with_sketch_kind(kind);
+
+        let mut rng = rng_from_seed(seed ^ 0xA1);
+        let mut sequential =
+            PrivHpBuilder::new(UnitInterval::new(), config.clone(), &mut rng).unwrap();
+        for x in &xs {
+            sequential.ingest(x);
+        }
+
+        let mut rng = rng_from_seed(seed ^ 0xA1);
+        let mut parallel = PrivHpBuilder::new(UnitInterval::new(), config, &mut rng).unwrap();
+        parallel.ingest_par(&xs, threads);
+
+        assert_state_eq(&sequential, &parallel)?;
+
+        let a = serde_json::to_string(sequential.finalize().tree()).unwrap();
+        let b = serde_json::to_string(parallel.finalize().tree()).unwrap();
+        prop_assert!(a == b, "finalized release bytes differ");
+    }
+
+    /// Explicit shard builders (`new_shard` + `merge`) over an arbitrary
+    /// partition of the stream — including empty shards — reproduce the
+    /// sequential state exactly, on a 2-D domain.
+    #[test]
+    fn explicit_shard_merge_equals_sequential_2d(
+        coords in proptest::collection::vec(0.0f64..1.0, 2..400),
+        cut_a in 0usize..400,
+        cut_b in 0usize..400,
+        seed in 0u64..1000
+    ) {
+        let pts: Vec<Vec<f64>> = coords.chunks_exact(2).map(|c| c.to_vec()).collect();
+        // Two cuts (possibly equal, possibly 0 or len: empty shards).
+        let mut cuts = [cut_a % (pts.len() + 1), cut_b % (pts.len() + 1)];
+        cuts.sort_unstable();
+        let shards = [&pts[..cuts[0]], &pts[cuts[0]..cuts[1]], &pts[cuts[1]..]];
+
+        let domain = Hypercube::new(2);
+        let config = PrivHpConfig::for_domain(1.0, pts.len().max(2), 4).with_seed(seed);
+
+        let mut rng = rng_from_seed(seed ^ 0xB2);
+        let mut sequential = PrivHpBuilder::new(domain.clone(), config.clone(), &mut rng).unwrap();
+        sequential.ingest_batch(&pts);
+
+        let mut rng = rng_from_seed(seed ^ 0xB2);
+        let mut coordinator = PrivHpBuilder::new(domain.clone(), config.clone(), &mut rng).unwrap();
+        for shard_points in shards {
+            let mut shard = PrivHpBuilder::new_shard(domain.clone(), config.clone()).unwrap();
+            prop_assert!(shard.is_shard());
+            shard.ingest_batch(shard_points);
+            coordinator.merge(shard);
+        }
+
+        assert_state_eq(&sequential, &coordinator)?;
+
+        let a = serde_json::to_string(sequential.finalize().tree()).unwrap();
+        let b = serde_json::to_string(coordinator.finalize().tree()).unwrap();
+        prop_assert!(a == b, "finalized release bytes differ");
+    }
+
+    /// `ingest_batch` (chunked level-major) is bit-identical to
+    /// item-by-item `ingest` across chunk boundaries.
+    #[test]
+    fn batch_equals_item_ingest(
+        xs in proptest::collection::vec(0.0f64..1.0, 1..700),
+        seed in 0u64..1000
+    ) {
+        let config = PrivHpConfig::for_domain(1.0, xs.len().max(2), 4).with_seed(seed);
+        let mut rng = rng_from_seed(seed ^ 0xC3);
+        let mut item = PrivHpBuilder::new(UnitInterval::new(), config.clone(), &mut rng).unwrap();
+        for x in &xs {
+            item.ingest(x);
+        }
+        let mut rng = rng_from_seed(seed ^ 0xC3);
+        let mut batch = PrivHpBuilder::new(UnitInterval::new(), config, &mut rng).unwrap();
+        batch.ingest_batch(&xs);
+        assert_state_eq(&item, &batch)?;
+    }
+}
