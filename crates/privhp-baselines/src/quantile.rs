@@ -2,7 +2,7 @@
 //! paper §2.2).
 //!
 //! The paper notes a quantile estimator yields a synthetic data generator:
-//! "sampling a value uniformly in [0,1] and returning the quantile.
+//! "sampling a value uniformly in \[0,1\] and returning the quantile.
 //! However, their method only works for finite and ordered input domains
 //! and, thus, does not extend to general metric spaces."
 //!

@@ -49,6 +49,37 @@ pub enum Command {
         /// Release-file path.
         release: String,
     },
+    /// `privhp continual` — build a release under continual observation.
+    Continual {
+        /// Input CSV path (`-` for stdin).
+        input: String,
+        /// Output release-file path.
+        output: String,
+        /// Privacy budget ε.
+        epsilon: f64,
+        /// Pruning parameter k.
+        k: usize,
+        /// Input domain.
+        domain: DomainSpec,
+        /// Master seed for the build's randomness.
+        seed: u64,
+        /// Stream horizon as a power of two (`None` = sized to the input).
+        horizon_levels: Option<usize>,
+    },
+    /// `privhp serve` — run the long-lived sampling/query server.
+    Serve {
+        /// Address to bind, e.g. `127.0.0.1:4750` (`:0` for ephemeral).
+        addr: String,
+        /// Releases to preload, as `(name, path)` pairs.
+        releases: Vec<(String, String)>,
+    },
+    /// `privhp client` — send one request to a running server.
+    Client {
+        /// Server address, e.g. `127.0.0.1:4750`.
+        addr: String,
+        /// The request frame to send (`-` to read it from stdin).
+        request: String,
+    },
     /// `privhp help` / `--help`.
     Help,
 }
@@ -175,8 +206,68 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
             let map = flag_map(&args[1..])?;
             Ok(Command::Info { release: take(&map, "release")?.to_string() })
         }
+        "continual" => {
+            let map = flag_map(&args[1..])?;
+            let domain = DomainSpec::parse(take_or(&map, "domain", "interval")).map_err(err)?;
+            let horizon_levels = match map.get("horizon-levels") {
+                Some(s) => Some(parse_usize("horizon-levels", s)?),
+                None => None,
+            };
+            Ok(Command::Continual {
+                input: take(&map, "input")?.to_string(),
+                output: take(&map, "output")?.to_string(),
+                epsilon: parse_f64("epsilon", take(&map, "epsilon")?)?,
+                k: parse_usize("k", take(&map, "k")?)?,
+                domain,
+                seed: parse_u64("seed", take_or(&map, "seed", "42"))?,
+                horizon_levels,
+            })
+        }
+        // `serve` parses its own flags: `--release name=path` is the one
+        // repeatable flag in the CLI, which `flag_map` rejects by design.
+        "serve" => {
+            let mut addr: Option<String> = None;
+            let mut releases: Vec<(String, String)> = Vec::new();
+            let mut i = 1;
+            while i < args.len() {
+                let t = &args[i];
+                let name = t
+                    .strip_prefix("--")
+                    .ok_or_else(|| err(format!("expected a --flag, got '{t}'")))?;
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| err(format!("flag --{name} is missing its value")))?;
+                match name {
+                    "addr" => {
+                        if addr.replace(value.clone()).is_some() {
+                            return Err(err("flag --addr given twice"));
+                        }
+                    }
+                    "release" => {
+                        let (n, p) = value
+                            .split_once('=')
+                            .filter(|(n, p)| !n.is_empty() && !p.is_empty())
+                            .ok_or_else(|| err("--release expects name=path"))?;
+                        if releases.iter().any(|(existing, _)| existing == n) {
+                            return Err(err(format!("release '{n}' given twice")));
+                        }
+                        releases.push((n.to_string(), p.to_string()));
+                    }
+                    other => return Err(err(format!("unknown serve flag --{other}"))),
+                }
+                i += 2;
+            }
+            Ok(Command::Serve { addr: addr.ok_or_else(|| err("missing required flag --addr"))?, releases })
+        }
+        "client" => {
+            let map = flag_map(&args[1..])?;
+            Ok(Command::Client {
+                addr: take(&map, "addr")?.to_string(),
+                request: take(&map, "json")?.to_string(),
+            })
+        }
         other => Err(err(format!(
-            "unknown subcommand '{other}' (expected build | sample | query | info | help)"
+            "unknown subcommand '{other}' (expected build | sample | query | info | continual | serve | client | help)"
         ))),
     }
 }
@@ -186,16 +277,25 @@ pub const HELP: &str = "\
 privhp — private synthetic data generation in bounded memory (PODS 2025)
 
 USAGE:
-  privhp build  --input data.csv --output release.json --epsilon 1.0 --k 16
-                [--domain interval|cube:D|ipv4] [--seed S] [--threads N]
-  privhp sample --release release.json --count N [--seed S]
-  privhp query  --release release.json (--range a,b | --cdf x | --quantile q | --mean true)
-  privhp info   --release release.json
+  privhp build     --input data.csv --output release.json --epsilon 1.0 --k 16
+                   [--domain interval|cube:D|ipv4] [--seed S] [--threads N]
+  privhp continual --input data.csv --output release.json --epsilon 1.0 --k 16
+                   [--domain interval|cube:D|ipv4] [--seed S] [--horizon-levels H]
+  privhp sample    --release release.json --count N [--seed S]
+  privhp query     --release release.json (--range a,b | --cdf x | --quantile q | --mean true)
+  privhp info      --release release.json
+  privhp serve     --addr 127.0.0.1:4750 [--release name=release.json]...
+  privhp client    --addr 127.0.0.1:4750 --json '{\"op\":\"list\"}'
 
 Input CSV: one point per line. interval: a single value in [0,1];
 cube:D: D comma-separated values in [0,1]; ipv4: dotted-quad addresses.
 The CSV is ingested in batches; --threads N shards the stream across N
 ingest workers and merges (same release bytes as --threads 1).
+continual builds through the continual-observation mechanism instead of
+the 1-pass builder (releasable at any checkpoint; horizon 2^H items).
+serve answers sample/query/cdf/info/list/stats/load/shutdown requests as
+line-delimited JSON over TCP; client sends one request frame (--json - to
+read it from stdin) and prints the one-line reply.
 The release file is eps-differentially private; querying and sampling it
 costs no further privacy budget.";
 
@@ -312,6 +412,111 @@ mod tests {
             Command::Query { query: QueryKind::Quantile(_), .. }
         ));
         assert!(matches!(q(&["--mean", "true"]), Command::Query { query: QueryKind::Mean, .. }));
+    }
+
+    #[test]
+    fn parses_continual() {
+        let cmd = parse_args(&v(&[
+            "continual",
+            "--input",
+            "d.csv",
+            "--output",
+            "r.json",
+            "--epsilon",
+            "2",
+            "--k",
+            "8",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Continual { input, epsilon, k, domain, seed, horizon_levels, .. } => {
+                assert_eq!(input, "d.csv");
+                assert_eq!(epsilon, 2.0);
+                assert_eq!(k, 8);
+                assert_eq!(domain, DomainSpec::Interval);
+                assert_eq!(seed, 42);
+                assert_eq!(horizon_levels, None, "horizon defaults to input-sized");
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let cmd = parse_args(&v(&[
+            "continual",
+            "--input",
+            "d",
+            "--output",
+            "o",
+            "--epsilon",
+            "1",
+            "--k",
+            "4",
+            "--horizon-levels",
+            "14",
+        ]))
+        .unwrap();
+        assert!(matches!(cmd, Command::Continual { horizon_levels: Some(14), .. }));
+    }
+
+    #[test]
+    fn parses_serve_with_repeated_releases() {
+        let cmd = parse_args(&v(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--release",
+            "a=a.json",
+            "--release",
+            "b=b.json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve { addr, releases } => {
+                assert_eq!(addr, "127.0.0.1:0");
+                assert_eq!(
+                    releases,
+                    vec![
+                        ("a".to_string(), "a.json".to_string()),
+                        ("b".to_string(), "b.json".to_string())
+                    ]
+                );
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // No preloaded releases is fine (hot-load via the `load` op).
+        assert!(matches!(
+            parse_args(&v(&["serve", "--addr", "127.0.0.1:0"])).unwrap(),
+            Command::Serve { releases, .. } if releases.is_empty()
+        ));
+    }
+
+    #[test]
+    fn serve_flag_validation() {
+        let e = parse_args(&v(&["serve", "--release", "a=a.json"])).unwrap_err();
+        assert!(e.0.contains("--addr"), "{}", e.0);
+        let e = parse_args(&v(&["serve", "--addr", "x", "--release", "nopath"])).unwrap_err();
+        assert!(e.0.contains("name=path"), "{}", e.0);
+        let e = parse_args(&v(&["serve", "--addr", "x", "--release", "a=1", "--release", "a=2"]))
+            .unwrap_err();
+        assert!(e.0.contains("twice"), "{}", e.0);
+        let e = parse_args(&v(&["serve", "--addr", "x", "--port", "1"])).unwrap_err();
+        assert!(e.0.contains("unknown serve flag"), "{}", e.0);
+        let e = parse_args(&v(&["serve", "--addr"])).unwrap_err();
+        assert!(e.0.contains("missing its value"), "{}", e.0);
+    }
+
+    #[test]
+    fn parses_client() {
+        let cmd =
+            parse_args(&v(&["client", "--addr", "127.0.0.1:4750", "--json", "{\"op\":\"list\"}"]))
+                .unwrap();
+        match cmd {
+            Command::Client { addr, request } => {
+                assert_eq!(addr, "127.0.0.1:4750");
+                assert_eq!(request, "{\"op\":\"list\"}");
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let e = parse_args(&v(&["client", "--addr", "x"])).unwrap_err();
+        assert!(e.0.contains("--json"), "{}", e.0);
     }
 
     #[test]

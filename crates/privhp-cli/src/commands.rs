@@ -6,13 +6,35 @@
 //! the domain value and the CSV codec, then hands off to one shared
 //! trait-driven pipeline.
 
-use privhp_core::{Generator, PrivHpBuilder, PrivHpConfig, TreeQuery, INGEST_CHUNK};
+use std::io::Write;
+
+use privhp_core::{
+    ContinualPrivHp, Generator, PrivHpBuilder, PrivHpConfig, TreeQuery, INGEST_CHUNK,
+};
 use privhp_domain::{HierarchicalDomain, Hypercube, Ipv4Space, UnitInterval};
 use privhp_dp::rng::rng_from_seed;
+use privhp_serve::{LoadedRelease, Registry, Server};
 
 use crate::args::QueryKind;
 use crate::csvio;
 use crate::release::{DomainSpec, ReleaseFile};
+
+/// The Corollary-1 configuration for a domain/budget, with the IPv4
+/// hierarchy's 32-level cap applied — shared by the 1-pass and continual
+/// build paths so both produce identically-configured releases.
+fn config_for(domain: DomainSpec, epsilon: f64, n: usize, k: usize, seed: u64) -> PrivHpConfig {
+    let base = PrivHpConfig::for_domain(epsilon, n, k).with_seed(seed);
+    match domain {
+        DomainSpec::Ipv4 => {
+            // The address hierarchy is at most 32 levels deep; clamp the
+            // Corollary-1 defaults to it.
+            let depth = base.depth.min(Ipv4Space::new().max_level()).max(2);
+            let l_star = base.l_star.min(depth - 1);
+            base.with_levels(l_star, depth)
+        }
+        _ => base,
+    }
+}
 
 /// Shared build pipeline: Algorithm 1 over a CSV stream, wrapped into a
 /// versioned release file. Domain-agnostic — callers only choose the
@@ -60,43 +82,154 @@ pub fn run_build(
     threads: usize,
 ) -> Result<String, String> {
     let n = csvio::payload_count(csv).max(2);
+    let config = config_for(domain, epsilon, n, k, seed);
     let release = match domain {
-        DomainSpec::Interval => {
-            let config = PrivHpConfig::for_domain(epsilon, n, k).with_seed(seed);
-            build_release(
-                &UnitInterval::new(),
-                domain,
-                config,
-                csv,
-                csvio::parse_interval_line,
-                seed,
-                threads,
-            )?
-        }
-        DomainSpec::Cube { dim } => {
-            let config = PrivHpConfig::for_domain(epsilon, n, k).with_seed(seed);
-            build_release(
-                &Hypercube::new(dim),
-                domain,
-                config,
-                csv,
-                |no, line| csvio::parse_cube_line(no, line, dim),
-                seed,
-                threads,
-            )?
-        }
-        DomainSpec::Ipv4 => {
-            let space = Ipv4Space::new();
-            let base = PrivHpConfig::for_domain(epsilon, n, k).with_seed(seed);
-            // The address hierarchy is at most 32 levels deep; clamp the
-            // Corollary-1 defaults to it.
-            let depth = base.depth.min(space.max_level()).max(2);
-            let l_star = base.l_star.min(depth - 1);
-            let config = base.with_levels(l_star, depth);
-            build_release(&space, domain, config, csv, csvio::parse_ipv4_line, seed, threads)?
-        }
+        DomainSpec::Interval => build_release(
+            &UnitInterval::new(),
+            domain,
+            config,
+            csv,
+            csvio::parse_interval_line,
+            seed,
+            threads,
+        )?,
+        DomainSpec::Cube { dim } => build_release(
+            &Hypercube::new(dim),
+            domain,
+            config,
+            csv,
+            |no, line| csvio::parse_cube_line(no, line, dim),
+            seed,
+            threads,
+        )?,
+        DomainSpec::Ipv4 => build_release(
+            &Ipv4Space::new(),
+            domain,
+            config,
+            csv,
+            csvio::parse_ipv4_line,
+            seed,
+            threads,
+        )?,
     };
     Ok(release.to_json())
+}
+
+/// Shared continual-observation build pipeline: every counter/sketch is
+/// its continual counterpart, so the same state could be released at any
+/// checkpoint; here we release once at end-of-stream and persist that.
+fn continual_release<D>(
+    domain: &D,
+    spec: DomainSpec,
+    config: PrivHpConfig,
+    csv: &str,
+    parse_line: impl Fn(usize, &str) -> Result<D::Point, String>,
+    seed: u64,
+    horizon_levels: usize,
+) -> Result<ReleaseFile, String>
+where
+    D: HierarchicalDomain + Clone,
+{
+    let mut continual = ContinualPrivHp::new(domain.clone(), config.clone(), horizon_levels)
+        .map_err(|e| format!("configuration error: {e}"))?;
+    let mut rng = rng_from_seed(seed ^ 0xC0E7);
+    csvio::parse_batches(csv, INGEST_CHUNK, parse_line, |batch| {
+        for point in batch {
+            continual.ingest(point, &mut rng);
+        }
+    })?;
+    let g = continual.release();
+    Ok(ReleaseFile::new(spec, config, g.tree().clone()))
+}
+
+/// Runs `privhp continual` on in-memory CSV text; returns the release
+/// JSON (same file format as `privhp build` — downstream consumers cannot
+/// tell the mechanisms apart).
+pub fn run_continual(
+    csv: &str,
+    epsilon: f64,
+    k: usize,
+    domain: DomainSpec,
+    seed: u64,
+    horizon_levels: Option<usize>,
+) -> Result<String, String> {
+    let n = csvio::payload_count(csv).max(2);
+    // The binary mechanism is sized for a horizon of 2^H items; default to
+    // the smallest horizon covering the input.
+    let horizon = match horizon_levels {
+        Some(h) => {
+            // `ContinualPrivHp` computes `1usize << H`, so H must stay a
+            // valid shift; anything near that bound is absurd anyway.
+            if h >= usize::BITS as usize {
+                return Err(format!(
+                    "--horizon-levels {h} is out of range (max {})",
+                    usize::BITS - 1
+                ));
+            }
+            if n > 1usize << h {
+                return Err(format!(
+                    "--horizon-levels {h} allows 2^{h} items but the input has {n}"
+                ));
+            }
+            h
+        }
+        None => n.next_power_of_two().trailing_zeros() as usize,
+    };
+    let config = config_for(domain, epsilon, n, k, seed);
+    let release = match domain {
+        DomainSpec::Interval => continual_release(
+            &UnitInterval::new(),
+            domain,
+            config,
+            csv,
+            csvio::parse_interval_line,
+            seed,
+            horizon,
+        )?,
+        DomainSpec::Cube { dim } => continual_release(
+            &Hypercube::new(dim),
+            domain,
+            config,
+            csv,
+            |no, line| csvio::parse_cube_line(no, line, dim),
+            seed,
+            horizon,
+        )?,
+        DomainSpec::Ipv4 => continual_release(
+            &Ipv4Space::new(),
+            domain,
+            config,
+            csv,
+            csvio::parse_ipv4_line,
+            seed,
+            horizon,
+        )?,
+    };
+    Ok(release.to_json())
+}
+
+/// Runs `privhp serve`: loads the named releases, binds, prints one
+/// ready line (so scripts know the port is live), and blocks until a
+/// `shutdown` request. Returns the post-shutdown summary line.
+pub fn run_serve(addr: &str, releases: &[(String, String)]) -> Result<String, String> {
+    let registry = Registry::new();
+    for (name, path) in releases {
+        registry.insert(LoadedRelease::load(name, path)?);
+    }
+    let server = Server::bind(addr, registry).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!(
+        "privhp serve: {} release(s) loaded, listening on {}",
+        server.registry().len(),
+        server.local_addr()
+    );
+    let _ = std::io::stdout().flush();
+    server.run();
+    Ok(format!("server shut down after {} request(s)\n", server.stats().requests()))
+}
+
+/// Runs `privhp client`: one request frame in, one response line out.
+pub fn run_client(addr: &str, request: &str) -> Result<String, String> {
+    Ok(format!("{}\n", privhp_serve::oneshot(addr, request)?))
 }
 
 /// Shared sampling pipeline: a release's tree viewed through the
@@ -108,7 +241,7 @@ where
 {
     let sampler = release.generator(domain);
     let generator: &dyn Generator<D> = &sampler;
-    let mut rng = rng_from_seed(seed ^ 0x5A11);
+    let mut rng = rng_from_seed(seed ^ privhp_core::SAMPLE_SEED_XOR);
     write(&generator.sample_many_points(count, &mut rng))
 }
 
@@ -262,6 +395,42 @@ mod tests {
             let parallel = run_build(&csv, 1.0, 8, DomainSpec::Interval, 7, threads).unwrap();
             assert_eq!(sequential, parallel, "release bytes changed at --threads {threads}");
         }
+    }
+
+    #[test]
+    fn continual_build_produces_a_queryable_release() {
+        let csv = sample_csv(2_000);
+        let release = run_continual(&csv, 4.0, 8, DomainSpec::Interval, 7, None).unwrap();
+
+        // Same file format: info/sample/query all work unchanged.
+        let info = run_info(&release).unwrap();
+        assert!(info.contains("domain:        interval"));
+        let samples = run_sample(&release, 300, 9).unwrap();
+        assert_eq!(samples.lines().count(), 300);
+        // Squared-uniform data: ~70% of mass below x=0.5 (continual noise
+        // is log(T)-times larger, so the tolerance is looser than build's).
+        let ans: f64 = run_query(&release, QueryKind::Cdf(0.5)).unwrap().trim().parse().unwrap();
+        assert!((ans - 0.707).abs() < 0.25, "CDF(0.5) = {ans}");
+    }
+
+    #[test]
+    fn continual_is_deterministic_given_seed() {
+        let csv = sample_csv(500);
+        let a = run_continual(&csv, 2.0, 4, DomainSpec::Interval, 11, None).unwrap();
+        let b = run_continual(&csv, 2.0, 4, DomainSpec::Interval, 11, None).unwrap();
+        assert_eq!(a, b, "equal seeds must give byte-identical continual releases");
+    }
+
+    #[test]
+    fn continual_validates_horizon() {
+        let csv = sample_csv(500);
+        let e = run_continual(&csv, 2.0, 4, DomainSpec::Interval, 1, Some(5)).unwrap_err();
+        assert!(e.contains("2^5"), "{e}");
+        // A horizon that would overflow the shift is rejected, not panicked.
+        let e = run_continual(&csv, 2.0, 4, DomainSpec::Interval, 1, Some(64)).unwrap_err();
+        assert!(e.contains("out of range"), "{e}");
+        // An explicitly large-enough horizon works.
+        run_continual(&csv, 2.0, 4, DomainSpec::Interval, 1, Some(10)).unwrap();
     }
 
     #[test]

@@ -2,25 +2,33 @@
 
 //! Library backing the `privhp` command-line tool.
 //!
-//! The CLI wraps the workspace's public API in four subcommands:
+//! The CLI wraps the workspace's public API in seven subcommands:
 //!
 //! ```text
-//! privhp build  --input data.csv --epsilon 1.0 --k 16 --domain interval --output release.json
-//! privhp sample --release release.json --count 10000 [--seed 7]
-//! privhp query  --release release.json --range 0.2,0.4 | --cdf 0.3 | --quantile 0.5 | --mean
-//! privhp info   --release release.json
+//! privhp build     --input data.csv --epsilon 1.0 --k 16 --domain interval --output release.json
+//! privhp continual --input data.csv --epsilon 1.0 --k 16 --output release.json [--horizon-levels H]
+//! privhp sample    --release release.json --count 10000 [--seed 7]
+//! privhp query     --release release.json --range 0.2,0.4 | --cdf 0.3 | --quantile 0.5 | --mean
+//! privhp info      --release release.json
+//! privhp serve     --addr 127.0.0.1:4750 [--release name=release.json]...
+//! privhp client    --addr 127.0.0.1:4750 --json '{"op":"list"}'
 //! ```
 //!
 //! A *release file* is the serialised ε-DP output of Algorithm 1 — the
 //! consistent partition tree plus the domain and configuration needed to
-//! sample from it. Because the release is already private, the file can be
-//! stored, shipped and queried indefinitely (post-processing, paper
-//! Lemma 2); the raw input never appears in it.
+//! sample from it (`continual` builds the same format through the
+//! continual-observation mechanism). Because the release is already
+//! private, the file can be stored, shipped, queried indefinitely and
+//! served to any number of clients (`serve`/`client`, the
+//! [`privhp_serve`] crate) — all post-processing, paper Lemma 2; the raw
+//! input never appears in it.
 
 pub mod args;
 pub mod commands;
 pub mod csvio;
-pub mod release;
 
 pub use args::{parse_args, Command, ParseError};
-pub use release::{DomainSpec, ReleaseFile};
+// The release-file format moved to `privhp_core::release` so the serving
+// layer shares it; re-exported here for the CLI's historical paths.
+pub use privhp_core::release;
+pub use privhp_core::release::{DomainSpec, ReleaseFile};

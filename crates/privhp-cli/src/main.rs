@@ -43,6 +43,18 @@ fn run(args: &[String]) -> Result<String, String> {
             let json = read_input(&release)?;
             commands::run_info(&json)
         }
+        Command::Continual { input, output, epsilon, k, domain, seed, horizon_levels } => {
+            let csv = read_input(&input)?;
+            let json = commands::run_continual(&csv, epsilon, k, domain, seed, horizon_levels)?;
+            std::fs::write(&output, &json).map_err(|e| format!("cannot write {output}: {e}"))?;
+            Ok(format!("continual release written to {output}\n"))
+        }
+        Command::Serve { addr, releases } => commands::run_serve(&addr, &releases),
+        Command::Client { addr, request } => {
+            // `--json -` reads the request frame from stdin.
+            let frame = if request == "-" { read_input("-")? } else { request };
+            commands::run_client(&addr, &frame)
+        }
     }
 }
 

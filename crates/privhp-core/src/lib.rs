@@ -42,7 +42,9 @@
 //!   of §7 (Figure 4), used by the decomposition experiments;
 //! * [`generator`] — the [`Generator`] trait: the object-safe interface
 //!   every built release (PrivHP and all baselines) exposes to samplers,
-//!   evaluators and registries.
+//!   evaluators and registries;
+//! * [`release`] — the versioned on-disk release format shared by the CLI
+//!   and the serving layer.
 
 pub mod analysis;
 pub mod bounds;
@@ -54,6 +56,7 @@ pub mod generator;
 pub mod grow;
 pub mod privhp;
 pub mod query;
+pub mod release;
 pub mod sampler;
 pub mod tree;
 
@@ -65,5 +68,6 @@ pub use generator::{DimSupport, Generator};
 pub use grow::GrowOptions;
 pub use privhp::{LevelSketches, PrivHp, PrivHpBuilder, PrivHpGenerator, INGEST_CHUNK};
 pub use query::TreeQuery;
+pub use release::{DomainSpec, ReleaseFile, RELEASE_VERSION, SAMPLE_SEED_XOR};
 pub use sampler::TreeSampler;
 pub use tree::PartitionTree;

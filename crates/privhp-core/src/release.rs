@@ -1,9 +1,16 @@
 //! The serialised release file: the ε-DP tree plus the domain and
 //! configuration needed to sample from and query it.
+//!
+//! This lives in `privhp-core` (not the CLI) because every consumer of a
+//! persisted release — the `privhp` command-line tool, the long-lived
+//! [`privhp-serve`] server, tests — shares the same on-disk format and the
+//! same [`ReleaseFile::generator`] view of it.
+//!
+//! [`privhp-serve`]: https://docs.rs/privhp-serve
 
-use privhp_core::config::PrivHpConfig;
-use privhp_core::tree::PartitionTree;
-use privhp_core::TreeSampler;
+use crate::config::PrivHpConfig;
+use crate::sampler::TreeSampler;
+use crate::tree::PartitionTree;
 use privhp_domain::HierarchicalDomain;
 use serde::{Deserialize, Serialize};
 
@@ -67,6 +74,12 @@ pub struct ReleaseFile {
 /// Current file-format version.
 pub const RELEASE_VERSION: u32 = 1;
 
+/// Seed whitening every release consumer applies before sampling: the RNG
+/// is seeded with `user_seed ^ SAMPLE_SEED_XOR`. One shared constant is
+/// what makes a CLI `privhp sample --seed S`, a served `sample` request at
+/// seed `S`, and an in-process [`ReleaseFile::generator`] draw bit-equal.
+pub const SAMPLE_SEED_XOR: u64 = 0x5A11;
+
 impl ReleaseFile {
     /// Wraps release parts into a versioned file.
     pub fn new(domain: DomainSpec, config: PrivHpConfig, tree: PartitionTree) -> Self {
@@ -79,7 +92,7 @@ impl ReleaseFile {
     }
 
     /// Views the release as a synthetic-data generator over `domain`
-    /// (the returned sampler implements [`privhp_core::Generator`], so it
+    /// (the returned sampler implements [`crate::Generator`], so it
     /// plugs into any trait-driven consumer).
     pub fn generator<'a, D: HierarchicalDomain>(&'a self, domain: &'a D) -> TreeSampler<'a, D> {
         TreeSampler::new(&self.tree, domain)

@@ -91,7 +91,7 @@ impl<'a, D: HierarchicalDomain> TreeSampler<'a, D> {
 
     /// Draws `m` synthetic points.
     ///
-    /// Bulk draws precompute the leaf CDF once ([`Self::leaf_cdf`]) and
+    /// Bulk draws precompute the leaf CDF once (`Self::leaf_cdf`) and
     /// binary-search it per point — `O(nodes + m·(log leaves + draw))`
     /// instead of `m` full root-to-leaf walks. The per-leaf probabilities
     /// are the walk's own branch-product probabilities, so the sampling

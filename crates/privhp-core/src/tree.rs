@@ -388,7 +388,7 @@ impl PartitionTree {
 /// Serialises as `{counts: [(Path, f64)…] sorted, levels: [[Path…]…]}` —
 /// the same document shape as the pre-arena sparse layout, so release
 /// files round-trip across versions. Deserialisation routes through
-/// [`PartitionTree::from_parts`] to re-densify the complete prefix.
+/// `PartitionTree::from_parts` to re-densify the complete prefix.
 impl Serialize for PartitionTree {
     fn to_value(&self) -> serde::Value {
         let mut pairs: Vec<(Path, f64)> = self.iter().map(|(p, c)| (*p, *c)).collect();

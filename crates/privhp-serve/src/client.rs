@@ -1,0 +1,57 @@
+//! A minimal blocking client: send one request line, read one response
+//! line. Used by `privhp client`, the CI smoke pipeline, and the protocol
+//! tests; any language that can speak line-delimited JSON over TCP works
+//! just as well.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Default time to wait for a response line before giving up.
+pub const RESPONSE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One connection to a `privhp serve` instance. Requests are answered in
+/// order, so one connection can carry any number of them.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:4750`).
+    pub fn connect(addr: &str) -> Result<Self, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        stream
+            .set_read_timeout(Some(RESPONSE_TIMEOUT))
+            .map_err(|e| format!("cannot set timeout: {e}"))?;
+        let reader =
+            BufReader::new(stream.try_clone().map_err(|e| format!("cannot clone stream: {e}"))?);
+        Ok(Self { reader, writer: stream })
+    }
+
+    /// Sends one request frame and returns the (trimmed) response line.
+    /// The request must be a single line; embedded newlines are rejected
+    /// rather than silently split into several frames.
+    pub fn send(&mut self, request_line: &str) -> Result<String, String> {
+        let line = request_line.trim();
+        if line.contains('\n') {
+            return Err("request must be a single line".into());
+        }
+        writeln!(self.writer, "{line}")
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| format!("cannot send request: {e}"))?;
+        let mut response = String::new();
+        match self.reader.read_line(&mut response) {
+            Ok(0) => Err("server closed the connection".into()),
+            Ok(_) => Ok(response.trim_end().to_string()),
+            Err(e) => Err(format!("cannot read response: {e}")),
+        }
+    }
+}
+
+/// Connects, sends one request, returns the response line.
+pub fn oneshot(addr: &str, request_line: &str) -> Result<String, String> {
+    Client::connect(addr)?.send(request_line)
+}

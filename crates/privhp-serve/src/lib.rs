@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! **privhp-serve** — the serving layer over ε-DP releases: a long-lived
+//! sampling/query server speaking line-delimited JSON over TCP.
+//!
+//! A release file is already private (post-processing, paper Lemma 2), so
+//! a server holding releases in memory can answer unlimited sample and
+//! query traffic with **zero further privacy cost** — this crate is the
+//! "millions of users" half of the workspace: build once with the CLI or
+//! the streaming builder, then serve forever.
+//!
+//! Architecture:
+//!
+//! * [`registry`] — named [`registry::LoadedRelease`]s behind a read-write
+//!   lock; each owns a parsed [`privhp_core::ReleaseFile`] and answers ops
+//!   through the [`privhp_core::Generator`] trait. Releases are immutable
+//!   after load, so all request handling is lock-free once the handler has
+//!   cloned its `Arc` out of the map;
+//! * [`protocol`] — the frame format: requests `sample` / `query` / `cdf`
+//!   / `info` / `list` / `stats` / `load` / `shutdown`, one JSON object
+//!   per line each way, malformed frames answered with structured errors;
+//! * [`server`] — the accept loop: one scoped thread per connection
+//!   (std-only, like the bench runner), shared atomic counters, graceful
+//!   shutdown via flag + listener wake-up;
+//! * [`stats`] — relaxed atomic request/error/points counters and a
+//!   request-latency histogram, served by the `stats` op;
+//! * [`client`] — the blocking one-line-in, one-line-out client the
+//!   `privhp client` subcommand and the CI smoke pipeline use.
+//!
+//! Determinism: `sample` responses are a pure function of `(release
+//! bytes, n, seed)` — the per-request seed is whitened exactly as the
+//! CLI's `sample` subcommand whitens its `--seed`, so a served draw, a CLI
+//! draw, and an in-process [`privhp_core::ReleaseFile::generator`] draw at
+//! equal seeds are the same points. Repeating a request is byte-identical;
+//! no server state leaks into responses.
+
+pub mod client;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod stats;
+
+pub use client::{oneshot, Client};
+pub use protocol::{parse_request, Probe, Request};
+pub use registry::{LoadedRelease, Registry};
+pub use server::Server;
+pub use stats::ServerStats;

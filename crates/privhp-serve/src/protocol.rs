@@ -1,0 +1,271 @@
+//! The wire protocol: one JSON object per line, in both directions.
+//!
+//! Every request names an operation in its `op` field; every response is a
+//! single-line JSON object whose `ok` field says whether the request
+//! succeeded. Successful responses echo the `op` and carry op-specific
+//! payload fields; failures carry a human-readable `error` string. A frame
+//! that fails to parse, names an unknown op, or is missing fields is
+//! answered with an error frame — the connection (and the listener) stay
+//! up, so one bad client request can never take the server down.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"op":"sample","release":NAME,"n":N,"seed":S}
+//! {"op":"query","release":NAME,"range":[A,B] | "point":X | "quantile":Q | "mean":true}
+//! {"op":"cdf","release":NAME,"x":X}
+//! {"op":"info","release":NAME}
+//! {"op":"list"}
+//! {"op":"stats"}
+//! {"op":"load","name":NAME,"path":PATH}
+//! {"op":"shutdown"}
+//! ```
+
+use serde::Value;
+
+/// Hard cap on `sample` batch size per request; larger draws should be
+/// split across requests (each carries its own seed, so pagination is
+/// deterministic anyway).
+pub const MAX_SAMPLE_N: usize = 1_000_000;
+
+/// Closed-form probes supported by the `query` op (interval releases).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Probe {
+    /// `P[a <= X < b]`.
+    Range(f64, f64),
+    /// The release leaf cell containing a point, and its mass.
+    Point(f64),
+    /// Quantile at a rank.
+    Quantile(f64),
+    /// Mean of the release distribution.
+    Mean,
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Draw `n` deterministic synthetic points from a named release.
+    Sample {
+        /// Release name in the registry.
+        release: String,
+        /// Number of points.
+        n: usize,
+        /// Sampling seed (equal seeds give byte-identical responses).
+        seed: u64,
+    },
+    /// A closed-form probe against a 1-D release.
+    Query {
+        /// Release name in the registry.
+        release: String,
+        /// Which probe.
+        probe: Probe,
+    },
+    /// CDF of a 1-D release at a point.
+    Cdf {
+        /// Release name in the registry.
+        release: String,
+        /// Evaluation point (clamped to `[0,1]`).
+        x: f64,
+    },
+    /// Metadata of one release.
+    Info {
+        /// Release name in the registry.
+        release: String,
+    },
+    /// Summaries of every loaded release.
+    List,
+    /// Server request/latency counters.
+    Stats,
+    /// Hot-load a release file into the registry.
+    Load {
+        /// Name to register the release under (replaces an existing one).
+        name: String,
+        /// Path to the release JSON on the server's filesystem.
+        path: String,
+    },
+    /// Stop accepting connections and exit the serve loop.
+    Shutdown,
+}
+
+/// Every op name, in a fixed order ([`ServerStats`] counts per index).
+///
+/// [`ServerStats`]: crate::stats::ServerStats
+pub const OPS: [&str; 8] = ["sample", "query", "cdf", "info", "list", "stats", "load", "shutdown"];
+
+impl Request {
+    /// The request's op name (an entry of [`OPS`]).
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Sample { .. } => "sample",
+            Request::Query { .. } => "query",
+            Request::Cdf { .. } => "cdf",
+            Request::Info { .. } => "info",
+            Request::List => "list",
+            Request::Stats => "stats",
+            Request::Load { .. } => "load",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Index of an op name in [`OPS`].
+pub fn op_index(op: &str) -> Option<usize> {
+    OPS.iter().position(|&o| o == op)
+}
+
+fn str_field(v: &Value, name: &str) -> Result<String, String> {
+    v.get(name)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field '{name}'"))
+}
+
+fn u64_field(v: &Value, name: &str) -> Result<u64, String> {
+    v.get(name)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing non-negative integer field '{name}'"))
+}
+
+fn f64_field(v: &Value, name: &str) -> Result<f64, String> {
+    v.get(name).and_then(Value::as_f64).ok_or_else(|| format!("missing number field '{name}'"))
+}
+
+/// Parses one request line. Errors are client-facing messages.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = serde_json::parse_value_str(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    if !matches!(v, Value::Object(_)) {
+        return Err("request must be a JSON object".into());
+    }
+    let op = v.get("op").and_then(Value::as_str).ok_or("missing string field 'op'")?;
+    match op {
+        "sample" => {
+            let n = u64_field(&v, "n")? as usize;
+            if n > MAX_SAMPLE_N {
+                return Err(format!("n={n} exceeds the per-request cap {MAX_SAMPLE_N}"));
+            }
+            Ok(Request::Sample {
+                release: str_field(&v, "release")?,
+                n,
+                seed: u64_field(&v, "seed")?,
+            })
+        }
+        "query" => {
+            let release = str_field(&v, "release")?;
+            let probe = if let Some(r) = v.get("range") {
+                let pair = r.as_array().filter(|a| a.len() == 2).ok_or("'range' must be [a,b]")?;
+                let a = pair[0].as_f64().ok_or("'range' endpoints must be numbers")?;
+                let b = pair[1].as_f64().ok_or("'range' endpoints must be numbers")?;
+                Probe::Range(a, b)
+            } else if v.get("point").is_some() {
+                Probe::Point(f64_field(&v, "point")?)
+            } else if v.get("quantile").is_some() {
+                Probe::Quantile(f64_field(&v, "quantile")?)
+            } else if v.get("mean").is_some() {
+                Probe::Mean
+            } else {
+                return Err(
+                    "query needs one of 'range':[a,b] | 'point':x | 'quantile':q | 'mean':true"
+                        .into(),
+                );
+            };
+            Ok(Request::Query { release, probe })
+        }
+        "cdf" => Ok(Request::Cdf { release: str_field(&v, "release")?, x: f64_field(&v, "x")? }),
+        "info" => Ok(Request::Info { release: str_field(&v, "release")? }),
+        "list" => Ok(Request::List),
+        "stats" => Ok(Request::Stats),
+        "load" => Ok(Request::Load { name: str_field(&v, "name")?, path: str_field(&v, "path")? }),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op '{other}' (expected one of {})", OPS.join(" | "))),
+    }
+}
+
+/// Builds a one-line success frame: `{"ok":true,"op":...,<fields>}`.
+pub fn ok_frame(op: &str, fields: Vec<(&str, Value)>) -> String {
+    let mut obj =
+        vec![("ok".to_string(), Value::Bool(true)), ("op".to_string(), Value::String(op.into()))];
+    obj.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    frame(Value::Object(obj))
+}
+
+/// Builds a one-line error frame: `{"ok":false,"error":...}`.
+pub fn error_frame(message: &str) -> String {
+    frame(Value::Object(vec![
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::String(message.into())),
+    ]))
+}
+
+/// Serialises a value compactly — the compact writer emits no raw
+/// newlines and escapes them inside strings, so a frame is always exactly
+/// one line. `value_to_string` serialises the tree in place (no clone —
+/// a 1M-point sample response is a large tree).
+fn frame(v: Value) -> String {
+    serde_json::value_to_string(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        let cases = [
+            ("{\"op\":\"sample\",\"release\":\"r\",\"n\":5,\"seed\":7}", "sample"),
+            ("{\"op\":\"query\",\"release\":\"r\",\"range\":[0.1,0.4]}", "query"),
+            ("{\"op\":\"query\",\"release\":\"r\",\"point\":0.3}", "query"),
+            ("{\"op\":\"query\",\"release\":\"r\",\"quantile\":0.5}", "query"),
+            ("{\"op\":\"query\",\"release\":\"r\",\"mean\":true}", "query"),
+            ("{\"op\":\"cdf\",\"release\":\"r\",\"x\":0.5}", "cdf"),
+            ("{\"op\":\"info\",\"release\":\"r\"}", "info"),
+            ("{\"op\":\"list\"}", "list"),
+            ("{\"op\":\"stats\"}", "stats"),
+            ("{\"op\":\"load\",\"name\":\"n\",\"path\":\"/tmp/r.json\"}", "load"),
+            ("{\"op\":\"shutdown\"}", "shutdown"),
+        ];
+        for (line, op) in cases {
+            let req = parse_request(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(req.op(), op, "{line}");
+            assert!(op_index(req.op()).is_some());
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_frames_with_messages() {
+        for (line, needle) in [
+            ("not json", "invalid JSON"),
+            ("42", "JSON object"),
+            ("{}", "'op'"),
+            ("{\"op\":\"frobnicate\"}", "unknown op"),
+            ("{\"op\":\"sample\",\"release\":\"r\"}", "'n'"),
+            ("{\"op\":\"sample\",\"release\":\"r\",\"n\":1}", "'seed'"),
+            ("{\"op\":\"sample\",\"n\":1,\"seed\":1}", "'release'"),
+            ("{\"op\":\"query\",\"release\":\"r\"}", "one of"),
+            ("{\"op\":\"query\",\"release\":\"r\",\"range\":[0.1]}", "[a,b]"),
+            ("{\"op\":\"cdf\",\"release\":\"r\"}", "'x'"),
+            ("{\"op\":\"load\",\"name\":\"n\"}", "'path'"),
+        ] {
+            let e = parse_request(line).unwrap_err();
+            assert!(e.contains(needle), "{line}: expected '{needle}' in '{e}'");
+        }
+    }
+
+    #[test]
+    fn sample_cap_enforced() {
+        let line = format!(
+            "{{\"op\":\"sample\",\"release\":\"r\",\"n\":{},\"seed\":1}}",
+            MAX_SAMPLE_N + 1
+        );
+        assert!(parse_request(&line).unwrap_err().contains("cap"));
+    }
+
+    #[test]
+    fn frames_are_single_lines() {
+        let ok = ok_frame("info", vec![("note", Value::String("a\nb".into()))]);
+        assert!(!ok.contains('\n'), "{ok}");
+        assert!(ok.starts_with("{\"ok\":true,\"op\":\"info\""));
+        let err = error_frame("bad\nthing");
+        assert!(!err.contains('\n'), "{err}");
+        assert!(err.starts_with("{\"ok\":false"));
+    }
+}

@@ -1,0 +1,322 @@
+//! Named releases, shared read-only across connections.
+//!
+//! A [`LoadedRelease`] owns a parsed [`ReleaseFile`] plus its concrete
+//! domain value, and answers every per-release op through the
+//! [`Generator`] trait (via [`ReleaseFile::generator`]) — the same
+//! trait-driven pipeline the CLI's `sample` path uses, with the same seed
+//! derivation, so a server `sample` at seed `S` returns exactly the points
+//! `privhp sample --seed S` prints for the same release.
+//!
+//! The [`Registry`] maps names to `Arc<LoadedRelease>`: handlers clone the
+//! `Arc` out under a read lock and then work without any lock held, so a
+//! slow `sample` never blocks other connections (or a concurrent hot
+//! `load`, which takes the write lock only for the map insert).
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use privhp_core::release::{DomainSpec, ReleaseFile};
+use privhp_core::{Generator, TreeQuery};
+use privhp_domain::{HierarchicalDomain, Hypercube, Ipv4Space, Path, UnitInterval};
+use privhp_dp::rng::rng_from_seed;
+use serde::Value;
+
+use crate::protocol::Probe;
+
+// One shared whitening constant is what makes server-side, CLI and
+// in-process draws interchangeable; it lives next to `ReleaseFile`.
+pub use privhp_core::release::SAMPLE_SEED_XOR;
+
+/// The concrete domain value a release was built over.
+#[derive(Debug, Clone)]
+enum DomainKind {
+    Interval(UnitInterval),
+    Cube(Hypercube),
+    Ipv4(Ipv4Space),
+}
+
+impl DomainKind {
+    fn from_spec(spec: DomainSpec) -> Self {
+        match spec {
+            DomainSpec::Interval => DomainKind::Interval(UnitInterval::new()),
+            DomainSpec::Cube { dim } => DomainKind::Cube(Hypercube::new(dim)),
+            DomainSpec::Ipv4 => DomainKind::Ipv4(Ipv4Space::new()),
+        }
+    }
+}
+
+/// One release held by the server: the parsed file plus its domain.
+#[derive(Debug)]
+pub struct LoadedRelease {
+    name: String,
+    release: ReleaseFile,
+    domain: DomainKind,
+}
+
+/// Samples through `dyn Generator` (one vtable hop, amortised by the batch
+/// draw) and renders each point as a JSON value.
+fn sample_values<D: HierarchicalDomain>(
+    release: &ReleaseFile,
+    domain: &D,
+    n: usize,
+    seed: u64,
+    render: impl Fn(&D::Point) -> Value,
+) -> Vec<Value> {
+    let sampler = release.generator(domain);
+    let generator: &dyn Generator<D> = &sampler;
+    let mut rng = rng_from_seed(seed ^ SAMPLE_SEED_XOR);
+    generator.sample_many_points(n, &mut rng).iter().map(render).collect()
+}
+
+impl LoadedRelease {
+    /// Wraps an already-parsed release under a registry name.
+    pub fn from_release(name: impl Into<String>, release: ReleaseFile) -> Self {
+        let domain = DomainKind::from_spec(release.domain);
+        Self { name: name.into(), release, domain }
+    }
+
+    /// Reads and parses a release file from disk.
+    pub fn load(name: &str, path: &str) -> Result<Self, String> {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Ok(Self::from_release(name, ReleaseFile::from_json(&json)?))
+    }
+
+    /// The registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying release file.
+    pub fn release(&self) -> &ReleaseFile {
+        &self.release
+    }
+
+    /// Draws `n` points at `seed`; responses are a pure function of
+    /// `(release bytes, n, seed)`, so equal requests are byte-identical.
+    ///
+    /// Interval points render as numbers, cube points as coordinate
+    /// arrays, IPv4 points as dotted-quad strings.
+    pub fn sample_points(&self, n: usize, seed: u64) -> Vec<Value> {
+        match &self.domain {
+            DomainKind::Interval(d) => {
+                sample_values(&self.release, d, n, seed, |x| Value::Float(*x))
+            }
+            DomainKind::Cube(d) => sample_values(&self.release, d, n, seed, |p| {
+                Value::Array(p.iter().map(|x| Value::Float(*x)).collect())
+            }),
+            DomainKind::Ipv4(d) => sample_values(&self.release, d, n, seed, |a| {
+                Value::String(Ipv4Space::format_addr(*a))
+            }),
+        }
+    }
+
+    fn interval(&self) -> Result<&UnitInterval, String> {
+        match &self.domain {
+            DomainKind::Interval(d) => Ok(d),
+            _ => Err(format!(
+                "closed-form queries require an interval release ('{}' is {})",
+                self.name,
+                self.release.domain.describe()
+            )),
+        }
+    }
+
+    /// Answers a closed-form probe (interval releases only).
+    pub fn query(&self, probe: &Probe) -> Result<Vec<(&'static str, Value)>, String> {
+        let domain = self.interval()?;
+        let q = TreeQuery::new(&self.release.tree, domain);
+        match *probe {
+            Probe::Range(a, b) => {
+                if !(0.0..=1.0).contains(&a) || !(0.0..=1.0).contains(&b) || a > b {
+                    return Err("range must satisfy 0 <= a <= b <= 1".into());
+                }
+                Ok(vec![("value", Value::Float(q.range_probability(a, b)))])
+            }
+            Probe::Point(x) => {
+                let x = x.clamp(0.0, 1.0);
+                // Descend to the release leaf whose cell contains x.
+                let tree = &self.release.tree;
+                let mut leaf = Path::root();
+                while tree.is_internal(&leaf) {
+                    leaf = domain.locate(&x, leaf.level() + 1);
+                }
+                Ok(vec![
+                    ("leaf", Value::String(leaf.to_string())),
+                    ("level", Value::UInt(leaf.level() as u64)),
+                    ("mass", Value::Float(q.subdomain_probability(&leaf))),
+                ])
+            }
+            Probe::Quantile(rank) => {
+                if !(0.0..=1.0).contains(&rank) {
+                    return Err("quantile rank must be in [0,1]".into());
+                }
+                Ok(vec![("value", Value::Float(q.quantile(rank)))])
+            }
+            Probe::Mean => Ok(vec![("value", Value::Float(q.mean()))]),
+        }
+    }
+
+    /// CDF at `x` (interval releases only; `x` clamped to `[0,1]`).
+    pub fn cdf(&self, x: f64) -> Result<f64, String> {
+        let domain = self.interval()?;
+        Ok(TreeQuery::new(&self.release.tree, domain).cdf(x.clamp(0.0, 1.0)))
+    }
+
+    /// Full metadata fields for the `info` response.
+    pub fn info_fields(&self) -> Vec<(&'static str, Value)> {
+        let tree = &self.release.tree;
+        let config = &self.release.config;
+        vec![
+            ("release", Value::String(self.name.clone())),
+            ("domain", Value::String(self.release.domain.describe())),
+            ("epsilon", Value::Float(config.epsilon)),
+            ("k", Value::UInt(config.k as u64)),
+            ("l_star", Value::UInt(config.l_star as u64)),
+            ("depth", Value::UInt(config.depth as u64)),
+            ("sketch_rows", Value::UInt(config.sketch.depth as u64)),
+            ("sketch_width", Value::UInt(config.sketch.width as u64)),
+            ("tree_nodes", Value::UInt(tree.len() as u64)),
+            ("leaves", Value::UInt(tree.leaves().len() as u64)),
+            ("tree_depth", Value::UInt(tree.depth() as u64)),
+            ("memory_words", Value::UInt(tree.memory_words() as u64)),
+            ("mass", Value::Float(tree.root_count().unwrap_or(0.0))),
+        ]
+    }
+
+    /// One-line summary for the `list` response.
+    pub fn summary(&self) -> Value {
+        Value::Object(vec![
+            ("name".into(), Value::String(self.name.clone())),
+            ("domain".into(), Value::String(self.release.domain.describe())),
+            ("epsilon".into(), Value::Float(self.release.config.epsilon)),
+            ("k".into(), Value::UInt(self.release.config.k as u64)),
+            ("tree_nodes".into(), Value::UInt(self.release.tree.len() as u64)),
+        ])
+    }
+}
+
+/// Name → release map shared by all connection handlers.
+#[derive(Debug, Default)]
+pub struct Registry {
+    map: RwLock<HashMap<String, Arc<LoadedRelease>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a release; returns `true` if it replaced an existing one.
+    pub fn insert(&self, release: LoadedRelease) -> bool {
+        let mut map = self.map.write().unwrap_or_else(|e| e.into_inner());
+        map.insert(release.name().to_string(), Arc::new(release)).is_some()
+    }
+
+    /// Looks up a release by name.
+    pub fn get(&self, name: &str) -> Result<Arc<LoadedRelease>, String> {
+        let map = self.map.read().unwrap_or_else(|e| e.into_inner());
+        map.get(name).cloned().ok_or_else(|| {
+            let mut names: Vec<&str> = map.keys().map(String::as_str).collect();
+            names.sort_unstable();
+            format!("unknown release '{name}' (loaded: [{}])", names.join(", "))
+        })
+    }
+
+    /// Summaries of every release, sorted by name.
+    pub fn summaries(&self) -> Vec<Value> {
+        let map = self.map.read().unwrap_or_else(|e| e.into_inner());
+        let mut entries: Vec<&Arc<LoadedRelease>> = map.values().collect();
+        entries.sort_unstable_by(|a, b| a.name().cmp(b.name()));
+        entries.into_iter().map(|r| r.summary()).collect()
+    }
+
+    /// Number of loaded releases.
+    pub fn len(&self) -> usize {
+        self.map.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privhp_core::{PrivHp, PrivHpConfig};
+
+    fn tiny_release() -> ReleaseFile {
+        let data: Vec<f64> =
+            (0..512).map(|i| ((i as f64 / 512.0).powi(2) * 0.999).min(0.999)).collect();
+        let mut rng = rng_from_seed(3);
+        let config = PrivHpConfig::for_domain(1.0, data.len(), 8).with_seed(3);
+        let g = PrivHp::build(&UnitInterval::new(), config.clone(), data, &mut rng).unwrap();
+        ReleaseFile::new(DomainSpec::Interval, config, g.tree().clone())
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_matches_generator() {
+        let rel = LoadedRelease::from_release("t", tiny_release());
+        let a = rel.sample_points(32, 9);
+        let b = rel.sample_points(32, 9);
+        assert_eq!(a, b, "equal seeds must give identical draws");
+        let c = rel.sample_points(32, 10);
+        assert_ne!(a, c, "different seeds should differ");
+
+        // The registry path must match a direct in-process generator draw.
+        let domain = UnitInterval::new();
+        let sampler = rel.release().generator(&domain);
+        let mut rng = rng_from_seed(9 ^ SAMPLE_SEED_XOR);
+        let direct = sampler.sample_many(32, &mut rng);
+        for (v, x) in a.iter().zip(&direct) {
+            assert_eq!(v.as_f64().unwrap().to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn query_and_cdf_answer_on_interval() {
+        let rel = LoadedRelease::from_release("t", tiny_release());
+        let cdf = rel.cdf(0.5).unwrap();
+        assert!((cdf - 0.707).abs() < 0.15, "CDF(0.5) = {cdf}");
+        let fields = rel.query(&Probe::Range(0.0, 0.5)).unwrap();
+        let v = fields[0].1.as_f64().unwrap();
+        assert!((v - cdf).abs() < 1e-12);
+        let point = rel.query(&Probe::Point(0.3)).unwrap();
+        assert!(point.iter().any(|(k, _)| *k == "leaf"));
+        let mass = point.iter().find(|(k, _)| *k == "mass").unwrap().1.as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&mass));
+        assert!(rel.query(&Probe::Quantile(2.0)).is_err());
+        assert!(rel.query(&Probe::Range(0.5, 0.2)).is_err());
+    }
+
+    #[test]
+    fn non_interval_queries_rejected() {
+        let tiny = tiny_release();
+        let mut cube = tiny.clone();
+        cube.domain = DomainSpec::Cube { dim: 2 };
+        let rel = LoadedRelease::from_release("c", cube);
+        assert!(rel.cdf(0.5).unwrap_err().contains("interval"));
+        assert!(rel.query(&Probe::Mean).unwrap_err().contains("interval"));
+    }
+
+    #[test]
+    fn registry_lookup_and_replace() {
+        let reg = Registry::new();
+        assert!(reg.is_empty());
+        assert!(!reg.insert(LoadedRelease::from_release("a", tiny_release())));
+        assert!(!reg.insert(LoadedRelease::from_release("b", tiny_release())));
+        assert!(reg.insert(LoadedRelease::from_release("a", tiny_release())), "replace reported");
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get("a").is_ok());
+        let e = reg.get("zzz").unwrap_err();
+        assert!(e.contains("unknown release") && e.contains("a, b"), "{e}");
+        let names: Vec<String> = reg
+            .summaries()
+            .iter()
+            .map(|s| s.get("name").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+}

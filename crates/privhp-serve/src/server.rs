@@ -1,0 +1,302 @@
+//! The serve loop: a blocking [`TcpListener`] accept loop fanning
+//! connections out to scoped handler threads.
+//!
+//! Concurrency model (same std-only toolkit as the bench crate's runner):
+//! `std::thread::scope` owns one thread per live connection, all borrowing
+//! the server's shared state — the release [`Registry`] and
+//! [`ServerStats`] behind `Arc`-free shared references. Releases are
+//! immutable after load, so request handling takes no lock beyond the
+//! registry's brief read lock to clone an `Arc` out.
+//!
+//! Shutdown: a `shutdown` request (or [`Server::request_shutdown`]) flips
+//! an atomic flag and pokes the listener with a dummy connection so the
+//! blocking `accept` observes it. Handler threads poll the flag on a short
+//! read timeout, so the scope joins within one timeout tick even when
+//! clients keep idle connections open.
+
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use serde::Value;
+
+use crate::protocol::{error_frame, ok_frame, parse_request, Request};
+use crate::registry::{LoadedRelease, Registry};
+use crate::stats::ServerStats;
+
+/// A request line longer than this closes the connection with an error
+/// frame (protects the server from an unbounded buffer on a stream that
+/// never sends a newline).
+pub const MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// How often idle handler threads re-check the shutdown flag; bounds the
+/// time between a shutdown request and the serve loop returning.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// A bound listener plus the state its connections share.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    registry: Registry,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+}
+
+/// A successful response's payload fields plus the number of synthetic
+/// points it carries (for the stats counters).
+type Payload = (Vec<(&'static str, Value)>, u64);
+
+/// What the dispatcher tells the connection loop to do after responding.
+struct Dispatch {
+    response: String,
+    op: Option<&'static str>,
+    points: u64,
+    error: bool,
+    shutdown: bool,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) over a
+    /// registry of preloaded releases.
+    pub fn bind(addr: &str, registry: Registry) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            local_addr,
+            registry,
+            stats: ServerStats::new(),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// The bound address (resolves the actual port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared release registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The shared counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Flags the serve loop to stop and wakes its blocking `accept`.
+    /// Idempotent; safe from any thread.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke accept() awake; if the connect fails the listener is
+        // already closed or unreachable, which also ends the loop.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    /// Serves until shutdown. Blocks; run it on a dedicated thread when
+    /// the caller needs to keep working.
+    pub fn run(&self) {
+        std::thread::scope(|scope| {
+            loop {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if self.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        self.stats.connection_opened();
+                        scope.spawn(move || {
+                            // A panicking handler must never unwind into
+                            // the scope join and kill the listener.
+                            let _ =
+                                catch_unwind(AssertUnwindSafe(|| self.handle_connection(stream)));
+                        });
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        if self.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        // Transient accept failure (e.g. EMFILE); back off
+                        // briefly instead of spinning.
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                }
+            }
+        });
+    }
+
+    fn handle_connection(&self, stream: TcpStream) {
+        // The short timeout doubles as the shutdown poll interval.
+        let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+        let Ok(read_half) = stream.try_clone() else { return };
+        // The `Take` bounds how much one line can buffer: `read_line` only
+        // returns at a newline, EOF, *or the limit* — without it a fast
+        // newline-less stream would grow `line` unboundedly before the
+        // length checks below ever ran.
+        let mut reader = BufReader::new(read_half.take(MAX_REQUEST_BYTES as u64 + 1));
+        let mut writer = stream;
+        let mut line = String::new();
+
+        'conn: loop {
+            line.clear();
+            // Re-arm the per-line read budget (buffered carry-over from
+            // the previous line is at most BufReader's 8 KiB, well under
+            // the 1 MiB cap; the bound stays sharp enough to matter).
+            reader.get_mut().set_limit(MAX_REQUEST_BYTES as u64 + 1);
+            // Accumulate one line, tolerating read timeouts mid-line.
+            let eof = loop {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                match reader.read_line(&mut line) {
+                    Ok(0) => break true,
+                    Ok(_) => break false,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                        ) =>
+                    {
+                        if line.len() > MAX_REQUEST_BYTES {
+                            let _ = writeln!(writer, "{}", error_frame("request line too long"));
+                            return;
+                        }
+                    }
+                    Err(_) => {
+                        // Unrecoverable stream error (reset, invalid
+                        // UTF-8); nothing sensible left to answer.
+                        return;
+                    }
+                }
+            };
+            if line.len() > MAX_REQUEST_BYTES {
+                let _ = writeln!(writer, "{}", error_frame("request line too long"));
+                return;
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                if eof {
+                    return;
+                }
+                continue; // blank keep-alive line: no response frame
+            }
+
+            let started = Instant::now();
+            let d = self.dispatch(trimmed);
+            self.stats.record(d.op, started.elapsed(), d.points, d.error);
+            if writeln!(writer, "{}", d.response).and_then(|_| writer.flush()).is_err() {
+                return; // client went away mid-response
+            }
+            if d.shutdown {
+                self.request_shutdown();
+                return;
+            }
+            if eof {
+                break 'conn;
+            }
+        }
+    }
+
+    /// Parses and answers one frame. Never panics outward: handler panics
+    /// become an `internal error` frame so the connection and listener
+    /// both survive any single bad request.
+    fn dispatch(&self, line: &str) -> Dispatch {
+        let request = match parse_request(line) {
+            Ok(r) => r,
+            Err(msg) => {
+                return Dispatch {
+                    response: error_frame(&msg),
+                    op: None,
+                    points: 0,
+                    error: true,
+                    shutdown: false,
+                }
+            }
+        };
+        let op = request.op();
+        let shutdown = matches!(request, Request::Shutdown);
+        match catch_unwind(AssertUnwindSafe(|| self.answer(&request))) {
+            Ok(Ok((fields, points))) => Dispatch {
+                response: ok_frame(op, fields),
+                op: Some(op),
+                points,
+                error: false,
+                shutdown,
+            },
+            Ok(Err(msg)) => Dispatch {
+                response: error_frame(&msg),
+                op: Some(op),
+                points: 0,
+                error: true,
+                shutdown: false,
+            },
+            Err(_) => Dispatch {
+                response: error_frame("internal error answering the request"),
+                op: Some(op),
+                points: 0,
+                error: true,
+                shutdown: false,
+            },
+        }
+    }
+
+    /// Computes a successful response's payload.
+    fn answer(&self, request: &Request) -> Result<Payload, String> {
+        match request {
+            Request::Sample { release, n, seed } => {
+                let rel = self.registry.get(release)?;
+                let points = rel.sample_points(*n, *seed);
+                Ok((
+                    vec![
+                        ("release", Value::String(release.clone())),
+                        ("n", Value::UInt(*n as u64)),
+                        ("seed", Value::UInt(*seed)),
+                        ("points", Value::Array(points)),
+                    ],
+                    *n as u64,
+                ))
+            }
+            Request::Query { release, probe } => {
+                let rel = self.registry.get(release)?;
+                let mut fields = vec![("release", Value::String(release.clone()))];
+                fields.extend(rel.query(probe)?);
+                Ok((fields, 0))
+            }
+            Request::Cdf { release, x } => {
+                let rel = self.registry.get(release)?;
+                Ok((
+                    vec![
+                        ("release", Value::String(release.clone())),
+                        ("x", Value::Float(*x)),
+                        ("value", Value::Float(rel.cdf(*x)?)),
+                    ],
+                    0,
+                ))
+            }
+            Request::Info { release } => Ok((self.registry.get(release)?.info_fields(), 0)),
+            Request::List => Ok((vec![("releases", Value::Array(self.registry.summaries()))], 0)),
+            Request::Stats => Ok((self.stats.fields(), 0)),
+            Request::Load { name, path } => {
+                let loaded = LoadedRelease::load(name, path)?;
+                let summary = loaded.summary();
+                let replaced = self.registry.insert(loaded);
+                Ok((
+                    vec![
+                        ("name", Value::String(name.clone())),
+                        ("replaced", Value::Bool(replaced)),
+                        ("release", summary),
+                    ],
+                    0,
+                ))
+            }
+            Request::Shutdown => Ok((vec![("stopping", Value::Bool(true))], 0)),
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Lock-free serving counters, exposed through the `stats` op.
+//!
+//! Counters are relaxed atomics bumped once per connection/request on the
+//! handler threads; the `stats` op snapshots them without stopping the
+//! world, so numbers read under load are each individually exact but only
+//! approximately mutually consistent — the right trade for an operational
+//! endpoint.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use serde::Value;
+
+use crate::protocol::{op_index, OPS};
+
+/// Upper bucket edges of the request-latency histogram, in microseconds;
+/// a final unbounded bucket catches everything slower.
+pub const LATENCY_EDGES_MICROS: [u64; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// Aggregate serving counters.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    points_sampled: AtomicU64,
+    per_op: [AtomicU64; OPS.len()],
+    latency: [AtomicU64; LATENCY_EDGES_MICROS.len() + 1],
+}
+
+impl ServerStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts an accepted connection.
+    pub fn connection_opened(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one answered request. `op` is `None` when the frame never
+    /// parsed far enough to name one; `points` is the number of synthetic
+    /// points the response carried.
+    pub fn record(&self, op: Option<&str>, elapsed: Duration, points: u64, error: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if error {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if points > 0 {
+            self.points_sampled.fetch_add(points, Ordering::Relaxed);
+        }
+        if let Some(i) = op.and_then(op_index) {
+            self.per_op[i].fetch_add(1, Ordering::Relaxed);
+        }
+        let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = LATENCY_EDGES_MICROS
+            .iter()
+            .position(|&edge| micros < edge)
+            .unwrap_or(LATENCY_EDGES_MICROS.len());
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests answered so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot as the `stats` response payload.
+    pub fn fields(&self) -> Vec<(&'static str, Value)> {
+        let by_op = Value::Object(
+            OPS.iter()
+                .zip(&self.per_op)
+                .map(|(op, c)| (op.to_string(), Value::UInt(c.load(Ordering::Relaxed))))
+                .collect(),
+        );
+        let mut latency = Vec::with_capacity(self.latency.len());
+        for (i, c) in self.latency.iter().enumerate() {
+            let label = match LATENCY_EDGES_MICROS.get(i) {
+                Some(edge) => format!("le_{edge}us"),
+                None => format!("gt_{}us", LATENCY_EDGES_MICROS[LATENCY_EDGES_MICROS.len() - 1]),
+            };
+            latency.push((label, Value::UInt(c.load(Ordering::Relaxed))));
+        }
+        vec![
+            ("connections", Value::UInt(self.connections.load(Ordering::Relaxed))),
+            ("requests", Value::UInt(self.requests.load(Ordering::Relaxed))),
+            ("errors", Value::UInt(self.errors.load(Ordering::Relaxed))),
+            ("points_sampled", Value::UInt(self.points_sampled.load(Ordering::Relaxed))),
+            ("by_op", by_op),
+            ("latency_micros", Value::Object(latency)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field<'a>(fields: &'a [(&'static str, Value)], name: &str) -> &'a Value {
+        &fields.iter().find(|(k, _)| *k == name).unwrap().1
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let s = ServerStats::new();
+        s.connection_opened();
+        s.record(Some("sample"), Duration::from_micros(50), 128, false);
+        s.record(Some("sample"), Duration::from_micros(5_000), 64, false);
+        s.record(Some("list"), Duration::from_millis(2), 0, false);
+        s.record(None, Duration::from_secs(2), 0, true);
+        let f = s.fields();
+        assert_eq!(field(&f, "connections").as_u64(), Some(1));
+        assert_eq!(field(&f, "requests").as_u64(), Some(4));
+        assert_eq!(field(&f, "errors").as_u64(), Some(1));
+        assert_eq!(field(&f, "points_sampled").as_u64(), Some(192));
+        assert_eq!(field(&f, "by_op").get("sample").unwrap().as_u64(), Some(2));
+        assert_eq!(field(&f, "by_op").get("list").unwrap().as_u64(), Some(1));
+        let lat = field(&f, "latency_micros");
+        assert_eq!(lat.get("le_100us").unwrap().as_u64(), Some(1));
+        assert_eq!(lat.get("le_10000us").unwrap().as_u64(), Some(2));
+        assert_eq!(lat.get("gt_1000000us").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn bucket_edges_are_half_open() {
+        let s = ServerStats::new();
+        // Exactly 100us is NOT < 100, so it lands in the next bucket.
+        s.record(Some("cdf"), Duration::from_micros(100), 0, false);
+        let f = s.fields();
+        assert_eq!(field(&f, "latency_micros").get("le_1000us").unwrap().as_u64(), Some(1));
+    }
+}

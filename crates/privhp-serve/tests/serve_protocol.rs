@@ -1,0 +1,296 @@
+//! End-to-end protocol tests: a real [`Server`] on an ephemeral port,
+//! driven over real sockets by [`Client`] connections.
+//!
+//! Covers the serving contract the CI smoke pipeline also relies on:
+//! deterministic seeded samples (byte-identical repeats, equal to an
+//! in-process [`ReleaseFile::generator`] draw), structured errors for
+//! malformed/unknown frames without dropping the connection or listener,
+//! concurrent clients, hot `load`, and graceful shutdown.
+
+use std::sync::Arc;
+
+use privhp_core::release::{DomainSpec, ReleaseFile};
+use privhp_core::{PrivHp, PrivHpConfig};
+use privhp_domain::UnitInterval;
+use privhp_dp::rng::rng_from_seed;
+use privhp_serve::registry::SAMPLE_SEED_XOR;
+use privhp_serve::{oneshot, Client, LoadedRelease, Registry, Server};
+use serde::Value;
+
+fn tiny_release(seed: u64) -> ReleaseFile {
+    let data: Vec<f64> =
+        (0..512).map(|i| ((i as f64 / 512.0).powi(2) * 0.999).min(0.999)).collect();
+    let mut rng = rng_from_seed(seed);
+    let config = PrivHpConfig::for_domain(1.0, data.len(), 8).with_seed(seed);
+    let g = PrivHp::build(&UnitInterval::new(), config.clone(), data, &mut rng).unwrap();
+    ReleaseFile::new(DomainSpec::Interval, config, g.tree().clone())
+}
+
+/// Boots a server with the given named releases on an ephemeral port;
+/// returns it with its address and the serve-loop thread (joins cleanly
+/// only after a shutdown).
+fn start_server(
+    releases: Vec<(&str, ReleaseFile)>,
+) -> (Arc<Server>, String, std::thread::JoinHandle<()>) {
+    let registry = Registry::new();
+    for (name, release) in releases {
+        registry.insert(LoadedRelease::from_release(name, release));
+    }
+    let server = Arc::new(Server::bind("127.0.0.1:0", registry).expect("bind ephemeral port"));
+    let addr = server.local_addr().to_string();
+    let runner = Arc::clone(&server);
+    let handle = std::thread::spawn(move || runner.run());
+    (server, addr, handle)
+}
+
+fn parse(line: &str) -> Value {
+    serde_json::parse_value_str(line).unwrap_or_else(|e| panic!("unparseable frame '{line}': {e}"))
+}
+
+fn assert_ok(line: &str) -> Value {
+    let v = parse(line);
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "expected ok frame: {line}");
+    v
+}
+
+fn assert_err(line: &str) -> String {
+    let v = parse(line);
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false), "expected error frame: {line}");
+    v.get("error").and_then(Value::as_str).expect("error frames carry a message").to_string()
+}
+
+#[test]
+fn full_request_sweep_over_one_connection() {
+    let (_server, addr, handle) = start_server(vec![("demo", tiny_release(3))]);
+    let mut c = Client::connect(&addr).unwrap();
+
+    let list = assert_ok(&c.send("{\"op\":\"list\"}").unwrap());
+    let releases = list.get("releases").and_then(Value::as_array).unwrap();
+    assert_eq!(releases.len(), 1);
+    assert_eq!(releases[0].get("name").and_then(Value::as_str), Some("demo"));
+
+    let info = assert_ok(&c.send("{\"op\":\"info\",\"release\":\"demo\"}").unwrap());
+    assert_eq!(info.get("domain").and_then(Value::as_str), Some("interval"));
+    assert!(info.get("tree_nodes").and_then(Value::as_u64).unwrap() > 1);
+    assert!(info.get("mass").and_then(Value::as_f64).unwrap() > 0.0);
+
+    // Determinism: the same seeded request twice is byte-identical.
+    let req = "{\"op\":\"sample\",\"release\":\"demo\",\"n\":64,\"seed\":9}";
+    let a = c.send(req).unwrap();
+    let b = c.send(req).unwrap();
+    assert_eq!(a, b, "seeded sample responses must be byte-identical");
+    let other = c.send("{\"op\":\"sample\",\"release\":\"demo\",\"n\":64,\"seed\":10}").unwrap();
+    assert_ne!(a, other, "different seeds must draw differently");
+    let points = assert_ok(&a);
+    assert_eq!(points.get("points").and_then(Value::as_array).unwrap().len(), 64);
+
+    let cdf = assert_ok(&c.send("{\"op\":\"cdf\",\"release\":\"demo\",\"x\":0.5}").unwrap());
+    let cdf_half = cdf.get("value").and_then(Value::as_f64).unwrap();
+    assert!((cdf_half - 0.707).abs() < 0.15, "CDF(0.5) = {cdf_half}");
+
+    let range =
+        assert_ok(&c.send("{\"op\":\"query\",\"release\":\"demo\",\"range\":[0.0,0.5]}").unwrap());
+    let range_mass = range.get("value").and_then(Value::as_f64).unwrap();
+    assert!((range_mass - cdf_half).abs() < 1e-12, "range [0,0.5] must equal the CDF at 0.5");
+
+    let point =
+        assert_ok(&c.send("{\"op\":\"query\",\"release\":\"demo\",\"point\":0.3}").unwrap());
+    assert!(point.get("leaf").and_then(Value::as_str).is_some());
+    let mass = point.get("mass").and_then(Value::as_f64).unwrap();
+    assert!((0.0..=1.0).contains(&mass));
+
+    let q = assert_ok(&c.send("{\"op\":\"query\",\"release\":\"demo\",\"quantile\":0.5}").unwrap());
+    let median = q.get("value").and_then(Value::as_f64).unwrap();
+    assert!((0.0..=1.0).contains(&median));
+    let mean = assert_ok(&c.send("{\"op\":\"query\",\"release\":\"demo\",\"mean\":true}").unwrap());
+    assert!((mean.get("value").and_then(Value::as_f64).unwrap() - 0.333).abs() < 0.15);
+
+    let stats = assert_ok(&c.send("{\"op\":\"stats\"}").unwrap());
+    assert!(stats.get("requests").and_then(Value::as_u64).unwrap() >= 10);
+    assert_eq!(stats.get("points_sampled").and_then(Value::as_u64), Some(192));
+    assert!(stats.get("by_op").and_then(|o| o.get("sample")).and_then(Value::as_u64).unwrap() >= 3);
+
+    let bye = assert_ok(&c.send("{\"op\":\"shutdown\"}").unwrap());
+    assert_eq!(bye.get("stopping").and_then(Value::as_bool), Some(true));
+    handle.join().expect("serve loop exits cleanly after shutdown");
+}
+
+#[test]
+fn server_sample_matches_in_process_generator_at_equal_seeds() {
+    let release = tiny_release(5);
+    let (_server, addr, handle) = start_server(vec![("r", release.clone())]);
+
+    let line = oneshot(&addr, "{\"op\":\"sample\",\"release\":\"r\",\"n\":32,\"seed\":7}").unwrap();
+    let served: Vec<f64> = assert_ok(&line)
+        .get("points")
+        .and_then(Value::as_array)
+        .unwrap()
+        .iter()
+        .map(|v| v.as_f64().unwrap())
+        .collect();
+
+    // The exact in-process equivalent of the server's sample path.
+    let domain = UnitInterval::new();
+    let sampler = release.generator(&domain);
+    let mut rng = rng_from_seed(7 ^ SAMPLE_SEED_XOR);
+    let direct = sampler.sample_many(32, &mut rng);
+
+    assert_eq!(served.len(), direct.len());
+    for (s, d) in served.iter().zip(&direct) {
+        assert_eq!(s.to_bits(), d.to_bits(), "served {s} != in-process {d}");
+    }
+
+    let _ = oneshot(&addr, "{\"op\":\"shutdown\"}").unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn malformed_frames_get_structured_errors_and_the_connection_survives() {
+    let (_server, addr, handle) = start_server(vec![("r", tiny_release(1))]);
+    let mut c = Client::connect(&addr).unwrap();
+
+    for (frame, needle) in [
+        ("this is not json", "invalid JSON"),
+        ("[1,2,3]", "JSON object"),
+        ("{\"no_op\":1}", "'op'"),
+        ("{\"op\":\"frobnicate\"}", "unknown op"),
+        ("{\"op\":\"sample\",\"release\":\"r\"}", "'n'"),
+        ("{\"op\":\"sample\",\"release\":\"missing\",\"n\":1,\"seed\":1}", "unknown release"),
+        ("{\"op\":\"query\",\"release\":\"r\"}", "one of"),
+        ("{\"op\":\"query\",\"release\":\"r\",\"range\":[0.9,0.1]}", "range"),
+        ("{\"op\":\"load\",\"name\":\"x\",\"path\":\"/nonexistent/release.json\"}", "cannot read"),
+    ] {
+        let e = assert_err(&c.send(frame).unwrap());
+        assert!(e.contains(needle), "frame '{frame}': expected '{needle}' in '{e}'");
+    }
+
+    // After nine bad frames, the same connection still answers real work.
+    assert_ok(&c.send("{\"op\":\"sample\",\"release\":\"r\",\"n\":4,\"seed\":2}").unwrap());
+    // ...and the listener still accepts new connections.
+    assert_ok(&oneshot(&addr, "{\"op\":\"list\"}").unwrap());
+
+    let stats = assert_ok(&c.send("{\"op\":\"stats\"}").unwrap());
+    assert!(stats.get("errors").and_then(Value::as_u64).unwrap() >= 9);
+
+    let _ = c.send("{\"op\":\"shutdown\"}").unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn concurrent_clients_see_identical_seeded_responses() {
+    let (_server, addr, handle) = start_server(vec![("r", tiny_release(8))]);
+    let req = "{\"op\":\"sample\",\"release\":\"r\",\"n\":128,\"seed\":42}";
+
+    let responses: Vec<String> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut c = Client::connect(&addr).unwrap();
+                    // Two requests per connection to interleave harder.
+                    let first = c.send(req).unwrap();
+                    let second = c.send(req).unwrap();
+                    assert_eq!(first, second);
+                    first
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+
+    for r in &responses[1..] {
+        assert_eq!(r, &responses[0], "all concurrent clients must see the same bytes");
+    }
+    assert_ok(&responses[0]);
+
+    let _ = oneshot(&addr, "{\"op\":\"shutdown\"}").unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn hot_load_registers_and_replaces_releases() {
+    let (_server, addr, handle) = start_server(vec![]);
+
+    // Nothing loaded yet: sampling errors, listing is empty.
+    let e = assert_err(
+        &oneshot(&addr, "{\"op\":\"sample\",\"release\":\"x\",\"n\":1,\"seed\":1}").unwrap(),
+    );
+    assert!(e.contains("unknown release"), "{e}");
+    let list = assert_ok(&oneshot(&addr, "{\"op\":\"list\"}").unwrap());
+    assert!(list.get("releases").and_then(Value::as_array).unwrap().is_empty());
+
+    let path = std::env::temp_dir().join(format!("privhp_serve_load_{}.json", std::process::id()));
+    std::fs::write(&path, tiny_release(6).to_json()).unwrap();
+    let mut c = Client::connect(&addr).unwrap();
+    let load =
+        format!("{{\"op\":\"load\",\"name\":\"hot\",\"path\":{:?}}}", path.display().to_string());
+    let first = assert_ok(&c.send(&load).unwrap());
+    assert_eq!(first.get("replaced").and_then(Value::as_bool), Some(false));
+    let again = assert_ok(&c.send(&load).unwrap());
+    assert_eq!(again.get("replaced").and_then(Value::as_bool), Some(true));
+
+    assert_ok(&c.send("{\"op\":\"sample\",\"release\":\"hot\",\"n\":8,\"seed\":3}").unwrap());
+    let _ = std::fs::remove_file(&path);
+
+    let _ = c.send("{\"op\":\"shutdown\"}").unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn oversized_newline_less_stream_is_cut_off_with_an_error() {
+    use privhp_serve::server::MAX_REQUEST_BYTES;
+    use std::io::{BufRead, BufReader, Write};
+    let (_server, addr, handle) = start_server(vec![("r", tiny_release(9))]);
+
+    // Stream well past the line cap without ever sending a newline: the
+    // server must answer with a structured error and close, not buffer
+    // without bound.
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    let chunk = vec![b'x'; 64 * 1024];
+    let mut sent = 0usize;
+    while sent <= MAX_REQUEST_BYTES + chunk.len() {
+        if stream.write_all(&chunk).is_err() {
+            break; // server already closed on us — also acceptable
+        }
+        sent += chunk.len();
+    }
+    let _ = stream.flush();
+    let mut line = String::new();
+    let n = BufReader::new(stream).read_line(&mut line).unwrap_or(0);
+    if n > 0 {
+        assert!(assert_err(line.trim_end()).contains("too long"), "{line}");
+    }
+    // The listener survives the flood.
+    assert_ok(&oneshot(&addr, "{\"op\":\"list\"}").unwrap());
+
+    let _ = oneshot(&addr, "{\"op\":\"shutdown\"}").unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn shutdown_releases_idle_connections() {
+    let (_server, addr, handle) = start_server(vec![("r", tiny_release(2))]);
+
+    // An idle connection that never sends anything must not wedge the
+    // serve loop's scope join.
+    let idle = Client::connect(&addr).unwrap();
+    let _ = oneshot(&addr, "{\"op\":\"shutdown\"}").unwrap();
+    handle.join().expect("serve loop exits despite the idle connection");
+    drop(idle);
+}
+
+#[test]
+fn blank_lines_are_ignored_keepalives() {
+    let (_server, addr, handle) = start_server(vec![("r", tiny_release(4))]);
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    // Two blank lines then a request: exactly one response must come back.
+    stream.write_all(b"\n\n{\"op\":\"list\"}\n").unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert_ok(line.trim_end());
+    let _ = oneshot(&addr, "{\"op\":\"shutdown\"}").unwrap();
+    handle.join().unwrap();
+}

@@ -44,6 +44,16 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     T::from_value(&parse_value_str(s)?)
 }
 
+/// Serialises an already-built [`Value`] tree to compact JSON without
+/// cloning it (the `to_string` path would route through `to_value`, which
+/// deep-copies; response-building servers serialise large trees they
+/// already hold as `Value`).
+pub fn value_to_string(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, None, 0);
+    out
+}
+
 /// Parses JSON text into a raw [`Value`].
 pub fn parse_value_str(s: &str) -> Result<Value, Error> {
     let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
