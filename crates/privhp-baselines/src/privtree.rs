@@ -94,6 +94,11 @@ impl<D: HierarchicalDomain + Clone> PrivTree<D> {
         TreeSampler::new(&self.tree, &self.domain).sample_many(m, rng)
     }
 
+    /// Draws `m` synthetic points into `out` as a flat row-major buffer.
+    pub fn sample_many_into<R: RngCore>(&self, m: usize, rng: &mut R, out: &mut Vec<f64>) {
+        TreeSampler::new(&self.tree, &self.domain).sample_many_into(m, rng, out)
+    }
+
     /// The adaptive partition tree.
     pub fn tree(&self) -> &PartitionTree {
         &self.tree
@@ -127,6 +132,14 @@ impl<D: HierarchicalDomain + Clone> privhp_core::Generator<D> for PrivTree<D> {
 
     fn sample_many_points(&self, m: usize, mut rng: &mut dyn RngCore) -> Vec<D::Point> {
         PrivTree::sample_many(self, m, &mut rng)
+    }
+
+    fn point_lanes(&self) -> usize {
+        self.domain.point_lanes()
+    }
+
+    fn sample_many_into(&self, m: usize, mut rng: &mut dyn RngCore, out: &mut Vec<f64>) {
+        PrivTree::sample_many_into(self, m, &mut rng, out)
     }
 
     fn memory_words(&self) -> usize {

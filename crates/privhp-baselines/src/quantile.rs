@@ -121,6 +121,17 @@ impl privhp_core::Generator<privhp_domain::UnitInterval> for BoundedQuantiles {
         BoundedQuantiles::sample_many(self, m, &mut rng)
     }
 
+    fn point_lanes(&self) -> usize {
+        1
+    }
+
+    fn sample_many_into(&self, m: usize, mut rng: &mut dyn RngCore, out: &mut Vec<f64>) {
+        out.reserve(m);
+        for _ in 0..m {
+            out.push(BoundedQuantiles::sample(self, &mut rng));
+        }
+    }
+
     fn memory_words(&self) -> usize {
         BoundedQuantiles::memory_words(self)
     }

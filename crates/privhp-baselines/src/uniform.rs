@@ -53,6 +53,23 @@ impl<D: HierarchicalDomain + Clone> privhp_core::Generator<D> for UniformBaselin
         self.domain.sample_uniform(&Path::root(), &mut rng)
     }
 
+    fn point_lanes(&self) -> usize {
+        self.domain.point_lanes()
+    }
+
+    fn sample_many_into(&self, m: usize, mut rng: &mut dyn RngCore, out: &mut Vec<f64>) {
+        // Every draw is uniform over the whole space, so the batch hook is
+        // fed root paths chunk by chunk.
+        const CHUNK: usize = 1024;
+        let roots = vec![Path::root(); m.min(CHUNK)];
+        let mut remaining = m;
+        while remaining > 0 {
+            let c = remaining.min(CHUNK);
+            self.domain.sample_uniform_many(&roots[..c], &mut rng, out);
+            remaining -= c;
+        }
+    }
+
     fn memory_words(&self) -> usize {
         1
     }

@@ -6,8 +6,9 @@
 //! sample — the metric the paper's own proofs bound.
 
 use privhp_core::tree::PartitionTree;
-use privhp_domain::{Hypercube, UnitInterval};
-use privhp_metrics::tree_wasserstein::tree_w1_between_samples;
+use privhp_core::Generator;
+use privhp_domain::{HierarchicalDomain, Hypercube, UnitInterval};
+use privhp_metrics::tree_wasserstein::{level_masses, tree_w1_from_masses};
 use privhp_metrics::wasserstein1d::{w1_sample_vs_segments, Segment};
 use rand::RngCore;
 
@@ -39,21 +40,46 @@ pub fn w1_generator_1d(data: &[f64], tree: &PartitionTree, domain: &UnitInterval
 }
 
 /// Tree-`W1` between a `d`-dimensional dataset and `synthetic_n` samples
-/// drawn from a generator closure, evaluated to `depth` levels.
-pub fn tree_w1_generator_nd<R, F>(
+/// drawn from a generator, evaluated to `depth` levels.
+///
+/// The synthetic side is drawn through [`Generator::sample_many_into`]
+/// into one flat row-major lane buffer and histogrammed in place, so the
+/// evaluation never materialises `synthetic_n` per-point `Vec`s.
+pub fn tree_w1_generator_nd<R: RngCore>(
     cube: &Hypercube,
     data: &[Vec<f64>],
-    mut draw: F,
+    generator: &dyn Generator<Hypercube>,
     synthetic_n: usize,
     depth: usize,
     rng: &mut R,
-) -> f64
-where
-    R: RngCore,
-    F: FnMut(&mut R) -> Vec<f64>,
-{
-    let synthetic: Vec<Vec<f64>> = (0..synthetic_n).map(|_| draw(rng)).collect();
-    tree_w1_between_samples(cube, data, &synthetic, depth)
+) -> f64 {
+    let mut flat = Vec::with_capacity(synthetic_n * generator.point_lanes());
+    generator.sample_many_into(synthetic_n, rng, &mut flat);
+    let mu = level_masses(cube, data, depth);
+    let nu = level_masses_flat(cube, &flat, depth);
+    let gammas: Vec<f64> = (0..=depth).map(|l| cube.level_diameter(l)).collect();
+    tree_w1_from_masses(&mu, &nu, &gammas)
+}
+
+/// Dense per-level mass vectors for a flat row-major lane buffer — the
+/// counterpart of [`level_masses`] for batch-sampled synthetic data. One
+/// scratch point is reused across rows; no per-point allocation.
+fn level_masses_flat(cube: &Hypercube, flat: &[f64], depth: usize) -> Vec<Vec<f64>> {
+    let dim = cube.dim();
+    assert!(!flat.is_empty() && flat.len().is_multiple_of(dim), "flat buffer must hold whole rows");
+    assert!(depth <= 24, "dense level masses limited to depth 24");
+    let n = flat.len() / dim;
+    let mut out: Vec<Vec<f64>> = (0..=depth).map(|l| vec![0.0; 1usize << l]).collect();
+    let w = 1.0 / n as f64;
+    let mut point = vec![0.0; dim];
+    for row in flat.chunks_exact(dim) {
+        point.copy_from_slice(row);
+        let deep = cube.locate(&point, depth);
+        for (l, level_row) in out.iter_mut().enumerate() {
+            level_row[deep.ancestor(l).bits() as usize] += w;
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -109,6 +135,18 @@ mod tests {
         let segs = tree_to_segments(&t, &UnitInterval::new());
         assert_eq!(segs.len(), 1);
         assert_eq!((segs[0].lo, segs[0].hi), (0.0, 1.0));
+    }
+
+    #[test]
+    fn flat_level_masses_match_pointwise_histogram() {
+        let cube = Hypercube::new(2);
+        let pts: Vec<Vec<f64>> = (0..64)
+            .map(|i| vec![((i * 37) % 64) as f64 / 64.0, ((i * 53 + 11) % 64) as f64 / 64.0])
+            .collect();
+        let flat: Vec<f64> = pts.iter().flat_map(|p| p.iter().copied()).collect();
+        let reference = level_masses(&cube, &pts, 8);
+        let batched = level_masses_flat(&cube, &flat, 8);
+        assert_eq!(reference, batched);
     }
 
     #[test]

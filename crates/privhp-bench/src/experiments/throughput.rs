@@ -31,6 +31,7 @@ const EPSILON: f64 = 1.0;
 const K: usize = 16;
 const METRICS: [&str; 3] = ["ingest_items_per_sec", "sample_points_per_sec", "finalize_ms"];
 const INGEST_METRIC: [&str; 1] = ["ingest_items_per_sec"];
+const SAMPLE_METRIC: [&str; 1] = ["sample_points_per_sec"];
 
 /// How a variant cell drives the builder's ingest.
 #[derive(Clone, Copy)]
@@ -99,6 +100,30 @@ where
     vec![n as f64 / ingest.max(1e-9), m as f64 / sample.max(1e-9), finalize * 1e3]
 }
 
+/// Times the allocation-free batch sampler alone: the release is built
+/// untimed (chunked ingest + finalize), then `sample_many_into` fills one
+/// reused flat lane buffer — the decode-free rate serve's sample handler
+/// and the evaluators actually see.
+fn measure_sample_into<D>(domain: D, data: &[D::Point], m: usize, seed: u64) -> Vec<f64>
+where
+    D: HierarchicalDomain + Clone,
+{
+    let config = PrivHpConfig::for_domain(EPSILON, data.len(), K).with_seed(seed);
+    let mut rng = DeterministicRng::seed_from_u64(mix64(seed ^ 0xBEEF));
+    let mut builder = PrivHpBuilder::new(domain, config, &mut rng).expect("valid config");
+    builder.ingest_batch(data);
+    let g = builder.finalize();
+
+    let mut sample_rng = DeterministicRng::seed_from_u64(mix64(seed ^ 0x5A3));
+    let mut flat = Vec::new();
+    let t = std::time::Instant::now();
+    g.sample_many_into(m, &mut sample_rng, &mut flat);
+    let sample = t.elapsed().as_secs_f64();
+    assert!(flat.len().is_multiple_of(m.max(1)), "whole rows expected");
+
+    vec![m as f64 / sample.max(1e-9)]
+}
+
 /// Declares exclusive timed cells per (dimension × stream size): the
 /// single-item baseline cell (ingest + sample + finalize, unchanged across
 /// PRs so the perf gate stays comparable) plus one cell per ingest variant
@@ -127,6 +152,28 @@ pub fn sweep(scale: Scale) -> Sweep {
                         let data: Vec<Vec<f64>> =
                             GaussianMixture::three_modes(dim).generate(n, &mut wl);
                         measure(Hypercube::new(dim), &data, m, ctx.seed)
+                    }
+                })
+                .with_param("dim", dim)
+                .with_param("n", n)
+                .with_param("m", m)
+                .with_param("epsilon", EPSILON)
+                .with_param("k", K)
+                .exclusive(),
+            );
+            sweep.cell(
+                Cell::new(format!("d={dim}/n=2^{exp}/sample=into"), trials, &SAMPLE_METRIC, {
+                    move |ctx| {
+                        let mut wl = DeterministicRng::seed_from_u64(mix64(ctx.seed ^ 0xDA7A));
+                        if dim == 1 {
+                            let data: Vec<f64> =
+                                GaussianMixture::three_modes(1).generate(n, &mut wl);
+                            measure_sample_into(UnitInterval::new(), &data, m, ctx.seed)
+                        } else {
+                            let data: Vec<Vec<f64>> =
+                                GaussianMixture::three_modes(dim).generate(n, &mut wl);
+                            measure_sample_into(Hypercube::new(dim), &data, m, ctx.seed)
+                        }
                     }
                 })
                 .with_param("dim", dim)
@@ -192,7 +239,11 @@ pub fn report(result: &SweepResult) {
     for cell in &result.cells {
         table.row(vec![
             cell.label.clone(),
-            format!("{:.0}", cell.summary("ingest_items_per_sec").mean),
+            if cell.metrics.contains(&"ingest_items_per_sec") {
+                format!("{:.0}", cell.summary("ingest_items_per_sec").mean)
+            } else {
+                "-".into()
+            },
             if cell.metrics.contains(&"sample_points_per_sec") {
                 format!("{:.0}", cell.summary("sample_points_per_sec").mean)
             } else {

@@ -366,7 +366,7 @@ pub fn run_method_nd(
     let w1 = crate::eval::tree_w1_generator_nd(
         &cube,
         data,
-        |r| generator.sample_point(r),
+        &*generator,
         synthetic_n,
         eval_depth,
         &mut rng,

@@ -233,16 +233,19 @@ pub fn run_client(addr: &str, request: &str) -> Result<String, String> {
 }
 
 /// Shared sampling pipeline: a release's tree viewed through the
-/// [`Generator`] trait, rendered by the domain's CSV codec.
+/// [`Generator`] trait, drawn into one flat row-major lane buffer and
+/// rendered by the domain's CSV codec — no per-point `Vec` is allocated.
 fn sample_csv<D, W>(release: &ReleaseFile, domain: &D, count: usize, seed: u64, write: W) -> String
 where
     D: HierarchicalDomain,
-    W: Fn(&[D::Point]) -> String,
+    W: Fn(&[f64]) -> String,
 {
     let sampler = release.generator(domain);
     let generator: &dyn Generator<D> = &sampler;
     let mut rng = rng_from_seed(seed ^ privhp_core::SAMPLE_SEED_XOR);
-    write(&generator.sample_many_points(count, &mut rng))
+    let mut flat = Vec::with_capacity(count * generator.point_lanes());
+    generator.sample_many_into(count, &mut rng, &mut flat);
+    write(&flat)
 }
 
 /// Runs `privhp sample`; returns CSV text.
@@ -253,7 +256,9 @@ pub fn run_sample(release_json: &str, count: usize, seed: u64) -> Result<String,
             sample_csv(&release, &UnitInterval::new(), count, seed, csvio::write_interval)
         }
         DomainSpec::Cube { dim } => {
-            sample_csv(&release, &Hypercube::new(dim), count, seed, csvio::write_cube)
+            sample_csv(&release, &Hypercube::new(dim), count, seed, |flat| {
+                csvio::write_cube(flat, dim)
+            })
         }
         DomainSpec::Ipv4 => sample_csv(&release, &Ipv4Space::new(), count, seed, csvio::write_ipv4),
     })

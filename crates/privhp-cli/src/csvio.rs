@@ -87,31 +87,41 @@ pub fn parse_batches<T>(
     Ok(total)
 }
 
-/// Formats interval samples as CSV.
-pub fn write_interval(points: &[f64]) -> String {
-    let mut out = String::with_capacity(points.len() * 10);
-    for x in points {
+/// Formats interval samples (a flat buffer, one lane per point) as CSV.
+pub fn write_interval(flat: &[f64]) -> String {
+    let mut out = String::with_capacity(flat.len() * 12);
+    for x in flat {
         out.push_str(&format!("{x:.9}\n"));
     }
     out
 }
 
-/// Formats cube samples as CSV.
-pub fn write_cube(points: &[Vec<f64>]) -> String {
-    let mut out = String::new();
-    for p in points {
-        let row: Vec<String> = p.iter().map(|x| format!("{x:.9}")).collect();
-        out.push_str(&row.join(","));
+/// Formats cube samples from a flat row-major lane buffer (`dim` lanes per
+/// point) as CSV.
+pub fn write_cube(flat: &[f64], dim: usize) -> String {
+    assert!(
+        dim > 0 && flat.len().is_multiple_of(dim),
+        "flat buffer must hold whole {dim}-lane rows"
+    );
+    let mut out = String::with_capacity(flat.len() * 12);
+    for row in flat.chunks_exact(dim) {
+        for (c, x) in row.iter().enumerate() {
+            if c > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{x:.9}"));
+        }
         out.push('\n');
     }
     out
 }
 
-/// Formats IPv4 samples as dotted quads.
-pub fn write_ipv4(points: &[u32]) -> String {
-    let mut out = String::new();
-    for &a in points {
-        out.push_str(&Ipv4Space::format_addr(a));
+/// Formats IPv4 samples (a flat buffer, one exact-`u32` lane per point) as
+/// dotted quads.
+pub fn write_ipv4(flat: &[f64]) -> String {
+    let mut out = String::with_capacity(flat.len() * 16);
+    for &a in flat {
+        out.push_str(&Ipv4Space::format_addr(a as u32));
         out.push('\n');
     }
     out
@@ -155,8 +165,8 @@ mod tests {
 
     #[test]
     fn cube_roundtrip_and_validation() {
-        let pts = vec![vec![0.1, 0.2], vec![0.9, 0.8]];
-        let csv = write_cube(&pts);
+        let flat = vec![0.1, 0.2, 0.9, 0.8];
+        let csv = write_cube(&flat, 2);
         let back = parse_cube(&csv, 2).unwrap();
         assert_eq!(back.len(), 2);
         assert!(parse_cube("0.1,0.2,0.3\n", 2).unwrap_err().contains("expected 2"));
@@ -166,7 +176,8 @@ mod tests {
     #[test]
     fn ipv4_roundtrip() {
         let pts = vec![0u32, 0xC0A8_0101, u32::MAX];
-        let csv = write_ipv4(&pts);
+        let flat: Vec<f64> = pts.iter().map(|&a| f64::from(a)).collect();
+        let csv = write_ipv4(&flat);
         assert!(csv.contains("192.168.1.1"));
         assert_eq!(parse_ipv4(&csv).unwrap(), pts);
         assert!(parse_ipv4("999.1.1.1\n").unwrap_err().contains("line 1"));

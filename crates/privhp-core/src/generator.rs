@@ -59,6 +59,16 @@ pub trait Generator<D: HierarchicalDomain> {
         (0..m).map(|_| self.sample_point(rng)).collect()
     }
 
+    /// Number of `f64` lanes per point in the flat row-major batch
+    /// encoding (the domain's [`HierarchicalDomain::point_lanes`]).
+    fn point_lanes(&self) -> usize;
+
+    /// Draws `m` synthetic points into `out` as a flat row-major buffer
+    /// (`m · point_lanes()` values appended), without materialising
+    /// per-point heap values. Must be bit-equal to encoding
+    /// [`Generator::sample_many_points`]'s result at an equal RNG state.
+    fn sample_many_into(&self, m: usize, rng: &mut dyn RngCore, out: &mut Vec<f64>);
+
     /// Memory retained by the release, in 8-byte words.
     fn memory_words(&self) -> usize;
 
@@ -92,6 +102,14 @@ impl<D: HierarchicalDomain> Generator<D> for crate::privhp::PrivHpGenerator<D> {
         crate::privhp::PrivHpGenerator::sample_many(self, m, &mut rng)
     }
 
+    fn point_lanes(&self) -> usize {
+        self.domain().point_lanes()
+    }
+
+    fn sample_many_into(&self, m: usize, mut rng: &mut dyn RngCore, out: &mut Vec<f64>) {
+        crate::privhp::PrivHpGenerator::sample_many_into(self, m, &mut rng, out)
+    }
+
     fn memory_words(&self) -> usize {
         crate::privhp::PrivHpGenerator::memory_words(self)
     }
@@ -112,6 +130,14 @@ impl<'a, D: HierarchicalDomain> Generator<D> for crate::sampler::TreeSampler<'a,
 
     fn sample_many_points(&self, m: usize, mut rng: &mut dyn RngCore) -> Vec<D::Point> {
         crate::sampler::TreeSampler::sample_many(self, m, &mut rng)
+    }
+
+    fn point_lanes(&self) -> usize {
+        self.domain().point_lanes()
+    }
+
+    fn sample_many_into(&self, m: usize, mut rng: &mut dyn RngCore, out: &mut Vec<f64>) {
+        crate::sampler::TreeSampler::sample_many_into(self, m, &mut rng, out)
     }
 
     fn memory_words(&self) -> usize {

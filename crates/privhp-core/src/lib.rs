@@ -69,5 +69,5 @@ pub use grow::GrowOptions;
 pub use privhp::{LevelSketches, PrivHp, PrivHpBuilder, PrivHpGenerator, INGEST_CHUNK};
 pub use query::TreeQuery;
 pub use release::{DomainSpec, ReleaseFile, RELEASE_VERSION, SAMPLE_SEED_XOR};
-pub use sampler::TreeSampler;
+pub use sampler::{LeafCdf, TreeSampler};
 pub use tree::PartitionTree;

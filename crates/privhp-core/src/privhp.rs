@@ -598,6 +598,13 @@ impl<D: HierarchicalDomain> PrivHpGenerator<D> {
         TreeSampler::new(&self.tree, &self.domain).sample_many(m, rng)
     }
 
+    /// Draws `m` synthetic points into `out` as a flat row-major buffer
+    /// (`m · point_lanes` values appended) — the allocation-free batch
+    /// twin of [`Self::sample_many`].
+    pub fn sample_many_into<R: RngCore>(&self, m: usize, rng: &mut R, out: &mut Vec<f64>) {
+        TreeSampler::new(&self.tree, &self.domain).sample_many_into(m, rng, out)
+    }
+
     /// The underlying consistent partition tree (post-processing of an
     /// ε-DP release, so exposing it costs no extra privacy).
     pub fn tree(&self) -> &PartitionTree {

@@ -12,6 +12,14 @@
 //! quantity that preserves the invariant `u ∈ [0, subtree mass)` is the
 //! *left child's* count, which is what "branch left if c ≥ u" implies — we
 //! implement that and property-test leaf proportionality.)
+//!
+//! Bulk draws do not repeat the walk: the leaf CDF is built once (and
+//! cached per sampler), then draws are processed in chunks — one RNG pass
+//! fills a chunk of uniforms, a branchless binary search resolves the
+//! chunk of leaf indices, and one jitter pass turns cells into points
+//! through the domain's flat batch hook.
+
+use std::sync::{Arc, OnceLock};
 
 use privhp_domain::{HierarchicalDomain, Path};
 use rand::Rng;
@@ -19,13 +27,117 @@ use rand::RngCore;
 
 use crate::tree::PartitionTree;
 
+/// Draws per chunk in the bulk sampling loop: big enough to amortise the
+/// loop overheads, small enough that the uniform/index/path scratch stays
+/// resident in L1/L2.
+const SAMPLE_CHUNK: usize = 4096;
+
+/// The leaf list and cumulative walk probabilities of a partition tree, in
+/// a deterministic pre-order.
+///
+/// Each leaf's weight is the product of the sampling walk's branch
+/// probabilities along its path (`c_child / (c_left + c_right)`, with the
+/// uniform `1/2` fallback in zero-mass subtrees), so the CDF reproduces
+/// [`TreeSampler::sample_leaf`]'s distribution exactly — including on
+/// inconsistent ablation trees. Build it once per released tree and share
+/// it across samplers via [`TreeSampler::with_leaf_cdf`].
+#[derive(Debug, Clone)]
+pub struct LeafCdf {
+    leaves: Vec<Path>,
+    cum: Vec<f64>,
+}
+
+impl LeafCdf {
+    /// Walks `tree` and collects its leaves and cumulative probabilities.
+    pub fn build(tree: &PartitionTree) -> Self {
+        let mut leaves = Vec::new();
+        let mut cum = Vec::new();
+        let mut acc = 0.0;
+        let mut stack = vec![(Path::root(), 1.0f64)];
+        while let Some((node, p)) = stack.pop() {
+            match tree.children_counts(&node) {
+                None => {
+                    acc += p;
+                    leaves.push(node);
+                    cum.push(acc);
+                }
+                Some((c_left, c_right)) => {
+                    let total = c_left + c_right;
+                    // The walk branches left with P(u < c_left) for u
+                    // uniform on [0, total) — clamp to [0, 1] so negative
+                    // counts (possible on hand-built or unconsistent
+                    // trees) keep the CDF monotone, exactly matching the
+                    // walk's effective probabilities.
+                    let (p_left, p_right) = if total > 0.0 {
+                        let frac_left = (c_left / total).clamp(0.0, 1.0);
+                        (p * frac_left, p * (1.0 - frac_left))
+                    } else {
+                        (p * 0.5, p * 0.5)
+                    };
+                    // Right pushed first so the left subtree pops first.
+                    stack.push((node.right(), p_right));
+                    stack.push((node.left(), p_left));
+                }
+            }
+        }
+        Self { leaves, cum }
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Whether the tree had no leaves (only possible for an empty tree).
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// Total accumulated mass (the last cumulative value; ~1 on consistent
+    /// trees, possibly less on inconsistent ones).
+    pub fn total(&self) -> f64 {
+        self.cum.last().copied().unwrap_or(0.0)
+    }
+
+    /// The leaf paths in CDF order.
+    pub fn leaves(&self) -> &[Path] {
+        &self.leaves
+    }
+}
+
+/// Resolves a chunk of uniforms against cumulative weights: `out[i]` is
+/// `cum.partition_point(|&c| c <= us[i]).min(cum.len() - 1)`, the same
+/// index the per-draw search picks.
+///
+/// Each element delegates to the standard library's branchless binary
+/// search on purpose: lockstep array-of-lanes formulations (both
+/// `[usize; 8]` lane state and manually unrolled scalars) measured ~5×
+/// *slower* here — the probe addresses are data-dependent gathers the
+/// autovectoriser cannot widen, and safe lane indexing pays a bounds
+/// check per probe that `partition_point`'s internally-unchecked cmov
+/// loop does not. Chunking still pays: the RNG fill and the jitter pass
+/// batch around this search, which runs over a CDF that stays hot in L1.
+fn search_cdf_chunk(cum: &[f64], us: &[f64], out: &mut [u32]) {
+    debug_assert_eq!(us.len(), out.len());
+    debug_assert!(!cum.is_empty());
+    debug_assert!(cum.len() - 1 <= u32::MAX as usize);
+    let last = cum.len() - 1;
+    for (&u, slot) in us.iter().zip(out.iter_mut()) {
+        *slot = cum.partition_point(|&c| c <= u).min(last) as u32;
+    }
+}
+
 /// A sampler over a consistent partition tree for a specific domain.
 ///
 /// The sampler borrows the tree and domain: it is a cheap, reusable view.
+/// The leaf CDF backing bulk draws is built lazily on first use and cached
+/// for the sampler's lifetime; long-lived holders (the serve registry)
+/// share one across samplers with [`TreeSampler::with_leaf_cdf`].
 #[derive(Debug)]
 pub struct TreeSampler<'a, D: HierarchicalDomain> {
     tree: &'a PartitionTree,
     domain: &'a D,
+    cdf: OnceLock<Arc<LeafCdf>>,
 }
 
 impl<'a, D: HierarchicalDomain> TreeSampler<'a, D> {
@@ -35,12 +147,34 @@ impl<'a, D: HierarchicalDomain> TreeSampler<'a, D> {
     /// Panics on an empty tree.
     pub fn new(tree: &'a PartitionTree, domain: &'a D) -> Self {
         assert!(tree.root_count().is_some(), "cannot sample from an empty tree");
-        Self { tree, domain }
+        Self { tree, domain, cdf: OnceLock::new() }
+    }
+
+    /// Creates a sampler seeded with a prebuilt leaf CDF, skipping the
+    /// per-sampler rebuild. `cdf` must be [`LeafCdf::build`] of `tree`
+    /// (anything else silently skews the bulk sampling distribution).
+    ///
+    /// # Panics
+    /// Panics on an empty tree.
+    pub fn with_leaf_cdf(tree: &'a PartitionTree, domain: &'a D, cdf: Arc<LeafCdf>) -> Self {
+        let sampler = Self::new(tree, domain);
+        let _ = sampler.cdf.set(cdf);
+        sampler
     }
 
     /// The partition tree the sampler draws from.
     pub fn tree(&self) -> &'a PartitionTree {
         self.tree
+    }
+
+    /// The domain the sampler draws points from.
+    pub fn domain(&self) -> &'a D {
+        self.domain
+    }
+
+    /// The cached leaf CDF, building it on first use.
+    pub fn leaf_cdf(&self) -> &Arc<LeafCdf> {
+        self.cdf.get_or_init(|| Arc::new(LeafCdf::build(self.tree)))
     }
 
     /// Walks the tree to a leaf path according to the counts.
@@ -91,70 +225,62 @@ impl<'a, D: HierarchicalDomain> TreeSampler<'a, D> {
 
     /// Draws `m` synthetic points.
     ///
-    /// Bulk draws precompute the leaf CDF once (`Self::leaf_cdf`) and
-    /// binary-search it per point — `O(nodes + m·(log leaves + draw))`
-    /// instead of `m` full root-to-leaf walks. The per-leaf probabilities
-    /// are the walk's own branch-product probabilities, so the sampling
-    /// distribution is identical to repeated [`Self::sample`] (including
-    /// on inconsistent ablation trees and zero-mass subtrees); only the
-    /// RNG consumption pattern differs. Degenerate trees (root count ≤ 0)
-    /// keep the per-draw walk, which is uniform over leaf cells.
+    /// Decodes [`Self::sample_many_into`]'s flat buffer, so the two entry
+    /// points are bit-equal at equal seeds by construction; prefer the
+    /// flat entry point on hot paths that don't need per-point values.
     pub fn sample_many<R: RngCore>(&self, m: usize, rng: &mut R) -> Vec<D::Point> {
-        let root_count = self.tree.root_count().expect("checked at construction");
-        if root_count <= 0.0 || m <= 1 {
-            return (0..m).map(|_| self.sample(rng)).collect();
-        }
-        let (leaves, cum) = self.leaf_cdf();
-        let total = *cum.last().expect("tree has a root, hence at least one leaf");
-        if total <= 0.0 {
-            return (0..m).map(|_| self.sample(rng)).collect();
-        }
-        (0..m)
-            .map(|_| {
-                let u = rng.gen_range(0.0..total);
-                let idx = cum.partition_point(|&c| c <= u).min(leaves.len() - 1);
-                self.domain.sample_uniform(&leaves[idx], rng)
-            })
-            .collect()
+        let lanes = self.domain.point_lanes();
+        let mut flat = Vec::with_capacity(m * lanes);
+        self.sample_many_into(m, rng, &mut flat);
+        flat.chunks_exact(lanes).map(|row| self.domain.read_point(row)).collect()
     }
 
-    /// The leaf list and cumulative walk probabilities, in a deterministic
-    /// pre-order. Each leaf's weight is the product of the walk's branch
-    /// probabilities along its path (`c_child / (c_left + c_right)`, with
-    /// the uniform `1/2` fallback in zero-mass subtrees), so the CDF
-    /// reproduces [`Self::sample_leaf`]'s distribution exactly.
-    fn leaf_cdf(&self) -> (Vec<Path>, Vec<f64>) {
-        let mut leaves = Vec::new();
-        let mut cum = Vec::new();
-        let mut acc = 0.0;
-        let mut stack = vec![(Path::root(), 1.0f64)];
-        while let Some((node, p)) = stack.pop() {
-            match self.tree.children_counts(&node) {
-                None => {
-                    acc += p;
-                    leaves.push(node);
-                    cum.push(acc);
+    /// Draws `m` synthetic points into `out` as a flat row-major buffer
+    /// (`m · point_lanes` values appended), without materialising
+    /// per-point heap values.
+    ///
+    /// Bulk draws run chunked over the cached leaf CDF
+    /// ([`Self::leaf_cdf`]): one RNG pass fills a chunk of uniforms,
+    /// a branchless binary search resolves the whole
+    /// chunk of leaf indices, and one jitter pass
+    /// ([`HierarchicalDomain::sample_uniform_many`]) turns the cells into
+    /// points — `O(nodes + m·(log leaves + draw))` instead of `m` full
+    /// root-to-leaf walks. The per-leaf probabilities are the walk's own
+    /// branch products, so the sampling distribution is identical to
+    /// repeated [`Self::sample`] (including on inconsistent ablation trees
+    /// and zero-mass subtrees); only the RNG consumption pattern differs.
+    /// Degenerate trees (root count or total CDF mass ≤ 0) keep the
+    /// per-draw walk, which is uniform over leaf cells.
+    pub fn sample_many_into<R: RngCore>(&self, m: usize, rng: &mut R, out: &mut Vec<f64>) {
+        let root_count = self.tree.root_count().expect("checked at construction");
+        out.reserve(m * self.domain.point_lanes());
+        if root_count > 0.0 && m > 1 {
+            let cdf = self.leaf_cdf().clone();
+            let total = cdf.total();
+            if total > 0.0 {
+                let scratch = m.min(SAMPLE_CHUNK);
+                let mut us = vec![0.0f64; scratch];
+                let mut idxs = vec![0u32; scratch];
+                let mut thetas: Vec<Path> = Vec::with_capacity(scratch);
+                let mut remaining = m;
+                while remaining > 0 {
+                    let c = remaining.min(SAMPLE_CHUNK);
+                    for u in &mut us[..c] {
+                        *u = rng.gen_range(0.0..total);
+                    }
+                    search_cdf_chunk(&cdf.cum, &us[..c], &mut idxs[..c]);
+                    thetas.clear();
+                    thetas.extend(idxs[..c].iter().map(|&i| cdf.leaves[i as usize]));
+                    self.domain.sample_uniform_many(&thetas, rng, out);
+                    remaining -= c;
                 }
-                Some((c_left, c_right)) => {
-                    let total = c_left + c_right;
-                    // The walk branches left with P(u < c_left) for u
-                    // uniform on [0, total) — clamp to [0, 1] so negative
-                    // counts (possible on hand-built or unconsistent
-                    // trees) keep the CDF monotone, exactly matching the
-                    // walk's effective probabilities.
-                    let (p_left, p_right) = if total > 0.0 {
-                        let frac_left = (c_left / total).clamp(0.0, 1.0);
-                        (p * frac_left, p * (1.0 - frac_left))
-                    } else {
-                        (p * 0.5, p * 0.5)
-                    };
-                    // Right pushed first so the left subtree pops first.
-                    stack.push((node.right(), p_right));
-                    stack.push((node.left(), p_left));
-                }
+                return;
             }
         }
-        (leaves, cum)
+        for _ in 0..m {
+            let p = self.sample(rng);
+            self.domain.write_point(&p, out);
+        }
     }
 
     /// The probability the walk assigns to `leaf` (its count over the root
@@ -171,7 +297,7 @@ impl<'a, D: HierarchicalDomain> TreeSampler<'a, D> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use privhp_domain::UnitInterval;
+    use privhp_domain::{Hypercube, UnitInterval};
     use privhp_dp::rng::rng_from_seed;
 
     /// A consistent depth-2 tree with leaf masses 1, 3, 2, 4.
@@ -330,5 +456,67 @@ mod tests {
         let pts = sampler.sample_many(n, &mut rng);
         let lefts = pts.iter().filter(|&&x| x < 0.5).count() as f64 / n as f64;
         assert!((lefts - 0.5).abs() < 0.02, "degenerate bulk sampling not uniform: {lefts}");
+    }
+
+    #[test]
+    fn search_kernel_matches_partition_point() {
+        // The chunk search must agree with the clamped library binary
+        // search on every input, including ties, u below the first weight,
+        // u at/above the total, and short CDFs.
+        for n in [1usize, 2, 3, 7, 8, 9, 15, 16, 33, 100] {
+            let cum: Vec<f64> = (1..=n).map(|i| i as f64 / n as f64).collect();
+            let mut us = Vec::new();
+            for &c in &cum {
+                us.extend([c - 1e-12, c, c + 1e-12]);
+            }
+            us.extend([0.0, -0.5, 0.5 / n as f64, 1.0, 1.5]);
+            let mut got = vec![0u32; us.len()];
+            search_cdf_chunk(&cum, &us, &mut got);
+            for (&u, &g) in us.iter().zip(&got) {
+                let want = cum.partition_point(|&c| c <= u).min(n - 1) as u32;
+                assert_eq!(g, want, "n={n}, u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_many_into_bit_equal_to_sample_many() {
+        let tree = fixture_tree();
+        for dim in [1usize, 2] {
+            let domain = Hypercube::new(dim);
+            let sampler = TreeSampler::new(&tree, &domain);
+            let mut rng_a = rng_from_seed(21);
+            let mut rng_b = rng_from_seed(21);
+            let m = 10_000;
+            let mut flat = Vec::new();
+            sampler.sample_many_into(m, &mut rng_a, &mut flat);
+            let pts = sampler.sample_many(m, &mut rng_b);
+            assert_eq!(flat.len(), m * dim);
+            for (row, p) in flat.chunks_exact(dim).zip(&pts) {
+                for (a, b) in row.iter().zip(p) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "dim {dim} lane diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prebuilt_cdf_reproduces_lazy_sampler() {
+        let tree = fixture_tree();
+        let domain = UnitInterval::new();
+        let lazy = TreeSampler::new(&tree, &domain);
+        let shared = Arc::new(LeafCdf::build(&tree));
+        assert_eq!(shared.len(), 4);
+        assert!((shared.total() - 1.0).abs() < 1e-12);
+        let seeded = TreeSampler::with_leaf_cdf(&tree, &domain, shared.clone());
+        let mut rng_a = rng_from_seed(31);
+        let mut rng_b = rng_from_seed(31);
+        let a = lazy.sample_many(5_000, &mut rng_a);
+        let b = seeded.sample_many(5_000, &mut rng_b);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // The seeded sampler must reuse the shared CDF, not rebuild.
+        assert!(Arc::ptr_eq(seeded.leaf_cdf(), &shared));
     }
 }

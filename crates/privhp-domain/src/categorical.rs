@@ -108,6 +108,20 @@ impl HierarchicalDomain for Categorical {
         rng.gen_range(lo..=hi)
     }
 
+    fn point_lanes(&self) -> usize {
+        1
+    }
+
+    fn write_point(&self, p: &u64, out: &mut Vec<f64>) {
+        // Categories are capped at 2^24 ≪ 2^53, so the u64 → f64 codec is
+        // lossless.
+        out.push(*p as f64);
+    }
+
+    fn read_point(&self, lanes: &[f64]) -> u64 {
+        lanes[0] as u64
+    }
+
     fn distance(&self, a: &u64, b: &u64) -> f64 {
         if a == b {
             0.0

@@ -98,6 +98,19 @@ impl HierarchicalDomain for GeoBox {
         self.denormalise(&self.inner.sample_uniform(theta, rng))
     }
 
+    fn point_lanes(&self) -> usize {
+        2
+    }
+
+    fn write_point(&self, p: &GeoPoint, out: &mut Vec<f64>) {
+        out.push(p.lat);
+        out.push(p.lon);
+    }
+
+    fn read_point(&self, lanes: &[f64]) -> GeoPoint {
+        GeoPoint { lat: lanes[0], lon: lanes[1] }
+    }
+
     fn distance(&self, a: &GeoPoint, b: &GeoPoint) -> f64 {
         self.inner.distance(&self.normalise(a), &self.normalise(b))
     }

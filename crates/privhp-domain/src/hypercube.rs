@@ -91,16 +91,38 @@ impl Hypercube {
         // shallow level consumes no bits of one of them.
         let fx = self.dyadic_bits(p[0]);
         let fy = self.dyadic_bits(p[1]);
-        let xv = if qx == 0 { 0 } else { fx >> (52 - qx) };
-        let yv = if qy == 0 { 0 } else { fy >> (52 - qy) };
-        // With msb-first values, x's last branch lands at result bit 1
-        // for even levels and bit 0 for odd levels (y the other way).
-        if level.is_multiple_of(2) {
-            (part1by1(xv) << 1) | part1by1(yv)
-        } else {
-            part1by1(xv) | (part1by1(yv) << 1)
-        }
+        interleave_2d(fx, fy, level, qx, qy)
     }
+}
+
+/// Interleaves two 52-bit dyadic expansions into level-`level` path bits.
+/// With msb-first values, x's last branch lands at result bit 1 for even
+/// levels and bit 0 for odd levels (y the other way).
+#[inline]
+fn interleave_2d(fx: u64, fy: u64, level: usize, qx: usize, qy: usize) -> u64 {
+    let xv = if qx == 0 { 0 } else { fx >> (52 - qx) };
+    let yv = if qy == 0 { 0 } else { fy >> (52 - qy) };
+    if level.is_multiple_of(2) {
+        (part1by1(xv) << 1) | part1by1(yv)
+    } else {
+        part1by1(xv) | (part1by1(yv) << 1)
+    }
+}
+
+/// Splits level-`level` 2-D path bits back into the per-coordinate cell
+/// indices `(xv, yv)` — the exact inverse of [`interleave_2d`].
+#[inline]
+fn deinterleave_2d(bits: u64, level: usize) -> (u64, u64) {
+    let (ex, ey) = if level.is_multiple_of(2) { (bits >> 1, bits) } else { (bits, bits >> 1) };
+    (compact1by1(ex), compact1by1(ey))
+}
+
+/// Exact `2^{-q}` for `q ≤ 1022`, assembled from the exponent bits so the
+/// jitter kernels never call `powi` in a loop.
+#[inline]
+fn exp2_neg(q: usize) -> f64 {
+    debug_assert!(q <= 1022);
+    f64::from_bits((1023 - q as u64) << 52)
 }
 
 /// Spreads the low 32 bits of `v` into the even bit positions (Morton
@@ -113,6 +135,20 @@ fn part1by1(mut v: u64) -> u64 {
     v = (v | (v << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
     v = (v | (v << 2)) & 0x3333_3333_3333_3333;
     v = (v | (v << 1)) & 0x5555_5555_5555_5555;
+    v
+}
+
+/// Gathers the even bit positions of `v` back into the low 32 bits (Morton
+/// "compact1by1"): bit `2j` of `v` moves to bit `j`. Inverse of
+/// [`part1by1`].
+#[inline]
+fn compact1by1(mut v: u64) -> u64 {
+    v &= 0x5555_5555_5555_5555;
+    v = (v | (v >> 1)) & 0x3333_3333_3333_3333;
+    v = (v | (v >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    v = (v | (v >> 4)) & 0x00FF_00FF_00FF_00FF;
+    v = (v | (v >> 8)) & 0x0000_FFFF_0000_FFFF;
+    v = (v | (v >> 16)) & 0x0000_0000_FFFF_FFFF;
     v
 }
 
@@ -159,15 +195,48 @@ impl HierarchicalDomain for Hypercube {
         out.clear();
         out.reserve(points.len());
         // One shape dispatch per chunk instead of per point; the 1-D and
-        // 2-D bodies are then pure fixed-point loops the compiler can
-        // vectorise (this is the front half of the batched ingest path).
+        // 2-D bodies are array-of-lanes kernels: a gather pass converts a
+        // fixed block of coordinates to fixed point, then a combine pass
+        // turns the lane arrays into path bits — each pass a lane-uniform
+        // loop over `[u64; LANES]` the compiler can vectorise (this is the
+        // front half of the batched ingest path).
+        const LANES: usize = 8;
         match self.dim {
-            1 => out.extend(points.iter().map(|p| Path::from_bits(self.bits_1d(p, level), level))),
+            1 => {
+                let mut fracs = [0u64; LANES];
+                let mut chunks = points.chunks_exact(LANES);
+                for chunk in &mut chunks {
+                    for (frac, p) in fracs.iter_mut().zip(chunk) {
+                        assert_eq!(p.len(), 1, "point dimension mismatch");
+                        *frac = self.dyadic_bits(p[0]);
+                    }
+                    for &frac in &fracs {
+                        let bits = if level == 0 { 0 } else { frac >> (52 - level) };
+                        out.push(Path::from_bits(bits, level));
+                    }
+                }
+                for p in chunks.remainder() {
+                    out.push(Path::from_bits(self.bits_1d(p, level), level));
+                }
+            }
             2 => {
                 let (qx, qy) = (level.div_ceil(2), level / 2);
-                out.extend(
-                    points.iter().map(|p| Path::from_bits(self.bits_2d(p, level, qx, qy), level)),
-                );
+                let mut fx = [0u64; LANES];
+                let mut fy = [0u64; LANES];
+                let mut chunks = points.chunks_exact(LANES);
+                for chunk in &mut chunks {
+                    for ((x, y), p) in fx.iter_mut().zip(fy.iter_mut()).zip(chunk) {
+                        assert_eq!(p.len(), 2, "point dimension mismatch");
+                        *x = self.dyadic_bits(p[0]);
+                        *y = self.dyadic_bits(p[1]);
+                    }
+                    for (&x, &y) in fx.iter().zip(&fy) {
+                        out.push(Path::from_bits(interleave_2d(x, y, level, qx, qy), level));
+                    }
+                }
+                for p in chunks.remainder() {
+                    out.push(Path::from_bits(self.bits_2d(p, level, qx, qy), level));
+                }
             }
             _ => out.extend(points.iter().map(|p| self.locate(p, level))),
         }
@@ -190,6 +259,87 @@ impl HierarchicalDomain for Hypercube {
         self.cell_bounds(theta).into_iter().map(|(lo, hi)| rng.gen_range(lo..hi)).collect()
     }
 
+    fn point_lanes(&self) -> usize {
+        self.dim
+    }
+
+    fn write_point(&self, p: &Self::Point, out: &mut Vec<f64>) {
+        assert_eq!(p.len(), self.dim, "point dimension mismatch");
+        out.extend_from_slice(p);
+    }
+
+    fn read_point(&self, lanes: &[f64]) -> Self::Point {
+        assert_eq!(lanes.len(), self.dim, "point dimension mismatch");
+        lanes.to_vec()
+    }
+
+    fn sample_uniform_many<R: RngCore>(&self, thetas: &[Path], rng: &mut R, out: &mut Vec<f64>) {
+        out.reserve(thetas.len() * self.dim);
+        match self.dim {
+            1 => {
+                // Cells are dyadic: `lo = bits·2^{-l}`, width `2^{-l}`, both
+                // exact in f64 up to `max_level`, so skipping `cell_bounds`
+                // changes no bits relative to the scalar path.
+                for theta in thetas {
+                    let s = exp2_neg(theta.level());
+                    let lo = theta.bits() as f64 * s;
+                    out.push(rng.gen_range(lo..lo + s));
+                }
+            }
+            2 => {
+                const LANES: usize = 8;
+                let mut lox = [0.0f64; LANES];
+                let mut loy = [0.0f64; LANES];
+                let mut sx = [0.0f64; LANES];
+                let mut sy = [0.0f64; LANES];
+                let mut us = [0.0f64; 2 * LANES];
+                let mut chunks = thetas.chunks_exact(LANES);
+                for chunk in &mut chunks {
+                    // Decode pass: Morton de-interleave each path's bits back
+                    // into per-coordinate cell origins and widths (inverse of
+                    // the `bits_2d` mask-spread; all values exact dyadics).
+                    for (i, theta) in chunk.iter().enumerate() {
+                        let l = theta.level();
+                        let (xb, yb) = deinterleave_2d(theta.bits(), l);
+                        sx[i] = exp2_neg(l.div_ceil(2));
+                        sy[i] = exp2_neg(l / 2);
+                        lox[i] = xb as f64 * sx[i];
+                        loy[i] = yb as f64 * sy[i];
+                    }
+                    // RNG pass: one uniform per coordinate, x before y per
+                    // point — the same draw order as the scalar walk.
+                    for u in &mut us {
+                        *u = rng.gen();
+                    }
+                    // Jitter pass: place each point inside its cell. The
+                    // wrap-to-`lo` nudge mirrors `gen_range`'s half-open
+                    // correction, so the lanes stay bit-identical to the
+                    // scalar `sample_uniform`.
+                    for i in 0..LANES {
+                        let x = lox[i] + sx[i] * us[2 * i];
+                        out.push(if x < lox[i] + sx[i] { x } else { lox[i] });
+                        let y = loy[i] + sy[i] * us[2 * i + 1];
+                        out.push(if y < loy[i] + sy[i] { y } else { loy[i] });
+                    }
+                }
+                for theta in chunks.remainder() {
+                    let l = theta.level();
+                    let (xb, yb) = deinterleave_2d(theta.bits(), l);
+                    let (sx, sy) = (exp2_neg(l.div_ceil(2)), exp2_neg(l / 2));
+                    let (lox, loy) = (xb as f64 * sx, yb as f64 * sy);
+                    out.push(rng.gen_range(lox..lox + sx));
+                    out.push(rng.gen_range(loy..loy + sy));
+                }
+            }
+            _ => {
+                for theta in thetas {
+                    let p = self.sample_uniform(theta, rng);
+                    out.extend_from_slice(&p);
+                }
+            }
+        }
+    }
+
     fn distance(&self, a: &Self::Point, b: &Self::Point) -> f64 {
         assert_eq!(a.len(), self.dim);
         assert_eq!(b.len(), self.dim);
@@ -198,7 +348,7 @@ impl HierarchicalDomain for Hypercube {
 
     fn max_level(&self) -> usize {
         // 52 mantissa bits per coordinate bounds the usable depth.
-        Path::MAX_LEVEL.min(50 * self.dim).min(Path::MAX_LEVEL)
+        Path::MAX_LEVEL.min(50 * self.dim)
     }
 }
 
@@ -343,6 +493,65 @@ mod tests {
         let b = vec![0.2, 0.1, 0.8];
         assert!((cube.distance(&a, &b) - 0.4).abs() < 1e-12);
         assert_eq!(cube.distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn compact1by1_inverts_part1by1() {
+        for v in (0..1u64 << 16).step_by(7).chain([0, 1, 0xFFFF_FFFF, 0xDEAD_BEEF]) {
+            assert_eq!(compact1by1(part1by1(v)), v & 0xFFFF_FFFF, "round-trip failed for {v:#x}");
+        }
+        // Odd bit positions must be ignored on the way back.
+        assert_eq!(compact1by1(u64::MAX), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn deinterleave_inverts_interleave_at_every_parity() {
+        for level in 0..=24usize {
+            let (qx, qy) = (level.div_ceil(2), level / 2);
+            for seed in 0..64u64 {
+                let fx = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) << 12 >> 12;
+                let fy = seed.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) << 12 >> 12;
+                let bits = interleave_2d(fx, fy, level, qx, qy);
+                let (xv, yv) = deinterleave_2d(bits, level);
+                assert_eq!(xv, if qx == 0 { 0 } else { fx >> (52 - qx) });
+                assert_eq!(yv, if qy == 0 { 0 } else { fy >> (52 - qy) });
+            }
+        }
+    }
+
+    #[test]
+    fn sample_uniform_many_bit_equal_to_scalar_walk() {
+        // The lane kernels must reproduce the scalar `sample_uniform` loop
+        // exactly (same RNG consumption, same rounding) in every dimension.
+        for dim in 1..=3usize {
+            let cube = Hypercube::new(dim);
+            let thetas: Vec<Path> = (0..53)
+                .map(|i| {
+                    let level = i % 11;
+                    Path::from_bits((i as u64 * 2654435761) & ((1 << level) - 1), level)
+                })
+                .collect();
+            let mut scalar_rng = rand::rngs::StdRng::seed_from_u64(1000 + dim as u64);
+            let mut batch_rng = rand::rngs::StdRng::seed_from_u64(1000 + dim as u64);
+            let scalar: Vec<f64> =
+                thetas.iter().flat_map(|t| cube.sample_uniform(t, &mut scalar_rng)).collect();
+            let mut batch = Vec::new();
+            cube.sample_uniform_many(&thetas, &mut batch_rng, &mut batch);
+            assert_eq!(scalar.len(), batch.len());
+            for (a, b) in scalar.iter().zip(&batch) {
+                assert_eq!(a.to_bits(), b.to_bits(), "dim {dim} lane mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn point_codec_roundtrip() {
+        let cube = Hypercube::new(3);
+        let p = vec![0.125, 0.875, 0.5];
+        let mut flat = Vec::new();
+        cube.write_point(&p, &mut flat);
+        assert_eq!(flat.len(), cube.point_lanes());
+        assert_eq!(cube.read_point(&flat), p);
     }
 
     #[test]

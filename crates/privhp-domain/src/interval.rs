@@ -59,6 +59,18 @@ impl HierarchicalDomain for UnitInterval {
         rng.gen_range(lo..hi)
     }
 
+    fn point_lanes(&self) -> usize {
+        1
+    }
+
+    fn write_point(&self, p: &f64, out: &mut Vec<f64>) {
+        out.push(*p);
+    }
+
+    fn read_point(&self, lanes: &[f64]) -> f64 {
+        lanes[0]
+    }
+
     fn distance(&self, a: &f64, b: &f64) -> f64 {
         (a - b).abs()
     }

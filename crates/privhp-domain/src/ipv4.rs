@@ -86,6 +86,20 @@ impl HierarchicalDomain for Ipv4Space {
         rng.gen_range(lo..=hi)
     }
 
+    fn point_lanes(&self) -> usize {
+        1
+    }
+
+    fn write_point(&self, p: &u32, out: &mut Vec<f64>) {
+        // u32 → f64 is exact (32 < 53 mantissa bits), so the codec is
+        // lossless.
+        out.push(f64::from(*p));
+    }
+
+    fn read_point(&self, lanes: &[f64]) -> u32 {
+        lanes[0] as u32
+    }
+
     fn distance(&self, a: &u32, b: &u32) -> f64 {
         (*a as f64 - *b as f64).abs() / 2f64.powi(32)
     }

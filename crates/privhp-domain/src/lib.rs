@@ -78,6 +78,35 @@ pub trait HierarchicalDomain {
     /// Draws a uniform point from `Ω_θ`.
     fn sample_uniform<R: RngCore>(&self, theta: &Path, rng: &mut R) -> Self::Point;
 
+    /// Number of `f64` lanes one point occupies in the flat row-major
+    /// batch encoding ([`HierarchicalDomain::write_point`] /
+    /// [`HierarchicalDomain::read_point`]).
+    fn point_lanes(&self) -> usize;
+
+    /// Appends `p`'s flat encoding — exactly
+    /// [`HierarchicalDomain::point_lanes`] `f64` values — to `out`.
+    /// [`HierarchicalDomain::read_point`] must invert it exactly
+    /// (`read_point(write_point(p)) == p` bit-for-bit).
+    fn write_point(&self, p: &Self::Point, out: &mut Vec<f64>);
+
+    /// Decodes one point from a [`HierarchicalDomain::point_lanes`]-long
+    /// lane slice (the inverse of [`HierarchicalDomain::write_point`]).
+    fn read_point(&self, lanes: &[f64]) -> Self::Point;
+
+    /// Draws one uniform point per path in `thetas`, appending each
+    /// point's flat encoding to `out` (row-major, `thetas.len() ·
+    /// point_lanes()` values total). The default loops the scalar
+    /// [`HierarchicalDomain::sample_uniform`]; domains on the bulk
+    /// sampling hot path override it to hoist the per-draw shape dispatch
+    /// and heap allocation out of the loop.
+    fn sample_uniform_many<R: RngCore>(&self, thetas: &[Path], rng: &mut R, out: &mut Vec<f64>) {
+        out.reserve(thetas.len() * self.point_lanes());
+        for theta in thetas {
+            let p = self.sample_uniform(theta, rng);
+            self.write_point(&p, out);
+        }
+    }
+
     /// Metric distance between two points.
     fn distance(&self, a: &Self::Point, b: &Self::Point) -> f64;
 

@@ -97,6 +97,20 @@ impl<A: HierarchicalDomain, B: HierarchicalDomain> HierarchicalDomain for Produc
         (self.left.sample_uniform(&pa, rng), self.right.sample_uniform(&pb, rng))
     }
 
+    fn point_lanes(&self) -> usize {
+        self.left.point_lanes() + self.right.point_lanes()
+    }
+
+    fn write_point(&self, p: &Self::Point, out: &mut Vec<f64>) {
+        self.left.write_point(&p.0, out);
+        self.right.write_point(&p.1, out);
+    }
+
+    fn read_point(&self, lanes: &[f64]) -> Self::Point {
+        let (la, lb) = lanes.split_at(self.left.point_lanes());
+        (self.left.read_point(la), self.right.read_point(lb))
+    }
+
     fn distance(&self, a: &Self::Point, b: &Self::Point) -> f64 {
         self.left.distance(&a.0, &b.0).max(self.right.distance(&a.1, &b.1))
     }

@@ -13,10 +13,10 @@
 //! `load`, which takes the write lock only for the map insert).
 
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use privhp_core::release::{DomainSpec, ReleaseFile};
-use privhp_core::{Generator, TreeQuery};
+use privhp_core::{Generator, LeafCdf, TreeQuery, TreeSampler};
 use privhp_domain::{HierarchicalDomain, Hypercube, Ipv4Space, Path, UnitInterval};
 use privhp_dp::rng::rng_from_seed;
 use serde::Value;
@@ -45,34 +45,47 @@ impl DomainKind {
     }
 }
 
-/// One release held by the server: the parsed file plus its domain.
+/// One release held by the server: the parsed file plus its domain, and
+/// the lazily-built leaf CDF shared across sample requests (so repeated
+/// `sample` calls don't rebuild the leaf list every request).
 #[derive(Debug)]
 pub struct LoadedRelease {
     name: String,
     release: ReleaseFile,
     domain: DomainKind,
+    cdf: OnceLock<Arc<LeafCdf>>,
 }
 
 /// Samples through `dyn Generator` (one vtable hop, amortised by the batch
-/// draw) and renders each point as a JSON value.
+/// draw) into a flat lane buffer and renders each row as a JSON value.
 fn sample_values<D: HierarchicalDomain>(
     release: &ReleaseFile,
     domain: &D,
+    cdf: Arc<LeafCdf>,
     n: usize,
     seed: u64,
-    render: impl Fn(&D::Point) -> Value,
+    render: impl Fn(&[f64]) -> Value,
 ) -> Vec<Value> {
-    let sampler = release.generator(domain);
+    let sampler = TreeSampler::with_leaf_cdf(&release.tree, domain, cdf);
     let generator: &dyn Generator<D> = &sampler;
     let mut rng = rng_from_seed(seed ^ SAMPLE_SEED_XOR);
-    generator.sample_many_points(n, &mut rng).iter().map(render).collect()
+    let lanes = generator.point_lanes();
+    let mut flat = Vec::with_capacity(n * lanes);
+    generator.sample_many_into(n, &mut rng, &mut flat);
+    flat.chunks_exact(lanes).map(render).collect()
 }
 
 impl LoadedRelease {
     /// Wraps an already-parsed release under a registry name.
     pub fn from_release(name: impl Into<String>, release: ReleaseFile) -> Self {
         let domain = DomainKind::from_spec(release.domain);
-        Self { name: name.into(), release, domain }
+        Self { name: name.into(), release, domain, cdf: OnceLock::new() }
+    }
+
+    /// The release tree's leaf CDF, built on first use and shared by every
+    /// subsequent sample request.
+    fn leaf_cdf(&self) -> Arc<LeafCdf> {
+        self.cdf.get_or_init(|| Arc::new(LeafCdf::build(&self.release.tree))).clone()
     }
 
     /// Reads and parses a release file from disk.
@@ -97,15 +110,16 @@ impl LoadedRelease {
     /// Interval points render as numbers, cube points as coordinate
     /// arrays, IPv4 points as dotted-quad strings.
     pub fn sample_points(&self, n: usize, seed: u64) -> Vec<Value> {
+        let cdf = self.leaf_cdf();
         match &self.domain {
             DomainKind::Interval(d) => {
-                sample_values(&self.release, d, n, seed, |x| Value::Float(*x))
+                sample_values(&self.release, d, cdf, n, seed, |row| Value::Float(row[0]))
             }
-            DomainKind::Cube(d) => sample_values(&self.release, d, n, seed, |p| {
-                Value::Array(p.iter().map(|x| Value::Float(*x)).collect())
+            DomainKind::Cube(d) => sample_values(&self.release, d, cdf, n, seed, |row| {
+                Value::Array(row.iter().map(|x| Value::Float(*x)).collect())
             }),
-            DomainKind::Ipv4(d) => sample_values(&self.release, d, n, seed, |a| {
-                Value::String(Ipv4Space::format_addr(*a))
+            DomainKind::Ipv4(d) => sample_values(&self.release, d, cdf, n, seed, |row| {
+                Value::String(Ipv4Space::format_addr(row[0] as u32))
             }),
         }
     }

@@ -1,0 +1,178 @@
+//! Property-based equivalence for the chunked CDF sampler (proptest).
+//!
+//! The chunked `sample_many` path (uniform batch → branch-free CDF search
+//! → batched Morton jitter) must draw from exactly the distribution the
+//! per-draw tree walk encodes, on consistent trees, on raw noisy
+//! (inconsistent) trees, and on degenerate zero-mass trees — and the flat
+//! `sample_many_into` buffer must be the bit-exact encoding of
+//! `sample_many`'s points.
+
+use privhp::core::consistency::enforce_consistency_subtree;
+use privhp::core::sampler::TreeSampler;
+use privhp::core::tree::PartitionTree;
+use privhp::domain::{HierarchicalDomain, Hypercube, Path, UnitInterval};
+use privhp::dp::rng::rng_from_seed;
+use proptest::prelude::*;
+
+/// A complete depth-`depth` tree whose counts cycle through `counts`.
+fn complete_tree(depth: usize, counts: &[f64]) -> PartitionTree {
+    let mut i = 0;
+    PartitionTree::complete(depth, |_| {
+        let c = counts[i % counts.len()];
+        i += 1;
+        c
+    })
+}
+
+/// Dense leaf frequencies of 2-D samples located back to `depth`.
+fn leaf_frequencies(cube: &Hypercube, pts: &[Vec<f64>], depth: usize) -> Vec<f64> {
+    let mut hist = vec![0.0; 1usize << depth];
+    for p in pts {
+        hist[cube.locate(p, depth).bits() as usize] += 1.0 / pts.len() as f64;
+    }
+    hist
+}
+
+/// Total-variation distance between two leaf-frequency vectors.
+fn tv(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() * 0.5
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// On a consistent 2-D tree, the chunked sampler's leaf frequencies
+    /// agree with the per-draw walk's (two independent m=4096 draws of the
+    /// same distribution stay within a small TV distance).
+    #[test]
+    fn chunked_matches_walk_on_consistent_tree(
+        counts in proptest::collection::vec(0.0f64..50.0, 31),
+        seed in 0u64..1_000,
+    ) {
+        let depth = 4;
+        let cube = Hypercube::new(2);
+        let mut tree = complete_tree(depth, &counts);
+        enforce_consistency_subtree(&mut tree, &Path::root());
+        let sampler = TreeSampler::new(&tree, &cube);
+
+        let m = 4_096;
+        let mut rng = rng_from_seed(seed);
+        let chunked = sampler.sample_many(m, &mut rng);
+        let mut rng = rng_from_seed(seed ^ 0x77AA);
+        let walk: Vec<Vec<f64>> = (0..m).map(|_| sampler.sample(&mut rng)).collect();
+
+        let d = tv(&leaf_frequencies(&cube, &chunked, depth),
+                   &leaf_frequencies(&cube, &walk, depth));
+        prop_assert!(d < 0.08, "chunked vs walk TV distance {d} over {} leaves", 1usize << depth);
+    }
+
+    /// Same agreement on an inconsistent tree (children do not sum to
+    /// their parent; no consistency pass): the CDF is built from the
+    /// walk's own branch probabilities, so the two paths encode the same
+    /// measure whenever every junction keeps positive mass.
+    #[test]
+    fn chunked_matches_walk_on_inconsistent_tree(
+        counts in proptest::collection::vec(0.5f64..40.0, 31),
+        seed in 0u64..1_000,
+    ) {
+        let depth = 3;
+        let cube = Hypercube::new(2);
+        let tree = complete_tree(depth, &counts);
+        let sampler = TreeSampler::new(&tree, &cube);
+
+        let m = 4_096;
+        let mut rng = rng_from_seed(seed ^ 0x1CE);
+        let chunked = sampler.sample_many(m, &mut rng);
+        let mut rng = rng_from_seed(seed ^ 0xF00D);
+        let walk: Vec<Vec<f64>> = (0..m).map(|_| sampler.sample(&mut rng)).collect();
+
+        let d = tv(&leaf_frequencies(&cube, &chunked, depth),
+                   &leaf_frequencies(&cube, &walk, depth));
+        prop_assert!(d < 0.08, "chunked vs walk TV distance {d} on a noisy tree");
+    }
+
+    /// A zero-mass tree falls back to the uniform-over-cells walk, which is
+    /// bit-identical between the batch and per-draw paths.
+    #[test]
+    fn zero_mass_tree_falls_back_bit_identically(seed in 0u64..10_000) {
+        let cube = Hypercube::new(2);
+        let tree = complete_tree(3, &[0.0]);
+        let sampler = TreeSampler::new(&tree, &cube);
+
+        let mut rng = rng_from_seed(seed);
+        let batch = sampler.sample_many(256, &mut rng);
+        let mut rng = rng_from_seed(seed);
+        let walk: Vec<Vec<f64>> = (0..256).map(|_| sampler.sample(&mut rng)).collect();
+        for (a, b) in batch.iter().zip(&walk) {
+            prop_assert!((0.0..1.0).contains(&a[0]) && (0.0..1.0).contains(&a[1]));
+            prop_assert_eq!(a[0].to_bits(), b[0].to_bits());
+            prop_assert_eq!(a[1].to_bits(), b[1].to_bits());
+        }
+    }
+
+    /// Morton round-trip through the batch jitter: with all mass on one
+    /// leaf, every batched sample must locate back to exactly that leaf —
+    /// the de-interleaved cell bounds are the cell the CDF selected.
+    #[test]
+    fn batched_points_relocate_to_their_leaf(
+        leaf_bits in 0u64..64,
+        seed in 0u64..1_000,
+    ) {
+        let depth = 6;
+        let cube = Hypercube::new(2);
+        let target = Path::from_bits(leaf_bits, depth);
+        let mut tree = PartitionTree::new();
+        for l in 0..=depth {
+            let node = target.ancestor(l);
+            tree.insert(node, 1.0);
+            if let Some(sib) = node.sibling() {
+                tree.insert(sib, 0.0);
+            }
+        }
+        let sampler = TreeSampler::new(&tree, &cube);
+
+        let mut rng = rng_from_seed(seed ^ 0x3D);
+        for p in sampler.sample_many(512, &mut rng) {
+            prop_assert_eq!(cube.locate(&p, depth), target);
+        }
+    }
+
+    /// `sample_many_into`'s flat buffer is the bit-exact row-major encoding
+    /// of `sample_many`'s points, in 1-D and 2-D, at an equal RNG state.
+    #[test]
+    fn flat_buffer_encodes_sample_many_exactly(
+        counts in proptest::collection::vec(0.0f64..30.0, 15),
+        seed in 0u64..10_000,
+    ) {
+        let m = 777;
+
+        let interval = UnitInterval::new();
+        let mut tree = complete_tree(3, &counts);
+        enforce_consistency_subtree(&mut tree, &Path::root());
+        let sampler = TreeSampler::new(&tree, &interval);
+        let mut rng = rng_from_seed(seed);
+        let pts = sampler.sample_many(m, &mut rng);
+        let mut rng = rng_from_seed(seed);
+        let mut flat = Vec::new();
+        sampler.sample_many_into(m, &mut rng, &mut flat);
+        prop_assert_eq!(flat.len(), m);
+        for (p, lane) in pts.iter().zip(&flat) {
+            prop_assert_eq!(p.to_bits(), lane.to_bits());
+        }
+
+        let cube = Hypercube::new(2);
+        let mut tree = complete_tree(4, &counts);
+        enforce_consistency_subtree(&mut tree, &Path::root());
+        let sampler = TreeSampler::new(&tree, &cube);
+        let mut rng = rng_from_seed(seed ^ 0xD2);
+        let pts = sampler.sample_many(m, &mut rng);
+        let mut rng = rng_from_seed(seed ^ 0xD2);
+        let mut flat = Vec::new();
+        sampler.sample_many_into(m, &mut rng, &mut flat);
+        prop_assert_eq!(flat.len(), 2 * m);
+        for (p, row) in pts.iter().zip(flat.chunks_exact(2)) {
+            prop_assert_eq!(p[0].to_bits(), row[0].to_bits());
+            prop_assert_eq!(p[1].to_bits(), row[1].to_bits());
+        }
+    }
+}
