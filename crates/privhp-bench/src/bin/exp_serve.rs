@@ -1,0 +1,61 @@
+//! Served throughput/latency under concurrent load and its perf-baseline
+//! gate.
+//!
+//! Usage:
+//!   `cargo run -p privhp-bench --release --bin exp_serve [-- --smoke]
+//!    [--assert-baseline <file>]`
+//!
+//! Every run writes the flat baseline document
+//! `bench_results/BENCH_serve.json`; with `--assert-baseline <file>` the
+//! run additionally compares itself against the stored baseline and exits
+//! non-zero if any rate metric regressed by more than 40%. The tolerance
+//! is wider than `exp_throughput`'s 25% because these cells cross real
+//! sockets under thread oversubscription — scheduling noise the pure
+//! CPU-bound kernels do not see. The committed reference lives under
+//! `bench_results/baseline/`.
+
+use privhp_bench::experiments::{scale_from_args, serve};
+use privhp_bench::report::{assert_baseline, write_sweep_json};
+use privhp_bench::runner::default_threads;
+use privhp_bench::sweep::run_sweeps;
+
+/// Regression tolerance of the CI gate: >40% below baseline fails.
+const TOLERANCE: f64 = 0.40;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline = args.iter().position(|a| a == "--assert-baseline").map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("--assert-baseline requires a file argument");
+                std::process::exit(2);
+            })
+            .clone()
+    });
+
+    let scale = scale_from_args();
+    let results = run_sweeps(vec![serve::sweep(scale)], default_threads());
+    let result = &results[0];
+    serve::report(result);
+    write_sweep_json(result);
+
+    if let Some(path) = baseline {
+        let path = std::path::Path::new(&path);
+        match assert_baseline(result, path, TOLERANCE) {
+            Ok(regressions) if regressions.is_empty() => {
+                println!("\nbaseline check: PASS (vs {})", path.display());
+            }
+            Ok(regressions) => {
+                eprintln!("\nbaseline check: FAIL (vs {})", path.display());
+                for r in &regressions {
+                    eprintln!("  regression >{:.0}%: {r}", TOLERANCE * 100.0);
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("\nbaseline check: ERROR: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -23,6 +23,7 @@ pub mod epsilon_sweep;
 pub mod memory_sweep;
 pub mod privacy_audit;
 pub mod scaling;
+pub mod serve;
 pub mod sketch_error;
 pub mod skew_sweep;
 pub mod table1;
@@ -132,6 +133,7 @@ pub fn all() -> Vec<Experiment> {
             report: ablation_sketchkind::report,
         },
         Experiment { name: throughput::NAME, build: throughput::sweep, report: throughput::report },
+        Experiment { name: serve::NAME, build: serve::sweep, report: serve::report },
     ]
 }
 

@@ -1,0 +1,262 @@
+//! **exp_serve — served throughput and latency under concurrent load.**
+//!
+//! The serving layer's contract is "millions of users against one release
+//! with zero further privacy cost"; this experiment measures what one
+//! server actually sustains. Each cell boots a real in-process
+//! [`Server`] (worker pool + bounded queue, exactly the production
+//! configuration) on an ephemeral port and drives it with concurrent
+//! [`Client`] threads over real sockets:
+//!
+//! * `bulk/json` — bulk `sample` requests answered in the line-JSON
+//!   encoding (points serialised as a JSON array);
+//! * `bulk/binary` — the same draws over the negotiated binary frame
+//!   (header line + length-prefixed little-endian `f64` payload). Before
+//!   timing, the harness asserts the binary payload is **bit-identical**
+//!   to the JSON path at an equal seed — the encoding is transport, not
+//!   semantics — so the two cells price the serialisation alone;
+//! * `query/point` and `query/cdf` — small closed-form queries, the
+//!   latency-bound rather than bandwidth-bound regime.
+//!
+//! Per-request latency lands in the serve crate's own log-spaced
+//! [`LatencyHistogram`], whose `quantile` estimator yields the reported
+//! p50/p99/p999. Rates feed the cross-PR perf gate: every run rewrites
+//! `bench_results/BENCH_serve.json`, and the `exp_serve` binary's
+//! `--assert-baseline` compares the `*_per_sec` metrics against the
+//! committed reference under `bench_results/baseline/` (wider tolerance
+//! than `exp_throughput` — socket scheduling adds noise CPU-bound
+//! kernels do not have).
+
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use super::Scale;
+use crate::report::Table;
+use crate::sweep::{seed_stream, trial_seed, Cell, Sweep, SweepResult};
+use privhp_core::release::{DomainSpec, ReleaseFile};
+use privhp_core::{PrivHp, PrivHpConfig};
+use privhp_domain::UnitInterval;
+use privhp_dp::rng::{mix64, DeterministicRng};
+use privhp_serve::{
+    oneshot, Client, LatencyHistogram, LoadedRelease, Registry, Server, ServerConfig,
+};
+use privhp_workloads::{GaussianMixture, Workload};
+use rand::SeedableRng;
+use serde::Value;
+
+/// Sweep name.
+pub const NAME: &str = "exp_serve";
+
+const EPSILON: f64 = 1.0;
+const K: usize = 16;
+/// Concurrent client connections; the server pool is sized to match.
+const CLIENTS: usize = 4;
+const BULK_METRICS: [&str; 5] =
+    ["requests_per_sec", "points_per_sec", "p50_us", "p99_us", "p999_us"];
+const QUERY_METRICS: [&str; 4] = ["requests_per_sec", "p50_us", "p99_us", "p999_us"];
+
+/// The request mix a cell drives.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Bulk `sample` over the line-JSON encoding.
+    BulkJson,
+    /// Bulk `sample` over the negotiated binary frame.
+    BulkBinary,
+    /// Closed-form point queries (leaf + mass).
+    Point,
+    /// CDF evaluations.
+    Cdf,
+}
+
+/// The release every cell serves (heavy to build, identical across cells,
+/// so the first trial to run pays for it once).
+type SharedRelease = Arc<OnceLock<ReleaseFile>>;
+
+fn build_release(n: usize, seed: u64) -> ReleaseFile {
+    let mut wl = DeterministicRng::seed_from_u64(mix64(seed ^ 0xDA7A));
+    let data: Vec<f64> = GaussianMixture::three_modes(1).generate(n, &mut wl);
+    let config = PrivHpConfig::for_domain(EPSILON, n, K).with_seed(seed);
+    let mut rng = DeterministicRng::seed_from_u64(mix64(seed ^ 0xBEEF));
+    let g =
+        PrivHp::build(&UnitInterval::new(), config.clone(), data, &mut rng).expect("valid config");
+    ReleaseFile::new(DomainSpec::Interval, config, g.tree().clone())
+}
+
+/// Asserts one served binary draw equals the served JSON draw bit for bit
+/// (untimed; runs before the measured load so a transport bug fails the
+/// experiment rather than skewing it).
+fn assert_bit_identity(addr: &str, n: usize, seed: u64) {
+    let req = format!("{{\"op\":\"sample\",\"release\":\"r\",\"n\":{n},\"seed\":{seed}}}");
+    let line = oneshot(addr, &req).expect("json sample");
+    let parsed = serde_json::parse_value_str(&line).expect("parseable json sample");
+    let json_points: Vec<f64> = parsed
+        .get("points")
+        .and_then(Value::as_array)
+        .expect("points array")
+        .iter()
+        .map(|v| v.as_f64().unwrap())
+        .collect();
+    let mut c = Client::connect(addr).expect("connect");
+    c.set_binary().expect("negotiate binary");
+    let (_, payload) = c.send_expect_payload(&req).expect("binary sample");
+    let lanes = payload.expect("binary payload");
+    assert_eq!(lanes.len(), json_points.len(), "binary/JSON draw lengths differ");
+    for (b, j) in lanes.iter().zip(&json_points) {
+        assert_eq!(b.to_bits(), j.to_bits(), "binary {b} != json {j} at seed {seed}");
+    }
+}
+
+/// Boots a server over `release`, drives it with [`CLIENTS`] concurrent
+/// connections issuing `reqs_per_client` requests each in the given mode,
+/// and returns the cell's metric vector.
+fn measure(
+    release: &ReleaseFile,
+    mode: Mode,
+    n: usize,
+    reqs_per_client: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let registry = Registry::new();
+    registry.insert(LoadedRelease::from_release("r", release.clone()));
+    let config = ServerConfig { workers: CLIENTS, queue_depth: 64, max_sample_n: n.max(1) };
+    let server =
+        Arc::new(Server::bind_with("127.0.0.1:0", registry, config).expect("bind ephemeral port"));
+    let addr = server.local_addr().to_string();
+    let runner = Arc::clone(&server);
+    let server_thread = std::thread::spawn(move || runner.run());
+
+    if mode == Mode::BulkBinary {
+        assert_bit_identity(&addr, n.min(256), mix64(seed ^ 0x1DE7));
+    }
+
+    let hist = LatencyHistogram::new();
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let (addr, hist) = (&addr, &hist);
+            scope.spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                if mode == Mode::BulkBinary {
+                    c.set_binary().expect("negotiate binary");
+                }
+                for i in 0..reqs_per_client {
+                    let rseed = mix64(seed ^ ((client as u64) << 32) ^ i as u64);
+                    let req = match mode {
+                        Mode::BulkJson | Mode::BulkBinary => format!(
+                            "{{\"op\":\"sample\",\"release\":\"r\",\"n\":{n},\"seed\":{rseed}}}"
+                        ),
+                        Mode::Point => {
+                            let x = (rseed >> 11) as f64 / (1u64 << 53) as f64;
+                            format!("{{\"op\":\"query\",\"release\":\"r\",\"point\":{x}}}")
+                        }
+                        Mode::Cdf => {
+                            let x = (rseed >> 11) as f64 / (1u64 << 53) as f64;
+                            format!("{{\"op\":\"cdf\",\"release\":\"r\",\"x\":{x}}}")
+                        }
+                    };
+                    let t = Instant::now();
+                    if mode == Mode::BulkBinary {
+                        let (header, payload) =
+                            c.send_expect_payload(&req).expect("binary response");
+                        let lanes = payload.unwrap_or_else(|| panic!("no payload: {header}"));
+                        assert_eq!(lanes.len(), n, "whole draw expected");
+                    } else {
+                        let line = c.send(&req).expect("response");
+                        assert!(line.starts_with("{\"ok\":true"), "request failed: {line}");
+                    }
+                    hist.record(t.elapsed());
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64().max(1e-9);
+    let _ = oneshot(&addr, "{\"op\":\"shutdown\"}");
+    server_thread.join().expect("serve loop exits");
+
+    let requests = (CLIENTS * reqs_per_client) as f64;
+    let mut metrics = vec![requests / wall];
+    if matches!(mode, Mode::BulkJson | Mode::BulkBinary) {
+        metrics.push(requests * n as f64 / wall);
+    }
+    metrics.extend([hist.quantile(0.50), hist.quantile(0.99), hist.quantile(0.999)]);
+    metrics
+}
+
+/// Declares the four exclusive load cells. The full-scale bulk draw is
+/// n = 2^20 points per request — past the protocol's default cap, so the
+/// server is booted with a raised `max_sample_n` exactly as a production
+/// deployment would pass `--max-sample-n`.
+pub fn sweep(scale: Scale) -> Sweep {
+    let bulk_exp = scale.pick(20, 12);
+    let data_exp = scale.pick(16, 11);
+    let n_bulk = 1usize << bulk_exp;
+    let bulk_reqs = scale.pick(6, 4);
+    let query_reqs = scale.pick(4096, 128);
+    let n_data = 1usize << data_exp;
+    let trials = scale.trials(3);
+    let stream = seed_stream(NAME, &[]);
+    let shared: SharedRelease = Arc::new(OnceLock::new());
+
+    // Labels carry the sizes so smoke- and full-scale cells land as
+    // distinct entries in the merged committed baseline (the same scheme
+    // exp_throughput uses) — `assert_baseline` then only ever compares a
+    // run against baseline cells of its own scale.
+    let mut sweep = Sweep::new(NAME);
+    for (label, mode, reqs, metrics) in [
+        (format!("bulk/json/n=2^{bulk_exp}"), Mode::BulkJson, bulk_reqs, &BULK_METRICS[..]),
+        (format!("bulk/binary/n=2^{bulk_exp}"), Mode::BulkBinary, bulk_reqs, &BULK_METRICS[..]),
+        (format!("query/point/data=2^{data_exp}"), Mode::Point, query_reqs, &QUERY_METRICS[..]),
+        (format!("query/cdf/data=2^{data_exp}"), Mode::Cdf, query_reqs, &QUERY_METRICS[..]),
+    ] {
+        let shared = Arc::clone(&shared);
+        let mut cell = Cell::new(label, trials, metrics, move |ctx| {
+            let release =
+                ctx.shared_setup(&shared, || build_release(n_data, trial_seed(stream, 0)));
+            measure(release, mode, n_bulk, reqs, ctx.seed)
+        })
+        .with_param("clients", CLIENTS)
+        .with_param("requests_per_client", reqs)
+        .with_param("n_data", n_data)
+        .with_param("epsilon", EPSILON)
+        .with_param("k", K)
+        .exclusive();
+        if matches!(mode, Mode::BulkJson | Mode::BulkBinary) {
+            cell = cell.with_param("n", n_bulk);
+        }
+        sweep.cell(cell);
+    }
+    sweep
+}
+
+/// Prints the served-load table and refreshes
+/// `bench_results/BENCH_serve.json`.
+pub fn report(result: &SweepResult) {
+    println!(
+        "== Served load: {CLIENTS} concurrent clients against one worker-pool server \
+         (eps={EPSILON}, k={K}) ==\n"
+    );
+    let mut table = Table::new(&["cell", "req/s", "points/s", "p50 us", "p99 us", "p999 us"]);
+    for cell in &result.cells {
+        let points = if cell.metrics.contains(&"points_per_sec") {
+            format!("{:.0}", cell.summary("points_per_sec").mean)
+        } else {
+            "-".into()
+        };
+        table.row(vec![
+            cell.label.clone(),
+            format!("{:.1}", cell.summary("requests_per_sec").mean),
+            points,
+            format!("{:.0}", cell.summary("p50_us").mean),
+            format!("{:.0}", cell.summary("p99_us").mean),
+            format!("{:.0}", cell.summary("p999_us").mean),
+        ]);
+    }
+    table.print();
+    println!("\nbulk cells draw the same seeded points over both encodings (asserted");
+    println!("bit-identical before timing); the binary frame skips JSON number");
+    println!("formatting/parsing, so its points/s advantage is pure serialisation cost.");
+    println!("query cells are latency-bound: tiny frames, closed-form answers.");
+    println!("Quantiles come from the server-side log-spaced latency histogram.");
+    println!("Compare across PRs via bench_results/BENCH_serve.json; the committed");
+    println!("reference lives in bench_results/baseline/ (see README \"Serving\").");
+    crate::report::write_baseline_json(result);
+}

@@ -72,6 +72,10 @@ pub enum Command {
         addr: String,
         /// Releases to preload, as `(name, path)` pairs.
         releases: Vec<(String, String)>,
+        /// Worker-pool size (`None` = available parallelism).
+        workers: Option<usize>,
+        /// Per-request sample cap (`None` = the protocol default).
+        max_sample_n: Option<usize>,
     },
     /// `privhp client` — send one request to a running server.
     Client {
@@ -79,6 +83,8 @@ pub enum Command {
         addr: String,
         /// The request frame to send (`-` to read it from stdin).
         request: String,
+        /// Negotiate the binary bulk-sample encoding before sending.
+        binary: bool,
     },
     /// `privhp help` / `--help`.
     Help,
@@ -228,6 +234,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
         "serve" => {
             let mut addr: Option<String> = None;
             let mut releases: Vec<(String, String)> = Vec::new();
+            let mut workers: Option<usize> = None;
+            let mut max_sample_n: Option<usize> = None;
             let mut i = 1;
             while i < args.len() {
                 let t = &args[i];
@@ -253,17 +261,46 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                         }
                         releases.push((n.to_string(), p.to_string()));
                     }
+                    "workers" => {
+                        let w = parse_usize("workers", value)?;
+                        if w == 0 {
+                            return Err(err("--workers must be at least 1"));
+                        }
+                        if workers.replace(w).is_some() {
+                            return Err(err("flag --workers given twice"));
+                        }
+                    }
+                    "max-sample-n" => {
+                        let cap = parse_usize("max-sample-n", value)?;
+                        if cap == 0 {
+                            return Err(err("--max-sample-n must be at least 1"));
+                        }
+                        if max_sample_n.replace(cap).is_some() {
+                            return Err(err("flag --max-sample-n given twice"));
+                        }
+                    }
                     other => return Err(err(format!("unknown serve flag --{other}"))),
                 }
                 i += 2;
             }
-            Ok(Command::Serve { addr: addr.ok_or_else(|| err("missing required flag --addr"))?, releases })
+            Ok(Command::Serve {
+                addr: addr.ok_or_else(|| err("missing required flag --addr"))?,
+                releases,
+                workers,
+                max_sample_n,
+            })
         }
         "client" => {
             let map = flag_map(&args[1..])?;
+            let binary = match take_or(&map, "format", "json") {
+                "json" => false,
+                "binary" => true,
+                other => return Err(err(format!("--format: expected json|binary, got '{other}'"))),
+            };
             Ok(Command::Client {
                 addr: take(&map, "addr")?.to_string(),
                 request: take(&map, "json")?.to_string(),
+                binary,
             })
         }
         other => Err(err(format!(
@@ -285,7 +322,8 @@ USAGE:
   privhp query     --release release.json (--range a,b | --cdf x | --quantile q | --mean true)
   privhp info      --release release.json
   privhp serve     --addr 127.0.0.1:4750 [--release name=release.json]...
-  privhp client    --addr 127.0.0.1:4750 --json '{\"op\":\"list\"}'
+                   [--workers N] [--max-sample-n N]
+  privhp client    --addr 127.0.0.1:4750 --json '{\"op\":\"list\"}' [--format json|binary]
 
 Input CSV: one point per line. interval: a single value in [0,1];
 cube:D: D comma-separated values in [0,1]; ipv4: dotted-quad addresses.
@@ -293,9 +331,14 @@ The CSV is ingested in batches; --threads N shards the stream across N
 ingest workers and merges (same release bytes as --threads 1).
 continual builds through the continual-observation mechanism instead of
 the 1-pass builder (releasable at any checkpoint; horizon 2^H items).
-serve answers sample/query/cdf/info/list/stats/load/shutdown requests as
-line-delimited JSON over TCP; client sends one request frame (--json - to
-read it from stdin) and prints the one-line reply.
+serve answers sample/query/cdf/info/list/stats/load/format/shutdown
+requests as line-delimited JSON over TCP through a bounded worker pool
+(--workers, default = available parallelism); when the connection queue is
+full, newcomers get a structured busy error instead of waiting. Bulk
+sample requests are capped at --max-sample-n points (default 1000000).
+client sends one request frame (--json - to read it from stdin) and
+prints the one-line reply; --format binary negotiates the binary
+bulk-sample frame and prints the decoded (JSON-identical) points.
 The release file is eps-differentially private; querying and sampling it
 costs no further privacy budget.";
 
@@ -469,7 +512,7 @@ mod tests {
         ]))
         .unwrap();
         match cmd {
-            Command::Serve { addr, releases } => {
+            Command::Serve { addr, releases, workers, max_sample_n } => {
                 assert_eq!(addr, "127.0.0.1:0");
                 assert_eq!(
                     releases,
@@ -478,6 +521,8 @@ mod tests {
                         ("b".to_string(), "b.json".to_string())
                     ]
                 );
+                assert_eq!(workers, None, "workers defaults to available parallelism");
+                assert_eq!(max_sample_n, None, "cap defaults to the protocol limit");
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -486,6 +531,31 @@ mod tests {
             parse_args(&v(&["serve", "--addr", "127.0.0.1:0"])).unwrap(),
             Command::Serve { releases, .. } if releases.is_empty()
         ));
+    }
+
+    #[test]
+    fn parses_serve_pool_flags() {
+        let cmd = parse_args(&v(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "8",
+            "--max-sample-n",
+            "2097152",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Serve { workers: Some(8), max_sample_n: Some(2_097_152), .. }
+        ));
+        let e = parse_args(&v(&["serve", "--addr", "x", "--workers", "0"])).unwrap_err();
+        assert!(e.0.contains("at least 1"), "{}", e.0);
+        let e = parse_args(&v(&["serve", "--addr", "x", "--max-sample-n", "0"])).unwrap_err();
+        assert!(e.0.contains("at least 1"), "{}", e.0);
+        let e = parse_args(&v(&["serve", "--addr", "x", "--workers", "2", "--workers", "3"]))
+            .unwrap_err();
+        assert!(e.0.contains("twice"), "{}", e.0);
     }
 
     #[test]
@@ -509,14 +579,25 @@ mod tests {
             parse_args(&v(&["client", "--addr", "127.0.0.1:4750", "--json", "{\"op\":\"list\"}"]))
                 .unwrap();
         match cmd {
-            Command::Client { addr, request } => {
+            Command::Client { addr, request, binary } => {
                 assert_eq!(addr, "127.0.0.1:4750");
                 assert_eq!(request, "{\"op\":\"list\"}");
+                assert!(!binary, "format defaults to json");
             }
             other => panic!("wrong command {other:?}"),
         }
         let e = parse_args(&v(&["client", "--addr", "x"])).unwrap_err();
         assert!(e.0.contains("--json"), "{}", e.0);
+    }
+
+    #[test]
+    fn parses_client_format() {
+        let base =
+            |fmt: &str| parse_args(&v(&["client", "--addr", "x", "--json", "{}", "--format", fmt]));
+        assert!(matches!(base("binary").unwrap(), Command::Client { binary: true, .. }));
+        assert!(matches!(base("json").unwrap(), Command::Client { binary: false, .. }));
+        let e = base("yaml").unwrap_err();
+        assert!(e.0.contains("json|binary"), "{}", e.0);
     }
 
     #[test]

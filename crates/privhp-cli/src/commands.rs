@@ -13,7 +13,8 @@ use privhp_core::{
 };
 use privhp_domain::{HierarchicalDomain, Hypercube, Ipv4Space, UnitInterval};
 use privhp_dp::rng::rng_from_seed;
-use privhp_serve::{LoadedRelease, Registry, Server};
+use privhp_serve::{Client, LoadedRelease, Registry, Server, ServerConfig};
+use serde::Value;
 
 use crate::args::QueryKind;
 use crate::csvio;
@@ -211,12 +212,24 @@ pub fn run_continual(
 /// Runs `privhp serve`: loads the named releases, binds, prints one
 /// ready line (so scripts know the port is live), and blocks until a
 /// `shutdown` request. Returns the post-shutdown summary line.
-pub fn run_serve(addr: &str, releases: &[(String, String)]) -> Result<String, String> {
+pub fn run_serve(
+    addr: &str,
+    releases: &[(String, String)],
+    workers: Option<usize>,
+    max_sample_n: Option<usize>,
+) -> Result<String, String> {
     let registry = Registry::new();
     for (name, path) in releases {
         registry.insert(LoadedRelease::load(name, path)?);
     }
-    let server = Server::bind(addr, registry).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        workers: workers.unwrap_or(defaults.workers),
+        max_sample_n: max_sample_n.unwrap_or(defaults.max_sample_n),
+        ..defaults
+    };
+    let server = Server::bind_with(addr, registry, config)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     println!(
         "privhp serve: {} release(s) loaded, listening on {}",
         server.registry().len(),
@@ -228,8 +241,45 @@ pub fn run_serve(addr: &str, releases: &[(String, String)]) -> Result<String, St
 }
 
 /// Runs `privhp client`: one request frame in, one response line out.
-pub fn run_client(addr: &str, request: &str) -> Result<String, String> {
-    Ok(format!("{}\n", privhp_serve::oneshot(addr, request)?))
+/// With `binary`, the connection negotiates the binary bulk-sample
+/// encoding first and any returned payload is decoded back into the
+/// exact line the JSON encoding would have produced, so scripts can diff
+/// the two paths byte for byte.
+pub fn run_client(addr: &str, request: &str, binary: bool) -> Result<String, String> {
+    if !binary {
+        return Ok(format!("{}\n", privhp_serve::oneshot(addr, request)?));
+    }
+    let mut client = Client::connect(addr)?;
+    client.set_binary()?;
+    let (header, payload) = client.send_expect_payload(request)?;
+    let Some(lanes) = payload else {
+        return Ok(format!("{header}\n"));
+    };
+    let parsed = serde_json::parse_value_str(&header)
+        .map_err(|e| format!("unparseable sample header '{header}': {e}"))?;
+    let Value::Object(fields) = parsed else {
+        return Err(format!("sample header is not an object: {header}"));
+    };
+    let lookup = |key: &str| {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("sample header is missing '{key}': {header}"))
+    };
+    let domain =
+        lookup("domain")?.as_str().ok_or_else(|| format!("bad domain in header: {header}"))?;
+    let lane_count =
+        lookup("lanes")?.as_u64().ok_or_else(|| format!("bad lane count in header: {header}"))?;
+    let points = privhp_serve::protocol::points_value(domain, lane_count as usize, &lanes)?;
+    // Re-emit the header minus the binary-only fields, with the decoded
+    // points appended — field order matches the server's JSON encoding.
+    let mut json_fields: Vec<(String, Value)> = fields
+        .into_iter()
+        .filter(|(k, _)| !matches!(k.as_str(), "encoding" | "domain" | "lanes"))
+        .collect();
+    json_fields.push(("points".to_string(), points));
+    Ok(format!("{}\n", serde_json::value_to_string(&Value::Object(json_fields))))
 }
 
 /// Shared sampling pipeline: a release's tree viewed through the

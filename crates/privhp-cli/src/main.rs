@@ -49,11 +49,13 @@ fn run(args: &[String]) -> Result<String, String> {
             std::fs::write(&output, &json).map_err(|e| format!("cannot write {output}: {e}"))?;
             Ok(format!("continual release written to {output}\n"))
         }
-        Command::Serve { addr, releases } => commands::run_serve(&addr, &releases),
-        Command::Client { addr, request } => {
+        Command::Serve { addr, releases, workers, max_sample_n } => {
+            commands::run_serve(&addr, &releases, workers, max_sample_n)
+        }
+        Command::Client { addr, request, binary } => {
             // `--json -` reads the request frame from stdin.
             let frame = if request == "-" { read_input("-")? } else { request };
-            commands::run_client(&addr, &frame)
+            commands::run_client(&addr, &frame, binary)
         }
     }
 }

@@ -1,11 +1,18 @@
 //! A minimal blocking client: send one request line, read one response
-//! line. Used by `privhp client`, the CI smoke pipeline, and the protocol
-//! tests; any language that can speak line-delimited JSON over TCP works
-//! just as well.
+//! line. Used by `privhp client`, the CI smoke pipeline, the `exp_serve`
+//! load generator, and the protocol tests; any language that can speak
+//! line-delimited JSON over TCP works just as well. For bulk draws the
+//! client can negotiate the binary sample frame ([`Client::set_binary`])
+//! and decode its length-prefixed `f64` payload
+//! ([`Client::send_expect_payload`]).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
+
+use serde::Value;
+
+use crate::protocol::read_binary_payload;
 
 /// Default time to wait for a response line before giving up.
 pub const RESPONSE_TIMEOUT: Duration = Duration::from_secs(30);
@@ -26,6 +33,9 @@ impl Client {
         stream
             .set_read_timeout(Some(RESPONSE_TIMEOUT))
             .map_err(|e| format!("cannot set timeout: {e}"))?;
+        // Request frames are one small line each; Nagle + delayed ACK
+        // would serialise request/response pairs at ~40ms apiece.
+        let _ = stream.set_nodelay(true);
         let reader =
             BufReader::new(stream.try_clone().map_err(|e| format!("cannot clone stream: {e}"))?);
         Ok(Self { reader, writer: stream })
@@ -48,6 +58,44 @@ impl Client {
             Ok(_) => Ok(response.trim_end().to_string()),
             Err(e) => Err(format!("cannot read response: {e}")),
         }
+    }
+
+    /// Negotiates the binary `sample` encoding on this connection; after
+    /// it succeeds, send `sample` requests through
+    /// [`Client::send_expect_payload`].
+    pub fn set_binary(&mut self) -> Result<(), String> {
+        let line = self.send("{\"op\":\"format\",\"encoding\":\"binary\"}")?;
+        let v = serde_json::parse_value_str(&line)
+            .map_err(|e| format!("unparseable format response '{line}': {e}"))?;
+        if v.get("ok").and_then(Value::as_bool) == Some(true) {
+            Ok(())
+        } else {
+            Err(format!("format negotiation refused: {line}"))
+        }
+    }
+
+    /// Sends one request on a (possibly) binary-negotiated connection.
+    /// Returns the one-line response header verbatim plus, when the header
+    /// announces `"encoding":"binary"`, the decoded flat `f64` lane
+    /// payload that followed it (`None` for ordinary JSON responses,
+    /// errors included).
+    pub fn send_expect_payload(
+        &mut self,
+        request_line: &str,
+    ) -> Result<(String, Option<Vec<f64>>), String> {
+        let header = self.send(request_line)?;
+        let v = serde_json::parse_value_str(&header)
+            .map_err(|e| format!("unparseable response header '{header}': {e}"))?;
+        // Only a successful `sample` header is followed by a payload (the
+        // `format` ack also carries an `encoding` field, but no payload).
+        let binary_sample = v.get("ok").and_then(Value::as_bool) == Some(true)
+            && v.get("op").and_then(Value::as_str) == Some("sample")
+            && v.get("encoding").and_then(Value::as_str) == Some("binary");
+        if !binary_sample {
+            return Ok((header, None));
+        }
+        let lanes = read_binary_payload(&mut self.reader)?;
+        Ok((header, Some(lanes)))
     }
 }
 

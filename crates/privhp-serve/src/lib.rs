@@ -17,15 +17,23 @@
 //!   after load, so all request handling is lock-free once the handler has
 //!   cloned its `Arc` out of the map;
 //! * [`protocol`] — the frame format: requests `sample` / `query` / `cdf`
-//!   / `info` / `list` / `stats` / `load` / `shutdown`, one JSON object
-//!   per line each way, malformed frames answered with structured errors;
-//! * [`server`] — the accept loop: one scoped thread per connection
-//!   (std-only, like the bench runner), shared atomic counters, graceful
-//!   shutdown via flag + listener wake-up;
-//! * [`stats`] — relaxed atomic request/error/points counters and a
-//!   request-latency histogram, served by the `stats` op;
+//!   / `info` / `list` / `stats` / `load` / `format` / `shutdown`, one
+//!   JSON object per line each way, malformed frames answered with
+//!   structured errors, plus the negotiated binary bulk-sample frame (a
+//!   JSON header line followed by a length-prefixed little-endian `f64`
+//!   payload);
+//! * [`server`] — the accept loop feeding a bounded worker pool through a
+//!   bounded connection queue (std-only, like the bench runner); when the
+//!   queue is full newcomers are shed with a structured `busy` frame
+//!   instead of blocking accept or spawning unboundedly. Shared atomic
+//!   counters, graceful shutdown via flag + listener wake-up;
+//! * [`stats`] — relaxed atomic request/error/points/shed counters and a
+//!   log-spaced request-latency histogram with a quantile estimator,
+//!   served by the `stats` op;
 //! * [`client`] — the blocking one-line-in, one-line-out client the
-//!   `privhp client` subcommand and the CI smoke pipeline use.
+//!   `privhp client` subcommand, the CI smoke pipeline and the
+//!   `exp_serve` load generator use; it also negotiates and decodes the
+//!   binary sample frame.
 //!
 //! Determinism: `sample` responses are a pure function of `(release
 //! bytes, n, seed)` — the per-request seed is whitened exactly as the
@@ -43,5 +51,5 @@ pub mod stats;
 pub use client::{oneshot, Client};
 pub use protocol::{parse_request, Probe, Request};
 pub use registry::{LoadedRelease, Registry};
-pub use server::Server;
-pub use stats::ServerStats;
+pub use server::{Server, ServerConfig};
+pub use stats::{LatencyHistogram, ServerStats};

@@ -1,12 +1,14 @@
-//! The wire protocol: one JSON object per line, in both directions.
+//! The wire protocol: one JSON object per line, in both directions — plus
+//! an opt-in binary payload for bulk `sample` responses.
 //!
 //! Every request names an operation in its `op` field; every response is a
 //! single-line JSON object whose `ok` field says whether the request
 //! succeeded. Successful responses echo the `op` and carry op-specific
-//! payload fields; failures carry a human-readable `error` string. A frame
-//! that fails to parse, names an unknown op, or is missing fields is
-//! answered with an error frame — the connection (and the listener) stay
-//! up, so one bad client request can never take the server down.
+//! payload fields; failures carry a human-readable `error` string and,
+//! where a client can act on it, a machine-readable `code`. A frame that
+//! fails to parse, names an unknown op, or is missing fields is answered
+//! with an error frame — the connection (and the listener) stay up, so one
+//! bad client request can never take the server down.
 //!
 //! Requests:
 //!
@@ -18,14 +20,39 @@
 //! {"op":"list"}
 //! {"op":"stats"}
 //! {"op":"load","name":NAME,"path":PATH}
+//! {"op":"format","encoding":"binary"|"json"}
 //! {"op":"shutdown"}
 //! ```
+//!
+//! # Binary sample frames
+//!
+//! Requests are always JSON lines. After a connection negotiates
+//! `{"op":"format","encoding":"binary"}`, **successful `sample` responses**
+//! on that connection switch to a two-part frame:
+//!
+//! ```text
+//! {"ok":true,"op":"sample","release":R,"n":N,"seed":S,
+//!  "encoding":"binary","domain":D,"lanes":L}\n
+//! <8-byte little-endian u64: payload byte count = N·L·8>
+//! <N·L little-endian f64 lane values, row-major>
+//! ```
+//!
+//! The payload is the release sampler's flat `sample_many_into` buffer
+//! verbatim — `lanes` values per point (1 for interval, `dim` for cube, 1
+//! for ipv4 where the lane holds the address as an integral `f64`) — so a
+//! decoded binary draw is bit-identical to the JSON `points` array at the
+//! same seed. Every other response (errors included, even for `sample`)
+//! stays a one-line JSON frame.
 
+use std::io::{Read, Write};
+
+use privhp_domain::Ipv4Space;
 use serde::Value;
 
-/// Hard cap on `sample` batch size per request; larger draws should be
-/// split across requests (each carries its own seed, so pagination is
-/// deterministic anyway).
+/// Default cap on `sample` batch size per request (`--max-sample-n`
+/// raises or lowers it per server); larger draws should be split across
+/// requests (each carries its own seed, so pagination is deterministic
+/// anyway).
 pub const MAX_SAMPLE_N: usize = 1_000_000;
 
 /// Closed-form probes supported by the `query` op (interval releases).
@@ -83,6 +110,11 @@ pub enum Request {
         /// Path to the release JSON on the server's filesystem.
         path: String,
     },
+    /// Switch this connection's `sample` response encoding.
+    Format {
+        /// `true` selects the binary bulk-sample frame, `false` JSON.
+        binary: bool,
+    },
     /// Stop accepting connections and exit the serve loop.
     Shutdown,
 }
@@ -90,7 +122,8 @@ pub enum Request {
 /// Every op name, in a fixed order ([`ServerStats`] counts per index).
 ///
 /// [`ServerStats`]: crate::stats::ServerStats
-pub const OPS: [&str; 8] = ["sample", "query", "cdf", "info", "list", "stats", "load", "shutdown"];
+pub const OPS: [&str; 9] =
+    ["sample", "query", "cdf", "info", "list", "stats", "load", "format", "shutdown"];
 
 impl Request {
     /// The request's op name (an entry of [`OPS`]).
@@ -103,6 +136,7 @@ impl Request {
             Request::List => "list",
             Request::Stats => "stats",
             Request::Load { .. } => "load",
+            Request::Format { .. } => "format",
             Request::Shutdown => "shutdown",
         }
     }
@@ -130,7 +164,9 @@ fn f64_field(v: &Value, name: &str) -> Result<f64, String> {
     v.get(name).and_then(Value::as_f64).ok_or_else(|| format!("missing number field '{name}'"))
 }
 
-/// Parses one request line. Errors are client-facing messages.
+/// Parses one request line. Errors are client-facing messages. The sample
+/// cap is *not* enforced here — it is a per-server limit the server checks
+/// against its configured value (see [`ErrorReply::sample_cap`]).
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let v = serde_json::parse_value_str(line).map_err(|e| format!("invalid JSON: {e}"))?;
     if !matches!(v, Value::Object(_)) {
@@ -138,17 +174,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     }
     let op = v.get("op").and_then(Value::as_str).ok_or("missing string field 'op'")?;
     match op {
-        "sample" => {
-            let n = u64_field(&v, "n")? as usize;
-            if n > MAX_SAMPLE_N {
-                return Err(format!("n={n} exceeds the per-request cap {MAX_SAMPLE_N}"));
-            }
-            Ok(Request::Sample {
-                release: str_field(&v, "release")?,
-                n,
-                seed: u64_field(&v, "seed")?,
-            })
-        }
+        "sample" => Ok(Request::Sample {
+            release: str_field(&v, "release")?,
+            n: u64_field(&v, "n")? as usize,
+            seed: u64_field(&v, "seed")?,
+        }),
         "query" => {
             let release = str_field(&v, "release")?;
             let probe = if let Some(r) = v.get("range") {
@@ -175,9 +205,76 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "list" => Ok(Request::List),
         "stats" => Ok(Request::Stats),
         "load" => Ok(Request::Load { name: str_field(&v, "name")?, path: str_field(&v, "path")? }),
+        "format" => match str_field(&v, "encoding")?.as_str() {
+            "binary" => Ok(Request::Format { binary: true }),
+            "json" => Ok(Request::Format { binary: false }),
+            other => Err(format!("unknown encoding '{other}' (expected binary | json)")),
+        },
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op '{other}' (expected one of {})", OPS.join(" | "))),
     }
+}
+
+/// A failed request: the human-readable message plus an optional
+/// machine-readable `code` and extra structured fields (e.g. the effective
+/// cap on a `sample_cap` rejection).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorReply {
+    /// Human-readable message (the `error` field).
+    pub message: String,
+    /// Machine-readable code (the `code` field), when a client can act on
+    /// the failure class.
+    pub code: Option<&'static str>,
+    /// Extra structured fields appended to the frame.
+    pub extra: Vec<(&'static str, Value)>,
+}
+
+impl From<String> for ErrorReply {
+    fn from(message: String) -> Self {
+        Self { message, code: None, extra: Vec::new() }
+    }
+}
+
+impl ErrorReply {
+    /// The structured rejection for a `sample` request whose `n` exceeds
+    /// the server's configured cap: names the cap in both the message and
+    /// a `cap` field, under code `sample_cap`.
+    pub fn sample_cap(n: usize, cap: usize) -> Self {
+        Self {
+            message: format!(
+                "n={n} exceeds the per-request sample cap {cap} \
+                 (split the draw across seeded requests, or raise --max-sample-n)"
+            ),
+            code: Some("sample_cap"),
+            extra: vec![("cap", Value::UInt(cap as u64))],
+        }
+    }
+
+    /// Serialises the one-line error frame:
+    /// `{"ok":false,"error":...[,"code":...,<extra>]}`.
+    pub fn frame(&self) -> String {
+        let mut obj = vec![
+            ("ok".to_string(), Value::Bool(false)),
+            ("error".to_string(), Value::String(self.message.clone())),
+        ];
+        if let Some(code) = self.code {
+            obj.push(("code".to_string(), Value::String(code.into())));
+        }
+        obj.extend(self.extra.iter().map(|(k, v)| (k.to_string(), v.clone())));
+        frame(Value::Object(obj))
+    }
+}
+
+/// The load-shed frame an over-capacity server answers (and then closes
+/// the connection): `code` is `busy` so clients can tell backpressure from
+/// a request-level failure and retry elsewhere/later.
+pub fn busy_frame() -> String {
+    ErrorReply {
+        message: "server busy: connection queue full, try again".into(),
+        code: Some("busy"),
+        extra: Vec::new(),
+    }
+    .frame()
 }
 
 /// Builds a one-line success frame: `{"ok":true,"op":...,<fields>}`.
@@ -190,10 +287,7 @@ pub fn ok_frame(op: &str, fields: Vec<(&str, Value)>) -> String {
 
 /// Builds a one-line error frame: `{"ok":false,"error":...}`.
 pub fn error_frame(message: &str) -> String {
-    frame(Value::Object(vec![
-        ("ok".to_string(), Value::Bool(false)),
-        ("error".to_string(), Value::String(message.into())),
-    ]))
+    ErrorReply::from(message.to_string()).frame()
 }
 
 /// Serialises a value compactly — the compact writer emits no raw
@@ -202,6 +296,78 @@ pub fn error_frame(message: &str) -> String {
 /// a 1M-point sample response is a large tree).
 fn frame(v: Value) -> String {
     serde_json::value_to_string(&v)
+}
+
+// ---- binary sample payload --------------------------------------------------
+
+/// Encode chunk size: 1024 f64 lanes (8 KiB) per `write_all`, so a 1M-point
+/// payload streams through a small stack buffer instead of materialising an
+/// 8 MB byte vector.
+const BINARY_CHUNK_LANES: usize = 1024;
+
+/// Writes the binary sample payload: an 8-byte little-endian byte count
+/// (`lanes.len() * 8`) followed by each `f64` lane in little-endian byte
+/// order, straight from the flat sample buffer.
+pub fn write_binary_payload<W: Write>(w: &mut W, lanes: &[f64]) -> std::io::Result<()> {
+    w.write_all(&((lanes.len() as u64) * 8).to_le_bytes())?;
+    let mut buf = [0u8; BINARY_CHUNK_LANES * 8];
+    for chunk in lanes.chunks(BINARY_CHUNK_LANES) {
+        for (lane, out) in chunk.iter().zip(buf.chunks_exact_mut(8)) {
+            out.copy_from_slice(&lane.to_le_bytes());
+        }
+        w.write_all(&buf[..chunk.len() * 8])?;
+    }
+    Ok(())
+}
+
+/// Reads a binary sample payload written by [`write_binary_payload`]:
+/// the length prefix, then exactly that many bytes decoded as little-endian
+/// `f64` lanes.
+pub fn read_binary_payload<R: Read>(r: &mut R) -> Result<Vec<f64>, String> {
+    let mut prefix = [0u8; 8];
+    r.read_exact(&mut prefix).map_err(|e| format!("cannot read payload length: {e}"))?;
+    let bytes = u64::from_le_bytes(prefix);
+    if bytes % 8 != 0 {
+        return Err(format!("payload length {bytes} is not a whole number of f64 lanes"));
+    }
+    let n_lanes = (bytes / 8) as usize;
+    let mut lanes = Vec::with_capacity(n_lanes);
+    let mut buf = [0u8; BINARY_CHUNK_LANES * 8];
+    let mut remaining = bytes as usize;
+    while remaining > 0 {
+        let take = remaining.min(buf.len());
+        r.read_exact(&mut buf[..take]).map_err(|e| format!("cannot read payload: {e}"))?;
+        lanes.extend(
+            buf[..take].chunks_exact(8).map(|b| {
+                f64::from_le_bytes(b.try_into().expect("chunks_exact yields 8-byte slices"))
+            }),
+        );
+        remaining -= take;
+    }
+    Ok(lanes)
+}
+
+/// Renders a flat row-major lane buffer as the JSON `points` array for a
+/// domain tag (`interval` | `cube` | `ipv4`, as carried by binary sample
+/// headers): interval points as numbers, cube points as coordinate arrays,
+/// IPv4 points as dotted-quad strings. Shared by the server's JSON sample
+/// path and the client-side binary decoder, so the two renderings agree
+/// bit-for-bit by construction.
+pub fn points_value(domain: &str, lanes: usize, flat: &[f64]) -> Result<Value, String> {
+    if lanes == 0 || !flat.len().is_multiple_of(lanes) {
+        return Err(format!("payload of {} lanes is not whole {lanes}-lane rows", flat.len()));
+    }
+    let rows = flat.chunks_exact(lanes);
+    match domain {
+        "interval" if lanes == 1 => Ok(Value::Array(rows.map(|r| Value::Float(r[0])).collect())),
+        "cube" => Ok(Value::Array(
+            rows.map(|r| Value::Array(r.iter().map(|x| Value::Float(*x)).collect())).collect(),
+        )),
+        "ipv4" if lanes == 1 => Ok(Value::Array(
+            rows.map(|r| Value::String(Ipv4Space::format_addr(r[0] as u32))).collect(),
+        )),
+        other => Err(format!("unknown domain '{other}' for a {lanes}-lane payload")),
+    }
 }
 
 #[cfg(test)]
@@ -221,6 +387,8 @@ mod tests {
             ("{\"op\":\"list\"}", "list"),
             ("{\"op\":\"stats\"}", "stats"),
             ("{\"op\":\"load\",\"name\":\"n\",\"path\":\"/tmp/r.json\"}", "load"),
+            ("{\"op\":\"format\",\"encoding\":\"binary\"}", "format"),
+            ("{\"op\":\"format\",\"encoding\":\"json\"}", "format"),
             ("{\"op\":\"shutdown\"}", "shutdown"),
         ];
         for (line, op) in cases {
@@ -228,6 +396,14 @@ mod tests {
             assert_eq!(req.op(), op, "{line}");
             assert!(op_index(req.op()).is_some());
         }
+        assert_eq!(
+            parse_request("{\"op\":\"format\",\"encoding\":\"binary\"}").unwrap(),
+            Request::Format { binary: true }
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"format\",\"encoding\":\"json\"}").unwrap(),
+            Request::Format { binary: false }
+        );
     }
 
     #[test]
@@ -244,6 +420,8 @@ mod tests {
             ("{\"op\":\"query\",\"release\":\"r\",\"range\":[0.1]}", "[a,b]"),
             ("{\"op\":\"cdf\",\"release\":\"r\"}", "'x'"),
             ("{\"op\":\"load\",\"name\":\"n\"}", "'path'"),
+            ("{\"op\":\"format\"}", "'encoding'"),
+            ("{\"op\":\"format\",\"encoding\":\"msgpack\"}", "unknown encoding"),
         ] {
             let e = parse_request(line).unwrap_err();
             assert!(e.contains(needle), "{line}: expected '{needle}' in '{e}'");
@@ -251,12 +429,29 @@ mod tests {
     }
 
     #[test]
-    fn sample_cap_enforced() {
+    fn sample_cap_error_names_the_cap() {
+        // The cap is a server-side limit now: parsing accepts any n...
         let line = format!(
             "{{\"op\":\"sample\",\"release\":\"r\",\"n\":{},\"seed\":1}}",
             MAX_SAMPLE_N + 1
         );
-        assert!(parse_request(&line).unwrap_err().contains("cap"));
+        assert!(parse_request(&line).is_ok(), "the cap is enforced by the server, not the parser");
+        // ...and the structured rejection carries both the message and a
+        // machine-readable code + cap field.
+        let reply = ErrorReply::sample_cap(MAX_SAMPLE_N + 1, MAX_SAMPLE_N);
+        assert!(reply.message.contains("cap 1000000"), "{}", reply.message);
+        let f = reply.frame();
+        assert!(f.contains("\"code\":\"sample_cap\""), "{f}");
+        assert!(f.contains("\"cap\":1000000"), "{f}");
+        assert!(f.starts_with("{\"ok\":false"), "{f}");
+    }
+
+    #[test]
+    fn busy_frame_is_structured() {
+        let f = busy_frame();
+        assert!(f.starts_with("{\"ok\":false"), "{f}");
+        assert!(f.contains("\"code\":\"busy\""), "{f}");
+        assert!(!f.contains('\n'));
     }
 
     #[test]
@@ -267,5 +462,48 @@ mod tests {
         let err = error_frame("bad\nthing");
         assert!(!err.contains('\n'), "{err}");
         assert!(err.starts_with("{\"ok\":false"));
+    }
+
+    #[test]
+    fn binary_payload_round_trips() {
+        for lanes in [
+            vec![],
+            vec![0.0],
+            vec![0.25, -1.5, f64::MIN_POSITIVE, 1.0 / 3.0, 1e300],
+            (0..4096).map(|i| (i as f64) / 4096.0).collect::<Vec<_>>(),
+        ] {
+            let mut wire = Vec::new();
+            write_binary_payload(&mut wire, &lanes).unwrap();
+            assert_eq!(wire.len(), 8 + lanes.len() * 8);
+            assert_eq!(u64::from_le_bytes(wire[..8].try_into().unwrap()), lanes.len() as u64 * 8);
+            let decoded = read_binary_payload(&mut wire.as_slice()).unwrap();
+            assert_eq!(decoded.len(), lanes.len());
+            for (a, b) in lanes.iter().zip(&decoded) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn binary_payload_rejects_truncation_and_ragged_lengths() {
+        let mut wire = Vec::new();
+        write_binary_payload(&mut wire, &[1.0, 2.0]).unwrap();
+        wire.truncate(wire.len() - 1);
+        assert!(read_binary_payload(&mut wire.as_slice()).unwrap_err().contains("payload"));
+        let ragged = 7u64.to_le_bytes().to_vec();
+        let e = read_binary_payload(&mut ragged.as_slice()).unwrap_err();
+        assert!(e.contains("whole number"), "{e}");
+    }
+
+    #[test]
+    fn points_render_by_domain() {
+        let v = points_value("interval", 1, &[0.5, 0.25]).unwrap();
+        assert_eq!(serde_json::value_to_string(&v), "[0.5,0.25]");
+        let v = points_value("cube", 2, &[0.5, 0.25, 0.75, 1.0]).unwrap();
+        assert_eq!(serde_json::value_to_string(&v), "[[0.5,0.25],[0.75,1.0]]");
+        let v = points_value("ipv4", 1, &[(192u32 << 24 | 168 << 16 | 1) as f64]).unwrap();
+        assert_eq!(serde_json::value_to_string(&v), "[\"192.168.0.1\"]");
+        assert!(points_value("interval", 2, &[0.1, 0.2, 0.3]).is_err(), "ragged rows");
+        assert!(points_value("nope", 1, &[0.1]).is_err(), "unknown domain");
     }
 }

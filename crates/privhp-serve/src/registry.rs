@@ -21,7 +21,7 @@ use privhp_domain::{HierarchicalDomain, Hypercube, Ipv4Space, Path, UnitInterval
 use privhp_dp::rng::rng_from_seed;
 use serde::Value;
 
-use crate::protocol::Probe;
+use crate::protocol::{points_value, Probe};
 
 // One shared whitening constant is what makes server-side, CLI and
 // in-process draws interchangeable; it lives next to `ReleaseFile`.
@@ -57,22 +57,21 @@ pub struct LoadedRelease {
 }
 
 /// Samples through `dyn Generator` (one vtable hop, amortised by the batch
-/// draw) into a flat lane buffer and renders each row as a JSON value.
-fn sample_values<D: HierarchicalDomain>(
+/// draw) into a flat row-major lane buffer — the buffer binary sample
+/// frames ship verbatim and the JSON path renders.
+fn sample_flat_for<D: HierarchicalDomain>(
     release: &ReleaseFile,
     domain: &D,
     cdf: Arc<LeafCdf>,
     n: usize,
     seed: u64,
-    render: impl Fn(&[f64]) -> Value,
-) -> Vec<Value> {
+) -> Vec<f64> {
     let sampler = TreeSampler::with_leaf_cdf(&release.tree, domain, cdf);
     let generator: &dyn Generator<D> = &sampler;
     let mut rng = rng_from_seed(seed ^ SAMPLE_SEED_XOR);
-    let lanes = generator.point_lanes();
-    let mut flat = Vec::with_capacity(n * lanes);
+    let mut flat = Vec::with_capacity(n * generator.point_lanes());
     generator.sample_many_into(n, &mut rng, &mut flat);
-    flat.chunks_exact(lanes).map(render).collect()
+    flat
 }
 
 impl LoadedRelease {
@@ -104,23 +103,51 @@ impl LoadedRelease {
         &self.release
     }
 
-    /// Draws `n` points at `seed`; responses are a pure function of
-    /// `(release bytes, n, seed)`, so equal requests are byte-identical.
+    /// The domain tag carried by binary sample headers:
+    /// `interval` | `cube` | `ipv4`.
+    pub fn domain_tag(&self) -> &'static str {
+        match &self.domain {
+            DomainKind::Interval(_) => "interval",
+            DomainKind::Cube(_) => "cube",
+            DomainKind::Ipv4(_) => "ipv4",
+        }
+    }
+
+    /// Lanes per point in the flat sample encoding: 1 for interval, `dim`
+    /// for cube, 1 for ipv4 (the lane holds the address as an integral
+    /// `f64`).
+    pub fn point_lanes(&self) -> usize {
+        match &self.domain {
+            DomainKind::Interval(_) | DomainKind::Ipv4(_) => 1,
+            DomainKind::Cube(d) => d.dim(),
+        }
+    }
+
+    /// Draws `n` points at `seed` into a flat row-major lane buffer
+    /// ([`Self::point_lanes`] values per point) — the exact bytes a binary
+    /// sample frame carries, and the buffer [`Self::sample_points`]
+    /// renders, so the two encodings agree bit-for-bit by construction.
+    /// A pure function of `(release bytes, n, seed)`.
+    pub fn sample_flat(&self, n: usize, seed: u64) -> Vec<f64> {
+        let cdf = self.leaf_cdf();
+        match &self.domain {
+            DomainKind::Interval(d) => sample_flat_for(&self.release, d, cdf, n, seed),
+            DomainKind::Cube(d) => sample_flat_for(&self.release, d, cdf, n, seed),
+            DomainKind::Ipv4(d) => sample_flat_for(&self.release, d, cdf, n, seed),
+        }
+    }
+
+    /// Draws `n` points at `seed` rendered as JSON values; responses are a
+    /// pure function of `(release bytes, n, seed)`, so equal requests are
+    /// byte-identical.
     ///
     /// Interval points render as numbers, cube points as coordinate
     /// arrays, IPv4 points as dotted-quad strings.
     pub fn sample_points(&self, n: usize, seed: u64) -> Vec<Value> {
-        let cdf = self.leaf_cdf();
-        match &self.domain {
-            DomainKind::Interval(d) => {
-                sample_values(&self.release, d, cdf, n, seed, |row| Value::Float(row[0]))
-            }
-            DomainKind::Cube(d) => sample_values(&self.release, d, cdf, n, seed, |row| {
-                Value::Array(row.iter().map(|x| Value::Float(*x)).collect())
-            }),
-            DomainKind::Ipv4(d) => sample_values(&self.release, d, cdf, n, seed, |row| {
-                Value::String(Ipv4Space::format_addr(row[0] as u32))
-            }),
+        let flat = self.sample_flat(n, seed);
+        match points_value(self.domain_tag(), self.point_lanes(), &flat) {
+            Ok(Value::Array(points)) => points,
+            _ => unreachable!("sample_flat always yields whole rows of a known domain"),
         }
     }
 

@@ -1,28 +1,51 @@
-//! The serve loop: a blocking [`TcpListener`] accept loop fanning
-//! connections out to scoped handler threads.
+//! The serve loop: a blocking [`TcpListener`] accept loop feeding a
+//! **bounded worker pool** through a bounded connection queue, with
+//! explicit load-shedding when the queue is full.
 //!
 //! Concurrency model (same std-only toolkit as the bench crate's runner):
-//! `std::thread::scope` owns one thread per live connection, all borrowing
-//! the server's shared state — the release [`Registry`] and
-//! [`ServerStats`] behind `Arc`-free shared references. Releases are
-//! immutable after load, so request handling takes no lock beyond the
-//! registry's brief read lock to clone an `Arc` out.
+//! `std::thread::scope` owns a fixed pool of [`ServerConfig::workers`]
+//! worker threads, all borrowing the server's shared state — the release
+//! [`Registry`] and [`ServerStats`] behind `Arc`-free shared references.
+//! The accept loop never blocks on downstream work and never spawns: it
+//! pushes each accepted connection onto a `Mutex<VecDeque>` + `Condvar`
+//! queue of depth [`ServerConfig::queue_depth`] and goes straight back to
+//! `accept`. When the queue is full the connection is *shed*: answered
+//! with the structured [`busy_frame`] (code `busy`) under a short write
+//! timeout and closed, counted in the `stats` op's `shed` field — an
+//! accept storm costs one frame write per connection, bounded worker
+//! memory, and zero new threads. A worker owns a connection until the
+//! peer closes it, so at most `workers` connections are in flight and at
+//! most `queue_depth` are waiting.
+//!
+//! Releases are immutable after load, so request handling takes no lock
+//! beyond the registry's brief read lock to clone an `Arc` out.
 //!
 //! Shutdown: a `shutdown` request (or [`Server::request_shutdown`]) flips
 //! an atomic flag and pokes the listener with a dummy connection so the
-//! blocking `accept` observes it. Handler threads poll the flag on a short
-//! read timeout, so the scope joins within one timeout tick even when
-//! clients keep idle connections open.
+//! blocking `accept` observes it. Workers poll the flag between queue
+//! waits and between reads (both on a short timeout), so the scope joins
+//! within one timeout tick even when clients keep idle connections open;
+//! connections still waiting in the queue are dropped unanswered.
+//!
+//! Per-connection state is one flag: the negotiated `sample` encoding
+//! (`format` op). In binary mode a successful `sample` response is a JSON
+//! header line followed by a length-prefixed little-endian `f64` payload
+//! written straight from the flat sample buffer (see [`crate::protocol`]).
 
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use serde::Value;
 
-use crate::protocol::{error_frame, ok_frame, parse_request, Request};
+use crate::protocol::{
+    busy_frame, error_frame, ok_frame, parse_request, write_binary_payload, ErrorReply, Request,
+    MAX_SAMPLE_N,
+};
 use crate::registry::{LoadedRelease, Registry};
 use crate::stats::ServerStats;
 
@@ -31,9 +54,77 @@ use crate::stats::ServerStats;
 /// never sends a newline).
 pub const MAX_REQUEST_BYTES: usize = 1 << 20;
 
-/// How often idle handler threads re-check the shutdown flag; bounds the
-/// time between a shutdown request and the serve loop returning.
+/// How often idle workers re-check the shutdown flag (as the queue-pop
+/// and read timeout); bounds the time between a shutdown request and the
+/// serve loop returning.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Sizing and limits of a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads handling connections (each owns one connection at a
+    /// time). Default: available parallelism.
+    pub workers: usize,
+    /// Accepted connections that may wait for a worker before newcomers
+    /// are shed with a `busy` frame.
+    pub queue_depth: usize,
+    /// Per-request cap on `sample`'s `n` (`--max-sample-n`); larger
+    /// requests are rejected with a structured `sample_cap` error.
+    pub max_sample_n: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            queue_depth: 64,
+            max_sample_n: MAX_SAMPLE_N,
+        }
+    }
+}
+
+/// The bounded connection queue between the accept loop and the workers.
+#[derive(Debug)]
+struct ConnQueue {
+    inner: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues a connection, or returns it when the queue is full — the
+    /// accept loop sheds it; it never blocks here.
+    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() >= self.capacity {
+            return Err(stream);
+        }
+        q.push_back(stream);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues a connection, waiting at most `timeout` — workers re-check
+    /// the shutdown flag between waits.
+    fn pop_timeout(&self, timeout: Duration) -> Option<TcpStream> {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(s) = q.pop_front() {
+            return Some(s);
+        }
+        let (mut q, _timed_out) =
+            self.ready.wait_timeout(q, timeout).unwrap_or_else(|e| e.into_inner());
+        q.pop_front()
+    }
+}
 
 /// A bound listener plus the state its connections share.
 #[derive(Debug)]
@@ -43,25 +134,54 @@ pub struct Server {
     registry: Registry,
     stats: ServerStats,
     shutdown: AtomicBool,
+    config: ServerConfig,
+    queue: ConnQueue,
 }
 
 /// A successful response's payload fields plus the number of synthetic
-/// points it carries (for the stats counters).
-type Payload = (Vec<(&'static str, Value)>, u64);
+/// points it carries (for the stats counters) and, in binary mode, the
+/// flat sample payload shipped after the header line.
+struct Answer {
+    fields: Vec<(&'static str, Value)>,
+    points: u64,
+    payload: Option<Vec<f64>>,
+}
+
+impl Answer {
+    fn fields(fields: Vec<(&'static str, Value)>) -> Self {
+        Self { fields, points: 0, payload: None }
+    }
+}
 
 /// What the dispatcher tells the connection loop to do after responding.
 struct Dispatch {
-    response: String,
+    header: String,
+    payload: Option<Vec<f64>>,
     op: Option<&'static str>,
     points: u64,
     error: bool,
     shutdown: bool,
+    set_binary: Option<bool>,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) over a
-    /// registry of preloaded releases.
+    /// registry of preloaded releases, with default sizing.
     pub fn bind(addr: &str, registry: Registry) -> std::io::Result<Self> {
+        Self::bind_with(addr, registry, ServerConfig::default())
+    }
+
+    /// [`Server::bind`] with explicit pool/queue/cap sizing.
+    pub fn bind_with(
+        addr: &str,
+        registry: Registry,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        let config = ServerConfig {
+            workers: config.workers.max(1),
+            queue_depth: config.queue_depth.max(1),
+            ..config
+        };
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         Ok(Self {
@@ -70,6 +190,8 @@ impl Server {
             registry,
             stats: ServerStats::new(),
             shutdown: AtomicBool::new(false),
+            queue: ConnQueue::new(config.queue_depth),
+            config,
         })
     }
 
@@ -88,6 +210,11 @@ impl Server {
         &self.stats
     }
 
+    /// The effective sizing (after floors applied at bind).
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
     /// Flags the serve loop to stop and wakes its blocking `accept`.
     /// Idempotent; safe from any thread.
     pub fn request_shutdown(&self) {
@@ -95,12 +222,17 @@ impl Server {
         // Poke accept() awake; if the connect fails the listener is
         // already closed or unreachable, which also ends the loop.
         let _ = TcpStream::connect(self.local_addr);
+        // Wake workers parked on the queue condvar.
+        self.queue.ready.notify_all();
     }
 
     /// Serves until shutdown. Blocks; run it on a dedicated thread when
     /// the caller needs to keep working.
     pub fn run(&self) {
         std::thread::scope(|scope| {
+            for _ in 0..self.config.workers {
+                scope.spawn(|| self.worker_loop());
+            }
             loop {
                 if self.shutdown.load(Ordering::SeqCst) {
                     break;
@@ -111,12 +243,10 @@ impl Server {
                             break;
                         }
                         self.stats.connection_opened();
-                        scope.spawn(move || {
-                            // A panicking handler must never unwind into
-                            // the scope join and kill the listener.
-                            let _ =
-                                catch_unwind(AssertUnwindSafe(|| self.handle_connection(stream)));
-                        });
+                        if let Err(stream) = self.queue.try_push(stream) {
+                            self.stats.connection_shed();
+                            shed(stream);
+                        }
                     }
                     Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                     Err(_) => {
@@ -129,12 +259,30 @@ impl Server {
                     }
                 }
             }
+            // Wake any worker still parked on the queue so the scope joins.
+            self.queue.ready.notify_all();
         });
+    }
+
+    /// One worker: pull connections off the queue until shutdown. A
+    /// panicking handler must never unwind out and kill the pool.
+    fn worker_loop(&self) {
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let Some(stream) = self.queue.pop_timeout(POLL_INTERVAL) else { continue };
+            let _ = catch_unwind(AssertUnwindSafe(|| self.handle_connection(stream)));
+        }
     }
 
     fn handle_connection(&self, stream: TcpStream) {
         // The short timeout doubles as the shutdown poll interval.
         let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+        // Response frames are small and latency-bound (and the binary
+        // path writes header and payload separately); without TCP_NODELAY
+        // Nagle + delayed ACK adds tens of milliseconds per request.
+        let _ = stream.set_nodelay(true);
         let Ok(read_half) = stream.try_clone() else { return };
         // The `Take` bounds how much one line can buffer: `read_line` only
         // returns at a newline, EOF, *or the limit* — without it a fast
@@ -143,6 +291,7 @@ impl Server {
         let mut reader = BufReader::new(read_half.take(MAX_REQUEST_BYTES as u64 + 1));
         let mut writer = stream;
         let mut line = String::new();
+        let mut binary = false;
 
         'conn: loop {
             line.clear();
@@ -189,10 +338,19 @@ impl Server {
             }
 
             let started = Instant::now();
-            let d = self.dispatch(trimmed);
+            let d = self.dispatch(trimmed, binary);
             self.stats.record(d.op, started.elapsed(), d.points, d.error);
-            if writeln!(writer, "{}", d.response).and_then(|_| writer.flush()).is_err() {
+            let sent = writeln!(writer, "{}", d.header)
+                .and_then(|_| match &d.payload {
+                    Some(lanes) => write_binary_payload(&mut writer, lanes),
+                    None => Ok(()),
+                })
+                .and_then(|_| writer.flush());
+            if sent.is_err() {
                 return; // client went away mid-response
+            }
+            if let Some(mode) = d.set_binary {
+                binary = mode;
             }
             if d.shutdown {
                 self.request_shutdown();
@@ -207,96 +365,117 @@ impl Server {
     /// Parses and answers one frame. Never panics outward: handler panics
     /// become an `internal error` frame so the connection and listener
     /// both survive any single bad request.
-    fn dispatch(&self, line: &str) -> Dispatch {
+    fn dispatch(&self, line: &str, binary: bool) -> Dispatch {
+        let error_dispatch = |reply: ErrorReply, op: Option<&'static str>| Dispatch {
+            header: reply.frame(),
+            payload: None,
+            op,
+            points: 0,
+            error: true,
+            shutdown: false,
+            set_binary: None,
+        };
         let request = match parse_request(line) {
             Ok(r) => r,
-            Err(msg) => {
-                return Dispatch {
-                    response: error_frame(&msg),
-                    op: None,
-                    points: 0,
-                    error: true,
-                    shutdown: false,
-                }
-            }
+            Err(msg) => return error_dispatch(ErrorReply::from(msg), None),
         };
         let op = request.op();
         let shutdown = matches!(request, Request::Shutdown);
-        match catch_unwind(AssertUnwindSafe(|| self.answer(&request))) {
-            Ok(Ok((fields, points))) => Dispatch {
-                response: ok_frame(op, fields),
+        let set_binary = match request {
+            Request::Format { binary } => Some(binary),
+            _ => None,
+        };
+        match catch_unwind(AssertUnwindSafe(|| self.answer(&request, binary))) {
+            Ok(Ok(answer)) => Dispatch {
+                header: ok_frame(op, answer.fields),
+                payload: answer.payload,
                 op: Some(op),
-                points,
+                points: answer.points,
                 error: false,
                 shutdown,
+                set_binary,
             },
-            Ok(Err(msg)) => Dispatch {
-                response: error_frame(&msg),
-                op: Some(op),
-                points: 0,
-                error: true,
-                shutdown: false,
-            },
-            Err(_) => Dispatch {
-                response: error_frame("internal error answering the request"),
-                op: Some(op),
-                points: 0,
-                error: true,
-                shutdown: false,
-            },
+            Ok(Err(reply)) => error_dispatch(reply, Some(op)),
+            Err(_) => error_dispatch(
+                ErrorReply::from("internal error answering the request".to_string()),
+                Some(op),
+            ),
         }
     }
 
     /// Computes a successful response's payload.
-    fn answer(&self, request: &Request) -> Result<Payload, String> {
+    fn answer(&self, request: &Request, binary: bool) -> Result<Answer, ErrorReply> {
         match request {
             Request::Sample { release, n, seed } => {
+                if *n > self.config.max_sample_n {
+                    return Err(ErrorReply::sample_cap(*n, self.config.max_sample_n));
+                }
                 let rel = self.registry.get(release)?;
-                let points = rel.sample_points(*n, *seed);
-                Ok((
-                    vec![
-                        ("release", Value::String(release.clone())),
-                        ("n", Value::UInt(*n as u64)),
-                        ("seed", Value::UInt(*seed)),
-                        ("points", Value::Array(points)),
-                    ],
-                    *n as u64,
-                ))
+                let mut fields = vec![
+                    ("release", Value::String(release.clone())),
+                    ("n", Value::UInt(*n as u64)),
+                    ("seed", Value::UInt(*seed)),
+                ];
+                let flat = rel.sample_flat(*n, *seed);
+                let payload = if binary {
+                    fields.push(("encoding", Value::String("binary".into())));
+                    fields.push(("domain", Value::String(rel.domain_tag().into())));
+                    fields.push(("lanes", Value::UInt(rel.point_lanes() as u64)));
+                    Some(flat)
+                } else {
+                    let points =
+                        crate::protocol::points_value(rel.domain_tag(), rel.point_lanes(), &flat)?;
+                    fields.push(("points", points));
+                    None
+                };
+                Ok(Answer { fields, points: *n as u64, payload })
             }
             Request::Query { release, probe } => {
                 let rel = self.registry.get(release)?;
                 let mut fields = vec![("release", Value::String(release.clone()))];
                 fields.extend(rel.query(probe)?);
-                Ok((fields, 0))
+                Ok(Answer::fields(fields))
             }
             Request::Cdf { release, x } => {
                 let rel = self.registry.get(release)?;
-                Ok((
-                    vec![
-                        ("release", Value::String(release.clone())),
-                        ("x", Value::Float(*x)),
-                        ("value", Value::Float(rel.cdf(*x)?)),
-                    ],
-                    0,
-                ))
+                Ok(Answer::fields(vec![
+                    ("release", Value::String(release.clone())),
+                    ("x", Value::Float(*x)),
+                    ("value", Value::Float(rel.cdf(*x)?)),
+                ]))
             }
-            Request::Info { release } => Ok((self.registry.get(release)?.info_fields(), 0)),
-            Request::List => Ok((vec![("releases", Value::Array(self.registry.summaries()))], 0)),
-            Request::Stats => Ok((self.stats.fields(), 0)),
+            Request::Info { release } => {
+                Ok(Answer::fields(self.registry.get(release)?.info_fields()))
+            }
+            Request::List => {
+                Ok(Answer::fields(vec![("releases", Value::Array(self.registry.summaries()))]))
+            }
+            Request::Stats => Ok(Answer::fields(self.stats.fields())),
             Request::Load { name, path } => {
                 let loaded = LoadedRelease::load(name, path)?;
                 let summary = loaded.summary();
                 let replaced = self.registry.insert(loaded);
-                Ok((
-                    vec![
-                        ("name", Value::String(name.clone())),
-                        ("replaced", Value::Bool(replaced)),
-                        ("release", summary),
-                    ],
-                    0,
-                ))
+                Ok(Answer::fields(vec![
+                    ("name", Value::String(name.clone())),
+                    ("replaced", Value::Bool(replaced)),
+                    ("release", summary),
+                ]))
             }
-            Request::Shutdown => Ok((vec![("stopping", Value::Bool(true))], 0)),
+            Request::Format { binary } => Ok(Answer::fields(vec![(
+                "encoding",
+                Value::String(if *binary { "binary" } else { "json" }.into()),
+            )])),
+            Request::Shutdown => Ok(Answer::fields(vec![("stopping", Value::Bool(true))])),
         }
     }
+}
+
+/// Sheds one over-capacity connection: best-effort `busy` frame under a
+/// short write timeout (a peer that never reads must not stall the accept
+/// loop), then close.
+fn shed(stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(POLL_INTERVAL));
+    let mut stream = stream;
+    let _ = writeln!(stream, "{}", busy_frame());
+    let _ = stream.flush();
 }

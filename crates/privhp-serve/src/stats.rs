@@ -5,6 +5,13 @@
 //! world, so numbers read under load are each individually exact but only
 //! approximately mutually consistent — the right trade for an operational
 //! endpoint.
+//!
+//! Latency is tracked by [`LatencyHistogram`], a log-spaced fixed-bucket
+//! histogram (~4 buckets per decade from 10µs to 10s) with a
+//! [`LatencyHistogram::quantile`] estimator, so p50/p99/p999 are derivable
+//! from the same counters the `stats` op serves. The histogram is also the
+//! measurement sink of the `exp_serve` load generator, which records
+//! client-observed latencies into its own instance.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -13,19 +20,108 @@ use serde::Value;
 
 use crate::protocol::{op_index, OPS};
 
-/// Upper bucket edges of the request-latency histogram, in microseconds;
-/// a final unbounded bucket catches everything slower.
-pub const LATENCY_EDGES_MICROS: [u64; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
+/// Upper bucket edges of the request-latency histogram, in microseconds:
+/// `{10, 18, 32, 56} × 10^k` for six decades (10µs up to 5.6s) plus a 10s
+/// edge; a final unbounded bucket catches everything slower.
+pub const LATENCY_EDGES_MICROS: [u64; 25] = [
+    10, 18, 32, 56, 100, 180, 320, 560, 1_000, 1_800, 3_200, 5_600, 10_000, 18_000, 32_000, 56_000,
+    100_000, 180_000, 320_000, 560_000, 1_000_000, 1_800_000, 3_200_000, 5_600_000, 10_000_000,
+];
+
+/// A fixed-bucket latency histogram over [`LATENCY_EDGES_MICROS`].
+///
+/// Buckets are half-open `[prev_edge, edge)` intervals (the first starts at
+/// 0, the last is unbounded above the final edge). Recording is one relaxed
+/// atomic increment, so handler threads never contend; quantiles are
+/// estimated by linear interpolation inside the selected bucket.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_EDGES_MICROS.len() + 1],
+}
+
+impl LatencyHistogram {
+    /// A zeroed histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation, in microseconds.
+    pub fn record_micros(&self, micros: u64) {
+        let bucket = LATENCY_EDGES_MICROS
+            .iter()
+            .position(|&edge| micros < edge)
+            .unwrap_or(LATENCY_EDGES_MICROS.len());
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one observation as a [`Duration`].
+    pub fn record(&self, elapsed: Duration) {
+        self.record_micros(elapsed.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Estimates the `q`-quantile (e.g. `0.5`, `0.99`, `0.999`) in
+    /// microseconds by linear interpolation within the bucket containing
+    /// the target rank. The first bucket interpolates down to 0; the
+    /// unbounded overflow bucket reports its lower edge (the histogram
+    /// cannot see past its last edge). Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self.buckets.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * total as f64;
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if (cum + c) as f64 >= target {
+                let lo = if i == 0 { 0.0 } else { LATENCY_EDGES_MICROS[i - 1] as f64 };
+                let hi = LATENCY_EDGES_MICROS.get(i).map(|&e| e as f64).unwrap_or(lo);
+                let frac = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
+                return lo + frac * (hi - lo);
+            }
+            cum += c;
+        }
+        LATENCY_EDGES_MICROS[LATENCY_EDGES_MICROS.len() - 1] as f64
+    }
+
+    /// Snapshot as a JSON object of `le_<edge>us` / `gt_<edge>us` bucket
+    /// counts. Empty buckets are omitted to keep `stats` frames compact
+    /// (26 buckets, most of them zero on any real workload).
+    pub fn to_value(&self) -> Value {
+        let mut buckets = Vec::new();
+        for (i, c) in self.buckets.iter().enumerate() {
+            let count = c.load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            let label = match LATENCY_EDGES_MICROS.get(i) {
+                Some(edge) => format!("le_{edge}us"),
+                None => format!("gt_{}us", LATENCY_EDGES_MICROS[LATENCY_EDGES_MICROS.len() - 1]),
+            };
+            buckets.push((label, Value::UInt(count)));
+        }
+        Value::Object(buckets)
+    }
+}
 
 /// Aggregate serving counters.
 #[derive(Debug, Default)]
 pub struct ServerStats {
     connections: AtomicU64,
+    shed: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
     points_sampled: AtomicU64,
     per_op: [AtomicU64; OPS.len()],
-    latency: [AtomicU64; LATENCY_EDGES_MICROS.len() + 1],
+    latency: LatencyHistogram,
 }
 
 impl ServerStats {
@@ -37,6 +133,12 @@ impl ServerStats {
     /// Counts an accepted connection.
     pub fn connection_opened(&self) {
         self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a connection shed by backpressure (accepted, answered with a
+    /// `busy` frame and closed because the worker queue was full).
+    pub fn connection_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts one answered request. `op` is `None` when the frame never
@@ -53,17 +155,22 @@ impl ServerStats {
         if let Some(i) = op.and_then(op_index) {
             self.per_op[i].fetch_add(1, Ordering::Relaxed);
         }
-        let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
-        let bucket = LATENCY_EDGES_MICROS
-            .iter()
-            .position(|&edge| micros < edge)
-            .unwrap_or(LATENCY_EDGES_MICROS.len());
-        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency.record(elapsed);
     }
 
     /// Total requests answered so far.
     pub fn requests(&self) -> u64 {
         self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Connections shed by backpressure so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// The request-latency histogram.
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
     }
 
     /// Snapshot as the `stats` response payload.
@@ -74,21 +181,17 @@ impl ServerStats {
                 .map(|(op, c)| (op.to_string(), Value::UInt(c.load(Ordering::Relaxed))))
                 .collect(),
         );
-        let mut latency = Vec::with_capacity(self.latency.len());
-        for (i, c) in self.latency.iter().enumerate() {
-            let label = match LATENCY_EDGES_MICROS.get(i) {
-                Some(edge) => format!("le_{edge}us"),
-                None => format!("gt_{}us", LATENCY_EDGES_MICROS[LATENCY_EDGES_MICROS.len() - 1]),
-            };
-            latency.push((label, Value::UInt(c.load(Ordering::Relaxed))));
-        }
         vec![
             ("connections", Value::UInt(self.connections.load(Ordering::Relaxed))),
+            ("shed", Value::UInt(self.shed.load(Ordering::Relaxed))),
             ("requests", Value::UInt(self.requests.load(Ordering::Relaxed))),
             ("errors", Value::UInt(self.errors.load(Ordering::Relaxed))),
             ("points_sampled", Value::UInt(self.points_sampled.load(Ordering::Relaxed))),
             ("by_op", by_op),
-            ("latency_micros", Value::Object(latency)),
+            ("p50_us", Value::Float(self.latency.quantile(0.5))),
+            ("p99_us", Value::Float(self.latency.quantile(0.99))),
+            ("p999_us", Value::Float(self.latency.quantile(0.999))),
+            ("latency_micros", self.latency.to_value()),
         ]
     }
 }
@@ -105,29 +208,92 @@ mod tests {
     fn counters_accumulate() {
         let s = ServerStats::new();
         s.connection_opened();
+        s.connection_shed();
         s.record(Some("sample"), Duration::from_micros(50), 128, false);
         s.record(Some("sample"), Duration::from_micros(5_000), 64, false);
         s.record(Some("list"), Duration::from_millis(2), 0, false);
-        s.record(None, Duration::from_secs(2), 0, true);
+        s.record(None, Duration::from_secs(20), 0, true);
         let f = s.fields();
         assert_eq!(field(&f, "connections").as_u64(), Some(1));
+        assert_eq!(field(&f, "shed").as_u64(), Some(1));
         assert_eq!(field(&f, "requests").as_u64(), Some(4));
         assert_eq!(field(&f, "errors").as_u64(), Some(1));
         assert_eq!(field(&f, "points_sampled").as_u64(), Some(192));
         assert_eq!(field(&f, "by_op").get("sample").unwrap().as_u64(), Some(2));
         assert_eq!(field(&f, "by_op").get("list").unwrap().as_u64(), Some(1));
         let lat = field(&f, "latency_micros");
-        assert_eq!(lat.get("le_100us").unwrap().as_u64(), Some(1));
-        assert_eq!(lat.get("le_10000us").unwrap().as_u64(), Some(2));
-        assert_eq!(lat.get("gt_1000000us").unwrap().as_u64(), Some(1));
+        assert_eq!(lat.get("le_56us").unwrap().as_u64(), Some(1));
+        assert_eq!(lat.get("le_5600us").unwrap().as_u64(), Some(1));
+        assert_eq!(lat.get("le_3200us").unwrap().as_u64(), Some(1));
+        assert_eq!(lat.get("gt_10000000us").unwrap().as_u64(), Some(1));
+        assert!(lat.get("le_10us").is_none(), "empty buckets are omitted");
     }
 
     #[test]
     fn bucket_edges_are_half_open() {
-        let s = ServerStats::new();
+        let h = LatencyHistogram::new();
         // Exactly 100us is NOT < 100, so it lands in the next bucket.
-        s.record(Some("cdf"), Duration::from_micros(100), 0, false);
-        let f = s.fields();
-        assert_eq!(field(&f, "latency_micros").get("le_1000us").unwrap().as_u64(), Some(1));
+        h.record_micros(100);
+        let v = h.to_value();
+        assert_eq!(v.get("le_180us").unwrap().as_u64(), Some(1));
+        assert!(v.get("le_100us").is_none());
+        // One tick under the edge stays below it.
+        h.record_micros(99);
+        assert_eq!(h.to_value().get("le_100us").unwrap().as_u64(), Some(1));
+        // Zero lands in the first bucket; a huge value in the overflow one.
+        h.record_micros(0);
+        h.record_micros(u64::MAX);
+        let v = h.to_value();
+        assert_eq!(v.get("le_10us").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("gt_10000000us").unwrap().as_u64(), Some(1));
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn edges_are_log_spaced_and_sorted() {
+        assert!(LATENCY_EDGES_MICROS.windows(2).all(|w| w[0] < w[1]));
+        // ~4 buckets per decade: each decade from 10µs on contains the
+        // {10,18,32,56} pattern scaled by a power of ten.
+        for k in 0..6u32 {
+            let scale = 10u64.pow(k);
+            for base in [10, 18, 32, 56] {
+                assert!(
+                    LATENCY_EDGES_MICROS.contains(&(base * scale)),
+                    "missing edge {}",
+                    base * scale
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram reports 0");
+        // 100 observations uniformly inside [100, 180): the median estimate
+        // sits mid-bucket, p0..p100 sweep the bucket span.
+        for _ in 0..100 {
+            h.record_micros(150);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((100.0..180.0).contains(&p50), "p50 = {p50}");
+        assert!(h.quantile(0.999) <= 180.0);
+        assert!(h.quantile(0.01) >= 100.0);
+
+        // Add a slow tail: 9 requests in [1s, 1.8s). p50 stays in the fast
+        // bucket; p99 moves to the tail bucket.
+        for _ in 0..9 {
+            h.record_micros(1_200_000);
+        }
+        assert!((100.0..180.0).contains(&h.quantile(0.5)));
+        let p99 = h.quantile(0.99);
+        assert!((1_000_000.0..1_800_000.0).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn overflow_bucket_reports_its_lower_edge() {
+        let h = LatencyHistogram::new();
+        h.record_micros(30_000_000);
+        assert_eq!(h.quantile(0.5), 10_000_000.0);
     }
 }

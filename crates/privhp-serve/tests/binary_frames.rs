@@ -1,0 +1,251 @@
+//! Binary bulk-sample frames and worker-pool backpressure, end to end.
+//!
+//! The binary encoding is a pure transport change: a negotiated
+//! connection must hand back the *bit-identical* draw the JSON encoding
+//! renders, including the empty draw and a draw at the configured cap.
+//! The pool tests drive a deliberately tiny server (2 workers, queue
+//! depth 1) to saturation and check that overflow connections are shed
+//! with a structured `busy` frame while in-flight requests keep
+//! completing.
+
+use std::io::{BufRead, BufReader, Cursor};
+use std::sync::Arc;
+
+use privhp_core::release::{DomainSpec, ReleaseFile};
+use privhp_core::{PrivHp, PrivHpConfig};
+use privhp_domain::UnitInterval;
+use privhp_dp::rng::rng_from_seed;
+use privhp_serve::protocol::{read_binary_payload, write_binary_payload};
+use privhp_serve::{oneshot, Client, LoadedRelease, Registry, Server, ServerConfig};
+use proptest::prelude::*;
+use serde::Value;
+
+fn tiny_release(seed: u64) -> ReleaseFile {
+    let data: Vec<f64> =
+        (0..512).map(|i| ((i as f64 / 512.0).powi(2) * 0.999).min(0.999)).collect();
+    let mut rng = rng_from_seed(seed);
+    let config = PrivHpConfig::for_domain(1.0, data.len(), 8).with_seed(seed);
+    let g = PrivHp::build(&UnitInterval::new(), config.clone(), data, &mut rng).unwrap();
+    ReleaseFile::new(DomainSpec::Interval, config, g.tree().clone())
+}
+
+/// Boots a server with an explicit pool shape on an ephemeral port.
+fn start_server_with(
+    releases: Vec<(&str, ReleaseFile)>,
+    config: ServerConfig,
+) -> (Arc<Server>, String, std::thread::JoinHandle<()>) {
+    let registry = Registry::new();
+    for (name, release) in releases {
+        registry.insert(LoadedRelease::from_release(name, release));
+    }
+    let server =
+        Arc::new(Server::bind_with("127.0.0.1:0", registry, config).expect("bind ephemeral port"));
+    let addr = server.local_addr().to_string();
+    let runner = Arc::clone(&server);
+    let handle = std::thread::spawn(move || runner.run());
+    (server, addr, handle)
+}
+
+fn roomy() -> ServerConfig {
+    ServerConfig { workers: 4, queue_depth: 16, ..ServerConfig::default() }
+}
+
+fn parse(line: &str) -> Value {
+    serde_json::parse_value_str(line).unwrap_or_else(|e| panic!("unparseable frame '{line}': {e}"))
+}
+
+#[test]
+fn binary_sample_is_bit_identical_to_the_json_encoding() {
+    let (_server, addr, handle) = start_server_with(vec![("r", tiny_release(21))], roomy());
+    let req = "{\"op\":\"sample\",\"release\":\"r\",\"n\":256,\"seed\":17}";
+
+    // JSON path: points as parsed floats (the vendored serializer
+    // round-trips f64 exactly, so parsing recovers the drawn bits).
+    let json_points: Vec<f64> = parse(&oneshot(&addr, req).unwrap())
+        .get("points")
+        .and_then(Value::as_array)
+        .expect("json sample carries points")
+        .iter()
+        .map(|v| v.as_f64().unwrap())
+        .collect();
+
+    // Binary path: negotiated frame, decoded payload.
+    let mut c = Client::connect(&addr).unwrap();
+    c.set_binary().unwrap();
+    let (header, payload) = c.send_expect_payload(req).unwrap();
+    let h = parse(&header);
+    assert_eq!(h.get("ok").and_then(Value::as_bool), Some(true), "{header}");
+    assert_eq!(h.get("encoding").and_then(Value::as_str), Some("binary"), "{header}");
+    assert_eq!(h.get("domain").and_then(Value::as_str), Some("interval"), "{header}");
+    assert_eq!(h.get("lanes").and_then(Value::as_u64), Some(1), "{header}");
+    assert_eq!(h.get("n").and_then(Value::as_u64), Some(256), "{header}");
+    let lanes = payload.expect("binary sample carries a payload");
+
+    assert_eq!(lanes.len(), json_points.len());
+    for (b, j) in lanes.iter().zip(&json_points) {
+        assert_eq!(b.to_bits(), j.to_bits(), "binary {b} != json {j}");
+    }
+
+    // Negotiating back to JSON reverts the connection.
+    let (ack, none) = c.send_expect_payload("{\"op\":\"format\",\"encoding\":\"json\"}").unwrap();
+    assert_eq!(parse(&ack).get("encoding").and_then(Value::as_str), Some("json"));
+    assert!(none.is_none());
+    let (line, none) = c.send_expect_payload(req).unwrap();
+    assert!(none.is_none(), "after reverting, samples are plain JSON again");
+    assert!(parse(&line).get("points").is_some(), "{line}");
+
+    let _ = oneshot(&addr, "{\"op\":\"shutdown\"}").unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn empty_and_capped_draws_cross_the_binary_frame() {
+    let config = ServerConfig { max_sample_n: 512, ..roomy() };
+    let (_server, addr, handle) = start_server_with(vec![("r", tiny_release(22))], config);
+    let mut c = Client::connect(&addr).unwrap();
+    c.set_binary().unwrap();
+
+    // n = 0: a header followed by an empty payload, not a special case.
+    let (header, payload) =
+        c.send_expect_payload("{\"op\":\"sample\",\"release\":\"r\",\"n\":0,\"seed\":1}").unwrap();
+    assert_eq!(parse(&header).get("n").and_then(Value::as_u64), Some(0));
+    assert_eq!(payload.expect("empty draw still sends a payload").len(), 0);
+
+    // n = cap: the largest allowed draw crosses intact.
+    let (_, payload) = c
+        .send_expect_payload("{\"op\":\"sample\",\"release\":\"r\",\"n\":512,\"seed\":2}")
+        .unwrap();
+    assert_eq!(payload.unwrap().len(), 512);
+
+    // n = cap + 1: a structured JSON error naming the cap, no payload —
+    // and the connection survives it.
+    let (line, payload) = c
+        .send_expect_payload("{\"op\":\"sample\",\"release\":\"r\",\"n\":513,\"seed\":3}")
+        .unwrap();
+    assert!(payload.is_none(), "errors are never followed by a payload");
+    let e = parse(&line);
+    assert_eq!(e.get("ok").and_then(Value::as_bool), Some(false), "{line}");
+    assert_eq!(e.get("code").and_then(Value::as_str), Some("sample_cap"), "{line}");
+    assert_eq!(e.get("cap").and_then(Value::as_u64), Some(512), "{line}");
+    assert!(
+        e.get("error").and_then(Value::as_str).unwrap().contains("--max-sample-n"),
+        "the error should name the knob: {line}"
+    );
+    let (_, payload) =
+        c.send_expect_payload("{\"op\":\"sample\",\"release\":\"r\",\"n\":8,\"seed\":4}").unwrap();
+    assert_eq!(payload.unwrap().len(), 8);
+
+    let _ = oneshot(&addr, "{\"op\":\"shutdown\"}").unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn saturated_pool_sheds_with_busy_frames_while_in_flight_work_completes() {
+    let config = ServerConfig { workers: 2, queue_depth: 1, ..ServerConfig::default() };
+    let (server, addr, handle) = start_server_with(vec![("r", tiny_release(23))], config);
+
+    // Occupy both workers: a worker owns its connection until the peer
+    // closes, so one completed request pins each. Connect and complete a
+    // request one connection at a time — with queue depth 1, two
+    // unserved connections in flight at once could overflow the queue
+    // before a worker wakes, shedding one of them here.
+    let ok = |line: String| {
+        let v = parse(&line);
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{line}");
+        v
+    };
+    let mut a = Client::connect(&addr).unwrap();
+    ok(a.send("{\"op\":\"list\"}").unwrap());
+    let mut b = Client::connect(&addr).unwrap();
+    ok(b.send("{\"op\":\"list\"}").unwrap());
+
+    // Fill the single queue slot with a connection no worker can take...
+    let queued = Client::connect(&addr).unwrap();
+    // ...then overflow it: the newcomer must get a busy frame and a close,
+    // while the accept loop keeps running.
+    let overflow = std::net::TcpStream::connect(&addr).unwrap();
+    let mut line = String::new();
+    BufReader::new(overflow).read_line(&mut line).unwrap();
+    let busy = parse(line.trim_end());
+    assert_eq!(busy.get("ok").and_then(Value::as_bool), Some(false), "{line}");
+    assert_eq!(busy.get("code").and_then(Value::as_str), Some("busy"), "{line}");
+
+    // In-flight connections are unaffected by the shed, and the shed is
+    // observable in the stats counters.
+    let stats = ok(a.send("{\"op\":\"stats\"}").unwrap());
+    assert!(stats.get("shed").and_then(Value::as_u64).unwrap() >= 1, "{stats:?}");
+    let sampled = ok(b.send("{\"op\":\"sample\",\"release\":\"r\",\"n\":4,\"seed\":1}").unwrap());
+    assert!(sampled.get("points").is_some());
+    assert!(server.stats().shed() >= 1);
+
+    // Freeing a worker drains the queued connection.
+    drop(a);
+    let mut queued = queued;
+    assert!(ok(queued.send("{\"op\":\"list\"}").unwrap()).get("releases").is_some());
+
+    let _ = queued.send("{\"op\":\"shutdown\"}").unwrap();
+    drop(b);
+    handle.join().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any f64 bit pattern — NaNs, infinities, subnormals, negative zero
+    /// — survives the length-prefixed wire payload bit-exactly, at any
+    /// length including zero.
+    #[test]
+    fn payload_round_trips_any_bits(
+        bits in proptest::collection::vec(0u64..u64::MAX, 0..200),
+    ) {
+        let mut lanes: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        // Make sure the awkward values show up even in short vectors.
+        for (i, special) in
+            [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0, f64::MIN_POSITIVE / 2.0]
+                .into_iter()
+                .enumerate()
+        {
+            if i < lanes.len() {
+                lanes[i] = special;
+            }
+        }
+        let mut wire = Vec::new();
+        write_binary_payload(&mut wire, &lanes).unwrap();
+        prop_assert_eq!(wire.len(), 8 + lanes.len() * 8);
+        let decoded = read_binary_payload(&mut Cursor::new(&wire)).unwrap();
+        prop_assert_eq!(decoded.len(), lanes.len());
+        for (d, l) in decoded.iter().zip(&lanes) {
+            prop_assert_eq!(d.to_bits(), l.to_bits());
+        }
+    }
+
+    /// A served binary draw equals the served JSON draw bit for bit at
+    /// every (n, seed) — the encoding is transport, not semantics.
+    #[test]
+    fn served_binary_equals_served_json(n in 0usize..96, seed in 0u64..1_000_000) {
+        let (_server, addr, handle) =
+            start_server_with(vec![("r", tiny_release(24))], roomy());
+        let req = format!("{{\"op\":\"sample\",\"release\":\"r\",\"n\":{n},\"seed\":{seed}}}");
+
+        let json_points: Vec<f64> = parse(&oneshot(&addr, &req).unwrap())
+            .get("points")
+            .and_then(Value::as_array)
+            .expect("json sample carries points")
+            .iter()
+            .map(|v| v.as_f64().unwrap())
+            .collect();
+
+        let mut c = Client::connect(&addr).unwrap();
+        c.set_binary().unwrap();
+        let (_, payload) = c.send_expect_payload(&req).unwrap();
+        let lanes = payload.expect("binary sample carries a payload");
+
+        prop_assert_eq!(lanes.len(), json_points.len());
+        for (b, j) in lanes.iter().zip(&json_points) {
+            prop_assert_eq!(b.to_bits(), j.to_bits());
+        }
+
+        let _ = oneshot(&addr, "{\"op\":\"shutdown\"}").unwrap();
+        handle.join().unwrap();
+    }
+}

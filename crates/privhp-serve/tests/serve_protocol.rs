@@ -14,7 +14,7 @@ use privhp_core::{PrivHp, PrivHpConfig};
 use privhp_domain::UnitInterval;
 use privhp_dp::rng::rng_from_seed;
 use privhp_serve::registry::SAMPLE_SEED_XOR;
-use privhp_serve::{oneshot, Client, LoadedRelease, Registry, Server};
+use privhp_serve::{oneshot, Client, LoadedRelease, Registry, Server, ServerConfig};
 use serde::Value;
 
 fn tiny_release(seed: u64) -> ReleaseFile {
@@ -29,6 +29,10 @@ fn tiny_release(seed: u64) -> ReleaseFile {
 /// Boots a server with the given named releases on an ephemeral port;
 /// returns it with its address and the serve-loop thread (joins cleanly
 /// only after a shutdown).
+///
+/// Sized explicitly (not by host parallelism): several tests hold one
+/// connection open while driving another, so the pool must exceed one
+/// worker even on a single-core CI runner.
 fn start_server(
     releases: Vec<(&str, ReleaseFile)>,
 ) -> (Arc<Server>, String, std::thread::JoinHandle<()>) {
@@ -36,7 +40,9 @@ fn start_server(
     for (name, release) in releases {
         registry.insert(LoadedRelease::from_release(name, release));
     }
-    let server = Arc::new(Server::bind("127.0.0.1:0", registry).expect("bind ephemeral port"));
+    let config = ServerConfig { workers: 4, queue_depth: 16, ..ServerConfig::default() };
+    let server =
+        Arc::new(Server::bind_with("127.0.0.1:0", registry, config).expect("bind ephemeral port"));
     let addr = server.local_addr().to_string();
     let runner = Arc::clone(&server);
     let handle = std::thread::spawn(move || runner.run());
