@@ -117,7 +117,12 @@ fn measure(
 ) -> Vec<f64> {
     let registry = Registry::new();
     registry.insert(LoadedRelease::from_release("r", release.clone()));
-    let config = ServerConfig { workers: CLIENTS, queue_depth: 64, max_sample_n: n.max(1) };
+    let config = ServerConfig {
+        workers: CLIENTS,
+        queue_depth: 64,
+        max_sample_n: n.max(1),
+        ..ServerConfig::default()
+    };
     let server =
         Arc::new(Server::bind_with("127.0.0.1:0", registry, config).expect("bind ephemeral port"));
     let addr = server.local_addr().to_string();

@@ -76,6 +76,17 @@ pub enum Command {
         workers: Option<usize>,
         /// Per-request sample cap (`None` = the protocol default).
         max_sample_n: Option<usize>,
+        /// Per-request wall-clock budget in ms (`None` = the server
+        /// default; `Some(0)` disables).
+        request_timeout_ms: Option<u64>,
+        /// Idle-connection budget in ms (`None` = the server default;
+        /// `Some(0)` disables).
+        idle_timeout_ms: Option<u64>,
+        /// Arms deterministic fault injection at this seed.
+        fault_seed: Option<u64>,
+        /// Registry snapshot file: restored at boot if present, rewritten
+        /// after every successful `load`.
+        snapshot: Option<String>,
     },
     /// `privhp client` — send one request to a running server.
     Client {
@@ -85,6 +96,10 @@ pub enum Command {
         request: String,
         /// Negotiate the binary bulk-sample encoding before sending.
         binary: bool,
+        /// Per-attempt response deadline in ms (`None` = client default).
+        timeout_ms: Option<u64>,
+        /// Retries after the first attempt (0 = single-shot).
+        retries: u32,
     },
     /// `privhp help` / `--help`.
     Help,
@@ -236,6 +251,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
             let mut releases: Vec<(String, String)> = Vec::new();
             let mut workers: Option<usize> = None;
             let mut max_sample_n: Option<usize> = None;
+            let mut request_timeout_ms: Option<u64> = None;
+            let mut idle_timeout_ms: Option<u64> = None;
+            let mut fault_seed: Option<u64> = None;
+            let mut snapshot: Option<String> = None;
             let mut i = 1;
             while i < args.len() {
                 let t = &args[i];
@@ -279,6 +298,29 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                             return Err(err("flag --max-sample-n given twice"));
                         }
                     }
+                    "request-timeout-ms" => {
+                        let ms = parse_u64("request-timeout-ms", value)?;
+                        if request_timeout_ms.replace(ms).is_some() {
+                            return Err(err("flag --request-timeout-ms given twice"));
+                        }
+                    }
+                    "idle-timeout-ms" => {
+                        let ms = parse_u64("idle-timeout-ms", value)?;
+                        if idle_timeout_ms.replace(ms).is_some() {
+                            return Err(err("flag --idle-timeout-ms given twice"));
+                        }
+                    }
+                    "fault-seed" => {
+                        let seed = parse_u64("fault-seed", value)?;
+                        if fault_seed.replace(seed).is_some() {
+                            return Err(err("flag --fault-seed given twice"));
+                        }
+                    }
+                    "registry-snapshot" => {
+                        if snapshot.replace(value.clone()).is_some() {
+                            return Err(err("flag --registry-snapshot given twice"));
+                        }
+                    }
                     other => return Err(err(format!("unknown serve flag --{other}"))),
                 }
                 i += 2;
@@ -288,6 +330,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 releases,
                 workers,
                 max_sample_n,
+                request_timeout_ms,
+                idle_timeout_ms,
+                fault_seed,
+                snapshot,
             })
         }
         "client" => {
@@ -297,10 +343,23 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 "binary" => true,
                 other => return Err(err(format!("--format: expected json|binary, got '{other}'"))),
             };
+            let timeout_ms = match map.get("timeout-ms") {
+                Some(s) => {
+                    let ms = parse_u64("timeout-ms", s)?;
+                    if ms == 0 {
+                        return Err(err("--timeout-ms must be at least 1"));
+                    }
+                    Some(ms)
+                }
+                None => None,
+            };
+            let retries = parse_u64("retries", take_or(&map, "retries", "0"))? as u32;
             Ok(Command::Client {
                 addr: take(&map, "addr")?.to_string(),
                 request: take(&map, "json")?.to_string(),
                 binary,
+                timeout_ms,
+                retries,
             })
         }
         other => Err(err(format!(
@@ -323,7 +382,10 @@ USAGE:
   privhp info      --release release.json
   privhp serve     --addr 127.0.0.1:4750 [--release name=release.json]...
                    [--workers N] [--max-sample-n N]
+                   [--request-timeout-ms MS] [--idle-timeout-ms MS]
+                   [--registry-snapshot FILE] [--fault-seed S]
   privhp client    --addr 127.0.0.1:4750 --json '{\"op\":\"list\"}' [--format json|binary]
+                   [--timeout-ms MS] [--retries N]
 
 Input CSV: one point per line. interval: a single value in [0,1];
 cube:D: D comma-separated values in [0,1]; ipv4: dotted-quad addresses.
@@ -336,9 +398,18 @@ requests as line-delimited JSON over TCP through a bounded worker pool
 (--workers, default = available parallelism); when the connection queue is
 full, newcomers get a structured busy error instead of waiting. Bulk
 sample requests are capped at --max-sample-n points (default 1000000).
+A request over --request-timeout-ms (default 30000; 0 disables) gets a
+request_timeout error; a connection idle past --idle-timeout-ms
+(default 60000; 0 disables) is dropped with an idle_timeout frame.
+--registry-snapshot FILE is restored at boot and rewritten atomically
+after every successful load; --fault-seed S arms deterministic fault
+injection (chaos testing; also via PRIVHP_FAULT_SEED).
 client sends one request frame (--json - to read it from stdin) and
 prints the one-line reply; --format binary negotiates the binary
 bulk-sample frame and prints the decoded (JSON-identical) points.
+--retries N (default 0) retries busy/timeout/disconnect failures with
+seeded-jitter exponential backoff under a --timeout-ms deadline per
+attempt (default 30000) — safe because seeded requests are idempotent.
 The release file is eps-differentially private; querying and sampling it
 costs no further privacy budget.";
 
@@ -512,7 +583,16 @@ mod tests {
         ]))
         .unwrap();
         match cmd {
-            Command::Serve { addr, releases, workers, max_sample_n } => {
+            Command::Serve {
+                addr,
+                releases,
+                workers,
+                max_sample_n,
+                request_timeout_ms,
+                idle_timeout_ms,
+                fault_seed,
+                snapshot,
+            } => {
                 assert_eq!(addr, "127.0.0.1:0");
                 assert_eq!(
                     releases,
@@ -523,6 +603,10 @@ mod tests {
                 );
                 assert_eq!(workers, None, "workers defaults to available parallelism");
                 assert_eq!(max_sample_n, None, "cap defaults to the protocol limit");
+                assert_eq!(request_timeout_ms, None, "deadline defaults to the server's");
+                assert_eq!(idle_timeout_ms, None, "deadline defaults to the server's");
+                assert_eq!(fault_seed, None, "fault injection defaults to off");
+                assert_eq!(snapshot, None, "no snapshot file by default");
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -559,6 +643,41 @@ mod tests {
     }
 
     #[test]
+    fn parses_serve_deadline_and_chaos_flags() {
+        let cmd = parse_args(&v(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--request-timeout-ms",
+            "2500",
+            "--idle-timeout-ms",
+            "0",
+            "--fault-seed",
+            "42",
+            "--registry-snapshot",
+            "/tmp/reg.snapshot",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                request_timeout_ms, idle_timeout_ms, fault_seed, snapshot, ..
+            } => {
+                assert_eq!(request_timeout_ms, Some(2500));
+                assert_eq!(idle_timeout_ms, Some(0), "0 means disabled, not default");
+                assert_eq!(fault_seed, Some(42));
+                assert_eq!(snapshot.as_deref(), Some("/tmp/reg.snapshot"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let e =
+            parse_args(&v(&["serve", "--addr", "x", "--request-timeout-ms", "abc"])).unwrap_err();
+        assert!(e.0.contains("not a non-negative integer"), "{}", e.0);
+        let e = parse_args(&v(&["serve", "--addr", "x", "--fault-seed", "1", "--fault-seed", "2"]))
+            .unwrap_err();
+        assert!(e.0.contains("twice"), "{}", e.0);
+    }
+
+    #[test]
     fn serve_flag_validation() {
         let e = parse_args(&v(&["serve", "--release", "a=a.json"])).unwrap_err();
         assert!(e.0.contains("--addr"), "{}", e.0);
@@ -579,15 +698,40 @@ mod tests {
             parse_args(&v(&["client", "--addr", "127.0.0.1:4750", "--json", "{\"op\":\"list\"}"]))
                 .unwrap();
         match cmd {
-            Command::Client { addr, request, binary } => {
+            Command::Client { addr, request, binary, timeout_ms, retries } => {
                 assert_eq!(addr, "127.0.0.1:4750");
                 assert_eq!(request, "{\"op\":\"list\"}");
                 assert!(!binary, "format defaults to json");
+                assert_eq!(timeout_ms, None, "deadline defaults to the client's");
+                assert_eq!(retries, 0, "single-shot by default (CI scripts rely on it)");
             }
             other => panic!("wrong command {other:?}"),
         }
         let e = parse_args(&v(&["client", "--addr", "x"])).unwrap_err();
         assert!(e.0.contains("--json"), "{}", e.0);
+    }
+
+    #[test]
+    fn parses_client_retry_flags() {
+        let cmd = parse_args(&v(&[
+            "client",
+            "--addr",
+            "x",
+            "--json",
+            "{}",
+            "--timeout-ms",
+            "5000",
+            "--retries",
+            "12",
+        ]))
+        .unwrap();
+        assert!(matches!(cmd, Command::Client { timeout_ms: Some(5000), retries: 12, .. }));
+        let e = parse_args(&v(&["client", "--addr", "x", "--json", "{}", "--timeout-ms", "0"]))
+            .unwrap_err();
+        assert!(e.0.contains("at least 1"), "{}", e.0);
+        let e = parse_args(&v(&["client", "--addr", "x", "--json", "{}", "--retries", "-1"]))
+            .unwrap_err();
+        assert!(e.0.contains("not a non-negative integer"), "{}", e.0);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use privhp_core::{
 };
 use privhp_domain::{HierarchicalDomain, Hypercube, Ipv4Space, UnitInterval};
 use privhp_dp::rng::rng_from_seed;
-use privhp_serve::{Client, LoadedRelease, Registry, Server, ServerConfig};
+use privhp_serve::{Client, LoadedRelease, Registry, RetryPolicy, Server, ServerConfig};
 use serde::Value;
 
 use crate::args::QueryKind;
@@ -209,23 +209,61 @@ pub fn run_continual(
     Ok(release.to_json())
 }
 
+/// Maps a `--*-timeout-ms` flag onto a config slot: absent keeps the
+/// server default, `0` disables the deadline, anything else sets it.
+fn timeout_flag(
+    flag: Option<u64>,
+    default: Option<std::time::Duration>,
+) -> Option<std::time::Duration> {
+    match flag {
+        None => default,
+        Some(0) => None,
+        Some(ms) => Some(std::time::Duration::from_millis(ms)),
+    }
+}
+
 /// Runs `privhp serve`: loads the named releases, binds, prints one
 /// ready line (so scripts know the port is live), and blocks until a
 /// `shutdown` request. Returns the post-shutdown summary line.
+#[allow(clippy::too_many_arguments)]
 pub fn run_serve(
     addr: &str,
     releases: &[(String, String)],
     workers: Option<usize>,
     max_sample_n: Option<usize>,
+    request_timeout_ms: Option<u64>,
+    idle_timeout_ms: Option<u64>,
+    fault_seed: Option<u64>,
+    snapshot: Option<String>,
 ) -> Result<String, String> {
     let registry = Registry::new();
+    // Restore from the snapshot first (if it exists yet), so explicit
+    // `--release` flags win over the remembered registry on conflicts.
+    if let Some(path) = snapshot.as_deref() {
+        if std::path::Path::new(path).exists() {
+            let restored = registry.restore_snapshot(path)?;
+            if restored > 0 {
+                println!("privhp serve: restored {restored} release(s) from {path}");
+            }
+        }
+    }
     for (name, path) in releases {
         registry.insert(LoadedRelease::load(name, path)?);
     }
+    // The CLI flag wins over PRIVHP_FAULT_SEED; a set-but-unparseable
+    // env var is an error rather than silently-disabled chaos.
+    let fault_seed = match fault_seed {
+        Some(seed) => Some(seed),
+        None => privhp_serve::fault::seed_from_env()?,
+    };
     let defaults = ServerConfig::default();
     let config = ServerConfig {
         workers: workers.unwrap_or(defaults.workers),
         max_sample_n: max_sample_n.unwrap_or(defaults.max_sample_n),
+        request_timeout: timeout_flag(request_timeout_ms, defaults.request_timeout),
+        idle_timeout: timeout_flag(idle_timeout_ms, defaults.idle_timeout),
+        fault_seed,
+        snapshot_path: snapshot,
         ..defaults
     };
     let server = Server::bind_with(addr, registry, config)
@@ -244,12 +282,24 @@ pub fn run_serve(
 /// With `binary`, the connection negotiates the binary bulk-sample
 /// encoding first and any returned payload is decoded back into the
 /// exact line the JSON encoding would have produced, so scripts can diff
-/// the two paths byte for byte.
-pub fn run_client(addr: &str, request: &str, binary: bool) -> Result<String, String> {
-    if !binary {
-        return Ok(format!("{}\n", privhp_serve::oneshot(addr, request)?));
+/// the two paths byte for byte. `retries`/`timeout_ms` shape the
+/// [`RetryPolicy`]; the default `--retries 0` is the single-shot client.
+pub fn run_client(
+    addr: &str,
+    request: &str,
+    binary: bool,
+    timeout_ms: Option<u64>,
+    retries: u32,
+) -> Result<String, String> {
+    let mut policy = RetryPolicy { retries, ..RetryPolicy::default() };
+    if let Some(ms) = timeout_ms {
+        policy.timeout = std::time::Duration::from_millis(ms);
     }
-    let mut client = Client::connect(addr)?;
+    if !binary {
+        let line = privhp_serve::oneshot_with(addr, request, policy).map_err(|e| e.to_string())?;
+        return Ok(format!("{line}\n"));
+    }
+    let mut client = Client::connect_with(addr, policy).map_err(|e| e.to_string())?;
     client.set_binary()?;
     let (header, payload) = client.send_expect_payload(request)?;
     let Some(lanes) = payload else {

@@ -49,13 +49,29 @@ fn run(args: &[String]) -> Result<String, String> {
             std::fs::write(&output, &json).map_err(|e| format!("cannot write {output}: {e}"))?;
             Ok(format!("continual release written to {output}\n"))
         }
-        Command::Serve { addr, releases, workers, max_sample_n } => {
-            commands::run_serve(&addr, &releases, workers, max_sample_n)
-        }
-        Command::Client { addr, request, binary } => {
+        Command::Serve {
+            addr,
+            releases,
+            workers,
+            max_sample_n,
+            request_timeout_ms,
+            idle_timeout_ms,
+            fault_seed,
+            snapshot,
+        } => commands::run_serve(
+            &addr,
+            &releases,
+            workers,
+            max_sample_n,
+            request_timeout_ms,
+            idle_timeout_ms,
+            fault_seed,
+            snapshot,
+        ),
+        Command::Client { addr, request, binary, timeout_ms, retries } => {
             // `--json -` reads the request frame from stdin.
             let frame = if request == "-" { read_input("-")? } else { request };
-            commands::run_client(&addr, &frame, binary)
+            commands::run_client(&addr, &frame, binary, timeout_ms, retries)
         }
     }
 }

@@ -1,105 +1,551 @@
-//! A minimal blocking client: send one request line, read one response
-//! line. Used by `privhp client`, the CI smoke pipeline, the `exp_serve`
-//! load generator, and the protocol tests; any language that can speak
-//! line-delimited JSON over TCP works just as well. For bulk draws the
-//! client can negotiate the binary sample frame ([`Client::set_binary`])
-//! and decode its length-prefixed `f64` payload
+//! A blocking client with deadlines, reconnection and seeded-jitter
+//! retry/backoff: send one request line, read one response line. Used by
+//! `privhp client`, the CI smoke pipelines (including the chaos smoke),
+//! the `exp_serve` load generator, and the protocol tests; any language
+//! that can speak line-delimited JSON over TCP works just as well. For
+//! bulk draws the client can negotiate the binary sample frame
+//! ([`Client::set_binary`]) and decode its length-prefixed `f64` payload
 //! ([`Client::send_expect_payload`]).
+//!
+//! # Retry contract
+//!
+//! Failures split into a [`ClientError`] taxonomy mirroring the server's
+//! error codes ([`crate::protocol::code_is_retryable`]):
+//!
+//! * **retryable** — transport failures (connect refused, reset, the
+//!   connection closing mid-frame or mid-payload), the per-attempt
+//!   response deadline expiring, and structured server frames whose code
+//!   is retryable (`busy`, `request_timeout`, `idle_timeout`). These mean
+//!   "the server didn't authoritatively answer this request"; the client
+//!   reconnects (re-negotiating binary mode if it was on), sleeps an
+//!   exponentially growing, deterministically jittered backoff, and sends
+//!   the request again.
+//! * **terminal** — structured frames with a non-retryable code
+//!   (`sample_cap`, `bad_request`, `unknown_release`, `internal`) or no
+//!   code at all. The server *did* answer; the frame is returned to the
+//!   caller as the response.
+//!
+//! Retrying is safe because the protocol is idempotent by construction:
+//! `sample` and `query` responses are pure functions of
+//! `(release bytes, request)` — a request that half-succeeded before a
+//! disconnect returns byte-identical results when replayed.
+//!
+//! The default [`RetryPolicy`] has `retries: 0`, so a bare
+//! [`Client::connect`] behaves exactly like the pre-retry client: one
+//! attempt, errors surfaced immediately.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
-use std::time::Duration;
+use std::fmt;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
+use privhp_dp::rng::mix64;
 use serde::Value;
 
-use crate::protocol::read_binary_payload;
+use crate::protocol::code_is_retryable;
 
-/// Default time to wait for a response line before giving up.
+/// Default per-attempt time to wait for a response before giving up.
 pub const RESPONSE_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// One connection to a `privhp serve` instance. Requests are answered in
-/// order, so one connection can carry any number of them.
+/// How often deadline-bounded reads wake up to re-check the clock.
+const CLIENT_POLL: Duration = Duration::from_millis(50);
+
+/// Why a request failed without an authoritative answer, classified the
+/// same way the server's error codes are.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// Transport-level failure: connect refused, connection reset, or the
+    /// stream ending mid-frame / mid-payload (a truncated response is
+    /// detected by its missing terminating newline or short payload).
+    /// Always retryable.
+    Transport(String),
+    /// The per-attempt response deadline ([`RetryPolicy::timeout`])
+    /// expired. Always retryable.
+    Timeout(String),
+    /// A structured error frame from the server. Retryable exactly when
+    /// its `code` is ([`code_is_retryable`]); terminal frames are not
+    /// errors at this level — they're returned as responses.
+    Server {
+        /// The frame's machine-readable `code`, when present.
+        code: Option<String>,
+        /// The raw one-line frame.
+        frame: String,
+    },
+}
+
+impl ClientError {
+    /// Whether retrying the identical request can succeed: transport and
+    /// timeout failures always can; server frames follow their code.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Transport(_) | ClientError::Timeout(_) => true,
+            ClientError::Server { code, .. } => code.as_deref().is_some_and(code_is_retryable),
+        }
+    }
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Transport(m) | ClientError::Timeout(m) => f.write_str(m),
+            ClientError::Server { frame, .. } => f.write_str(frame),
+        }
+    }
+}
+
+/// Parses a response line and, when it is an error frame (`"ok":false`),
+/// returns it as a [`ClientError::Server`] carrying its code. `None` for
+/// success frames and lines that don't parse as frames at all.
+pub fn frame_error(line: &str) -> Option<ClientError> {
+    let v = serde_json::parse_value_str(line).ok()?;
+    if v.get("ok").and_then(Value::as_bool) == Some(false) {
+        Some(ClientError::Server {
+            code: v.get("code").and_then(Value::as_str).map(str::to_string),
+            frame: line.to_string(),
+        })
+    } else {
+        None
+    }
+}
+
+/// Deadline and retry knobs of a [`Client`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (`0` = single-shot, the
+    /// default — identical to the pre-retry client).
+    pub retries: u32,
+    /// Per-attempt response deadline: the budget from sending a request
+    /// to its complete response (payload included). Also bounds connect.
+    pub timeout: Duration,
+    /// First backoff sleep; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Seed of the deterministic backoff jitter, so a retry schedule is
+    /// reproducible in tests and CI.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            retries: 0,
+            timeout: RESPONSE_TIMEOUT,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(500),
+            jitter_seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (0-based): exponential
+    /// `base * 2^attempt` capped at [`RetryPolicy::backoff_max`], scaled
+    /// by a deterministic jitter factor in `[0.5, 1.0)` derived from
+    /// `(jitter_seed, attempt)` — full determinism for tests, enough
+    /// spread that a fleet of clients doesn't thunder back in lockstep.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .backoff_base
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.backoff_max);
+        let h = mix64(self.jitter_seed ^ u64::from(attempt).wrapping_add(0xB0FF));
+        let jitter = 0.5 + 0.5 * ((h >> 11) as f64 / (1u64 << 53) as f64);
+        exp.mul_f64(jitter)
+    }
+}
+
+/// One live connection's halves.
 #[derive(Debug)]
-pub struct Client {
+struct Connection {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
 }
 
-impl Client {
-    /// Connects to `addr` (e.g. `127.0.0.1:4750`).
-    pub fn connect(addr: &str) -> Result<Self, String> {
-        let stream =
-            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+/// A connection to a `privhp serve` instance that transparently
+/// reconnects and retries per its [`RetryPolicy`]. Requests are answered
+/// in order, so one client can carry any number of them.
+#[derive(Debug)]
+pub struct Client {
+    addr: String,
+    policy: RetryPolicy,
+    conn: Option<Connection>,
+    /// The negotiated `sample` encoding, restored after a reconnect.
+    binary: bool,
+}
+
+fn dial(addr: &str, timeout: Duration) -> Result<Connection, ClientError> {
+    let sockaddr = addr
+        .to_socket_addrs()
+        .map_err(|e| ClientError::Transport(format!("cannot resolve {addr}: {e}")))?
+        .next()
+        .ok_or_else(|| ClientError::Transport(format!("{addr} resolves to no address")))?;
+    let stream = TcpStream::connect_timeout(&sockaddr, timeout)
+        .map_err(|e| ClientError::Transport(format!("cannot connect to {addr}: {e}")))?;
+    // Request frames are one small line each; Nagle + delayed ACK would
+    // serialise request/response pairs at ~40ms apiece.
+    let _ = stream.set_nodelay(true);
+    let reader = BufReader::new(
         stream
-            .set_read_timeout(Some(RESPONSE_TIMEOUT))
-            .map_err(|e| format!("cannot set timeout: {e}"))?;
-        // Request frames are one small line each; Nagle + delayed ACK
-        // would serialise request/response pairs at ~40ms apiece.
-        let _ = stream.set_nodelay(true);
-        let reader =
-            BufReader::new(stream.try_clone().map_err(|e| format!("cannot clone stream: {e}"))?);
-        Ok(Self { reader, writer: stream })
+            .try_clone()
+            .map_err(|e| ClientError::Transport(format!("cannot clone stream: {e}")))?,
+    );
+    Ok(Connection { reader, writer: stream })
+}
+
+/// Reads one complete response line under `deadline`. A stream that ends
+/// before the terminating newline is a truncated (torn) response — a
+/// transport error, never silently passed to the caller as a frame.
+fn read_frame_deadline(
+    reader: &mut BufReader<TcpStream>,
+    deadline: Instant,
+) -> Result<String, ClientError> {
+    let mut buf = Vec::new();
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(ClientError::Timeout("timed out waiting for a response".into()));
+        }
+        let _ = reader.get_ref().set_read_timeout(Some(CLIENT_POLL.min(deadline - now)));
+        match reader.fill_buf() {
+            Ok([]) => {
+                return Err(ClientError::Transport(if buf.is_empty() {
+                    "server closed the connection".into()
+                } else {
+                    "truncated response: connection closed mid-frame".into()
+                }));
+            }
+            Ok(bytes) => {
+                if let Some(pos) = bytes.iter().position(|&b| b == b'\n') {
+                    buf.extend_from_slice(&bytes[..pos]);
+                    reader.consume(pos + 1);
+                    return String::from_utf8(buf)
+                        .map_err(|_| ClientError::Transport("response is not valid UTF-8".into()));
+                }
+                let n = bytes.len();
+                buf.extend_from_slice(bytes);
+                reader.consume(n);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(ClientError::Transport(format!("cannot read response: {e}"))),
+        }
+    }
+}
+
+/// Fills `out` exactly under `deadline`; a short stream is a truncated
+/// payload (transport error).
+fn read_exact_deadline(
+    reader: &mut BufReader<TcpStream>,
+    out: &mut [u8],
+    deadline: Instant,
+) -> Result<(), ClientError> {
+    let mut filled = 0;
+    while filled < out.len() {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(ClientError::Timeout("timed out reading the binary payload".into()));
+        }
+        let _ = reader.get_ref().set_read_timeout(Some(CLIENT_POLL.min(deadline - now)));
+        match reader.read(&mut out[filled..]) {
+            Ok(0) => {
+                return Err(ClientError::Transport(
+                    "truncated payload: connection closed mid-payload".into(),
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(ClientError::Transport(format!("cannot read payload: {e}"))),
+        }
+    }
+    Ok(())
+}
+
+/// Reads a binary sample payload (8-byte LE length prefix + LE `f64`
+/// lanes) under `deadline`.
+fn read_payload_deadline(
+    reader: &mut BufReader<TcpStream>,
+    deadline: Instant,
+) -> Result<Vec<f64>, ClientError> {
+    let mut prefix = [0u8; 8];
+    read_exact_deadline(reader, &mut prefix, deadline)?;
+    let bytes = u64::from_le_bytes(prefix);
+    if bytes % 8 != 0 {
+        return Err(ClientError::Transport(format!(
+            "payload length {bytes} is not a whole number of f64 lanes"
+        )));
+    }
+    let n_lanes = (bytes / 8) as usize;
+    let mut lanes = Vec::with_capacity(n_lanes.min(1 << 20));
+    let mut chunk = [0u8; 8192];
+    let mut remaining = bytes as usize;
+    while remaining > 0 {
+        let take = remaining.min(chunk.len());
+        read_exact_deadline(reader, &mut chunk[..take], deadline)?;
+        lanes.extend(
+            chunk[..take].chunks_exact(8).map(|b| {
+                f64::from_le_bytes(b.try_into().expect("chunks_exact yields 8-byte slices"))
+            }),
+        );
+        remaining -= take;
+    }
+    Ok(lanes)
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:4750`) with the default
+    /// single-shot [`RetryPolicy`].
+    pub fn connect(addr: &str) -> Result<Self, String> {
+        Self::connect_with(addr, RetryPolicy::default()).map_err(|e| e.to_string())
     }
 
-    /// Sends one request frame and returns the (trimmed) response line.
-    /// The request must be a single line; embedded newlines are rejected
-    /// rather than silently split into several frames.
-    pub fn send(&mut self, request_line: &str) -> Result<String, String> {
+    /// Connects under an explicit policy. The initial dial itself retries
+    /// with backoff (a server still booting is a retryable condition).
+    pub fn connect_with(addr: &str, policy: RetryPolicy) -> Result<Self, ClientError> {
+        let mut attempt = 0u32;
+        let conn = loop {
+            match dial(addr, policy.timeout) {
+                Ok(conn) => break conn,
+                Err(_) if attempt < policy.retries => {
+                    std::thread::sleep(policy.backoff(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        Ok(Self { addr: addr.to_string(), policy, conn: Some(conn), binary: false })
+    }
+
+    /// The active retry policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Replaces the retry policy (affects subsequent requests).
+    pub fn set_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    /// Sends one request and returns the authoritative (trimmed) response
+    /// line, retrying retryable failures per the policy. A returned
+    /// `Ok` line may still be a *terminal* error frame (e.g.
+    /// `sample_cap`) — that is the server's authoritative answer; `Err`
+    /// means no authoritative answer was obtained within the retry
+    /// budget, classified by [`ClientError`].
+    pub fn request(&mut self, request_line: &str) -> Result<String, ClientError> {
+        self.run(request_line, false).map(|(header, _)| header)
+    }
+
+    /// [`Client::request`] for (possibly) binary-negotiated connections:
+    /// also decodes the flat `f64` lane payload following a successful
+    /// binary `sample` header (`None` for ordinary JSON responses, errors
+    /// included).
+    pub fn request_expect_payload(
+        &mut self,
+        request_line: &str,
+    ) -> Result<(String, Option<Vec<f64>>), ClientError> {
+        self.run(request_line, true)
+    }
+
+    /// The retry loop shared by every request path.
+    fn run(
+        &mut self,
+        request_line: &str,
+        want_payload: bool,
+    ) -> Result<(String, Option<Vec<f64>>), ClientError> {
         let line = request_line.trim();
         if line.contains('\n') {
-            return Err("request must be a single line".into());
+            // A caller bug, not a transport condition: never retried.
+            return Err(ClientError::Transport("request must be a single line".into()));
         }
-        writeln!(self.writer, "{line}")
-            .and_then(|_| self.writer.flush())
-            .map_err(|e| format!("cannot send request: {e}"))?;
-        let mut response = String::new();
-        match self.reader.read_line(&mut response) {
-            Ok(0) => Err("server closed the connection".into()),
-            Ok(_) => Ok(response.trim_end().to_string()),
-            Err(e) => Err(format!("cannot read response: {e}")),
+        let mut attempt = 0u32;
+        loop {
+            let error = match self.attempt(line, want_payload) {
+                Ok((header, payload)) => match frame_error(&header) {
+                    Some(e) if e.is_retryable() => {
+                        // busy / request_timeout / idle_timeout: the
+                        // server closes the connection after these.
+                        self.conn = None;
+                        e
+                    }
+                    // Success, or a terminal frame — the authoritative
+                    // answer either way.
+                    _ => return Ok((header, payload)),
+                },
+                Err(e) => {
+                    self.conn = None;
+                    e
+                }
+            };
+            if attempt >= self.policy.retries {
+                return Err(error);
+            }
+            std::thread::sleep(self.policy.backoff(attempt));
+            attempt += 1;
         }
     }
 
-    /// Negotiates the binary `sample` encoding on this connection; after
-    /// it succeeds, send `sample` requests through
-    /// [`Client::send_expect_payload`].
+    /// One attempt: ensure a connection (re-negotiating binary mode after
+    /// a reconnect), send, read the response under the deadline.
+    fn attempt(
+        &mut self,
+        line: &str,
+        want_payload: bool,
+    ) -> Result<(String, Option<Vec<f64>>), ClientError> {
+        let deadline = Instant::now() + self.policy.timeout;
+        if self.conn.is_none() {
+            let mut conn = dial(&self.addr, self.policy.timeout)?;
+            if self.binary {
+                negotiate_binary(&mut conn, deadline)?;
+            }
+            self.conn = Some(conn);
+        }
+        let conn = self.conn.as_mut().expect("connection established above");
+        exchange(conn, line, want_payload, deadline)
+    }
+
+    /// Negotiates the binary `sample` encoding on this connection (and on
+    /// every reconnection); after it succeeds, send `sample` requests
+    /// through [`Client::send_expect_payload`].
     pub fn set_binary(&mut self) -> Result<(), String> {
-        let line = self.send("{\"op\":\"format\",\"encoding\":\"binary\"}")?;
+        let line = self
+            .request("{\"op\":\"format\",\"encoding\":\"binary\"}")
+            .map_err(|e| e.to_string())?;
         let v = serde_json::parse_value_str(&line)
             .map_err(|e| format!("unparseable format response '{line}': {e}"))?;
         if v.get("ok").and_then(Value::as_bool) == Some(true) {
+            self.binary = true;
             Ok(())
         } else {
             Err(format!("format negotiation refused: {line}"))
         }
     }
 
+    /// Sends one request frame and returns the (trimmed) response line.
+    /// The request must be a single line; embedded newlines are rejected
+    /// rather than silently split into several frames. (String-error
+    /// wrapper over [`Client::request`].)
+    pub fn send(&mut self, request_line: &str) -> Result<String, String> {
+        self.request(request_line).map_err(|e| e.to_string())
+    }
+
     /// Sends one request on a (possibly) binary-negotiated connection.
     /// Returns the one-line response header verbatim plus, when the header
     /// announces `"encoding":"binary"`, the decoded flat `f64` lane
     /// payload that followed it (`None` for ordinary JSON responses,
-    /// errors included).
+    /// errors included). (String-error wrapper over
+    /// [`Client::request_expect_payload`].)
     pub fn send_expect_payload(
         &mut self,
         request_line: &str,
     ) -> Result<(String, Option<Vec<f64>>), String> {
-        let header = self.send(request_line)?;
-        let v = serde_json::parse_value_str(&header)
-            .map_err(|e| format!("unparseable response header '{header}': {e}"))?;
-        // Only a successful `sample` header is followed by a payload (the
-        // `format` ack also carries an `encoding` field, but no payload).
-        let binary_sample = v.get("ok").and_then(Value::as_bool) == Some(true)
-            && v.get("op").and_then(Value::as_str) == Some("sample")
-            && v.get("encoding").and_then(Value::as_str) == Some("binary");
-        if !binary_sample {
-            return Ok((header, None));
-        }
-        let lanes = read_binary_payload(&mut self.reader)?;
-        Ok((header, Some(lanes)))
+        self.request_expect_payload(request_line).map_err(|e| e.to_string())
     }
 }
 
-/// Connects, sends one request, returns the response line.
+/// One request/response exchange on a live connection.
+fn exchange(
+    conn: &mut Connection,
+    line: &str,
+    want_payload: bool,
+    deadline: Instant,
+) -> Result<(String, Option<Vec<f64>>), ClientError> {
+    writeln!(conn.writer, "{line}")
+        .and_then(|_| conn.writer.flush())
+        .map_err(|e| ClientError::Transport(format!("cannot send request: {e}")))?;
+    let header = read_frame_deadline(&mut conn.reader, deadline)?;
+    let header = header.trim_end().to_string();
+    if !want_payload {
+        return Ok((header, None));
+    }
+    let v = serde_json::parse_value_str(&header).map_err(|e| {
+        ClientError::Transport(format!("unparseable response header '{header}': {e}"))
+    })?;
+    // Only a successful `sample` header is followed by a payload (the
+    // `format` ack also carries an `encoding` field, but no payload).
+    let binary_sample = v.get("ok").and_then(Value::as_bool) == Some(true)
+        && v.get("op").and_then(Value::as_str) == Some("sample")
+        && v.get("encoding").and_then(Value::as_str) == Some("binary");
+    if !binary_sample {
+        return Ok((header, None));
+    }
+    let lanes = read_payload_deadline(&mut conn.reader, deadline)?;
+    Ok((header, Some(lanes)))
+}
+
+/// Re-establishes binary mode on a fresh connection mid-retry.
+fn negotiate_binary(conn: &mut Connection, deadline: Instant) -> Result<(), ClientError> {
+    let (ack, _) = exchange(conn, "{\"op\":\"format\",\"encoding\":\"binary\"}", false, deadline)?;
+    let ok =
+        serde_json::parse_value_str(&ack).ok().and_then(|v| v.get("ok").and_then(Value::as_bool))
+            == Some(true);
+    if ok {
+        Ok(())
+    } else {
+        Err(ClientError::Transport(format!("format renegotiation refused: {ack}")))
+    }
+}
+
+/// Connects, sends one request, returns the response line (single-shot,
+/// like the default policy).
 pub fn oneshot(addr: &str, request_line: &str) -> Result<String, String> {
     Client::connect(addr)?.send(request_line)
+}
+
+/// [`oneshot`] under an explicit deadline/retry policy.
+pub fn oneshot_with(
+    addr: &str,
+    request_line: &str,
+    policy: RetryPolicy,
+) -> Result<String, ClientError> {
+    Client::connect_with(addr, policy)?.request(request_line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential_capped_and_deterministic() {
+        let policy = RetryPolicy { retries: 8, ..RetryPolicy::default() };
+        let a: Vec<Duration> = (0..8).map(|i| policy.backoff(i)).collect();
+        let b: Vec<Duration> = (0..8).map(|i| policy.backoff(i)).collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        for (i, d) in a.iter().enumerate() {
+            let exp = policy
+                .backoff_base
+                .saturating_mul((1usize << i.min(31)) as u32)
+                .min(policy.backoff_max);
+            assert!(*d >= exp / 2, "attempt {i}: {d:?} below half the nominal {exp:?}");
+            assert!(*d <= exp, "attempt {i}: {d:?} above the nominal {exp:?}");
+            assert!(*d <= policy.backoff_max, "attempt {i} over the cap");
+        }
+        // Late attempts sit at the (jittered) cap.
+        assert!(a[7] >= policy.backoff_max / 2);
+        // A different seed jitters differently.
+        let other = RetryPolicy { jitter_seed: 1, ..policy };
+        assert!((0..8).any(|i| other.backoff(i) != a[i as usize]));
+    }
+
+    #[test]
+    fn frame_errors_classify_like_the_server_codes() {
+        let busy = frame_error("{\"ok\":false,\"error\":\"busy\",\"code\":\"busy\"}").unwrap();
+        assert!(busy.is_retryable());
+        let cap =
+            frame_error("{\"ok\":false,\"error\":\"too big\",\"code\":\"sample_cap\"}").unwrap();
+        assert!(!cap.is_retryable());
+        let codeless = frame_error("{\"ok\":false,\"error\":\"invalid JSON\"}").unwrap();
+        assert!(!codeless.is_retryable(), "codeless frames are terminal");
+        assert!(frame_error("{\"ok\":true,\"op\":\"list\"}").is_none());
+        assert!(frame_error("not a frame").is_none());
+        assert!(ClientError::Transport("reset".into()).is_retryable());
+        assert!(ClientError::Timeout("deadline".into()).is_retryable());
+    }
 }

@@ -32,8 +32,24 @@
 //!   served by the `stats` op;
 //! * [`client`] — the blocking one-line-in, one-line-out client the
 //!   `privhp client` subcommand, the CI smoke pipeline and the
-//!   `exp_serve` load generator use; it also negotiates and decodes the
-//!   binary sample frame.
+//!   `exp_serve` load generator use; it negotiates and decodes the
+//!   binary sample frame, and reconnects/retries retryable failures
+//!   (transport errors, deadlines, `busy`-class frames) under a
+//!   seeded-jitter exponential backoff — safe because seeded requests
+//!   are idempotent;
+//! * [`fault`] — deterministic fault injection for chaos testing: armed
+//!   by `--fault-seed` / `PRIVHP_FAULT_SEED`, each connection derives a
+//!   reproducible schedule of torn writes, truncated frames/payloads,
+//!   byte trickle, delayed reads and resets; zero-cost when off.
+//!
+//! Robustness contract: the server bounds every resource a hostile
+//! client could pin (worker pool, queue, request line length, idle and
+//! per-request wall clocks) and settles every accepted connection into
+//! exactly one `stats` disposition (`served` / `shed` / `timed_out` /
+//! `idle_closed` / `io_error`), so `connections == served + shed +
+//! timed_out + idle_closed + io_error + open` holds at any quiet
+//! instant. Hot `load`s stage fully before an atomic registry swap, and
+//! an optional registry snapshot file survives restarts.
 //!
 //! Determinism: `sample` responses are a pure function of `(release
 //! bytes, n, seed)` — the per-request seed is whitened exactly as the
@@ -43,13 +59,15 @@
 //! no server state leaks into responses.
 
 pub mod client;
+pub mod fault;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 pub mod stats;
 
-pub use client::{oneshot, Client};
-pub use protocol::{parse_request, Probe, Request};
+pub use client::{oneshot, oneshot_with, Client, ClientError, RetryPolicy};
+pub use fault::{FaultKind, FaultPlan};
+pub use protocol::{code_is_retryable, parse_request, Probe, Request};
 pub use registry::{LoadedRelease, Registry};
 pub use server::{Server, ServerConfig};
-pub use stats::{LatencyHistogram, ServerStats};
+pub use stats::{Disposition, LatencyHistogram, ServerStats};

@@ -215,6 +215,33 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     }
 }
 
+/// Every machine-readable error code the server emits, with its retry
+/// classification. This is the single source of truth: the client's retry
+/// loop, the table-driven taxonomy test, and the README table all derive
+/// from it.
+///
+/// Retryable codes describe *transient server state* (backpressure, a
+/// deadline that fired) — the request itself was fine, and because seeded
+/// `sample`/`query` are deterministic, repeating it is idempotent.
+/// Terminal codes describe the *request* (too big, malformed, names a
+/// release that isn't loaded) or a server bug; repeating those verbatim
+/// can never succeed.
+pub const ERROR_CODES: [(&str, bool); 7] = [
+    ("busy", true),
+    ("request_timeout", true),
+    ("idle_timeout", true),
+    ("sample_cap", false),
+    ("bad_request", false),
+    ("unknown_release", false),
+    ("internal", false),
+];
+
+/// Whether an error `code` marks a transient failure a client should
+/// retry. Unknown codes (a newer server) are conservatively terminal.
+pub fn code_is_retryable(code: &str) -> bool {
+    ERROR_CODES.iter().any(|&(c, retryable)| c == code && retryable)
+}
+
 /// A failed request: the human-readable message plus an optional
 /// machine-readable `code` and extra structured fields (e.g. the effective
 /// cap on a `sample_cap` rejection).
@@ -247,6 +274,52 @@ impl ErrorReply {
             ),
             code: Some("sample_cap"),
             extra: vec![("cap", Value::UInt(cap as u64))],
+        }
+    }
+
+    /// A malformed request (bad JSON, unknown op, missing fields), under
+    /// the terminal code `bad_request` — retrying the identical bytes can
+    /// never succeed.
+    pub fn bad_request(message: String) -> Self {
+        Self { message, code: Some("bad_request"), extra: Vec::new() }
+    }
+
+    /// A request naming a release the registry doesn't hold, under the
+    /// terminal code `unknown_release`.
+    pub fn unknown_release(message: String) -> Self {
+        Self { message, code: Some("unknown_release"), extra: Vec::new() }
+    }
+
+    /// A request whose handling blew the server's per-request wall-clock
+    /// budget, under the retryable code `request_timeout`; names the
+    /// budget in a `timeout_ms` field.
+    pub fn request_timeout(budget_ms: u64) -> Self {
+        Self {
+            message: format!("request exceeded the server's {budget_ms}ms budget"),
+            code: Some("request_timeout"),
+            extra: vec![("timeout_ms", Value::UInt(budget_ms))],
+        }
+    }
+
+    /// The parting frame a worker writes before dropping a connection
+    /// idle past `--idle-timeout-ms`, under the retryable code
+    /// `idle_timeout` — the client did nothing wrong; reconnecting is the
+    /// fix.
+    pub fn idle_timeout(budget_ms: u64) -> Self {
+        Self {
+            message: format!("connection idle past {budget_ms}ms, closing"),
+            code: Some("idle_timeout"),
+            extra: vec![("timeout_ms", Value::UInt(budget_ms))],
+        }
+    }
+
+    /// A handler panic, under the terminal code `internal` — the request
+    /// triggered a server bug, so replaying it would only trip it again.
+    pub fn internal() -> Self {
+        Self {
+            message: "internal error while handling the request".into(),
+            code: Some("internal"),
+            extra: Vec::new(),
         }
     }
 

@@ -54,6 +54,10 @@ pub struct LoadedRelease {
     release: ReleaseFile,
     domain: DomainKind,
     cdf: OnceLock<Arc<LeafCdf>>,
+    /// The file this release was loaded from, when it came from disk —
+    /// what the registry snapshot records so a restarted server can
+    /// reload the same set.
+    source: Option<String>,
 }
 
 /// Samples through `dyn Generator` (one vtable hop, amortised by the batch
@@ -78,7 +82,7 @@ impl LoadedRelease {
     /// Wraps an already-parsed release under a registry name.
     pub fn from_release(name: impl Into<String>, release: ReleaseFile) -> Self {
         let domain = DomainKind::from_spec(release.domain);
-        Self { name: name.into(), release, domain, cdf: OnceLock::new() }
+        Self { name: name.into(), release, domain, cdf: OnceLock::new(), source: None }
     }
 
     /// The release tree's leaf CDF, built on first use and shared by every
@@ -87,15 +91,32 @@ impl LoadedRelease {
         self.cdf.get_or_init(|| Arc::new(LeafCdf::build(&self.release.tree))).clone()
     }
 
-    /// Reads and parses a release file from disk.
+    /// Reads, parses and validates a release file from disk. The whole
+    /// pipeline — read, JSON parse, release validation, leaf-CDF build —
+    /// runs here, *before* the caller touches any registry, so a
+    /// truncated or corrupt file fails in staging and can never evict or
+    /// corrupt a serving release. The source path is recorded for the
+    /// registry snapshot.
     pub fn load(name: &str, path: &str) -> Result<Self, String> {
         let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        Ok(Self::from_release(name, ReleaseFile::from_json(&json)?))
+        let mut loaded = Self::from_release(name, ReleaseFile::from_json(&json)?);
+        loaded.source = Some(path.to_string());
+        // Warm (and thereby validate) the leaf CDF in staging too: the
+        // first sample request shouldn't pay the build, and a tree the
+        // CDF builder chokes on should fail the load, not a request.
+        let _ = loaded.leaf_cdf();
+        Ok(loaded)
     }
 
     /// The registry name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The file this release was loaded from (`None` for in-process
+    /// releases that never touched disk).
+    pub fn source_path(&self) -> Option<&str> {
+        self.source.as_deref()
     }
 
     /// The underlying release file.
@@ -281,6 +302,73 @@ impl Registry {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// The snapshot document: `{"releases":[{"name":..,"path":..},..]}`
+    /// listing every release that came from disk, sorted by name.
+    /// Releases without a source path (built in-process) cannot be
+    /// reloaded by path and are omitted.
+    pub fn snapshot_value(&self) -> Value {
+        let map = self.map.read().unwrap_or_else(|e| e.into_inner());
+        let mut entries: Vec<(&str, &str)> =
+            map.values().filter_map(|r| r.source_path().map(|p| (r.name(), p))).collect();
+        entries.sort_unstable();
+        Value::Object(vec![(
+            "releases".into(),
+            Value::Array(
+                entries
+                    .into_iter()
+                    .map(|(name, path)| {
+                        Value::Object(vec![
+                            ("name".into(), Value::String(name.into())),
+                            ("path".into(), Value::String(path.into())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+
+    /// Writes the registry snapshot crash-safely: the document goes to a
+    /// sibling temp file first and is renamed over `path`, so a crash
+    /// mid-write leaves either the old snapshot or the new one — never a
+    /// torn file.
+    pub fn write_snapshot(&self, path: &str) -> Result<(), String> {
+        let doc = serde_json::value_to_string(&self.snapshot_value());
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, format!("{doc}\n"))
+            .map_err(|e| format!("cannot write snapshot {tmp}: {e}"))?;
+        std::fs::rename(&tmp, path).map_err(|e| format!("cannot publish snapshot {path}: {e}"))
+    }
+
+    /// Loads every release named by a snapshot written by
+    /// [`Registry::write_snapshot`], returning how many were restored.
+    /// Each release stages fully (parse + validate + leaf CDF) before its
+    /// insert; the first failure aborts with nothing half-loaded beyond
+    /// the releases already restored.
+    pub fn restore_snapshot(&self, path: &str) -> Result<usize, String> {
+        let doc = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read snapshot {path}: {e}"))?;
+        let v = serde_json::parse_value_str(doc.trim())
+            .map_err(|e| format!("snapshot {path} is not valid JSON: {e}"))?;
+        let releases = v
+            .get("releases")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("snapshot {path} has no 'releases' array"))?;
+        let mut restored = 0;
+        for entry in releases {
+            let name = entry
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("snapshot {path}: entry missing 'name'"))?;
+            let file = entry
+                .get("path")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("snapshot {path}: entry missing 'path'"))?;
+            self.insert(LoadedRelease::load(name, file)?);
+            restored += 1;
+        }
+        Ok(restored)
+    }
 }
 
 #[cfg(test)]
@@ -359,5 +447,82 @@ mod tests {
             .map(|s| s.get("name").unwrap().as_str().unwrap().to_string())
             .collect();
         assert_eq!(names, ["a", "b"]);
+    }
+
+    /// A scratch directory removed on drop, so test files never leak.
+    struct Scratch(std::path::PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("privhp-registry-{tag}-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            Self(dir)
+        }
+
+        fn path(&self, file: &str) -> String {
+            self.0.join(file).to_string_lossy().into_owned()
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn load_records_source_and_rejects_corrupt_files_in_staging() {
+        let scratch = Scratch::new("staging");
+        let good = scratch.path("good.json");
+        std::fs::write(&good, tiny_release().to_json()).unwrap();
+
+        let reg = Registry::new();
+        reg.insert(LoadedRelease::load("demo", &good).unwrap());
+        assert_eq!(reg.get("demo").unwrap().source_path(), Some(good.as_str()));
+        let before = reg.get("demo").unwrap().sample_points(8, 1);
+
+        // A truncated file fails in staging: the registry is untouched and
+        // the previous release keeps serving identical bytes.
+        let corrupt = scratch.path("corrupt.json");
+        std::fs::write(&corrupt, &tiny_release().to_json()[..40]).unwrap();
+        assert!(LoadedRelease::load("demo", &corrupt).is_err());
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get("demo").unwrap().sample_points(8, 1), before);
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_omits_sourceless_releases() {
+        let scratch = Scratch::new("snapshot");
+        for file in ["a.json", "b.json"] {
+            std::fs::write(scratch.path(file), tiny_release().to_json()).unwrap();
+        }
+        let reg = Registry::new();
+        reg.insert(LoadedRelease::load("b", &scratch.path("b.json")).unwrap());
+        reg.insert(LoadedRelease::load("a", &scratch.path("a.json")).unwrap());
+        // In-process release without a source path: not snapshot-able.
+        reg.insert(LoadedRelease::from_release("mem", tiny_release()));
+
+        let snap = scratch.path("registry.snapshot");
+        reg.write_snapshot(&snap).unwrap();
+        let doc = std::fs::read_to_string(&snap).unwrap();
+        assert!(doc.starts_with("{\"releases\":[{\"name\":\"a\""), "sorted by name: {doc}");
+        assert!(!doc.contains("mem"), "sourceless releases are omitted: {doc}");
+        assert!(!std::path::Path::new(&format!("{snap}.tmp")).exists(), "temp file renamed away");
+
+        // A restarted server restores the same set (minus `mem`) and
+        // serves identical bytes.
+        let fresh = Registry::new();
+        assert_eq!(fresh.restore_snapshot(&snap).unwrap(), 2);
+        assert_eq!(fresh.len(), 2);
+        assert_eq!(
+            fresh.get("a").unwrap().sample_points(16, 7),
+            reg.get("a").unwrap().sample_points(16, 7),
+        );
+
+        // A torn snapshot is a clean error, not a partial load.
+        let torn = scratch.path("torn.snapshot");
+        std::fs::write(&torn, &doc[..doc.len() / 2]).unwrap();
+        assert!(Registry::new().restore_snapshot(&torn).is_err());
     }
 }

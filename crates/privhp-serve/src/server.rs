@@ -1,6 +1,7 @@
 //! The serve loop: a blocking [`TcpListener`] accept loop feeding a
 //! **bounded worker pool** through a bounded connection queue, with
-//! explicit load-shedding when the queue is full.
+//! explicit load-shedding when the queue is full, per-request and idle
+//! deadlines, and optional seeded fault injection for chaos testing.
 //!
 //! Concurrency model (same std-only toolkit as the bench crate's runner):
 //! `std::thread::scope` owns a fixed pool of [`ServerConfig::workers`]
@@ -11,21 +12,62 @@
 //! queue of depth [`ServerConfig::queue_depth`] and goes straight back to
 //! `accept`. When the queue is full the connection is *shed*: answered
 //! with the structured [`busy_frame`] (code `busy`) under a short write
-//! timeout and closed, counted in the `stats` op's `shed` field — an
-//! accept storm costs one frame write per connection, bounded worker
-//! memory, and zero new threads. A worker owns a connection until the
-//! peer closes it, so at most `workers` connections are in flight and at
-//! most `queue_depth` are waiting.
+//! timeout and closed — an accept storm costs one frame write per
+//! connection, bounded worker memory, and zero new threads. A worker owns
+//! a connection until it ends, so at most `workers` connections are in
+//! flight and at most `queue_depth` are waiting.
+//!
+//! # Deadlines
+//!
+//! Two knobs keep hostile or stalled clients from pinning workers:
+//!
+//! * [`ServerConfig::idle_timeout`] (`--idle-timeout-ms`) bounds how long
+//!   a worker waits for the *next complete request line*. The clock runs
+//!   from start-of-wait to the line's terminating newline, so both a
+//!   silent keep-alive and a slow-loris client trickling a request one
+//!   byte at a time hit it (partial bytes and blank keep-alive lines do
+//!   **not** reset it). On expiry the worker writes a parting structured
+//!   `idle_timeout` frame, closes the connection, and returns to the
+//!   queue — the ROADMAP's "idle keep-alives pin workers" concern.
+//! * [`ServerConfig::request_timeout`] (`--request-timeout-ms`) is the
+//!   wall-clock budget from a complete request line to its response. A
+//!   request that blows it is answered with a structured
+//!   `request_timeout` frame instead of its (late) result and the
+//!   connection is dropped; the budget also serves as the response write
+//!   timeout, so a peer that stops reading cannot wedge a worker.
+//!
+//! # Connection accounting
+//!
+//! Every accepted connection ends in exactly one [`Disposition`] —
+//! `served`, `shed`, `timed_out`, `idle_closed`, or `io_error` — counted
+//! in [`ServerStats`] alongside an `open` gauge, with the identity
+//! `connections == served + shed + timed_out + idle_closed + io_error +
+//! open` holding at any quiet instant (CI asserts it after a chaos run).
+//! Response write failures are part of the identity (`io_error`), not
+//! silently discarded. Connections still queued at shutdown are settled
+//! as `shed` with a best-effort `busy` frame.
+//!
+//! # Fault injection
+//!
+//! When [`ServerConfig::fault_seed`] is armed (`--fault-seed` or the
+//! `PRIVHP_FAULT_SEED` env var) each accepted connection derives a
+//! [`FaultPlan`] and its responses flow through a
+//! [`FaultWriter`] — see the [`crate::fault`] docs
+//! for the schedule. Unarmed servers pay one `Option` branch per write.
 //!
 //! Releases are immutable after load, so request handling takes no lock
-//! beyond the registry's brief read lock to clone an `Arc` out.
+//! beyond the registry's brief read lock to clone an `Arc` out. A hot
+//! `load` stages the new release fully (read, parse, validate, leaf-CDF
+//! build) before the atomic map swap, so a corrupt file can never evict a
+//! serving release; with [`ServerConfig::snapshot_path`] set, each
+//! successful `load` also rewrites the registry snapshot (atomic
+//! temp-file rename) a restarted server can reload from.
 //!
 //! Shutdown: a `shutdown` request (or [`Server::request_shutdown`]) flips
 //! an atomic flag and pokes the listener with a dummy connection so the
 //! blocking `accept` observes it. Workers poll the flag between queue
 //! waits and between reads (both on a short timeout), so the scope joins
-//! within one timeout tick even when clients keep idle connections open;
-//! connections still waiting in the queue are dropped unanswered.
+//! within one timeout tick even when clients keep idle connections open.
 //!
 //! Per-connection state is one flag: the negotiated `sample` encoding
 //! (`format` op). In binary mode a successful `sample` response is a JSON
@@ -33,7 +75,7 @@
 //! written straight from the flat sample buffer (see [`crate::protocol`]).
 
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Take, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -42,12 +84,12 @@ use std::time::{Duration, Instant};
 
 use serde::Value;
 
+use crate::fault::{FaultPlan, FaultWriter, ReadAction};
 use crate::protocol::{
-    busy_frame, error_frame, ok_frame, parse_request, write_binary_payload, ErrorReply, Request,
-    MAX_SAMPLE_N,
+    busy_frame, ok_frame, parse_request, write_binary_payload, ErrorReply, Request, MAX_SAMPLE_N,
 };
 use crate::registry::{LoadedRelease, Registry};
-use crate::stats::ServerStats;
+use crate::stats::{Disposition, ServerStats};
 
 /// A request line longer than this closes the connection with an error
 /// frame (protects the server from an unbounded buffer on a stream that
@@ -56,11 +98,20 @@ pub const MAX_REQUEST_BYTES: usize = 1 << 20;
 
 /// How often idle workers re-check the shutdown flag (as the queue-pop
 /// and read timeout); bounds the time between a shutdown request and the
-/// serve loop returning.
+/// serve loop returning, and sets the granularity of the idle deadline.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
 
-/// Sizing and limits of a [`Server`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Default [`ServerConfig::request_timeout`]: generous enough for a
+/// 1M-point binary draw on a loaded box, small enough that a wedged
+/// handler frees its worker the same minute.
+pub const DEFAULT_REQUEST_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default [`ServerConfig::idle_timeout`]: an interactive client gets a
+/// minute between requests before its worker is reclaimed.
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Sizing, limits and deadlines of a [`Server`].
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerConfig {
     /// Worker threads handling connections (each owns one connection at a
     /// time). Default: available parallelism.
@@ -71,6 +122,22 @@ pub struct ServerConfig {
     /// Per-request cap on `sample`'s `n` (`--max-sample-n`); larger
     /// requests are rejected with a structured `sample_cap` error.
     pub max_sample_n: usize,
+    /// Wall-clock budget per request (`--request-timeout-ms`; 0 disables
+    /// → `None`). Overruns answer a `request_timeout` frame and drop the
+    /// connection, counted in `stats.timed_out`.
+    pub request_timeout: Option<Duration>,
+    /// How long a worker waits for the next complete request line
+    /// (`--idle-timeout-ms`; 0 disables → `None`). Expiry writes an
+    /// `idle_timeout` frame and frees the worker, counted in
+    /// `stats.idle_closed`.
+    pub idle_timeout: Option<Duration>,
+    /// Arms deterministic fault injection (`--fault-seed` /
+    /// `PRIVHP_FAULT_SEED`): each connection's faults derive from
+    /// `(seed, connection index)`. `None` (the default) is zero-cost.
+    pub fault_seed: Option<u64>,
+    /// Registry snapshot file (`--registry-snapshot`): rewritten
+    /// atomically after every successful `load`, reloadable at boot.
+    pub snapshot_path: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -79,16 +146,32 @@ impl Default for ServerConfig {
             workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             queue_depth: 64,
             max_sample_n: MAX_SAMPLE_N,
+            request_timeout: Some(DEFAULT_REQUEST_TIMEOUT),
+            idle_timeout: Some(DEFAULT_IDLE_TIMEOUT),
+            fault_seed: None,
+            snapshot_path: None,
         }
     }
 }
 
+/// One accepted connection heading to a worker: the stream plus its
+/// derived fault schedule (always `None` on an unarmed server).
+struct Conn {
+    stream: TcpStream,
+    plan: Option<FaultPlan>,
+}
+
 /// The bounded connection queue between the accept loop and the workers.
-#[derive(Debug)]
 struct ConnQueue {
-    inner: Mutex<VecDeque<TcpStream>>,
+    inner: Mutex<VecDeque<Conn>>,
     ready: Condvar,
     capacity: usize,
+}
+
+impl std::fmt::Debug for ConnQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConnQueue").field("capacity", &self.capacity).finish_non_exhaustive()
+    }
 }
 
 impl ConnQueue {
@@ -102,12 +185,12 @@ impl ConnQueue {
 
     /// Enqueues a connection, or returns it when the queue is full — the
     /// accept loop sheds it; it never blocks here.
-    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+    fn try_push(&self, conn: Conn) -> Result<(), Conn> {
         let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if q.len() >= self.capacity {
-            return Err(stream);
+            return Err(conn);
         }
-        q.push_back(stream);
+        q.push_back(conn);
         drop(q);
         self.ready.notify_one();
         Ok(())
@@ -115,7 +198,7 @@ impl ConnQueue {
 
     /// Dequeues a connection, waiting at most `timeout` — workers re-check
     /// the shutdown flag between waits.
-    fn pop_timeout(&self, timeout: Duration) -> Option<TcpStream> {
+    fn pop_timeout(&self, timeout: Duration) -> Option<Conn> {
         let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(s) = q.pop_front() {
             return Some(s);
@@ -123,6 +206,11 @@ impl ConnQueue {
         let (mut q, _timed_out) =
             self.ready.wait_timeout(q, timeout).unwrap_or_else(|e| e.into_inner());
         q.pop_front()
+    }
+
+    /// Dequeues without waiting (the post-shutdown drain).
+    fn try_pop(&self) -> Option<Conn> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
     }
 }
 
@@ -164,6 +252,89 @@ struct Dispatch {
     set_binary: Option<bool>,
 }
 
+/// How one attempt to read a request line ended.
+enum LineOutcome {
+    /// `buf` holds a complete line (terminating newline included).
+    Line,
+    /// Clean end of stream (`buf` may hold a final unterminated line).
+    Eof,
+    /// The idle deadline fired before a complete line arrived.
+    Idle,
+    /// The line exceeded [`MAX_REQUEST_BYTES`].
+    TooLong,
+    /// The server is shutting down.
+    Shutdown,
+    /// Unrecoverable stream error (reset, torn pipe).
+    StreamError,
+}
+
+/// Accumulates one request line into `buf` with the idle deadline and the
+/// shutdown flag checked every poll tick. `read_line` is unusable here:
+/// it loops internally until newline/EOF/limit, so a client trickling
+/// bytes faster than the read timeout would keep it from ever returning —
+/// this manual `fill_buf`/`consume` loop is what makes the idle deadline
+/// bite on slow-loris requests, not just silent connections.
+fn read_request_line(
+    reader: &mut BufReader<Take<TcpStream>>,
+    buf: &mut Vec<u8>,
+    idle_deadline: Option<Instant>,
+    shutdown: &AtomicBool,
+) -> LineOutcome {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return LineOutcome::Shutdown;
+        }
+        if idle_deadline.is_some_and(|d| Instant::now() >= d) {
+            return LineOutcome::Idle;
+        }
+        if buf.len() > MAX_REQUEST_BYTES {
+            return LineOutcome::TooLong;
+        }
+        match reader.fill_buf() {
+            Ok([]) => return LineOutcome::Eof,
+            Ok(bytes) => {
+                if let Some(pos) = bytes.iter().position(|&b| b == b'\n') {
+                    buf.extend_from_slice(&bytes[..=pos]);
+                    reader.consume(pos + 1);
+                    return LineOutcome::Line;
+                }
+                let n = bytes.len();
+                buf.extend_from_slice(bytes);
+                reader.consume(n);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) => {}
+            Err(_) => return LineOutcome::StreamError,
+        }
+    }
+}
+
+/// Writes one response (header line plus optional binary payload) through
+/// the connection's fault layer. Exactly one response per call, so the
+/// fault plan's per-response bookkeeping stays aligned with the request
+/// index.
+fn write_response(
+    writer: &mut TcpStream,
+    header: &str,
+    payload: Option<&[f64]>,
+    plan: Option<&mut FaultPlan>,
+) -> std::io::Result<()> {
+    let mut fw = FaultWriter::new(writer, plan);
+    let result = (|| {
+        writeln!(fw, "{header}")?;
+        if let Some(lanes) = payload {
+            fw.begin_payload();
+            write_binary_payload(&mut fw, lanes)?;
+        }
+        fw.flush()
+    })();
+    fw.finish();
+    result
+}
+
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) over a
     /// registry of preloaded releases, with default sizing.
@@ -171,7 +342,7 @@ impl Server {
         Self::bind_with(addr, registry, ServerConfig::default())
     }
 
-    /// [`Server::bind`] with explicit pool/queue/cap sizing.
+    /// [`Server::bind`] with explicit sizing, deadlines and fault seed.
     pub fn bind_with(
         addr: &str,
         registry: Registry,
@@ -229,6 +400,7 @@ impl Server {
     /// Serves until shutdown. Blocks; run it on a dedicated thread when
     /// the caller needs to keep working.
     pub fn run(&self) {
+        let mut conn_index: u64 = 0;
         std::thread::scope(|scope| {
             for _ in 0..self.config.workers {
                 scope.spawn(|| self.worker_loop());
@@ -243,9 +415,15 @@ impl Server {
                             break;
                         }
                         self.stats.connection_opened();
-                        if let Err(stream) = self.queue.try_push(stream) {
-                            self.stats.connection_shed();
-                            shed(stream);
+                        // The index advances per accepted connection (shed
+                        // ones included), so a fixed seed and connection
+                        // order replay the same fault schedule.
+                        let plan =
+                            self.config.fault_seed.and_then(|s| FaultPlan::derive(s, conn_index));
+                        conn_index += 1;
+                        if let Err(conn) = self.queue.try_push(Conn { stream, plan }) {
+                            self.stats.connection_closed(Disposition::Shed);
+                            shed(conn.stream);
                         }
                     }
                     Err(e) if e.kind() == ErrorKind::Interrupted => continue,
@@ -262,108 +440,135 @@ impl Server {
             // Wake any worker still parked on the queue so the scope joins.
             self.queue.ready.notify_all();
         });
+        // Workers have joined. Settle connections still waiting in the
+        // queue (accepted and counted, never picked up) so the accounting
+        // identity survives shutdown.
+        while let Some(conn) = self.queue.try_pop() {
+            self.stats.connection_closed(Disposition::Shed);
+            shed(conn.stream);
+        }
     }
 
-    /// One worker: pull connections off the queue until shutdown. A
-    /// panicking handler must never unwind out and kill the pool.
+    /// One worker: pull connections off the queue until shutdown, settling
+    /// each with its disposition. A panicking handler must never unwind
+    /// out and kill the pool — a panic settles the connection as an I/O
+    /// error so the accounting identity holds even then.
     fn worker_loop(&self) {
         loop {
             if self.shutdown.load(Ordering::SeqCst) {
                 return;
             }
-            let Some(stream) = self.queue.pop_timeout(POLL_INTERVAL) else { continue };
-            let _ = catch_unwind(AssertUnwindSafe(|| self.handle_connection(stream)));
+            let Some(conn) = self.queue.pop_timeout(POLL_INTERVAL) else { continue };
+            let disposition = catch_unwind(AssertUnwindSafe(|| self.handle_connection(conn)))
+                .unwrap_or(Disposition::IoError);
+            self.stats.connection_closed(disposition);
         }
     }
 
-    fn handle_connection(&self, stream: TcpStream) {
-        // The short timeout doubles as the shutdown poll interval.
+    fn handle_connection(&self, conn: Conn) -> Disposition {
+        let Conn { stream, mut plan } = conn;
+        // The short timeout doubles as the shutdown/idle poll interval.
         let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
         // Response frames are small and latency-bound (and the binary
         // path writes header and payload separately); without TCP_NODELAY
         // Nagle + delayed ACK adds tens of milliseconds per request.
         let _ = stream.set_nodelay(true);
-        let Ok(read_half) = stream.try_clone() else { return };
-        // The `Take` bounds how much one line can buffer: `read_line` only
-        // returns at a newline, EOF, *or the limit* — without it a fast
-        // newline-less stream would grow `line` unboundedly before the
-        // length checks below ever ran.
+        // The request budget doubles as the response write timeout: a
+        // peer that stops reading cannot wedge a worker past it.
+        if let Some(budget) = self.config.request_timeout {
+            let _ = stream.set_write_timeout(Some(budget));
+        }
+        let Ok(read_half) = stream.try_clone() else { return Disposition::IoError };
+        // The `Take` bounds how much one line can buffer beyond the
+        // explicit length checks (belt and braces against a fast
+        // newline-less stream).
         let mut reader = BufReader::new(read_half.take(MAX_REQUEST_BYTES as u64 + 1));
         let mut writer = stream;
-        let mut line = String::new();
+        let mut buf = Vec::new();
         let mut binary = false;
+        let mut request_idx: u64 = 0;
 
-        'conn: loop {
-            line.clear();
+        loop {
+            // Injected read-side faults fire between requests.
+            match plan.as_ref().map_or(ReadAction::Proceed, |p| p.read_action(request_idx)) {
+                ReadAction::Proceed => {}
+                ReadAction::Delay(d) => std::thread::sleep(d),
+                ReadAction::Reset => return Disposition::IoError,
+            }
+            buf.clear();
             // Re-arm the per-line read budget (buffered carry-over from
             // the previous line is at most BufReader's 8 KiB, well under
             // the 1 MiB cap; the bound stays sharp enough to matter).
             reader.get_mut().set_limit(MAX_REQUEST_BYTES as u64 + 1);
-            // Accumulate one line, tolerating read timeouts mid-line.
-            let eof = loop {
-                if self.shutdown.load(Ordering::SeqCst) {
-                    return;
+            let idle_deadline = self.config.idle_timeout.map(|t| Instant::now() + t);
+            let eof = match read_request_line(&mut reader, &mut buf, idle_deadline, &self.shutdown)
+            {
+                LineOutcome::Line => false,
+                LineOutcome::Eof => true,
+                LineOutcome::Shutdown => return Disposition::Served,
+                LineOutcome::Idle => {
+                    let ms = self.config.idle_timeout.map_or(0, |t| t.as_millis() as u64);
+                    // Best-effort parting frame: the peer learns why it
+                    // was dropped, but a dead peer can't block the drop.
+                    let frame = ErrorReply::idle_timeout(ms).frame();
+                    let _ = write_response(&mut writer, &frame, None, plan.as_mut());
+                    return Disposition::IdleClosed;
                 }
-                match reader.read_line(&mut line) {
-                    Ok(0) => break true,
-                    Ok(_) => break false,
-                    Err(e)
-                        if matches!(
-                            e.kind(),
-                            ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
-                        ) =>
-                    {
-                        if line.len() > MAX_REQUEST_BYTES {
-                            let _ = writeln!(writer, "{}", error_frame("request line too long"));
-                            return;
-                        }
-                    }
-                    Err(_) => {
-                        // Unrecoverable stream error (reset, invalid
-                        // UTF-8); nothing sensible left to answer.
-                        return;
-                    }
+                LineOutcome::TooLong => {
+                    let frame = ErrorReply::bad_request("request line too long".into()).frame();
+                    return match write_response(&mut writer, &frame, None, plan.as_mut()) {
+                        Ok(()) => Disposition::Served,
+                        Err(_) => Disposition::IoError,
+                    };
                 }
+                LineOutcome::StreamError => return Disposition::IoError,
             };
-            if line.len() > MAX_REQUEST_BYTES {
-                let _ = writeln!(writer, "{}", error_frame("request line too long"));
-                return;
-            }
-            let trimmed = line.trim();
+            let Ok(text) = std::str::from_utf8(&buf) else {
+                // Non-UTF-8 request bytes: nothing sensible to answer.
+                return Disposition::IoError;
+            };
+            let trimmed = text.trim();
             if trimmed.is_empty() {
                 if eof {
-                    return;
+                    return Disposition::Served;
                 }
                 continue; // blank keep-alive line: no response frame
             }
 
             let started = Instant::now();
             let d = self.dispatch(trimmed, binary);
-            self.stats.record(d.op, started.elapsed(), d.points, d.error);
-            let sent = writeln!(writer, "{}", d.header)
-                .and_then(|_| match &d.payload {
-                    Some(lanes) => write_binary_payload(&mut writer, lanes),
-                    None => Ok(()),
-                })
-                .and_then(|_| writer.flush());
-            if sent.is_err() {
-                return; // client went away mid-response
+            if let Some(budget) = self.config.request_timeout {
+                if started.elapsed() > budget {
+                    // The result is already late; the peer gets the
+                    // structured overrun (its `points` never shipped, so
+                    // they don't count) and the worker is freed.
+                    self.stats.record(d.op, started.elapsed(), 0, true);
+                    let frame = ErrorReply::request_timeout(budget.as_millis() as u64).frame();
+                    let _ = write_response(&mut writer, &frame, None, plan.as_mut());
+                    return Disposition::TimedOut;
+                }
             }
+            self.stats.record(d.op, started.elapsed(), d.points, d.error);
+            if write_response(&mut writer, &d.header, d.payload.as_deref(), plan.as_mut()).is_err()
+            {
+                return Disposition::IoError; // peer went away mid-response
+            }
+            request_idx += 1;
             if let Some(mode) = d.set_binary {
                 binary = mode;
             }
             if d.shutdown {
                 self.request_shutdown();
-                return;
+                return Disposition::Served;
             }
             if eof {
-                break 'conn;
+                return Disposition::Served;
             }
         }
     }
 
     /// Parses and answers one frame. Never panics outward: handler panics
-    /// become an `internal error` frame so the connection and listener
+    /// become a structured `internal` frame so the connection and listener
     /// both survive any single bad request.
     fn dispatch(&self, line: &str, binary: bool) -> Dispatch {
         let error_dispatch = |reply: ErrorReply, op: Option<&'static str>| Dispatch {
@@ -377,7 +582,7 @@ impl Server {
         };
         let request = match parse_request(line) {
             Ok(r) => r,
-            Err(msg) => return error_dispatch(ErrorReply::from(msg), None),
+            Err(msg) => return error_dispatch(ErrorReply::bad_request(msg), None),
         };
         let op = request.op();
         let shutdown = matches!(request, Request::Shutdown);
@@ -396,10 +601,7 @@ impl Server {
                 set_binary,
             },
             Ok(Err(reply)) => error_dispatch(reply, Some(op)),
-            Err(_) => error_dispatch(
-                ErrorReply::from("internal error answering the request".to_string()),
-                Some(op),
-            ),
+            Err(_) => error_dispatch(ErrorReply::internal(), Some(op)),
         }
     }
 
@@ -410,7 +612,7 @@ impl Server {
                 if *n > self.config.max_sample_n {
                     return Err(ErrorReply::sample_cap(*n, self.config.max_sample_n));
                 }
-                let rel = self.registry.get(release)?;
+                let rel = self.registry.get(release).map_err(ErrorReply::unknown_release)?;
                 let mut fields = vec![
                     ("release", Value::String(release.clone())),
                     ("n", Value::UInt(*n as u64)),
@@ -431,35 +633,49 @@ impl Server {
                 Ok(Answer { fields, points: *n as u64, payload })
             }
             Request::Query { release, probe } => {
-                let rel = self.registry.get(release)?;
+                let rel = self.registry.get(release).map_err(ErrorReply::unknown_release)?;
                 let mut fields = vec![("release", Value::String(release.clone()))];
-                fields.extend(rel.query(probe)?);
+                fields.extend(rel.query(probe).map_err(ErrorReply::bad_request)?);
                 Ok(Answer::fields(fields))
             }
             Request::Cdf { release, x } => {
-                let rel = self.registry.get(release)?;
+                let rel = self.registry.get(release).map_err(ErrorReply::unknown_release)?;
                 Ok(Answer::fields(vec![
                     ("release", Value::String(release.clone())),
                     ("x", Value::Float(*x)),
-                    ("value", Value::Float(rel.cdf(*x)?)),
+                    ("value", Value::Float(rel.cdf(*x).map_err(ErrorReply::bad_request)?)),
                 ]))
             }
-            Request::Info { release } => {
-                Ok(Answer::fields(self.registry.get(release)?.info_fields()))
-            }
+            Request::Info { release } => Ok(Answer::fields(
+                self.registry.get(release).map_err(ErrorReply::unknown_release)?.info_fields(),
+            )),
             Request::List => {
                 Ok(Answer::fields(vec![("releases", Value::Array(self.registry.summaries()))]))
             }
             Request::Stats => Ok(Answer::fields(self.stats.fields())),
             Request::Load { name, path } => {
-                let loaded = LoadedRelease::load(name, path)?;
+                // Staging: read + parse + validate + leaf-CDF build all
+                // happen here, before the registry is touched — a corrupt
+                // or truncated file errors out with the previous release
+                // still serving, and the insert below is one atomic map
+                // swap under the write lock.
+                let loaded = LoadedRelease::load(name, path).map_err(ErrorReply::bad_request)?;
                 let summary = loaded.summary();
                 let replaced = self.registry.insert(loaded);
-                Ok(Answer::fields(vec![
+                let mut fields = vec![
                     ("name", Value::String(name.clone())),
                     ("replaced", Value::Bool(replaced)),
                     ("release", summary),
-                ]))
+                ];
+                if let Some(snapshot) = &self.config.snapshot_path {
+                    // Best-effort: the in-memory load already succeeded;
+                    // a snapshot write failure is reported, not fatal.
+                    match self.registry.write_snapshot(snapshot) {
+                        Ok(()) => fields.push(("snapshot", Value::String(snapshot.clone()))),
+                        Err(e) => fields.push(("snapshot_error", Value::String(e))),
+                    }
+                }
+                Ok(Answer::fields(fields))
             }
             Request::Format { binary } => Ok(Answer::fields(vec![(
                 "encoding",

@@ -112,11 +112,45 @@ impl LatencyHistogram {
     }
 }
 
+/// How an accepted connection ended. Every connection the listener
+/// accepts is counted once by [`ServerStats::connection_opened`] and then
+/// exactly once more by [`ServerStats::connection_closed`] with its
+/// disposition, giving the accounting identity
+///
+/// ```text
+/// connections == served + shed + timed_out + idle_closed + io_error + open
+/// ```
+///
+/// at any quiet instant (`open` is a real gauge, not a derived residual,
+/// so a code path that forgets to record a disposition shows up as a
+/// permanently non-zero `open` instead of silently balancing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Ran to a clean end: the peer closed, or the server shut down.
+    Served,
+    /// Shed by backpressure (answered with a `busy` frame and closed
+    /// because the worker queue was full).
+    Shed,
+    /// Dropped because a request blew the `--request-timeout-ms` budget.
+    TimedOut,
+    /// Dropped idle past `--idle-timeout-ms` (after a parting
+    /// `idle_timeout` frame), freeing its worker.
+    IdleClosed,
+    /// Dropped because writing a response failed (peer reset, torn pipe —
+    /// including injected faults).
+    IoError,
+}
+
 /// Aggregate serving counters.
 #[derive(Debug, Default)]
 pub struct ServerStats {
     connections: AtomicU64,
+    open: AtomicU64,
+    served: AtomicU64,
     shed: AtomicU64,
+    timed_out: AtomicU64,
+    idle_closed: AtomicU64,
+    io_error: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
     points_sampled: AtomicU64,
@@ -130,15 +164,24 @@ impl ServerStats {
         Self::default()
     }
 
-    /// Counts an accepted connection.
+    /// Counts an accepted connection (bumps both the lifetime total and
+    /// the `open` gauge; [`Self::connection_closed`] settles the gauge).
     pub fn connection_opened(&self) {
         self.connections.fetch_add(1, Ordering::Relaxed);
+        self.open.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Counts a connection shed by backpressure (accepted, answered with a
-    /// `busy` frame and closed because the worker queue was full).
-    pub fn connection_shed(&self) {
-        self.shed.fetch_add(1, Ordering::Relaxed);
+    /// Settles one opened connection with its final [`Disposition`].
+    pub fn connection_closed(&self, disposition: Disposition) {
+        let counter = match disposition {
+            Disposition::Served => &self.served,
+            Disposition::Shed => &self.shed,
+            Disposition::TimedOut => &self.timed_out,
+            Disposition::IdleClosed => &self.idle_closed,
+            Disposition::IoError => &self.io_error,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.open.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Counts one answered request. `op` is `None` when the frame never
@@ -163,9 +206,39 @@ impl ServerStats {
         self.requests.load(Ordering::Relaxed)
     }
 
+    /// Total accepted connections so far.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Accepted connections not yet settled with a disposition.
+    pub fn open(&self) -> u64 {
+        self.open.load(Ordering::Relaxed)
+    }
+
+    /// Connections that ran to a clean end so far.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
     /// Connections shed by backpressure so far.
     pub fn shed(&self) -> u64 {
         self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Connections dropped over the per-request budget so far.
+    pub fn timed_out(&self) -> u64 {
+        self.timed_out.load(Ordering::Relaxed)
+    }
+
+    /// Connections dropped idle so far.
+    pub fn idle_closed(&self) -> u64 {
+        self.idle_closed.load(Ordering::Relaxed)
+    }
+
+    /// Connections dropped on a response write failure so far.
+    pub fn io_error(&self) -> u64 {
+        self.io_error.load(Ordering::Relaxed)
     }
 
     /// The request-latency histogram.
@@ -174,6 +247,11 @@ impl ServerStats {
     }
 
     /// Snapshot as the `stats` response payload.
+    ///
+    /// Field order is stable and load-bearing: connection accounting
+    /// first (`connections`, `open`, then the five dispositions in
+    /// identity order), then request counters, then latency — CI smoke
+    /// scripts grep these fields positionally instead of JSON-parsing.
     pub fn fields(&self) -> Vec<(&'static str, Value)> {
         let by_op = Value::Object(
             OPS.iter()
@@ -183,7 +261,12 @@ impl ServerStats {
         );
         vec![
             ("connections", Value::UInt(self.connections.load(Ordering::Relaxed))),
+            ("open", Value::UInt(self.open.load(Ordering::Relaxed))),
+            ("served", Value::UInt(self.served.load(Ordering::Relaxed))),
             ("shed", Value::UInt(self.shed.load(Ordering::Relaxed))),
+            ("timed_out", Value::UInt(self.timed_out.load(Ordering::Relaxed))),
+            ("idle_closed", Value::UInt(self.idle_closed.load(Ordering::Relaxed))),
+            ("io_error", Value::UInt(self.io_error.load(Ordering::Relaxed))),
             ("requests", Value::UInt(self.requests.load(Ordering::Relaxed))),
             ("errors", Value::UInt(self.errors.load(Ordering::Relaxed))),
             ("points_sampled", Value::UInt(self.points_sampled.load(Ordering::Relaxed))),
@@ -208,7 +291,7 @@ mod tests {
     fn counters_accumulate() {
         let s = ServerStats::new();
         s.connection_opened();
-        s.connection_shed();
+        s.connection_closed(Disposition::Shed);
         s.record(Some("sample"), Duration::from_micros(50), 128, false);
         s.record(Some("sample"), Duration::from_micros(5_000), 64, false);
         s.record(Some("list"), Duration::from_millis(2), 0, false);
@@ -216,6 +299,7 @@ mod tests {
         let f = s.fields();
         assert_eq!(field(&f, "connections").as_u64(), Some(1));
         assert_eq!(field(&f, "shed").as_u64(), Some(1));
+        assert_eq!(field(&f, "open").as_u64(), Some(0));
         assert_eq!(field(&f, "requests").as_u64(), Some(4));
         assert_eq!(field(&f, "errors").as_u64(), Some(1));
         assert_eq!(field(&f, "points_sampled").as_u64(), Some(192));
@@ -227,6 +311,65 @@ mod tests {
         assert_eq!(lat.get("le_3200us").unwrap().as_u64(), Some(1));
         assert_eq!(lat.get("gt_10000000us").unwrap().as_u64(), Some(1));
         assert!(lat.get("le_10us").is_none(), "empty buckets are omitted");
+    }
+
+    #[test]
+    fn disposition_accounting_identity_holds() {
+        let s = ServerStats::new();
+        let dispositions = [
+            Disposition::Served,
+            Disposition::Served,
+            Disposition::Shed,
+            Disposition::TimedOut,
+            Disposition::IdleClosed,
+            Disposition::IoError,
+            Disposition::IoError,
+        ];
+        for d in dispositions {
+            s.connection_opened();
+            s.connection_closed(d);
+        }
+        // Two connections opened but not yet settled.
+        s.connection_opened();
+        s.connection_opened();
+        assert_eq!(s.connections(), 9);
+        assert_eq!(s.open(), 2);
+        assert_eq!(
+            s.connections(),
+            s.served() + s.shed() + s.timed_out() + s.idle_closed() + s.io_error() + s.open(),
+            "accepted == served + shed + timed_out + idle_closed + io_error + open"
+        );
+        assert_eq!(s.served(), 2);
+        assert_eq!(s.timed_out(), 1);
+        assert_eq!(s.idle_closed(), 1);
+        assert_eq!(s.io_error(), 2);
+    }
+
+    #[test]
+    fn stats_field_order_is_stable() {
+        // CI smoke scripts grep the stats frame without a JSON parser;
+        // this pins the field order they rely on.
+        let names: Vec<&str> = ServerStats::new().fields().iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            names,
+            [
+                "connections",
+                "open",
+                "served",
+                "shed",
+                "timed_out",
+                "idle_closed",
+                "io_error",
+                "requests",
+                "errors",
+                "points_sampled",
+                "by_op",
+                "p50_us",
+                "p99_us",
+                "p999_us",
+                "latency_micros",
+            ]
+        );
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! Chaos tests: a real server with deterministic fault injection armed,
+//! driven over real sockets by retrying clients.
+//!
+//! The contract under test is the robustness half of the serving stack:
+//! with `--fault-seed` armed the transport tears, trickles, delays and
+//! resets — yet every seeded request either returns **bit-identical**
+//! bytes to a fault-free run (after retries) or a structured,
+//! correctly-classified error; no worker dies; and the disposition
+//! accounting identity `connections == served + shed + timed_out +
+//! idle_closed + io_error + open` holds exactly once traffic quiesces.
+
+use std::io::{BufRead, BufReader, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+use privhp_core::release::{DomainSpec, ReleaseFile};
+use privhp_core::{PrivHp, PrivHpConfig};
+use privhp_domain::UnitInterval;
+use privhp_dp::rng::rng_from_seed;
+use privhp_serve::{
+    code_is_retryable, oneshot_with, Client, FaultPlan, LoadedRelease, Registry, RetryPolicy,
+    Server, ServerConfig,
+};
+use serde::Value;
+
+/// The armed seed: the fault unit tests prove this seed's schedule covers
+/// all six [`privhp_serve::FaultKind`]s within 64 connections.
+const CHAOS_SEED: u64 = 7;
+
+fn tiny_release(seed: u64) -> ReleaseFile {
+    let data: Vec<f64> =
+        (0..512).map(|i| ((i as f64 / 512.0).powi(2) * 0.999).min(0.999)).collect();
+    let mut rng = rng_from_seed(seed);
+    let config = PrivHpConfig::for_domain(1.0, data.len(), 8).with_seed(seed);
+    let g = PrivHp::build(&UnitInterval::new(), config.clone(), data, &mut rng).unwrap();
+    ReleaseFile::new(DomainSpec::Interval, config, g.tree().clone())
+}
+
+/// Boots a server under an explicit config on an ephemeral port.
+fn start_with(
+    config: ServerConfig,
+    releases: Vec<(&str, ReleaseFile)>,
+) -> (Arc<Server>, String, std::thread::JoinHandle<()>) {
+    let registry = Registry::new();
+    for (name, release) in releases {
+        registry.insert(LoadedRelease::from_release(name, release));
+    }
+    let server =
+        Arc::new(Server::bind_with("127.0.0.1:0", registry, config).expect("bind ephemeral port"));
+    let addr = server.local_addr().to_string();
+    let runner = Arc::clone(&server);
+    let handle = std::thread::spawn(move || runner.run());
+    (server, addr, handle)
+}
+
+/// The retry policy the chaos runs use: enough attempts to ride out any
+/// streak the 8-slot schedule can produce, short per-attempt deadline.
+fn retrying() -> RetryPolicy {
+    RetryPolicy { retries: 12, timeout: Duration::from_secs(5), ..RetryPolicy::default() }
+}
+
+/// Asserts the disposition accounting identity at a quiet instant.
+fn assert_identity(server: &Server) {
+    let s = server.stats();
+    assert_eq!(
+        s.connections(),
+        s.served() + s.shed() + s.timed_out() + s.idle_closed() + s.io_error() + s.open(),
+        "accounting identity broken: connections={} served={} shed={} timed_out={} \
+         idle_closed={} io_error={} open={}",
+        s.connections(),
+        s.served(),
+        s.shed(),
+        s.timed_out(),
+        s.idle_closed(),
+        s.io_error(),
+        s.open(),
+    );
+}
+
+fn parse(line: &str) -> Value {
+    serde_json::parse_value_str(line).unwrap_or_else(|e| panic!("unparseable frame '{line}': {e}"))
+}
+
+#[test]
+fn retrying_clients_get_fault_free_bytes_through_every_fault_kind() {
+    let release = tiny_release(3);
+    let req = "{\"op\":\"sample\",\"release\":\"demo\",\"n\":64,\"seed\":9}";
+
+    // Fault-free baseline: the canonical JSON line and binary frame.
+    let (clean, addr, handle) = start_with(
+        ServerConfig { workers: 4, queue_depth: 16, ..ServerConfig::default() },
+        vec![("demo", tiny_release(3))],
+    );
+    let baseline_json = oneshot_with(&addr, req, retrying()).unwrap();
+    let mut c = Client::connect_with(&addr, retrying()).unwrap();
+    c.set_binary().unwrap();
+    let (baseline_header, baseline_lanes) = c.request_expect_payload(req).unwrap();
+    let baseline_lanes = baseline_lanes.expect("binary sample carries a payload");
+    drop(c);
+    clean.request_shutdown();
+    handle.join().unwrap();
+
+    // The same traffic through an armed server must converge to the same
+    // bytes on every single request.
+    let (server, addr, handle) = start_with(
+        ServerConfig {
+            workers: 4,
+            queue_depth: 16,
+            fault_seed: Some(CHAOS_SEED),
+            ..ServerConfig::default()
+        },
+        vec![("demo", release)],
+    );
+
+    // JSON path: fresh connection per request marches through the fault
+    // schedule (torn writes, trickle, resets, header tears, delays).
+    for i in 0..24 {
+        let line = oneshot_with(&addr, req, retrying())
+            .unwrap_or_else(|e| panic!("request {i} exhausted retries: {e}"));
+        assert_eq!(line, baseline_json, "request {i} returned different bytes under faults");
+    }
+
+    // Binary path: a persistent client re-negotiates the encoding after
+    // every fault-forced reconnect; payload tears land mid-`f64`.
+    let mut c = Client::connect_with(&addr, retrying()).unwrap();
+    c.set_binary().unwrap();
+    for i in 0..24 {
+        let (header, lanes) = c
+            .request_expect_payload(req)
+            .unwrap_or_else(|e| panic!("binary request {i} exhausted retries: {e}"));
+        assert_eq!(header, baseline_header, "binary header {i} differs under faults");
+        let lanes = lanes.expect("binary sample carries a payload");
+        assert_eq!(lanes.len(), baseline_lanes.len(), "payload {i} length differs");
+        for (a, b) in lanes.iter().zip(&baseline_lanes) {
+            assert_eq!(a.to_bits(), b.to_bits(), "payload {i} bytes differ under faults");
+        }
+    }
+    drop(c);
+
+    // Push the connection count past 64 so the seed-7 coverage guarantee
+    // (every fault kind appears) applies to this run's index range.
+    while server.stats().connections() < 64 {
+        let _ = oneshot_with(&addr, "{\"op\":\"list\"}", retrying());
+    }
+
+    let total = server.stats().connections();
+    let mut kinds = Vec::new();
+    for idx in 0..total {
+        if let Some(plan) = FaultPlan::derive(CHAOS_SEED, idx) {
+            let kind = plan.kind();
+            if !kinds.contains(&kind) {
+                kinds.push(kind);
+            }
+        }
+    }
+    assert_eq!(kinds.len(), 6, "all six fault kinds must be scheduled in-range: {kinds:?}");
+
+    server.request_shutdown();
+    handle.join().expect("no worker died under chaos");
+
+    let s = server.stats();
+    assert!(s.served() > 0, "some requests served");
+    assert!(s.io_error() > 0, "fatal faults (tears/resets) settled as io_error");
+    assert_identity(&server);
+}
+
+#[test]
+fn idle_connections_are_dropped_with_a_structured_frame() {
+    let (server, addr, handle) = start_with(
+        ServerConfig {
+            workers: 2,
+            queue_depth: 8,
+            idle_timeout: Some(Duration::from_millis(200)),
+            ..ServerConfig::default()
+        },
+        vec![("r", tiny_release(2))],
+    );
+
+    // A connection that sends a partial line and stalls: the partial
+    // bytes must NOT reset the idle clock (that's the slow-loris hole).
+    let mut loris = std::net::TcpStream::connect(&addr).unwrap();
+    loris.write_all(b"{\"op\"").unwrap();
+    loris.flush().unwrap();
+    // A connection that sends nothing at all.
+    let silent = std::net::TcpStream::connect(&addr).unwrap();
+
+    for stream in [loris, silent] {
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).unwrap();
+        let v = parse(line.trim_end());
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false), "{line}");
+        assert_eq!(v.get("code").and_then(Value::as_str), Some("idle_timeout"), "{line}");
+        assert_eq!(v.get("timeout_ms").and_then(Value::as_u64), Some(200), "{line}");
+        assert!(code_is_retryable("idle_timeout"), "idle drops must invite a reconnect");
+    }
+
+    // Both drops freed their workers: the pool still answers.
+    let line = oneshot_with(&addr, "{\"op\":\"list\"}", retrying()).unwrap();
+    assert_eq!(parse(&line).get("ok").and_then(Value::as_bool), Some(true));
+
+    server.request_shutdown();
+    handle.join().unwrap();
+    assert_eq!(server.stats().idle_closed(), 2, "both idle drops accounted");
+    assert_identity(&server);
+}
+
+#[test]
+fn requests_over_budget_get_a_request_timeout_frame() {
+    let (server, addr, handle) = start_with(
+        ServerConfig {
+            workers: 2,
+            queue_depth: 8,
+            max_sample_n: 1_000_000,
+            request_timeout: Some(Duration::from_millis(1)),
+            ..ServerConfig::default()
+        },
+        vec![("r", tiny_release(4))],
+    );
+
+    // Sampling and JSON-rendering 400k points blows a 1ms budget on any
+    // hardware; the worker must answer the structured overrun and close.
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream.write_all(b"{\"op\":\"sample\",\"release\":\"r\",\"n\":400000,\"seed\":1}\n").unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let v = parse(line.trim_end());
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false), "{line}");
+    assert_eq!(v.get("code").and_then(Value::as_str), Some("request_timeout"), "{line}");
+    assert_eq!(v.get("timeout_ms").and_then(Value::as_u64), Some(1), "{line}");
+    assert!(code_is_retryable("request_timeout"));
+    // The server closes after the overrun frame.
+    let mut rest = String::new();
+    assert_eq!(reader.read_line(&mut rest).unwrap_or(0), 0, "connection closed after overrun");
+
+    server.request_shutdown();
+    handle.join().unwrap();
+    assert_eq!(server.stats().timed_out(), 1);
+    assert_identity(&server);
+}
+
+#[test]
+fn corrupt_load_leaves_the_previous_release_serving() {
+    let (server, addr, handle) = start_with(
+        ServerConfig { workers: 2, queue_depth: 8, ..ServerConfig::default() },
+        vec![("r", tiny_release(6))],
+    );
+    let req = "{\"op\":\"sample\",\"release\":\"r\",\"n\":32,\"seed\":5}";
+    let before = oneshot_with(&addr, req, retrying()).unwrap();
+
+    // A crash mid-write leaves a torn release file; a `load` replacing
+    // the live name must reject it during staging and swap nothing.
+    let path = std::env::temp_dir().join(format!("privhp_chaos_torn_{}.json", std::process::id()));
+    let full = tiny_release(7).to_json();
+    std::fs::write(&path, &full.as_bytes()[..full.len() / 2]).unwrap();
+    let load =
+        format!("{{\"op\":\"load\",\"name\":\"r\",\"path\":{:?}}}", path.display().to_string());
+    let reply = oneshot_with(&addr, &load, retrying()).unwrap();
+    let v = parse(&reply);
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false), "torn load must fail: {reply}");
+    assert_eq!(v.get("code").and_then(Value::as_str), Some("bad_request"), "{reply}");
+
+    // The previous release still serves, bit-identically.
+    let after = oneshot_with(&addr, req, retrying()).unwrap();
+    assert_eq!(before, after, "a failed load must not disturb the serving release");
+    let _ = std::fs::remove_file(&path);
+
+    server.request_shutdown();
+    handle.join().unwrap();
+    assert_identity(&server);
+}
+
+#[test]
+fn snapshot_records_loads_and_survives_a_restart() {
+    let dir = std::env::temp_dir().join(format!("privhp_chaos_snap_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let release_path = dir.join("rel.json");
+    let snap_path = dir.join("registry.snapshot.json");
+    let release = tiny_release(8);
+    std::fs::write(&release_path, release.to_json()).unwrap();
+
+    let (server, addr, handle) = start_with(
+        ServerConfig {
+            workers: 2,
+            queue_depth: 8,
+            snapshot_path: Some(snap_path.display().to_string()),
+            ..ServerConfig::default()
+        },
+        vec![],
+    );
+    let load = format!(
+        "{{\"op\":\"load\",\"name\":\"snapped\",\"path\":{:?}}}",
+        release_path.display().to_string()
+    );
+    let reply = oneshot_with(&addr, &load, retrying()).unwrap();
+    let v = parse(&reply);
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{reply}");
+    assert!(v.get("snapshot").and_then(Value::as_str).is_some(), "load reports the snapshot");
+    server.request_shutdown();
+    handle.join().unwrap();
+
+    // "Restart": a fresh registry restored from the snapshot serves the
+    // exact same release.
+    let restored = Registry::new();
+    let n = restored.restore_snapshot(&snap_path.display().to_string()).unwrap();
+    assert_eq!(n, 1);
+    let rel = restored.get("snapped").unwrap();
+    assert_eq!(rel.release().to_json(), release.to_json(), "restored release bytes differ");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,132 @@
+//! Table-driven taxonomy test: every structured error the server can
+//! emit round-trips its `code` through a real frame, and the client-side
+//! classifier ([`privhp_serve::client::frame_error`] +
+//! [`privhp_serve::ClientError::is_retryable`]) agrees exactly with the
+//! server-side [`privhp_serve::protocol::ERROR_CODES`] table — the
+//! retry/don't-retry contract is one table, not two opinions.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use privhp_core::release::{DomainSpec, ReleaseFile};
+use privhp_core::{PrivHp, PrivHpConfig};
+use privhp_domain::UnitInterval;
+use privhp_dp::rng::rng_from_seed;
+use privhp_serve::client::frame_error;
+use privhp_serve::protocol::{busy_frame, error_frame, ErrorReply, ERROR_CODES};
+use privhp_serve::{
+    code_is_retryable, oneshot, ClientError, LoadedRelease, Registry, Server, ServerConfig,
+};
+use serde::Value;
+
+/// Builds the canonical frame for each code in [`ERROR_CODES`], through
+/// the same constructors the server uses.
+fn frame_for(code: &str) -> String {
+    match code {
+        "busy" => busy_frame(),
+        "request_timeout" => ErrorReply::request_timeout(1500).frame(),
+        "idle_timeout" => ErrorReply::idle_timeout(60_000).frame(),
+        "sample_cap" => ErrorReply::sample_cap(2_000_000, 1_000_000).frame(),
+        "bad_request" => ErrorReply::bad_request("missing field 'n'".into()).frame(),
+        "unknown_release" => ErrorReply::unknown_release("unknown release 'x'".into()).frame(),
+        "internal" => ErrorReply::internal().frame(),
+        other => panic!("ERROR_CODES gained '{other}' without a constructor in this table"),
+    }
+}
+
+#[test]
+fn every_error_code_round_trips_and_classifies_like_the_client() {
+    for &(code, retryable) in ERROR_CODES.iter() {
+        let frame = frame_for(code);
+
+        // The frame parses and carries its machine-readable code.
+        let v = serde_json::parse_value_str(&frame)
+            .unwrap_or_else(|e| panic!("unparseable {code} frame '{frame}': {e}"));
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false), "{frame}");
+        assert_eq!(v.get("code").and_then(Value::as_str), Some(code), "{frame}");
+        assert!(v.get("error").and_then(Value::as_str).is_some(), "{frame}");
+
+        // The client classifies it exactly as the table says.
+        let err = frame_error(&frame)
+            .unwrap_or_else(|| panic!("client missed the {code} error frame '{frame}'"));
+        assert_eq!(
+            err.is_retryable(),
+            retryable,
+            "client/server disagree on whether '{code}' is retryable"
+        );
+        assert_eq!(code_is_retryable(code), retryable, "table self-consistency for '{code}'");
+        match err {
+            ClientError::Server { code: Some(c), .. } => assert_eq!(c, code),
+            other => panic!("expected a coded server error for '{code}', got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn codeless_and_transport_failures_classify_conservatively() {
+    // A legacy codeless error frame: terminal (retrying can't help if we
+    // can't even tell what failed).
+    let err = frame_error(&error_frame("something broke")).expect("codeless frame is an error");
+    assert!(!err.is_retryable(), "codeless frames must be terminal");
+
+    // An unknown future code: conservatively terminal.
+    assert!(!code_is_retryable("rate_limited_v9"), "unknown codes must be terminal");
+
+    // Success frames and non-frames are not errors at all.
+    assert!(frame_error("{\"ok\":true,\"op\":\"list\"}").is_none());
+    assert!(frame_error("not json at all").is_none());
+
+    // Transport-level failures (no authoritative answer exists) always
+    // invite a retry.
+    assert!(ClientError::Transport("connection reset".into()).is_retryable());
+    assert!(ClientError::Timeout("no response within 5s".into()).is_retryable());
+}
+
+/// The codes a live server actually emits match the table's spelling —
+/// guards against a constructor drifting away from `ERROR_CODES`.
+#[test]
+fn live_server_frames_carry_the_tabled_codes() {
+    let data: Vec<f64> =
+        (0..256).map(|i| ((i as f64 / 256.0).powi(2) * 0.999).min(0.999)).collect();
+    let mut rng = rng_from_seed(1);
+    let config = PrivHpConfig::for_domain(1.0, data.len(), 8).with_seed(1);
+    let g = PrivHp::build(&UnitInterval::new(), config.clone(), data, &mut rng).unwrap();
+    let release = ReleaseFile::new(DomainSpec::Interval, config, g.tree().clone());
+
+    let registry = Registry::new();
+    registry.insert(LoadedRelease::from_release("r", release));
+    let server_config = ServerConfig {
+        workers: 2,
+        queue_depth: 8,
+        max_sample_n: 4,
+        request_timeout: Some(Duration::from_secs(30)),
+        ..ServerConfig::default()
+    };
+    let server = Arc::new(Server::bind_with("127.0.0.1:0", registry, server_config).unwrap());
+    let addr = server.local_addr().to_string();
+    let runner = Arc::clone(&server);
+    let handle = std::thread::spawn(move || runner.run());
+
+    for (frame, want_code) in [
+        ("this is not json", "bad_request"),
+        ("{\"op\":\"frobnicate\"}", "bad_request"),
+        ("{\"op\":\"sample\",\"release\":\"r\",\"n\":64,\"seed\":1}", "sample_cap"),
+        ("{\"op\":\"sample\",\"release\":\"missing\",\"n\":1,\"seed\":1}", "unknown_release"),
+        ("{\"op\":\"query\",\"release\":\"r\",\"range\":[0.9,0.1]}", "bad_request"),
+    ] {
+        let line = oneshot(&addr, frame).unwrap();
+        let v = serde_json::parse_value_str(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false), "{line}");
+        assert_eq!(
+            v.get("code").and_then(Value::as_str),
+            Some(want_code),
+            "frame '{frame}' answered '{line}'"
+        );
+        // And the client-side classifier accepts the live bytes.
+        let err = frame_error(&line).expect("live error frame classifies");
+        assert_eq!(err.is_retryable(), code_is_retryable(want_code), "{line}");
+    }
+
+    server.request_shutdown();
+    handle.join().unwrap();
+}
