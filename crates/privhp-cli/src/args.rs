@@ -88,6 +88,38 @@ pub enum Command {
         /// after every successful `load`.
         snapshot: Option<String>,
     },
+    /// `privhp cluster` — spawn N local shard servers with the release
+    /// set partitioned by the same rendezvous hashing the cluster client
+    /// routes by.
+    Cluster {
+        /// Number of shard processes to spawn.
+        shards: usize,
+        /// Base address; shard `i` binds `host:(port + i)`.
+        base_addr: String,
+        /// Releases to partition across the shards, as `(name, path)`.
+        releases: Vec<(String, String)>,
+        /// Replication factor R: each release is owned by R shards.
+        replication: usize,
+        /// Directory for per-shard registry snapshots
+        /// (`{dir}/shard-{i}.snapshot`).
+        snapshot_dir: Option<String>,
+    },
+    /// `privhp cluster-client` — send one request through the
+    /// rendezvous-routing, breaker-gated failover client.
+    ClusterClient {
+        /// Cluster endpoints (comma-separated on the CLI).
+        endpoints: Vec<String>,
+        /// The request frame to send (`-` to read it from stdin).
+        request: String,
+        /// Negotiate the binary bulk-sample encoding before sending.
+        binary: bool,
+        /// Per-attempt response deadline in ms (`None` = client default).
+        timeout_ms: Option<u64>,
+        /// Extra failover passes over the owner set (0 = one pass).
+        retries: u32,
+        /// Replication factor R the cluster was booted with.
+        replication: usize,
+    },
     /// `privhp client` — send one request to a running server.
     Client {
         /// Server address, e.g. `127.0.0.1:4750`.
@@ -336,6 +368,113 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 snapshot,
             })
         }
+        // `cluster` shares `serve`'s repeatable `--release name=path`
+        // flag, so it hand-parses the same way.
+        "cluster" => {
+            let mut shards: Option<usize> = None;
+            let mut base_addr: Option<String> = None;
+            let mut releases: Vec<(String, String)> = Vec::new();
+            let mut replication: Option<usize> = None;
+            let mut snapshot_dir: Option<String> = None;
+            let mut i = 1;
+            while i < args.len() {
+                let t = &args[i];
+                let name = t
+                    .strip_prefix("--")
+                    .ok_or_else(|| err(format!("expected a --flag, got '{t}'")))?;
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| err(format!("flag --{name} is missing its value")))?;
+                match name {
+                    "shards" => {
+                        let n = parse_usize("shards", value)?;
+                        if n == 0 {
+                            return Err(err("--shards must be at least 1"));
+                        }
+                        if shards.replace(n).is_some() {
+                            return Err(err("flag --shards given twice"));
+                        }
+                    }
+                    "addr" => {
+                        if base_addr.replace(value.clone()).is_some() {
+                            return Err(err("flag --addr given twice"));
+                        }
+                    }
+                    "release" => {
+                        let (n, p) = value
+                            .split_once('=')
+                            .filter(|(n, p)| !n.is_empty() && !p.is_empty())
+                            .ok_or_else(|| err("--release expects name=path"))?;
+                        if releases.iter().any(|(existing, _)| existing == n) {
+                            return Err(err(format!("release '{n}' given twice")));
+                        }
+                        releases.push((n.to_string(), p.to_string()));
+                    }
+                    "replication" => {
+                        let r = parse_usize("replication", value)?;
+                        if r == 0 {
+                            return Err(err("--replication must be at least 1"));
+                        }
+                        if replication.replace(r).is_some() {
+                            return Err(err("flag --replication given twice"));
+                        }
+                    }
+                    "snapshot-dir" => {
+                        if snapshot_dir.replace(value.clone()).is_some() {
+                            return Err(err("flag --snapshot-dir given twice"));
+                        }
+                    }
+                    other => return Err(err(format!("unknown cluster flag --{other}"))),
+                }
+                i += 2;
+            }
+            Ok(Command::Cluster {
+                shards: shards.ok_or_else(|| err("missing required flag --shards"))?,
+                base_addr: base_addr.ok_or_else(|| err("missing required flag --addr"))?,
+                releases,
+                replication: replication.unwrap_or(2),
+                snapshot_dir,
+            })
+        }
+        "cluster-client" => {
+            let map = flag_map(&args[1..])?;
+            let endpoints: Vec<String> = take(&map, "endpoints")?
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+            if endpoints.is_empty() {
+                return Err(err("--endpoints needs at least one address"));
+            }
+            let binary = match take_or(&map, "format", "json") {
+                "json" => false,
+                "binary" => true,
+                other => return Err(err(format!("--format: expected json|binary, got '{other}'"))),
+            };
+            let timeout_ms = match map.get("timeout-ms") {
+                Some(s) => {
+                    let ms = parse_u64("timeout-ms", s)?;
+                    if ms == 0 {
+                        return Err(err("--timeout-ms must be at least 1"));
+                    }
+                    Some(ms)
+                }
+                None => None,
+            };
+            let replication = parse_usize("replication", take_or(&map, "replication", "2"))?;
+            if replication == 0 {
+                return Err(err("--replication must be at least 1"));
+            }
+            Ok(Command::ClusterClient {
+                endpoints,
+                request: take(&map, "json")?.to_string(),
+                binary,
+                timeout_ms,
+                retries: parse_u64("retries", take_or(&map, "retries", "0"))? as u32,
+                replication,
+            })
+        }
         "client" => {
             let map = flag_map(&args[1..])?;
             let binary = match take_or(&map, "format", "json") {
@@ -363,7 +502,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
             })
         }
         other => Err(err(format!(
-            "unknown subcommand '{other}' (expected build | sample | query | info | continual | serve | client | help)"
+            "unknown subcommand '{other}' (expected build | sample | query | info | continual | serve | client | cluster | cluster-client | help)"
         ))),
     }
 }
@@ -386,6 +525,11 @@ USAGE:
                    [--registry-snapshot FILE] [--fault-seed S]
   privhp client    --addr 127.0.0.1:4750 --json '{\"op\":\"list\"}' [--format json|binary]
                    [--timeout-ms MS] [--retries N]
+  privhp cluster   --shards N --addr 127.0.0.1:4800 [--release name=release.json]...
+                   [--replication R] [--snapshot-dir DIR]
+  privhp cluster-client --endpoints 127.0.0.1:4800,127.0.0.1:4801,...
+                   --json '{\"op\":\"list\"}' [--format json|binary]
+                   [--timeout-ms MS] [--retries N] [--replication R]
 
 Input CSV: one point per line. interval: a single value in [0,1];
 cube:D: D comma-separated values in [0,1]; ipv4: dotted-quad addresses.
@@ -410,6 +554,15 @@ bulk-sample frame and prints the decoded (JSON-identical) points.
 --retries N (default 0) retries busy/timeout/disconnect failures with
 seeded-jitter exponential backoff under a --timeout-ms deadline per
 attempt (default 30000) — safe because seeded requests are idempotent.
+cluster spawns N serve processes on consecutive ports from --addr, each
+owning the slice of the --release set that rendezvous hashing assigns it
+under replication factor R (default 2); --snapshot-dir gives shard i a
+restartable {dir}/shard-i.snapshot. cluster-client routes one request
+over the endpoint list with the same hashing, failing over between
+replicas behind per-endpoint circuit breakers; when every replica of a
+release is down it reports a retryable 'unavailable' error naming the
+release. Failover is bit-identical because seeded requests are
+idempotent: any replica serves the same bytes.
 The release file is eps-differentially private; querying and sampling it
 costs no further privacy budget.";
 
@@ -742,6 +895,109 @@ mod tests {
         assert!(matches!(base("json").unwrap(), Command::Client { binary: false, .. }));
         let e = base("yaml").unwrap_err();
         assert!(e.0.contains("json|binary"), "{}", e.0);
+    }
+
+    #[test]
+    fn parses_cluster() {
+        let cmd = parse_args(&v(&[
+            "cluster",
+            "--shards",
+            "3",
+            "--addr",
+            "127.0.0.1:4800",
+            "--release",
+            "a=a.json",
+            "--release",
+            "b=b.json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Cluster { shards, base_addr, releases, replication, snapshot_dir } => {
+                assert_eq!(shards, 3);
+                assert_eq!(base_addr, "127.0.0.1:4800");
+                assert_eq!(releases.len(), 2);
+                assert_eq!(replication, 2, "replication defaults to 2");
+                assert_eq!(snapshot_dir, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let cmd = parse_args(&v(&[
+            "cluster",
+            "--shards",
+            "4",
+            "--addr",
+            "h:1",
+            "--replication",
+            "3",
+            "--snapshot-dir",
+            "/tmp/cl",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Cluster { replication: 3, snapshot_dir: Some(ref d), .. } if d == "/tmp/cl"
+        ));
+        let e = parse_args(&v(&["cluster", "--addr", "h:1"])).unwrap_err();
+        assert!(e.0.contains("--shards"), "{}", e.0);
+        let e = parse_args(&v(&["cluster", "--shards", "0", "--addr", "h:1"])).unwrap_err();
+        assert!(e.0.contains("at least 1"), "{}", e.0);
+        let e =
+            parse_args(&v(&["cluster", "--shards", "2", "--addr", "h:1", "--replication", "0"]))
+                .unwrap_err();
+        assert!(e.0.contains("at least 1"), "{}", e.0);
+    }
+
+    #[test]
+    fn parses_cluster_client() {
+        let cmd = parse_args(&v(&[
+            "cluster-client",
+            "--endpoints",
+            "127.0.0.1:4800, 127.0.0.1:4801,127.0.0.1:4802",
+            "--json",
+            "{\"op\":\"list\"}",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::ClusterClient {
+                endpoints,
+                request,
+                binary,
+                timeout_ms,
+                retries,
+                replication,
+            } => {
+                assert_eq!(endpoints, ["127.0.0.1:4800", "127.0.0.1:4801", "127.0.0.1:4802"]);
+                assert_eq!(request, "{\"op\":\"list\"}");
+                assert!(!binary);
+                assert_eq!(timeout_ms, None);
+                assert_eq!(retries, 0);
+                assert_eq!(replication, 2, "replication defaults to the cluster default");
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let cmd = parse_args(&v(&[
+            "cluster-client",
+            "--endpoints",
+            "a:1,b:2",
+            "--json",
+            "{}",
+            "--format",
+            "binary",
+            "--retries",
+            "5",
+            "--replication",
+            "1",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::ClusterClient { binary: true, retries: 5, replication: 1, .. }
+        ));
+        let e =
+            parse_args(&v(&["cluster-client", "--endpoints", ",", "--json", "{}"])).unwrap_err();
+        assert!(e.0.contains("at least one address"), "{}", e.0);
+        let e = parse_args(&v(&["cluster-client", "--json", "{}"])).unwrap_err();
+        assert!(e.0.contains("--endpoints"), "{}", e.0);
     }
 
     #[test]

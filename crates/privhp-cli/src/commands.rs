@@ -13,7 +13,9 @@ use privhp_core::{
 };
 use privhp_domain::{HierarchicalDomain, Hypercube, Ipv4Space, UnitInterval};
 use privhp_dp::rng::rng_from_seed;
-use privhp_serve::{Client, LoadedRelease, Registry, RetryPolicy, Server, ServerConfig};
+use privhp_serve::{
+    Client, ClusterClient, LoadedRelease, Registry, RetryPolicy, Server, ServerConfig,
+};
 use serde::Value;
 
 use crate::args::QueryKind;
@@ -239,16 +241,29 @@ pub fn run_serve(
     let registry = Registry::new();
     // Restore from the snapshot first (if it exists yet), so explicit
     // `--release` flags win over the remembered registry on conflicts.
+    // Entries whose release files rotted since the snapshot are skipped
+    // with a warning — a degraded boot still boots.
     if let Some(path) = snapshot.as_deref() {
         if std::path::Path::new(path).exists() {
-            let restored = registry.restore_snapshot(path)?;
-            if restored > 0 {
-                println!("privhp serve: restored {restored} release(s) from {path}");
+            let outcome = registry.restore_snapshot(path)?;
+            for (name, why) in &outcome.skipped {
+                eprintln!("privhp serve: warning: skipping snapshot entry '{name}': {why}");
+            }
+            if outcome.restored > 0 {
+                println!("privhp serve: restored {} release(s) from {path}", outcome.restored);
             }
         }
     }
     for (name, path) in releases {
         registry.insert(LoadedRelease::load(name, path)?);
+    }
+    // Record the boot-time registry right away: a server started from
+    // `--release` flags (e.g. a cluster shard) can then be restarted
+    // from its snapshot even if it never serves a hot `load`.
+    if let Some(path) = snapshot.as_deref() {
+        if !registry.is_empty() {
+            registry.write_snapshot(path)?;
+        }
     }
     // The CLI flag wins over PRIVHP_FAULT_SEED; a set-but-unparseable
     // env var is an error rather than silently-disabled chaos.
@@ -302,6 +317,16 @@ pub fn run_client(
     let mut client = Client::connect_with(addr, policy).map_err(|e| e.to_string())?;
     client.set_binary()?;
     let (header, payload) = client.send_expect_payload(request)?;
+    decode_binary_reply(header, payload)
+}
+
+/// Decodes a binary-negotiated reply back into the exact line the JSON
+/// encoding would have produced: the header minus the binary-only
+/// fields, with the payload rendered as `points`. Replies without a
+/// payload (errors, non-sample ops) pass through untouched. Shared by
+/// `privhp client --binary` and `privhp cluster-client --binary` so the
+/// two paths stay diffable byte for byte.
+fn decode_binary_reply(header: String, payload: Option<Vec<f64>>) -> Result<String, String> {
     let Some(lanes) = payload else {
         return Ok(format!("{header}\n"));
     };
@@ -330,6 +355,116 @@ pub fn run_client(
         .collect();
     json_fields.push(("points".to_string(), points));
     Ok(format!("{}\n", serde_json::value_to_string(&Value::Object(json_fields))))
+}
+
+/// Runs `privhp cluster`: spawns `shards` local `privhp serve` child
+/// processes on consecutive ports starting at `base_addr`, partitioning
+/// the `--release` flags with the same rendezvous hashing the
+/// [`ClusterClient`] routes by — each shard boots exactly the releases
+/// it owns under replication factor `replication`. With `snapshot_dir`,
+/// shard `i` gets `--registry-snapshot {dir}/shard-{i}.snapshot`, so a
+/// killed shard can be restarted with its slice intact. Prints one line
+/// per shard plus a summary with the endpoint list, then waits for the
+/// children (a fanned-out `shutdown` from any cluster client ends the
+/// fleet; one shard dying does not).
+pub fn run_cluster(
+    shards: usize,
+    base_addr: &str,
+    releases: &[(String, String)],
+    replication: usize,
+    snapshot_dir: Option<String>,
+) -> Result<String, String> {
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let (host, base_port) = base_addr
+        .rsplit_once(':')
+        .ok_or_else(|| format!("--addr '{base_addr}' is not host:port"))?;
+    let base_port: u32 =
+        base_port.parse().map_err(|e| format!("bad port in '{base_addr}': {e}"))?;
+    if base_port + shards as u32 - 1 > u16::MAX as u32 {
+        return Err(format!("--shards {shards} from port {base_port} overflows the port range"));
+    }
+    let endpoints: Vec<String> =
+        (0..shards).map(|i| format!("{host}:{}", base_port + i as u32)).collect();
+    // Sanity-check releases before spawning anything.
+    for (name, path) in releases {
+        LoadedRelease::load(name, path)?;
+    }
+    if let Some(dir) = snapshot_dir.as_deref() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let mut children = Vec::with_capacity(shards);
+    for (i, endpoint) in endpoints.iter().enumerate() {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("serve").arg("--addr").arg(endpoint);
+        let mut owned: Vec<&str> = Vec::new();
+        for (name, path) in releases {
+            if privhp_serve::owners(name, &endpoints, replication).contains(&i) {
+                cmd.arg("--release").arg(format!("{name}={path}"));
+                owned.push(name);
+            }
+        }
+        if let Some(dir) = snapshot_dir.as_deref() {
+            cmd.arg("--registry-snapshot").arg(format!("{dir}/shard-{i}.snapshot"));
+        }
+        let child = cmd.spawn().map_err(|e| format!("cannot spawn shard {i}: {e}"))?;
+        println!(
+            "privhp cluster: shard {i} pid {} addr {endpoint} releases [{}]",
+            child.id(),
+            owned.join(", ")
+        );
+        children.push(child);
+    }
+    println!(
+        "privhp cluster: {shards} shard(s), replication {}, endpoints {}",
+        replication.clamp(1, shards),
+        endpoints.join(",")
+    );
+    let _ = std::io::stdout().flush();
+    let mut failures = 0;
+    for (i, mut child) in children.into_iter().enumerate() {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("privhp cluster: shard {i} exited with {status}");
+                failures += 1;
+            }
+            Err(e) => {
+                eprintln!("privhp cluster: cannot wait for shard {i}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    Ok(format!("cluster shut down ({failures} shard(s) exited abnormally)\n"))
+}
+
+/// Runs `privhp cluster-client`: one request frame routed over the
+/// endpoint list with rendezvous hashing, breaker-gated failover and
+/// (with `binary`) the binary bulk-sample encoding decoded back to the
+/// JSON line — the cluster twin of [`run_client`].
+pub fn run_cluster_client(
+    endpoints: &[String],
+    request: &str,
+    binary: bool,
+    timeout_ms: Option<u64>,
+    retries: u32,
+    replication: usize,
+) -> Result<String, String> {
+    let mut policy = RetryPolicy { retries, ..RetryPolicy::default() };
+    if let Some(ms) = timeout_ms {
+        policy.timeout = std::time::Duration::from_millis(ms);
+    }
+    let mut client = ClusterClient::with_policy(endpoints, replication, policy)?;
+    if binary {
+        client.set_binary();
+        let (header, payload) =
+            client.request_expect_payload(request).map_err(|e| e.to_string())?;
+        return decode_binary_reply(header, payload);
+    }
+    let line = client.request(request).map_err(|e| e.to_string())?;
+    Ok(format!("{line}\n"))
 }
 
 /// Shared sampling pipeline: a release's tree viewed through the

@@ -73,6 +73,20 @@ fn run(args: &[String]) -> Result<String, String> {
             let frame = if request == "-" { read_input("-")? } else { request };
             commands::run_client(&addr, &frame, binary, timeout_ms, retries)
         }
+        Command::Cluster { shards, base_addr, releases, replication, snapshot_dir } => {
+            commands::run_cluster(shards, &base_addr, &releases, replication, snapshot_dir)
+        }
+        Command::ClusterClient { endpoints, request, binary, timeout_ms, retries, replication } => {
+            let frame = if request == "-" { read_input("-")? } else { request };
+            commands::run_cluster_client(
+                &endpoints,
+                &frame,
+                binary,
+                timeout_ms,
+                retries,
+                replication,
+            )
+        }
     }
 }
 

@@ -1,0 +1,308 @@
+//! Process-level cluster chaos: real `privhp serve` shard processes,
+//! SIGKILLed mid-traffic, driven through the failover [`ClusterClient`].
+//!
+//! This is the fleet analogue of the in-process chaos suite: with 3
+//! shards and replication 2, killing one owner of a release must leave
+//! every request — in-flight and subsequent, JSON and binary — settling
+//! **bit-identical** to the fault-free baseline via failover; killing
+//! both owners must settle the release's requests as the structured
+//! retryable `unavailable` error; and a shard restarted from its
+//! registry snapshot must be readmitted by the breaker (half-open →
+//! closed) serving the same bytes.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use privhp_cli::commands::run_build;
+use privhp_cli::DomainSpec;
+use privhp_serve::{owners, BreakerState, Client, ClientError, ClusterClient, RetryPolicy};
+use serde::Value;
+
+const BIN: &str = env!("CARGO_BIN_EXE_privhp");
+const REPLICATION: usize = 2;
+
+/// Temp workspace removed on drop.
+struct Scratch(std::path::PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("privhp-cluster-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+
+    fn path(&self, file: &str) -> String {
+        self.0.join(file).display().to_string()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Kills every child on drop so a failing assert can't leak processes.
+struct Fleet(Vec<Option<Child>>);
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for child in self.0.iter_mut().flatten() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Builds one tiny deterministic release file; the name-derived seed
+/// means any replica — including a restarted one — serves the same
+/// bytes.
+fn build_release(scratch: &Scratch, name: &str) -> String {
+    let seed: u64 = name.bytes().map(u64::from).sum();
+    let csv: String =
+        (0..256).map(|i| format!("{}\n", (i as f64 / 256.0).powi(2) * 0.999)).collect();
+    let json = run_build(&csv, 1.0, 8, DomainSpec::Interval, seed, 1).unwrap();
+    let path = scratch.path(&format!("{name}.json"));
+    std::fs::write(&path, json).unwrap();
+    path
+}
+
+/// Spawns one `privhp serve` shard with a registry snapshot file,
+/// returning the child and its bound address (parsed from the ready
+/// line).
+fn spawn_shard(snapshot: &str, explicit_addr: Option<&str>) -> (Child, String) {
+    let mut child = Command::new(BIN)
+        .args([
+            "serve",
+            "--addr",
+            explicit_addr.unwrap_or("127.0.0.1:0"),
+            "--registry-snapshot",
+            snapshot,
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn privhp serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("serve exited before its ready line")
+            .expect("readable shard stdout");
+        if let Some((_, addr)) = line.split_once("listening on ") {
+            break addr.trim().to_string();
+        }
+    };
+    // Leave the remaining stdout unread: shards print nothing further
+    // until shutdown, so the pipe cannot fill.
+    (child, addr)
+}
+
+/// Boots a 3-shard fleet on ephemeral ports with empty registries.
+fn boot_fleet(scratch: &Scratch) -> (Fleet, Vec<String>) {
+    let mut children = Vec::new();
+    let mut endpoints = Vec::new();
+    for i in 0..3 {
+        let (child, addr) = spawn_shard(&scratch.path(&format!("shard-{i}.snapshot")), None);
+        children.push(Some(child));
+        endpoints.push(addr);
+    }
+    (Fleet(children), endpoints)
+}
+
+/// Builds a release and hot-loads it onto the shards that own it under
+/// the routing's own `owners` partitioning (each shard then records it
+/// in its snapshot).
+fn load_release(scratch: &Scratch, endpoints: &[String], name: &str) {
+    let path = build_release(scratch, name);
+    for i in owners(name, endpoints, REPLICATION) {
+        let mut c = Client::connect_with(&endpoints[i], fast_policy()).unwrap();
+        let reply = c
+            .request(&format!("{{\"op\":\"load\",\"name\":\"{name}\",\"path\":\"{path}\"}}"))
+            .unwrap();
+        assert!(reply.starts_with("{\"ok\":true"), "load failed on shard {i}: {reply}");
+    }
+}
+
+/// A release name with an owner *set* different from `taken` (order
+/// ignored: same owners in reversed rendezvous order still die with the
+/// victim) — found by scanning candidate names, since ephemeral ports
+/// make hashing unpredictable. With 2-of-3 replication this means the
+/// candidate is owned by the shard that survives the victim's owners
+/// dying.
+fn bystander_name(endpoints: &[String], taken: &[usize]) -> String {
+    let mut taken: Vec<usize> = taken.to_vec();
+    taken.sort_unstable();
+    (0..64)
+        .map(|i| format!("bystander-{i}"))
+        .find(|name| {
+            let mut set = owners(name, endpoints, REPLICATION);
+            set.sort_unstable();
+            set != taken
+        })
+        .expect("64 candidate names always yield a second owner set")
+}
+
+fn fast_policy() -> RetryPolicy {
+    RetryPolicy {
+        retries: 3,
+        timeout: Duration::from_secs(5),
+        backoff_base: Duration::from_millis(1),
+        backoff_max: Duration::from_millis(5),
+        ..RetryPolicy::default()
+    }
+}
+
+fn sample_req(release: &str) -> String {
+    format!("{{\"op\":\"sample\",\"release\":\"{release}\",\"n\":32,\"seed\":17}}")
+}
+
+fn sigkill(fleet: &mut Fleet, i: usize) {
+    let mut child = fleet.0[i].take().expect("shard still running");
+    child.kill().expect("SIGKILL shard");
+    child.wait().expect("reap shard");
+}
+
+#[test]
+fn sigkill_mid_traffic_fails_over_bit_identically_then_unavailable() {
+    let scratch = Scratch::new("kill");
+    let (mut fleet, endpoints) = boot_fleet(&scratch);
+
+    let victim = "alpha";
+    let owner_set = owners(victim, &endpoints, REPLICATION);
+    let bystander = bystander_name(&endpoints, &owner_set);
+    load_release(&scratch, &endpoints, victim);
+    load_release(&scratch, &endpoints, &bystander);
+
+    let mut cluster = ClusterClient::with_policy(&endpoints, REPLICATION, fast_policy()).unwrap();
+
+    // Fault-free baselines, JSON and binary, through the router itself.
+    let req = sample_req(victim);
+    let baseline = cluster.request(&req).unwrap();
+    let bystander_baseline = cluster.request(&sample_req(&bystander)).unwrap();
+    cluster.set_binary();
+    let (baseline_header, baseline_lanes) = cluster.request_expect_payload(&req).unwrap();
+    assert!(baseline_lanes.is_some(), "binary sample carries a payload");
+    cluster.request("{\"op\":\"format\",\"encoding\":\"json\"}").unwrap();
+
+    // Driver thread hammers the victim release while the kill lands:
+    // every response it sees must be the baseline, bit for bit.
+    let driver = {
+        let endpoints = endpoints.clone();
+        let req = req.clone();
+        let baseline = baseline.clone();
+        std::thread::spawn(move || {
+            let mut cc = ClusterClient::with_policy(&endpoints, REPLICATION, fast_policy())
+                .expect("driver client");
+            for i in 0..500 {
+                let reply =
+                    cc.request(&req).unwrap_or_else(|e| panic!("driver request {i} failed: {e}"));
+                assert_eq!(reply, baseline, "request {i} changed bytes under the kill");
+            }
+        })
+    };
+    std::thread::sleep(Duration::from_millis(20));
+    sigkill(&mut fleet, owner_set[0]);
+    driver.join().expect("driver thread");
+
+    // Post-kill: JSON and binary still settle to the baselines.
+    for _ in 0..4 {
+        assert_eq!(cluster.request(&req).unwrap(), baseline);
+    }
+    cluster.set_binary();
+    let (header, lanes) = cluster.request_expect_payload(&req).unwrap();
+    assert_eq!(header, baseline_header, "binary header changed under failover");
+    assert_eq!(lanes, baseline_lanes, "binary payload changed under failover");
+    cluster.request("{\"op\":\"format\",\"encoding\":\"json\"}").unwrap();
+
+    // Both owners dead: the release settles as structured retryable
+    // `unavailable`; a release with a live owner keeps serving.
+    sigkill(&mut fleet, owner_set[1]);
+    match cluster.request(&req) {
+        Err(ClientError::Server { code, frame }) => {
+            assert_eq!(code.as_deref(), Some("unavailable"));
+            assert!(frame.contains(victim), "frame must name the release: {frame}");
+        }
+        other => panic!("expected unavailable, got {other:?}"),
+    }
+    assert_eq!(cluster.request(&sample_req(&bystander)).unwrap(), bystander_baseline);
+
+    // Degraded-mode observability: the merged stats document shows one
+    // reachable endpoint and still satisfies the accounting identity.
+    let stats = cluster.stats();
+    let agg = stats.get("aggregate").expect("aggregate object");
+    let get = |k: &str| agg.get(k).and_then(Value::as_u64).unwrap();
+    assert_eq!(get("reachable"), 1);
+    assert_eq!(
+        get("connections"),
+        get("served")
+            + get("shed")
+            + get("timed_out")
+            + get("idle_closed")
+            + get("io_error")
+            + get("open"),
+        "aggregate accounting identity broken: {stats:?}"
+    );
+}
+
+#[test]
+fn killed_shard_restarts_from_snapshot_and_breaker_readmits_it() {
+    let scratch = Scratch::new("restart");
+    let (mut fleet, endpoints) = boot_fleet(&scratch);
+
+    let victim = "alpha";
+    let first = owners(victim, &endpoints, REPLICATION)[0];
+    load_release(&scratch, &endpoints, victim);
+
+    let mut cluster = ClusterClient::with_policy(&endpoints, REPLICATION, fast_policy()).unwrap();
+    let req = sample_req(victim);
+    let baseline = cluster.request(&req).unwrap();
+
+    // Drop our pooled connections *before* the kill: the shard's port
+    // then holds no TIME_WAIT sockets, so the restart can re-bind it
+    // immediately.
+    cluster.disconnect();
+    sigkill(&mut fleet, first);
+
+    // Traffic fails over and trips the dead endpoint's breaker.
+    for _ in 0..6 {
+        assert_eq!(cluster.request(&req).unwrap(), baseline, "failover changed the bytes");
+    }
+    assert!(
+        cluster
+            .breaker_states()
+            .iter()
+            .any(|(e, s)| *e == endpoints[first] && *s != BreakerState::Closed),
+        "repeated connect failures must trip the breaker"
+    );
+
+    // Restart from the snapshot alone — no --release flags. The shard
+    // wrote it when its `load` landed, so it comes back owning exactly
+    // its old slice.
+    let (child, addr) =
+        spawn_shard(&scratch.path(&format!("shard-{first}.snapshot")), Some(&endpoints[first]));
+    assert_eq!(addr, endpoints[first], "restart must re-bind the old endpoint");
+    fleet.0[first] = Some(child);
+
+    // Past the millisecond cool-down the breaker half-opens; the next
+    // request probes the restarted shard, closes it, and gets the same
+    // bytes the snapshot's releases always produced.
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(
+        cluster
+            .breaker_states()
+            .iter()
+            .any(|(e, s)| *e == endpoints[first] && *s == BreakerState::HalfOpen),
+        "cool-down elapsed: breaker should be half-open"
+    );
+    assert_eq!(cluster.request(&req).unwrap(), baseline, "restarted shard changed the bytes");
+    assert!(
+        cluster
+            .breaker_states()
+            .iter()
+            .any(|(e, s)| *e == endpoints[first] && *s == BreakerState::Closed),
+        "successful probe should close the breaker"
+    );
+}

@@ -15,7 +15,8 @@
 //! * **retryable** — transport failures (connect refused, reset, the
 //!   connection closing mid-frame or mid-payload), the per-attempt
 //!   response deadline expiring, and structured server frames whose code
-//!   is retryable (`busy`, `request_timeout`, `idle_timeout`). These mean
+//!   is retryable (`busy`, `request_timeout`, `idle_timeout`,
+//!   `unavailable`). These mean
 //!   "the server didn't authoritatively answer this request"; the client
 //!   reconnects (re-negotiating binary mode if it was on), sleeps an
 //!   exponentially growing, deterministically jittered backoff, and sends
@@ -302,8 +303,8 @@ fn read_payload_deadline(
 impl Client {
     /// Connects to `addr` (e.g. `127.0.0.1:4750`) with the default
     /// single-shot [`RetryPolicy`].
-    pub fn connect(addr: &str) -> Result<Self, String> {
-        Self::connect_with(addr, RetryPolicy::default()).map_err(|e| e.to_string())
+    pub fn connect(addr: &str) -> Result<Self, ClientError> {
+        Self::connect_with(addr, RetryPolicy::default())
     }
 
     /// Connects under an explicit policy. The initial dial itself retries
@@ -496,7 +497,7 @@ fn negotiate_binary(conn: &mut Connection, deadline: Instant) -> Result<(), Clie
 /// Connects, sends one request, returns the response line (single-shot,
 /// like the default policy).
 pub fn oneshot(addr: &str, request_line: &str) -> Result<String, String> {
-    Client::connect(addr)?.send(request_line)
+    Client::connect(addr).map_err(|e| e.to_string())?.send(request_line)
 }
 
 /// [`oneshot`] under an explicit deadline/retry policy.

@@ -1,0 +1,879 @@
+//! Client-side replicated shard routing: rendezvous hashing over N
+//! endpoints with replication factor R, per-endpoint circuit breakers,
+//! failover, and merged cluster-wide `stats`.
+//!
+//! There is no coordinator process. Every [`ClusterClient`] computes the
+//! same owner set for a release name from nothing but the endpoint list
+//! ([`owners`]), so any number of clients agree on placement without
+//! talking to each other, and `privhp cluster` partitions its `--release`
+//! flags across shards with the very same function — a shard holds
+//! exactly the releases the routing says it owns.
+//!
+//! # Routing
+//!
+//! A release's owners are the `R` endpoints with the highest
+//! [`rendezvous_score`] (highest-random-weight hashing): adding or
+//! removing one endpoint only moves the releases that endpoint owned,
+//! and the owner set is independent of the order the endpoint list was
+//! written in. Release-bearing ops (`sample`, `query`, `cdf`, `info`,
+//! `load`) route to the owner set; `list` fans out and merges; `stats`
+//! merges per-endpoint documents ([`merge_stats`]); `shutdown` fans out
+//! to every endpoint.
+//!
+//! # Health and failover
+//!
+//! Each endpoint carries a circuit breaker:
+//!
+//! * **closed** — traffic flows. [`BREAKER_THRESHOLD`] *consecutive*
+//!   transport/timeout failures open it. (A structured server frame —
+//!   even `busy` — proves the process is alive and resets the streak.)
+//! * **open** — the endpoint is skipped outright for a cool-down derived
+//!   from [`RetryPolicy::backoff`] at the re-open streak, so cool-downs
+//!   grow exponentially with seeded jitter and are fully deterministic
+//!   in tests.
+//! * **half-open** — the cool-down elapsed; the next request first sends
+//!   one cheap `list` probe. Success closes the breaker and the real
+//!   request proceeds; failure re-opens it with a longer cool-down.
+//!
+//! A retryable failure (or an open breaker) moves the request to the
+//! next replica in rendezvous order. Responses are bit-identical under
+//! failover because seeded `sample`/`query` are pure functions of
+//! `(release bytes, request)` — any owner serves the same bytes. When
+//! every owner of a release is down, the router answers a structured
+//! retryable [`ErrorReply::unavailable`] carrying the release name.
+
+use std::time::Instant;
+
+use privhp_dp::rng::mix64;
+use serde::Value;
+
+use crate::client::{Client, ClientError, RetryPolicy};
+use crate::protocol::{ok_frame, parse_request, ErrorReply, Request};
+
+/// Default replication factor: every release is served by two shards, so
+/// any single shard can die without losing a slice of the registry.
+pub const DEFAULT_REPLICATION: usize = 2;
+
+/// Consecutive transport/timeout failures that open an endpoint's
+/// circuit breaker.
+pub const BREAKER_THRESHOLD: u32 = 3;
+
+/// The cheap liveness probe a half-open breaker sends before admitting
+/// real traffic.
+const PROBE: &str = "{\"op\":\"list\"}";
+
+/// FNV-1a over a string — stable across runs and platforms, mixed
+/// through [`mix64`] before use so similar names don't score similarly.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The rendezvous (highest-random-weight) score of `(release, endpoint)`.
+/// Every client computes the same score from the same strings, so owner
+/// sets agree with no coordination.
+pub fn rendezvous_score(release: &str, endpoint: &str) -> u64 {
+    mix64(fnv1a(release) ^ mix64(fnv1a(endpoint)))
+}
+
+/// The indices (into `endpoints`) of the `replication` owners of
+/// `release`, best score first. The selected *endpoints* and their order
+/// depend only on the endpoint strings, never on how the list happens to
+/// be ordered; ties (only possible between equal strings) break by the
+/// endpoint string so the result is total. `replication` is clamped to
+/// `[1, endpoints.len()]`.
+pub fn owners<S: AsRef<str>>(release: &str, endpoints: &[S], replication: usize) -> Vec<usize> {
+    let mut scored: Vec<(u64, &str, usize)> = endpoints
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (rendezvous_score(release, e.as_ref()), e.as_ref(), i))
+        .collect();
+    scored.sort_unstable_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(b.1)));
+    scored.truncate(replication.clamp(1, endpoints.len()));
+    scored.into_iter().map(|(_, _, i)| i).collect()
+}
+
+/// A circuit breaker's externally visible state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: traffic flows.
+    Closed,
+    /// Tripped: the endpoint is skipped until its cool-down elapses.
+    Open,
+    /// Cool-down elapsed: the next request probes before real traffic.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// The state's wire spelling in cluster `stats` documents.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// Per-endpoint breaker bookkeeping. Open/half-open are one mechanism:
+/// `open_until` holds the cool-down deadline, and a deadline in the past
+/// *is* the half-open state (the probe either clears it or re-arms it).
+#[derive(Debug, Default)]
+struct Breaker {
+    /// Consecutive transport/timeout failures since the last proof of
+    /// life (any structured frame, or a closed probe).
+    consecutive: u32,
+    /// Re-open streak: drives the cool-down's exponential growth; reset
+    /// when the breaker closes.
+    reopen_streak: u32,
+    /// Lifetime number of times this breaker opened (for `stats`).
+    opened_total: u64,
+    /// Cool-down deadline while open/half-open.
+    open_until: Option<Instant>,
+}
+
+impl Breaker {
+    fn state(&self, now: Instant) -> BreakerState {
+        match self.open_until {
+            Some(until) if now < until => BreakerState::Open,
+            Some(_) => BreakerState::HalfOpen,
+            None => BreakerState::Closed,
+        }
+    }
+
+    /// Records a transport/timeout failure; opens (or re-opens) the
+    /// breaker when the streak crosses the threshold.
+    fn record_failure(&mut self, policy: &RetryPolicy, now: Instant) {
+        self.consecutive += 1;
+        let reopen = self.state(now) == BreakerState::HalfOpen;
+        if reopen || (self.consecutive >= BREAKER_THRESHOLD && self.open_until.is_none()) {
+            self.open_until = Some(now + policy.backoff(self.reopen_streak));
+            self.reopen_streak = self.reopen_streak.saturating_add(1);
+            self.opened_total += 1;
+        }
+    }
+
+    /// Records proof of life: any structured frame, or a probe success.
+    fn record_success(&mut self) {
+        self.consecutive = 0;
+        self.reopen_streak = 0;
+        self.open_until = None;
+    }
+}
+
+/// One endpoint's routing state: its lazily-dialed connection, breaker,
+/// and disposition counters.
+#[derive(Debug)]
+struct Shard {
+    endpoint: String,
+    client: Option<Client>,
+    breaker: Breaker,
+    /// Requests this endpoint answered with a frame (success or terminal).
+    ok: u64,
+    /// Attempts that failed without an authoritative answer.
+    failed: u64,
+    /// Attempts skipped outright because the breaker was open.
+    skipped_open: u64,
+    /// Half-open probes sent.
+    probes: u64,
+}
+
+impl Shard {
+    fn new(endpoint: String) -> Self {
+        Self {
+            endpoint,
+            client: None,
+            breaker: Breaker::default(),
+            ok: 0,
+            failed: 0,
+            skipped_open: 0,
+            probes: 0,
+        }
+    }
+}
+
+/// One endpoint's slice of a merged cluster `stats` document: routing
+/// counters plus the shard's own `stats` payload (or why it couldn't be
+/// fetched). Plain data so [`merge_stats`] is a pure, socket-free
+/// function.
+#[derive(Debug, Clone)]
+pub struct EndpointReport {
+    /// The endpoint address.
+    pub endpoint: String,
+    /// Breaker state at snapshot time (a [`BreakerState::as_str`] value).
+    pub breaker: &'static str,
+    /// Times this breaker has opened.
+    pub opened: u64,
+    /// Requests answered with a frame (success or terminal).
+    pub ok: u64,
+    /// Attempts that failed without an authoritative answer.
+    pub failed: u64,
+    /// Attempts skipped because the breaker was open.
+    pub skipped_open: u64,
+    /// Half-open probes sent.
+    pub probes: u64,
+    /// The shard's `stats` payload (minus `ok`/`op`), or the fetch error.
+    pub stats: Result<Value, String>,
+}
+
+/// Shard stats fields summed into the merged document's `aggregate`
+/// object, in the same pinned order [`crate::stats::ServerStats::fields`]
+/// emits them — so the per-shard accounting identity `connections ==
+/// served + shed + timed_out + idle_closed + io_error + open` holds for
+/// the aggregate whenever it holds per shard (sums of identities).
+pub const AGGREGATE_FIELDS: [&str; 10] = [
+    "connections",
+    "open",
+    "served",
+    "shed",
+    "timed_out",
+    "idle_closed",
+    "io_error",
+    "requests",
+    "errors",
+    "points_sampled",
+];
+
+/// Builds the merged cluster `stats` frame value from per-endpoint
+/// reports: `{"ok":true,"op":"stats","cluster":true,"endpoints":[...],
+/// "aggregate":{...}}`. Field order is stable and load-bearing like the
+/// single-server `stats` frame (scripts grep it positionally); the
+/// cluster-stats field-order test pins it.
+pub fn merge_stats(reports: &[EndpointReport]) -> Value {
+    let endpoints = reports
+        .iter()
+        .map(|r| {
+            let mut fields = vec![
+                ("endpoint".to_string(), Value::String(r.endpoint.clone())),
+                ("breaker".to_string(), Value::String(r.breaker.into())),
+                ("opened".to_string(), Value::UInt(r.opened)),
+                ("requests_ok".to_string(), Value::UInt(r.ok)),
+                ("requests_failed".to_string(), Value::UInt(r.failed)),
+                ("skipped_open".to_string(), Value::UInt(r.skipped_open)),
+                ("probes".to_string(), Value::UInt(r.probes)),
+            ];
+            match &r.stats {
+                Ok(stats) => fields.push(("stats".to_string(), stats.clone())),
+                Err(e) => fields.push(("error".to_string(), Value::String(e.clone()))),
+            }
+            Value::Object(fields)
+        })
+        .collect();
+    let reachable = reports.iter().filter(|r| r.stats.is_ok()).count() as u64;
+    let mut aggregate = vec![("reachable".to_string(), Value::UInt(reachable))];
+    for key in AGGREGATE_FIELDS {
+        let sum = reports
+            .iter()
+            .filter_map(|r| r.stats.as_ref().ok())
+            .filter_map(|s| s.get(key).and_then(Value::as_u64))
+            .sum();
+        aggregate.push((key.to_string(), Value::UInt(sum)));
+    }
+    Value::Object(vec![
+        ("ok".to_string(), Value::Bool(true)),
+        ("op".to_string(), Value::String("stats".into())),
+        ("cluster".to_string(), Value::Bool(true)),
+        ("endpoints".to_string(), Value::Array(endpoints)),
+        ("aggregate".to_string(), Value::Object(aggregate)),
+    ])
+}
+
+/// A routing client over a replicated shard cluster. Speaks the exact
+/// same one-line-in, one-line-out surface as [`Client`], but fans each
+/// request to the rendezvous owners of its release with health-checked
+/// failover. Like [`Client`], a returned `Ok` line may be a *terminal*
+/// error frame — that is some shard's authoritative answer; `Err` means
+/// no shard answered within the budget (including the synthesized
+/// `unavailable` frame when every owner is down).
+#[derive(Debug)]
+pub struct ClusterClient {
+    shards: Vec<Shard>,
+    replication: usize,
+    policy: RetryPolicy,
+    binary: bool,
+}
+
+impl ClusterClient {
+    /// Builds a router over `endpoints` with the default replication
+    /// factor and single-shot policy. Endpoints must be non-empty and
+    /// distinct (a duplicate would silently halve the real replication).
+    pub fn new<S: AsRef<str>>(endpoints: &[S]) -> Result<Self, String> {
+        Self::with_policy(endpoints, DEFAULT_REPLICATION, RetryPolicy::default())
+    }
+
+    /// Builds a router with an explicit replication factor and retry
+    /// policy. `policy.retries` counts *extra passes over the owner set*:
+    /// one pass tries every reachable owner in rendezvous order, so even
+    /// `retries: 0` already fails over.
+    pub fn with_policy<S: AsRef<str>>(
+        endpoints: &[S],
+        replication: usize,
+        policy: RetryPolicy,
+    ) -> Result<Self, String> {
+        if endpoints.is_empty() {
+            return Err("cluster needs at least one endpoint".into());
+        }
+        if replication == 0 {
+            return Err("replication factor must be at least 1".into());
+        }
+        let mut seen: Vec<&str> = Vec::new();
+        for e in endpoints {
+            let e = e.as_ref();
+            if seen.contains(&e) {
+                return Err(format!("endpoint '{e}' given twice"));
+            }
+            seen.push(e);
+        }
+        Ok(Self {
+            shards: endpoints.iter().map(|e| Shard::new(e.as_ref().to_string())).collect(),
+            replication: replication.min(endpoints.len()),
+            policy,
+            binary: false,
+        })
+    }
+
+    /// The endpoint list, in construction order.
+    pub fn endpoints(&self) -> Vec<&str> {
+        self.shards.iter().map(|s| s.endpoint.as_str()).collect()
+    }
+
+    /// The effective replication factor (clamped to the endpoint count).
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Switches every shard connection to the binary bulk-sample
+    /// encoding. Applied lazily: live connections are dropped and each
+    /// endpoint re-negotiates on its next dial (and after every
+    /// reconnect, exactly like [`Client::set_binary`]).
+    pub fn set_binary(&mut self) {
+        self.binary = true;
+        self.disconnect();
+    }
+
+    /// Drops every pooled connection (breaker state and counters are
+    /// kept). Endpoints re-dial lazily on the next request. Closing
+    /// client-side first also means no shard is left holding the
+    /// active-close side of a socket — which is what lets a test kill a
+    /// shard process and immediately re-bind its port.
+    pub fn disconnect(&mut self) {
+        for shard in &mut self.shards {
+            shard.client = None;
+        }
+    }
+
+    /// The breaker state of each endpoint, in construction order.
+    pub fn breaker_states(&self) -> Vec<(String, BreakerState)> {
+        let now = Instant::now();
+        self.shards.iter().map(|s| (s.endpoint.clone(), s.breaker.state(now))).collect()
+    }
+
+    /// Sends one request and returns the authoritative response line,
+    /// routing by the release the frame names. See [`Client::request`]
+    /// for the `Ok`-may-be-terminal contract.
+    pub fn request(&mut self, request_line: &str) -> Result<String, ClientError> {
+        self.run(request_line, false).map(|(header, _)| header)
+    }
+
+    /// [`ClusterClient::request`] for binary-negotiated clusters: also
+    /// returns the decoded flat `f64` lane payload after a successful
+    /// binary `sample` header.
+    pub fn request_expect_payload(
+        &mut self,
+        request_line: &str,
+    ) -> Result<(String, Option<Vec<f64>>), ClientError> {
+        self.run(request_line, true)
+    }
+
+    /// Fans `stats` into every endpoint and merges the answers with the
+    /// router's own breaker states and disposition counters — partial
+    /// outage shows up as `"breaker":"open"` + an `error` entry instead
+    /// of silently vanishing from an aggregate.
+    pub fn stats(&mut self) -> Value {
+        let now = Instant::now();
+        let mut reports = Vec::with_capacity(self.shards.len());
+        for i in 0..self.shards.len() {
+            let stats = match self.shards[i].breaker.state(now) {
+                BreakerState::Open => Err("breaker open; endpoint skipped".to_string()),
+                // Stats is itself a cheap probe: let it through half-open.
+                _ => self.fetch_stats(i),
+            };
+            let s = &self.shards[i];
+            reports.push(EndpointReport {
+                endpoint: s.endpoint.clone(),
+                breaker: s.breaker.state(Instant::now()).as_str(),
+                opened: s.breaker.opened_total,
+                ok: s.ok,
+                failed: s.failed,
+                skipped_open: s.skipped_open,
+                probes: s.probes,
+                stats,
+            });
+        }
+        merge_stats(&reports)
+    }
+
+    /// One endpoint's `stats` payload with `ok`/`op` stripped (they move
+    /// to the merged document's top level). Bypasses the ok/failed
+    /// counters — those describe routed traffic, not the snapshot itself
+    /// — but still feeds the breaker, so a dead endpoint discovered via
+    /// `stats` is skipped by subsequent routing too.
+    fn fetch_stats(&mut self, i: usize) -> Result<Value, String> {
+        let reply = self
+            .exchange(i, "{\"op\":\"stats\"}", false)
+            .map_err(|e| e.to_string())
+            .map(|(header, _)| header)?;
+        let v = serde_json::parse_value_str(&reply)
+            .map_err(|e| format!("unparseable stats frame '{reply}': {e}"))?;
+        match v {
+            Value::Object(fields) => Ok(Value::Object(
+                fields.into_iter().filter(|(k, _)| !matches!(k.as_str(), "ok" | "op")).collect(),
+            )),
+            _ => Err(format!("stats frame is not an object: {reply}")),
+        }
+    }
+
+    /// Routes one parsed request line.
+    fn run(
+        &mut self,
+        request_line: &str,
+        want_payload: bool,
+    ) -> Result<(String, Option<Vec<f64>>), ClientError> {
+        let line = request_line.trim();
+        let request = match parse_request(line) {
+            Ok(r) => r,
+            // The router is the first server-shaped thing a frame meets;
+            // a malformed frame gets the same structured terminal answer
+            // a shard would have produced (no shard round-trip needed —
+            // identical bytes can never succeed anywhere).
+            Err(msg) => return Ok((ErrorReply::bad_request(msg).frame(), None)),
+        };
+        match &request {
+            Request::Sample { release, .. }
+            | Request::Query { release, .. }
+            | Request::Cdf { release, .. }
+            | Request::Info { release } => {
+                let release = release.clone();
+                self.route_release(&release, line, want_payload)
+            }
+            Request::Load { name, .. } => {
+                let name = name.clone();
+                self.load_owners(&name, line)
+            }
+            Request::List => self.merged_list(),
+            Request::Stats => {
+                let doc = self.stats();
+                Ok((serde_json::value_to_string(&doc), None))
+            }
+            Request::Format { binary } => {
+                if *binary {
+                    self.set_binary();
+                } else {
+                    self.binary = false;
+                    self.disconnect();
+                }
+                let encoding = if *binary { "binary" } else { "json" };
+                Ok((ok_frame("format", vec![("encoding", Value::String(encoding.into()))]), None))
+            }
+            Request::Shutdown => self.shutdown_all(),
+        }
+    }
+
+    /// Routes a release-bearing request to its owner set with failover:
+    /// each pass walks the owners in rendezvous order, skipping open
+    /// breakers; between passes the client sleeps the policy's seeded
+    /// backoff. When every pass comes up empty the request settles as a
+    /// structured retryable `unavailable` error naming the release.
+    fn route_release(
+        &mut self,
+        release: &str,
+        line: &str,
+        want_payload: bool,
+    ) -> Result<(String, Option<Vec<f64>>), ClientError> {
+        let owner_set = owners(release, &self.endpoints(), self.replication);
+        for pass in 0..=self.policy.retries {
+            if pass > 0 {
+                std::thread::sleep(self.policy.backoff(pass - 1));
+            }
+            for &i in &owner_set {
+                match self.try_shard(i, line, want_payload) {
+                    Ok(resp) => return Ok(resp),
+                    Err(_) => continue,
+                }
+            }
+        }
+        Err(ClientError::Server {
+            code: Some("unavailable".into()),
+            frame: ErrorReply::unavailable(release).frame(),
+        })
+    }
+
+    /// One routed attempt against one endpoint: breaker gate, half-open
+    /// probe, then the real exchange. `Err(None)` means the breaker
+    /// skipped the endpoint without touching the network.
+    fn try_shard(
+        &mut self,
+        i: usize,
+        line: &str,
+        want_payload: bool,
+    ) -> Result<(String, Option<Vec<f64>>), Option<ClientError>> {
+        let now = Instant::now();
+        match self.shards[i].breaker.state(now) {
+            BreakerState::Open => {
+                self.shards[i].skipped_open += 1;
+                return Err(None);
+            }
+            BreakerState::HalfOpen => {
+                self.shards[i].probes += 1;
+                if let Err(e) = self.exchange(i, PROBE, false) {
+                    self.shards[i].failed += 1;
+                    return Err(Some(e));
+                }
+                // Probe answered: the breaker closed in `exchange`; fall
+                // through to the real request on the proven connection.
+            }
+            BreakerState::Closed => {}
+        }
+        match self.exchange(i, line, want_payload) {
+            Ok(resp) => {
+                self.shards[i].ok += 1;
+                Ok(resp)
+            }
+            Err(e) => {
+                self.shards[i].failed += 1;
+                Err(Some(e))
+            }
+        }
+    }
+
+    /// One single-shot request/response exchange with endpoint `i`,
+    /// dialing (and re-negotiating binary mode) if needed, feeding the
+    /// breaker: transport/timeout failures count toward opening it; any
+    /// structured frame — retryable or terminal — is proof of life and
+    /// resets it. Retryable server frames (`busy`, ...) still return
+    /// `Err` so the caller fails over to the next replica.
+    fn exchange(
+        &mut self,
+        i: usize,
+        line: &str,
+        want_payload: bool,
+    ) -> Result<(String, Option<Vec<f64>>), ClientError> {
+        let result = (|| {
+            if self.shards[i].client.is_none() {
+                let single = RetryPolicy { retries: 0, ..self.policy.clone() };
+                let mut client = Client::connect_with(&self.shards[i].endpoint, single)?;
+                if self.binary {
+                    client.set_binary().map_err(ClientError::Transport)?;
+                }
+                self.shards[i].client = Some(client);
+            }
+            let client = self.shards[i].client.as_mut().expect("connected above");
+            if want_payload {
+                client.request_expect_payload(line)
+            } else {
+                client.request(line).map(|header| (header, None))
+            }
+        })();
+        match &result {
+            Ok(_) => self.shards[i].breaker.record_success(),
+            Err(e) => {
+                self.shards[i].client = None;
+                match e {
+                    ClientError::Transport(_) | ClientError::Timeout(_) => {
+                        self.shards[i].breaker.record_failure(&self.policy, Instant::now());
+                    }
+                    // A frame, even an error frame, proves the process
+                    // is up and answering.
+                    ClientError::Server { .. } => self.shards[i].breaker.record_success(),
+                }
+            }
+        }
+        result
+    }
+
+    /// Forwards a `load` to every owner of the name (each owner shard
+    /// must hold its replica). Returns the last owner's ack, or the
+    /// first failure.
+    fn load_owners(
+        &mut self,
+        name: &str,
+        line: &str,
+    ) -> Result<(String, Option<Vec<f64>>), ClientError> {
+        let owner_set = owners(name, &self.endpoints(), self.replication);
+        let mut last = None;
+        for &i in &owner_set {
+            match self.try_shard(i, line, false) {
+                Ok(resp) => last = Some(resp),
+                Err(Some(e)) => return Err(e),
+                Err(None) => {
+                    return Err(ClientError::Server {
+                        code: Some("unavailable".into()),
+                        frame: ErrorReply::unavailable(name).frame(),
+                    });
+                }
+            }
+        }
+        last.ok_or_else(|| ClientError::Server {
+            code: Some("unavailable".into()),
+            frame: ErrorReply::unavailable(name).frame(),
+        })
+    }
+
+    /// Fans `list` to every reachable endpoint and merges the unique
+    /// release summaries (by name, sorted — each release appears once no
+    /// matter how many replicas hold it). Fails only when no endpoint
+    /// answered at all.
+    fn merged_list(&mut self) -> Result<(String, Option<Vec<f64>>), ClientError> {
+        let mut releases: Vec<(String, Value)> = Vec::new();
+        let mut last_err = None;
+        let mut answered = false;
+        for i in 0..self.shards.len() {
+            match self.try_shard(i, PROBE, false) {
+                Ok((header, _)) => {
+                    answered = true;
+                    if let Ok(v) = serde_json::parse_value_str(&header) {
+                        for summary in
+                            v.get("releases").and_then(Value::as_array).into_iter().flatten()
+                        {
+                            let Some(name) = summary.get("name").and_then(Value::as_str) else {
+                                continue;
+                            };
+                            if !releases.iter().any(|(n, _)| n == name) {
+                                releases.push((name.to_string(), summary.clone()));
+                            }
+                        }
+                    }
+                }
+                Err(e) => last_err = e.or(last_err),
+            }
+        }
+        if !answered {
+            return Err(last_err.unwrap_or_else(|| {
+                ClientError::Transport("no cluster endpoint answered list".into())
+            }));
+        }
+        releases.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let summaries = releases.into_iter().map(|(_, v)| v).collect();
+        Ok((ok_frame("list", vec![("releases", Value::Array(summaries))]), None))
+    }
+
+    /// Fans `shutdown` to every endpoint, best-effort. Succeeds if any
+    /// endpoint acknowledged.
+    fn shutdown_all(&mut self) -> Result<(String, Option<Vec<f64>>), ClientError> {
+        let mut acked = false;
+        let mut last_err = None;
+        for i in 0..self.shards.len() {
+            match self.try_shard(i, "{\"op\":\"shutdown\"}", false) {
+                Ok(_) => acked = true,
+                Err(e) => last_err = e.or(last_err),
+            }
+        }
+        if acked {
+            Ok((ok_frame("shutdown", vec![("stopping", Value::Bool(true))]), None))
+        } else {
+            Err(last_err.unwrap_or_else(|| {
+                ClientError::Transport("no cluster endpoint acknowledged shutdown".into())
+            }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_sets_are_permutation_invariant_and_distinct() {
+        let forward = ["127.0.0.1:4800", "127.0.0.1:4801", "127.0.0.1:4802"];
+        let backward = ["127.0.0.1:4802", "127.0.0.1:4801", "127.0.0.1:4800"];
+        for i in 0..64 {
+            let name = format!("release-{i}");
+            let a: Vec<&str> = owners(&name, &forward, 2).into_iter().map(|j| forward[j]).collect();
+            let b: Vec<&str> =
+                owners(&name, &backward, 2).into_iter().map(|j| backward[j]).collect();
+            assert_eq!(a, b, "owner endpoints (and their order) must not depend on list order");
+            assert_eq!(a.len(), 2);
+            assert_ne!(a[0], a[1], "owners must be distinct endpoints");
+        }
+    }
+
+    #[test]
+    fn ownership_spreads_and_replication_clamps() {
+        let endpoints = ["a:1", "b:2", "c:3"];
+        let mut primary_counts = [0usize; 3];
+        for i in 0..96 {
+            let name = format!("r{i}");
+            primary_counts[owners(&name, &endpoints, 1)[0]] += 1;
+        }
+        for (i, c) in primary_counts.iter().enumerate() {
+            assert!(*c > 0, "endpoint {i} owns nothing across 96 names: {primary_counts:?}");
+        }
+        // R larger than the fleet clamps; R=0 is clamped up to 1.
+        assert_eq!(owners("x", &endpoints, 9).len(), 3);
+        assert_eq!(owners("x", &endpoints, 0).len(), 1);
+    }
+
+    #[test]
+    fn removing_an_endpoint_only_moves_its_own_releases() {
+        let full = ["a:1", "b:2", "c:3", "d:4"];
+        let reduced = ["a:1", "b:2", "d:4"]; // c removed
+        for i in 0..64 {
+            let name = format!("r{i}");
+            let before: Vec<&str> = owners(&name, &full, 1).into_iter().map(|j| full[j]).collect();
+            let after: Vec<&str> =
+                owners(&name, &reduced, 1).into_iter().map(|j| reduced[j]).collect();
+            if before[0] != "c:3" {
+                assert_eq!(before, after, "'{name}' moved although its owner survived");
+            }
+        }
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_half_opens_after_cooldown() {
+        let policy = RetryPolicy {
+            backoff_base: std::time::Duration::from_millis(5),
+            backoff_max: std::time::Duration::from_millis(10),
+            ..RetryPolicy::default()
+        };
+        let mut b = Breaker::default();
+        let t0 = Instant::now();
+        for _ in 0..BREAKER_THRESHOLD - 1 {
+            b.record_failure(&policy, t0);
+            assert_eq!(b.state(t0), BreakerState::Closed);
+        }
+        b.record_failure(&policy, t0);
+        assert_eq!(b.state(t0), BreakerState::Open);
+        assert_eq!(b.opened_total, 1);
+        // Past the cool-down it half-opens rather than closing outright.
+        let later = t0 + std::time::Duration::from_secs(1);
+        assert_eq!(b.state(later), BreakerState::HalfOpen);
+        // A failure in half-open re-opens immediately with a longer streak.
+        b.record_failure(&policy, later);
+        assert_eq!(b.state(later), BreakerState::Open);
+        assert_eq!(b.opened_total, 2);
+        // Success closes fully.
+        b.record_success();
+        assert_eq!(b.state(later), BreakerState::Closed);
+        assert_eq!(b.consecutive, 0);
+    }
+
+    #[test]
+    fn a_frame_resets_the_failure_streak() {
+        let policy = RetryPolicy::default();
+        let mut b = Breaker::default();
+        let t0 = Instant::now();
+        b.record_failure(&policy, t0);
+        b.record_failure(&policy, t0);
+        b.record_success(); // e.g. a `busy` frame: the process is alive
+        b.record_failure(&policy, t0);
+        b.record_failure(&policy, t0);
+        assert_eq!(b.state(t0), BreakerState::Closed, "streak must reset on proof of life");
+    }
+
+    fn synthetic_shard_stats(connections: u64, served: u64, open: u64) -> Value {
+        Value::Object(vec![
+            ("connections".to_string(), Value::UInt(connections)),
+            ("open".to_string(), Value::UInt(open)),
+            ("served".to_string(), Value::UInt(served)),
+            ("shed".to_string(), Value::UInt(0)),
+            ("timed_out".to_string(), Value::UInt(0)),
+            ("idle_closed".to_string(), Value::UInt(0)),
+            ("io_error".to_string(), Value::UInt(connections - served - open)),
+            ("requests".to_string(), Value::UInt(served * 2)),
+            ("errors".to_string(), Value::UInt(1)),
+            ("points_sampled".to_string(), Value::UInt(64)),
+        ])
+    }
+
+    fn report(endpoint: &str, stats: Result<Value, String>) -> EndpointReport {
+        EndpointReport {
+            endpoint: endpoint.to_string(),
+            breaker: "closed",
+            opened: 0,
+            ok: 3,
+            failed: 1,
+            skipped_open: 0,
+            probes: 0,
+            stats,
+        }
+    }
+
+    #[test]
+    fn cluster_stats_field_order_is_stable() {
+        // Scripts grep the merged frame positionally, exactly like the
+        // single-server stats frame — this pins the order they rely on.
+        let doc = merge_stats(&[
+            report("a:1", Ok(synthetic_shard_stats(10, 9, 1))),
+            report("b:2", Err("breaker open; endpoint skipped".into())),
+        ]);
+        let Value::Object(top) = &doc else { panic!("merged stats is not an object") };
+        let top_names: Vec<&str> = top.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(top_names, ["ok", "op", "cluster", "endpoints", "aggregate"]);
+
+        let endpoints = doc.get("endpoints").and_then(Value::as_array).unwrap();
+        let Value::Object(ok_entry) = &endpoints[0] else { panic!() };
+        let entry_names: Vec<&str> = ok_entry.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            entry_names,
+            [
+                "endpoint",
+                "breaker",
+                "opened",
+                "requests_ok",
+                "requests_failed",
+                "skipped_open",
+                "probes",
+                "stats",
+            ]
+        );
+        let Value::Object(err_entry) = &endpoints[1] else { panic!() };
+        assert_eq!(err_entry.last().map(|(k, _)| k.as_str()), Some("error"));
+
+        let Value::Object(agg) = doc.get("aggregate").unwrap() else { panic!() };
+        let agg_names: Vec<&str> = agg.iter().map(|(k, _)| k.as_str()).collect();
+        let mut expected = vec!["reachable"];
+        expected.extend(AGGREGATE_FIELDS);
+        assert_eq!(agg_names, expected);
+    }
+
+    #[test]
+    fn aggregate_sums_reachable_shards_and_satisfies_the_identity() {
+        let doc = merge_stats(&[
+            report("a:1", Ok(synthetic_shard_stats(10, 8, 1))),
+            report("b:2", Ok(synthetic_shard_stats(6, 6, 0))),
+            report("c:3", Err("dial failed".into())),
+        ]);
+        let agg = doc.get("aggregate").unwrap();
+        let get = |k: &str| agg.get(k).and_then(Value::as_u64).unwrap();
+        assert_eq!(get("reachable"), 2);
+        assert_eq!(get("connections"), 16);
+        assert_eq!(get("served"), 14);
+        // The accounting identity is preserved by summation.
+        assert_eq!(
+            get("connections"),
+            get("served")
+                + get("shed")
+                + get("timed_out")
+                + get("idle_closed")
+                + get("io_error")
+                + get("open"),
+        );
+    }
+
+    #[test]
+    fn cluster_client_validates_its_endpoint_list() {
+        assert!(ClusterClient::new::<&str>(&[]).unwrap_err().contains("at least one"));
+        assert!(ClusterClient::new(&["a:1", "a:1"]).unwrap_err().contains("twice"));
+        let cc = ClusterClient::new(&["a:1"]).unwrap();
+        assert_eq!(cc.replication(), 1, "replication clamps to the fleet size");
+        let cc = ClusterClient::new(&["a:1", "b:2", "c:3"]).unwrap();
+        assert_eq!(cc.replication(), DEFAULT_REPLICATION);
+        assert!(ClusterClient::with_policy(&["a:1"], 0, RetryPolicy::default())
+            .unwrap_err()
+            .contains("at least 1"));
+    }
+}

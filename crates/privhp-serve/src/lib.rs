@@ -40,7 +40,12 @@
 //! * [`fault`] — deterministic fault injection for chaos testing: armed
 //!   by `--fault-seed` / `PRIVHP_FAULT_SEED`, each connection derives a
 //!   reproducible schedule of torn writes, truncated frames/payloads,
-//!   byte trickle, delayed reads and resets; zero-cost when off.
+//!   byte trickle, delayed reads and resets; zero-cost when off;
+//! * [`cluster`] — client-side replicated sharding: a
+//!   [`cluster::ClusterClient`] rendezvous-hashes each release name over
+//!   N endpoints with replication factor R (default 2), fails over
+//!   between replicas behind per-endpoint circuit breakers, and merges
+//!   fleet-wide `stats` with breaker states — no coordinator process.
 //!
 //! Robustness contract: the server bounds every resource a hostile
 //! client could pin (worker pool, queue, request line length, idle and
@@ -49,7 +54,11 @@
 //! `idle_closed` / `io_error`), so `connections == served + shed +
 //! timed_out + idle_closed + io_error + open` holds at any quiet
 //! instant. Hot `load`s stage fully before an atomic registry swap, and
-//! an optional registry snapshot file survives restarts.
+//! an optional registry snapshot file survives restarts. At the fleet
+//! level the same contract extends across processes: a replicated
+//! cluster keeps answering bit-identically while any one replica of a
+//! release is alive, and settles with a structured retryable
+//! `unavailable` error when none is.
 //!
 //! Determinism: `sample` responses are a pure function of `(release
 //! bytes, n, seed)` — the per-request seed is whitened exactly as the
@@ -59,6 +68,7 @@
 //! no server state leaks into responses.
 
 pub mod client;
+pub mod cluster;
 pub mod fault;
 pub mod protocol;
 pub mod registry;
@@ -66,8 +76,9 @@ pub mod server;
 pub mod stats;
 
 pub use client::{oneshot, oneshot_with, Client, ClientError, RetryPolicy};
+pub use cluster::{owners, rendezvous_score, BreakerState, ClusterClient, DEFAULT_REPLICATION};
 pub use fault::{FaultKind, FaultPlan};
 pub use protocol::{code_is_retryable, parse_request, Probe, Request};
-pub use registry::{LoadedRelease, Registry};
+pub use registry::{LoadedRelease, Registry, SnapshotRestore};
 pub use server::{Server, ServerConfig};
 pub use stats::{Disposition, LatencyHistogram, ServerStats};

@@ -226,10 +226,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 /// Terminal codes describe the *request* (too big, malformed, names a
 /// release that isn't loaded) or a server bug; repeating those verbatim
 /// can never succeed.
-pub const ERROR_CODES: [(&str, bool); 7] = [
+pub const ERROR_CODES: [(&str, bool); 8] = [
     ("busy", true),
     ("request_timeout", true),
     ("idle_timeout", true),
+    ("unavailable", true),
     ("sample_cap", false),
     ("bad_request", false),
     ("unknown_release", false),
@@ -310,6 +311,22 @@ impl ErrorReply {
             message: format!("connection idle past {budget_ms}ms, closing"),
             code: Some("idle_timeout"),
             extra: vec![("timeout_ms", Value::UInt(budget_ms))],
+        }
+    }
+
+    /// Every replica serving a release is down or open-circuit, under the
+    /// retryable code `unavailable` — emitted by the cluster router
+    /// ([`crate::cluster::ClusterClient`]) after failover exhausts the
+    /// rendezvous owner set. Carries the release name in a `release`
+    /// field so callers can tell *which* slice of the registry is dark.
+    /// Retryable: replicas restart, breakers half-open and close.
+    pub fn unavailable(release: &str) -> Self {
+        Self {
+            message: format!(
+                "release '{release}' is unavailable: every replica is down or open-circuit"
+            ),
+            code: Some("unavailable"),
+            extra: vec![("release", Value::String(release.into()))],
         }
     }
 
@@ -404,7 +421,10 @@ pub fn read_binary_payload<R: Read>(r: &mut R) -> Result<Vec<f64>, String> {
         return Err(format!("payload length {bytes} is not a whole number of f64 lanes"));
     }
     let n_lanes = (bytes / 8) as usize;
-    let mut lanes = Vec::with_capacity(n_lanes);
+    // Cap the up-front reservation: the prefix is attacker-controlled
+    // bytes, and reserving 2^60 lanes on its say-so would abort the
+    // process before the short read below ever reports the truncation.
+    let mut lanes = Vec::with_capacity(n_lanes.min(1 << 20));
     let mut buf = [0u8; BINARY_CHUNK_LANES * 8];
     let mut remaining = bytes as usize;
     while remaining > 0 {
@@ -517,6 +537,24 @@ mod tests {
         assert!(f.contains("\"code\":\"sample_cap\""), "{f}");
         assert!(f.contains("\"cap\":1000000"), "{f}");
         assert!(f.starts_with("{\"ok\":false"), "{f}");
+    }
+
+    #[test]
+    fn unavailable_frame_names_the_release() {
+        let f = ErrorReply::unavailable("alpha").frame();
+        assert!(f.starts_with("{\"ok\":false"), "{f}");
+        assert!(f.contains("\"code\":\"unavailable\""), "{f}");
+        assert!(f.contains("\"release\":\"alpha\""), "{f}");
+        assert!(code_is_retryable("unavailable"), "replicas restart; retrying must be invited");
+    }
+
+    #[test]
+    fn oversized_binary_prefix_reports_truncation_without_reserving() {
+        // A hostile 8-byte prefix claiming an exabyte payload must fail on
+        // the short read, not abort in Vec::with_capacity.
+        let huge = (u64::MAX - 7).to_le_bytes().to_vec();
+        let e = read_binary_payload(&mut huge.as_slice()).unwrap_err();
+        assert!(e.contains("payload"), "{e}");
     }
 
     #[test]

@@ -341,11 +341,18 @@ impl Registry {
     }
 
     /// Loads every release named by a snapshot written by
-    /// [`Registry::write_snapshot`], returning how many were restored.
-    /// Each release stages fully (parse + validate + leaf CDF) before its
-    /// insert; the first failure aborts with nothing half-loaded beyond
-    /// the releases already restored.
-    pub fn restore_snapshot(&self, path: &str) -> Result<usize, String> {
+    /// [`Registry::write_snapshot`]. Each release stages fully (parse +
+    /// validate + leaf CDF) before its insert.
+    ///
+    /// Degraded boot is deliberate: a snapshot entry whose release file
+    /// has since been deleted or corrupted is *skipped* — recorded in
+    /// [`SnapshotRestore::skipped`] with its error — rather than
+    /// aborting the whole restore, so one rotted file can't keep a
+    /// server (or a restarted cluster shard) from serving everything
+    /// else it owns. Only document-level damage — unreadable snapshot,
+    /// invalid JSON, a torn or shapeless document — is a hard `Err`,
+    /// because then nothing in the snapshot can be trusted.
+    pub fn restore_snapshot(&self, path: &str) -> Result<SnapshotRestore, String> {
         let doc = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read snapshot {path}: {e}"))?;
         let v = serde_json::parse_value_str(doc.trim())
@@ -354,7 +361,7 @@ impl Registry {
             .get("releases")
             .and_then(Value::as_array)
             .ok_or_else(|| format!("snapshot {path} has no 'releases' array"))?;
-        let mut restored = 0;
+        let mut outcome = SnapshotRestore { restored: 0, skipped: Vec::new() };
         for entry in releases {
             let name = entry
                 .get("name")
@@ -364,11 +371,28 @@ impl Registry {
                 .get("path")
                 .and_then(Value::as_str)
                 .ok_or_else(|| format!("snapshot {path}: entry missing 'path'"))?;
-            self.insert(LoadedRelease::load(name, file)?);
-            restored += 1;
+            match LoadedRelease::load(name, file) {
+                Ok(release) => {
+                    self.insert(release);
+                    outcome.restored += 1;
+                }
+                Err(e) => outcome.skipped.push((name.to_string(), e)),
+            }
         }
-        Ok(restored)
+        Ok(outcome)
     }
+}
+
+/// The outcome of a [`Registry::restore_snapshot`]: how many releases
+/// came back, and which entries were skipped (with why) because their
+/// release files rotted underneath the snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotRestore {
+    /// Releases successfully staged and inserted.
+    pub restored: usize,
+    /// `(name, error)` for each entry whose release file could not be
+    /// loaded — deleted, truncated, or corrupted since the snapshot.
+    pub skipped: Vec<(String, String)>,
 }
 
 #[cfg(test)]
@@ -513,7 +537,9 @@ mod tests {
         // A restarted server restores the same set (minus `mem`) and
         // serves identical bytes.
         let fresh = Registry::new();
-        assert_eq!(fresh.restore_snapshot(&snap).unwrap(), 2);
+        let outcome = fresh.restore_snapshot(&snap).unwrap();
+        assert_eq!(outcome.restored, 2);
+        assert!(outcome.skipped.is_empty());
         assert_eq!(fresh.len(), 2);
         assert_eq!(
             fresh.get("a").unwrap().sample_points(16, 7),
@@ -524,5 +550,42 @@ mod tests {
         let torn = scratch.path("torn.snapshot");
         std::fs::write(&torn, &doc[..doc.len() / 2]).unwrap();
         assert!(Registry::new().restore_snapshot(&torn).is_err());
+    }
+
+    #[test]
+    fn restore_skips_rotted_entries_and_keeps_booting() {
+        let scratch = Scratch::new("degraded-boot");
+        for file in ["keep.json", "deleted.json", "corrupt.json"] {
+            std::fs::write(scratch.path(file), tiny_release().to_json()).unwrap();
+        }
+        let reg = Registry::new();
+        reg.insert(LoadedRelease::load("keep", &scratch.path("keep.json")).unwrap());
+        reg.insert(LoadedRelease::load("gone", &scratch.path("deleted.json")).unwrap());
+        reg.insert(LoadedRelease::load("rot", &scratch.path("corrupt.json")).unwrap());
+        let snap = scratch.path("registry.snapshot");
+        reg.write_snapshot(&snap).unwrap();
+
+        // Rot the world underneath the snapshot: one file deleted, one
+        // truncated mid-document.
+        std::fs::remove_file(scratch.path("deleted.json")).unwrap();
+        let body = tiny_release().to_json();
+        std::fs::write(scratch.path("corrupt.json"), &body[..body.len() / 3]).unwrap();
+
+        // The restore must not abort: the surviving release boots, the
+        // rotted entries are reported, nothing panics.
+        let fresh = Registry::new();
+        let outcome = fresh.restore_snapshot(&snap).unwrap();
+        assert_eq!(outcome.restored, 1);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(
+            fresh.get("keep").unwrap().sample_points(8, 5),
+            reg.get("keep").unwrap().sample_points(8, 5),
+            "the survivor serves identical bytes"
+        );
+        let skipped: Vec<&str> = outcome.skipped.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(skipped, ["gone", "rot"], "both rotted entries reported by name");
+        for (_, why) in &outcome.skipped {
+            assert!(!why.is_empty(), "each skip carries its load error");
+        }
     }
 }

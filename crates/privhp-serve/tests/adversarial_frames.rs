@@ -1,0 +1,120 @@
+//! Adversarial frame parsing: fuzz-shaped property tests feeding the
+//! client's frame classifier, the request parser, and the binary payload
+//! reader malformed, truncated, and oversized inputs.
+//!
+//! The contract: none of these entry points may panic on hostile bytes,
+//! and classification must be **conservative** — a frame the client
+//! can't positively identify as a known-retryable error is terminal, so
+//! garbage can never talk a retry loop into hammering a server.
+
+use privhp_serve::client::frame_error;
+use privhp_serve::protocol::{parse_request, read_binary_payload, write_binary_payload};
+use privhp_serve::{code_is_retryable, ClientError};
+use proptest::prelude::*;
+
+/// The codes the wire contract marks retryable; anything else — present,
+/// absent, or invented by an attacker — must classify terminal.
+const RETRYABLE: [&str; 4] = ["busy", "request_timeout", "idle_timeout", "unavailable"];
+
+/// Asserts the conservative classification invariant on one line.
+fn classify_conservatively(line: &str) -> Result<(), proptest::TestCaseError> {
+    match frame_error(line) {
+        None => {} // success frame or unparseable: handled upstream
+        Some(err) => {
+            let ClientError::Server { code, .. } = &err else {
+                prop_assert!(false, "frame_error invented a non-server error: {:?}", err);
+                unreachable!()
+            };
+            let known_retryable = code.as_deref().map(|c| RETRYABLE.contains(&c)).unwrap_or(false);
+            prop_assert!(
+                err.is_retryable() == known_retryable,
+                "code {:?} classified non-conservatively from '{}'",
+                code,
+                line
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes (lossy-decoded, like a hostile peer's line) never
+    /// panic the classifier or the request parser, and never classify
+    /// retryable.
+    #[test]
+    fn random_bytes_never_panic_and_never_retry(bytes in proptest::collection::vec(0u64..256, 0..160)) {
+        let line_bytes: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        let line = String::from_utf8_lossy(&line_bytes).into_owned();
+        classify_conservatively(&line)?;
+        // Random bytes essentially never spell a retryable code; what
+        // matters is that parse errors are Err, not panics.
+        let _ = parse_request(&line);
+    }
+
+    /// Truncating a *valid* error frame at every byte boundary degrades
+    /// to terminal (or no) classification — never to a retryable one the
+    /// full frame didn't have.
+    #[test]
+    fn truncated_frames_classify_conservatively(cut in 0u64..120, which in 0u64..8) {
+        let frames = [
+            r#"{"ok":false,"error":"shed","code":"busy","retryable":true}"#,
+            r#"{"ok":false,"error":"deadline","code":"request_timeout","retryable":true}"#,
+            r#"{"ok":false,"error":"down","code":"unavailable","release":"r","retryable":true}"#,
+            r#"{"ok":false,"error":"bad","code":"bad_request","retryable":false}"#,
+            r#"{"ok":false,"error":"nope","code":"unknown_release","retryable":false}"#,
+            r#"{"ok":false,"error":"weird","code":"never_heard_of_it","retryable":true}"#,
+            r#"{"ok":false,"error":"no code at all"}"#,
+            r#"{"ok":true,"op":"list","releases":[]}"#,
+        ];
+        let frame = frames[(which as usize) % frames.len()];
+        let cut = (cut as usize).min(frame.len());
+        let truncated = &frame[..cut];
+        classify_conservatively(truncated)?;
+        let _ = parse_request(truncated);
+    }
+
+    /// The binary payload reader survives arbitrary prefixes and bodies:
+    /// short reads, non-multiple-of-8 lengths, and absurd length claims
+    /// all come back as `Err`, never a panic or a giant allocation.
+    #[test]
+    fn hostile_binary_payloads_error_cleanly(
+        claimed in 0u64..u64::MAX,
+        body in proptest::collection::vec(0u64..256, 0..64),
+    ) {
+        let mut wire = claimed.to_le_bytes().to_vec();
+        wire.extend(body.iter().map(|&b| b as u8));
+        let mut r = wire.as_slice();
+        match read_binary_payload(&mut r) {
+            Ok(lanes) => {
+                // Only possible when the claim is honest: a whole number
+                // of f64s, all present in the body.
+                prop_assert_eq!(claimed % 8, 0);
+                prop_assert_eq!(lanes.len() as u64, claimed / 8);
+            }
+            Err(e) => prop_assert!(!e.is_empty(), "error must say what broke"),
+        }
+    }
+
+    /// Round-trip sanity alongside the hostile cases: what the writer
+    /// produces, the reader accepts bit-for-bit.
+    #[test]
+    fn written_payloads_read_back(lanes in proptest::collection::vec(0.0f64..1.0, 0..48)) {
+        let mut wire = Vec::new();
+        write_binary_payload(&mut wire, &lanes).unwrap();
+        let mut r = wire.as_slice();
+        let back = read_binary_payload(&mut r).unwrap();
+        prop_assert_eq!(back, lanes);
+    }
+}
+
+#[test]
+fn retryable_table_matches_the_wire_contract() {
+    for code in RETRYABLE {
+        assert!(code_is_retryable(code), "'{code}' must be retryable");
+    }
+    for code in ["bad_request", "unknown_release", "sample_cap", "internal", "made_up"] {
+        assert!(!code_is_retryable(code), "'{code}' must be terminal");
+    }
+}

@@ -303,8 +303,9 @@ fn snapshot_records_loads_and_survives_a_restart() {
     // "Restart": a fresh registry restored from the snapshot serves the
     // exact same release.
     let restored = Registry::new();
-    let n = restored.restore_snapshot(&snap_path.display().to_string()).unwrap();
-    assert_eq!(n, 1);
+    let outcome = restored.restore_snapshot(&snap_path.display().to_string()).unwrap();
+    assert_eq!(outcome.restored, 1);
+    assert!(outcome.skipped.is_empty());
     let rel = restored.get("snapped").unwrap();
     assert_eq!(rel.release().to_json(), release.to_json(), "restored release bytes differ");
 

@@ -1,0 +1,265 @@
+//! Cluster integration tests: real shard servers on real sockets behind
+//! a [`ClusterClient`], with shard shutdowns mid-suite.
+//!
+//! The contract under test is the fleet half of the robustness story:
+//! with 3 shards and replication 2, routed responses are **bit-identical**
+//! to direct single-server responses; killing one owner of a release
+//! fails traffic over to the surviving replica with identical bytes and
+//! opens the dead endpoint's breaker; killing both owners settles the
+//! release's requests as a structured retryable `unavailable` error
+//! naming it; and restarting a shard half-opens and then closes the
+//! breaker with — again — identical bytes.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use privhp_core::release::{DomainSpec, ReleaseFile};
+use privhp_core::{PrivHp, PrivHpConfig};
+use privhp_domain::UnitInterval;
+use privhp_dp::rng::rng_from_seed;
+use privhp_serve::{
+    owners, BreakerState, Client, ClientError, ClusterClient, LoadedRelease, Registry, RetryPolicy,
+    Server, ServerConfig,
+};
+use serde::Value;
+
+fn tiny_release(seed: u64) -> ReleaseFile {
+    let data: Vec<f64> =
+        (0..512).map(|i| ((i as f64 / 512.0).powi(2) * 0.999).min(0.999)).collect();
+    let mut rng = rng_from_seed(seed);
+    let config = PrivHpConfig::for_domain(1.0, data.len(), 8).with_seed(seed);
+    let g = PrivHp::build(&UnitInterval::new(), config.clone(), data, &mut rng).unwrap();
+    ReleaseFile::new(DomainSpec::Interval, config, g.tree().clone())
+}
+
+/// Deterministic seed per release name, so every replica of a release —
+/// including one booted later for a "restart" — holds identical bytes.
+fn release_seed(name: &str) -> u64 {
+    name.bytes().map(u64::from).sum()
+}
+
+const RELEASES: [&str; 3] = ["alpha", "beta", "gamma"];
+const REPLICATION: usize = 2;
+
+/// Boots one shard at `addr` (`"127.0.0.1:0"` for ephemeral) holding
+/// `names`.
+fn boot_shard(addr: &str, names: &[&str]) -> (Arc<Server>, String, std::thread::JoinHandle<()>) {
+    let registry = Registry::new();
+    for name in names {
+        registry.insert(LoadedRelease::from_release(*name, tiny_release(release_seed(name))));
+    }
+    let config = ServerConfig { workers: 2, queue_depth: 16, ..ServerConfig::default() };
+    let server = Arc::new(Server::bind_with(addr, registry, config).expect("bind shard"));
+    let bound = server.local_addr().to_string();
+    let runner = Arc::clone(&server);
+    let handle = std::thread::spawn(move || runner.run());
+    (server, bound, handle)
+}
+
+/// Boots a 3-shard cluster on ephemeral ports, partitioning [`RELEASES`]
+/// with the same [`owners`] function the client routes by. Returns the
+/// shards (server, addr, join handle) in endpoint order.
+#[allow(clippy::type_complexity)]
+fn boot_cluster() -> Vec<(Arc<Server>, String, std::thread::JoinHandle<()>)> {
+    // Bind all three first: owner sets depend on the (ephemeral) ports.
+    let shards: Vec<_> = (0..3).map(|_| boot_shard("127.0.0.1:0", &[])).collect();
+    let endpoints: Vec<String> = shards.iter().map(|(_, addr, _)| addr.clone()).collect();
+    for name in RELEASES {
+        for i in owners(name, &endpoints, REPLICATION) {
+            shards[i]
+                .0
+                .registry()
+                .insert(LoadedRelease::from_release(name, tiny_release(release_seed(name))));
+        }
+    }
+    shards
+}
+
+/// Fast-failover policy: short deadlines and millisecond cool-downs so
+/// breaker transitions happen inside a test's patience.
+fn fast_policy() -> RetryPolicy {
+    RetryPolicy {
+        retries: 2,
+        timeout: Duration::from_secs(5),
+        backoff_base: Duration::from_millis(1),
+        backoff_max: Duration::from_millis(5),
+        ..RetryPolicy::default()
+    }
+}
+
+fn shut_down(shard: (Arc<Server>, String, std::thread::JoinHandle<()>)) -> String {
+    let (server, addr, handle) = shard;
+    server.request_shutdown();
+    handle.join().unwrap();
+    addr
+}
+
+fn sample_req(release: &str) -> String {
+    format!("{{\"op\":\"sample\",\"release\":\"{release}\",\"n\":48,\"seed\":11}}")
+}
+
+fn breaker_of(client: &ClusterClient, endpoint: &str) -> BreakerState {
+    client
+        .breaker_states()
+        .into_iter()
+        .find_map(|(e, s)| (e == endpoint).then_some(s))
+        .expect("endpoint known to the client")
+}
+
+#[test]
+fn routed_requests_match_direct_requests_bit_for_bit() {
+    let shards = boot_cluster();
+    let endpoints: Vec<String> = shards.iter().map(|(_, addr, _)| addr.clone()).collect();
+    let mut cluster = ClusterClient::with_policy(&endpoints, REPLICATION, fast_policy()).unwrap();
+
+    for name in RELEASES {
+        let req = sample_req(name);
+        // Direct baseline from the release's primary owner.
+        let primary = owners(name, &endpoints, REPLICATION)[0];
+        let mut direct = Client::connect_with(&endpoints[primary], fast_policy()).unwrap();
+        let baseline = direct.request(&req).unwrap();
+        assert_eq!(cluster.request(&req).unwrap(), baseline, "routed '{name}' differs");
+
+        // The binary encoding routes identically: decoded lanes match the
+        // owner's own binary reply.
+        direct.set_binary().unwrap();
+        let (bh, bp) = direct.request_expect_payload(&req).unwrap();
+        cluster.set_binary();
+        let (ch, cp) = cluster.request_expect_payload(&req).unwrap();
+        assert_eq!(ch, bh, "binary header differs for '{name}'");
+        assert_eq!(cp, bp, "binary payload differs for '{name}'");
+        // Back to JSON for the next release's baseline.
+        assert!(cluster.request("{\"op\":\"format\",\"encoding\":\"json\"}").is_ok());
+    }
+
+    // `list` merges the full release set, each name exactly once even
+    // though every release lives on two shards.
+    let list = cluster.request("{\"op\":\"list\"}").unwrap();
+    let v = serde_json::parse_value_str(&list).unwrap();
+    let names: Vec<&str> = v
+        .get("releases")
+        .and_then(Value::as_array)
+        .unwrap()
+        .iter()
+        .map(|s| s.get("name").and_then(Value::as_str).unwrap())
+        .collect();
+    assert_eq!(names, RELEASES, "merged list must be deduplicated and sorted");
+
+    // A malformed frame settles as a structured terminal answer without
+    // touching any shard.
+    let reply = cluster.request("{\"op\":\"sample\"}").unwrap();
+    assert!(reply.starts_with("{\"ok\":false"), "{reply}");
+
+    // The merged stats document sums to the accounting identity.
+    let stats = cluster.stats();
+    let agg = stats.get("aggregate").expect("aggregate object");
+    let get = |k: &str| agg.get(k).and_then(Value::as_u64).unwrap_or_else(|| panic!("no {k}"));
+    assert_eq!(get("reachable"), 3);
+    assert_eq!(
+        get("connections"),
+        get("served")
+            + get("shed")
+            + get("timed_out")
+            + get("idle_closed")
+            + get("io_error")
+            + get("open"),
+        "cluster aggregate accounting identity broken: {stats:?}"
+    );
+
+    for (server, _, handle) in shards {
+        server.request_shutdown();
+        handle.join().unwrap();
+    }
+}
+
+#[test]
+fn failover_is_bit_identical_and_unavailable_fires_and_recovers() {
+    let mut shards = boot_cluster();
+    let endpoints: Vec<String> = shards.iter().map(|(_, addr, _)| addr.clone()).collect();
+    let mut cluster = ClusterClient::with_policy(&endpoints, REPLICATION, fast_policy()).unwrap();
+
+    let victim_release = "alpha";
+    let owner_set = owners(victim_release, &endpoints, REPLICATION);
+    let (first, second) = (owner_set[0], owner_set[1]);
+    let survivor =
+        (0..3).find(|i| !owner_set.contains(i)).expect("3 shards, 2 owners: one bystander");
+    // A release the bystander owns keeps serving throughout.
+    let bystander_release = RELEASES
+        .iter()
+        .find(|name| owners(name, &endpoints, REPLICATION).contains(&survivor))
+        .expect("some release is owned by the bystander");
+
+    let req = sample_req(victim_release);
+    let baseline = cluster.request(&req).unwrap();
+    let bystander_req = sample_req(bystander_release);
+    let bystander_baseline = cluster.request(&bystander_req).unwrap();
+
+    // Close our pooled connections *before* the shard goes down, so its
+    // port isn't pinned in TIME_WAIT and the later restart can re-bind.
+    cluster.disconnect();
+    let first_addr = shut_down(shards.remove(first));
+
+    // Failover: every request settles bit-identical via the surviving
+    // replica, and the dead endpoint's consecutive failures open its
+    // breaker (after which it's skipped without touching the network).
+    for _ in 0..6 {
+        assert_eq!(cluster.request(&req).unwrap(), baseline, "failover changed the bytes");
+    }
+    // With millisecond cool-downs the breaker may already be probing
+    // again (half-open); the invariant is that it is no longer closed.
+    assert_ne!(
+        breaker_of(&cluster, &first_addr),
+        BreakerState::Closed,
+        "repeated connect failures must trip the breaker"
+    );
+    assert_eq!(cluster.request(&bystander_req).unwrap(), bystander_baseline);
+
+    // Second owner down: the release is now unavailable — a structured,
+    // retryable error naming it — while the bystander's keeps serving.
+    cluster.disconnect();
+    // `first` was removed from the vec; locate `second` by address.
+    let second_pos = shards
+        .iter()
+        .position(|(_, addr, _)| *addr == endpoints[second])
+        .expect("second owner still booted");
+    shut_down(shards.remove(second_pos));
+    match cluster.request(&req) {
+        Err(ClientError::Server { code, frame }) => {
+            assert_eq!(code.as_deref(), Some("unavailable"));
+            assert!(frame.contains(victim_release), "frame must name the release: {frame}");
+            assert!(privhp_serve::code_is_retryable("unavailable"));
+        }
+        other => panic!("expected unavailable, got {other:?}"),
+    }
+    assert_eq!(cluster.request(&bystander_req).unwrap(), bystander_baseline);
+
+    // Partial outage is visible, not silent: the merged stats document
+    // reports the down endpoints' breakers and fetch errors.
+    let stats = cluster.stats();
+    assert_eq!(stats.get("aggregate").unwrap().get("reachable").and_then(Value::as_u64), Some(1));
+
+    // "Restart" the first owner at its old address with its old slice
+    // (same release seed → same bytes, like a snapshot restore would).
+    let shard_releases: Vec<&str> = RELEASES
+        .iter()
+        .filter(|name| owners(name, &endpoints, REPLICATION).contains(&first))
+        .copied()
+        .collect();
+    let restarted = boot_shard(&first_addr, &shard_releases);
+
+    // Past the (millisecond) cool-down the breaker half-opens; the next
+    // request probes, closes it, and serves the baseline bytes again.
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(
+        breaker_of(&cluster, &first_addr),
+        BreakerState::HalfOpen,
+        "cool-down elapsed: breaker should be half-open"
+    );
+    assert_eq!(cluster.request(&req).unwrap(), baseline, "recovered shard changed the bytes");
+    assert_eq!(breaker_of(&cluster, &first_addr), BreakerState::Closed, "probe should close it");
+
+    shut_down(restarted);
+    for shard in shards {
+        shut_down(shard);
+    }
+}

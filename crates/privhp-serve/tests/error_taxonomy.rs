@@ -26,6 +26,7 @@ fn frame_for(code: &str) -> String {
         "busy" => busy_frame(),
         "request_timeout" => ErrorReply::request_timeout(1500).frame(),
         "idle_timeout" => ErrorReply::idle_timeout(60_000).frame(),
+        "unavailable" => ErrorReply::unavailable("x").frame(),
         "sample_cap" => ErrorReply::sample_cap(2_000_000, 1_000_000).frame(),
         "bad_request" => ErrorReply::bad_request("missing field 'n'".into()).frame(),
         "unknown_release" => ErrorReply::unknown_release("unknown release 'x'".into()).frame(),
