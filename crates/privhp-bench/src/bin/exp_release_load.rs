@@ -1,0 +1,61 @@
+//! Release-artifact cold-load latency (JSON vs `.phpr` binary) and its
+//! perf-baseline gate.
+//!
+//! Usage:
+//!   `cargo run -p privhp-bench --release --bin exp_release_load
+//!    [-- --smoke] [--assert-baseline <file>]`
+//!
+//! Every run writes the flat baseline document
+//! `bench_results/BENCH_release_load.json`; with `--assert-baseline
+//! <file>` the run additionally compares itself against the stored
+//! baseline and exits non-zero if any `loads_per_sec` metric regressed by
+//! more than 40%. The tolerance matches `exp_serve`: cold loads cross the
+//! filesystem, whose caching behaviour is noisier than the CPU-bound
+//! kernels behind `exp_throughput`'s 25% gate. The committed reference
+//! lives under `bench_results/baseline/`.
+
+use privhp_bench::experiments::{release_load, scale_from_args};
+use privhp_bench::report::{assert_baseline, write_sweep_json};
+use privhp_bench::runner::default_threads;
+use privhp_bench::sweep::run_sweeps;
+
+/// Regression tolerance of the CI gate: >40% below baseline fails.
+const TOLERANCE: f64 = 0.40;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline = args.iter().position(|a| a == "--assert-baseline").map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("--assert-baseline requires a file argument");
+                std::process::exit(2);
+            })
+            .clone()
+    });
+
+    let scale = scale_from_args();
+    let results = run_sweeps(vec![release_load::sweep(scale)], default_threads());
+    let result = &results[0];
+    release_load::report(result);
+    write_sweep_json(result);
+
+    if let Some(path) = baseline {
+        let path = std::path::Path::new(&path);
+        match assert_baseline(result, path, TOLERANCE) {
+            Ok(regressions) if regressions.is_empty() => {
+                println!("\nbaseline check: PASS (vs {})", path.display());
+            }
+            Ok(regressions) => {
+                eprintln!("\nbaseline check: FAIL (vs {})", path.display());
+                for r in &regressions {
+                    eprintln!("  regression >{:.0}%: {r}", TOLERANCE * 100.0);
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("\nbaseline check: ERROR: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -22,6 +22,7 @@ pub mod downstream;
 pub mod epsilon_sweep;
 pub mod memory_sweep;
 pub mod privacy_audit;
+pub mod release_load;
 pub mod scaling;
 pub mod serve;
 pub mod sketch_error;
@@ -134,6 +135,11 @@ pub fn all() -> Vec<Experiment> {
         },
         Experiment { name: throughput::NAME, build: throughput::sweep, report: throughput::report },
         Experiment { name: serve::NAME, build: serve::sweep, report: serve::report },
+        Experiment {
+            name: release_load::NAME,
+            build: release_load::sweep,
+            report: release_load::report,
+        },
     ]
 }
 

@@ -1,0 +1,169 @@
+//! **exp_release_load — cold-load latency of release artifacts, JSON vs
+//! binary.**
+//!
+//! A serving node's restart path is dominated by artifact loading: read
+//! the release file, decode it into a [`ReleaseFile`], and only then
+//! start answering. The JSON interchange encoding pays a full text parse
+//! (every count re-read from decimal); the `.phpr` binary encoding
+//! (`privhp_core::release::binary`, spec in `docs/FORMAT.md`) stores the
+//! dense arena as raw little-endian `f64` words, so decoding is a
+//! bounds-checked copy. This experiment prices exactly that gap.
+//!
+//! Each cell cold-loads one on-disk release — complete tree with `2^E`
+//! leaf cells, both encodings written once per size by the first trial —
+//! and reports the mean load latency plus loads/sec. The timed region is
+//! `fs::read` + [`ReleaseFile::from_bytes`] (the format-dependent cost);
+//! the leaf-CDF warm a registry load adds on top is identical for both
+//! encodings and measured by `exp_serve`, not here. Before timing, the
+//! harness asserts both encodings decode to the same node set, so the
+//! cells price encoding alone.
+//!
+//! Rates feed the cross-PR perf gate like `exp_throughput`: every run
+//! rewrites `bench_results/BENCH_release_load.json`, and the
+//! `exp_release_load` binary's `--assert-baseline` compares the
+//! `loads_per_sec` metrics against the committed reference under
+//! `bench_results/baseline/`.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use super::Scale;
+use crate::report::Table;
+use crate::sweep::{Cell, Sweep, SweepResult};
+use privhp_core::release::{DomainSpec, ReleaseFile, ReleaseFormat};
+use privhp_core::{PartitionTree, PrivHpConfig};
+
+/// Sweep name.
+pub const NAME: &str = "exp_release_load";
+
+const EPSILON: f64 = 1.0;
+const K: usize = 16;
+const METRICS: [&str; 3] = ["cold_load_ms", "loads_per_sec", "file_mb"];
+
+/// One release size written to disk in both encodings, shared between the
+/// cell pair so the (potentially large) build and write happen once.
+struct Fixture {
+    dir: std::path::PathBuf,
+    json_path: String,
+    binary_path: String,
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+type SharedFixture = Arc<OnceLock<Fixture>>;
+
+/// Builds a complete-tree release with `2^leaf_exp` leaf cells (uniform
+/// mass, so it is a valid sampleable artifact), writes both encodings,
+/// and asserts they decode to the same node set.
+fn build_fixture(leaf_exp: usize) -> Fixture {
+    let n = 1usize << leaf_exp;
+    let tree = PartitionTree::complete(leaf_exp, |p| n as f64 / (1u64 << p.level()) as f64);
+    let config = PrivHpConfig::for_domain(EPSILON, n, K).with_seed(11);
+    let release = ReleaseFile::new(DomainSpec::Interval, config, tree);
+
+    let dir = std::env::temp_dir()
+        .join(format!("privhp-release-load-{}-2e{leaf_exp}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create fixture dir");
+    let json_path = dir.join("release.json").to_string_lossy().into_owned();
+    let binary_path = dir.join("release.phpr").to_string_lossy().into_owned();
+    std::fs::write(&json_path, release.to_json()).expect("write json fixture");
+    std::fs::write(&binary_path, release.to_binary()).expect("write binary fixture");
+
+    // Untimed twin check: both files must decode to the same release, so
+    // the timed cells compare encodings of one artifact, not two.
+    let a = ReleaseFile::from_bytes(&std::fs::read(&json_path).unwrap()).expect("json decodes");
+    let b = ReleaseFile::from_bytes(&std::fs::read(&binary_path).unwrap()).expect("binary decodes");
+    assert_eq!(a.tree.len(), b.tree.len(), "encodings must hold the same node set");
+    assert_eq!(a.to_json(), b.to_json(), "binary twin must be lossless");
+
+    Fixture { dir, json_path, binary_path }
+}
+
+/// Cold-loads `path` `reps` times (read + decode, nothing cached between
+/// repetitions beyond the OS page cache both encodings share) and returns
+/// the cell's metric vector.
+fn measure(path: &str, reps: usize) -> Vec<f64> {
+    let file_mb = std::fs::metadata(path).expect("fixture exists").len() as f64 / (1 << 20) as f64;
+    let mut nodes = 0usize;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let bytes = std::fs::read(path).expect("read fixture");
+        let release = ReleaseFile::from_bytes(&bytes).expect("decode fixture");
+        nodes = nodes.max(std::hint::black_box(&release).tree.len());
+    }
+    let wall = t0.elapsed().as_secs_f64().max(1e-9);
+    assert!(nodes > 0, "decoded releases must be non-trivial");
+    vec![wall * 1e3 / reps as f64, reps as f64 / wall, file_mb]
+}
+
+/// Declares the cell grid: `{json, binary} x` release sizes (full scale
+/// adds the `2^20`-leaf artifact the acceptance gate watches).
+pub fn sweep(scale: Scale) -> Sweep {
+    let leaf_exps: &[usize] = match scale {
+        Scale::Full => &[14, 20],
+        Scale::Smoke => &[14],
+    };
+    let trials = scale.trials(3);
+
+    let mut sweep = Sweep::new(NAME);
+    for &leaf_exp in leaf_exps {
+        let shared: SharedFixture = Arc::new(OnceLock::new());
+        // Large artifacts (tens of MB of JSON) take whole seconds per
+        // parse; keep wall time bounded without starving the small cells
+        // of repetitions.
+        let reps = if leaf_exp >= 20 { scale.pick(3, 2) } else { scale.pick(24, 8) };
+        for format in [ReleaseFormat::Json, ReleaseFormat::Binary] {
+            let shared = Arc::clone(&shared);
+            let label = format!("{}/n=2^{leaf_exp}", format.describe());
+            let cell = Cell::new(label, trials, &METRICS, move |ctx| {
+                let fixture = ctx.shared_setup(&shared, || build_fixture(leaf_exp));
+                let path = match format {
+                    ReleaseFormat::Json => &fixture.json_path,
+                    ReleaseFormat::Binary => &fixture.binary_path,
+                };
+                measure(path, reps)
+            })
+            .with_param("leaves", 1usize << leaf_exp)
+            .with_param("reps", reps)
+            .with_param("epsilon", EPSILON)
+            .with_param("k", K)
+            .exclusive();
+            sweep.cell(cell);
+        }
+    }
+    sweep
+}
+
+/// Prints the cold-load table (with the binary-vs-JSON speedup per size)
+/// and refreshes `bench_results/BENCH_release_load.json`.
+pub fn report(result: &SweepResult) {
+    println!("== Release cold load: fs::read + ReleaseFile::from_bytes, JSON vs binary ==\n");
+    let mut table = Table::new(&["cell", "file MB", "cold load ms", "loads/s"]);
+    for cell in &result.cells {
+        table.row(vec![
+            cell.label.clone(),
+            format!("{:.1}", cell.summary("file_mb").mean),
+            format!("{:.2}", cell.summary("cold_load_ms").mean),
+            format!("{:.1}", cell.summary("loads_per_sec").mean),
+        ]);
+    }
+    table.print();
+    println!();
+    for cell in &result.cells {
+        let Some(size) = cell.label.strip_prefix("json/") else { continue };
+        let twin = format!("binary/{size}");
+        let Some(binary) = result.cells.iter().find(|c| c.label == twin) else { continue };
+        let json_ms = cell.summary("cold_load_ms").mean;
+        let binary_ms = binary.summary("cold_load_ms").mean.max(1e-9);
+        println!("binary speedup at {size}: {:.1}x (json {json_ms:.2} ms)", json_ms / binary_ms);
+    }
+    println!("\nthe timed region is the format-dependent decode only; the leaf-CDF");
+    println!("warm a registry load performs afterwards is encoding-independent.");
+    println!("Compare across PRs via bench_results/BENCH_release_load.json; the");
+    println!("committed reference lives in bench_results/baseline/.");
+    crate::report::write_baseline_json(result);
+}

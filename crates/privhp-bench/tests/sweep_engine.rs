@@ -55,7 +55,7 @@ fn sweep_engine_end_to_end() {
     // runs in one process-wide pool, every registered experiment produces
     // finite results, every report prints, every sweep writes its JSON.
     let experiments = all();
-    assert_eq!(experiments.len(), 16, "15 exp_* binaries + exp_table1 at d=1 and d=2");
+    assert_eq!(experiments.len(), 17, "16 exp_* binaries + exp_table1 at d=1 and d=2");
 
     let results: Vec<SweepResult> = run_sweeps(build_all(Scale::Smoke), 4);
     assert_eq!(results.len(), experiments.len());
@@ -172,5 +172,5 @@ fn registry_covers_every_experiment_binary() {
             assert!(names.contains(&stem), "binary `{stem}` has no registered experiment");
         }
     }
-    assert_eq!(bins, 15, "the suite is 15 exp_* binaries plus exp_all");
+    assert_eq!(bins, 16, "the suite is 16 exp_* binaries plus exp_all");
 }

@@ -6,7 +6,7 @@
 
 use std::collections::HashMap;
 
-use crate::release::DomainSpec;
+use crate::release::{DomainSpec, ReleaseFormat};
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +27,19 @@ pub enum Command {
         seed: u64,
         /// Ingest worker threads (1 = sequential batched ingest).
         threads: usize,
+        /// Output encoding (defaults from the output extension:
+        /// `.phpr` → binary, anything else → JSON).
+        format: ReleaseFormat,
+    },
+    /// `privhp merge-releases` — combine finished releases (ε by
+    /// parallel composition).
+    MergeReleases {
+        /// Output release-file path.
+        output: String,
+        /// Input release-file paths (at least two).
+        inputs: Vec<String>,
+        /// Output encoding (defaults from the output extension).
+        format: ReleaseFormat,
     },
     /// `privhp sample` — draw synthetic points from a release.
     Sample {
@@ -204,6 +217,16 @@ fn parse_u64(name: &str, s: &str) -> Result<u64, ParseError> {
     s.parse().map_err(|_| err(format!("--{name}: '{s}' is not a non-negative integer")))
 }
 
+/// Resolves the output encoding: an explicit `--format` wins, otherwise
+/// a `.phpr` extension selects binary and anything else JSON.
+fn format_for_output(explicit: Option<&String>, output: &str) -> Result<ReleaseFormat, ParseError> {
+    match explicit {
+        Some(s) => ReleaseFormat::parse(s).map_err(err),
+        None if output.ends_with(".phpr") => Ok(ReleaseFormat::Binary),
+        None => Ok(ReleaseFormat::Json),
+    }
+}
+
 /// Parses a full argument vector (excluding the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
     let Some(sub) = args.first() else {
@@ -218,15 +241,53 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
             if threads == 0 {
                 return Err(err("--threads must be at least 1"));
             }
+            let output = take(&map, "output")?.to_string();
+            let format = format_for_output(map.get("format"), &output)?;
             Ok(Command::Build {
                 input: take(&map, "input")?.to_string(),
-                output: take(&map, "output")?.to_string(),
+                output,
                 epsilon: parse_f64("epsilon", take(&map, "epsilon")?)?,
                 k: parse_usize("k", take(&map, "k")?)?,
                 domain,
                 seed: parse_u64("seed", take_or(&map, "seed", "42"))?,
                 threads,
+                format,
             })
+        }
+        // `merge-releases` takes positionals — `privhp merge-releases
+        // out.phpr a.json b.phpr …` — plus an optional `--format`.
+        "merge-releases" => {
+            let mut format_flag: Option<String> = None;
+            let mut paths: Vec<String> = Vec::new();
+            let mut i = 1;
+            while i < args.len() {
+                let t = &args[i];
+                if let Some(name) = t.strip_prefix("--") {
+                    let value = args
+                        .get(i + 1)
+                        .ok_or_else(|| err(format!("flag --{name} is missing its value")))?;
+                    match name {
+                        "format" => {
+                            if format_flag.replace(value.clone()).is_some() {
+                                return Err(err("flag --format given twice"));
+                            }
+                        }
+                        other => return Err(err(format!("unknown merge-releases flag --{other}"))),
+                    }
+                    i += 2;
+                } else {
+                    paths.push(t.clone());
+                    i += 1;
+                }
+            }
+            if paths.len() < 3 {
+                return Err(err(
+                    "merge-releases needs an output path and at least two input releases",
+                ));
+            }
+            let output = paths.remove(0);
+            let format = format_for_output(format_flag.as_ref(), &output)?;
+            Ok(Command::MergeReleases { output, inputs: paths, format })
         }
         "sample" => {
             let map = flag_map(&args[1..])?;
@@ -502,7 +563,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
             })
         }
         other => Err(err(format!(
-            "unknown subcommand '{other}' (expected build | sample | query | info | continual | serve | client | cluster | cluster-client | help)"
+            "unknown subcommand '{other}' (expected build | merge-releases | sample | query | info | continual | serve | client | cluster | cluster-client | help)"
         ))),
     }
 }
@@ -514,6 +575,8 @@ privhp — private synthetic data generation in bounded memory (PODS 2025)
 USAGE:
   privhp build     --input data.csv --output release.json --epsilon 1.0 --k 16
                    [--domain interval|cube:D|ipv4] [--seed S] [--threads N]
+                   [--format json|binary]
+  privhp merge-releases out.phpr a.json b.phpr ... [--format json|binary]
   privhp continual --input data.csv --output release.json --epsilon 1.0 --k 16
                    [--domain interval|cube:D|ipv4] [--seed S] [--horizon-levels H]
   privhp sample    --release release.json --count N [--seed S]
@@ -535,6 +598,15 @@ Input CSV: one point per line. interval: a single value in [0,1];
 cube:D: D comma-separated values in [0,1]; ipv4: dotted-quad addresses.
 The CSV is ingested in batches; --threads N shards the stream across N
 ingest workers and merges (same release bytes as --threads 1).
+Releases persist in two lossless encodings: JSON (interchange) and the
+.phpr binary container (zero-parse serving form; spec in docs/FORMAT.md).
+--format defaults from the output extension (.phpr selects binary) and
+every reader — sample/query/info, serve preload, the load op — detects
+the encoding automatically.
+merge-releases combines finished releases over the same domain and
+level structure: tree union with uniform mass extension, epsilon by
+parallel composition (max over inputs — each input covers a disjoint
+data partition); no fresh noise is added.
 continual builds through the continual-observation mechanism instead of
 the 1-pass builder (releasable at any checkpoint; horizon 2^H items).
 serve answers sample/query/cdf/info/list/stats/load/format/shutdown
@@ -589,7 +661,7 @@ mod tests {
         ]))
         .unwrap();
         match cmd {
-            Command::Build { input, output, epsilon, k, domain, seed, threads } => {
+            Command::Build { input, output, epsilon, k, domain, seed, threads, format } => {
                 assert_eq!(input, "d.csv");
                 assert_eq!(output, "r.json");
                 assert_eq!(epsilon, 0.5);
@@ -597,9 +669,55 @@ mod tests {
                 assert_eq!(domain, DomainSpec::Interval);
                 assert_eq!(seed, 42);
                 assert_eq!(threads, 1, "threads defaults to sequential ingest");
+                assert_eq!(format, ReleaseFormat::Json, "non-.phpr output defaults to JSON");
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_build_format() {
+        let build = |extra: &[&str]| {
+            let mut base =
+                v(&["build", "--input", "d", "--output", "o.phpr", "--epsilon", "1", "--k", "4"]);
+            base.extend(extra.iter().map(|s| s.to_string()));
+            parse_args(&base)
+        };
+        // .phpr extension defaults to binary; --format overrides.
+        assert!(matches!(
+            build(&[]).unwrap(),
+            Command::Build { format: ReleaseFormat::Binary, .. }
+        ));
+        assert!(matches!(
+            build(&["--format", "json"]).unwrap(),
+            Command::Build { format: ReleaseFormat::Json, .. }
+        ));
+        let e = build(&["--format", "msgpack"]).unwrap_err();
+        assert!(e.0.contains("unknown format"), "{}", e.0);
+    }
+
+    #[test]
+    fn parses_merge_releases() {
+        let cmd =
+            parse_args(&v(&["merge-releases", "out.phpr", "a.json", "b.phpr", "c.json"])).unwrap();
+        match cmd {
+            Command::MergeReleases { output, inputs, format } => {
+                assert_eq!(output, "out.phpr");
+                assert_eq!(inputs, ["a.json", "b.phpr", "c.json"]);
+                assert_eq!(format, ReleaseFormat::Binary, ".phpr output defaults to binary");
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let cmd = parse_args(&v(&["merge-releases", "out.json", "a", "b"])).unwrap();
+        assert!(matches!(cmd, Command::MergeReleases { format: ReleaseFormat::Json, .. }));
+        let cmd = parse_args(&v(&["merge-releases", "--format", "binary", "out.json", "a", "b"]))
+            .unwrap();
+        assert!(matches!(cmd, Command::MergeReleases { format: ReleaseFormat::Binary, .. }));
+
+        let e = parse_args(&v(&["merge-releases", "out.phpr", "only-one"])).unwrap_err();
+        assert!(e.0.contains("at least two"), "{}", e.0);
+        let e = parse_args(&v(&["merge-releases", "a", "b", "c", "--compress", "x"])).unwrap_err();
+        assert!(e.0.contains("unknown merge-releases flag"), "{}", e.0);
     }
 
     #[test]

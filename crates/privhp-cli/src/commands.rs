@@ -20,7 +20,7 @@ use serde::Value;
 
 use crate::args::QueryKind;
 use crate::csvio;
-use crate::release::{DomainSpec, ReleaseFile};
+use crate::release::{merge_releases, DomainSpec, ReleaseFile, ReleaseFormat};
 
 /// The Corollary-1 configuration for a domain/budget, with the IPv4
 /// hierarchy's 32-level cap applied — shared by the 1-pass and continual
@@ -75,7 +75,10 @@ where
     Ok(ReleaseFile::new(spec, config, g.tree().clone()))
 }
 
-/// Runs `privhp build` on in-memory CSV text; returns the release JSON.
+/// Runs `privhp build` on in-memory CSV text; returns the release bytes
+/// in the requested encoding (JSON or the `.phpr` binary container —
+/// both lossless, so the choice never changes what downstream consumers
+/// see).
 pub fn run_build(
     csv: &str,
     epsilon: f64,
@@ -83,7 +86,8 @@ pub fn run_build(
     domain: DomainSpec,
     seed: u64,
     threads: usize,
-) -> Result<String, String> {
+    format: ReleaseFormat,
+) -> Result<Vec<u8>, String> {
     let n = csvio::payload_count(csv).max(2);
     let config = config_for(domain, epsilon, n, k, seed);
     let release = match domain {
@@ -115,7 +119,33 @@ pub fn run_build(
             threads,
         )?,
     };
-    Ok(release.to_json())
+    Ok(release.to_bytes(format))
+}
+
+/// Runs `privhp merge-releases`: reads each input (either encoding,
+/// auto-detected), merges them with [`merge_releases`] (tree union, ε by
+/// parallel composition) and writes the result to `output` in the
+/// requested encoding. Returns a one-line summary.
+pub fn run_merge_releases(
+    output: &str,
+    inputs: &[String],
+    format: ReleaseFormat,
+) -> Result<String, String> {
+    let mut releases = Vec::with_capacity(inputs.len());
+    for path in inputs {
+        let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        releases.push(ReleaseFile::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?);
+    }
+    let merged = merge_releases(&releases)?;
+    let epsilon = merged.config.epsilon;
+    let nodes = merged.tree.len();
+    std::fs::write(output, merged.to_bytes(format))
+        .map_err(|e| format!("cannot write {output}: {e}"))?;
+    Ok(format!(
+        "merged {} release(s) into {output} ({} format, epsilon {epsilon}, {nodes} nodes)\n",
+        inputs.len(),
+        format.describe(),
+    ))
 }
 
 /// Shared continual-observation build pipeline: every counter/sketch is
@@ -483,9 +513,11 @@ where
     write(&flat)
 }
 
-/// Runs `privhp sample`; returns CSV text.
-pub fn run_sample(release_json: &str, count: usize, seed: u64) -> Result<String, String> {
-    let release = ReleaseFile::from_json(release_json)?;
+/// Runs `privhp sample`; returns CSV text. Accepts either release
+/// encoding (auto-detected), and equal seeds draw equal points
+/// regardless of which encoding the release was persisted in.
+pub fn run_sample(release_bytes: &[u8], count: usize, seed: u64) -> Result<String, String> {
+    let release = ReleaseFile::from_bytes(release_bytes)?;
     Ok(match release.domain {
         DomainSpec::Interval => {
             sample_csv(&release, &UnitInterval::new(), count, seed, csvio::write_interval)
@@ -499,9 +531,10 @@ pub fn run_sample(release_json: &str, count: usize, seed: u64) -> Result<String,
     })
 }
 
-/// Runs `privhp query`; returns the numeric answer as text.
-pub fn run_query(release_json: &str, query: QueryKind) -> Result<String, String> {
-    let release = ReleaseFile::from_json(release_json)?;
+/// Runs `privhp query`; returns the numeric answer as text. Accepts
+/// either release encoding (auto-detected).
+pub fn run_query(release_bytes: &[u8], query: QueryKind) -> Result<String, String> {
+    let release = ReleaseFile::from_bytes(release_bytes)?;
     if release.domain != DomainSpec::Interval {
         return Err(format!(
             "closed-form queries require an interval release (this one is {})",
@@ -529,9 +562,10 @@ pub fn run_query(release_json: &str, query: QueryKind) -> Result<String, String>
     Ok(format!("{answer:.9}\n"))
 }
 
-/// Runs `privhp info`; returns a metadata summary.
-pub fn run_info(release_json: &str) -> Result<String, String> {
-    let release = ReleaseFile::from_json(release_json)?;
+/// Runs `privhp info`; returns a metadata summary. Accepts either
+/// release encoding (auto-detected).
+pub fn run_info(release_bytes: &[u8]) -> Result<String, String> {
+    let release = ReleaseFile::from_bytes(release_bytes)?;
     let tree = &release.tree;
     let leaves = tree.leaves().len();
     Ok(format!(
@@ -575,7 +609,8 @@ mod tests {
     #[test]
     fn build_sample_query_info_pipeline() {
         let csv = sample_csv(2_000);
-        let release = run_build(&csv, 1.0, 8, DomainSpec::Interval, 7, 1).unwrap();
+        let release =
+            run_build(&csv, 1.0, 8, DomainSpec::Interval, 7, 1, ReleaseFormat::Json).unwrap();
 
         let info = run_info(&release).unwrap();
         assert!(info.contains("domain:        interval"));
@@ -601,7 +636,9 @@ mod tests {
             let t = i as f64 / 500.0;
             csv.push_str(&format!("{},{}\n", t * 0.999, (1.0 - t) * 0.999));
         }
-        let release = run_build(&csv, 1.0, 4, DomainSpec::Cube { dim: 2 }, 3, 1).unwrap();
+        let release =
+            run_build(&csv, 1.0, 4, DomainSpec::Cube { dim: 2 }, 3, 1, ReleaseFormat::Json)
+                .unwrap();
         let samples = run_sample(&release, 100, 4).unwrap();
         let parsed = csvio::parse_cube(&samples, 2).unwrap();
         assert_eq!(parsed.len(), 100);
@@ -616,7 +653,7 @@ mod tests {
         for i in 0..2_000 {
             csv.push_str(&format!("10.0.{}.{}\n", i % 256, (i * 7) % 256));
         }
-        let release = run_build(&csv, 1.0, 4, DomainSpec::Ipv4, 5, 1).unwrap();
+        let release = run_build(&csv, 1.0, 4, DomainSpec::Ipv4, 5, 1, ReleaseFormat::Json).unwrap();
         let samples = run_sample(&release, 200, 6).unwrap();
         let parsed = csvio::parse_ipv4(&samples).unwrap();
         assert_eq!(parsed.len(), 200);
@@ -630,9 +667,12 @@ mod tests {
         // --threads N shards the ingest and merges; the release file must
         // be byte-for-byte the file --threads 1 writes.
         let csv = sample_csv(3_000);
-        let sequential = run_build(&csv, 1.0, 8, DomainSpec::Interval, 7, 1).unwrap();
+        let sequential =
+            run_build(&csv, 1.0, 8, DomainSpec::Interval, 7, 1, ReleaseFormat::Json).unwrap();
         for threads in [2usize, 3] {
-            let parallel = run_build(&csv, 1.0, 8, DomainSpec::Interval, 7, threads).unwrap();
+            let parallel =
+                run_build(&csv, 1.0, 8, DomainSpec::Interval, 7, threads, ReleaseFormat::Json)
+                    .unwrap();
             assert_eq!(sequential, parallel, "release bytes changed at --threads {threads}");
         }
     }
@@ -643,13 +683,14 @@ mod tests {
         let release = run_continual(&csv, 4.0, 8, DomainSpec::Interval, 7, None).unwrap();
 
         // Same file format: info/sample/query all work unchanged.
-        let info = run_info(&release).unwrap();
+        let info = run_info(release.as_bytes()).unwrap();
         assert!(info.contains("domain:        interval"));
-        let samples = run_sample(&release, 300, 9).unwrap();
+        let samples = run_sample(release.as_bytes(), 300, 9).unwrap();
         assert_eq!(samples.lines().count(), 300);
         // Squared-uniform data: ~70% of mass below x=0.5 (continual noise
         // is log(T)-times larger, so the tolerance is looser than build's).
-        let ans: f64 = run_query(&release, QueryKind::Cdf(0.5)).unwrap().trim().parse().unwrap();
+        let ans: f64 =
+            run_query(release.as_bytes(), QueryKind::Cdf(0.5)).unwrap().trim().parse().unwrap();
         assert!((ans - 0.707).abs() < 0.25, "CDF(0.5) = {ans}");
     }
 
@@ -674,22 +715,92 @@ mod tests {
     }
 
     #[test]
+    fn binary_release_is_a_lossless_twin() {
+        let csv = sample_csv(1_000);
+        let json =
+            run_build(&csv, 1.0, 8, DomainSpec::Interval, 7, 1, ReleaseFormat::Json).unwrap();
+        let binary =
+            run_build(&csv, 1.0, 8, DomainSpec::Interval, 7, 1, ReleaseFormat::Binary).unwrap();
+
+        // Bit-identical logical content: re-rendering the binary twin as
+        // JSON reproduces the JSON build byte for byte.
+        let from_binary = ReleaseFile::from_bytes(&binary).unwrap();
+        assert_eq!(from_binary.to_json().as_bytes(), &json[..]);
+
+        // Equal seeds draw equal points from either encoding.
+        assert_eq!(run_sample(&json, 200, 9).unwrap(), run_sample(&binary, 200, 9).unwrap());
+        assert_eq!(
+            run_query(&json, QueryKind::Cdf(0.5)).unwrap(),
+            run_query(&binary, QueryKind::Cdf(0.5)).unwrap()
+        );
+        assert_eq!(run_info(&json).unwrap(), run_info(&binary).unwrap());
+    }
+
+    #[test]
+    fn merge_releases_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("privhp-merge-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = |name: &str| dir.join(name).to_string_lossy().into_owned();
+
+        // Two shards of the same stream, one per encoding — merge must
+        // read both. Same (ε, n, k) keeps the level structure compatible;
+        // different seeds give independent noise.
+        let csv_a = sample_csv(1_000);
+        let csv_b: String = sample_csv(1_000);
+        let a = run_build(&csv_a, 1.0, 8, DomainSpec::Interval, 7, 1, ReleaseFormat::Json).unwrap();
+        let b =
+            run_build(&csv_b, 1.0, 8, DomainSpec::Interval, 8, 1, ReleaseFormat::Binary).unwrap();
+        std::fs::write(path("a.json"), &a).unwrap();
+        std::fs::write(path("b.phpr"), &b).unwrap();
+
+        let out = path("merged.phpr");
+        let summary =
+            run_merge_releases(&out, &[path("a.json"), path("b.phpr")], ReleaseFormat::Binary)
+                .unwrap();
+        assert!(summary.contains("merged 2 release(s)"), "{summary}");
+
+        // The merged artifact serves like any other release, and its
+        // counts equal the in-memory merge of the inputs.
+        let merged_bytes = std::fs::read(&out).unwrap();
+        let merged = ReleaseFile::from_bytes(&merged_bytes).unwrap();
+        let reference = merge_releases(&[
+            ReleaseFile::from_bytes(&a).unwrap(),
+            ReleaseFile::from_bytes(&b).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(merged.to_json(), reference.to_json());
+        assert!(run_sample(&merged_bytes, 50, 3).unwrap().lines().count() == 50);
+
+        // Error paths name the offending file.
+        std::fs::write(path("junk.phpr"), b"\x89PHPR\r\n\x1acorrupt").unwrap();
+        let e = run_merge_releases(&out, &[path("a.json"), path("junk.phpr")], ReleaseFormat::Json)
+            .unwrap_err();
+        assert!(e.contains("junk.phpr"), "{e}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn query_rejects_non_interval_release() {
         let csv = "0.1,0.2\n0.3,0.4\n".repeat(50);
-        let release = run_build(&csv, 1.0, 2, DomainSpec::Cube { dim: 2 }, 1, 1).unwrap();
+        let release =
+            run_build(&csv, 1.0, 2, DomainSpec::Cube { dim: 2 }, 1, 1, ReleaseFormat::Json)
+                .unwrap();
         assert!(run_query(&release, QueryKind::Mean).unwrap_err().contains("interval"));
     }
 
     #[test]
     fn build_propagates_csv_errors() {
-        assert!(run_build("nonsense\n", 1.0, 4, DomainSpec::Interval, 1, 1)
+        assert!(run_build("nonsense\n", 1.0, 4, DomainSpec::Interval, 1, 1, ReleaseFormat::Json)
             .unwrap_err()
             .contains("line 1"));
     }
 
     #[test]
     fn query_validates_ranges() {
-        let release = run_build(&sample_csv(100), 1.0, 2, DomainSpec::Interval, 1, 1).unwrap();
+        let release =
+            run_build(&sample_csv(100), 1.0, 2, DomainSpec::Interval, 1, 1, ReleaseFormat::Json)
+                .unwrap();
         assert!(run_query(&release, QueryKind::Range(0.5, 0.2)).is_err());
         assert!(run_query(&release, QueryKind::Quantile(1.5)).is_err());
     }

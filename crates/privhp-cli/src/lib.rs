@@ -31,4 +31,4 @@ pub use args::{parse_args, Command, ParseError};
 // The release-file format moved to `privhp_core::release` so the serving
 // layer shares it; re-exported here for the CLI's historical paths.
 pub use privhp_core::release;
-pub use privhp_core::release::{DomainSpec, ReleaseFile};
+pub use privhp_core::release::{DomainSpec, ReleaseFile, ReleaseFormat};

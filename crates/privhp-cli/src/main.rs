@@ -25,23 +25,26 @@ fn run(args: &[String]) -> Result<String, String> {
     let command = parse_args(args).map_err(|e| e.to_string())?;
     match command {
         Command::Help => Ok(format!("{HELP}\n")),
-        Command::Build { input, output, epsilon, k, domain, seed, threads } => {
+        Command::Build { input, output, epsilon, k, domain, seed, threads, format } => {
             let csv = read_input(&input)?;
-            let json = commands::run_build(&csv, epsilon, k, domain, seed, threads)?;
-            std::fs::write(&output, &json).map_err(|e| format!("cannot write {output}: {e}"))?;
+            let bytes = commands::run_build(&csv, epsilon, k, domain, seed, threads, format)?;
+            std::fs::write(&output, &bytes).map_err(|e| format!("cannot write {output}: {e}"))?;
             Ok(format!("release written to {output}\n"))
         }
+        Command::MergeReleases { output, inputs, format } => {
+            commands::run_merge_releases(&output, &inputs, format)
+        }
         Command::Sample { release, count, seed } => {
-            let json = read_input(&release)?;
-            commands::run_sample(&json, count, seed)
+            let bytes = read_input_bytes(&release)?;
+            commands::run_sample(&bytes, count, seed)
         }
         Command::Query { release, query } => {
-            let json = read_input(&release)?;
-            commands::run_query(&json, query)
+            let bytes = read_input_bytes(&release)?;
+            commands::run_query(&bytes, query)
         }
         Command::Info { release } => {
-            let json = read_input(&release)?;
-            commands::run_info(&json)
+            let bytes = read_input_bytes(&release)?;
+            commands::run_info(&bytes)
         }
         Command::Continual { input, output, epsilon, k, domain, seed, horizon_levels } => {
             let csv = read_input(&input)?;
@@ -97,5 +100,17 @@ fn read_input(path: &str) -> Result<String, String> {
         Ok(buf)
     } else {
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    }
+}
+
+/// Raw-byte twin of [`read_input`] for release files, which may be in
+/// the (non-UTF-8) binary encoding.
+fn read_input_bytes(path: &str) -> Result<Vec<u8>, String> {
+    if path == "-" {
+        let mut buf = Vec::new();
+        std::io::stdin().read_to_end(&mut buf).map_err(|e| format!("cannot read stdin: {e}"))?;
+        Ok(buf)
+    } else {
+        std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))
     }
 }

@@ -15,7 +15,7 @@ use std::process::{Child, Command, Stdio};
 use std::time::Duration;
 
 use privhp_cli::commands::run_build;
-use privhp_cli::DomainSpec;
+use privhp_cli::{DomainSpec, ReleaseFormat};
 use privhp_serve::{owners, BreakerState, Client, ClientError, ClusterClient, RetryPolicy};
 use serde::Value;
 
@@ -62,7 +62,7 @@ fn build_release(scratch: &Scratch, name: &str) -> String {
     let seed: u64 = name.bytes().map(u64::from).sum();
     let csv: String =
         (0..256).map(|i| format!("{}\n", (i as f64 / 256.0).powi(2) * 0.999)).collect();
-    let json = run_build(&csv, 1.0, 8, DomainSpec::Interval, seed, 1).unwrap();
+    let json = run_build(&csv, 1.0, 8, DomainSpec::Interval, seed, 1, ReleaseFormat::Json).unwrap();
     let path = scratch.path(&format!("{name}.json"));
     std::fs::write(&path, json).unwrap();
     path

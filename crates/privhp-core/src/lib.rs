@@ -68,6 +68,9 @@ pub use generator::{DimSupport, Generator};
 pub use grow::GrowOptions;
 pub use privhp::{LevelSketches, PrivHp, PrivHpBuilder, PrivHpGenerator, INGEST_CHUNK};
 pub use query::TreeQuery;
-pub use release::{DomainSpec, ReleaseFile, RELEASE_VERSION, SAMPLE_SEED_XOR};
+pub use release::{
+    merge_releases, BinaryFormatError, DomainSpec, ReleaseFile, ReleaseFormat, RELEASE_VERSION,
+    SAMPLE_SEED_XOR,
+};
 pub use sampler::{LeafCdf, TreeSampler};
 pub use tree::PartitionTree;

@@ -1,12 +1,68 @@
-//! The serialised release file: the ε-DP tree plus the domain and
-//! configuration needed to sample from and query it.
+//! The persisted release: the ε-DP tree plus the domain and configuration
+//! needed to sample from and query it, in two lossless encodings.
 //!
 //! This lives in `privhp-core` (not the CLI) because every consumer of a
 //! persisted release — the `privhp` command-line tool, the long-lived
-//! [`privhp-serve`] server, tests — shares the same on-disk format and the
+//! [`privhp-serve`] server, tests — shares the same on-disk formats and the
 //! same [`ReleaseFile::generator`] view of it.
 //!
+//! Two encodings, one logical artifact:
+//!
+//! * **JSON** ([`ReleaseFile::to_json`] / [`ReleaseFile::from_json`]) —
+//!   the human-readable interchange form. Floats print via Rust's
+//!   shortest round-trip formatting, so it is lossless.
+//! * **Binary `.phpr`** ([`ReleaseFile::to_binary`] /
+//!   [`ReleaseFile::from_binary`], module [`binary`]) — the serving form:
+//!   the dense-tree arena is stored as raw little-endian `f64` words at a
+//!   page-aligned offset, so a loader (or an mmap) can use it in place
+//!   with no parse step. Byte-level spec in `docs/FORMAT.md`.
+//!
+//! The two forms round-trip **bit-identically**: encoding a release to
+//! `.phpr` and back reproduces the exact JSON bytes (and therefore the
+//! exact sampled draws at equal seeds) of the original.
+//!
+//! Finished releases also compose: [`merge_releases`] (module [`merge`])
+//! unions the trees of already-noised releases with ε accounted by
+//! parallel composition — see the module docs for the algebra.
+//!
+//! # Build → save → load → sample round-trip
+//!
+//! ```
+//! use privhp_core::{DomainSpec, PartitionTree, PrivHpConfig, ReleaseFile};
+//! use privhp_domain::{Path, UnitInterval};
+//! use privhp_dp::rng::rng_from_seed;
+//!
+//! // Build: a tiny consistent tree (real pipelines use `PrivHp::build`).
+//! let mut tree = PartitionTree::new();
+//! tree.insert(Path::root(), 8.0);
+//! tree.insert(Path::root().left(), 5.0);
+//! tree.insert(Path::root().right(), 3.0);
+//! let config = PrivHpConfig::for_domain(1.0, 8, 2).with_seed(42);
+//! let release = ReleaseFile::new(DomainSpec::Interval, config, tree);
+//!
+//! // Save to the binary serving form; load it back (a file round-trip
+//! // would go through `std::fs::write` / `std::fs::read`).
+//! let bytes = release.to_binary();
+//! let loaded = ReleaseFile::from_binary(&bytes).expect("valid .phpr bytes");
+//! assert_eq!(ReleaseFile::detect_format(&bytes), privhp_core::release::ReleaseFormat::Binary);
+//! assert_eq!(loaded.to_json(), release.to_json()); // lossless
+//!
+//! // Sample: equal seeds on original and loaded twin draw equal points.
+//! let domain = UnitInterval::new();
+//! let mut rng_a = rng_from_seed(7 ^ privhp_core::SAMPLE_SEED_XOR);
+//! let mut rng_b = rng_from_seed(7 ^ privhp_core::SAMPLE_SEED_XOR);
+//! let a = release.generator(&domain).sample_many(4, &mut rng_a);
+//! let b = loaded.generator(&domain).sample_many(4, &mut rng_b);
+//! assert_eq!(a, b);
+//! ```
+//!
 //! [`privhp-serve`]: https://docs.rs/privhp-serve
+
+pub mod binary;
+pub mod merge;
+
+pub use binary::BinaryFormatError;
+pub use merge::merge_releases;
 
 use crate::config::PrivHpConfig;
 use crate::sampler::TreeSampler;
@@ -58,6 +114,37 @@ impl DomainSpec {
     }
 }
 
+/// The on-disk encoding of a release: JSON for interchange, binary
+/// `.phpr` for serving. Auto-detected on read by
+/// [`ReleaseFile::detect_format`] (the binary form starts with a magic
+/// that can never begin a JSON document).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleaseFormat {
+    /// Pretty-printed JSON — the human-readable interchange form.
+    Json,
+    /// The `.phpr` binary container — the zero-parse serving form.
+    Binary,
+}
+
+impl ReleaseFormat {
+    /// Parses a CLI format string: `json` or `binary`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "json" => Ok(ReleaseFormat::Json),
+            "binary" => Ok(ReleaseFormat::Binary),
+            other => Err(format!("unknown format '{other}' (expected json | binary)")),
+        }
+    }
+
+    /// Display form (inverse of [`ReleaseFormat::parse`]).
+    pub fn describe(&self) -> &'static str {
+        match self {
+            ReleaseFormat::Json => "json",
+            ReleaseFormat::Binary => "binary",
+        }
+    }
+}
+
 /// A persisted ε-DP release.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ReleaseFile {
@@ -89,6 +176,55 @@ impl ReleaseFile {
     /// Serialises to pretty JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("release serialises")
+    }
+
+    /// Serialises to the `.phpr` binary container ([`binary`] module;
+    /// byte-level spec in `docs/FORMAT.md`). Lossless: decoding the
+    /// result reproduces this release bit-identically, down to its JSON
+    /// rendering.
+    pub fn to_binary(&self) -> Vec<u8> {
+        binary::encode(self)
+    }
+
+    /// Parses `.phpr` bytes, validating magic, versions, endianness, and
+    /// every structural invariant. Corrupt or truncated input yields a
+    /// structured [`BinaryFormatError`], never a panic.
+    pub fn from_binary(bytes: &[u8]) -> Result<Self, BinaryFormatError> {
+        binary::decode(bytes)
+    }
+
+    /// Serialises in the given format.
+    pub fn to_bytes(&self, format: ReleaseFormat) -> Vec<u8> {
+        match format {
+            ReleaseFormat::Json => self.to_json().into_bytes(),
+            ReleaseFormat::Binary => self.to_binary(),
+        }
+    }
+
+    /// Which encoding a byte buffer holds: [`ReleaseFormat::Binary`] iff
+    /// it starts with the `.phpr` magic, otherwise it is presumed JSON.
+    pub fn detect_format(bytes: &[u8]) -> ReleaseFormat {
+        if binary::is_binary(bytes) {
+            ReleaseFormat::Binary
+        } else {
+            ReleaseFormat::Json
+        }
+    }
+
+    /// Parses a release in either encoding, auto-detecting the format.
+    /// Error strings name the detected format so callers can surface
+    /// actionable messages.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        match Self::detect_format(bytes) {
+            ReleaseFormat::Binary => {
+                Self::from_binary(bytes).map_err(|e| format!("binary release: {e}"))
+            }
+            ReleaseFormat::Json => {
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|e| format!("json release: not UTF-8: {e}"))?;
+                Self::from_json(s).map_err(|e| format!("json release: {e}"))
+            }
+        }
     }
 
     /// Views the release as a synthetic-data generator over `domain`
@@ -134,6 +270,14 @@ mod tests {
     }
 
     #[test]
+    fn release_format_roundtrip() {
+        for s in ["json", "binary"] {
+            assert_eq!(ReleaseFormat::parse(s).unwrap().describe(), s);
+        }
+        assert!(ReleaseFormat::parse("msgpack").is_err());
+    }
+
+    #[test]
     fn release_file_roundtrip() {
         let mut tree = PartitionTree::new();
         tree.insert(Path::root(), 5.0);
@@ -146,6 +290,34 @@ mod tests {
         assert_eq!(back.domain, DomainSpec::Interval);
         assert_eq!(back.tree.root_count(), Some(5.0));
         assert_eq!(back.config.k, 4);
+    }
+
+    #[test]
+    fn from_bytes_autodetects() {
+        let mut tree = PartitionTree::new();
+        tree.insert(Path::root(), 5.0);
+        tree.insert(Path::root().left(), 2.0);
+        tree.insert(Path::root().right(), 3.0);
+        let config = PrivHpConfig::for_domain(1.0, 100, 4);
+        let file = ReleaseFile::new(DomainSpec::Interval, config, tree);
+
+        let json_bytes = file.to_bytes(ReleaseFormat::Json);
+        let bin_bytes = file.to_bytes(ReleaseFormat::Binary);
+        assert_eq!(ReleaseFile::detect_format(&json_bytes), ReleaseFormat::Json);
+        assert_eq!(ReleaseFile::detect_format(&bin_bytes), ReleaseFormat::Binary);
+
+        let from_json = ReleaseFile::from_bytes(&json_bytes).unwrap();
+        let from_bin = ReleaseFile::from_bytes(&bin_bytes).unwrap();
+        assert_eq!(from_json.to_json(), file.to_json());
+        assert_eq!(from_bin.to_json(), file.to_json());
+
+        // Error strings name the detected format.
+        let err = ReleaseFile::from_bytes(b"{broken json").unwrap_err();
+        assert!(err.starts_with("json release:"), "{err}");
+        let mut bad = bin_bytes.clone();
+        bad.truncate(20);
+        let err = ReleaseFile::from_bytes(&bad).unwrap_err();
+        assert!(err.starts_with("binary release:"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,563 @@
+//! The `.phpr` binary release format: a versioned, sectioned container
+//! whose dense-tree arena is stored as raw little-endian `f64` words at a
+//! page-aligned offset, so a loader can use (or memory-map) it in place
+//! without a parse step.
+//!
+//! The byte-level layout is specified in [`docs/FORMAT.md`] (kept in
+//! lock-step with this module); the short version:
+//!
+//! ```text
+//! magic (8) │ format version u32 │ endian check u32 │ release version u32
+//! section count u32 │ section table (kind,offset,len) u64×3 each │ sections…
+//! ```
+//!
+//! Five sections, all offsets absolute and bounds-checked on read:
+//!
+//! | kind | name    | payload                                                |
+//! |------|---------|--------------------------------------------------------|
+//! | 1    | META    | compact JSON `{"domain":…,"config":…}`                 |
+//! | 2    | TREE    | `dense_levels, overlay_count, level_count, total_nodes` (u64×4) |
+//! | 3    | LEVELS  | per level: `count` u64, then `count` × sketch-key u64  |
+//! | 4    | OVERLAY | `overlay_count` × (sketch-key u64, count f64)          |
+//! | 5    | ARENA   | `1 << dense_levels` raw LE `f64` (page-aligned, last)  |
+//!
+//! Storing the storage layout (`dense_levels`, the full level registry in
+//! insertion order, the overlay in registry order) — not just the node
+//! multiset — makes [`decode`] an *exact* inverse of [`encode`]: the
+//! decoded tree reproduces the encoded tree's arena split and registry
+//! order, so a JSON render of the round-tripped release is byte-identical
+//! to a JSON render of the original ([`crate::release::ReleaseFile`]'s
+//! round-trip guarantee).
+//!
+//! Decoding never panics on hostile bytes: every section read is
+//! bounds-checked and every structural invariant (magic, versions,
+//! endianness, section sizes, node keys, registry/overlay agreement) is
+//! verified into a structured [`BinaryFormatError`] before any tree is
+//! assembled. Forward compatibility is fail-closed: a bumped format or
+//! release version is rejected with the found/expected pair, and unknown
+//! section kinds are an error rather than silently ignored.
+//!
+//! [`docs/FORMAT.md`]: https://github.com/privhp/privhp/blob/main/docs/FORMAT.md
+
+use std::collections::HashMap;
+
+use crate::config::PrivHpConfig;
+use crate::release::{DomainSpec, ReleaseFile, RELEASE_VERSION};
+use crate::tree::PartitionTree;
+use privhp_domain::Path;
+use serde::{Deserialize, Serialize, Value};
+
+/// File magic: `\x89 P H P R \r \n \x1a` — the PNG trick. The high bit
+/// catches 7-bit strips, `\r\n` catches newline translation, `\x1a`
+/// stops accidental `type` under DOS-ish shells.
+pub const MAGIC: [u8; 8] = [0x89, b'P', b'H', b'P', b'R', 0x0D, 0x0A, 0x1A];
+
+/// Container-format version this module writes and accepts.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Endianness check value: written little-endian; a big-endian writer
+/// would produce `0x4D3C2B1A` and be rejected on read.
+pub const ENDIAN_CHECK: u32 = 0x1A2B_3C4D;
+
+/// Alignment of the ARENA section's file offset: one page, so a mapped
+/// file exposes the arena at a page boundary and the `f64` words can be
+/// used in place.
+pub const ARENA_ALIGN: usize = 4096;
+
+/// Section kinds, in table (and file) order.
+const SECTION_META: u64 = 1;
+const SECTION_TREE: u64 = 2;
+const SECTION_LEVELS: u64 = 3;
+const SECTION_OVERLAY: u64 = 4;
+const SECTION_ARENA: u64 = 5;
+const SECTION_COUNT: usize = 5;
+
+/// Bytes per section-table entry: `kind, offset, len` as u64.
+const TABLE_ENTRY: usize = 24;
+
+/// Fixed header size before the section table.
+const HEADER: usize = 8 + 4 + 4 + 4 + 4;
+
+/// Why a byte buffer is not a valid `.phpr` release. Every variant is a
+/// clean rejection — decoding hostile bytes never panics and never
+/// over-allocates past the buffer it was handed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinaryFormatError {
+    /// The buffer does not start with [`MAGIC`].
+    BadMagic,
+    /// The container-format version is not [`FORMAT_VERSION`].
+    UnsupportedFormat {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The endianness check value did not read back as [`ENDIAN_CHECK`].
+    BadEndianness,
+    /// The release version is not [`RELEASE_VERSION`].
+    UnsupportedRelease {
+        /// Release version found in the header.
+        found: u32,
+    },
+    /// A read ran past the end of the buffer (truncated file).
+    Truncated {
+        /// Which structure the read was for.
+        what: &'static str,
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// A structural invariant failed (bad section table, invalid node
+    /// key, registry/overlay disagreement, …).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for BinaryFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "not a .phpr file (bad magic)"),
+            Self::UnsupportedFormat { found } => {
+                write!(f, "unsupported .phpr format version {found} (expected {FORMAT_VERSION})")
+            }
+            Self::BadEndianness => write!(f, "endianness check failed (not little-endian data)"),
+            Self::UnsupportedRelease { found } => {
+                write!(f, "release version {found} unsupported (expected {RELEASE_VERSION})")
+            }
+            Self::Truncated { what, needed, got } => {
+                write!(f, "truncated file: {what} needs {needed} bytes, only {got} available")
+            }
+            Self::Corrupt(why) => write!(f, "corrupt .phpr file: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for BinaryFormatError {}
+
+fn corrupt(why: impl Into<String>) -> BinaryFormatError {
+    BinaryFormatError::Corrupt(why.into())
+}
+
+// ---- encoding --------------------------------------------------------------
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Serialises a release to `.phpr` bytes. Infallible: any in-memory
+/// release has a valid binary form.
+pub fn encode(release: &ReleaseFile) -> Vec<u8> {
+    let tree = &release.tree;
+    let dense_levels = tree.dense_levels();
+    let registry = tree.levels_registry();
+
+    // META: the small lossless JSON blob (the vendored writer prints f64
+    // via Rust's shortest round-trip `Display`, so ε and the σ split
+    // survive bit-exactly).
+    let meta_value = Value::Object(vec![
+        ("domain".into(), Serialize::to_value(&release.domain)),
+        ("config".into(), Serialize::to_value(&release.config)),
+    ]);
+    let meta = serde_json::value_to_string(&meta_value).into_bytes();
+
+    // TREE: the raw layout counters the reader validates everything
+    // against.
+    let overlay_count =
+        tree.len() - if dense_levels > 0 { (1usize << dense_levels) - 1 } else { 0 };
+    let mut tree_sec = Vec::with_capacity(32);
+    push_u64(&mut tree_sec, dense_levels as u64);
+    push_u64(&mut tree_sec, overlay_count as u64);
+    push_u64(&mut tree_sec, registry.len() as u64);
+    push_u64(&mut tree_sec, tree.len() as u64);
+
+    // LEVELS: the full per-level registry in insertion order — this is
+    // what makes the decode side reproduce iteration order (and thereby
+    // JSON bytes) exactly.
+    let mut levels_sec = Vec::new();
+    for row in registry {
+        push_u64(&mut levels_sec, row.len() as u64);
+        for p in row {
+            push_u64(&mut levels_sec, p.sketch_key());
+        }
+    }
+
+    // OVERLAY: sparse nodes in registry (level-major insertion) order.
+    let mut overlay_sec = Vec::with_capacity(overlay_count * 16);
+    for row in registry.iter().skip(dense_levels) {
+        for p in row {
+            push_u64(&mut overlay_sec, p.sketch_key());
+            push_f64(&mut overlay_sec, tree.count_unchecked(p));
+        }
+    }
+
+    // ARENA: raw LE f64 words, verbatim (slot 0 included, so the arena
+    // can be indexed by sketch key in place).
+    let arena = tree.dense_arena();
+    let mut arena_sec = Vec::with_capacity(arena.len() * 8);
+    for &c in arena {
+        push_f64(&mut arena_sec, c);
+    }
+
+    // Lay out: header, table, then sections in kind order with the arena
+    // last at a page-aligned offset.
+    let table_end = HEADER + SECTION_COUNT * TABLE_ENTRY;
+    let meta_off = table_end;
+    let tree_off = meta_off + meta.len();
+    let levels_off = tree_off + tree_sec.len();
+    let overlay_off = levels_off + levels_sec.len();
+    let arena_off = (overlay_off + overlay_sec.len()).div_ceil(ARENA_ALIGN) * ARENA_ALIGN;
+
+    let mut out = Vec::with_capacity(arena_off + arena_sec.len());
+    out.extend_from_slice(&MAGIC);
+    push_u32(&mut out, FORMAT_VERSION);
+    push_u32(&mut out, ENDIAN_CHECK);
+    push_u32(&mut out, release.version);
+    push_u32(&mut out, SECTION_COUNT as u32);
+    for (kind, off, len) in [
+        (SECTION_META, meta_off, meta.len()),
+        (SECTION_TREE, tree_off, tree_sec.len()),
+        (SECTION_LEVELS, levels_off, levels_sec.len()),
+        (SECTION_OVERLAY, overlay_off, overlay_sec.len()),
+        (SECTION_ARENA, arena_off, arena_sec.len()),
+    ] {
+        push_u64(&mut out, kind);
+        push_u64(&mut out, off as u64);
+        push_u64(&mut out, len as u64);
+    }
+    out.extend_from_slice(&meta);
+    out.extend_from_slice(&tree_sec);
+    out.extend_from_slice(&levels_sec);
+    out.extend_from_slice(&overlay_sec);
+    out.resize(arena_off, 0); // zero padding up to the page boundary
+    out.extend_from_slice(&arena_sec);
+    out
+}
+
+// ---- decoding --------------------------------------------------------------
+
+/// A bounds-checked cursor over the input buffer.
+struct Reader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn slice(
+        &self,
+        what: &'static str,
+        off: usize,
+        len: usize,
+    ) -> Result<&'a [u8], BinaryFormatError> {
+        let end =
+            off.checked_add(len).ok_or_else(|| corrupt(format!("{what}: offset overflow")))?;
+        if end > self.data.len() {
+            return Err(BinaryFormatError::Truncated { what, needed: end, got: self.data.len() });
+        }
+        Ok(&self.data[off..end])
+    }
+
+    fn u32_at(&self, what: &'static str, off: usize) -> Result<u32, BinaryFormatError> {
+        Ok(u32::from_le_bytes(self.slice(what, off, 4)?.try_into().expect("4 bytes")))
+    }
+}
+
+/// Reads a u64 from the front of `buf`, advancing it.
+fn take_u64(buf: &mut &[u8], what: &'static str) -> Result<u64, BinaryFormatError> {
+    let (head, rest) = buf.split_first_chunk::<8>().ok_or(BinaryFormatError::Truncated {
+        what,
+        needed: 8,
+        got: buf.len(),
+    })?;
+    *buf = rest;
+    Ok(u64::from_le_bytes(*head))
+}
+
+/// Reads an f64 from the front of `buf`, advancing it.
+fn take_f64(buf: &mut &[u8], what: &'static str) -> Result<f64, BinaryFormatError> {
+    Ok(f64::from_bits(take_u64(buf, what)?))
+}
+
+/// Decodes a node key, rejecting values [`Path::from_sketch_key`] cannot
+/// represent.
+fn decode_key(key: u64) -> Result<Path, BinaryFormatError> {
+    Path::from_sketch_key(key).ok_or_else(|| corrupt(format!("invalid node key {key:#x}")))
+}
+
+/// Whether the buffer starts with the `.phpr` magic — the format
+/// auto-detection probe ([`ReleaseFile::from_bytes`]).
+pub fn is_binary(bytes: &[u8]) -> bool {
+    bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] == MAGIC
+}
+
+/// Parses `.phpr` bytes back into a release. Exact inverse of
+/// [`encode`]; every structural claim in the file is validated before
+/// the tree is assembled, so corrupt, truncated, or version-bumped input
+/// is a structured [`BinaryFormatError`], never a panic.
+pub fn decode(bytes: &[u8]) -> Result<ReleaseFile, BinaryFormatError> {
+    let r = Reader { data: bytes };
+    if bytes.len() < HEADER {
+        // Distinguish "not even a magic" from "magic but cut off".
+        if !is_binary(bytes) {
+            return Err(BinaryFormatError::BadMagic);
+        }
+        return Err(BinaryFormatError::Truncated {
+            what: "header",
+            needed: HEADER,
+            got: bytes.len(),
+        });
+    }
+    if !is_binary(bytes) {
+        return Err(BinaryFormatError::BadMagic);
+    }
+    let format = r.u32_at("format version", 8)?;
+    if format != FORMAT_VERSION {
+        return Err(BinaryFormatError::UnsupportedFormat { found: format });
+    }
+    if r.u32_at("endian check", 12)? != ENDIAN_CHECK {
+        return Err(BinaryFormatError::BadEndianness);
+    }
+    let release_version = r.u32_at("release version", 16)?;
+    if release_version != RELEASE_VERSION {
+        return Err(BinaryFormatError::UnsupportedRelease { found: release_version });
+    }
+    let sections = r.u32_at("section count", 20)? as usize;
+    if sections != SECTION_COUNT {
+        return Err(corrupt(format!(
+            "expected {SECTION_COUNT} sections, header claims {sections}"
+        )));
+    }
+
+    // Section table: each known kind exactly once.
+    let mut table = [None::<(usize, usize)>; SECTION_COUNT];
+    let mut cursor = r.slice("section table", HEADER, sections * TABLE_ENTRY)?;
+    for _ in 0..sections {
+        let kind = take_u64(&mut cursor, "section kind")?;
+        let off = take_u64(&mut cursor, "section offset")? as usize;
+        let len = take_u64(&mut cursor, "section length")? as usize;
+        let slot = match kind {
+            SECTION_META..=SECTION_ARENA => (kind - 1) as usize,
+            other => return Err(corrupt(format!("unknown section kind {other}"))),
+        };
+        if table[slot].replace((off, len)).is_some() {
+            return Err(corrupt(format!("section kind {kind} appears twice")));
+        }
+    }
+    let section = |kind: u64| table[(kind - 1) as usize].expect("all slots filled above");
+
+    // META: domain + config.
+    let (off, len) = section(SECTION_META);
+    let meta_bytes = r.slice("META section", off, len)?;
+    let meta_str =
+        std::str::from_utf8(meta_bytes).map_err(|_| corrupt("META section is not UTF-8"))?;
+    let meta: Value = serde_json::parse_value_str(meta_str)
+        .map_err(|e| corrupt(format!("META section is not valid JSON: {e}")))?;
+    let domain: DomainSpec =
+        meta.get("domain").ok_or_else(|| corrupt("META section has no 'domain'")).and_then(
+            |v| Deserialize::from_value(v).map_err(|e| corrupt(format!("bad META domain: {e}"))),
+        )?;
+    let config: PrivHpConfig =
+        meta.get("config").ok_or_else(|| corrupt("META section has no 'config'")).and_then(
+            |v| Deserialize::from_value(v).map_err(|e| corrupt(format!("bad META config: {e}"))),
+        )?;
+
+    // TREE: layout counters.
+    let (off, len) = section(SECTION_TREE);
+    let mut tree_sec = r.slice("TREE section", off, len)?;
+    if len != 32 {
+        return Err(corrupt(format!("TREE section is {len} bytes, expected 32")));
+    }
+    let dense_levels = take_u64(&mut tree_sec, "dense_levels")? as usize;
+    let overlay_count = take_u64(&mut tree_sec, "overlay_count")? as usize;
+    let level_count = take_u64(&mut tree_sec, "level_count")? as usize;
+    let total_nodes = take_u64(&mut tree_sec, "total_nodes")? as usize;
+    if dense_levels > Path::MAX_LEVEL + 1 {
+        return Err(corrupt(format!("dense_levels {dense_levels} exceeds the path depth limit")));
+    }
+    if level_count > Path::MAX_LEVEL + 1 {
+        return Err(corrupt(format!("level_count {level_count} exceeds the path depth limit")));
+    }
+    let dense_nodes = if dense_levels > 0 { (1usize << dense_levels) - 1 } else { 0 };
+    if total_nodes != dense_nodes + overlay_count {
+        return Err(corrupt(format!(
+            "node accounting mismatch: {total_nodes} total vs {dense_nodes} dense + {overlay_count} overlay"
+        )));
+    }
+
+    // LEVELS: the full registry. Sized and key-validated before any
+    // large allocation.
+    let (off, len) = section(SECTION_LEVELS);
+    let mut levels_sec = r.slice("LEVELS section", off, len)?;
+    let expected_words = level_count + total_nodes;
+    if len != expected_words * 8 {
+        return Err(corrupt(format!(
+            "LEVELS section is {len} bytes, expected {} for {level_count} levels / {total_nodes} nodes",
+            expected_words * 8
+        )));
+    }
+    let mut levels: Vec<Vec<Path>> = Vec::with_capacity(level_count);
+    for level in 0..level_count {
+        let row_len = take_u64(&mut levels_sec, "level row length")? as usize;
+        if level < dense_levels {
+            if row_len != 1usize << level {
+                return Err(corrupt(format!(
+                    "dense level {level} registry has {row_len} nodes, expected {}",
+                    1usize << level
+                )));
+            }
+        } else if row_len > total_nodes {
+            return Err(corrupt(format!("level {level} registry claims {row_len} nodes")));
+        }
+        let mut row = Vec::with_capacity(row_len);
+        for _ in 0..row_len {
+            let p = decode_key(take_u64(&mut levels_sec, "registry node key")?)?;
+            if p.level() != level {
+                return Err(corrupt(format!("node {p} registered at level {level}")));
+            }
+            row.push(p);
+        }
+        levels.push(row);
+    }
+    if levels.iter().map(Vec::len).sum::<usize>() != total_nodes {
+        return Err(corrupt("registry rows do not sum to the declared node count"));
+    }
+
+    // OVERLAY: sparse counts; every entry must be a registered deep node.
+    let (off, len) = section(SECTION_OVERLAY);
+    let mut overlay_sec = r.slice("OVERLAY section", off, len)?;
+    if len != overlay_count * 16 {
+        return Err(corrupt(format!(
+            "OVERLAY section is {len} bytes, expected {} for {overlay_count} nodes",
+            overlay_count * 16
+        )));
+    }
+    let mut overlay: HashMap<Path, f64> = HashMap::with_capacity(overlay_count);
+    for _ in 0..overlay_count {
+        let p = decode_key(take_u64(&mut overlay_sec, "overlay node key")?)?;
+        if p.level() < dense_levels {
+            return Err(corrupt(format!("overlay node {p} lies inside the dense prefix")));
+        }
+        let c = take_f64(&mut overlay_sec, "overlay count")?;
+        if overlay.insert(p, c).is_some() {
+            return Err(corrupt(format!("overlay node {p} appears twice")));
+        }
+    }
+    for row in levels.iter().skip(dense_levels) {
+        for p in row {
+            if !overlay.contains_key(p) {
+                return Err(corrupt(format!("registered node {p} has no overlay count")));
+            }
+        }
+    }
+
+    // ARENA: page-aligned raw LE f64 words — the "zero-parse" region; the
+    // decode below is a straight bulk copy on little-endian hosts.
+    let (off, len) = section(SECTION_ARENA);
+    let arena_len = if dense_levels > 0 { 1usize << dense_levels } else { 0 };
+    if len != arena_len * 8 {
+        return Err(corrupt(format!(
+            "ARENA section is {len} bytes, expected {} for {dense_levels} dense levels",
+            arena_len * 8
+        )));
+    }
+    if off % ARENA_ALIGN != 0 {
+        return Err(corrupt(format!("ARENA offset {off} is not {ARENA_ALIGN}-byte aligned")));
+    }
+    let arena_bytes = r.slice("ARENA section", off, len)?;
+    let dense: Vec<f64> = arena_bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunks")))
+        .collect();
+
+    let tree = PartitionTree::from_raw_parts(dense, dense_levels, overlay, levels);
+    Ok(ReleaseFile { version: release_version, domain, config, tree })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PrivHpConfig;
+    use crate::release::DomainSpec;
+
+    fn sample_release() -> ReleaseFile {
+        let mut tree = PartitionTree::complete(4, |p| p.sketch_key() as f64 + 0.125);
+        let hot = Path::from_bits(0b0110, 4);
+        tree.insert(hot.left(), 1.5);
+        tree.insert(hot.right(), 0.5);
+        let config = PrivHpConfig::for_domain(1.0, 4096, 8).with_seed(7);
+        ReleaseFile::new(DomainSpec::Interval, config, tree)
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let release = sample_release();
+        let bytes = encode(&release);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(release.to_json(), back.to_json(), "JSON render must be byte-identical");
+        assert_eq!(back.tree.dense_levels(), release.tree.dense_levels());
+        for (p, c) in release.tree.iter() {
+            assert_eq!(back.tree.count(p).map(f64::to_bits), Some(c.to_bits()), "count at {p}");
+        }
+    }
+
+    #[test]
+    fn arena_is_page_aligned() {
+        let bytes = encode(&sample_release());
+        // The arena section entry is the last table row: kind 5.
+        let entry = HEADER + (SECTION_COUNT - 1) * TABLE_ENTRY;
+        let kind = u64::from_le_bytes(bytes[entry..entry + 8].try_into().unwrap());
+        let off = u64::from_le_bytes(bytes[entry + 8..entry + 16].try_into().unwrap()) as usize;
+        assert_eq!(kind, SECTION_ARENA);
+        assert_eq!(off % ARENA_ALIGN, 0);
+        assert!(off + 8 <= bytes.len());
+    }
+
+    #[test]
+    fn detection_and_bad_magic() {
+        let bytes = encode(&sample_release());
+        assert!(is_binary(&bytes));
+        assert!(!is_binary(b"{\"version\":1}"));
+        assert_eq!(decode(b"not a phpr file at all").unwrap_err(), BinaryFormatError::BadMagic);
+        assert_eq!(decode(b"").unwrap_err(), BinaryFormatError::BadMagic);
+    }
+
+    #[test]
+    fn version_bumps_rejected() {
+        let mut bytes = encode(&sample_release());
+        bytes[8] = 99; // container format version
+        assert!(matches!(decode(&bytes), Err(BinaryFormatError::UnsupportedFormat { found: 99 })));
+
+        let mut bytes = encode(&sample_release());
+        bytes[16] = 99; // release version
+        assert!(matches!(decode(&bytes), Err(BinaryFormatError::UnsupportedRelease { found: 99 })));
+    }
+
+    #[test]
+    fn every_truncation_is_a_clean_error() {
+        let bytes = encode(&sample_release());
+        for cut in 0..bytes.len() {
+            let err = decode(&bytes[..cut]).expect_err("truncated file must not decode");
+            // Any structured variant is fine; the point is no panic and
+            // no bogus Ok.
+            let _ = err.to_string();
+        }
+    }
+
+    #[test]
+    fn corrupt_node_keys_rejected() {
+        let release = sample_release();
+        let bytes = encode(&release);
+        // Zero out the first registry key (the root, key 1) in LEVELS:
+        // locate the section via the table.
+        let entry = HEADER + (SECTION_LEVELS as usize - 1) * TABLE_ENTRY;
+        let off = u64::from_le_bytes(bytes[entry + 8..entry + 16].try_into().unwrap()) as usize;
+        let mut bad = bytes.clone();
+        // First row: len u64 (=1), then the root key u64.
+        bad[off + 8..off + 16].copy_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(decode(&bad), Err(BinaryFormatError::Corrupt(_))));
+    }
+}

@@ -1,0 +1,251 @@
+//! Merging *finished* releases: tree union with sketch-free
+//! recombination, ε accounted by parallel composition.
+//!
+//! [`crate::PrivHpBuilder`] shards merge *before* noise (PR 4's
+//! `new_shard`/`merge` pipeline, exactly-once noise at finalise). This
+//! module is the complement for artifacts that are already noised and on
+//! disk: each input release is ε-DP over its own disjoint data partition,
+//! so by **parallel composition** the combined release is
+//! `max(ε_1, …, ε_m)`-DP — no fresh noise, no sketches, pure
+//! post-processing.
+//!
+//! The recombination is a *uniform extension* sum over the union node
+//! set. Each release's sampler distributes a leaf's mass uniformly over
+//! the leaf's subdomain, so when release `r` lacks a node `θ` that some
+//! other input refined, the mass `r` implies at `θ` is its deepest
+//! present ancestor's count halved once per level of refinement:
+//!
+//! ```text
+//! ext_r(θ) = r(θ)                        if θ ∈ r
+//!          = r(anc) · 2^(level(anc) − level(θ))   otherwise
+//! ```
+//!
+//! (`anc` = deepest ancestor of `θ` present in `r`; by sibling-closure it
+//! is one of `r`'s leaves). Halving scales the f64 exponent only, so
+//! `merged(θ) = Σ_r ext_r(θ)` — accumulated in argument order — is
+//! bit-deterministic, and when all inputs share one node set it reduces
+//! exactly to the nodewise sum [`PartitionTree::merge`] computes. The
+//! merged sampling distribution is therefore the *mixture* of the input
+//! distributions weighted by their total masses.
+//!
+//! The union of sibling-closed node sets is sibling-closed, so the merged
+//! tree is a valid partition tree; its registry is rebuilt in canonical
+//! level-major, bits-sorted order.
+
+use std::collections::HashMap;
+
+use crate::release::{ReleaseFile, RELEASE_VERSION};
+use crate::tree::PartitionTree;
+use privhp_domain::Path;
+
+/// The count release `r` implies at `path`: the stored count if present,
+/// else the deepest present ancestor's count split uniformly down to
+/// `path`'s level. `None` if no ancestor is present (empty tree).
+fn extended_count(tree: &PartitionTree, path: &Path) -> Option<f64> {
+    let mut anc = *path;
+    loop {
+        if let Some(c) = tree.count(&anc) {
+            // Exact in f64: dividing by a power of two rescales the
+            // exponent without touching the significand.
+            let halvings = path.level() - anc.level();
+            return Some(c / (1u64 << halvings) as f64);
+        }
+        anc = anc.parent()?;
+    }
+}
+
+/// Merges finished releases into one: union of the trees via uniform
+/// extension, ε by parallel composition (`max` over inputs — each input
+/// covers a disjoint data partition).
+///
+/// Requirements, checked in order:
+/// * at least one input, every input non-empty with a root count;
+/// * equal domains;
+/// * compatible configs — every field equal except `epsilon` and `seed`
+///   (`k`, `L★`, `L`, sketch dimensions/kind, budget split). The merged
+///   config takes `max(ε_i)` and the first input's seed.
+///
+/// Deterministic: counts accumulate in argument order and the merged
+/// registry is canonical (level-major, bits-sorted), so equal inputs in
+/// equal order produce byte-equal output.
+pub fn merge_releases(releases: &[ReleaseFile]) -> Result<ReleaseFile, String> {
+    let first = releases.first().ok_or("merge-releases: no input releases")?;
+    for (i, r) in releases.iter().enumerate() {
+        if r.version != RELEASE_VERSION {
+            return Err(format!("merge-releases: input {i} has unsupported version {}", r.version));
+        }
+        if r.tree.root_count().is_none() {
+            return Err(format!("merge-releases: input {i} has no root count (empty release)"));
+        }
+        if r.domain != first.domain {
+            return Err(format!(
+                "merge-releases: input {i} domain '{}' differs from '{}'",
+                r.domain.describe(),
+                first.domain.describe()
+            ));
+        }
+        let (a, b) = (&r.config, &first.config);
+        let incompatible: &[(&str, bool)] = &[
+            ("k", a.k != b.k),
+            ("l_star", a.l_star != b.l_star),
+            ("depth", a.depth != b.depth),
+            ("sketch", a.sketch != b.sketch),
+            ("sketch_kind", a.sketch_kind != b.sketch_kind),
+            ("split", a.split != b.split),
+        ];
+        if let Some((field, _)) = incompatible.iter().find(|(_, differs)| *differs) {
+            return Err(format!(
+                "merge-releases: input {i} config field '{field}' differs from input 0 \
+                 (only epsilon and seed may vary)"
+            ));
+        }
+    }
+
+    // Union node set, canonical order: level-major, bits-sorted.
+    let depth = releases.iter().map(|r| r.tree.depth()).max().unwrap_or(0);
+    let mut levels: Vec<Vec<Path>> = Vec::with_capacity(depth + 1);
+    for level in 0..=depth {
+        let mut row: Vec<Path> = Vec::new();
+        for r in releases {
+            row.extend_from_slice(r.tree.level_nodes(level));
+        }
+        row.sort_unstable_by_key(Path::bits);
+        row.dedup();
+        levels.push(row);
+    }
+
+    // Uniform-extension sum, accumulated in argument order.
+    let mut counts: HashMap<Path, f64> = HashMap::with_capacity(levels.iter().map(Vec::len).sum());
+    for row in &levels {
+        for p in row {
+            let mut total = 0.0f64;
+            for r in releases {
+                total += extended_count(&r.tree, p)
+                    .expect("every input has a root, so every path has a present ancestor");
+            }
+            counts.insert(*p, total);
+        }
+    }
+
+    let mut config = first.config.clone();
+    config.epsilon = releases.iter().map(|r| r.config.epsilon).fold(f64::NEG_INFINITY, f64::max);
+    let tree = PartitionTree::from_parts(counts, levels);
+    Ok(ReleaseFile::new(first.domain, config, tree))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PrivHpConfig;
+    use crate::release::DomainSpec;
+
+    fn release_with(config: PrivHpConfig, build: impl FnOnce(&mut PartitionTree)) -> ReleaseFile {
+        let mut tree = PartitionTree::new();
+        build(&mut tree);
+        ReleaseFile::new(DomainSpec::Interval, config, tree)
+    }
+
+    fn config(epsilon: f64, seed: u64) -> PrivHpConfig {
+        // Derive levels from a fixed (ε, n) so only epsilon varies across
+        // test inputs (`for_domain` would otherwise derive a different
+        // depth from a different ε).
+        let mut c = PrivHpConfig::for_domain(1.0, 64, 4).with_seed(seed);
+        c.epsilon = epsilon;
+        c
+    }
+
+    #[test]
+    fn identical_shapes_reduce_to_nodewise_sum() {
+        let shape = |tree: &mut PartitionTree, scale: f64| {
+            tree.insert(Path::root(), 8.0 * scale);
+            tree.insert(Path::root().left(), 5.0 * scale);
+            tree.insert(Path::root().right(), 3.0 * scale);
+        };
+        let a = release_with(config(1.0, 1), |t| shape(t, 1.0));
+        let b = release_with(config(0.5, 2), |t| shape(t, 2.0));
+        let merged = merge_releases(&[a.clone(), b.clone()]).unwrap();
+
+        // Reference: the tree-level nodewise merge.
+        let mut reference = a.tree.clone();
+        reference.merge(&b.tree);
+        for (p, c) in reference.iter() {
+            assert_eq!(merged.tree.count(p).map(f64::to_bits), Some(c.to_bits()), "count at {p}");
+        }
+        assert_eq!(merged.tree.len(), reference.len());
+        assert_eq!(merged.config.epsilon, 1.0, "epsilon = max by parallel composition");
+        assert_eq!(merged.config.seed, 1, "seed taken from the first input");
+    }
+
+    #[test]
+    fn asymmetric_frontiers_extend_uniformly() {
+        // a refines the left half one level deeper than b.
+        let a = release_with(config(1.0, 1), |t| {
+            t.insert(Path::root(), 8.0);
+            t.insert(Path::root().left(), 6.0);
+            t.insert(Path::root().right(), 2.0);
+            t.insert(Path::root().left().left(), 4.0);
+            t.insert(Path::root().left().right(), 2.0);
+        });
+        let b = release_with(config(2.0, 9), |t| {
+            t.insert(Path::root(), 4.0);
+            t.insert(Path::root().left(), 3.0);
+            t.insert(Path::root().right(), 1.0);
+        });
+        let merged = merge_releases(&[a, b]).unwrap();
+
+        // b's leaf count 3.0 at `0` splits as 1.5 + 1.5 under a's refinement.
+        assert_eq!(merged.tree.count(&Path::root()), Some(12.0));
+        assert_eq!(merged.tree.count(&Path::root().left()), Some(9.0));
+        assert_eq!(merged.tree.count(&Path::root().left().left()), Some(4.0 + 1.5));
+        assert_eq!(merged.tree.count(&Path::root().left().right()), Some(2.0 + 1.5));
+        assert_eq!(merged.tree.count(&Path::root().right()), Some(3.0));
+        assert_eq!(merged.config.epsilon, 2.0);
+        // Mass conservation: children sum to parents everywhere.
+        for level in 0..merged.tree.depth() {
+            for p in merged.tree.level_nodes(level) {
+                if let Some((l, r)) = merged.tree.children_counts(p) {
+                    assert_eq!(l + r, merged.tree.count(p).unwrap(), "consistency at {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mismatches_rejected() {
+        let a = release_with(config(1.0, 1), |t| t.insert(Path::root(), 1.0));
+        assert!(merge_releases(&[]).unwrap_err().contains("no input"));
+
+        let empty = release_with(config(1.0, 1), |_| {});
+        assert!(merge_releases(&[a.clone(), empty]).unwrap_err().contains("no root"));
+
+        let mut other_domain = a.clone();
+        other_domain.domain = DomainSpec::Ipv4;
+        assert!(merge_releases(&[a.clone(), other_domain]).unwrap_err().contains("domain"));
+
+        let mut other_k = a.clone();
+        other_k.config.k = 8;
+        assert!(merge_releases(&[a.clone(), other_k]).unwrap_err().contains("'k'"));
+
+        // epsilon and seed differences are allowed.
+        let b = release_with(config(0.25, 77), |t| t.insert(Path::root(), 2.0));
+        assert!(merge_releases(&[a, b]).is_ok());
+    }
+
+    #[test]
+    fn merge_is_deterministic() {
+        let a = release_with(config(1.0, 1), |t| {
+            t.insert(Path::root(), 8.0);
+            t.insert(Path::root().left(), 5.0);
+            t.insert(Path::root().right(), 3.0);
+        });
+        let b = release_with(config(0.5, 2), |t| {
+            t.insert(Path::root(), 2.0);
+            t.insert(Path::root().left(), 1.5);
+            t.insert(Path::root().right(), 0.5);
+        });
+        let m1 = merge_releases(&[a.clone(), b.clone()]).unwrap();
+        let m2 = merge_releases(&[a, b]).unwrap();
+        assert_eq!(m1.to_json(), m2.to_json());
+        assert_eq!(m1.to_binary(), m2.to_binary());
+    }
+}

@@ -360,9 +360,44 @@ impl PartitionTree {
         2 * self.len()
     }
 
+    /// Number of dense levels (the arena covers levels `0..dense_levels`).
+    /// Raw-layout accessor for the binary release codec.
+    pub(crate) fn dense_levels(&self) -> usize {
+        self.dense_levels
+    }
+
+    /// The dense count arena (slot 0 unused; empty without a dense
+    /// prefix). Raw-layout accessor for the binary release codec.
+    pub(crate) fn dense_arena(&self) -> &[f64] {
+        &self.dense
+    }
+
+    /// The per-level path registry, outer index = level. Raw-layout
+    /// accessor for the binary release codec.
+    pub(crate) fn levels_registry(&self) -> &[Vec<Path>] {
+        &self.levels
+    }
+
+    /// Reassembles a tree from an exact raw layout — the binary release
+    /// codec's constructor. Unlike [`Self::from_parts`] this does **not**
+    /// re-detect the dense prefix: the caller supplies `dense_levels`
+    /// verbatim, so a decoded tree reproduces the encoded tree's storage
+    /// layout (and therefore its serialised bytes) exactly. The caller
+    /// must have validated that every level `< dense_levels` is complete
+    /// and that `overlay` holds exactly the nodes at deeper levels.
+    pub(crate) fn from_raw_parts(
+        dense: Vec<f64>,
+        dense_levels: usize,
+        overlay: HashMap<Path, f64>,
+        levels: Vec<Vec<Path>>,
+    ) -> Self {
+        debug_assert_eq!(dense.len(), if dense_levels > 0 { 1usize << dense_levels } else { 0 });
+        Self { dense, dense_levels, overlay, levels }
+    }
+
     /// Rebuilds a tree from its serialised parts, re-detecting the maximal
     /// complete prefix so deserialised trees keep the dense layout.
-    fn from_parts(counts: HashMap<Path, f64>, levels: Vec<Vec<Path>>) -> Self {
+    pub(crate) fn from_parts(counts: HashMap<Path, f64>, levels: Vec<Vec<Path>>) -> Self {
         let mut dense_levels = 0;
         while dense_levels < levels.len() && levels[dense_levels].len() == (1usize << dense_levels)
         {

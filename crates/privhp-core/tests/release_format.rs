@@ -1,0 +1,196 @@
+//! Property tests for the release artifact formats and release merging
+//! (`privhp_core::release::{binary, merge}`, spec in `docs/FORMAT.md`).
+//!
+//! The contracts under test:
+//!
+//! * **Lossless twin** — for any release, the `.phpr` binary encoding
+//!   round-trips to the *byte-identical* JSON rendering and bit-identical
+//!   per-node counts; re-encoding is idempotent.
+//! * **Merge = tree merge** — when inputs share one node set,
+//!   [`merge_releases`] is exactly the nodewise [`PartitionTree::merge`]
+//!   sum, and the merged artifact samples bit-identically to a release
+//!   built from that reference tree.
+//! * **Mixture CDF** — for any frontier shapes, the merged CDF is the
+//!   mass-weighted mixture of the input CDFs.
+//! * **Hostile bytes** — truncations always fail cleanly, random byte
+//!   flips never panic, and version bumps are rejected with the
+//!   structured error, never UB.
+
+use privhp_core::release::{DomainSpec, ReleaseFile};
+use privhp_core::{
+    merge_releases, BinaryFormatError, PartitionTree, PrivHpConfig, TreeQuery, SAMPLE_SEED_XOR,
+};
+use privhp_domain::{Path, UnitInterval};
+use privhp_dp::rng::rng_from_seed;
+use proptest::prelude::*;
+
+/// A fixed-shape config; only ε and seed may vary across merge inputs.
+fn config(epsilon: f64, seed: u64) -> PrivHpConfig {
+    let mut c = PrivHpConfig::for_domain(1.0, 64, 4).with_seed(seed);
+    c.epsilon = epsilon;
+    c
+}
+
+/// Grows a random sibling-closed tree: starting from a root holding
+/// `mass`, each byte of `splits` picks a frontier leaf and splits its
+/// count between the two children with an exact dyadic fraction, so the
+/// tree is consistent (children sum to parents) and positive — a valid,
+/// sampleable artifact of arbitrary shape.
+fn random_tree(mass: f64, splits: &[u8]) -> PartitionTree {
+    let mut tree = PartitionTree::new();
+    tree.insert(Path::root(), mass);
+    let mut frontier = vec![Path::root()];
+    for &b in splits {
+        let idx = b as usize % frontier.len();
+        let node = frontier.swap_remove(idx);
+        let c = tree.count(&node).unwrap();
+        // 1/256-granular fraction, exact in f64 for dyadic `c`.
+        let frac = (b as f64 + 0.5) / 256.0;
+        tree.insert(node.left(), c * frac);
+        tree.insert(node.right(), c * (1.0 - frac));
+        if node.level() + 1 < 8 {
+            frontier.push(node.left());
+            frontier.push(node.right());
+        }
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    tree
+}
+
+fn release_from(splits: &[u8], mass: f64, epsilon: f64, seed: u64) -> ReleaseFile {
+    ReleaseFile::new(DomainSpec::Interval, config(epsilon, seed), random_tree(mass, splits))
+}
+
+/// Draws from a tree through the same whitened-seed pipeline the CLI and
+/// server use, as raw bits for exact comparison.
+fn draws_bits(release: &ReleaseFile, seed: u64) -> Vec<u64> {
+    let domain = UnitInterval::new();
+    let sampler = release.generator(&domain);
+    let mut rng = rng_from_seed(seed ^ SAMPLE_SEED_XOR);
+    sampler.sample_many(64, &mut rng).into_iter().map(f64::to_bits).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Binary round-trip reproduces the exact JSON bytes and count bits
+    /// for arbitrary tree shapes, and re-encoding is idempotent.
+    #[test]
+    fn binary_round_trip_is_bit_identical(
+        splits in proptest::collection::vec(0u64..256, 0..48),
+        mass_units in 1u64..1_000_000,
+    ) {
+        let splits: Vec<u8> = splits.iter().map(|&b| b as u8).collect();
+        let release = release_from(&splits, mass_units as f64 / 8.0, 1.0, 42);
+        let bytes = release.to_binary();
+        let back = ReleaseFile::from_binary(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(back.to_json(), release.to_json());
+        for (p, c) in release.tree.iter() {
+            prop_assert_eq!(back.tree.count(p).map(f64::to_bits), Some(c.to_bits()));
+        }
+        prop_assert_eq!(back.tree.len(), release.tree.len());
+        prop_assert_eq!(back.to_binary(), bytes);
+    }
+
+    /// On identical node sets, `merge_releases` equals the tree-level
+    /// nodewise merge — counts and sampled draws bit for bit.
+    #[test]
+    fn merge_matches_tree_merge_on_identical_shapes(
+        splits in proptest::collection::vec(0u64..256, 0..32),
+        mass_a in 1u64..10_000,
+        mass_b in 1u64..10_000,
+        seed in 0u64..1024,
+    ) {
+        let splits: Vec<u8> = splits.iter().map(|&b| b as u8).collect();
+        let a = release_from(&splits, mass_a as f64, 1.0, 7);
+        let b = release_from(&splits, mass_b as f64 / 4.0, 0.5, 9);
+        let merged = merge_releases(&[a.clone(), b.clone()]).unwrap();
+
+        let mut reference_tree = a.tree.clone();
+        reference_tree.merge(&b.tree);
+        for (p, c) in reference_tree.iter() {
+            prop_assert_eq!(merged.tree.count(p).map(f64::to_bits), Some(c.to_bits()));
+        }
+        prop_assert_eq!(merged.tree.len(), reference_tree.len());
+
+        // The merged artifact must *serve* identically to a release built
+        // from the reference tree, through binary save/load included.
+        let reference =
+            ReleaseFile::new(DomainSpec::Interval, merged.config.clone(), reference_tree);
+        prop_assert_eq!(draws_bits(&merged, seed), draws_bits(&reference, seed));
+        let reloaded = ReleaseFile::from_binary(&merged.to_binary()).unwrap();
+        prop_assert_eq!(draws_bits(&reloaded, seed), draws_bits(&reference, seed));
+    }
+
+    /// For arbitrary (asymmetric) frontiers, the merged CDF is the
+    /// mass-weighted mixture of the input CDFs.
+    #[test]
+    fn merged_cdf_is_the_mass_weighted_mixture(
+        splits_a in proptest::collection::vec(0u64..256, 0..24),
+        splits_b in proptest::collection::vec(0u64..256, 0..24),
+        x_units in 0u64..65,
+    ) {
+        let splits_a: Vec<u8> = splits_a.iter().map(|&b| b as u8).collect();
+        let splits_b: Vec<u8> = splits_b.iter().map(|&b| b as u8).collect();
+        let a = release_from(&splits_a, 96.0, 1.0, 7);
+        let b = release_from(&splits_b, 32.0, 2.0, 9);
+        let merged = merge_releases(&[a.clone(), b.clone()]).unwrap();
+
+        let domain = UnitInterval::new();
+        let x = x_units as f64 / 64.0;
+        let cdf = |r: &ReleaseFile| TreeQuery::new(&r.tree, &domain).cdf(x);
+        let (wa, wb) = (96.0, 32.0);
+        let mixture = (wa * cdf(&a) + wb * cdf(&b)) / (wa + wb);
+        prop_assert!(
+            (cdf(&merged) - mixture).abs() < 1e-9,
+            "cdf({}) = {} but mixture = {}", x, cdf(&merged), mixture
+        );
+    }
+
+    /// Every truncation of a valid artifact fails cleanly; random byte
+    /// flips never panic (they may decode if they only move a count).
+    #[test]
+    fn hostile_bytes_never_panic(
+        splits in proptest::collection::vec(0u64..256, 0..24),
+        cut_frac in 0u64..1024,
+        flip_at in 0u64..1024,
+        flip_bit in 0u64..8,
+    ) {
+        let splits: Vec<u8> = splits.iter().map(|&b| b as u8).collect();
+        let release = release_from(&splits, 64.0, 1.0, 3);
+        let bytes = release.to_binary();
+
+        let cut = (cut_frac as usize * bytes.len() / 1024).min(bytes.len() - 1);
+        prop_assert!(
+            ReleaseFile::from_binary(&bytes[..cut]).is_err(),
+            "truncation to {} of {} bytes must be rejected", cut, bytes.len()
+        );
+
+        let mut flipped = bytes.clone();
+        let at = flip_at as usize % flipped.len();
+        flipped[at] ^= 1 << flip_bit;
+        let _ = ReleaseFile::from_binary(&flipped); // must not panic
+    }
+
+    /// Unknown format/release versions are structured errors carrying the
+    /// found version — future formats fail closed, not undefined.
+    #[test]
+    fn version_bumps_are_rejected(found in 2u64..1_000_000) {
+        let release = release_from(&[3, 200], 8.0, 1.0, 3);
+        let mut bytes = release.to_binary();
+        bytes[8..12].copy_from_slice(&(found as u32).to_le_bytes());
+        prop_assert_eq!(
+            ReleaseFile::from_binary(&bytes).unwrap_err(),
+            BinaryFormatError::UnsupportedFormat { found: found as u32 }
+        );
+
+        let mut bytes = release.to_binary();
+        bytes[16..20].copy_from_slice(&(found as u32).to_le_bytes());
+        prop_assert_eq!(
+            ReleaseFile::from_binary(&bytes).unwrap_err(),
+            BinaryFormatError::UnsupportedRelease { found: found as u32 }
+        );
+    }
+}

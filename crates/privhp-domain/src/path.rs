@@ -151,6 +151,23 @@ impl Path {
     pub fn index_in_level(&self) -> u64 {
         self.bits
     }
+
+    /// Inverse of [`Path::sketch_key`]: decodes the prefix-free `1·bits`
+    /// encoding back into a path. Returns `None` for `0` (no marker bit)
+    /// and for keys whose implied level exceeds [`Path::MAX_LEVEL`] — the
+    /// binary release codec uses this to reject corrupt node keys without
+    /// panicking.
+    #[inline]
+    pub fn from_sketch_key(key: u64) -> Option<Self> {
+        if key == 0 {
+            return None;
+        }
+        let level = 63 - key.leading_zeros() as usize;
+        if level > Self::MAX_LEVEL {
+            return None;
+        }
+        Some(Self { bits: key ^ (1u64 << level), level: level as u8 })
+    }
 }
 
 impl std::fmt::Display for Path {

@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock, RwLock};
 
-use privhp_core::release::{DomainSpec, ReleaseFile};
+use privhp_core::release::{DomainSpec, ReleaseFile, ReleaseFormat};
 use privhp_core::{Generator, LeafCdf, TreeQuery, TreeSampler};
 use privhp_domain::{HierarchicalDomain, Hypercube, Ipv4Space, Path, UnitInterval};
 use privhp_dp::rng::rng_from_seed;
@@ -58,6 +58,10 @@ pub struct LoadedRelease {
     /// what the registry snapshot records so a restarted server can
     /// reload the same set.
     source: Option<String>,
+    /// The encoding the source file was detected as (JSON for in-process
+    /// releases). Recorded in the registry snapshot for observability;
+    /// reloads re-detect from the bytes.
+    format: ReleaseFormat,
 }
 
 /// Samples through `dyn Generator` (one vtable hop, amortised by the batch
@@ -82,7 +86,14 @@ impl LoadedRelease {
     /// Wraps an already-parsed release under a registry name.
     pub fn from_release(name: impl Into<String>, release: ReleaseFile) -> Self {
         let domain = DomainKind::from_spec(release.domain);
-        Self { name: name.into(), release, domain, cdf: OnceLock::new(), source: None }
+        Self {
+            name: name.into(),
+            release,
+            domain,
+            cdf: OnceLock::new(),
+            source: None,
+            format: ReleaseFormat::Json,
+        }
     }
 
     /// The release tree's leaf CDF, built on first use and shared by every
@@ -91,16 +102,28 @@ impl LoadedRelease {
         self.cdf.get_or_init(|| Arc::new(LeafCdf::build(&self.release.tree))).clone()
     }
 
-    /// Reads, parses and validates a release file from disk. The whole
-    /// pipeline — read, JSON parse, release validation, leaf-CDF build —
-    /// runs here, *before* the caller touches any registry, so a
-    /// truncated or corrupt file fails in staging and can never evict or
-    /// corrupt a serving release. The source path is recorded for the
-    /// registry snapshot.
+    /// Reads, parses and validates a release file from disk — either
+    /// encoding, auto-detected from the bytes (the binary `.phpr` form
+    /// skips the parse step entirely: its dense arena is decoded by bulk
+    /// copy). The whole pipeline — read, decode, release validation,
+    /// leaf-CDF build — runs here, *before* the caller touches any
+    /// registry, so a truncated or corrupt file fails in staging and can
+    /// never evict or corrupt a serving release. Failures name the
+    /// offending path and the detected format. The source path and
+    /// format are recorded for the registry snapshot.
     pub fn load(name: &str, path: &str) -> Result<Self, String> {
-        let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let mut loaded = Self::from_release(name, ReleaseFile::from_json(&json)?);
+        let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let format = ReleaseFile::detect_format(&bytes);
+        let release = match format {
+            ReleaseFormat::Binary => ReleaseFile::from_binary(&bytes).map_err(|e| e.to_string()),
+            ReleaseFormat::Json => std::str::from_utf8(&bytes)
+                .map_err(|e| format!("not UTF-8: {e}"))
+                .and_then(ReleaseFile::from_json),
+        }
+        .map_err(|e| format!("cannot load {path} as a {} release: {e}", format.describe()))?;
+        let mut loaded = Self::from_release(name, release);
         loaded.source = Some(path.to_string());
+        loaded.format = format;
         // Warm (and thereby validate) the leaf CDF in staging too: the
         // first sample request shouldn't pay the build, and a tree the
         // CDF builder chokes on should fail the load, not a request.
@@ -117,6 +140,12 @@ impl LoadedRelease {
     /// releases that never touched disk).
     pub fn source_path(&self) -> Option<&str> {
         self.source.as_deref()
+    }
+
+    /// The encoding the source file was detected as (JSON for in-process
+    /// releases).
+    pub fn source_format(&self) -> ReleaseFormat {
+        self.format
     }
 
     /// The underlying release file.
@@ -303,24 +332,31 @@ impl Registry {
         self.len() == 0
     }
 
-    /// The snapshot document: `{"releases":[{"name":..,"path":..},..]}`
-    /// listing every release that came from disk, sorted by name.
-    /// Releases without a source path (built in-process) cannot be
-    /// reloaded by path and are omitted.
+    /// The snapshot document:
+    /// `{"releases":[{"name":..,"path":..,"format":..},..]}` listing
+    /// every release that came from disk, sorted by name. The `format`
+    /// field records the encoding detected at load time (restores
+    /// re-detect from the bytes, so the field is informational and older
+    /// snapshots without it restore fine). Releases without a source
+    /// path (built in-process) cannot be reloaded by path and are
+    /// omitted.
     pub fn snapshot_value(&self) -> Value {
         let map = self.map.read().unwrap_or_else(|e| e.into_inner());
-        let mut entries: Vec<(&str, &str)> =
-            map.values().filter_map(|r| r.source_path().map(|p| (r.name(), p))).collect();
-        entries.sort_unstable();
+        let mut entries: Vec<(&str, &str, ReleaseFormat)> = map
+            .values()
+            .filter_map(|r| r.source_path().map(|p| (r.name(), p, r.source_format())))
+            .collect();
+        entries.sort_unstable_by_key(|&(name, path, _)| (name, path));
         Value::Object(vec![(
             "releases".into(),
             Value::Array(
                 entries
                     .into_iter()
-                    .map(|(name, path)| {
+                    .map(|(name, path, format)| {
                         Value::Object(vec![
                             ("name".into(), Value::String(name.into())),
                             ("path".into(), Value::String(path.into())),
+                            ("format".into(), Value::String(format.describe().into())),
                         ])
                     })
                     .collect(),
@@ -513,6 +549,71 @@ mod tests {
         assert!(LoadedRelease::load("demo", &corrupt).is_err());
         assert_eq!(reg.len(), 1);
         assert_eq!(reg.get("demo").unwrap().sample_points(8, 1), before);
+    }
+
+    #[test]
+    fn binary_release_serves_identical_bytes_to_its_json_twin() {
+        let scratch = Scratch::new("binary-twin");
+        let release = tiny_release();
+        let json = scratch.path("twin.json");
+        let phpr = scratch.path("twin.phpr");
+        std::fs::write(&json, release.to_json()).unwrap();
+        std::fs::write(&phpr, release.to_binary()).unwrap();
+
+        let from_json = LoadedRelease::load("j", &json).unwrap();
+        let from_binary = LoadedRelease::load("b", &phpr).unwrap();
+        assert_eq!(from_json.source_format(), ReleaseFormat::Json);
+        assert_eq!(from_binary.source_format(), ReleaseFormat::Binary);
+        assert_eq!(
+            from_json.sample_points(64, 11),
+            from_binary.sample_points(64, 11),
+            "both encodings must serve bit-identical draws"
+        );
+        assert_eq!(from_json.cdf(0.37).unwrap(), from_binary.cdf(0.37).unwrap());
+    }
+
+    #[test]
+    fn load_errors_name_the_file_and_detected_format() {
+        let scratch = Scratch::new("load-errors");
+        let bad_json = scratch.path("bad.json");
+        std::fs::write(&bad_json, "{\"version\":").unwrap();
+        let e = LoadedRelease::load("x", &bad_json).unwrap_err();
+        assert!(e.contains(&bad_json), "names the path: {e}");
+        assert!(e.contains("as a json release"), "names the format: {e}");
+
+        // A truncated binary file: magic survives, so the detected
+        // format is binary and the error says so.
+        let bad_phpr = scratch.path("bad.phpr");
+        std::fs::write(&bad_phpr, &tiny_release().to_binary()[..64]).unwrap();
+        let e = LoadedRelease::load("x", &bad_phpr).unwrap_err();
+        assert!(e.contains(&bad_phpr), "names the path: {e}");
+        assert!(e.contains("as a binary release"), "names the format: {e}");
+
+        let missing = scratch.path("missing.json");
+        let e = LoadedRelease::load("x", &missing).unwrap_err();
+        assert!(e.contains(&missing), "read errors name the path too: {e}");
+    }
+
+    #[test]
+    fn snapshot_records_detected_format() {
+        let scratch = Scratch::new("snapshot-format");
+        let release = tiny_release();
+        std::fs::write(scratch.path("a.json"), release.to_json()).unwrap();
+        std::fs::write(scratch.path("b.phpr"), release.to_binary()).unwrap();
+        let reg = Registry::new();
+        reg.insert(LoadedRelease::load("a", &scratch.path("a.json")).unwrap());
+        reg.insert(LoadedRelease::load("b", &scratch.path("b.phpr")).unwrap());
+
+        let doc = serde_json::value_to_string(&reg.snapshot_value());
+        assert!(doc.contains("\"format\":\"json\""), "{doc}");
+        assert!(doc.contains("\"format\":\"binary\""), "{doc}");
+
+        // Restore re-detects from the bytes, so both encodings come back.
+        let snap = scratch.path("registry.snapshot");
+        reg.write_snapshot(&snap).unwrap();
+        let fresh = Registry::new();
+        assert_eq!(fresh.restore_snapshot(&snap).unwrap().restored, 2);
+        assert_eq!(fresh.get("b").unwrap().source_format(), ReleaseFormat::Binary);
     }
 
     #[test]

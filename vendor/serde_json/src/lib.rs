@@ -313,11 +313,23 @@ impl<'a> Parser<'a> {
                         _ => return Err(self.fail("unknown escape")),
                     }
                 }
+                // Plain ASCII: the overwhelmingly common case, one byte.
+                0x00..=0x7F => out.push(b as char),
                 _ => {
-                    // Re-scan as UTF-8: step back and take the full char.
+                    // Multi-byte UTF-8: step back and validate exactly this
+                    // char's bytes (its length is in the lead byte).
+                    // Validating the whole remaining input here would make
+                    // string parsing quadratic in document size.
                     self.pos -= 1;
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.fail("invalid UTF-8"))?;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.fail("invalid UTF-8")),
+                    };
+                    let end = (self.pos + len).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[self.pos..end])
+                        .map_err(|_| self.fail("invalid UTF-8"))?;
                     let c = s.chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();
