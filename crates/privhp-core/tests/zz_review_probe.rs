@@ -1,0 +1,35 @@
+use privhp_core::release::{DomainSpec, ReleaseFile};
+use privhp_core::{PartitionTree, PrivHpConfig};
+use privhp_domain::Path;
+
+#[test]
+fn hostile_tree_counters() {
+    let mut tree = PartitionTree::complete(4, |p| p.sketch_key() as f64 + 0.125);
+    let hot = Path::from_bits(0b0110, 4);
+    tree.insert(hot.left(), 1.5);
+    tree.insert(hot.right(), 0.5);
+    let config = PrivHpConfig::for_domain(1.0, 4096, 8).with_seed(7);
+    let release = ReleaseFile::new(DomainSpec::Interval, config, tree);
+    let mut bytes = release.to_binary();
+
+    // find TREE section (kind 2) in the table: header=24, entries of 24 bytes
+    let mut tree_off = None;
+    for i in 0..5 {
+        let e = 24 + i * 24;
+        let kind = u64::from_le_bytes(bytes[e..e + 8].try_into().unwrap());
+        if kind == 2 {
+            tree_off = Some(u64::from_le_bytes(bytes[e + 8..e + 16].try_into().unwrap()) as usize);
+        }
+    }
+    let off = tree_off.unwrap();
+    let dense_levels = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+    let dense_nodes = (1u64 << dense_levels) - 1;
+    let total: u64 = 1 << 61;
+    bytes[off + 8..off + 16].copy_from_slice(&(total - dense_nodes).to_le_bytes()); // overlay_count
+    bytes[off + 24..off + 32].copy_from_slice(&total.to_le_bytes()); // total_nodes
+
+    match ReleaseFile::from_binary(&bytes) {
+        Ok(_) => panic!("hostile counters decoded"),
+        Err(e) => println!("clean error: {e}"),
+    }
+}
